@@ -1,0 +1,176 @@
+// Package repro's root benchmark harness regenerates every table and
+// figure of the paper's evaluation as a Go benchmark, reporting the
+// figure's headline quantity as a custom metric:
+//
+//	go test -bench=. -benchmem
+//
+// Figure/table → benchmark mapping (see DESIGN.md for the full index):
+//
+//	Fig. 1  → BenchmarkFig1_SingleGPUThroughput
+//	Fig. 9  → BenchmarkFig9_BatchSizeSweep
+//	Fig. 10 → BenchmarkFig10_DefaultScaling
+//	Fig. 11 → BenchmarkFig11_RegCache
+//	Fig. 12 → BenchmarkFig12_OptimizedScaling
+//	Fig. 13 → BenchmarkFig13_ScalingEfficiency
+//	Fig. 14 → BenchmarkFig14_HvprofProfile
+//	Table I → BenchmarkTable1_AllreduceBuckets
+package repro
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/collective"
+	"repro/internal/experiments"
+	"repro/internal/models"
+	"repro/internal/nn"
+	"repro/internal/perfmodel"
+	"repro/internal/scaling"
+	"repro/internal/tensor"
+)
+
+// benchOptions keeps simulated runs small enough for repeated benchmark
+// iterations while preserving the figures' shapes.
+func benchOptions() experiments.Options {
+	return experiments.Options{Steps: 4, ProfileSteps: 10, NodeCounts: []int{1, 16, 128}}
+}
+
+// BenchmarkFig1_SingleGPUThroughput regenerates Fig. 1 two ways: the
+// calibrated V100 model (reported as img/s metrics) and a real CPU
+// forward+backward pass of both architectures to demonstrate the
+// classification-vs-super-resolution cost contrast on live code.
+func BenchmarkFig1_SingleGPUThroughput(b *testing.B) {
+	f := experiments.RunFig1()
+	b.Run("model", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			f = experiments.RunFig1()
+		}
+		b.ReportMetric(f.EDSRImgPerSec, "edsr-img/s")
+		b.ReportMetric(f.ResNet50ImgPerSec, "resnet-img/s")
+		b.ReportMetric(f.Ratio, "ratio")
+	})
+	b.Run("real-edsr-tiny", func(b *testing.B) {
+		rng := tensor.NewRNG(1)
+		m := models.NewEDSR(models.EDSRTiny(), rng)
+		x := tensor.New(1, 3, 24, 24)
+		x.FillUniform(rng, 0, 1)
+		target := tensor.New(1, 3, 48, 48)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			y := m.Forward(x)
+			_, g := nn.L1Loss{}.Forward(y, target)
+			m.Backward(g)
+		}
+	})
+	b.Run("real-resnet-mini", func(b *testing.B) {
+		rng := tensor.NewRNG(2)
+		m := models.NewMiniResNet([]int{8, 16}, 1, 10, rng)
+		x := tensor.New(1, 3, 48, 48)
+		x.FillUniform(rng, 0, 1)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			y := m.Forward(x)
+			_, g := nn.SoftmaxCrossEntropy{}.Forward(y, []int{3})
+			m.Backward(g)
+		}
+	})
+}
+
+// BenchmarkFig9_BatchSizeSweep regenerates the single-GPU batch-size
+// evaluation, one sub-benchmark per batch size.
+func BenchmarkFig9_BatchSizeSweep(b *testing.B) {
+	for _, batch := range []int{1, 2, 4, 8, 16} {
+		b.Run(fmt.Sprintf("batch%d", batch), func(b *testing.B) {
+			var tp float64
+			var fits bool
+			for i := 0; i < b.N; i++ {
+				tp, fits = perfmodel.EDSRThroughput(batch)
+			}
+			b.ReportMetric(tp, "img/s")
+			if fits {
+				b.ReportMetric(1, "fits16GB")
+			} else {
+				b.ReportMetric(0, "fits16GB")
+			}
+		})
+	}
+}
+
+// benchScaling runs one simulated configuration per iteration and reports
+// throughput and efficiency.
+func benchScaling(b *testing.B, backend collective.Backend, nodes int) {
+	b.Helper()
+	var r scaling.Result
+	for i := 0; i < b.N; i++ {
+		r = scaling.Run(scaling.Options{Nodes: nodes, Backend: backend, Steps: 4})
+	}
+	b.ReportMetric(r.ImagesPerSec, "img/s")
+	b.ReportMetric(100*scaling.Efficiency(r, scaling.SingleGPUBaseline(0)), "eff%")
+}
+
+// BenchmarkFig10_DefaultScaling regenerates the default-configuration
+// throughput curves (MPI vs NCCL).
+func BenchmarkFig10_DefaultScaling(b *testing.B) {
+	for _, backend := range []collective.Backend{collective.BackendMPI, collective.BackendNCCL} {
+		for _, nodes := range []int{1, 16, 128} {
+			b.Run(fmt.Sprintf("%s/%dGPUs", backend, nodes*4), func(b *testing.B) {
+				benchScaling(b, backend, nodes)
+			})
+		}
+	}
+}
+
+// BenchmarkFig11_RegCache regenerates the registration-cache comparison
+// and reports the average improvement and hit rate.
+func BenchmarkFig11_RegCache(b *testing.B) {
+	var f experiments.Fig11
+	for i := 0; i < b.N; i++ {
+		f = experiments.RunFig11(benchOptions())
+	}
+	b.ReportMetric(100*f.AvgImprovement, "gain%")
+	b.ReportMetric(100*f.HitRate, "hit%")
+}
+
+// BenchmarkFig12_OptimizedScaling regenerates the optimized throughput
+// study and reports the MPI-Opt/MPI speedup at max scale (paper: 1.26x).
+func BenchmarkFig12_OptimizedScaling(b *testing.B) {
+	var f experiments.Fig12
+	for i := 0; i < b.N; i++ {
+		f = experiments.RunFig12(benchOptions())
+	}
+	b.ReportMetric(f.SpeedupAtMax, "speedup-x")
+}
+
+// BenchmarkFig13_ScalingEfficiency regenerates the efficiency study and
+// reports the MPI-Opt − MPI gain at max scale (paper: 15.6 points).
+func BenchmarkFig13_ScalingEfficiency(b *testing.B) {
+	var f experiments.Fig13
+	for i := 0; i < b.N; i++ {
+		f = experiments.RunFig13(benchOptions())
+	}
+	b.ReportMetric(f.EffGainAtMax, "eff-gain-pts")
+	last := len(f.Curves[0].Points) - 1
+	b.ReportMetric(100*f.Curves[0].Efficiencies()[last], "mpi-eff%")
+	b.ReportMetric(100*f.Curves[2].Efficiencies()[last], "opt-eff%")
+}
+
+// BenchmarkFig14_HvprofProfile regenerates the 4-GPU communication
+// profile and reports total allreduce milliseconds per configuration.
+func BenchmarkFig14_HvprofProfile(b *testing.B) {
+	var f experiments.Fig14
+	for i := 0; i < b.N; i++ {
+		f = experiments.RunFig14(benchOptions())
+	}
+	b.ReportMetric(f.Default.TotalSeconds("allreduce")*1000, "default-ms")
+	b.ReportMetric(f.Optimized.TotalSeconds("allreduce")*1000, "opt-ms")
+}
+
+// BenchmarkTable1_AllreduceBuckets regenerates Table I and reports the
+// total allreduce-time improvement (paper: 45.4%).
+func BenchmarkTable1_AllreduceBuckets(b *testing.B) {
+	var t experiments.TableI
+	for i := 0; i < b.N; i++ {
+		t = experiments.RunTableI(benchOptions())
+	}
+	b.ReportMetric(t.TotalImprovement(), "improvement%")
+}

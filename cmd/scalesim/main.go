@@ -1,0 +1,124 @@
+// Command scalesim runs the simulated distributed-EDSR scaling study: for
+// each requested backend and node count it reports throughput, scaling
+// efficiency, and communication statistics — the data behind the paper's
+// Figs. 10-13.
+//
+// Usage:
+//
+//	scalesim [-backends MPI,MPI-Reg,MPI-Opt,NCCL] [-nodes 1,2,4,...]
+//	         [-steps N] [-cycle ms] [-fusion MB] [-profile]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/collective"
+	"repro/internal/hvprof"
+	"repro/internal/scaling"
+)
+
+func main() {
+	backends := flag.String("backends", "MPI,MPI-Reg,MPI-Opt,NCCL", "comma-separated backends")
+	nodes := flag.String("nodes", "1,2,4,8,16,32,64,128", "comma-separated node counts (4 GPUs each)")
+	steps := flag.Int("steps", 10, "measured training steps per run")
+	cycleMs := flag.Float64("cycle", 10, "HOROVOD_CYCLE_TIME in ms")
+	fusionMB := flag.Int64("fusion", 64, "HOROVOD_FUSION_THRESHOLD in MB")
+	profile := flag.Bool("profile", false, "print the hvprof bucket report per run")
+	timeline := flag.Bool("timeline", false, "render an ASCII timeline of the first two steps")
+	csvOut := flag.String("csv", "", "also write results as CSV to this file")
+	flag.Parse()
+
+	var bs []collective.Backend
+	for _, name := range strings.Split(*backends, ",") {
+		b, err := parseBackend(strings.TrimSpace(name))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		bs = append(bs, b)
+	}
+	var ns []int
+	for _, s := range strings.Split(*nodes, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil || n < 1 {
+			fmt.Fprintf(os.Stderr, "bad node count %q\n", s)
+			os.Exit(2)
+		}
+		ns = append(ns, n)
+	}
+
+	var csvFile *os.File
+	if *csvOut != "" {
+		var err error
+		csvFile, err = os.Create(*csvOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer csvFile.Close()
+		fmt.Fprintln(csvFile, "backend,gpus,images_per_sec,efficiency,step_ms,msgs_per_step,reg_hit_rate")
+	}
+
+	base := scaling.SingleGPUBaseline(0)
+	fmt.Printf("Simulated Lassen scaling study — EDSR (B=32, F=256, x2), batch 4/GPU\n")
+	fmt.Printf("Single-GPU baseline: %.2f images/sec (paper: 10.3)\n\n", base)
+	fmt.Printf("%-8s %6s %12s %8s %10s %10s %8s\n",
+		"Backend", "GPUs", "img/s", "eff %", "step ms", "msgs/step", "reg-hit%")
+	for _, b := range bs {
+		for _, n := range ns {
+			opt := scaling.Options{
+				Nodes:                n,
+				Backend:              b,
+				Steps:                *steps,
+				CycleTimeSec:         *cycleMs / 1000,
+				FusionThresholdBytes: *fusionMB << 20,
+			}
+			var prof *hvprof.Profiler
+			if *profile {
+				prof = hvprof.New()
+				opt.Prof = prof
+			}
+			var tl *hvprof.Timeline
+			if *timeline {
+				tl = hvprof.NewTimeline()
+				opt.Trace = tl
+			}
+			r := scaling.Run(opt)
+			fmt.Printf("%-8s %6d %12.1f %8.1f %10.1f %10.1f %8.1f\n",
+				b, r.GPUs, r.ImagesPerSec, 100*scaling.Efficiency(r, base),
+				r.StepSec*1000, float64(r.Messages)/float64(*steps),
+				100*r.RegCacheHitRate())
+			if csvFile != nil {
+				fmt.Fprintf(csvFile, "%s,%d,%.3f,%.4f,%.3f,%.2f,%.4f\n",
+					b, r.GPUs, r.ImagesPerSec, scaling.Efficiency(r, base),
+					r.StepSec*1000, float64(r.Messages)/float64(*steps), r.RegCacheHitRate())
+			}
+			if prof != nil {
+				fmt.Println(prof.Report().String())
+			}
+			if tl != nil {
+				fmt.Println(tl.Render(0, 2.2*r.StepSec, 100))
+			}
+		}
+		fmt.Println()
+	}
+}
+
+func parseBackend(name string) (collective.Backend, error) {
+	switch strings.ToUpper(name) {
+	case "MPI":
+		return collective.BackendMPI, nil
+	case "MPI-REG", "MPIREG":
+		return collective.BackendMPIReg, nil
+	case "MPI-OPT", "MPIOPT":
+		return collective.BackendMPIOpt, nil
+	case "NCCL":
+		return collective.BackendNCCL, nil
+	default:
+		return 0, fmt.Errorf("unknown backend %q (want MPI, MPI-Reg, MPI-Opt, or NCCL)", name)
+	}
+}

@@ -1,0 +1,101 @@
+// Distributed: real data-parallel EDSR training across in-process MPI
+// ranks, following the paper's Section III-A recipe step by step —
+// broadcast initial parameters, shard the dataset, wrap the optimizer in
+// a Horovod-style DistributedOptimizer, and scale the learning rate. The
+// example verifies that all replicas stay bit-identical after training
+// (the invariant synchronous data parallelism must maintain).
+package main
+
+import (
+	"fmt"
+	"os"
+	"sync"
+
+	"repro/internal/data"
+	"repro/internal/horovod"
+	"repro/internal/models"
+	"repro/internal/mpi"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+func main() {
+	const worldSize = 4
+	const steps = 20
+
+	world := mpi.NewWorld(worldSize)
+	var mu sync.Mutex
+	finalParams := make([][]float32, worldSize)
+	losses := make([]float64, worldSize)
+
+	world.Run(func(comm *mpi.Comm) {
+		// 1. One process per (virtual) GPU; identical model structure on
+		//    every rank, deliberately different initial weights to prove
+		//    the broadcast works.
+		rng := tensor.NewRNG(uint64(comm.Rank()) + 1)
+		model := models.NewEDSR(models.EDSRConfig{
+			NumBlocks: 2, NumFeats: 8, Scale: 2, ResScale: 0.1, Colors: 3,
+		}, rng)
+
+		// 2. Broadcast rank 0's parameters so all replicas start equal.
+		horovod.BroadcastParameters(comm, model.Params(), 0)
+
+		// 3. Wrap the optimizer; the engine fuses and averages gradients.
+		engine := horovod.NewEngine(comm, horovod.DefaultConfig())
+		opt := nn.NewAdam(model.Params(), 1e-3)
+		dopt := horovod.NewDistributedOptimizer(opt, engine)
+		engine.Start()
+		defer engine.Shutdown()
+
+		// 4. Scale the learning rate by the world size.
+		horovod.ScaleLR(opt, comm.Size())
+
+		// Shard the dataset: rank r trains on images ≡ r (mod worldSize).
+		ds := data.NewDataset(data.SyntheticConfig{
+			Images: 32, Height: 32, Width: 32, Channels: 3, Seed: 9,
+		})
+		loader, err := data.NewLoader(ds, data.LoaderConfig{
+			BatchSize: 2, PatchSize: 8, Scale: 2,
+			Rank: comm.Rank(), WorldSize: comm.Size(), Seed: 11,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+
+		var last float64
+		for step := 0; step < steps; step++ {
+			batch := loader.Next()
+			dopt.ZeroGrad()
+			pred := model.Forward(batch.LR)
+			loss, grad := nn.L1Loss{}.Forward(pred, batch.HR)
+			model.Backward(grad)
+			dopt.Step() // allreduce + update
+			last = loss
+			if comm.Rank() == 0 && (step+1)%5 == 0 {
+				fmt.Printf("step %2d  rank0 shard loss %.4f\n", step+1, loss)
+			}
+		}
+
+		var flat []float32
+		for _, p := range model.Params() {
+			flat = append(flat, p.Value.Data()...)
+		}
+		mu.Lock()
+		finalParams[comm.Rank()] = flat
+		losses[comm.Rank()] = last
+		mu.Unlock()
+	})
+
+	// Verify the replicas never diverged.
+	for r := 1; r < worldSize; r++ {
+		for i := range finalParams[0] {
+			if finalParams[r][i] != finalParams[0][i] {
+				fmt.Printf("FAIL: rank %d diverged from rank 0 at parameter %d\n", r, i)
+				os.Exit(1)
+			}
+		}
+	}
+	fmt.Printf("\nall %d replicas remained bit-identical after %d synchronized steps\n", worldSize, steps)
+	fmt.Printf("per-rank final shard losses: %v\n", losses)
+}

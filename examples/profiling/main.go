@@ -1,0 +1,60 @@
+// Profiling: attach the hvprof profiler to real in-process MPI collectives
+// — the paper's Section III-B workflow in miniature. The example runs a
+// few real fused allreduces of different sizes through the Horovod engine
+// and prints the resulting message-size bucket report, then shows the
+// Table I-style comparison between two simulated tunings.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/horovod"
+	"repro/internal/hvprof"
+	"repro/internal/mpi"
+)
+
+func main() {
+	// Part 1 — profile REAL collectives: 4 ranks run fused allreduces on
+	// real float32 buffers; every MPI call lands in the profiler.
+	prof := hvprof.New()
+	world := mpi.NewWorld(4)
+	world.Run(func(comm *mpi.Comm) {
+		comm.Profiler = prof
+		engine := horovod.NewEngine(comm, horovod.Config{
+			FusionThresholdBytes: 1 << 20, // 1 MB fusion buffer
+			Average:              true,
+			Algo:                 mpi.AlgoRing,
+		})
+		// A mix of small and large gradients, like a real model.
+		sizes := []int{256, 4096, 65536, 300_000}
+		ids := make([]int, len(sizes))
+		for i, n := range sizes {
+			buf := make([]float32, n)
+			for j := range buf {
+				buf[j] = float32(comm.Rank())
+			}
+			ids[i] = engine.Register(fmt.Sprintf("grad%d", i), buf)
+		}
+		engine.Start()
+		for step := 0; step < 3; step++ {
+			waits := make([]<-chan struct{}, len(ids))
+			for i := len(ids) - 1; i >= 0; i-- {
+				waits[i] = engine.Submit(ids[i])
+			}
+			for _, w := range waits {
+				<-w
+			}
+		}
+		engine.Shutdown()
+	})
+	fmt.Println("hvprof report for REAL in-process MPI traffic (4 ranks, 3 steps):")
+	fmt.Println(prof.Report().String())
+
+	// Part 2 — the paper's diagnostic payoff: the same profiler applied
+	// to the simulated cluster exposes where default MPI loses time.
+	fmt.Println("Table I-style comparison on the simulated cluster (default vs MPI-Opt):")
+	rows := core.CompareTunings(core.DefaultTuning(), core.OptimizedTuning(), 1, 25)
+	fmt.Println(hvprof.FormatCompare(rows, "MPI_Allreduce"))
+	fmt.Println("(the ≥16 MB buckets improve ~50% once CUDA IPC is restored — the paper's key result)")
+}

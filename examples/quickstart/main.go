@@ -1,0 +1,35 @@
+// Quickstart: train a tiny EDSR super-resolution network for real on the
+// CPU, then compare its PSNR against classical bicubic upsampling on
+// held-out images — the library's 60-second tour.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/trainer"
+)
+
+func main() {
+	cfg := trainer.DefaultConfig() // tiny EDSR, synthetic DIV2K-like data
+	cfg.Steps = 200
+	cfg.LR = 2e-3
+	cfg.LogEvery = 40
+	cfg.Log = os.Stdout
+
+	fmt.Printf("Training EDSR (B=%d, F=%d, x%d) for %d steps on synthetic data...\n",
+		cfg.Model.NumBlocks, cfg.Model.NumFeats, cfg.Model.Scale, cfg.Steps)
+	model, stats, err := trainer.TrainSingle(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("trained: final L1 loss %.4f at %.1f images/sec\n\n", stats.FinalLoss, stats.ImagesPerSec)
+
+	psnrModel, psnrBicubic := trainer.Evaluate(model, cfg, 4)
+	fmt.Printf("held-out PSNR — EDSR: %.2f dB, bicubic: %.2f dB (Δ %+.2f dB)\n",
+		psnrModel, psnrBicubic, psnrModel-psnrBicubic)
+	if psnrModel > psnrBicubic {
+		fmt.Println("the trained network beats the classical baseline (the paper's Fig. 4 in miniature)")
+	}
+}

@@ -1,0 +1,54 @@
+// Scalingstudy: reproduce the paper's headline experiment — EDSR training
+// scaled to 512 simulated V100 GPUs under the four communication
+// configurations (default MPI, MPI-Reg, MPI-Opt, NCCL) — and report
+// throughput, scaling efficiency, and the optimized speedup.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/scaling"
+)
+
+func main() {
+	nodeCounts := []int{1, 4, 16, 64, 128} // 4 → 512 GPUs
+	steps := 6
+
+	tunings := []core.MPITuning{
+		core.DefaultTuning(), // MPI: CUDA_VISIBLE_DEVICES pinned, IPC lost
+		{Visibility: cluster.VisibilityPinned, RegistrationCache: true}, // MPI-Reg
+		core.OptimizedTuning(), // MPI-Opt: MV2_VISIBLE_DEVICES split + cache
+		{UseNCCL: true},        // NCCL
+	}
+
+	fmt.Println("Simulated Lassen: EDSR (B=32, F=256, x2), batch 4/GPU, 4 GPUs/node")
+	fmt.Printf("single-GPU baseline: %.1f img/s (paper: 10.3)\n\n", scaling.SingleGPUBaseline(0))
+
+	curves := make([][]core.ScalingPoint, len(tunings))
+	for i, t := range tunings {
+		curves[i] = core.ScalingStudy(t, nodeCounts, steps)
+	}
+
+	fmt.Printf("%-8s", "GPUs")
+	for _, t := range tunings {
+		fmt.Printf(" %16s", t)
+	}
+	fmt.Println()
+	for row := range curves[0] {
+		fmt.Printf("%-8d", curves[0][row].GPUs)
+		for i := range tunings {
+			p := curves[i][row]
+			fmt.Printf(" %8.0f (%3.0f%%)", p.ImagesPerSec, 100*p.Efficiency)
+		}
+		fmt.Println()
+	}
+
+	last := len(nodeCounts) - 1
+	def, opt := curves[0][last], curves[2][last]
+	fmt.Printf("\nat %d GPUs: MPI-Opt %.0f img/s vs MPI %.0f img/s → %.2fx speedup (paper: 1.26x)\n",
+		def.GPUs, opt.ImagesPerSec, def.ImagesPerSec, opt.ImagesPerSec/def.ImagesPerSec)
+	fmt.Printf("efficiency: %.1f%% vs %.1f%% → +%.1f points (paper: +15.6)\n",
+		100*opt.Efficiency, 100*def.Efficiency, 100*(opt.Efficiency-def.Efficiency))
+}

@@ -1,0 +1,230 @@
+// Package cluster models the Lassen supercomputer the paper measured on:
+// nodes of four 16 GB Volta V100 GPUs joined by NVLink, IBM Power9 hosts,
+// and an EDR InfiniBand fabric. It exposes the transfer paths whose
+// availability the paper's optimization controls:
+//
+//   - CUDA IPC peer transfers over NVLink (fast intra-node path),
+//   - host-staged copies through CPU memory (the fallback MPI is forced
+//     into when CUDA_VISIBLE_DEVICES hides peer GPUs),
+//   - GPU-direct RDMA over InfiniBand (inter-node), with or without the
+//     registration cache.
+//
+// The visibility rules in visibility.go decide which path a transfer may
+// take — that decision is the entire mechanism behind the paper's MPI vs
+// MPI-Opt gap.
+package cluster
+
+import (
+	"fmt"
+
+	"repro/internal/simnet"
+)
+
+// Config holds the machine parameters. Bandwidths are effective (achieved
+// by MPI-level transfers, not cable line rate); defaults are calibrated in
+// internal/perfmodel against the paper's Table I and scaling figures.
+type Config struct {
+	Nodes       int
+	GPUsPerNode int
+
+	// GPUMemBytes bounds per-GPU allocations (V100: 16 GB).
+	GPUMemBytes int64
+
+	// NVLinkBandwidth is the effective CUDA-IPC peer-copy bandwidth per
+	// GPU (bytes/sec).
+	NVLinkBandwidth float64
+	// NVLinkLatency is the per-transfer setup latency of an IPC copy.
+	NVLinkLatency float64
+
+	// HostStagedBandwidth is the effective bandwidth of a device→host→
+	// device staged copy pipeline (the no-IPC fallback).
+	HostStagedBandwidth float64
+	// HostStagedLatency is the per-transfer setup cost of staging.
+	HostStagedLatency float64
+
+	// IBBandwidth is the effective per-NIC InfiniBand bandwidth with
+	// GPU-direct RDMA working (bytes/sec).
+	IBBandwidth float64
+	// IBStagedBandwidth is the inter-node bandwidth when transfers must
+	// stage through host memory (GDR unavailable — default MPI mode).
+	IBStagedBandwidth float64
+	// IBLatency is the per-message network latency.
+	IBLatency float64
+
+	// IPCMessageThreshold is the message size at which MVAPICH2-GDR's
+	// large-message CUDA-IPC designs engage; below it the pipelined
+	// staging path serves every configuration (hence Table I's ≈0
+	// improvement under 16 MB).
+	IPCMessageThreshold int64
+
+	// RegistrationSecPerByte is the cost of registering (pinning) a buffer
+	// with the InfiniBand HCA on a registration-cache miss.
+	RegistrationSecPerByte float64
+	// RegistrationBaseSec is the fixed per-registration cost.
+	RegistrationBaseSec float64
+}
+
+// DefaultConfig returns the calibrated Lassen-like machine.
+func DefaultConfig(nodes int) Config {
+	return Config{
+		Nodes:       nodes,
+		GPUsPerNode: 4,
+		GPUMemBytes: 16 << 30,
+
+		// Effective large-message MPI bandwidths, calibrated so that a
+		// 4-GPU hierarchical allreduce of EDSR's ~172 MB/step gradient
+		// reproduces Table I: ~39 ms/step with IPC, ~72 ms/step staged.
+		NVLinkBandwidth: 13.0e9,
+		NVLinkLatency:   12e-6,
+
+		HostStagedBandwidth: 6.1e9,
+		HostStagedLatency:   40e-6,
+
+		IBBandwidth:       1.6e9,
+		IBStagedBandwidth: 1.05e9,
+		IBLatency:         4e-6,
+
+		IPCMessageThreshold: 16 << 20,
+
+		RegistrationSecPerByte: 0.12e-9, // ~0.1 s/GB page pinning
+		RegistrationBaseSec:    25e-6,
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.Nodes < 1 || c.GPUsPerNode < 1 {
+		return fmt.Errorf("cluster: need at least one node and one GPU, got %d/%d", c.Nodes, c.GPUsPerNode)
+	}
+	if c.NVLinkBandwidth <= 0 || c.HostStagedBandwidth <= 0 || c.IBBandwidth <= 0 || c.IBStagedBandwidth <= 0 {
+		return fmt.Errorf("cluster: bandwidths must be positive")
+	}
+	return nil
+}
+
+// GPU is one simulated device.
+type GPU struct {
+	Node      int
+	Local     int // index within the node
+	Global    int // global rank-order index
+	allocated int64
+
+	// port serializes this GPU's outbound copies (one copy engine).
+	port *simnet.Resource
+}
+
+// Node is one host with its GPUs and NIC.
+type Node struct {
+	Index int
+	GPUs  []*GPU
+	// NIC serializes this node's InfiniBand sends.
+	NIC *simnet.Resource
+	// HostStage serializes staged copies through host memory.
+	HostStage *simnet.Resource
+}
+
+// Cluster is the simulated machine.
+type Cluster struct {
+	Cfg   Config
+	Sim   *simnet.Sim
+	nodes []*Node
+	gpus  []*GPU
+
+	// RegCache is the per-node InfiniBand registration cache (nil when
+	// the cache is disabled, the paper's default MPI and the historical
+	// TensorFlow-conflict configuration).
+	regCaches []*RegCache
+}
+
+// New builds a cluster on the given simulation.
+func New(sim *simnet.Sim, cfg Config) *Cluster {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	c := &Cluster{Cfg: cfg, Sim: sim}
+	for n := 0; n < cfg.Nodes; n++ {
+		node := &Node{
+			Index:     n,
+			NIC:       sim.NewResource(fmt.Sprintf("node%d.nic", n), 1),
+			HostStage: sim.NewResource(fmt.Sprintf("node%d.host", n), 1),
+		}
+		for g := 0; g < cfg.GPUsPerNode; g++ {
+			gpu := &GPU{
+				Node:   n,
+				Local:  g,
+				Global: n*cfg.GPUsPerNode + g,
+				port:   sim.NewResource(fmt.Sprintf("node%d.gpu%d.port", n, g), 1),
+			}
+			node.GPUs = append(node.GPUs, gpu)
+			c.gpus = append(c.gpus, gpu)
+		}
+		c.nodes = append(c.nodes, node)
+	}
+	c.regCaches = make([]*RegCache, cfg.Nodes)
+	return c
+}
+
+// NumGPUs returns the total device count.
+func (c *Cluster) NumGPUs() int { return len(c.gpus) }
+
+// GPU returns the device with the given global index.
+func (c *Cluster) GPU(global int) *GPU {
+	if global < 0 || global >= len(c.gpus) {
+		panic(fmt.Sprintf("cluster: GPU %d out of range [0,%d)", global, len(c.gpus)))
+	}
+	return c.gpus[global]
+}
+
+// Node returns node n.
+func (c *Cluster) Node(n int) *Node {
+	if n < 0 || n >= len(c.nodes) {
+		panic(fmt.Sprintf("cluster: node %d out of range [0,%d)", n, len(c.nodes)))
+	}
+	return c.nodes[n]
+}
+
+// EnableRegCache installs a registration cache with the given capacity
+// (entries) on every node.
+func (c *Cluster) EnableRegCache(entries int) {
+	for n := range c.regCaches {
+		c.regCaches[n] = NewRegCache(entries)
+	}
+}
+
+// RegCacheStats aggregates hit/miss counters across nodes; zero values if
+// the cache is disabled.
+func (c *Cluster) RegCacheStats() (hits, misses int64) {
+	for _, rc := range c.regCaches {
+		if rc != nil {
+			h, m := rc.Stats()
+			hits += h
+			misses += m
+		}
+	}
+	return hits, misses
+}
+
+// Alloc reserves GPU memory, failing when the device is exhausted — the
+// "overhead kernel" failure mode from the paper's Fig. 6.
+func (g *GPU) Alloc(bytes int64, limit int64) error {
+	if g.allocated+bytes > limit {
+		return fmt.Errorf("cluster: GPU %d OOM: %d + %d > %d", g.Global, g.allocated, bytes, limit)
+	}
+	g.allocated += bytes
+	return nil
+}
+
+// Free releases GPU memory.
+func (g *GPU) Free(bytes int64) {
+	g.allocated -= bytes
+	if g.allocated < 0 {
+		g.allocated = 0
+	}
+}
+
+// Allocated returns the currently reserved bytes.
+func (g *GPU) Allocated() int64 { return g.allocated }
+
+// Port returns the GPU's copy-engine resource; transfers originating at
+// this device serialize on it.
+func (g *GPU) Port() *simnet.Resource { return g.port }

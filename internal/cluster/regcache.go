@@ -1,0 +1,73 @@
+package cluster
+
+// RegCache models MVAPICH2's InfiniBand registration (pin-down) cache.
+// Registering memory with the HCA is expensive — the kernel must pin the
+// pages and the HCA must build address-translation entries — so MPI caches
+// registrations keyed by buffer identity and reuses them when the same
+// communication buffer appears again (Liu, Wu & Panda 2004, the paper's
+// [22]). Horovod's fusion buffer is reused every cycle, making it an ideal
+// cache client; the paper measured a 93% hit rate and ~5.1% throughput
+// gain (Fig. 11).
+//
+// The cache is LRU with a bounded entry count, mirroring the pin-down
+// cache's bounded pinned-page budget.
+type RegCache struct {
+	capacity int
+	order    []uint64 // LRU order, most recent last
+	entries  map[uint64]bool
+	hits     int64
+	misses   int64
+}
+
+// NewRegCache creates a cache holding up to capacity registrations.
+func NewRegCache(capacity int) *RegCache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &RegCache{capacity: capacity, entries: map[uint64]bool{}}
+}
+
+// Lookup records a use of buffer key and reports whether its registration
+// was cached. On a miss the key is inserted (registered), evicting the
+// least-recently-used entry if full.
+func (rc *RegCache) Lookup(key uint64) bool {
+	if rc.entries[key] {
+		rc.hits++
+		rc.touch(key)
+		return true
+	}
+	rc.misses++
+	if len(rc.order) >= rc.capacity {
+		oldest := rc.order[0]
+		rc.order = rc.order[1:]
+		delete(rc.entries, oldest)
+	}
+	rc.entries[key] = true
+	rc.order = append(rc.order, key)
+	return false
+}
+
+func (rc *RegCache) touch(key uint64) {
+	for i, k := range rc.order {
+		if k == key {
+			rc.order = append(rc.order[:i], rc.order[i+1:]...)
+			rc.order = append(rc.order, key)
+			return
+		}
+	}
+}
+
+// Stats returns cumulative hits and misses.
+func (rc *RegCache) Stats() (hits, misses int64) { return rc.hits, rc.misses }
+
+// HitRate returns hits/(hits+misses), or 0 with no lookups.
+func (rc *RegCache) HitRate() float64 {
+	total := rc.hits + rc.misses
+	if total == 0 {
+		return 0
+	}
+	return float64(rc.hits) / float64(total)
+}
+
+// Len returns the number of cached registrations.
+func (rc *RegCache) Len() int { return len(rc.entries) }

@@ -1,0 +1,127 @@
+package cluster
+
+import (
+	"fmt"
+
+	"repro/internal/simnet"
+)
+
+// Path selects the physical route of a GPU-to-GPU transfer.
+type Path int
+
+// Transfer paths.
+const (
+	// PathIPC is a CUDA-IPC peer copy over NVLink (intra-node, fast).
+	PathIPC Path = iota
+	// PathHostStaged is a device→host→device staged pipeline (intra-node
+	// fallback when IPC is unavailable).
+	PathHostStaged
+	// PathGDR is GPU-direct RDMA over InfiniBand (inter-node, fast).
+	PathGDR
+	// PathIBStaged is inter-node transfer staged through host memory
+	// (when GDR/IPC designs are disabled — the paper's "MPI must default
+	// to main memory for all GPU transfers").
+	PathIBStaged
+)
+
+// String names the path.
+func (p Path) String() string {
+	switch p {
+	case PathIPC:
+		return "cuda-ipc"
+	case PathHostStaged:
+		return "host-staged"
+	case PathGDR:
+		return "gdr"
+	case PathIBStaged:
+		return "ib-staged"
+	default:
+		return fmt.Sprintf("path(%d)", int(p))
+	}
+}
+
+// IntraDuration returns the modeled duration of an intra-node transfer of
+// the given size along path (PathIPC or PathHostStaged).
+func (c *Cluster) IntraDuration(bytes int64, path Path) float64 {
+	switch path {
+	case PathIPC:
+		return c.Cfg.NVLinkLatency + float64(bytes)/c.Cfg.NVLinkBandwidth
+	case PathHostStaged:
+		return c.Cfg.HostStagedLatency + float64(bytes)/c.Cfg.HostStagedBandwidth
+	default:
+		panic("cluster: IntraDuration wants an intra-node path, got " + path.String())
+	}
+}
+
+// InterDuration returns the modeled duration of one inter-node message of
+// the given size along path (PathGDR or PathIBStaged), excluding
+// registration.
+func (c *Cluster) InterDuration(bytes int64, path Path) float64 {
+	switch path {
+	case PathGDR:
+		return c.Cfg.IBLatency + float64(bytes)/c.Cfg.IBBandwidth
+	case PathIBStaged:
+		return c.Cfg.IBLatency + float64(bytes)/c.Cfg.IBStagedBandwidth
+	default:
+		panic("cluster: InterDuration wants an inter-node path, got " + path.String())
+	}
+}
+
+// IntraTransfer performs an intra-node copy from gpu, occupying its copy
+// port for the transfer's duration.
+func (c *Cluster) IntraTransfer(p *simnet.Proc, from *GPU, bytes int64, path Path) {
+	from.port.Use(p, c.IntraDuration(bytes, path))
+}
+
+// RegistrationTime returns the cost of registering a buffer of the given
+// size with the HCA.
+func (c *Cluster) RegistrationTime(bytes int64) float64 {
+	return c.Cfg.RegistrationBaseSec + float64(bytes)*c.Cfg.RegistrationSecPerByte
+}
+
+// InterRing performs a leader's share of an inter-node ring collective:
+// moving vol bytes through this node's NIC across the given number of
+// pipelined ring steps. Registration of the communication buffer (regKey)
+// is paid once, per the cache policy.
+func (c *Cluster) InterRing(p *simnet.Proc, node int, vol int64, steps int, path Path, regKey uint64) {
+	reg := c.registrationCost(node, vol, regKey)
+	dur := reg + float64(steps)*c.Cfg.IBLatency + float64(vol)/c.interBandwidth(path)
+	c.Node(node).NIC.Use(p, dur)
+}
+
+// InterRingEdge performs one rank's ring edge that crosses nodes (the NCCL
+// flat-ring case): vol bytes through the NIC plus the ring's pipeline
+// latency.
+func (c *Cluster) InterRingEdge(p *simnet.Proc, node int, vol int64, pipelineLatency float64, path Path, regKey uint64) {
+	reg := c.registrationCost(node, vol, regKey)
+	dur := reg + pipelineLatency + float64(vol)/c.interBandwidth(path)
+	c.Node(node).NIC.Use(p, dur)
+}
+
+func (c *Cluster) interBandwidth(path Path) float64 {
+	if path == PathGDR {
+		return c.Cfg.IBBandwidth
+	}
+	return c.Cfg.IBStagedBandwidth
+}
+
+// registrationCost returns the registration time owed for using a buffer,
+// consulting the node's cache when one is installed.
+func (c *Cluster) registrationCost(node int, bytes int64, regKey uint64) float64 {
+	if rc := c.regCaches[node]; rc != nil {
+		if rc.Lookup(regKey) {
+			return 0
+		}
+	}
+	return c.RegistrationTime(bytes)
+}
+
+// InterSend performs one inter-node message from a node's NIC. regKey
+// identifies the communication buffer for the registration cache: with a
+// cache installed, a repeated key skips registration (a hit); without a
+// cache every send pays the registration cost — the contrast behind the
+// paper's Fig. 11.
+func (c *Cluster) InterSend(p *simnet.Proc, node int, bytes int64, path Path, regKey uint64) {
+	reg := c.registrationCost(node, bytes, regKey)
+	c.Node(node).NIC.Use(p, reg+c.InterDuration(bytes, path))
+}

@@ -1,0 +1,116 @@
+package cluster
+
+import "fmt"
+
+// VisibilityMode models how the training processes map onto GPUs — the
+// heart of the paper's Section III-C.
+//
+// Python DL frameworks allocate "overhead kernels" on every GPU they can
+// see, so operators pin CUDA_VISIBLE_DEVICES to one device per process.
+// But MPI inherits that restriction: with only one device visible, the
+// CUDA IPC handshake (cuIpcGetMemHandle / cuIpcOpenMemHandle) cannot map a
+// peer's buffer, and MPI falls back to staging every intra-node transfer
+// through host memory. The paper's fix, MV2_VISIBLE_DEVICES, gives the
+// MPI layer its own visibility set so the framework stays pinned while
+// MPI keeps IPC.
+type VisibilityMode int
+
+// Visibility configurations from the paper's Figs. 6 and 7.
+const (
+	// VisibilityAll: nothing restricted. Frameworks spray overhead
+	// kernels on all GPUs (Fig. 6a) but IPC works.
+	VisibilityAll VisibilityMode = iota
+	// VisibilityPinned: CUDA_VISIBLE_DEVICES = local rank (Fig. 6b).
+	// Framework memory is contained but MPI loses CUDA IPC.
+	VisibilityPinned
+	// VisibilitySplit: CUDA_VISIBLE_DEVICES pins the framework while
+	// MV2_VISIBLE_DEVICES exposes all local GPUs to MPI (Fig. 7) — the
+	// paper's proposed configuration.
+	VisibilitySplit
+)
+
+// String names the mode.
+func (v VisibilityMode) String() string {
+	switch v {
+	case VisibilityAll:
+		return "all-visible"
+	case VisibilityPinned:
+		return "cuda-visible-pinned"
+	case VisibilitySplit:
+		return "mv2-visible-split"
+	default:
+		return fmt.Sprintf("visibility(%d)", int(v))
+	}
+}
+
+// ProcessMap describes one training process's device visibility.
+type ProcessMap struct {
+	// FrameworkDevices are the local GPU indices the DL framework can
+	// allocate on.
+	FrameworkDevices []int
+	// MPIDevices are the local GPU indices the MPI layer can see for IPC.
+	MPIDevices []int
+}
+
+// MapProcesses returns the per-local-rank visibility for a node with g
+// GPUs under the given mode (one process per GPU, the standard mapping).
+func MapProcesses(mode VisibilityMode, g int) []ProcessMap {
+	all := make([]int, g)
+	for i := range all {
+		all[i] = i
+	}
+	maps := make([]ProcessMap, g)
+	for r := 0; r < g; r++ {
+		switch mode {
+		case VisibilityAll:
+			maps[r] = ProcessMap{FrameworkDevices: all, MPIDevices: all}
+		case VisibilityPinned:
+			maps[r] = ProcessMap{FrameworkDevices: []int{r}, MPIDevices: []int{r}}
+		case VisibilitySplit:
+			maps[r] = ProcessMap{FrameworkDevices: []int{r}, MPIDevices: all}
+		}
+	}
+	return maps
+}
+
+// IPCAvailable reports whether the MPI layer can open an IPC handle
+// between two local devices: both must be in the process's MPI visibility
+// set (CUDA ≥ 10.1 semantics — the devices need not be visible to the
+// *framework*, which is exactly what MV2_VISIBLE_DEVICES exploits).
+func (pm ProcessMap) IPCAvailable(localSrc, localDst int) bool {
+	return containsInt(pm.MPIDevices, localSrc) && containsInt(pm.MPIDevices, localDst)
+}
+
+func containsInt(s []int, v int) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+// OverheadKernelBytes is the per-process CUDA context + framework scratch
+// footprint left on every visible device (the "OK" boxes in Fig. 6a).
+// ~500 MB matches a CUDA context plus a typical framework arena.
+const OverheadKernelBytes int64 = 500 << 20
+
+// FrameworkFootprint applies each process's overhead-kernel allocations to
+// the node's GPUs and returns an error if any device overflows — the
+// "restricts the hyperparameter space" failure the paper describes. A
+// process leaves OverheadKernelBytes on every framework-visible device;
+// modelBytes lands only on its own primary device.
+func FrameworkFootprint(node *Node, maps []ProcessMap, modelBytes int64, limit int64) error {
+	for r, pm := range maps {
+		for _, dev := range pm.FrameworkDevices {
+			bytes := OverheadKernelBytes
+			if dev == r {
+				bytes += modelBytes
+			}
+			if err := node.GPUs[dev].Alloc(bytes, limit); err != nil {
+				return fmt.Errorf("process %d overflows device %d: %w", r, dev, err)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,102 @@
+package collective
+
+import "repro/internal/cluster"
+
+// AnalyticAllreduceSeconds returns the closed-form (LogGP-style) cost of
+// one uncontended allreduce of the given size on a cluster with the given
+// configuration — the textbook alpha-beta model of the same algorithms
+// the discrete-event simulation executes.
+//
+// It exists to validate the simulator: with a single collective in flight
+// there is no queueing, so the DES must agree with this formula exactly
+// (TestAnalyticMatchesSimulation enforces agreement to float tolerance).
+// During training the DES additionally captures what the formula cannot —
+// port/NIC contention between overlapping collectives, stragglers, and
+// engine serialization.
+func AnalyticAllreduceSeconds(cfg cluster.Config, backend Backend, bytes int64) float64 {
+	p := cfg.Nodes * cfg.GPUsPerNode
+	if p <= 1 {
+		return 0
+	}
+	if backend == BackendNCCL {
+		return analyticFlatRing(cfg, bytes)
+	}
+	return analyticHierarchical(cfg, backend, bytes)
+}
+
+// intraParams resolves the effective intra-node path for a backend and
+// message size, mirroring Group.intraPath.
+func intraParams(cfg cluster.Config, backend Backend, bytes int64) (bw, lat float64) {
+	ipc := false
+	switch backend {
+	case BackendNCCL:
+		ipc = true
+	case BackendMPIOpt:
+		ipc = bytes >= cfg.IPCMessageThreshold
+	}
+	if ipc {
+		return cfg.NVLinkBandwidth, cfg.NVLinkLatency
+	}
+	return cfg.HostStagedBandwidth, cfg.HostStagedLatency
+}
+
+func analyticHierarchical(cfg cluster.Config, backend Backend, bytes int64) float64 {
+	g := cfg.GPUsPerNode
+	n := cfg.Nodes
+	bw, lat := intraParams(cfg, backend, bytes)
+
+	// Phase 1: the slowest rank is a non-leader moving (g−1)/g + 1/g of
+	// the buffer.
+	var t float64
+	if g > 1 {
+		vol := float64(bytes*int64(g-1)/int64(g) + bytes/int64(g))
+		t += float64(g-1)*lat + vol/bw
+	}
+	// Phase 2: leader ring across nodes, including registration when the
+	// cache is absent (steady state: cached backends have warmed up).
+	if n > 1 {
+		interBW := cfg.IBBandwidth
+		if backend == BackendMPI || backend == BackendMPIReg {
+			interBW = cfg.IBStagedBandwidth
+		}
+		vol := float64(2 * bytes * int64(n-1) / int64(n))
+		t += float64(2*(n-1))*cfg.IBLatency + vol/interBW
+		if !backend.UsesRegCache() {
+			t += cfg.RegistrationBaseSec + float64(2*bytes*int64(n-1)/int64(n))*cfg.RegistrationSecPerByte
+		}
+	}
+	// Phase 3: intra-node broadcast to non-leaders.
+	if g > 1 {
+		t += lat + float64(bytes)/bw
+	}
+	return t
+}
+
+func analyticFlatRing(cfg cluster.Config, bytes int64) float64 {
+	p := cfg.Nodes * cfg.GPUsPerNode
+	vol := float64(2 * bytes * int64(p-1) / int64(p))
+	// The slowest ring edge bounds the pipeline: inter-node if any node
+	// boundary is crossed, NVLink otherwise.
+	bw := cfg.NVLinkBandwidth
+	if cfg.Nodes > 1 {
+		bw = cfg.IBBandwidth
+	}
+	// Pipeline latency uses the Group default chunk latency.
+	const chunkLat = 40e-6
+	return 2*float64(p-1)*chunkLat + vol/bw
+}
+
+// AnalyticEfficiency predicts weak-scaling efficiency from the analytic
+// model assuming zero compute/communication overlap — an upper bound on
+// communication cost and hence a lower bound on efficiency. The simulated
+// efficiency must land between this bound and 1.
+func AnalyticEfficiency(cfg cluster.Config, backend Backend, stepComputeSec float64, messageBytes []int64) float64 {
+	var comm float64
+	for _, m := range messageBytes {
+		comm += AnalyticAllreduceSeconds(cfg, backend, m)
+	}
+	if stepComputeSec <= 0 {
+		return 0
+	}
+	return stepComputeSec / (stepComputeSec + comm)
+}

@@ -1,0 +1,100 @@
+package collective
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/simnet"
+)
+
+// simulateOne runs a single uncontended allreduce through the DES and
+// returns its duration.
+func simulateOne(nodes int, backend Backend, bytes int64) float64 {
+	sim := simnet.New()
+	cl := cluster.New(sim, cluster.DefaultConfig(nodes))
+	g := NewGroup(cl, backend, nil)
+	if backend.UsesRegCache() {
+		// Warm the cache so the analytic steady-state assumption holds.
+		for r := 0; r < cl.NumGPUs(); r++ {
+			r := r
+			sim.Spawn("warm", func(p *simnet.Proc) {
+				g.Allreduce(p, r, bytes, 7)
+			})
+		}
+		sim.RunAll()
+	}
+	var start, end simnet.Time
+	start = sim.Now()
+	for r := 0; r < cl.NumGPUs(); r++ {
+		r := r
+		sim.Spawn("rank", func(p *simnet.Proc) {
+			g.Allreduce(p, r, bytes, 7)
+			end = p.Now()
+		})
+	}
+	sim.RunAll()
+	return end - start
+}
+
+// TestAnalyticMatchesSimulation cross-validates the discrete-event
+// machine against the closed-form cost model: with one collective in
+// flight there is no contention, so they must agree to float tolerance.
+func TestAnalyticMatchesSimulation(t *testing.T) {
+	cfgAt := func(nodes int) cluster.Config { return cluster.DefaultConfig(nodes) }
+	for _, nodes := range []int{1, 2, 8, 32} {
+		for _, backend := range []Backend{BackendMPI, BackendMPIReg, BackendMPIOpt, BackendNCCL} {
+			for _, bytes := range []int64{1 << 20, 24 << 20, 60 << 20} {
+				name := fmt.Sprintf("%v/%dnodes/%dMB", backend, nodes, bytes>>20)
+				got := simulateOne(nodes, backend, bytes)
+				want := AnalyticAllreduceSeconds(cfgAt(nodes), backend, bytes)
+				if math.Abs(got-want) > 1e-9+0.01*want {
+					t.Errorf("%s: DES %.6fs vs analytic %.6fs", name, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestAnalyticSinglePRankFree(t *testing.T) {
+	cfg := cluster.DefaultConfig(1)
+	cfg.GPUsPerNode = 1
+	if AnalyticAllreduceSeconds(cfg, BackendMPI, 64<<20) != 0 {
+		t.Fatal("single rank should be free")
+	}
+}
+
+func TestAnalyticOrderings(t *testing.T) {
+	cfg := cluster.DefaultConfig(32)
+	big := int64(48 << 20)
+	def := AnalyticAllreduceSeconds(cfg, BackendMPI, big)
+	reg := AnalyticAllreduceSeconds(cfg, BackendMPIReg, big)
+	opt := AnalyticAllreduceSeconds(cfg, BackendMPIOpt, big)
+	if !(def > reg && reg > opt) {
+		t.Fatalf("ordering violated: def %g reg %g opt %g", def, reg, opt)
+	}
+	// Small messages: default and optimized share the staging path
+	// intra-node, but inter-node still differs (GDR vs staged).
+	small := int64(1 << 20)
+	one := cluster.DefaultConfig(1)
+	if AnalyticAllreduceSeconds(one, BackendMPI, small) != AnalyticAllreduceSeconds(one, BackendMPIOpt, small) {
+		t.Fatal("small intra-node messages should cost the same in both modes")
+	}
+}
+
+func TestAnalyticEfficiencyBound(t *testing.T) {
+	cfg := cluster.DefaultConfig(128)
+	msgs := []int64{10 << 20, 29 << 20, 61 << 20, 61 << 20}
+	eff := AnalyticEfficiency(cfg, BackendMPI, 0.3885, msgs)
+	if eff <= 0 || eff >= 1 {
+		t.Fatalf("bound %g out of range", eff)
+	}
+	optEff := AnalyticEfficiency(cfg, BackendMPIOpt, 0.3885, msgs)
+	if optEff <= eff {
+		t.Fatal("optimized bound should exceed default bound")
+	}
+	if AnalyticEfficiency(cfg, BackendMPI, 0, msgs) != 0 {
+		t.Fatal("zero compute should give 0")
+	}
+}

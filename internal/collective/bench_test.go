@@ -1,0 +1,50 @@
+package collective
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/simnet"
+)
+
+// BenchmarkSimulatedAllreduce measures wall-clock cost of simulating one
+// allreduce at several scales — the inner loop of the scaling study.
+func BenchmarkSimulatedAllreduce(b *testing.B) {
+	for _, nodes := range []int{1, 32, 128} {
+		for _, backend := range []Backend{BackendMPIOpt, BackendNCCL} {
+			b.Run(fmt.Sprintf("%v/%dGPUs", backend, nodes*4), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					sim := simnet.New()
+					cl := cluster.New(sim, cluster.DefaultConfig(nodes))
+					g := NewGroup(cl, backend, nil)
+					for r := 0; r < cl.NumGPUs(); r++ {
+						r := r
+						sim.Spawn("rank", func(p *simnet.Proc) {
+							g.Allreduce(p, r, 48<<20, 1)
+						})
+					}
+					sim.RunAll()
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkSimulatedNegotiation measures the Horovod coordinator round.
+func BenchmarkSimulatedNegotiation(b *testing.B) {
+	const nodes = 32
+	for i := 0; i < b.N; i++ {
+		sim := simnet.New()
+		cl := cluster.New(sim, cluster.DefaultConfig(nodes))
+		g := NewGroup(cl, BackendMPIOpt, nil)
+		mask := make([]bool, 134)
+		for r := 0; r < cl.NumGPUs(); r++ {
+			r := r
+			sim.Spawn("rank", func(p *simnet.Proc) {
+				g.Negotiate(p, r, mask)
+			})
+		}
+		sim.RunAll()
+	}
+}

@@ -1,0 +1,274 @@
+package collective
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/hvprof"
+	"repro/internal/simnet"
+)
+
+// runAllreduce executes one allreduce of the given size on a fresh
+// simulated cluster and returns the per-rank completion times and the
+// profiler.
+func runAllreduce(nodes int, backend Backend, bytes int64) ([]simnet.Time, *hvprof.Profiler) {
+	sim := simnet.New()
+	cl := cluster.New(sim, cluster.DefaultConfig(nodes))
+	prof := hvprof.New()
+	g := NewGroup(cl, backend, prof)
+	times := make([]simnet.Time, cl.NumGPUs())
+	for r := 0; r < cl.NumGPUs(); r++ {
+		r := r
+		sim.Spawn("rank", func(p *simnet.Proc) {
+			g.Allreduce(p, r, bytes, 7)
+			times[r] = p.Now()
+		})
+	}
+	sim.RunAll()
+	return times, prof
+}
+
+func TestAllreduceAllRanksFinishTogether(t *testing.T) {
+	for _, backend := range []Backend{BackendMPI, BackendMPIOpt, BackendNCCL} {
+		times, _ := runAllreduce(2, backend, 32<<20)
+		for r, tt := range times {
+			if math.Abs(tt-times[0]) > 1e-12 {
+				t.Fatalf("%v rank %d finished at %g, rank 0 at %g", backend, r, tt, times[0])
+			}
+			if tt <= 0 {
+				t.Fatalf("%v rank %d finished at %g", backend, r, tt)
+			}
+		}
+	}
+}
+
+func TestAllreduceRecordsProfile(t *testing.T) {
+	_, prof := runAllreduce(2, BackendMPIOpt, 40<<20)
+	recs := prof.Records()
+	if len(recs) != 1 {
+		t.Fatalf("records: %d", len(recs))
+	}
+	if recs[0].Op != "allreduce" || recs[0].Bytes != 40<<20 || recs[0].Seconds <= 0 {
+		t.Fatalf("bad record %+v", recs[0])
+	}
+}
+
+// TestOptFasterThanDefaultLargeMessages is the paper's core claim in
+// miniature: for ≥16 MB messages the IPC-enabled backend must beat the
+// host-staged default by roughly 2x.
+func TestOptFasterThanDefaultLargeMessages(t *testing.T) {
+	big := int64(48 << 20)
+	defTimes, _ := runAllreduce(1, BackendMPI, big)
+	optTimes, _ := runAllreduce(1, BackendMPIOpt, big)
+	ratio := defTimes[0] / optTimes[0]
+	if ratio < 1.6 || ratio > 3.0 {
+		t.Fatalf("intra-node default/opt ratio %g, want ~2 (Table I)", ratio)
+	}
+}
+
+// TestSmallMessagesSamePath: below the IPC threshold both configurations
+// take the pipelined staging path, so times must be identical (Table I's
+// ≈0 rows).
+func TestSmallMessagesSamePath(t *testing.T) {
+	small := int64(4 << 20)
+	defTimes, _ := runAllreduce(1, BackendMPI, small)
+	optTimes, _ := runAllreduce(1, BackendMPIOpt, small)
+	if math.Abs(defTimes[0]-optTimes[0]) > 1e-12 {
+		t.Fatalf("small-message times differ: %g vs %g", defTimes[0], optTimes[0])
+	}
+}
+
+func TestMultiNodeSlowerThanSingleNode(t *testing.T) {
+	intra, _ := runAllreduce(1, BackendMPIOpt, 32<<20)
+	inter, _ := runAllreduce(4, BackendMPIOpt, 32<<20)
+	if inter[0] <= intra[0] {
+		t.Fatalf("multi-node allreduce (%g) should cost more than single-node (%g)", inter[0], intra[0])
+	}
+}
+
+func TestNCCLDegradesWithScale(t *testing.T) {
+	// The flat ring's pipeline latency grows with rank count; the
+	// hierarchical design's does not (ring only over node leaders).
+	ncclSmall, _ := runAllreduce(2, BackendNCCL, 16<<20)
+	ncclBig, _ := runAllreduce(64, BackendNCCL, 16<<20)
+	if ncclBig[0] <= ncclSmall[0] {
+		t.Fatalf("NCCL at 256 ranks (%g) should be slower than at 8 (%g)", ncclBig[0], ncclSmall[0])
+	}
+	growth := ncclBig[0] - ncclSmall[0]
+	hierSmall, _ := runAllreduce(2, BackendMPIOpt, 16<<20)
+	hierBig, _ := runAllreduce(64, BackendMPIOpt, 16<<20)
+	hierGrowth := hierBig[0] - hierSmall[0]
+	if growth <= hierGrowth {
+		t.Fatalf("flat-ring growth (%g) should exceed hierarchical growth (%g)", growth, hierGrowth)
+	}
+}
+
+func TestSingleGPUAllreduceFree(t *testing.T) {
+	sim := simnet.New()
+	cfg := cluster.DefaultConfig(1)
+	cfg.GPUsPerNode = 1
+	cl := cluster.New(sim, cfg)
+	g := NewGroup(cl, BackendMPI, nil)
+	var end simnet.Time
+	sim.Spawn("r", func(p *simnet.Proc) {
+		g.Allreduce(p, 0, 64<<20, 1)
+		end = p.Now()
+	})
+	sim.RunAll()
+	if end != 0 {
+		t.Fatalf("single-rank allreduce should be instantaneous, took %g", end)
+	}
+}
+
+func TestNegotiateIntersectsMasks(t *testing.T) {
+	sim := simnet.New()
+	cl := cluster.New(sim, cluster.DefaultConfig(1))
+	g := NewGroup(cl, BackendMPIOpt, nil)
+	results := make([][]bool, 4)
+	for r := 0; r < 4; r++ {
+		r := r
+		sim.Spawn("rank", func(p *simnet.Proc) {
+			// Tensor 0 ready everywhere; tensor 1 missing on rank 2;
+			// tensor 2 ready nowhere.
+			mask := []bool{true, r != 2, false}
+			results[r] = g.Negotiate(p, r, mask)
+		})
+	}
+	sim.RunAll()
+	for r, got := range results {
+		if !got[0] || got[1] || got[2] {
+			t.Fatalf("rank %d negotiated %v, want [true false false]", r, got)
+		}
+	}
+}
+
+func TestNegotiateTakesTime(t *testing.T) {
+	sim := simnet.New()
+	cl := cluster.New(sim, cluster.DefaultConfig(2))
+	g := NewGroup(cl, BackendMPIOpt, nil)
+	var end simnet.Time
+	for r := 0; r < 8; r++ {
+		r := r
+		sim.Spawn("rank", func(p *simnet.Proc) {
+			g.Negotiate(p, r, []bool{true})
+			end = p.Now()
+		})
+	}
+	sim.RunAll()
+	if end <= 0 {
+		t.Fatal("negotiation should cost simulated time")
+	}
+}
+
+func TestSequentialCollectivesIndependent(t *testing.T) {
+	// Two allreduces back to back must both complete and be recorded.
+	sim := simnet.New()
+	cl := cluster.New(sim, cluster.DefaultConfig(2))
+	prof := hvprof.New()
+	g := NewGroup(cl, BackendNCCL, prof)
+	for r := 0; r < 8; r++ {
+		r := r
+		sim.Spawn("rank", func(p *simnet.Proc) {
+			g.Allreduce(p, r, 1<<20, 1)
+			g.Allreduce(p, r, 2<<20, 2)
+		})
+	}
+	sim.RunAll()
+	recs := prof.Records()
+	if len(recs) != 2 {
+		t.Fatalf("records %d", len(recs))
+	}
+	if recs[0].Bytes != 1<<20 || recs[1].Bytes != 2<<20 {
+		t.Fatalf("record order/sizes wrong: %+v", recs)
+	}
+}
+
+func TestBackendProperties(t *testing.T) {
+	if BackendMPI.UsesRegCache() || !BackendMPIReg.UsesRegCache() || !BackendMPIOpt.UsesRegCache() {
+		t.Fatal("reg-cache flags wrong")
+	}
+	if BackendMPI.IntraPath() != cluster.PathHostStaged {
+		t.Fatal("default MPI must stage intra-node")
+	}
+	if BackendMPIOpt.IntraPath() != cluster.PathIPC {
+		t.Fatal("MPI-Opt must use IPC")
+	}
+	if BackendMPI.InterPath() != cluster.PathIBStaged || BackendNCCL.InterPath() != cluster.PathGDR {
+		t.Fatal("inter paths wrong")
+	}
+	for _, b := range []Backend{BackendMPI, BackendMPIReg, BackendMPIOpt, BackendNCCL, Backend(42)} {
+		if b.String() == "" {
+			t.Fatal("empty backend name")
+		}
+	}
+}
+
+func TestBcastCompletes(t *testing.T) {
+	for _, nodes := range []int{1, 4} {
+		for _, backend := range []Backend{BackendMPI, BackendMPIOpt} {
+			sim := simnet.New()
+			cl := cluster.New(sim, cluster.DefaultConfig(nodes))
+			prof := hvprof.New()
+			g := NewGroup(cl, backend, prof)
+			times := make([]simnet.Time, cl.NumGPUs())
+			for r := 0; r < cl.NumGPUs(); r++ {
+				r := r
+				sim.Spawn("rank", func(p *simnet.Proc) {
+					g.Bcast(p, r, 64<<20, 5)
+					times[r] = p.Now()
+				})
+			}
+			sim.RunAll()
+			for r, tt := range times {
+				if tt != times[0] || tt <= 0 {
+					t.Fatalf("nodes=%d %v: rank %d finished at %g (rank0 %g)",
+						nodes, backend, r, tt, times[0])
+				}
+			}
+			recs := prof.Records()
+			if len(recs) != 1 || recs[0].Op != "bcast" {
+				t.Fatalf("bcast record missing: %+v", recs)
+			}
+		}
+	}
+}
+
+func TestBcastMultiNodeSlower(t *testing.T) {
+	run := func(nodes int) simnet.Time {
+		sim := simnet.New()
+		cl := cluster.New(sim, cluster.DefaultConfig(nodes))
+		g := NewGroup(cl, BackendMPIOpt, nil)
+		var end simnet.Time
+		for r := 0; r < cl.NumGPUs(); r++ {
+			r := r
+			sim.Spawn("rank", func(p *simnet.Proc) {
+				g.Bcast(p, r, 64<<20, 5)
+				end = p.Now()
+			})
+		}
+		sim.RunAll()
+		return end
+	}
+	if run(8) <= run(1) {
+		t.Fatal("multi-node bcast should cost more than single-node")
+	}
+}
+
+func TestInstancesReleased(t *testing.T) {
+	sim := simnet.New()
+	cl := cluster.New(sim, cluster.DefaultConfig(1))
+	g := NewGroup(cl, BackendMPIOpt, nil)
+	for r := 0; r < 4; r++ {
+		r := r
+		sim.Spawn("rank", func(p *simnet.Proc) {
+			for i := 0; i < 10; i++ {
+				g.Allreduce(p, r, 1<<20, uint64(i))
+			}
+		})
+	}
+	sim.RunAll()
+	if len(g.instances) != 0 {
+		t.Fatalf("%d instances leaked", len(g.instances))
+	}
+}

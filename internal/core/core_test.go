@@ -1,0 +1,99 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/collective"
+	"repro/internal/models"
+	"repro/internal/trainer"
+)
+
+func TestTuningToBackend(t *testing.T) {
+	cases := []struct {
+		tuning MPITuning
+		want   collective.Backend
+	}{
+		{DefaultTuning(), collective.BackendMPI},
+		{OptimizedTuning(), collective.BackendMPIOpt},
+		{MPITuning{Visibility: cluster.VisibilityPinned, RegistrationCache: true}, collective.BackendMPIReg},
+		{MPITuning{Visibility: cluster.VisibilitySplit}, collective.BackendMPIOpt},
+		{MPITuning{UseNCCL: true}, collective.BackendNCCL},
+	}
+	for _, c := range cases {
+		if got := c.tuning.Backend(); got != c.want {
+			t.Errorf("%+v → %v, want %v", c.tuning, got, c.want)
+		}
+		if c.tuning.String() == "" {
+			t.Error("empty tuning name")
+		}
+	}
+}
+
+func TestTuningValidate(t *testing.T) {
+	if err := OptimizedTuning().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := MPITuning{Visibility: cluster.VisibilityMode(42)}
+	if bad.Validate() == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestDistributeRealTraining(t *testing.T) {
+	cfg := trainer.DefaultConfig()
+	cfg.Model = models.EDSRConfig{NumBlocks: 1, NumFeats: 6, Scale: 2, ResScale: 0.1, Colors: 3}
+	cfg.Data.Images = 8
+	cfg.Data.Height, cfg.Data.Width = 24, 24
+	cfg.Steps = 4
+	cfg.BatchSize = 2
+	cfg.PatchSize = 8
+	st, err := Distribute(cfg, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Steps != 4 || st.FinalLoss <= 0 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestProfileProducesBuckets(t *testing.T) {
+	rep, res := Profile(ProfileOptions{Nodes: 1, Steps: 5, Tuning: DefaultTuning()})
+	if res.ImagesPerSec <= 0 {
+		t.Fatal("no throughput")
+	}
+	if rep.TotalSeconds("allreduce") <= 0 {
+		t.Fatal("no allreduce time recorded")
+	}
+}
+
+func TestCompareTuningsTableIShape(t *testing.T) {
+	rows := CompareTunings(DefaultTuning(), OptimizedTuning(), 1, 15)
+	var total float64
+	for _, r := range rows {
+		if r.Bucket == "Total Time" {
+			total = r.ImprovementPercent
+		}
+	}
+	if total < 30 || total > 65 {
+		t.Fatalf("total improvement %.1f%%, paper's Table I says 45.4%%", total)
+	}
+}
+
+func TestScalingStudyShape(t *testing.T) {
+	def := ScalingStudy(DefaultTuning(), []int{1, 8}, 4)
+	opt := ScalingStudy(OptimizedTuning(), []int{1, 8}, 4)
+	if len(def) != 2 || len(opt) != 2 {
+		t.Fatal("point counts")
+	}
+	if def[1].Efficiency >= def[0].Efficiency {
+		t.Fatal("efficiency must drop with scale")
+	}
+	if opt[1].Efficiency <= def[1].Efficiency {
+		t.Fatalf("optimized (%.2f) must beat default (%.2f) at scale",
+			opt[1].Efficiency, def[1].Efficiency)
+	}
+	if def[0].GPUs != 4 || def[1].GPUs != 32 {
+		t.Fatalf("GPU counts %v", def)
+	}
+}

@@ -1,0 +1,154 @@
+package data
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// BenchmarkSet is a small named evaluation suite in the tradition of
+// Set5 / Set14 / Urban100 — the standard SR test sets the paper's
+// background cites. Each procedural set has distinct image statistics so
+// models are stressed differently:
+//
+//	synthetic5  — the training distribution (gradients + waves + blobs)
+//	textures8   — dense high-frequency texture (hardest for bicubic)
+//	edges6      — piecewise-constant regions with sharp edges
+//	smooth5     — low-frequency only (bicubic's best case)
+type BenchmarkSet struct {
+	Name   string
+	images []*tensor.Tensor
+}
+
+// Len returns the image count.
+func (b *BenchmarkSet) Len() int { return len(b.images) }
+
+// HR returns image i.
+func (b *BenchmarkSet) HR(i int) *tensor.Tensor { return b.images[i] }
+
+// StandardBenchmarks builds the four named sets at the given HR edge
+// (must be divisible by the SR scales in use).
+func StandardBenchmarks(size int, seed uint64) []*BenchmarkSet {
+	return []*BenchmarkSet{
+		syntheticSet("synthetic5", 5, size, seed),
+		textureSet("textures8", 8, size, seed+1),
+		edgeSet("edges6", 6, size, seed+2),
+		smoothSet("smooth5", 5, size, seed+3),
+	}
+}
+
+func syntheticSet(name string, n, size int, seed uint64) *BenchmarkSet {
+	ds := NewDataset(SyntheticConfig{Images: n, Height: size, Width: size, Channels: 3, Seed: seed})
+	set := &BenchmarkSet{Name: name}
+	for i := 0; i < n; i++ {
+		set.images = append(set.images, ds.HR(i))
+	}
+	return set
+}
+
+func textureSet(name string, n, size int, seed uint64) *BenchmarkSet {
+	set := &BenchmarkSet{Name: name}
+	for i := 0; i < n; i++ {
+		rng := tensor.NewRNG(seed*7919 + uint64(i) + 1)
+		img := tensor.New(1, 3, size, size)
+		// Sum of many high-frequency sinusoids, different per channel.
+		type wave struct{ fx, fy, ph, amp float64 }
+		waves := make([]wave, 8)
+		for k := range waves {
+			waves[k] = wave{
+				fx: (6 + rng.Float64()*18) * 2 * math.Pi,
+				fy: (6 + rng.Float64()*18) * 2 * math.Pi,
+				ph: rng.Float64() * 2 * math.Pi,
+				amp: 0.06 + 0.06*rng.Float64(),
+			}
+		}
+		d := img.Data()
+		for ch := 0; ch < 3; ch++ {
+			plane := d[ch*size*size : (ch+1)*size*size]
+			for y := 0; y < size; y++ {
+				fy := float64(y) / float64(size)
+				for x := 0; x < size; x++ {
+					fx := float64(x) / float64(size)
+					v := 0.5
+					for _, w := range waves {
+						v += w.amp * math.Sin(w.fx*fx+w.fy*fy+w.ph+float64(ch))
+					}
+					plane[y*size+x] = clamp01(v)
+				}
+			}
+		}
+		set.images = append(set.images, img)
+	}
+	return set
+}
+
+func edgeSet(name string, n, size int, seed uint64) *BenchmarkSet {
+	set := &BenchmarkSet{Name: name}
+	for i := 0; i < n; i++ {
+		rng := tensor.NewRNG(seed*104729 + uint64(i) + 1)
+		img := tensor.New(1, 3, size, size)
+		img.Fill(0.5)
+		d := img.Data()
+		// Random axis-aligned rectangles with sharp boundaries.
+		for k := 0; k < 7; k++ {
+			x0, y0 := rng.Intn(size), rng.Intn(size)
+			w := rng.Intn(size/2) + 2
+			h := rng.Intn(size/2) + 2
+			val := make([]float32, 3)
+			for c := range val {
+				val[c] = rng.Float32()
+			}
+			for y := y0; y < y0+h && y < size; y++ {
+				for x := x0; x < x0+w && x < size; x++ {
+					for c := 0; c < 3; c++ {
+						d[c*size*size+y*size+x] = val[c]
+					}
+				}
+			}
+		}
+		set.images = append(set.images, img)
+	}
+	return set
+}
+
+func smoothSet(name string, n, size int, seed uint64) *BenchmarkSet {
+	set := &BenchmarkSet{Name: name}
+	for i := 0; i < n; i++ {
+		rng := tensor.NewRNG(seed*7 + uint64(i) + 1)
+		img := tensor.New(1, 3, size, size)
+		d := img.Data()
+		for ch := 0; ch < 3; ch++ {
+			base := 0.3 + 0.4*rng.Float64()
+			gx := 0.3 * (rng.Float64()*2 - 1)
+			gy := 0.3 * (rng.Float64()*2 - 1)
+			fx := (0.5 + rng.Float64()) * 2 * math.Pi
+			plane := d[ch*size*size : (ch+1)*size*size]
+			for y := 0; y < size; y++ {
+				ny := float64(y) / float64(size)
+				for x := 0; x < size; x++ {
+					nx := float64(x) / float64(size)
+					v := base + gx*nx + gy*ny + 0.1*math.Sin(fx*nx)
+					plane[y*size+x] = clamp01(v)
+				}
+			}
+		}
+		set.images = append(set.images, img)
+	}
+	return set
+}
+
+func clamp01(v float64) float32 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return float32(v)
+}
+
+// String describes the set.
+func (b *BenchmarkSet) String() string {
+	return fmt.Sprintf("%s (%d images)", b.Name, len(b.images))
+}

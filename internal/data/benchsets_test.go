@@ -1,0 +1,78 @@
+package data
+
+import (
+	"testing"
+)
+
+func TestStandardBenchmarksShape(t *testing.T) {
+	sets := StandardBenchmarks(32, 1)
+	if len(sets) != 4 {
+		t.Fatalf("sets %d", len(sets))
+	}
+	wantCounts := map[string]int{"synthetic5": 5, "textures8": 8, "edges6": 6, "smooth5": 5}
+	for _, s := range sets {
+		if s.Len() != wantCounts[s.Name] {
+			t.Fatalf("%s has %d images, want %d", s.Name, s.Len(), wantCounts[s.Name])
+		}
+		for i := 0; i < s.Len(); i++ {
+			img := s.HR(i)
+			if img.Dim(2) != 32 || img.Dim(3) != 32 || img.Dim(1) != 3 {
+				t.Fatalf("%s[%d] shape %v", s.Name, i, img.Shape())
+			}
+			if img.Min() < 0 || img.Max() > 1 {
+				t.Fatalf("%s[%d] out of range", s.Name, i)
+			}
+		}
+		if s.String() == "" {
+			t.Fatal("empty description")
+		}
+	}
+}
+
+func TestBenchmarkSetsDeterministic(t *testing.T) {
+	a := StandardBenchmarks(32, 9)
+	b := StandardBenchmarks(32, 9)
+	for si := range a {
+		for i := 0; i < a[si].Len(); i++ {
+			x, y := a[si].HR(i), b[si].HR(i)
+			for j := range x.Data() {
+				if x.Data()[j] != y.Data()[j] {
+					t.Fatalf("%s[%d] not deterministic", a[si].Name, i)
+				}
+			}
+		}
+	}
+}
+
+func TestBenchmarkSetsHaveDistinctStatistics(t *testing.T) {
+	sets := StandardBenchmarks(32, 1)
+	// High-frequency energy proxy: mean |horizontal difference|.
+	hfEnergy := func(s *BenchmarkSet) float64 {
+		var total float64
+		var n int
+		for i := 0; i < s.Len(); i++ {
+			img := s.HR(i)
+			h, w := img.Dim(2), img.Dim(3)
+			d := img.Data()
+			for y := 0; y < h; y++ {
+				for x := 1; x < w; x++ {
+					diff := float64(d[y*w+x] - d[y*w+x-1])
+					if diff < 0 {
+						diff = -diff
+					}
+					total += diff
+					n++
+				}
+			}
+		}
+		return total / float64(n)
+	}
+	byName := map[string]float64{}
+	for _, s := range sets {
+		byName[s.Name] = hfEnergy(s)
+	}
+	if byName["textures8"] <= byName["smooth5"]*2 {
+		t.Fatalf("textures (%g) should be far busier than smooth (%g)",
+			byName["textures8"], byName["smooth5"])
+	}
+}

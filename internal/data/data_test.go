@@ -1,0 +1,232 @@
+package data
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func smallCfg() SyntheticConfig {
+	return SyntheticConfig{Images: 16, Height: 32, Width: 32, Channels: 3, Seed: 7}
+}
+
+func TestDatasetDeterministic(t *testing.T) {
+	a := NewDataset(smallCfg())
+	b := NewDataset(smallCfg())
+	x, y := a.HR(3), b.HR(3)
+	for i := range x.Data() {
+		if x.Data()[i] != y.Data()[i] {
+			t.Fatal("same (seed, index) must give identical images")
+		}
+	}
+}
+
+func TestDatasetImagesDiffer(t *testing.T) {
+	ds := NewDataset(smallCfg())
+	x, y := ds.HR(0), ds.HR(1)
+	same := true
+	for i := range x.Data() {
+		if x.Data()[i] != y.Data()[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different indices should give different images")
+	}
+}
+
+func TestDatasetPixelRange(t *testing.T) {
+	ds := NewDataset(smallCfg())
+	for i := 0; i < 4; i++ {
+		img := ds.HR(i)
+		if img.Min() < 0 || img.Max() > 1 {
+			t.Fatalf("image %d out of [0,1]: [%g, %g]", i, img.Min(), img.Max())
+		}
+		// Images must have actual content, not be flat.
+		if img.Max()-img.Min() < 0.1 {
+			t.Fatalf("image %d nearly flat: range %g", i, img.Max()-img.Min())
+		}
+	}
+}
+
+func TestDatasetIndexOutOfRangePanics(t *testing.T) {
+	ds := NewDataset(smallCfg())
+	for _, idx := range []int{-1, 16} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("index %d: expected panic", idx)
+				}
+			}()
+			ds.HR(idx)
+		}()
+	}
+}
+
+func TestPairShapes(t *testing.T) {
+	ds := NewDataset(smallCfg())
+	lr, hr := ds.Pair(2, 2)
+	if lr.Dim(2) != 16 || lr.Dim(3) != 16 {
+		t.Fatalf("LR shape %v", lr.Shape())
+	}
+	if hr.Dim(2) != 32 || hr.Dim(3) != 32 {
+		t.Fatalf("HR shape %v", hr.Shape())
+	}
+}
+
+func TestLoaderValidation(t *testing.T) {
+	ds := NewDataset(smallCfg())
+	cases := []LoaderConfig{
+		{BatchSize: 0, PatchSize: 8, Scale: 2, WorldSize: 1},
+		{BatchSize: 4, PatchSize: 0, Scale: 2, WorldSize: 1},
+		{BatchSize: 4, PatchSize: 8, Scale: 2, WorldSize: 0},
+		{BatchSize: 4, PatchSize: 8, Scale: 2, Rank: 2, WorldSize: 2},
+		{BatchSize: 4, PatchSize: 99, Scale: 2, WorldSize: 1},   // patch > LR image
+		{BatchSize: 4, PatchSize: 8, Scale: 2, Rank: 0, WorldSize: 100}, // ok: shard nonempty
+	}
+	for i, cfg := range cases[:5] {
+		if _, err := NewLoader(ds, cfg); err == nil {
+			t.Errorf("case %d: expected error for %+v", i, cfg)
+		}
+	}
+	if _, err := NewLoader(ds, cases[5]); err != nil {
+		t.Errorf("rank 0 of 100 on 16 images should still work: %v", err)
+	}
+	// But a rank beyond the dataset size has an empty shard.
+	if _, err := NewLoader(ds, LoaderConfig{BatchSize: 1, PatchSize: 8, Scale: 2, Rank: 17, WorldSize: 100}); err == nil {
+		t.Error("empty shard should error")
+	}
+}
+
+func TestLoaderBatchShapes(t *testing.T) {
+	ds := NewDataset(smallCfg())
+	l, err := NewLoader(ds, LoaderConfig{BatchSize: 4, PatchSize: 8, Scale: 2, WorldSize: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := l.Next()
+	if b.LR.Dim(0) != 4 || b.LR.Dim(1) != 3 || b.LR.Dim(2) != 8 || b.LR.Dim(3) != 8 {
+		t.Fatalf("LR batch %v", b.LR.Shape())
+	}
+	if b.HR.Dim(2) != 16 || b.HR.Dim(3) != 16 {
+		t.Fatalf("HR batch %v", b.HR.Shape())
+	}
+	if len(b.Indices) != 4 {
+		t.Fatalf("indices %v", b.Indices)
+	}
+}
+
+func TestShardingPartition(t *testing.T) {
+	ds := NewDataset(smallCfg())
+	world := 4
+	seen := map[int]int{}
+	total := 0
+	for r := 0; r < world; r++ {
+		l, err := NewLoader(ds, LoaderConfig{BatchSize: 1, PatchSize: 8, Scale: 2, Rank: r, WorldSize: world, Seed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, idx := range l.ShardIndices() {
+			seen[idx]++
+			total++
+		}
+	}
+	if total != ds.Len() {
+		t.Fatalf("shards cover %d images, want %d", total, ds.Len())
+	}
+	for idx, n := range seen {
+		if n != 1 {
+			t.Fatalf("image %d appears in %d shards", idx, n)
+		}
+	}
+}
+
+// Property: for any world size and rank, shards are disjoint and complete.
+func TestQuickShardingDisjointComplete(t *testing.T) {
+	ds := NewDataset(smallCfg())
+	f := func(worldRaw uint8) bool {
+		world := int(worldRaw)%8 + 1
+		seen := make(map[int]bool)
+		for r := 0; r < world; r++ {
+			l, err := NewLoader(ds, LoaderConfig{BatchSize: 1, PatchSize: 8, Scale: 2, Rank: r, WorldSize: world, Seed: 3})
+			if err != nil {
+				return false
+			}
+			for _, idx := range l.ShardIndices() {
+				if seen[idx] {
+					return false
+				}
+				seen[idx] = true
+			}
+		}
+		return len(seen) == ds.Len()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLoaderSamplesOnlyOwnShard(t *testing.T) {
+	ds := NewDataset(smallCfg())
+	l, err := NewLoader(ds, LoaderConfig{BatchSize: 4, PatchSize: 8, Scale: 2, Rank: 1, WorldSize: 4, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for step := 0; step < 10; step++ {
+		for _, idx := range l.Next().Indices {
+			if idx%4 != 1 {
+				t.Fatalf("rank 1 sampled image %d from another shard", idx)
+			}
+		}
+	}
+}
+
+func TestLoaderPatchConsistency(t *testing.T) {
+	// The LR patch must be the bicubic downscale of the HR region it pairs
+	// with — verify by upscaling LR and checking rough agreement.
+	ds := NewDataset(SyntheticConfig{Images: 4, Height: 32, Width: 32, Channels: 1, Seed: 2})
+	l, err := NewLoader(ds, LoaderConfig{BatchSize: 2, PatchSize: 8, Scale: 2, WorldSize: 1, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := l.Next()
+	// Means of corresponding LR and HR patches should be close: bicubic
+	// preserves local averages of smooth content.
+	for i := 0; i < 2; i++ {
+		var lrSum, hrSum float64
+		lp := b.LR.Data()[i*64 : (i+1)*64]
+		hp := b.HR.Data()[i*256 : (i+1)*256]
+		for _, v := range lp {
+			lrSum += float64(v)
+		}
+		for _, v := range hp {
+			hrSum += float64(v)
+		}
+		lrMean, hrMean := lrSum/64, hrSum/256
+		if d := lrMean - hrMean; d > 0.08 || d < -0.08 {
+			t.Fatalf("patch %d: LR mean %g vs HR mean %g", i, lrMean, hrMean)
+		}
+	}
+}
+
+func TestLoaderDifferentRanksDifferentPatches(t *testing.T) {
+	ds := NewDataset(smallCfg())
+	mk := func(rank int) Batch {
+		l, err := NewLoader(ds, LoaderConfig{BatchSize: 2, PatchSize: 8, Scale: 2, Rank: rank, WorldSize: 2, Seed: 9})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return l.Next()
+	}
+	a, b := mk(0), mk(1)
+	same := true
+	for i := range a.LR.Data() {
+		if a.LR.Data()[i] != b.LR.Data()[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different ranks should draw different patches")
+	}
+}

@@ -1,0 +1,82 @@
+package data
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/imageio"
+	"repro/internal/tensor"
+)
+
+// DirDataset serves HR images from a directory of PNG files — the path a
+// user takes to train on real data (e.g. an actual DIV2K download) instead
+// of the synthetic generator. Images are decoded lazily and cached.
+type DirDataset struct {
+	paths []string
+	cache map[int]*tensor.Tensor
+}
+
+// NewDirDataset scans dir for .png files (sorted by name for determinism).
+func NewDirDataset(dir string) (*DirDataset, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("data: reading %s: %w", dir, err)
+	}
+	var paths []string
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(strings.ToLower(e.Name()), ".png") {
+			continue
+		}
+		paths = append(paths, filepath.Join(dir, e.Name()))
+	}
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("data: no .png files in %s", dir)
+	}
+	sort.Strings(paths)
+	return &DirDataset{paths: paths, cache: map[int]*tensor.Tensor{}}, nil
+}
+
+// Len returns the image count.
+func (d *DirDataset) Len() int { return len(d.paths) }
+
+// Path returns the file backing image i.
+func (d *DirDataset) Path(i int) string { return d.paths[i] }
+
+// HR loads (and caches) image i as a (1, 3, H, W) tensor in [0,1].
+func (d *DirDataset) HR(i int) (*tensor.Tensor, error) {
+	if i < 0 || i >= len(d.paths) {
+		return nil, fmt.Errorf("data: image index %d out of range [0,%d)", i, len(d.paths))
+	}
+	if t, ok := d.cache[i]; ok {
+		return t, nil
+	}
+	t, err := imageio.LoadPNG(d.paths[i])
+	if err != nil {
+		return nil, fmt.Errorf("data: %s: %w", d.paths[i], err)
+	}
+	d.cache[i] = t
+	return t, nil
+}
+
+// CropToMultiple trims an HR tensor so its spatial dimensions are
+// divisible by scale — real photos rarely come pre-aligned.
+func CropToMultiple(t *tensor.Tensor, scale int) *tensor.Tensor {
+	h, w := t.Dim(2), t.Dim(3)
+	nh, nw := h-h%scale, w-w%scale
+	if nh == h && nw == w {
+		return t
+	}
+	c := t.Dim(1)
+	out := tensor.New(1, c, nh, nw)
+	for ch := 0; ch < c; ch++ {
+		for y := 0; y < nh; y++ {
+			src := t.Data()[(ch*h+y)*w : (ch*h+y)*w+nw]
+			dst := out.Data()[(ch*nh+y)*nw : (ch*nh+y+1)*nw]
+			copy(dst, src)
+		}
+	}
+	return out
+}

@@ -1,0 +1,99 @@
+package data
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/imageio"
+	"repro/internal/tensor"
+)
+
+// writeTestPNGs populates a temp dir with n small PNG images.
+func writeTestPNGs(t *testing.T, n int) string {
+	t.Helper()
+	dir := t.TempDir()
+	rng := tensor.NewRNG(1)
+	for i := 0; i < n; i++ {
+		img := tensor.New(1, 3, 10, 14)
+		img.FillUniform(rng, 0, 1)
+		name := filepath.Join(dir, string(rune('a'+i))+".png")
+		if err := imageio.SavePNG(name, img); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+func TestDirDatasetScan(t *testing.T) {
+	dir := writeTestPNGs(t, 3)
+	// A non-PNG file must be ignored.
+	if err := os.WriteFile(filepath.Join(dir, "notes.txt"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ds, err := NewDirDataset(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Len() != 3 {
+		t.Fatalf("len %d", ds.Len())
+	}
+	img, err := ds.HR(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if img.Dim(2) != 10 || img.Dim(3) != 14 {
+		t.Fatalf("shape %v", img.Shape())
+	}
+	// Cached load must return the same tensor.
+	again, _ := ds.HR(0)
+	if again != img {
+		t.Fatal("cache miss on repeated load")
+	}
+}
+
+func TestDirDatasetErrors(t *testing.T) {
+	if _, err := NewDirDataset(filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Fatal("missing dir should fail")
+	}
+	if _, err := NewDirDataset(t.TempDir()); err == nil {
+		t.Fatal("empty dir should fail")
+	}
+	ds, err := NewDirDataset(writeTestPNGs(t, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ds.HR(5); err == nil {
+		t.Fatal("out-of-range index should fail")
+	}
+}
+
+func TestDirDatasetDeterministicOrder(t *testing.T) {
+	dir := writeTestPNGs(t, 4)
+	a, _ := NewDirDataset(dir)
+	b, _ := NewDirDataset(dir)
+	for i := 0; i < 4; i++ {
+		if a.Path(i) != b.Path(i) {
+			t.Fatal("scan order must be deterministic")
+		}
+	}
+}
+
+func TestCropToMultiple(t *testing.T) {
+	x := tensor.New(1, 3, 11, 14)
+	rng := tensor.NewRNG(2)
+	x.FillUniform(rng, 0, 1)
+	c := CropToMultiple(x, 4)
+	if c.Dim(2) != 8 || c.Dim(3) != 12 {
+		t.Fatalf("cropped shape %v", c.Shape())
+	}
+	// Top-left content preserved.
+	if c.At(0, 1, 3, 5) != x.At(0, 1, 3, 5) {
+		t.Fatal("crop moved pixels")
+	}
+	// Already-aligned tensors pass through unchanged.
+	y := tensor.New(1, 3, 8, 8)
+	if CropToMultiple(y, 4) != y {
+		t.Fatal("aligned tensor should be returned as-is")
+	}
+}

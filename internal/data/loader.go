@@ -1,0 +1,132 @@
+package data
+
+import (
+	"fmt"
+
+	"repro/internal/tensor"
+)
+
+// Batch is one training step's worth of LR inputs and HR targets:
+// LR (B, C, p, p) and HR (B, C, p*scale, p*scale).
+type Batch struct {
+	LR, HR *tensor.Tensor
+	// Indices records which dataset images the patches came from.
+	Indices []int
+}
+
+// LoaderConfig controls patch sampling and sharding.
+type LoaderConfig struct {
+	// BatchSize is patches per step per rank (the paper chose 4).
+	BatchSize int
+	// PatchSize is the LR patch edge in pixels (EDSR trains on 48-96 px
+	// HR patches; tests use smaller).
+	PatchSize int
+	// Scale is the SR factor.
+	Scale int
+	// Rank and WorldSize shard the dataset: rank r samples only images
+	// with index ≡ r (mod WorldSize), the standard Horovod sharding.
+	Rank, WorldSize int
+	// Seed controls the patch sampling stream. Combined with Rank so each
+	// rank draws different patches.
+	Seed uint64
+}
+
+// Loader draws random LR/HR patch batches from a dataset shard.
+type Loader struct {
+	ds    *Dataset
+	cfg   LoaderConfig
+	rng   *tensor.RNG
+	shard []int
+
+	// cache holds the most recently used image pair; EDSR training reuses
+	// each image for several patches, so a tiny cache removes most
+	// generation cost.
+	cacheIdx int
+	cacheLR  *tensor.Tensor
+	cacheHR  *tensor.Tensor
+}
+
+// NewLoader builds a loader over ds for one rank of a data-parallel job.
+func NewLoader(ds *Dataset, cfg LoaderConfig) (*Loader, error) {
+	if cfg.BatchSize < 1 || cfg.PatchSize < 1 || cfg.Scale < 1 {
+		return nil, fmt.Errorf("data: invalid loader config %+v", cfg)
+	}
+	if cfg.WorldSize < 1 || cfg.Rank < 0 || cfg.Rank >= cfg.WorldSize {
+		return nil, fmt.Errorf("data: invalid rank %d of %d", cfg.Rank, cfg.WorldSize)
+	}
+	if cfg.PatchSize > ds.Config().Height/cfg.Scale || cfg.PatchSize > ds.Config().Width/cfg.Scale {
+		return nil, fmt.Errorf("data: patch %d exceeds LR image %dx%d",
+			cfg.PatchSize, ds.Config().Height/cfg.Scale, ds.Config().Width/cfg.Scale)
+	}
+	var shard []int
+	for i := cfg.Rank; i < ds.Len(); i += cfg.WorldSize {
+		shard = append(shard, i)
+	}
+	if len(shard) == 0 {
+		return nil, fmt.Errorf("data: rank %d has an empty shard (dataset %d images, world %d)",
+			cfg.Rank, ds.Len(), cfg.WorldSize)
+	}
+	return &Loader{
+		ds:       ds,
+		cfg:      cfg,
+		rng:      tensor.NewRNG(cfg.Seed*2654435761 + uint64(cfg.Rank)*40503 + 17),
+		shard:    shard,
+		cacheIdx: -1,
+	}, nil
+}
+
+// ShardSize returns the number of images in this rank's shard.
+func (l *Loader) ShardSize() int { return len(l.shard) }
+
+// RNGState exposes the sampling stream's state for checkpointing.
+func (l *Loader) RNGState() uint64 { return l.rng.State() }
+
+// SetRNGState restores a sampling stream captured with RNGState, so a
+// resumed training run draws exactly the batches the original would have.
+func (l *Loader) SetRNGState(s uint64) { l.rng.SetState(s) }
+
+// ShardIndices returns a copy of the image indices this rank samples from.
+func (l *Loader) ShardIndices() []int { return append([]int(nil), l.shard...) }
+
+// Next samples the next training batch.
+func (l *Loader) Next() Batch {
+	p, s, c := l.cfg.PatchSize, l.cfg.Scale, l.ds.Config().Channels
+	lrB := tensor.New(l.cfg.BatchSize, c, p, p)
+	hrB := tensor.New(l.cfg.BatchSize, c, p*s, p*s)
+	idxs := make([]int, l.cfg.BatchSize)
+	for b := 0; b < l.cfg.BatchSize; b++ {
+		img := l.shard[l.rng.Intn(len(l.shard))]
+		idxs[b] = img
+		lr, hr := l.pair(img)
+		lh, lw := lr.Dim(2), lr.Dim(3)
+		py := l.rng.Intn(lh - p + 1)
+		px := l.rng.Intn(lw - p + 1)
+		copyPatch(lrB, b, lr, py, px, p)
+		copyPatch(hrB, b, hr, py*s, px*s, p*s)
+	}
+	return Batch{LR: lrB, HR: hrB, Indices: idxs}
+}
+
+func (l *Loader) pair(img int) (lr, hr *tensor.Tensor) {
+	if l.cacheIdx == img {
+		return l.cacheLR, l.cacheHR
+	}
+	lr, hr = l.ds.Pair(img, l.cfg.Scale)
+	l.cacheIdx, l.cacheLR, l.cacheHR = img, lr, hr
+	return lr, hr
+}
+
+// copyPatch copies a p×p window at (py, px) from src (1,C,H,W) into batch
+// slot b of dst (B,C,p,p).
+func copyPatch(dst *tensor.Tensor, b int, src *tensor.Tensor, py, px, p int) {
+	c, h, w := src.Dim(1), src.Dim(2), src.Dim(3)
+	_ = h
+	dd, sd := dst.Data(), src.Data()
+	for ch := 0; ch < c; ch++ {
+		for y := 0; y < p; y++ {
+			srcOff := (ch*src.Dim(2)+py+y)*w + px
+			dstOff := ((b*c+ch)*p + y) * p
+			copy(dd[dstOff:dstOff+p], sd[srcOff:srcOff+p])
+		}
+	}
+}

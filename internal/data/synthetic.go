@@ -1,0 +1,154 @@
+// Package data provides the training data pipeline: a procedural DIV2K-like
+// dataset (the paper trains on DIV2K, which is not redistributable here),
+// bicubic LR/HR pair generation, patch sampling, batching, and the
+// deterministic per-rank sharding that data-parallel training requires.
+package data
+
+import (
+	"math"
+
+	"repro/internal/models"
+	"repro/internal/tensor"
+)
+
+// SyntheticConfig controls the procedural image generator.
+type SyntheticConfig struct {
+	// Images is the dataset size (DIV2K train = 800).
+	Images int
+	// Height, Width are HR dimensions. DIV2K is ~2040×1356; tests use far
+	// smaller sizes. Both must be divisible by the SR scale.
+	Height, Width int
+	// Channels is 3 for RGB.
+	Channels int
+	// Seed makes the whole dataset reproducible.
+	Seed uint64
+}
+
+// DefaultSynthetic mirrors DIV2K's 800-image training split at a reduced
+// resolution suitable for CPU training.
+func DefaultSynthetic() SyntheticConfig {
+	return SyntheticConfig{Images: 800, Height: 96, Width: 96, Channels: 3, Seed: 1}
+}
+
+// Dataset is an indexable HR image collection. Images are generated on
+// demand and deterministically from (seed, index), so all ranks of a
+// distributed job see identical data without sharing memory.
+type Dataset struct {
+	cfg SyntheticConfig
+}
+
+// NewDataset creates a procedural dataset.
+func NewDataset(cfg SyntheticConfig) *Dataset {
+	if cfg.Images < 1 || cfg.Height < 8 || cfg.Width < 8 || cfg.Channels < 1 {
+		panic("data: invalid synthetic config")
+	}
+	return &Dataset{cfg: cfg}
+}
+
+// Len returns the number of images.
+func (d *Dataset) Len() int { return d.cfg.Images }
+
+// Config returns the generator configuration.
+func (d *Dataset) Config() SyntheticConfig { return d.cfg }
+
+// HR generates HR image i with shape (1, C, H, W) and values in [0, 1].
+//
+// Each image combines a smooth low-frequency gradient field, band-limited
+// sinusoidal texture, and a few soft-edged shapes — enough structure that
+// bicubic downsampling destroys recoverable detail, which is what gives a
+// super-resolution model something to learn.
+func (d *Dataset) HR(i int) *tensor.Tensor {
+	if i < 0 || i >= d.cfg.Images {
+		panic("data: image index out of range")
+	}
+	c, h, w := d.cfg.Channels, d.cfg.Height, d.cfg.Width
+	rng := tensor.NewRNG(d.cfg.Seed*1000003 + uint64(i)*7919 + 13)
+	img := tensor.New(1, c, h, w)
+
+	type wave struct{ fx, fy, phase, amp float64 }
+	type blob struct{ cx, cy, r, amp float64; ch int }
+	// Low-frequency structure plus band-limited high-frequency texture:
+	// the high band is what bicubic downsampling destroys, giving a
+	// trained model the opportunity to beat the classical baseline.
+	waves := make([]wave, 6)
+	for k := range waves {
+		lo, span := 1.0, 6.0
+		amp := 0.08 + 0.10*rng.Float64()
+		if k >= 3 {
+			lo, span = 8.0, 10.0
+			amp = 0.10 + 0.08*rng.Float64()
+		}
+		waves[k] = wave{
+			fx:    (rng.Float64()*span + lo) * 2 * math.Pi,
+			fy:    (rng.Float64()*span + lo) * 2 * math.Pi,
+			phase: rng.Float64() * 2 * math.Pi,
+			amp:   amp,
+		}
+	}
+	blobs := make([]blob, 5)
+	for k := range blobs {
+		blobs[k] = blob{
+			cx: rng.Float64(), cy: rng.Float64(),
+			r:   0.05 + 0.2*rng.Float64(),
+			amp: 0.25 * (rng.Float64()*2 - 1),
+			ch:  rng.Intn(c),
+		}
+	}
+	base := make([]float64, c)
+	gradX := make([]float64, c)
+	gradY := make([]float64, c)
+	for ch := 0; ch < c; ch++ {
+		base[ch] = 0.3 + 0.4*rng.Float64()
+		gradX[ch] = 0.3 * (rng.Float64()*2 - 1)
+		gradY[ch] = 0.3 * (rng.Float64()*2 - 1)
+	}
+
+	d1 := img.Data()
+	for ch := 0; ch < c; ch++ {
+		plane := d1[ch*h*w : (ch+1)*h*w]
+		for y := 0; y < h; y++ {
+			fy := float64(y) / float64(h)
+			for x := 0; x < w; x++ {
+				fx := float64(x) / float64(w)
+				v := base[ch] + gradX[ch]*fx + gradY[ch]*fy
+				for _, wv := range waves {
+					v += wv.amp * math.Sin(wv.fx*fx+wv.fy*fy+wv.phase+float64(ch)*0.7)
+				}
+				for _, bl := range blobs {
+					if bl.ch != ch {
+						continue
+					}
+					dx, dy := fx-bl.cx, fy-bl.cy
+					dist := math.Sqrt(dx*dx + dy*dy)
+					// Soft-edged disc: smoothstep falloff over 10% of r.
+					edge := (bl.r - dist) / (0.1 * bl.r)
+					if edge > 0 {
+						if edge > 1 {
+							edge = 1
+						}
+						v += bl.amp * edge * edge * (3 - 2*edge)
+					}
+				}
+				if v < 0 {
+					v = 0
+				} else if v > 1 {
+					v = 1
+				}
+				plane[y*w+x] = float32(v)
+			}
+		}
+	}
+	return img
+}
+
+// Pair returns the (LR, HR) pair for image i at the given SR scale. The LR
+// image is the bicubic downscale of HR, matching the DIV2K "bicubic"
+// track the paper trains on.
+func (d *Dataset) Pair(i, scale int) (lr, hr *tensor.Tensor) {
+	hr = d.HR(i)
+	if hr.Dim(2)%scale != 0 || hr.Dim(3)%scale != 0 {
+		panic("data: HR size not divisible by scale")
+	}
+	lr = models.BicubicDownscale(hr, scale)
+	return lr, hr
+}

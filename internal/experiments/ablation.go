@@ -1,0 +1,104 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/collective"
+	"repro/internal/scaling"
+)
+
+// AblationPoint is one setting of a tunable and its outcome.
+type AblationPoint struct {
+	Label        string
+	ImagesPerSec float64
+	Messages     float64 // per step
+	StepMs       float64
+}
+
+// AblationResult is a named sweep.
+type AblationResult struct {
+	Name   string
+	Points []AblationPoint
+}
+
+// RunFusionAblation sweeps HOROVOD_FUSION_THRESHOLD — the Horovod tunable
+// the paper says it adjusted at every scale (Section II-D). Small buffers
+// flood the backend with medium messages; large ones produce the 32-64 MB
+// messages that the optimized large-message path accelerates.
+func RunFusionAblation(backend collective.Backend, nodes, steps int) AblationResult {
+	res := AblationResult{Name: fmt.Sprintf("fusion threshold (%s, %d GPUs)", backend, nodes*4)}
+	for _, mb := range []int64{2, 8, 16, 32, 64, 128} {
+		r := scaling.Run(scaling.Options{
+			Nodes: nodes, Backend: backend, Steps: steps,
+			FusionThresholdBytes: mb << 20,
+		})
+		res.Points = append(res.Points, AblationPoint{
+			Label:        fmt.Sprintf("%d MB", mb),
+			ImagesPerSec: r.ImagesPerSec,
+			Messages:     float64(r.Messages) / float64(steps),
+			StepMs:       r.StepSec * 1000,
+		})
+	}
+	return res
+}
+
+// RunCycleAblation sweeps HOROVOD_CYCLE_TIME: short cycles react faster
+// but negotiate constantly; long cycles quantize the step tail.
+func RunCycleAblation(backend collective.Backend, nodes, steps int) AblationResult {
+	res := AblationResult{Name: fmt.Sprintf("cycle time (%s, %d GPUs)", backend, nodes*4)}
+	for _, ms := range []float64{1, 3.5, 10, 25, 50} {
+		r := scaling.Run(scaling.Options{
+			Nodes: nodes, Backend: backend, Steps: steps,
+			CycleTimeSec: ms / 1000,
+		})
+		res.Points = append(res.Points, AblationPoint{
+			Label:        fmt.Sprintf("%.1f ms", ms),
+			ImagesPerSec: r.ImagesPerSec,
+			Messages:     float64(r.Messages) / float64(steps),
+			StepMs:       r.StepSec * 1000,
+		})
+	}
+	return res
+}
+
+// RunJitterAblation sweeps compute noise: synchronous data parallelism
+// pays the slowest rank, so straggler sensitivity grows with scale.
+func RunJitterAblation(backend collective.Backend, nodes, steps int) AblationResult {
+	res := AblationResult{Name: fmt.Sprintf("compute jitter (%s, %d GPUs)", backend, nodes*4)}
+	for _, frac := range []float64{0.001, 0.01, 0.03, 0.06} {
+		r := scaling.Run(scaling.Options{
+			Nodes: nodes, Backend: backend, Steps: steps,
+			JitterFrac: frac,
+		})
+		res.Points = append(res.Points, AblationPoint{
+			Label:        fmt.Sprintf("%.1f%%", frac*100),
+			ImagesPerSec: r.ImagesPerSec,
+			Messages:     float64(r.Messages) / float64(steps),
+			StepMs:       r.StepSec * 1000,
+		})
+	}
+	return res
+}
+
+// Format renders a sweep.
+func (a AblationResult) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Ablation — %s\n", a.Name)
+	fmt.Fprintf(&b, "%-10s %12s %12s %12s\n", "Setting", "img/s", "msgs/step", "step ms")
+	for _, p := range a.Points {
+		fmt.Fprintf(&b, "%-10s %12.1f %12.1f %12.1f\n", p.Label, p.ImagesPerSec, p.Messages, p.StepMs)
+	}
+	return b.String()
+}
+
+// Best returns the setting with the highest throughput.
+func (a AblationResult) Best() AblationPoint {
+	best := a.Points[0]
+	for _, p := range a.Points[1:] {
+		if p.ImagesPerSec > best.ImagesPerSec {
+			best = p
+		}
+	}
+	return best
+}

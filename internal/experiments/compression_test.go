@@ -1,0 +1,39 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/collective"
+)
+
+func TestCompressionStudy(t *testing.T) {
+	rows := RunCompressionStudy(16, 3)
+	if len(rows) != 3 {
+		t.Fatalf("rows %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.FP16ImgPerS <= r.FP32ImgPerS*0.98 {
+			t.Fatalf("%v: fp16 (%g) should not be slower than fp32 (%g)",
+				r.Backend, r.FP16ImgPerS, r.FP32ImgPerS)
+		}
+	}
+	// The bandwidth-bound default backend must benefit at least as much
+	// as the optimized one.
+	var def, opt CompressionRow
+	for _, r := range rows {
+		switch r.Backend {
+		case collective.BackendMPI:
+			def = r
+		case collective.BackendMPIOpt:
+			opt = r
+		}
+	}
+	if def.GainPercent < opt.GainPercent-1 {
+		t.Fatalf("default should gain at least as much from compression: def %+.1f%% opt %+.1f%%",
+			def.GainPercent, opt.GainPercent)
+	}
+	if !strings.Contains(FormatCompression(rows, 16), "FP16") {
+		t.Fatal("format broken")
+	}
+}

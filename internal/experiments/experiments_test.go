@@ -1,0 +1,123 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestFig1MatchesPaper(t *testing.T) {
+	f := RunFig1()
+	if math.Abs(f.EDSRImgPerSec-10.3) > 0.1 {
+		t.Fatalf("EDSR %g img/s", f.EDSRImgPerSec)
+	}
+	if math.Abs(f.ResNet50ImgPerSec-360) > 5 {
+		t.Fatalf("ResNet %g img/s", f.ResNet50ImgPerSec)
+	}
+	if f.Ratio < 30 || f.Ratio > 40 {
+		t.Fatalf("ratio %g", f.Ratio)
+	}
+	if !strings.Contains(f.Format(), "Fig. 1") {
+		t.Fatal("format broken")
+	}
+}
+
+func TestFig9ShapeAndFormat(t *testing.T) {
+	pts := RunFig9()
+	if len(pts) != 5 {
+		t.Fatalf("points %d", len(pts))
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].ImgPerSec <= pts[i-1].ImgPerSec {
+			t.Fatal("throughput should rise with batch")
+		}
+	}
+	if pts[4].Fits {
+		t.Fatal("batch 16 should be OOM")
+	}
+	out := FormatFig9(pts)
+	if !strings.Contains(out, "OOM") || !strings.Contains(out, "batch 4") {
+		t.Fatalf("format: %s", out)
+	}
+}
+
+func quickOpt() Options {
+	return Options{Steps: 4, ProfileSteps: 10, NodeCounts: []int{1, 8, 32}}
+}
+
+func TestFig10Shape(t *testing.T) {
+	f := RunFig10(quickOpt())
+	last := len(f.MPI.Points) - 1
+	if f.NCCL.Points[last].ImagesPerSec <= f.MPI.Points[last].ImagesPerSec {
+		t.Fatal("NCCL should beat default MPI at scale (the paper's Fig. 10)")
+	}
+	if !strings.Contains(f.Format(), "Fig. 10") {
+		t.Fatal("format broken")
+	}
+}
+
+func TestFig11Shape(t *testing.T) {
+	f := RunFig11(quickOpt())
+	if f.AvgImprovement <= 0 || f.AvgImprovement > 0.15 {
+		t.Fatalf("avg improvement %.1f%%, paper says 5.1%%", 100*f.AvgImprovement)
+	}
+	if f.HitRate < 0.7 {
+		t.Fatalf("hit rate %.0f%%, paper says 93%%", 100*f.HitRate)
+	}
+	if !strings.Contains(f.Format(), "5.1%") {
+		t.Fatal("format should cite the paper value")
+	}
+}
+
+func TestFig12Shape(t *testing.T) {
+	f := RunFig12(quickOpt())
+	if f.SpeedupAtMax < 1.1 || f.SpeedupAtMax > 1.5 {
+		t.Fatalf("speedup %.2fx, paper says 1.26x", f.SpeedupAtMax)
+	}
+	if !strings.Contains(f.Format(), "1.26x") {
+		t.Fatal("format should cite the paper value")
+	}
+}
+
+func TestFig13Shape(t *testing.T) {
+	f := RunFig13(quickOpt())
+	if len(f.Curves) != 4 {
+		t.Fatal("want all four backends")
+	}
+	if f.EffGainAtMax < 8 || f.EffGainAtMax > 25 {
+		t.Fatalf("efficiency gain %.1f points, paper says 15.6", f.EffGainAtMax)
+	}
+	out := f.Format()
+	if !strings.Contains(out, "MPI-Opt") || !strings.Contains(out, "15.6") {
+		t.Fatalf("format: %s", out)
+	}
+}
+
+func TestFig14AndTableI(t *testing.T) {
+	ti := RunTableI(Options{ProfileSteps: 15})
+	total := ti.TotalImprovement()
+	if total < 30 || total > 65 {
+		t.Fatalf("Table I total improvement %.1f%%, paper says 45.4%%", total)
+	}
+	out := ti.Format()
+	if !strings.Contains(out, "45.4") || !strings.Contains(out, "32 MB - 64 MB") {
+		t.Fatalf("format: %s", out)
+	}
+	f14 := RunFig14(Options{ProfileSteps: 5})
+	if !strings.Contains(f14.Format(), "hvprof") {
+		t.Fatal("fig14 format broken")
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	o := Options{}.withDefaults()
+	if o.Steps == 0 || o.ProfileSteps == 0 || len(o.NodeCounts) == 0 {
+		t.Fatalf("defaults not applied: %+v", o)
+	}
+	if Full().ProfileSteps != 100 {
+		t.Fatal("Full should match the paper's 100-step profile")
+	}
+	if len(Quick().NodeCounts) == 0 {
+		t.Fatal("Quick node counts empty")
+	}
+}

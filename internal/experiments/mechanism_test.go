@@ -1,0 +1,96 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/collective"
+)
+
+func TestFig6Mechanism(t *testing.T) {
+	rows := RunFig6(0)
+	if len(rows) != 3 {
+		t.Fatalf("rows %d", len(rows))
+	}
+	byMode := map[cluster.VisibilityMode]Fig6Row{}
+	for _, r := range rows {
+		byMode[r.Mode] = r
+	}
+	all := byMode[cluster.VisibilityAll]
+	pinned := byMode[cluster.VisibilityPinned]
+	split := byMode[cluster.VisibilitySplit]
+
+	if !all.Overflow {
+		t.Fatal("all-visible must overflow with a near-capacity model (Fig. 6a)")
+	}
+	if !all.IPCForMPI {
+		t.Fatal("all-visible keeps IPC")
+	}
+	if pinned.Overflow {
+		t.Fatal("pinned must fit")
+	}
+	if pinned.IPCForMPI {
+		t.Fatal("pinning must lose IPC — the paper's central problem")
+	}
+	if split.Overflow || !split.IPCForMPI {
+		t.Fatalf("split must fit AND keep IPC (the paper's fix): %+v", split)
+	}
+	out := FormatFig6(rows)
+	for _, want := range []string{"OOM", "LOST", "MV2_VISIBLE_DEVICES"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("format missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFig6SmallModelAllFit(t *testing.T) {
+	rows := RunFig6(4 << 30)
+	for _, r := range rows {
+		if r.Overflow {
+			t.Fatalf("small model should fit in every mode: %+v", r)
+		}
+	}
+}
+
+func TestFusionAblation(t *testing.T) {
+	a := RunFusionAblation(collective.BackendMPIOpt, 1, 3)
+	if len(a.Points) != 6 {
+		t.Fatalf("points %d", len(a.Points))
+	}
+	// Smaller thresholds must produce more messages per step.
+	if a.Points[0].Messages <= a.Points[len(a.Points)-1].Messages {
+		t.Fatalf("2MB threshold should make more messages than 128MB: %v vs %v",
+			a.Points[0].Messages, a.Points[len(a.Points)-1].Messages)
+	}
+	if a.Best().ImagesPerSec <= 0 {
+		t.Fatal("best point empty")
+	}
+	if !strings.Contains(a.Format(), "fusion threshold") {
+		t.Fatal("format broken")
+	}
+}
+
+func TestCycleAblation(t *testing.T) {
+	a := RunCycleAblation(collective.BackendMPIOpt, 1, 3)
+	if len(a.Points) != 5 {
+		t.Fatalf("points %d", len(a.Points))
+	}
+	for _, p := range a.Points {
+		if p.ImagesPerSec <= 0 {
+			t.Fatalf("bad point %+v", p)
+		}
+	}
+}
+
+func TestJitterAblation(t *testing.T) {
+	a := RunJitterAblation(collective.BackendMPIOpt, 4, 3)
+	if len(a.Points) != 4 {
+		t.Fatalf("points %d", len(a.Points))
+	}
+	// High jitter must not be faster than low jitter (stragglers cost).
+	lo, hi := a.Points[0], a.Points[len(a.Points)-1]
+	if hi.ImagesPerSec > lo.ImagesPerSec*1.02 {
+		t.Fatalf("6%% jitter (%g) should not beat 0.1%% (%g)", hi.ImagesPerSec, lo.ImagesPerSec)
+	}
+}

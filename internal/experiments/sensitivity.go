@@ -1,0 +1,121 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/collective"
+	"repro/internal/models"
+	"repro/internal/perfmodel"
+	"repro/internal/scaling"
+)
+
+// TuningLimitResult tests the paper's Section IX claim: the approach of
+// reference [7] — tuning only at the Horovod layer (fusion threshold,
+// cycle time) — cannot recover EDSR's performance, "the larger average
+// message size for MPI_Allreduce required by EDSR [is] unable to be
+// resolved with tuning at the Horovod layer alone." We sweep the default
+// backend over a grid of Horovod tunables and compare the best result
+// against MPI-Opt at its defaults.
+type TuningLimitResult struct {
+	BestDefault  AblationPoint // best default-MPI throughput over the grid
+	BestSetting  string
+	MPIOpt       float64 // MPI-Opt throughput at default tunables
+	GapPercent   float64 // how far the best default remains below MPI-Opt
+}
+
+// RunTuningLimit sweeps Horovod tunables on the default backend.
+func RunTuningLimit(nodes, steps int) TuningLimitResult {
+	var res TuningLimitResult
+	for _, mb := range []int64{8, 32, 64, 128} {
+		for _, cyc := range []float64{0.0035, 0.010, 0.025} {
+			r := scaling.Run(scaling.Options{
+				Nodes: nodes, Backend: collective.BackendMPI, Steps: steps,
+				FusionThresholdBytes: mb << 20, CycleTimeSec: cyc,
+			})
+			if r.ImagesPerSec > res.BestDefault.ImagesPerSec {
+				res.BestDefault = AblationPoint{
+					Label:        fmt.Sprintf("fusion %dMB cycle %.1fms", mb, cyc*1000),
+					ImagesPerSec: r.ImagesPerSec,
+					Messages:     float64(r.Messages) / float64(steps),
+					StepMs:       r.StepSec * 1000,
+				}
+				res.BestSetting = res.BestDefault.Label
+			}
+		}
+	}
+	opt := scaling.Run(scaling.Options{Nodes: nodes, Backend: collective.BackendMPIOpt, Steps: steps})
+	res.MPIOpt = opt.ImagesPerSec
+	if res.MPIOpt > 0 {
+		res.GapPercent = (res.MPIOpt - res.BestDefault.ImagesPerSec) / res.MPIOpt * 100
+	}
+	return res
+}
+
+// Format renders the tuning-limit comparison.
+func (r TuningLimitResult) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Horovod-layer tuning limit (the paper's Section IX claim)\n")
+	fmt.Fprintf(&b, "best default-MPI over tunable grid: %.1f img/s (%s)\n",
+		r.BestDefault.ImagesPerSec, r.BestSetting)
+	fmt.Fprintf(&b, "MPI-Opt at default tunables:        %.1f img/s\n", r.MPIOpt)
+	fmt.Fprintf(&b, "remaining gap: %.1f%% — Horovod-layer tuning alone cannot restore CUDA IPC\n", r.GapPercent)
+	return b.String()
+}
+
+// ModelSensitivityRow compares how two EDSR configurations stress the
+// communication layer.
+type ModelSensitivityRow struct {
+	Name        string
+	GradMB      float64
+	Messages    float64 // per step
+	DefaultEff  float64
+	OptEff      float64
+	GainPts     float64
+}
+
+// RunModelSensitivity contrasts the paper's 40.7M-parameter EDSR against
+// the 1.4M-parameter EDSR-baseline: the small model's gradients never
+// reach the ≥16 MB IPC-dependent regime, so the default-vs-optimized gap
+// (the paper's whole story) nearly vanishes — evidence that the pathology
+// is specific to large-message workloads like DLSR.
+func RunModelSensitivity(nodes, steps int) []ModelSensitivityRow {
+	base := scaling.SingleGPUBaseline(0)
+	var rows []ModelSensitivityRow
+	for _, tc := range []struct {
+		name string
+		cfg  models.EDSRConfig
+	}{
+		{"EDSR paper (B32/F256)", models.EDSRPaper()},
+		{"EDSR baseline (B16/F64)", models.EDSRBaseline()},
+	} {
+		def := scaling.Run(scaling.Options{Nodes: nodes, Backend: collective.BackendMPI, Steps: steps, Model: tc.cfg})
+		opt := scaling.Run(scaling.Options{Nodes: nodes, Backend: collective.BackendMPIOpt, Steps: steps, Model: tc.cfg})
+		defEff := scaling.Efficiency(def, base)
+		optEff := scaling.Efficiency(opt, base)
+		rows = append(rows, ModelSensitivityRow{
+			Name:       tc.name,
+			GradMB:     float64(perfmodel.TotalGradBytes(perfmodel.GradLayout(tc.cfg))) / (1 << 20),
+			Messages:   float64(def.Messages) / float64(steps),
+			DefaultEff: defEff,
+			OptEff:     optEff,
+			GainPts:    (optEff - defEff) * 100,
+		})
+	}
+	return rows
+}
+
+// FormatModelSensitivity renders the comparison.
+func FormatModelSensitivity(rows []ModelSensitivityRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Model sensitivity — why the IPC pathology is a DLSR problem\n")
+	fmt.Fprintf(&b, "%-26s %10s %10s %10s %10s %10s\n",
+		"Model", "grads MB", "msgs/step", "MPI eff", "Opt eff", "gain pts")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-26s %10.1f %10.1f %9.1f%% %9.1f%% %10.1f\n",
+			r.Name, r.GradMB, r.Messages, 100*r.DefaultEff, 100*r.OptEff, r.GainPts)
+	}
+	fmt.Fprintf(&b, "Note: efficiencies use the large model's compute rate as the common baseline;\n")
+	fmt.Fprintf(&b, "the comparison of interest is each row's default-vs-optimized gap.\n")
+	return b.String()
+}

@@ -1,0 +1,46 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTuningLimit(t *testing.T) {
+	r := RunTuningLimit(8, 3)
+	if r.BestDefault.ImagesPerSec <= 0 || r.MPIOpt <= 0 {
+		t.Fatalf("empty result %+v", r)
+	}
+	// The paper's claim: no Horovod-layer setting closes the gap.
+	if r.GapPercent < 3 {
+		t.Fatalf("gap %.1f%% too small — Horovod tuning should not reach MPI-Opt", r.GapPercent)
+	}
+	if r.GapPercent > 40 {
+		t.Fatalf("gap %.1f%% implausibly large", r.GapPercent)
+	}
+	if !strings.Contains(r.Format(), "Horovod-layer") {
+		t.Fatal("format broken")
+	}
+}
+
+func TestModelSensitivity(t *testing.T) {
+	rows := RunModelSensitivity(8, 3)
+	if len(rows) != 2 {
+		t.Fatalf("rows %d", len(rows))
+	}
+	big, small := rows[0], rows[1]
+	if big.GradMB < 100 {
+		t.Fatalf("paper config grads %f MB", big.GradMB)
+	}
+	if small.GradMB > 20 {
+		t.Fatalf("baseline config grads %f MB", small.GradMB)
+	}
+	// The pathology must be much stronger for the large model.
+	if big.GainPts <= small.GainPts+3 {
+		t.Fatalf("large model gain %.1f pts should far exceed small model %.1f pts",
+			big.GainPts, small.GainPts)
+	}
+	out := FormatModelSensitivity(rows)
+	if !strings.Contains(out, "EDSR baseline") {
+		t.Fatal("format broken")
+	}
+}

@@ -1,0 +1,98 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/collective"
+	"repro/internal/perfmodel"
+	"repro/internal/scaling"
+)
+
+// StrongScalingPoint is one scale of a fixed-global-batch run.
+type StrongScalingPoint struct {
+	GPUs         int
+	BatchPerGPU  int
+	StepMs       float64
+	Speedup      float64 // vs the single-node step time
+}
+
+// StrongScalingResult is a strong-scaling curve for one backend.
+type StrongScalingResult struct {
+	Backend     collective.Backend
+	GlobalBatch int
+	Points      []StrongScalingPoint
+}
+
+// RunStrongScaling fixes the global batch (default 512 images — the weak
+// study's batch at max scale) and shrinks per-GPU work as GPUs grow. This
+// is the extension experiment the paper leaves open: with less compute to
+// hide behind, communication dominates sooner, so the default backend's
+// speedup saturates earlier than the optimized one's.
+func RunStrongScaling(backend collective.Backend, globalBatch, steps int, nodeCounts []int) StrongScalingResult {
+	if globalBatch == 0 {
+		globalBatch = 512
+	}
+	if len(nodeCounts) == 0 {
+		nodeCounts = []int{1, 4, 16, 64, 128}
+	}
+	res := StrongScalingResult{Backend: backend, GlobalBatch: globalBatch}
+	var baseStep float64
+	for i, n := range nodeCounts {
+		r := scaling.Run(scaling.Options{
+			Nodes: n, Backend: backend, Steps: steps, GlobalBatchSize: globalBatch,
+		})
+		bpg := globalBatch / (n * 4)
+		if bpg < 1 {
+			bpg = 1
+		}
+		pt := StrongScalingPoint{GPUs: r.GPUs, BatchPerGPU: bpg, StepMs: r.StepSec * 1000}
+		if i == 0 {
+			baseStep = r.StepSec
+		}
+		if r.StepSec > 0 {
+			pt.Speedup = baseStep / r.StepSec
+		}
+		res.Points = append(res.Points, pt)
+	}
+	return res
+}
+
+// Format renders a strong-scaling comparison of several backends.
+func FormatStrongScaling(results []StrongScalingResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Strong scaling (extension) — fixed global batch %d, speedup vs first scale\n",
+		results[0].GlobalBatch)
+	fmt.Fprintf(&b, "%-8s %10s", "GPUs", "batch/GPU")
+	for _, r := range results {
+		fmt.Fprintf(&b, " %14s", r.Backend)
+	}
+	fmt.Fprintf(&b, "\n")
+	for i := range results[0].Points {
+		p := results[0].Points[i]
+		fmt.Fprintf(&b, "%-8d %10d", p.GPUs, p.BatchPerGPU)
+		for _, r := range results {
+			fmt.Fprintf(&b, " %7.1fx %5.0fms", r.Points[i].Speedup, r.Points[i].StepMs)
+		}
+		fmt.Fprintf(&b, "\n")
+	}
+	fmt.Fprintf(&b, "With shrinking per-GPU compute there is less work to hide communication\n")
+	fmt.Fprintf(&b, "behind, so the IPC fix matters even more than in the paper's weak scaling.\n")
+	return b.String()
+}
+
+// StrongScalingAmdahlBound returns the ideal-speedup ceiling implied by
+// the fixed per-step overhead in the compute model (launch costs do not
+// shrink with the batch), for reference against the measured curves.
+func StrongScalingAmdahlBound(globalBatch, gpus int) float64 {
+	bpg := globalBatch / gpus
+	if bpg < 1 {
+		bpg = 1
+	}
+	t1 := perfmodel.EDSRStepSec(globalBatch / 4) // per-GPU batch at 4 GPUs
+	tn := perfmodel.EDSRStepSec(bpg)
+	if tn <= 0 {
+		return 0
+	}
+	return t1 / tn
+}

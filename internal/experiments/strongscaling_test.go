@@ -1,0 +1,53 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/collective"
+)
+
+func TestStrongScalingShrinksBatch(t *testing.T) {
+	r := RunStrongScaling(collective.BackendMPIOpt, 512, 3, []int{1, 8, 32})
+	if len(r.Points) != 3 {
+		t.Fatalf("points %d", len(r.Points))
+	}
+	if r.Points[0].BatchPerGPU != 128 || r.Points[1].BatchPerGPU != 16 || r.Points[2].BatchPerGPU != 4 {
+		t.Fatalf("batch split wrong: %+v", r.Points)
+	}
+	// Step time must shrink with more GPUs (that is the point of strong
+	// scaling) and speedup must exceed 1.
+	if r.Points[2].StepMs >= r.Points[0].StepMs {
+		t.Fatalf("no strong-scaling benefit: %+v", r.Points)
+	}
+	if r.Points[2].Speedup <= 1.5 {
+		t.Fatalf("speedup %g too small", r.Points[2].Speedup)
+	}
+}
+
+func TestStrongScalingOptBeatsDefault(t *testing.T) {
+	nodes := []int{1, 16, 64}
+	def := RunStrongScaling(collective.BackendMPI, 512, 3, nodes)
+	opt := RunStrongScaling(collective.BackendMPIOpt, 512, 3, nodes)
+	last := len(nodes) - 1
+	if opt.Points[last].Speedup <= def.Points[last].Speedup {
+		t.Fatalf("optimized strong-scaling speedup (%g) should beat default (%g)",
+			opt.Points[last].Speedup, def.Points[last].Speedup)
+	}
+	out := FormatStrongScaling([]StrongScalingResult{def, opt})
+	if !strings.Contains(out, "Strong scaling") {
+		t.Fatal("format broken")
+	}
+}
+
+func TestStrongScalingAmdahlBound(t *testing.T) {
+	// The bound must exceed measured speedups and grow with GPU count.
+	b16 := StrongScalingAmdahlBound(512, 16)
+	b256 := StrongScalingAmdahlBound(512, 256)
+	if b256 <= b16 {
+		t.Fatalf("bound should grow with GPUs: %g vs %g", b16, b256)
+	}
+	if StrongScalingAmdahlBound(512, 4096) <= 0 {
+		t.Fatal("degenerate bound")
+	}
+}

@@ -1,0 +1,65 @@
+package horovod
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/models"
+	"repro/internal/mpi"
+	"repro/internal/perfmodel"
+)
+
+// BenchmarkPlanFusion measures the fusion planner on the real EDSR
+// gradient layout.
+func BenchmarkPlanFusion(b *testing.B) {
+	layout := perfmodel.GradLayout(models.EDSRPaper())
+	sizes := make([]int64, len(layout))
+	ready := make([]int, len(layout))
+	for i, t := range layout {
+		sizes[i] = t.Bytes()
+		ready[i] = i
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		PlanFusion(sizes, ready, 64<<20)
+	}
+}
+
+// BenchmarkEngineStep measures a full engine round trip: submit all of a
+// model's gradients, negotiate, fuse, allreduce, complete — on real
+// buffers across real ranks.
+func BenchmarkEngineStep(b *testing.B) {
+	for _, ranks := range []int{2, 4, 8} {
+		b.Run(fmt.Sprintf("%dranks", ranks), func(b *testing.B) {
+			const nt = 20
+			w := mpi.NewWorld(ranks)
+			var bytes int64
+			b.ResetTimer()
+			w.Run(func(c *mpi.Comm) {
+				cfg := DefaultConfig()
+				cfg.CycleTime = 0
+				e := NewEngine(c, cfg)
+				ids := make([]int, nt)
+				for i := range ids {
+					buf := make([]float32, 4096*(i+1))
+					ids[i] = e.Register(fmt.Sprintf("g%d", i), buf)
+					if c.Rank() == 0 {
+						bytes += int64(len(buf)) * 4
+					}
+				}
+				e.Start()
+				for iter := 0; iter < b.N; iter++ {
+					waits := make([]<-chan struct{}, nt)
+					for i := nt - 1; i >= 0; i-- {
+						waits[i] = e.Submit(ids[i])
+					}
+					for _, wch := range waits {
+						<-wch
+					}
+				}
+				e.Shutdown()
+			})
+			b.SetBytes(bytes)
+		})
+	}
+}

@@ -1,0 +1,244 @@
+package horovod
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/mpi"
+	"repro/internal/tensor"
+)
+
+// Config mirrors the Horovod tunables the paper sweeps.
+type Config struct {
+	// FusionThresholdBytes is HOROVOD_FUSION_THRESHOLD (default 64 MB).
+	FusionThresholdBytes int64
+	// CycleTime is HOROVOD_CYCLE_TIME (default 3.5 ms): how long the
+	// engine accumulates ready tensors before negotiating a fusion round.
+	CycleTime time.Duration
+	// Average divides reduced gradients by the world size (the standard
+	// data-parallel gradient average).
+	Average bool
+	// Algo selects the allreduce algorithm of the backend.
+	Algo mpi.AllreduceAlgo
+	// FP16Compression quantizes gradients through half precision before
+	// reduction (Horovod's fp16 compressor): the wire payload halves at
+	// the cost of 11-bit significands. Values are quantized on submit and
+	// after reduction, reproducing the numerics of an fp16 wire format.
+	FP16Compression bool
+}
+
+// DefaultConfig returns Horovod's defaults (64 MB fusion buffer, 3.5 ms
+// cycle, averaging, ring allreduce).
+func DefaultConfig() Config {
+	return Config{
+		FusionThresholdBytes: 64 << 20,
+		CycleTime:            3500 * time.Microsecond,
+		Average:              true,
+		Algo:                 mpi.AlgoRing,
+	}
+}
+
+// Engine is one rank's background communication engine. All ranks must
+// register the same tensors in the same order (Horovod keys tensors by
+// name; registration order stands in for its response ordering).
+type Engine struct {
+	comm *mpi.Comm
+	cfg  Config
+
+	names []string
+	bufs  [][]float32
+	sizes []int64
+	ids   map[string]int
+
+	mu       sync.Mutex
+	ready    []bool
+	waiters  []chan struct{}
+	shutdown bool
+
+	fusion   []float32
+	loopDone chan struct{}
+	started  bool
+}
+
+// NewEngine creates an engine bound to one rank's communicator.
+func NewEngine(comm *mpi.Comm, cfg Config) *Engine {
+	if cfg.FusionThresholdBytes == 0 {
+		cfg.FusionThresholdBytes = 64 << 20
+	}
+	return &Engine{
+		comm:     comm,
+		cfg:      cfg,
+		ids:      map[string]int{},
+		loopDone: make(chan struct{}),
+	}
+}
+
+// Register adds a named gradient buffer and returns its id. All ranks
+// must register identically before Start.
+func (e *Engine) Register(name string, buf []float32) int {
+	if e.started {
+		panic("horovod: Register after Start")
+	}
+	if _, dup := e.ids[name]; dup {
+		panic(fmt.Sprintf("horovod: duplicate tensor %q", name))
+	}
+	id := len(e.names)
+	e.ids[name] = id
+	e.names = append(e.names, name)
+	e.bufs = append(e.bufs, buf)
+	e.sizes = append(e.sizes, int64(len(buf))*4)
+	e.ready = append(e.ready, false)
+	e.waiters = append(e.waiters, nil)
+	return id
+}
+
+// Start launches the background negotiation loop. Every rank must call
+// Start, and afterwards every rank must eventually call Shutdown.
+func (e *Engine) Start() {
+	if e.started {
+		panic("horovod: Start called twice")
+	}
+	e.started = true
+	go e.loop()
+}
+
+// Submit marks a tensor's gradient ready for reduction and returns a
+// channel closed when the reduced (averaged) values are back in the
+// registered buffer.
+func (e *Engine) Submit(id int) <-chan struct{} {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.ready[id] {
+		panic(fmt.Sprintf("horovod: tensor %q submitted twice before completion", e.names[id]))
+	}
+	done := make(chan struct{})
+	e.ready[id] = true
+	e.waiters[id] = done
+	return done
+}
+
+// SubmitByName is Submit keyed by tensor name.
+func (e *Engine) SubmitByName(name string) <-chan struct{} {
+	id, ok := e.ids[name]
+	if !ok {
+		panic(fmt.Sprintf("horovod: unknown tensor %q", name))
+	}
+	return e.Submit(id)
+}
+
+// Shutdown negotiates a clean stop: the loop exits once every rank has
+// requested shutdown and no tensors remain pending. Blocks until the
+// background loop ends.
+func (e *Engine) Shutdown() {
+	e.mu.Lock()
+	e.shutdown = true
+	e.mu.Unlock()
+	<-e.loopDone
+}
+
+// loop is the Horovod background thread: each cycle it collects locally
+// ready tensors, negotiates the globally ready set with a min-allreduce
+// over readiness masks (Horovod's coordinator performs the equivalent
+// gather), fuses them within the threshold, and executes the reductions.
+func (e *Engine) loop() {
+	defer close(e.loopDone)
+	n := len(e.names)
+	mask := make([]float32, n+1) // last slot carries the shutdown vote
+	for {
+		if e.cfg.CycleTime > 0 {
+			time.Sleep(e.cfg.CycleTime)
+		}
+		e.mu.Lock()
+		for i := 0; i < n; i++ {
+			if e.ready[i] {
+				mask[i] = 1
+			} else {
+				mask[i] = 0
+			}
+		}
+		if e.shutdown {
+			mask[n] = 1
+		} else {
+			mask[n] = 0
+		}
+		e.mu.Unlock()
+
+		e.comm.AllreduceMin(mask)
+
+		var ready []int
+		for i := 0; i < n; i++ {
+			if mask[i] == 1 {
+				ready = append(ready, i)
+			}
+		}
+		for _, group := range PlanFusion(e.sizes, ready, e.cfg.FusionThresholdBytes) {
+			e.reduceGroup(group)
+		}
+
+		// Exit is decided purely from negotiated state, so every rank
+		// leaves on the same round. A rank only votes shutdown after all
+		// its submissions completed, so a unanimous vote implies no rank
+		// has pending tensors.
+		if mask[n] == 1 && len(ready) == 0 {
+			return
+		}
+	}
+}
+
+// reduceGroup copies the group into the fusion buffer, allreduces it as a
+// single message, averages, scatters results back, and wakes waiters.
+func (e *Engine) reduceGroup(group []int) {
+	total := 0
+	for _, id := range group {
+		total += len(e.bufs[id])
+	}
+	var buf []float32
+	if len(group) == 1 {
+		// Unfused path: reduce the tensor's own buffer directly (no copy),
+		// exactly what Horovod does for tensors above the threshold.
+		buf = e.bufs[group[0]]
+	} else {
+		if cap(e.fusion) < total {
+			e.fusion = make([]float32, total)
+		}
+		buf = e.fusion[:total]
+		off := 0
+		for _, id := range group {
+			copy(buf[off:], e.bufs[id])
+			off += len(e.bufs[id])
+		}
+	}
+
+	if e.cfg.FP16Compression {
+		tensor.QuantizeHalf(buf)
+	}
+	e.comm.AllreduceSum(buf, e.cfg.Algo)
+	if e.cfg.FP16Compression {
+		tensor.QuantizeHalf(buf)
+	}
+
+	if e.cfg.Average {
+		inv := 1 / float32(e.comm.Size())
+		for i := range buf {
+			buf[i] *= inv
+		}
+	}
+	if len(group) > 1 {
+		off := 0
+		for _, id := range group {
+			copy(e.bufs[id], buf[off:off+len(e.bufs[id])])
+			off += len(e.bufs[id])
+		}
+	}
+
+	e.mu.Lock()
+	for _, id := range group {
+		e.ready[id] = false
+		if w := e.waiters[id]; w != nil {
+			close(w)
+			e.waiters[id] = nil
+		}
+	}
+	e.mu.Unlock()
+}

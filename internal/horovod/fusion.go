@@ -1,0 +1,55 @@
+// Package horovod reimplements the Horovod data-parallel training engine
+// on top of the in-process MPI substrate: background per-rank engines, a
+// readiness negotiation between ranks, Tensor Fusion (the
+// HOROVOD_FUSION_THRESHOLD / HOROVOD_CYCLE_TIME mechanism the paper tunes
+// at every scale), gradient-averaging allreduce, a DistributedOptimizer
+// wrapper, and initial-parameter broadcast.
+package horovod
+
+// PlanFusion implements Horovod's Tensor Fusion packing rule: walk the
+// globally-ready tensors in registration order and group consecutive ones
+// while the running byte total stays within threshold; a tensor larger
+// than the threshold is reduced alone, unfused.
+//
+// sizes holds every registered tensor's payload in bytes, ready lists the
+// indices negotiated ready on all ranks (in registration order). The
+// result deterministically partitions ready, so every rank — running this
+// same pure function on the same negotiated input — issues identical
+// collectives in identical order.
+func PlanFusion(sizes []int64, ready []int, threshold int64) [][]int {
+	var groups [][]int
+	var cur []int
+	var curBytes int64
+	flush := func() {
+		if len(cur) > 0 {
+			groups = append(groups, cur)
+			cur = nil
+			curBytes = 0
+		}
+	}
+	for _, id := range ready {
+		sz := sizes[id]
+		if threshold <= 0 || sz >= threshold {
+			// Unfusable: flush the open group, emit this one alone.
+			flush()
+			groups = append(groups, []int{id})
+			continue
+		}
+		if curBytes+sz > threshold {
+			flush()
+		}
+		cur = append(cur, id)
+		curBytes += sz
+	}
+	flush()
+	return groups
+}
+
+// GroupBytes sums the payload of one fusion group.
+func GroupBytes(sizes []int64, group []int) int64 {
+	var total int64
+	for _, id := range group {
+		total += sizes[id]
+	}
+	return total
+}

@@ -1,0 +1,138 @@
+package horovod
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPlanFusionEmpty(t *testing.T) {
+	if got := PlanFusion([]int64{4, 8}, nil, 64); got != nil {
+		t.Fatalf("empty ready should give no groups: %v", got)
+	}
+}
+
+func TestPlanFusionSingleGroup(t *testing.T) {
+	sizes := []int64{10, 20, 30}
+	groups := PlanFusion(sizes, []int{0, 1, 2}, 100)
+	if len(groups) != 1 || len(groups[0]) != 3 {
+		t.Fatalf("all should fuse into one group: %v", groups)
+	}
+	if GroupBytes(sizes, groups[0]) != 60 {
+		t.Fatalf("group bytes %d", GroupBytes(sizes, groups[0]))
+	}
+}
+
+func TestPlanFusionSplitsAtThreshold(t *testing.T) {
+	sizes := []int64{40, 40, 40}
+	groups := PlanFusion(sizes, []int{0, 1, 2}, 100)
+	// 40+40 = 80 fits, adding the third (120) would not.
+	if len(groups) != 2 {
+		t.Fatalf("want 2 groups: %v", groups)
+	}
+	if len(groups[0]) != 2 || len(groups[1]) != 1 {
+		t.Fatalf("split wrong: %v", groups)
+	}
+}
+
+func TestPlanFusionOversizeAlone(t *testing.T) {
+	sizes := []int64{10, 500, 10}
+	groups := PlanFusion(sizes, []int{0, 1, 2}, 100)
+	// Tensor 1 exceeds the threshold: reduced alone; 0 flushed before it.
+	if len(groups) != 3 {
+		t.Fatalf("want 3 groups: %v", groups)
+	}
+	if len(groups[1]) != 1 || groups[1][0] != 1 {
+		t.Fatalf("oversize tensor should be alone: %v", groups)
+	}
+}
+
+func TestPlanFusionExactThreshold(t *testing.T) {
+	// A tensor exactly at the threshold counts as unfusable (>=).
+	groups := PlanFusion([]int64{100}, []int{0}, 100)
+	if len(groups) != 1 || len(groups[0]) != 1 {
+		t.Fatalf("%v", groups)
+	}
+	// Two tensors summing exactly to the threshold do fuse.
+	groups = PlanFusion([]int64{50, 50}, []int{0, 1}, 100)
+	if len(groups) != 1 {
+		t.Fatalf("exact-sum should fuse: %v", groups)
+	}
+}
+
+func TestPlanFusionZeroThreshold(t *testing.T) {
+	groups := PlanFusion([]int64{1, 2, 3}, []int{0, 1, 2}, 0)
+	if len(groups) != 3 {
+		t.Fatalf("threshold 0 disables fusion: %v", groups)
+	}
+}
+
+// Properties: every ready id appears exactly once, order is preserved, and
+// no multi-tensor group exceeds the threshold.
+func TestQuickPlanFusionInvariants(t *testing.T) {
+	f := func(rawSizes []uint16, threshRaw uint16) bool {
+		if len(rawSizes) == 0 {
+			return true
+		}
+		threshold := int64(threshRaw)%1000 + 1
+		sizes := make([]int64, len(rawSizes))
+		ready := make([]int, len(rawSizes))
+		for i, s := range rawSizes {
+			sizes[i] = int64(s)%500 + 1
+			ready[i] = i
+		}
+		groups := PlanFusion(sizes, ready, threshold)
+		var flat []int
+		for _, g := range groups {
+			if len(g) == 0 {
+				return false
+			}
+			if len(g) > 1 && GroupBytes(sizes, g) > threshold {
+				return false
+			}
+			flat = append(flat, g...)
+		}
+		if len(flat) != len(ready) {
+			return false
+		}
+		for i, id := range flat {
+			if id != ready[i] {
+				return false // order must be preserved
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPlanFusionMatchesEDSRShape(t *testing.T) {
+	// The Table I scenario: ~172 MB of gradients against a 64 MB fusion
+	// buffer must yield messages in the 16-64 MB buckets, with at least
+	// two in 32-64 MB (the paper's dominant bucket).
+	const mb = 1 << 20
+	// Simplified EDSR paper-config layout: 64 resblock convs of 2.25 MB
+	// each plus a few large head/tail tensors.
+	var sizes []int64
+	for i := 0; i < 64; i++ {
+		sizes = append(sizes, 2362368) // 256×256×3×3 weights ≈ 2.25 MB
+	}
+	sizes = append(sizes, 9437184) // tail up-conv 256→1024
+	ready := make([]int, len(sizes))
+	for i := range ready {
+		ready[i] = i
+	}
+	groups := PlanFusion(sizes, ready, 64*mb)
+	if len(groups) < 3 {
+		t.Fatalf("expected ≥3 fused messages for 160+ MB of gradients, got %d", len(groups))
+	}
+	big := 0
+	for _, g := range groups {
+		if b := GroupBytes(sizes, g); b > 32*mb && b <= 64*mb {
+			big++
+		}
+	}
+	if big < 2 {
+		t.Fatalf("expected ≥2 messages in the 32-64 MB bucket, got %d", big)
+	}
+}

@@ -1,0 +1,68 @@
+package horovod
+
+import (
+	"repro/internal/mpi"
+	"repro/internal/nn"
+)
+
+// BroadcastParameters sends root's parameter values to all ranks — step 2
+// of the paper's Horovod integration guide (Section III-A): every replica
+// must start from identical weights.
+func BroadcastParameters(comm *mpi.Comm, params []*nn.Param, root int) {
+	for _, p := range params {
+		comm.Bcast(p.Value.Data(), root)
+	}
+}
+
+// ScaleLR applies the linear learning-rate scaling rule from the paper's
+// integration guide (step 4): multiply the single-process learning rate by
+// the world size to counteract the effectively larger global batch.
+func ScaleLR(opt nn.Optimizer, worldSize int) {
+	opt.SetLR(opt.LR() * float64(worldSize))
+}
+
+// DistributedOptimizer wraps an optimizer so that Step() first reduces all
+// gradients through the engine (step 3 of the integration guide). It
+// submits gradients in reverse registration order, matching the order a
+// backward pass produces them.
+type DistributedOptimizer struct {
+	inner  nn.Optimizer
+	engine *Engine
+	ids    []int
+}
+
+// NewDistributedOptimizer registers every parameter's gradient with the
+// engine and returns the wrapper. Must be called before engine.Start, and
+// identically on every rank.
+func NewDistributedOptimizer(inner nn.Optimizer, engine *Engine) *DistributedOptimizer {
+	d := &DistributedOptimizer{inner: inner, engine: engine}
+	for _, p := range inner.Params() {
+		d.ids = append(d.ids, engine.Register(p.Name, p.Grad.Data()))
+	}
+	return d
+}
+
+// Step allreduces all gradients, waits for completion, then applies the
+// wrapped optimizer's update.
+func (d *DistributedOptimizer) Step() {
+	waits := make([]<-chan struct{}, len(d.ids))
+	for i := len(d.ids) - 1; i >= 0; i-- {
+		waits[i] = d.engine.Submit(d.ids[i])
+	}
+	for _, w := range waits {
+		<-w
+	}
+	d.inner.Step()
+}
+
+// ZeroGrad clears gradients on the wrapped optimizer.
+func (d *DistributedOptimizer) ZeroGrad() { d.inner.ZeroGrad() }
+
+// LR returns the wrapped optimizer's learning rate.
+func (d *DistributedOptimizer) LR() float64 { return d.inner.LR() }
+
+// SetLR sets the wrapped optimizer's learning rate.
+func (d *DistributedOptimizer) SetLR(lr float64) { d.inner.SetLR(lr) }
+
+// Params returns the wrapped optimizer's parameters.
+func (d *DistributedOptimizer) Params() []*nn.Param { return d.inner.Params() }

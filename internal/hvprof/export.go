@@ -1,0 +1,99 @@
+package hvprof
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+)
+
+// WriteCSV exports the raw records as CSV (op, bytes, seconds) for
+// external analysis, mirroring hvprof's trace-dump mode.
+func (p *Profiler) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"op", "bytes", "seconds"}); err != nil {
+		return err
+	}
+	for _, r := range p.Records() {
+		if err := cw.Write([]string{
+			r.Op,
+			fmt.Sprintf("%d", r.Bytes),
+			fmt.Sprintf("%.9f", r.Seconds),
+		}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// OpStats are latency statistics for one operation.
+type OpStats struct {
+	Op            string
+	Count         int
+	TotalSeconds  float64
+	TotalBytes    int64
+	MeanSeconds   float64
+	P50, P95, P99 float64
+	MaxSeconds    float64
+	// EffectiveBandwidth is TotalBytes/TotalSeconds in bytes/sec (an
+	// aggregate, not a per-message figure).
+	EffectiveBandwidth float64
+}
+
+// Stats computes latency percentiles for one op across all its records.
+func (p *Profiler) Stats(op string) (OpStats, bool) {
+	var durs []float64
+	st := OpStats{Op: op}
+	for _, r := range p.Records() {
+		if r.Op != op {
+			continue
+		}
+		durs = append(durs, r.Seconds)
+		st.Count++
+		st.TotalSeconds += r.Seconds
+		st.TotalBytes += r.Bytes
+	}
+	if st.Count == 0 {
+		return st, false
+	}
+	sort.Float64s(durs)
+	st.MeanSeconds = st.TotalSeconds / float64(st.Count)
+	st.P50 = percentile(durs, 0.50)
+	st.P95 = percentile(durs, 0.95)
+	st.P99 = percentile(durs, 0.99)
+	st.MaxSeconds = durs[len(durs)-1]
+	if st.TotalSeconds > 0 {
+		st.EffectiveBandwidth = float64(st.TotalBytes) / st.TotalSeconds
+	}
+	return st, true
+}
+
+// percentile returns the q-quantile of sorted values using linear
+// interpolation.
+func percentile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// FormatStats renders OpStats for human reading.
+func FormatStats(st OpStats) string {
+	return fmt.Sprintf(
+		"%s: n=%d total=%.1fms mean=%.3fms p50=%.3fms p95=%.3fms p99=%.3fms max=%.3fms bw=%.2fGB/s",
+		st.Op, st.Count, st.TotalSeconds*1000, st.MeanSeconds*1000,
+		st.P50*1000, st.P95*1000, st.P99*1000, st.MaxSeconds*1000,
+		st.EffectiveBandwidth/1e9)
+}

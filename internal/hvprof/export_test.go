@@ -1,0 +1,88 @@
+package hvprof
+
+import (
+	"bytes"
+	"encoding/csv"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestWriteCSV(t *testing.T) {
+	p := New()
+	p.Record("allreduce", 1024, 0.005)
+	p.Record("bcast", 64, 0.001)
+	var buf bytes.Buffer
+	if err := p.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 { // header + 2
+		t.Fatalf("rows %d", len(rows))
+	}
+	if rows[0][0] != "op" || rows[1][0] != "allreduce" || rows[1][1] != "1024" {
+		t.Fatalf("csv content: %v", rows)
+	}
+}
+
+func TestStatsPercentiles(t *testing.T) {
+	p := New()
+	// 100 records: 1ms .. 100ms.
+	for i := 1; i <= 100; i++ {
+		p.Record("allreduce", 100, float64(i)/1000)
+	}
+	st, ok := p.Stats("allreduce")
+	if !ok {
+		t.Fatal("no stats")
+	}
+	if st.Count != 100 {
+		t.Fatalf("count %d", st.Count)
+	}
+	if math.Abs(st.P50-0.0505) > 0.002 {
+		t.Fatalf("p50 %g", st.P50)
+	}
+	if math.Abs(st.P95-0.095) > 0.002 {
+		t.Fatalf("p95 %g", st.P95)
+	}
+	if st.MaxSeconds != 0.1 {
+		t.Fatalf("max %g", st.MaxSeconds)
+	}
+	if math.Abs(st.MeanSeconds-0.0505) > 1e-9 {
+		t.Fatalf("mean %g", st.MeanSeconds)
+	}
+	if st.EffectiveBandwidth <= 0 {
+		t.Fatal("bandwidth missing")
+	}
+}
+
+func TestStatsMissingOp(t *testing.T) {
+	p := New()
+	if _, ok := p.Stats("nothing"); ok {
+		t.Fatal("expected no stats")
+	}
+}
+
+func TestPercentileEdgeCases(t *testing.T) {
+	if percentile(nil, 0.5) != 0 {
+		t.Fatal("empty")
+	}
+	if percentile([]float64{7}, 0.99) != 7 {
+		t.Fatal("single")
+	}
+	if got := percentile([]float64{1, 2}, 0.5); math.Abs(got-1.5) > 1e-12 {
+		t.Fatalf("interpolation: %g", got)
+	}
+}
+
+func TestFormatStats(t *testing.T) {
+	p := New()
+	p.Record("allreduce", 1<<20, 0.01)
+	st, _ := p.Stats("allreduce")
+	out := FormatStats(st)
+	if !strings.Contains(out, "allreduce") || !strings.Contains(out, "p95") {
+		t.Fatalf("format: %s", out)
+	}
+}

@@ -1,0 +1,206 @@
+// Package hvprof reimplements the paper's Horovod/MPI profiling tool of
+// the same name (Awan et al., HotI'19): it records every collective a
+// communication backend executes, organized by operation and message size,
+// and renders the bucket tables the paper reports in Fig. 14 and Table I.
+//
+// The profiler is deliberately backend-agnostic (the paper stresses this):
+// it accepts records from the real in-process MPI (wall-clock seconds) and
+// from the discrete-event cluster simulator (virtual seconds) through the
+// same interface.
+package hvprof
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Bucket boundaries follow Table I of the paper.
+var bucketEdges = []int64{
+	1,
+	128 << 10, // 128 KB
+	16 << 20,  // 16 MB
+	32 << 20,  // 32 MB
+	64 << 20,  // 64 MB
+}
+
+// BucketNames are the human-readable size classes from Table I.
+var BucketNames = []string{
+	"1-128 KB",
+	"128 KB - 16 MB",
+	"16 MB - 32 MB",
+	"32 MB - 64 MB",
+	"> 64 MB",
+}
+
+// NumBuckets is the number of message-size classes.
+const NumBuckets = 5
+
+// BucketOf maps a message size in bytes to its bucket index.
+func BucketOf(bytes int64) int {
+	for i := len(bucketEdges) - 1; i >= 1; i-- {
+		if bytes >= bucketEdges[i] {
+			return i
+		}
+	}
+	return 0
+}
+
+// Record is one profiled collective call.
+type Record struct {
+	Op      string
+	Bytes   int64
+	Seconds float64
+}
+
+// Profiler accumulates collective records. It is safe for concurrent use
+// (multiple ranks may share one profiler).
+type Profiler struct {
+	mu      sync.Mutex
+	records []Record
+}
+
+// New creates an empty profiler.
+func New() *Profiler { return &Profiler{} }
+
+// Record implements the mpi.Profiler / simulated-backend interface.
+func (p *Profiler) Record(op string, bytes int64, seconds float64) {
+	p.mu.Lock()
+	p.records = append(p.records, Record{Op: op, Bytes: bytes, Seconds: seconds})
+	p.mu.Unlock()
+}
+
+// Reset discards all records.
+func (p *Profiler) Reset() {
+	p.mu.Lock()
+	p.records = nil
+	p.mu.Unlock()
+}
+
+// Records returns a snapshot of all records.
+func (p *Profiler) Records() []Record {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return append([]Record(nil), p.records...)
+}
+
+// BucketStat aggregates one (op, size-class) cell.
+type BucketStat struct {
+	Count   int
+	Bytes   int64
+	Seconds float64
+}
+
+// Report is the aggregate view of a profiling run.
+type Report struct {
+	// PerOp maps operation → per-bucket stats (length NumBuckets).
+	PerOp map[string][]BucketStat
+}
+
+// Report aggregates the records into per-op, per-bucket stats.
+func (p *Profiler) Report() Report {
+	rep := Report{PerOp: map[string][]BucketStat{}}
+	for _, r := range p.Records() {
+		row := rep.PerOp[r.Op]
+		if row == nil {
+			row = make([]BucketStat, NumBuckets)
+			rep.PerOp[r.Op] = row
+		}
+		b := BucketOf(r.Bytes)
+		row[b].Count++
+		row[b].Bytes += r.Bytes
+		row[b].Seconds += r.Seconds
+	}
+	return rep
+}
+
+// TotalSeconds sums the time of one op across buckets (e.g. total
+// MPI_Allreduce time, the quantity Table I improves by 45.4%).
+func (r Report) TotalSeconds(op string) float64 {
+	var s float64
+	for _, b := range r.PerOp[op] {
+		s += b.Seconds
+	}
+	return s
+}
+
+// Ops returns the recorded operation names, sorted.
+func (r Report) Ops() []string {
+	var ops []string
+	for op := range r.PerOp {
+		ops = append(ops, op)
+	}
+	sort.Strings(ops)
+	return ops
+}
+
+// String renders the per-op bucket table (the Fig. 14 view).
+func (r Report) String() string {
+	var b strings.Builder
+	for _, op := range r.Ops() {
+		fmt.Fprintf(&b, "== %s ==\n", op)
+		fmt.Fprintf(&b, "%-16s %10s %14s %12s\n", "Message Size", "Calls", "Bytes", "Time (ms)")
+		for i, st := range r.PerOp[op] {
+			if st.Count == 0 {
+				continue
+			}
+			fmt.Fprintf(&b, "%-16s %10d %14d %12.1f\n", BucketNames[i], st.Count, st.Bytes, st.Seconds*1000)
+		}
+		fmt.Fprintf(&b, "%-16s %10s %14s %12.1f\n", "Total", "", "", r.TotalSeconds(op)*1000)
+	}
+	return b.String()
+}
+
+// CompareRow is one line of a default-vs-optimized comparison (Table I).
+type CompareRow struct {
+	Bucket             string
+	DefaultMs, OptMs   float64
+	ImprovementPercent float64
+}
+
+// Compare builds the Table I comparison for one op between two reports.
+// Improvement is (default−opt)/default·100; buckets empty in both reports
+// are omitted.
+func Compare(def, opt Report, op string) []CompareRow {
+	d, o := def.PerOp[op], opt.PerOp[op]
+	var rows []CompareRow
+	for i := 0; i < NumBuckets; i++ {
+		var dm, om float64
+		if d != nil {
+			dm = d[i].Seconds * 1000
+		}
+		if o != nil {
+			om = o[i].Seconds * 1000
+		}
+		if dm == 0 && om == 0 {
+			continue
+		}
+		row := CompareRow{Bucket: BucketNames[i], DefaultMs: dm, OptMs: om}
+		if dm > 0 {
+			row.ImprovementPercent = (dm - om) / dm * 100
+		}
+		rows = append(rows, row)
+	}
+	dTot, oTot := def.TotalSeconds(op)*1000, opt.TotalSeconds(op)*1000
+	total := CompareRow{Bucket: "Total Time", DefaultMs: dTot, OptMs: oTot}
+	if dTot > 0 {
+		total.ImprovementPercent = (dTot - oTot) / dTot * 100
+	}
+	return append(rows, total)
+}
+
+// FormatCompare renders rows in the paper's Table I layout.
+func FormatCompare(rows []CompareRow, op string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s time by message size (default vs optimized)\n", op)
+	fmt.Fprintf(&b, "%-16s %12s %12s %14s\n", "Message Size", "Default(ms)", "Opt(ms)", "Improvement %")
+	for _, r := range rows {
+		impr := fmt.Sprintf("%.1f", r.ImprovementPercent)
+		if r.ImprovementPercent < 2 && r.ImprovementPercent > -2 {
+			impr = "~0"
+		}
+		fmt.Fprintf(&b, "%-16s %12.1f %12.1f %14s\n", r.Bucket, r.DefaultMs, r.OptMs, impr)
+	}
+	return b.String()
+}

@@ -1,0 +1,160 @@
+package hvprof
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestBucketOf(t *testing.T) {
+	cases := []struct {
+		bytes int64
+		want  int
+	}{
+		{1, 0},
+		{1024, 0},
+		{128<<10 - 1, 0},
+		{128 << 10, 1},
+		{1 << 20, 1},
+		{16<<20 - 1, 1},
+		{16 << 20, 2},
+		{31 << 20, 2},
+		{32 << 20, 3},
+		{63 << 20, 3},
+		{64 << 20, 4},
+		{1 << 30, 4},
+	}
+	for _, c := range cases {
+		if got := BucketOf(c.bytes); got != c.want {
+			t.Errorf("BucketOf(%d) = %d, want %d", c.bytes, got, c.want)
+		}
+	}
+}
+
+// Property: bucket index is monotone non-decreasing in message size.
+func TestQuickBucketMonotone(t *testing.T) {
+	f := func(a, b uint32) bool {
+		x, y := int64(a), int64(b)
+		if x > y {
+			x, y = y, x
+		}
+		return BucketOf(x) <= BucketOf(y)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReportAggregation(t *testing.T) {
+	p := New()
+	p.Record("allreduce", 64, 0.010)
+	p.Record("allreduce", 64, 0.020)
+	p.Record("allreduce", 20<<20, 0.500)
+	p.Record("bcast", 1024, 0.001)
+	rep := p.Report()
+	ar := rep.PerOp["allreduce"]
+	if ar[0].Count != 2 || math.Abs(ar[0].Seconds-0.030) > 1e-12 {
+		t.Fatalf("bucket 0: %+v", ar[0])
+	}
+	if ar[2].Count != 1 || ar[2].Bytes != 20<<20 {
+		t.Fatalf("bucket 2: %+v", ar[2])
+	}
+	if math.Abs(rep.TotalSeconds("allreduce")-0.530) > 1e-12 {
+		t.Fatalf("total %g", rep.TotalSeconds("allreduce"))
+	}
+	if ops := rep.Ops(); len(ops) != 2 || ops[0] != "allreduce" || ops[1] != "bcast" {
+		t.Fatalf("ops %v", ops)
+	}
+}
+
+func TestReset(t *testing.T) {
+	p := New()
+	p.Record("allreduce", 1, 1)
+	p.Reset()
+	if len(p.Records()) != 0 {
+		t.Fatal("reset did not clear records")
+	}
+}
+
+func TestConcurrentRecording(t *testing.T) {
+	p := New()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				p.Record("allreduce", 4, 0.001)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := len(p.Records()); got != 800 {
+		t.Fatalf("records %d, want 800", got)
+	}
+}
+
+func TestCompareTableI(t *testing.T) {
+	// Reconstruct the paper's Table I numbers and verify the comparison
+	// math reproduces its improvement column.
+	def, opt := New(), New()
+	add := func(p *Profiler, bytes int64, ms float64) {
+		p.Record("allreduce", bytes, ms/1000)
+	}
+	add(def, 64<<10, 392.0)
+	add(opt, 64<<10, 391.2)
+	add(def, 1<<20, 320.7)
+	add(opt, 1<<20, 342.4)
+	add(def, 20<<20, 1321.6)
+	add(opt, 20<<20, 619.6)
+	add(def, 40<<20, 5145.6)
+	add(opt, 40<<20, 2587.151)
+
+	rows := Compare(def.Report(), opt.Report(), "allreduce")
+	if len(rows) != 5 { // 4 buckets + total
+		t.Fatalf("rows: %d", len(rows))
+	}
+	byBucket := map[string]CompareRow{}
+	for _, r := range rows {
+		byBucket[r.Bucket] = r
+	}
+	if r := byBucket["16 MB - 32 MB"]; math.Abs(r.ImprovementPercent-53.1) > 0.2 {
+		t.Fatalf("16-32MB improvement %g, paper says 53.1", r.ImprovementPercent)
+	}
+	if r := byBucket["32 MB - 64 MB"]; math.Abs(r.ImprovementPercent-49.7) > 0.2 {
+		t.Fatalf("32-64MB improvement %g, paper says 49.7", r.ImprovementPercent)
+	}
+	// The paper reports 45.4% but its own per-bucket rows sum to 3940.4 ms
+	// (not the printed 3918.5), which gives 45.1% — accept either.
+	if r := byBucket["Total Time"]; math.Abs(r.ImprovementPercent-45.4) > 0.5 {
+		t.Fatalf("total improvement %g, paper says 45.4", r.ImprovementPercent)
+	}
+}
+
+func TestCompareHandlesMissingOp(t *testing.T) {
+	def, opt := New(), New()
+	def.Record("allreduce", 1<<20, 0.1)
+	rows := Compare(def.Report(), opt.Report(), "allreduce")
+	if len(rows) != 2 {
+		t.Fatalf("rows %v", rows)
+	}
+	if rows[0].OptMs != 0 {
+		t.Fatal("missing op should read as zero")
+	}
+}
+
+func TestFormatting(t *testing.T) {
+	p := New()
+	p.Record("allreduce", 40<<20, 5.1456)
+	s := p.Report().String()
+	if !strings.Contains(s, "32 MB - 64 MB") || !strings.Contains(s, "allreduce") {
+		t.Fatalf("report rendering missing fields:\n%s", s)
+	}
+	rows := Compare(p.Report(), p.Report(), "allreduce")
+	out := FormatCompare(rows, "MPI_Allreduce")
+	if !strings.Contains(out, "MPI_Allreduce") || !strings.Contains(out, "~0") {
+		t.Fatalf("compare rendering:\n%s", out)
+	}
+}

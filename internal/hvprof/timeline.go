@@ -1,0 +1,111 @@
+package hvprof
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Span is one timed activity on a lane of the timeline (a collective on
+// the communication lane, a compute phase on a rank's lane, ...).
+type Span struct {
+	Lane       string
+	Label      string
+	Start, End float64
+}
+
+// Timeline collects spans and renders an ASCII Gantt chart — a poor
+// man's Chrome-trace for the simulated training schedule. Safe for
+// concurrent use.
+type Timeline struct {
+	mu    sync.Mutex
+	spans []Span
+}
+
+// NewTimeline creates an empty timeline.
+func NewTimeline() *Timeline { return &Timeline{} }
+
+// Add records a span.
+func (t *Timeline) Add(lane, label string, start, end float64) {
+	if end < start {
+		start, end = end, start
+	}
+	t.mu.Lock()
+	t.spans = append(t.spans, Span{Lane: lane, Label: label, Start: start, End: end})
+	t.mu.Unlock()
+}
+
+// Spans returns a snapshot sorted by (lane, start).
+func (t *Timeline) Spans() []Span {
+	t.mu.Lock()
+	out := append([]Span(nil), t.spans...)
+	t.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Lane != out[j].Lane {
+			return out[i].Lane < out[j].Lane
+		}
+		return out[i].Start < out[j].Start
+	})
+	return out
+}
+
+// Render draws lanes as rows of width columns covering [from, to] seconds.
+// Each span paints its extent with the first rune of its label; overlaps
+// on a lane paint '#'.
+func (t *Timeline) Render(from, to float64, width int) string {
+	if width < 10 {
+		width = 10
+	}
+	if to <= from {
+		return "(empty timeline)\n"
+	}
+	spans := t.Spans()
+	lanes := []string{}
+	seen := map[string]bool{}
+	for _, s := range spans {
+		if !seen[s.Lane] {
+			seen[s.Lane] = true
+			lanes = append(lanes, s.Lane)
+		}
+	}
+	sort.Strings(lanes)
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "timeline %.1f ms .. %.1f ms (each column = %.2f ms)\n",
+		from*1000, to*1000, (to-from)*1000/float64(width))
+	scale := float64(width) / (to - from)
+	for _, lane := range lanes {
+		row := make([]rune, width)
+		for i := range row {
+			row[i] = '.'
+		}
+		for _, s := range spans {
+			if s.Lane != lane || s.End < from || s.Start > to {
+				continue
+			}
+			lo := int((s.Start - from) * scale)
+			hi := int((s.End - from) * scale)
+			if lo < 0 {
+				lo = 0
+			}
+			if hi >= width {
+				hi = width - 1
+			}
+			mark := '?'
+			if len(s.Label) > 0 {
+				mark = rune(s.Label[0])
+			}
+			for i := lo; i <= hi; i++ {
+				if row[i] != '.' {
+					row[i] = '#'
+				} else {
+					row[i] = mark
+				}
+			}
+		}
+		fmt.Fprintf(&b, "%-14s |%s|\n", lane, string(row))
+	}
+	fmt.Fprintf(&b, "legend: first letter of each activity; '#' = overlap; '.' = idle\n")
+	return b.String()
+}

@@ -1,0 +1,79 @@
+package hvprof
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestTimelineSpansSorted(t *testing.T) {
+	tl := NewTimeline()
+	tl.Add("b", "x", 0.5, 0.6)
+	tl.Add("a", "y", 0.2, 0.3)
+	tl.Add("a", "z", 0.0, 0.1)
+	spans := tl.Spans()
+	if spans[0].Lane != "a" || spans[0].Start != 0.0 {
+		t.Fatalf("sort order wrong: %+v", spans)
+	}
+	if spans[2].Lane != "b" {
+		t.Fatalf("lane order wrong: %+v", spans)
+	}
+}
+
+func TestTimelineReversedSpanNormalized(t *testing.T) {
+	tl := NewTimeline()
+	tl.Add("a", "x", 0.9, 0.1)
+	s := tl.Spans()[0]
+	if s.Start != 0.1 || s.End != 0.9 {
+		t.Fatalf("span not normalized: %+v", s)
+	}
+}
+
+func TestTimelineRender(t *testing.T) {
+	tl := NewTimeline()
+	tl.Add("compute", "forward", 0, 0.10)
+	tl.Add("compute", "backward", 0.10, 0.30)
+	tl.Add("comm", "allreduce", 0.15, 0.25)
+	out := tl.Render(0, 0.3, 60)
+	if !strings.Contains(out, "compute") || !strings.Contains(out, "comm") {
+		t.Fatalf("lanes missing:\n%s", out)
+	}
+	if !strings.Contains(out, "f") || !strings.Contains(out, "a") {
+		t.Fatalf("marks missing:\n%s", out)
+	}
+	// Overlapping spans on one lane show '#'.
+	tl.Add("comm", "negotiate", 0.2, 0.22)
+	out = tl.Render(0, 0.3, 60)
+	if !strings.Contains(out, "#") {
+		t.Fatalf("overlap marker missing:\n%s", out)
+	}
+}
+
+func TestTimelineRenderDegenerate(t *testing.T) {
+	tl := NewTimeline()
+	if !strings.Contains(tl.Render(1, 1, 50), "empty") {
+		t.Fatal("degenerate range should render as empty")
+	}
+	tl.Add("a", "x", 0, 1)
+	if tl.Render(0, 1, 3) == "" {
+		t.Fatal("tiny width should still render")
+	}
+}
+
+func TestTimelineConcurrentAdd(t *testing.T) {
+	tl := NewTimeline()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				tl.Add("lane", "x", float64(j), float64(j)+0.5)
+			}
+		}()
+	}
+	wg.Wait()
+	if len(tl.Spans()) != 400 {
+		t.Fatalf("spans %d", len(tl.Spans()))
+	}
+}

@@ -1,0 +1,135 @@
+// Package imageio converts between the tensor representation used by the
+// models (NCHW float32 in [0,1]) and standard image files (PNG), so
+// examples and tools can emit actual super-resolution results — the
+// paper's Fig. 4-style side-by-side comparisons.
+package imageio
+
+import (
+	"fmt"
+	"image"
+	"image/color"
+	"image/png"
+	"io"
+	"os"
+
+	"repro/internal/tensor"
+)
+
+// ToImage converts a (1, C, H, W) tensor with values in [0,1] to an RGBA
+// image. C must be 1 (grayscale) or 3 (RGB); values are clamped.
+func ToImage(t *tensor.Tensor) (*image.RGBA, error) {
+	if t.Rank() != 4 || t.Dim(0) != 1 {
+		return nil, fmt.Errorf("imageio: want a single image (1,C,H,W), got %v", t.Shape())
+	}
+	c, h, w := t.Dim(1), t.Dim(2), t.Dim(3)
+	if c != 1 && c != 3 {
+		return nil, fmt.Errorf("imageio: want 1 or 3 channels, got %d", c)
+	}
+	img := image.NewRGBA(image.Rect(0, 0, w, h))
+	d := t.Data()
+	plane := h * w
+	pix := func(ch, y, x int) uint8 {
+		v := d[ch*plane+y*w+x]
+		if v < 0 {
+			v = 0
+		} else if v > 1 {
+			v = 1
+		}
+		return uint8(v*255 + 0.5)
+	}
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			var r, g, b uint8
+			if c == 1 {
+				r = pix(0, y, x)
+				g, b = r, r
+			} else {
+				r, g, b = pix(0, y, x), pix(1, y, x), pix(2, y, x)
+			}
+			img.SetRGBA(x, y, color.RGBA{R: r, G: g, B: b, A: 255})
+		}
+	}
+	return img, nil
+}
+
+// FromImage converts any image to a (1, 3, H, W) tensor with values in
+// [0,1].
+func FromImage(img image.Image) *tensor.Tensor {
+	b := img.Bounds()
+	h, w := b.Dy(), b.Dx()
+	t := tensor.New(1, 3, h, w)
+	d := t.Data()
+	plane := h * w
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			r, g, bl, _ := img.At(b.Min.X+x, b.Min.Y+y).RGBA()
+			d[0*plane+y*w+x] = float32(r) / 65535
+			d[1*plane+y*w+x] = float32(g) / 65535
+			d[2*plane+y*w+x] = float32(bl) / 65535
+		}
+	}
+	return t
+}
+
+// WritePNG encodes a (1, C, H, W) tensor to w as PNG.
+func WritePNG(w io.Writer, t *tensor.Tensor) error {
+	img, err := ToImage(t)
+	if err != nil {
+		return err
+	}
+	return png.Encode(w, img)
+}
+
+// SavePNG writes the tensor to a PNG file.
+func SavePNG(path string, t *tensor.Tensor) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return WritePNG(f, t)
+}
+
+// LoadPNG reads a PNG file into a (1, 3, H, W) tensor.
+func LoadPNG(path string) (*tensor.Tensor, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	img, err := png.Decode(f)
+	if err != nil {
+		return nil, err
+	}
+	return FromImage(img), nil
+}
+
+// SideBySide concatenates equally-sized (1, C, H, W) tensors horizontally
+// with a 2-pixel white gutter — the layout of the paper's Fig. 4
+// comparisons.
+func SideBySide(tensors ...*tensor.Tensor) (*tensor.Tensor, error) {
+	if len(tensors) == 0 {
+		return nil, fmt.Errorf("imageio: no tensors")
+	}
+	c, h, w := tensors[0].Dim(1), tensors[0].Dim(2), tensors[0].Dim(3)
+	for _, t := range tensors[1:] {
+		if t.Dim(1) != c || t.Dim(2) != h || t.Dim(3) != w {
+			return nil, fmt.Errorf("imageio: size mismatch %v vs %v", t.Shape(), tensors[0].Shape())
+		}
+	}
+	const gutter = 2
+	outW := len(tensors)*w + (len(tensors)-1)*gutter
+	out := tensor.New(1, c, h, outW)
+	out.Fill(1) // white background
+	for i, t := range tensors {
+		x0 := i * (w + gutter)
+		for ch := 0; ch < c; ch++ {
+			for y := 0; y < h; y++ {
+				src := t.Data()[(ch*h+y)*w : (ch*h+y+1)*w]
+				dst := out.Data()[(ch*h+y)*outW+x0 : (ch*h+y)*outW+x0+w]
+				copy(dst, src)
+			}
+		}
+	}
+	return out, nil
+}

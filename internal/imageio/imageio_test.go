@@ -1,0 +1,142 @@
+package imageio
+
+import (
+	"bytes"
+	"image/png"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+func TestToImageAndBack(t *testing.T) {
+	rng := tensor.NewRNG(1)
+	src := tensor.New(1, 3, 8, 6)
+	src.FillUniform(rng, 0, 1)
+	img, err := ToImage(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if img.Bounds().Dx() != 6 || img.Bounds().Dy() != 8 {
+		t.Fatalf("bounds %v", img.Bounds())
+	}
+	back := FromImage(img)
+	if back.Dim(2) != 8 || back.Dim(3) != 6 {
+		t.Fatalf("shape %v", back.Shape())
+	}
+	// 8-bit quantization: values within 1/255.
+	for i := range src.Data() {
+		d := src.Data()[i] - back.Data()[i]
+		if d > 1.0/254 || d < -1.0/254 {
+			t.Fatalf("element %d: %g vs %g", i, src.Data()[i], back.Data()[i])
+		}
+	}
+}
+
+func TestToImageGrayscale(t *testing.T) {
+	src := tensor.New(1, 1, 4, 4)
+	src.Fill(0.5)
+	img, err := ToImage(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, g, b, _ := img.At(0, 0).RGBA()
+	if r != g || g != b {
+		t.Fatal("grayscale should replicate channels")
+	}
+}
+
+func TestToImageClampsOutOfRange(t *testing.T) {
+	src := tensor.New(1, 3, 2, 2)
+	src.Fill(1.7)
+	img, err := ToImage(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, _, _, _ := img.At(0, 0).RGBA()
+	if r != 65535 {
+		t.Fatalf("overshoot should clamp to white, got %d", r)
+	}
+}
+
+func TestToImageRejectsBadShapes(t *testing.T) {
+	if _, err := ToImage(tensor.New(2, 3, 4, 4)); err == nil {
+		t.Fatal("batch > 1 should fail")
+	}
+	if _, err := ToImage(tensor.New(1, 2, 4, 4)); err == nil {
+		t.Fatal("2 channels should fail")
+	}
+}
+
+func TestPNGRoundTrip(t *testing.T) {
+	rng := tensor.NewRNG(2)
+	src := tensor.New(1, 3, 10, 12)
+	src.FillUniform(rng, 0, 1)
+	var buf bytes.Buffer
+	if err := WritePNG(&buf, src); err != nil {
+		t.Fatal(err)
+	}
+	img, err := png.Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back := FromImage(img)
+	if back.Dim(2) != 10 || back.Dim(3) != 12 {
+		t.Fatalf("decoded shape %v", back.Shape())
+	}
+}
+
+func TestSaveLoadPNG(t *testing.T) {
+	rng := tensor.NewRNG(3)
+	src := tensor.New(1, 3, 6, 6)
+	src.FillUniform(rng, 0, 1)
+	path := filepath.Join(t.TempDir(), "x.png")
+	if err := SavePNG(path, src); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadPNG(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range src.Data() {
+		d := src.Data()[i] - back.Data()[i]
+		if d > 1.0/254 || d < -1.0/254 {
+			t.Fatal("file round trip lost precision")
+		}
+	}
+}
+
+func TestLoadPNGMissing(t *testing.T) {
+	if _, err := LoadPNG(filepath.Join(t.TempDir(), "nope.png")); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestSideBySide(t *testing.T) {
+	a := tensor.New(1, 3, 4, 5)
+	a.Fill(0.2)
+	b := tensor.New(1, 3, 4, 5)
+	b.Fill(0.8)
+	out, err := SideBySide(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Dim(3) != 12 { // 5 + 2 + 5
+		t.Fatalf("width %d", out.Dim(3))
+	}
+	if out.At(0, 0, 0, 0) != 0.2 || out.At(0, 0, 0, 7) != 0.8 {
+		t.Fatal("content misplaced")
+	}
+	if out.At(0, 0, 0, 5) != 1 {
+		t.Fatal("gutter should be white")
+	}
+}
+
+func TestSideBySideMismatch(t *testing.T) {
+	if _, err := SideBySide(tensor.New(1, 3, 4, 4), tensor.New(1, 3, 5, 5)); err == nil {
+		t.Fatal("expected size-mismatch error")
+	}
+	if _, err := SideBySide(); err == nil {
+		t.Fatal("expected empty error")
+	}
+}

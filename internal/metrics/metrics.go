@@ -1,0 +1,141 @@
+// Package metrics implements the image-quality measures used to evaluate
+// super-resolution (PSNR and SSIM, the two IQA methods the paper cites)
+// and the throughput meters used for the scaling study (images/second and
+// scaling efficiency).
+package metrics
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// PSNR returns the peak signal-to-noise ratio in dB between two image
+// batches with pixel values in [0, maxVal]. Identical images return +Inf.
+func PSNR(a, b *tensor.Tensor, maxVal float64) float64 {
+	if !a.SameShape(b) {
+		panic(fmt.Sprintf("metrics: PSNR shape mismatch %v vs %v", a.Shape(), b.Shape()))
+	}
+	ad, bd := a.Data(), b.Data()
+	var mse float64
+	for i, v := range ad {
+		d := float64(v) - float64(bd[i])
+		mse += d * d
+	}
+	mse /= float64(len(ad))
+	if mse == 0 {
+		return math.Inf(1)
+	}
+	return 10 * math.Log10(maxVal*maxVal/mse)
+}
+
+// SSIM returns the mean structural similarity index between two single
+// images (1, C, H, W) with values in [0, maxVal], computed per channel with
+// an 8×8 sliding window (stride 4) and averaged — the standard Wang et al.
+// formulation with C1=(0.01·L)², C2=(0.03·L)².
+func SSIM(a, b *tensor.Tensor, maxVal float64) float64 {
+	if !a.SameShape(b) {
+		panic(fmt.Sprintf("metrics: SSIM shape mismatch %v vs %v", a.Shape(), b.Shape()))
+	}
+	if a.Rank() != 4 || a.Dim(0) != 1 {
+		panic("metrics: SSIM expects a single image (1,C,H,W)")
+	}
+	const win, stride = 8, 4
+	c, h, w := a.Dim(1), a.Dim(2), a.Dim(3)
+	if h < win || w < win {
+		panic("metrics: image smaller than SSIM window")
+	}
+	c1 := (0.01 * maxVal) * (0.01 * maxVal)
+	c2 := (0.03 * maxVal) * (0.03 * maxVal)
+	ad, bd := a.Data(), b.Data()
+	var total float64
+	var count int
+	for ch := 0; ch < c; ch++ {
+		pa := ad[ch*h*w : (ch+1)*h*w]
+		pb := bd[ch*h*w : (ch+1)*h*w]
+		for y := 0; y+win <= h; y += stride {
+			for x := 0; x+win <= w; x += stride {
+				var sa, sb, saa, sbb, sab float64
+				for dy := 0; dy < win; dy++ {
+					off := (y+dy)*w + x
+					for dx := 0; dx < win; dx++ {
+						va, vb := float64(pa[off+dx]), float64(pb[off+dx])
+						sa += va
+						sb += vb
+						saa += va * va
+						sbb += vb * vb
+						sab += va * vb
+					}
+				}
+				n := float64(win * win)
+				ma, mb := sa/n, sb/n
+				va := saa/n - ma*ma
+				vb := sbb/n - mb*mb
+				cov := sab/n - ma*mb
+				ssim := ((2*ma*mb + c1) * (2*cov + c2)) /
+					((ma*ma + mb*mb + c1) * (va + vb + c2))
+				total += ssim
+				count++
+			}
+		}
+	}
+	return total / float64(count)
+}
+
+// ThroughputMeter accumulates step timings into an images/second figure —
+// the benchmarking support the paper added to EDSR for its scaling study.
+type ThroughputMeter struct {
+	images  int
+	seconds float64
+	// WarmupSteps are skipped (framework graph building / cache warmup
+	// distorts the first iterations on real systems too).
+	WarmupSteps int
+	steps       int
+}
+
+// Record adds one training step that processed n images in sec seconds.
+func (m *ThroughputMeter) Record(n int, sec float64) {
+	m.steps++
+	if m.steps <= m.WarmupSteps {
+		return
+	}
+	m.images += n
+	m.seconds += sec
+}
+
+// ImagesPerSecond returns the accumulated throughput.
+func (m *ThroughputMeter) ImagesPerSecond() float64 {
+	if m.seconds == 0 {
+		return 0
+	}
+	return float64(m.images) / m.seconds
+}
+
+// Steps returns the number of recorded (post-warmup) steps.
+func (m *ThroughputMeter) Steps() int {
+	s := m.steps - m.WarmupSteps
+	if s < 0 {
+		return 0
+	}
+	return s
+}
+
+// ScalingEfficiency returns T(n) / (n · T(1)): the ratio of observed
+// aggregate throughput to perfect linear scaling from the single-unit
+// throughput (the metric in the paper's Fig. 13).
+func ScalingEfficiency(throughputN float64, n int, throughput1 float64) float64 {
+	if n < 1 || throughput1 <= 0 {
+		return 0
+	}
+	return throughputN / (float64(n) * throughput1)
+}
+
+// Speedup returns the ratio of two throughputs (the paper's "1.26×"
+// headline is Speedup(optimized, default) at 512 GPUs).
+func Speedup(optimized, baseline float64) float64 {
+	if baseline <= 0 {
+		return 0
+	}
+	return optimized / baseline
+}

@@ -1,0 +1,181 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/tensor"
+)
+
+func TestPSNRIdentical(t *testing.T) {
+	x := tensor.New(1, 1, 8, 8)
+	x.Fill(0.5)
+	if !math.IsInf(PSNR(x, x.Clone(), 1), 1) {
+		t.Fatal("identical images should give +Inf PSNR")
+	}
+}
+
+func TestPSNRKnownValue(t *testing.T) {
+	a := tensor.New(1, 1, 10, 10)
+	b := tensor.New(1, 1, 10, 10)
+	b.Fill(0.1) // MSE = 0.01 → PSNR = 10·log10(1/0.01) = 20 dB
+	if got := PSNR(a, b, 1); math.Abs(got-20) > 1e-5 {
+		t.Fatalf("PSNR = %g, want 20", got)
+	}
+}
+
+func TestPSNRMonotonicInError(t *testing.T) {
+	a := tensor.New(1, 1, 8, 8)
+	small, big := tensor.New(1, 1, 8, 8), tensor.New(1, 1, 8, 8)
+	small.Fill(0.05)
+	big.Fill(0.2)
+	if PSNR(a, small, 1) <= PSNR(a, big, 1) {
+		t.Fatal("smaller error must give higher PSNR")
+	}
+}
+
+func TestPSNRShapeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	PSNR(tensor.New(1, 1, 4, 4), tensor.New(1, 1, 5, 5), 1)
+}
+
+func TestSSIMIdentical(t *testing.T) {
+	rng := tensor.NewRNG(1)
+	x := tensor.New(1, 3, 16, 16)
+	x.FillUniform(rng, 0, 1)
+	if got := SSIM(x, x.Clone(), 1); math.Abs(got-1) > 1e-6 {
+		t.Fatalf("SSIM of identical images = %g, want 1", got)
+	}
+}
+
+func TestSSIMDegradesWithNoise(t *testing.T) {
+	rng := tensor.NewRNG(2)
+	x := tensor.New(1, 1, 32, 32)
+	for y := 0; y < 32; y++ {
+		for xx := 0; xx < 32; xx++ {
+			x.Set(float32(0.5+0.4*math.Sin(float64(xx)/3)*math.Cos(float64(y)/4)), 0, 0, y, xx)
+		}
+	}
+	mild := x.Clone()
+	heavy := x.Clone()
+	for i := range mild.Data() {
+		mild.Data()[i] += 0.02 * rng.NormFloat32()
+		heavy.Data()[i] += 0.2 * rng.NormFloat32()
+	}
+	sMild, sHeavy := SSIM(x, mild, 1), SSIM(x, heavy, 1)
+	if !(1 > sMild && sMild > sHeavy) {
+		t.Fatalf("SSIM ordering violated: mild %g, heavy %g", sMild, sHeavy)
+	}
+	if sHeavy < -1 || sMild > 1 {
+		t.Fatalf("SSIM out of [-1, 1]: %g %g", sMild, sHeavy)
+	}
+}
+
+func TestSSIMRequiresSingleImage(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for batch input")
+		}
+	}()
+	SSIM(tensor.New(2, 1, 16, 16), tensor.New(2, 1, 16, 16), 1)
+}
+
+func TestThroughputMeter(t *testing.T) {
+	var m ThroughputMeter
+	m.Record(4, 0.5)
+	m.Record(4, 0.5)
+	if got := m.ImagesPerSecond(); math.Abs(got-8) > 1e-9 {
+		t.Fatalf("throughput %g, want 8", got)
+	}
+	if m.Steps() != 2 {
+		t.Fatalf("steps %d", m.Steps())
+	}
+}
+
+func TestThroughputMeterWarmup(t *testing.T) {
+	m := ThroughputMeter{WarmupSteps: 2}
+	m.Record(100, 10) // warmup, ignored
+	m.Record(100, 10) // warmup, ignored
+	m.Record(4, 1)
+	if got := m.ImagesPerSecond(); math.Abs(got-4) > 1e-9 {
+		t.Fatalf("warmup not skipped: %g", got)
+	}
+	if m.Steps() != 1 {
+		t.Fatalf("steps %d, want 1", m.Steps())
+	}
+}
+
+func TestThroughputMeterEmpty(t *testing.T) {
+	var m ThroughputMeter
+	if m.ImagesPerSecond() != 0 {
+		t.Fatal("empty meter should report 0")
+	}
+}
+
+func TestScalingEfficiency(t *testing.T) {
+	// Perfect scaling: 4 GPUs at 4× single throughput → 100%.
+	if got := ScalingEfficiency(41.2, 4, 10.3); math.Abs(got-1) > 1e-9 {
+		t.Fatalf("perfect scaling = %g", got)
+	}
+	// Paper's headline: ~70% at 512.
+	eff := ScalingEfficiency(0.70*512*10.3, 512, 10.3)
+	if math.Abs(eff-0.70) > 1e-9 {
+		t.Fatalf("eff = %g", eff)
+	}
+	if ScalingEfficiency(10, 0, 1) != 0 || ScalingEfficiency(10, 4, 0) != 0 {
+		t.Fatal("degenerate inputs should give 0")
+	}
+}
+
+func TestSpeedup(t *testing.T) {
+	if got := Speedup(1.26, 1.0); math.Abs(got-1.26) > 1e-9 {
+		t.Fatalf("speedup %g", got)
+	}
+	if Speedup(1, 0) != 0 {
+		t.Fatal("zero baseline should give 0")
+	}
+}
+
+// Property: PSNR is symmetric in its arguments.
+func TestQuickPSNRSymmetric(t *testing.T) {
+	f := func(seed uint16) bool {
+		rng := tensor.NewRNG(uint64(seed) + 1)
+		a := tensor.New(1, 1, 8, 8)
+		b := tensor.New(1, 1, 8, 8)
+		a.FillUniform(rng, 0, 1)
+		b.FillUniform(rng, 0, 1)
+		return math.Abs(PSNR(a, b, 1)-PSNR(b, a, 1)) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: adding error can only lower (or keep) PSNR on average — check
+// the exact inequality for nested perturbations: ||a-b|| <= ||a-c|| where
+// c adds further noise on top of b implies PSNR(a,b) >= PSNR(a,c).
+func TestQuickPSNRNestedNoise(t *testing.T) {
+	f := func(seed uint16) bool {
+		rng := tensor.NewRNG(uint64(seed)*13 + 7)
+		a := tensor.New(1, 1, 6, 6)
+		a.FillUniform(rng, 0, 1)
+		b := a.Clone()
+		c := a.Clone()
+		for i := range b.Data() {
+			noise := 0.05 * rng.NormFloat32()
+			b.Data()[i] += noise
+			c.Data()[i] += noise + 0.05*rng.NormFloat32()
+		}
+		// c has strictly more noise variance in expectation; accept with
+		// slack for sampling.
+		return PSNR(a, b, 1) >= PSNR(a, c, 1)-3
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

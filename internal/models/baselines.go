@@ -1,0 +1,123 @@
+package models
+
+import (
+	"fmt"
+
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// Model is the interface all zoo members implement; it matches nn.Layer
+// plus a parameter count helper.
+type Model interface {
+	nn.Layer
+	NumParams() int
+}
+
+// SRCNN is the original CNN super-resolution model (Dong et al., 2014):
+// three convolutions (9-1-5) over a pre-upsampled input. Unlike EDSR it
+// operates at HR resolution, so callers must bicubic-upsample the LR input
+// first (see Bicubic).
+type SRCNN struct {
+	net *nn.Sequential
+}
+
+// NewSRCNN builds an SRCNN over c color channels.
+func NewSRCNN(c int, rng *tensor.RNG) *SRCNN {
+	return &SRCNN{net: nn.NewSequential("srcnn",
+		nn.NewConv2d("srcnn.c1", c, 64, 9, 1, 4, true, rng),
+		nn.NewReLU(),
+		nn.NewConv2d("srcnn.c2", 64, 32, 1, 1, 0, true, rng),
+		nn.NewReLU(),
+		nn.NewConv2d("srcnn.c3", 32, c, 5, 1, 2, true, rng),
+	)}
+}
+
+// Forward refines a bicubic-upsampled image.
+func (m *SRCNN) Forward(x *tensor.Tensor) *tensor.Tensor { return m.net.Forward(x) }
+
+// Backward propagates gradients.
+func (m *SRCNN) Backward(g *tensor.Tensor) *tensor.Tensor { return m.net.Backward(g) }
+
+// Params returns the trainable parameters.
+func (m *SRCNN) Params() []*nn.Param { return m.net.Params() }
+
+// NumParams returns the trainable parameter count.
+func (m *SRCNN) NumParams() int { return nn.NumParams(m.Params()) }
+
+// SRResNet is the SRGAN generator (Ledig et al., 2017) — the architecture
+// EDSR simplified by dropping batch normalization (paper Fig. 5a). This is
+// a width/depth-configurable variant for contrast experiments.
+type SRResNet struct {
+	head    *nn.Sequential
+	body    *nn.Sequential
+	bodyEnd *nn.Sequential
+	tail    *nn.Sequential
+	lastHead *tensor.Tensor
+}
+
+// NewSRResNet builds an SRResNet with b residual blocks, f features, and
+// the given upscale factor (2 or 4).
+func NewSRResNet(c, b, f, scale int, rng *tensor.RNG) *SRResNet {
+	if scale != 2 && scale != 4 {
+		panic(fmt.Sprintf("models: SRResNet scale %d unsupported", scale))
+	}
+	m := &SRResNet{}
+	m.head = nn.NewSequential("sr.head",
+		nn.NewConv2d("sr.head.conv", c, f, 9, 1, 4, true, rng),
+		nn.NewReLU(),
+	)
+	m.body = nn.NewSequential("sr.body")
+	for i := 0; i < b; i++ {
+		m.body.Append(nn.NewResBlock(fmt.Sprintf("sr.body.%d", i), nn.StyleSRResNet, f, 1, rng))
+	}
+	m.bodyEnd = nn.NewSequential("sr.bodyend",
+		nn.NewConv2d("sr.bodyend.conv", f, f, 3, 1, 1, true, rng),
+		nn.NewBatchNorm2d("sr.bodyend.bn", f),
+	)
+	m.tail = nn.NewSequential("sr.tail")
+	stages := 1
+	if scale == 4 {
+		stages = 2
+	}
+	for s := 0; s < stages; s++ {
+		m.tail.Append(nn.NewConv2d(fmt.Sprintf("sr.tail.up%d", s), f, f*4, 3, 1, 1, true, rng))
+		m.tail.Append(nn.NewPixelShuffle(2))
+		m.tail.Append(nn.NewReLU())
+	}
+	m.tail.Append(nn.NewConv2d("sr.tail.out", f, c, 9, 1, 4, true, rng))
+	return m
+}
+
+// Forward maps LR to SR.
+func (m *SRResNet) Forward(x *tensor.Tensor) *tensor.Tensor {
+	h := m.head.Forward(x)
+	m.lastHead = h
+	b := m.body.Forward(h)
+	b = m.bodyEnd.Forward(b)
+	b.Add(h)
+	return m.tail.Forward(b)
+}
+
+// Backward propagates gradients.
+func (m *SRResNet) Backward(g *tensor.Tensor) *tensor.Tensor {
+	g = m.tail.Backward(g)
+	gb := m.bodyEnd.Backward(g)
+	gb = m.body.Backward(gb)
+	gb.Add(g)
+	m.lastHead = nil
+	return m.head.Backward(gb)
+}
+
+// Params returns the trainable parameters.
+func (m *SRResNet) Params() []*nn.Param {
+	var ps []*nn.Param
+	ps = append(ps, m.head.Params()...)
+	ps = append(ps, m.body.Params()...)
+	ps = append(ps, m.bodyEnd.Params()...)
+	ps = append(ps, m.tail.Params()...)
+	return ps
+}
+
+// NumParams returns the trainable parameter count.
+func (m *SRResNet) NumParams() int { return nn.NumParams(m.Params()) }

@@ -1,0 +1,69 @@
+package models
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// BenchmarkEDSRForwardBackward measures a full training iteration of the
+// tiny EDSR configuration at several patch sizes.
+func BenchmarkEDSRForwardBackward(b *testing.B) {
+	for _, patch := range []int{12, 24} {
+		b.Run(fmt.Sprintf("patch%d", patch), func(b *testing.B) {
+			rng := tensor.NewRNG(1)
+			m := NewEDSR(EDSRTiny(), rng)
+			x := tensor.New(1, 3, patch, patch)
+			x.FillUniform(rng, 0, 1)
+			target := tensor.New(1, 3, patch*2, patch*2)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				y := m.Forward(x)
+				_, g := nn.L1Loss{}.Forward(y, target)
+				nn.ZeroGrads(m.Params())
+				m.Backward(g)
+			}
+		})
+	}
+}
+
+// BenchmarkSRCNNForward measures the lighter SRCNN baseline.
+func BenchmarkSRCNNForward(b *testing.B) {
+	rng := tensor.NewRNG(2)
+	m := NewSRCNN(3, rng)
+	x := tensor.New(1, 3, 24, 24)
+	x.FillUniform(rng, 0, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Forward(x)
+	}
+}
+
+// BenchmarkBicubicUpscale measures the classical baseline.
+func BenchmarkBicubicUpscale(b *testing.B) {
+	rng := tensor.NewRNG(3)
+	x := tensor.New(1, 3, 48, 48)
+	x.FillUniform(rng, 0, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		BicubicUpscale(x, 2)
+	}
+}
+
+// BenchmarkMiniResNetForwardBackward contrasts the classifier's per-image
+// cost against EDSR's (the real-compute version of the paper's Fig. 1).
+func BenchmarkMiniResNetForwardBackward(b *testing.B) {
+	rng := tensor.NewRNG(4)
+	m := NewMiniResNet([]int{8, 16}, 1, 10, rng)
+	x := tensor.New(1, 3, 48, 48)
+	x.FillUniform(rng, 0, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		y := m.Forward(x)
+		_, g := nn.SoftmaxCrossEntropy{}.Forward(y, []int{1})
+		nn.ZeroGrads(m.Params())
+		m.Backward(g)
+	}
+}

@@ -1,0 +1,116 @@
+package models
+
+import (
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// bicubicKernel is the Keys cubic convolution kernel with a = −0.5, the
+// standard "bicubic" used by image libraries and by the EDSR data pipeline
+// for generating LR images.
+func bicubicKernel(x float64) float64 {
+	const a = -0.5
+	x = math.Abs(x)
+	switch {
+	case x <= 1:
+		return (a+2)*x*x*x - (a+3)*x*x + 1
+	case x < 2:
+		return a*x*x*x - 5*a*x*x + 8*a*x - 4*a
+	default:
+		return 0
+	}
+}
+
+// resampleAxis computes, for each output coordinate, the 4 source taps and
+// weights of a bicubic resample from size in to size out.
+func resampleAxis(in, out int) ([][4]int, [][4]float64) {
+	idx := make([][4]int, out)
+	wts := make([][4]float64, out)
+	scale := float64(in) / float64(out)
+	for o := 0; o < out; o++ {
+		// Center of output pixel o in input coordinates.
+		center := (float64(o)+0.5)*scale - 0.5
+		base := int(math.Floor(center)) - 1
+		var sum float64
+		for t := 0; t < 4; t++ {
+			src := base + t
+			w := bicubicKernel((center - float64(src)) / 1.0)
+			// Clamp to the edge (replicate border).
+			if src < 0 {
+				src = 0
+			} else if src >= in {
+				src = in - 1
+			}
+			idx[o][t] = src
+			wts[o][t] = w
+			sum += w
+		}
+		// Normalize so weights sum to 1 even at the borders.
+		if sum != 0 {
+			for t := 0; t < 4; t++ {
+				wts[o][t] /= sum
+			}
+		}
+	}
+	return idx, wts
+}
+
+// BicubicResize resamples an image batch (N, C, H, W) to (N, C, outH, outW)
+// with separable bicubic interpolation. It serves as the classical
+// upsampling baseline (paper Fig. 4) and as the HR→LR degradation used to
+// synthesize training pairs.
+func BicubicResize(x *tensor.Tensor, outH, outW int) *tensor.Tensor {
+	n, c, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
+	colIdx, colW := resampleAxis(w, outW)
+	rowIdx, rowW := resampleAxis(h, outH)
+
+	// Horizontal pass: (H, W) → (H, outW).
+	mid := tensor.New(n, c, h, outW)
+	xd, md := x.Data(), mid.Data()
+	for plane := 0; plane < n*c; plane++ {
+		src := xd[plane*h*w : (plane+1)*h*w]
+		dst := md[plane*h*outW : (plane+1)*h*outW]
+		for y := 0; y < h; y++ {
+			srow := src[y*w : (y+1)*w]
+			drow := dst[y*outW : (y+1)*outW]
+			for o := 0; o < outW; o++ {
+				var v float64
+				for t := 0; t < 4; t++ {
+					v += colW[o][t] * float64(srow[colIdx[o][t]])
+				}
+				drow[o] = float32(v)
+			}
+		}
+	}
+	// Vertical pass: (H, outW) → (outH, outW).
+	out := tensor.New(n, c, outH, outW)
+	od := out.Data()
+	for plane := 0; plane < n*c; plane++ {
+		src := md[plane*h*outW : (plane+1)*h*outW]
+		dst := od[plane*outH*outW : (plane+1)*outH*outW]
+		for o := 0; o < outH; o++ {
+			drow := dst[o*outW : (o+1)*outW]
+			for xq := 0; xq < outW; xq++ {
+				var v float64
+				for t := 0; t < 4; t++ {
+					v += rowW[o][t] * float64(src[rowIdx[o][t]*outW+xq])
+				}
+				drow[xq] = float32(v)
+			}
+		}
+	}
+	return out
+}
+
+// BicubicUpscale upsamples by an integer factor — the classical SR
+// baseline that DLSR models are measured against.
+func BicubicUpscale(x *tensor.Tensor, scale int) *tensor.Tensor {
+	return BicubicResize(x, x.Dim(2)*scale, x.Dim(3)*scale)
+}
+
+// BicubicDownscale downsamples by an integer factor — the degradation used
+// to make LR training inputs from HR targets.
+func BicubicDownscale(x *tensor.Tensor, scale int) *tensor.Tensor {
+	return BicubicResize(x, x.Dim(2)/scale, x.Dim(3)/scale)
+}

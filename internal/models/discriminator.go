@@ -1,0 +1,66 @@
+package models
+
+import (
+	"fmt"
+
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// Discriminator is the SRGAN-style image discriminator: strided
+// convolution blocks with LeakyReLU (batch norm after the first block),
+// global average pooling, and a linear head producing one realness logit
+// per image. Together with the SRResNet generator and BCEWithLogits it
+// completes the GAN branch of the DLSR family the paper's background
+// surveys (SRCNN → ... → SRGAN).
+type Discriminator struct {
+	net  *nn.Sequential
+	pool *nn.GlobalAvgPool
+	head *nn.Linear
+}
+
+// NewDiscriminator builds a discriminator over c-channel images with the
+// given widths (each stage halves the spatial resolution). Input spatial
+// dimensions must be divisible by 2^len(widths).
+func NewDiscriminator(c int, widths []int, rng *tensor.RNG) *Discriminator {
+	if len(widths) == 0 {
+		panic("models: Discriminator needs at least one stage")
+	}
+	d := &Discriminator{net: nn.NewSequential("disc")}
+	prev := c
+	for i, wdt := range widths {
+		d.net.Append(nn.NewConv2d(fmt.Sprintf("disc.%d.conv", i), prev, wdt, 3, 2, 1, true, rng))
+		if i > 0 {
+			d.net.Append(nn.NewBatchNorm2d(fmt.Sprintf("disc.%d.bn", i), wdt))
+		}
+		d.net.Append(nn.NewLeakyReLU(0.2))
+		prev = wdt
+	}
+	d.pool = nn.NewGlobalAvgPool()
+	d.head = nn.NewLinear("disc.head", prev, 1, rng)
+	return d
+}
+
+// Forward returns one realness logit per image: (N, 1).
+func (d *Discriminator) Forward(x *tensor.Tensor) *tensor.Tensor {
+	h := d.net.Forward(x)
+	h = d.pool.Forward(h)
+	return d.head.Forward(h)
+}
+
+// Backward propagates gradients back to the input image — the path the
+// generator's adversarial gradient takes.
+func (d *Discriminator) Backward(g *tensor.Tensor) *tensor.Tensor {
+	g = d.head.Backward(g)
+	g = d.pool.Backward(g)
+	return d.net.Backward(g)
+}
+
+// Params returns the trainable parameters.
+func (d *Discriminator) Params() []*nn.Param {
+	ps := d.net.Params()
+	return append(ps, d.head.Params()...)
+}
+
+// NumParams returns the trainable parameter count.
+func (d *Discriminator) NumParams() int { return nn.NumParams(d.Params()) }

@@ -1,0 +1,65 @@
+package models
+
+import (
+	"fmt"
+
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// FSRCNN is the "fast SRCNN" (Dong et al., 2016): unlike SRCNN it runs
+// its body at LR resolution — feature extraction (5×5), shrinking (1×1),
+// m mapping layers (3×3), expanding (1×1) — and learns the upsampling
+// with a transposed convolution, the design PixelShuffle later displaced.
+// It completes the repository's lineage of SR upsampler designs:
+// pre-interpolation (SRCNN) → deconvolution (FSRCNN) → sub-pixel
+// convolution (SRResNet/EDSR).
+type FSRCNN struct {
+	net *nn.Sequential
+}
+
+// NewFSRCNN builds an FSRCNN with d feature channels, s shrunk channels,
+// and m mapping layers, upsampling by scale (2, 3, or 4). The published
+// configuration is d=56, s=12, m=4.
+func NewFSRCNN(c, d, s, m, scale int, rng *tensor.RNG) *FSRCNN {
+	if scale < 2 || scale > 4 {
+		panic(fmt.Sprintf("models: FSRCNN scale %d unsupported", scale))
+	}
+	if d < 1 || s < 1 || m < 0 {
+		panic("models: invalid FSRCNN dimensions")
+	}
+	seq := nn.NewSequential("fsrcnn",
+		nn.NewConv2d("fsrcnn.feat", c, d, 5, 1, 2, true, rng),
+		nn.NewLeakyReLU(0.1), // the paper uses PReLU; LeakyReLU is the fixed-slope variant
+		nn.NewConv2d("fsrcnn.shrink", d, s, 1, 1, 0, true, rng),
+		nn.NewLeakyReLU(0.1),
+	)
+	for i := 0; i < m; i++ {
+		seq.Append(nn.NewConv2d(fmt.Sprintf("fsrcnn.map%d", i), s, s, 3, 1, 1, true, rng))
+		seq.Append(nn.NewLeakyReLU(0.1))
+	}
+	seq.Append(nn.NewConv2d("fsrcnn.expand", s, d, 1, 1, 0, true, rng))
+	seq.Append(nn.NewLeakyReLU(0.1))
+	// Deconvolution: kernel 2·scale, stride scale, pad scale/2 gives an
+	// exact ×scale spatial expansion for even scales; for scale 3 use
+	// kernel 9, pad 3 ((h−1)·3 − 6 + 9 = 3h).
+	switch scale {
+	case 2, 4:
+		seq.Append(nn.NewConvTranspose2d("fsrcnn.deconv", d, c, 2*scale, scale, scale/2, true, rng))
+	case 3:
+		seq.Append(nn.NewConvTranspose2d("fsrcnn.deconv", d, c, 9, 3, 3, true, rng))
+	}
+	return &FSRCNN{net: seq}
+}
+
+// Forward maps LR (N, C, h, w) to SR (N, C, h·scale, w·scale).
+func (f *FSRCNN) Forward(x *tensor.Tensor) *tensor.Tensor { return f.net.Forward(x) }
+
+// Backward propagates gradients.
+func (f *FSRCNN) Backward(g *tensor.Tensor) *tensor.Tensor { return f.net.Backward(g) }
+
+// Params returns the trainable parameters.
+func (f *FSRCNN) Params() []*nn.Param { return f.net.Params() }
+
+// NumParams returns the trainable parameter count.
+func (f *FSRCNN) NumParams() int { return nn.NumParams(f.Params()) }

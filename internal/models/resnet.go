@@ -1,0 +1,81 @@
+package models
+
+import (
+	"fmt"
+
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// MiniResNet is a ResNet-style image classifier scaled to CPU training. It
+// stands in for ResNet-50 in the paper's Fig. 1 single-GPU comparison: the
+// point of that figure is the *architectural contrast* — classification
+// models downsample aggressively, so their per-image cost is far below a
+// super-resolution model that keeps full spatial resolution throughout.
+// MiniResNet preserves exactly that property (stride-2 stem + stage-wise
+// downsampling + global average pooling).
+type MiniResNet struct {
+	stem   *nn.Sequential
+	stages *nn.Sequential
+	pool   *nn.GlobalAvgPool
+	fc     *nn.Linear
+}
+
+// NewMiniResNet builds a classifier with the given stage widths, blocks
+// per stage, and class count. Input is (N, 3, H, W) with H, W divisible by
+// 2^(len(widths)).
+func NewMiniResNet(widths []int, blocksPerStage, classes int, rng *tensor.RNG) *MiniResNet {
+	if len(widths) == 0 {
+		panic("models: MiniResNet needs at least one stage")
+	}
+	m := &MiniResNet{}
+	m.stem = nn.NewSequential("stem",
+		nn.NewConv2d("stem.conv", 3, widths[0], 3, 2, 1, true, rng),
+		nn.NewBatchNorm2d("stem.bn", widths[0]),
+		nn.NewReLU(),
+	)
+	m.stages = nn.NewSequential("stages")
+	prev := widths[0]
+	for si, wdt := range widths {
+		if wdt != prev || si > 0 {
+			// Downsampling transition conv between stages.
+			m.stages.Append(nn.NewConv2d(fmt.Sprintf("stage%d.down", si), prev, wdt, 3, 2, 1, true, rng))
+			m.stages.Append(nn.NewReLU())
+		}
+		for b := 0; b < blocksPerStage; b++ {
+			m.stages.Append(nn.NewResBlock(fmt.Sprintf("stage%d.block%d", si, b), nn.StyleResNet, wdt, 1, rng))
+		}
+		prev = wdt
+	}
+	m.pool = nn.NewGlobalAvgPool()
+	m.fc = nn.NewLinear("fc", prev, classes, rng)
+	return m
+}
+
+// Forward returns class logits (N, classes).
+func (m *MiniResNet) Forward(x *tensor.Tensor) *tensor.Tensor {
+	h := m.stem.Forward(x)
+	h = m.stages.Forward(h)
+	h = m.pool.Forward(h)
+	return m.fc.Forward(h)
+}
+
+// Backward propagates gradients.
+func (m *MiniResNet) Backward(g *tensor.Tensor) *tensor.Tensor {
+	g = m.fc.Backward(g)
+	g = m.pool.Backward(g)
+	g = m.stages.Backward(g)
+	return m.stem.Backward(g)
+}
+
+// Params returns all trainable parameters.
+func (m *MiniResNet) Params() []*nn.Param {
+	var ps []*nn.Param
+	ps = append(ps, m.stem.Params()...)
+	ps = append(ps, m.stages.Params()...)
+	ps = append(ps, m.fc.Params()...)
+	return ps
+}
+
+// NumParams returns the trainable parameter count.
+func (m *MiniResNet) NumParams() int { return nn.NumParams(m.Params()) }

@@ -1,0 +1,287 @@
+package mpi
+
+import (
+	"fmt"
+	"time"
+)
+
+// Tag ranges reserved per collective so concurrent collectives with
+// different purposes cannot cross-match. User point-to-point traffic
+// should use tags below tagBase.
+// Each collective gets a 2^18-wide tag band, so per-step tag offsets
+// (bounded by 2·world size) never collide across collectives for worlds
+// up to 2^17 ranks.
+const (
+	tagBase      = 1 << 24
+	tagStride    = 1 << 18
+	tagBcast     = tagBase + 0*tagStride
+	tagBarrier   = tagBase + 1*tagStride
+	tagRing      = tagBase + 2*tagStride
+	tagRecDouble = tagBase + 3*tagStride
+	tagGather    = tagBase + 4*tagStride
+	tagAllgather = tagBase + 5*tagStride
+	tagReduce    = tagBase + 6*tagStride
+)
+
+// AllreduceAlgo selects the allreduce algorithm.
+type AllreduceAlgo int
+
+// Allreduce algorithms. Ring is bandwidth-optimal for large messages
+// (NCCL's default); recursive doubling is latency-optimal for small ones;
+// Naive (reduce + broadcast through a root) is the correctness reference.
+const (
+	AlgoRing AllreduceAlgo = iota
+	AlgoRecursiveDoubling
+	AlgoNaive
+)
+
+// String names the algorithm.
+func (a AllreduceAlgo) String() string {
+	switch a {
+	case AlgoRing:
+		return "ring"
+	case AlgoRecursiveDoubling:
+		return "recursive-doubling"
+	case AlgoNaive:
+		return "naive"
+	default:
+		return fmt.Sprintf("algo(%d)", int(a))
+	}
+}
+
+// Bcast broadcasts root's buf to all ranks via a binomial tree.
+func (c *Comm) Bcast(buf []float32, root int) {
+	start := time.Now()
+	size := c.world.size
+	if size == 1 {
+		return
+	}
+	// Renumber so the root is virtual rank 0, then run the standard
+	// binomial tree: at round k (mask = 2^k), ranks below mask forward to
+	// rank+mask; ranks in [mask, 2·mask) receive from rank−mask.
+	vrank := (c.rank - root + size) % size
+	for mask := 1; mask < size; mask <<= 1 {
+		switch {
+		case vrank < mask:
+			if vrank+mask < size {
+				c.Send((vrank+mask+root)%size, tagBcast, buf)
+			}
+		case vrank < 2*mask:
+			c.Recv((vrank-mask+root)%size, tagBcast, buf)
+		}
+	}
+	c.profile("bcast", int64(len(buf))*4, time.Since(start).Seconds())
+}
+
+// Barrier blocks until every rank has entered it (dissemination barrier).
+func (c *Comm) Barrier() {
+	size := c.world.size
+	token := []float32{0}
+	for dist := 1; dist < size; dist <<= 1 {
+		dst := (c.rank + dist) % size
+		src := (c.rank - dist + size) % size
+		c.Sendrecv(dst, tagBarrier, token, src, tagBarrier, token)
+	}
+}
+
+// AllreduceSum sums buf element-wise across all ranks; on return every
+// rank's buf holds the global sum.
+func (c *Comm) AllreduceSum(buf []float32, algo AllreduceAlgo) {
+	start := time.Now()
+	switch algo {
+	case AlgoRing:
+		c.ringAllreduce(buf, sumInto)
+	case AlgoRecursiveDoubling:
+		c.recursiveDoubling(buf, sumInto)
+	case AlgoNaive:
+		c.naiveAllreduce(buf, sumInto)
+	default:
+		panic(fmt.Sprintf("mpi: unknown allreduce algorithm %d", algo))
+	}
+	c.profile("allreduce", int64(len(buf))*4, time.Since(start).Seconds())
+}
+
+// AllreduceMin computes the element-wise minimum across ranks. Horovod's
+// coordinator uses a min over readiness masks to find tensors ready on
+// every rank.
+func (c *Comm) AllreduceMin(buf []float32) {
+	start := time.Now()
+	c.recursiveDoubling(buf, minInto)
+	c.profile("allreduce", int64(len(buf))*4, time.Since(start).Seconds())
+}
+
+func sumInto(dst, src []float32) {
+	for i, v := range src {
+		dst[i] += v
+	}
+}
+
+func minInto(dst, src []float32) {
+	for i, v := range src {
+		if v < dst[i] {
+			dst[i] = v
+		}
+	}
+}
+
+// ringAllreduce implements reduce-scatter + allgather over a logical ring:
+// bandwidth-optimal (each rank sends 2·(p−1)/p of the buffer).
+func (c *Comm) ringAllreduce(buf []float32, op func(dst, src []float32)) {
+	p := c.world.size
+	if p == 1 {
+		return
+	}
+	n := len(buf)
+	if n == 0 {
+		return
+	}
+	// Chunk boundaries: chunk i covers [bound[i], bound[i+1]).
+	bound := make([]int, p+1)
+	for i := 0; i <= p; i++ {
+		bound[i] = i * n / p
+	}
+	chunk := func(i int) []float32 {
+		i = ((i % p) + p) % p
+		return buf[bound[i]:bound[i+1]]
+	}
+	next := (c.rank + 1) % p
+	prev := (c.rank - 1 + p) % p
+	maxChunk := 0
+	for i := 0; i < p; i++ {
+		if s := bound[i+1] - bound[i]; s > maxChunk {
+			maxChunk = s
+		}
+	}
+	tmp := make([]float32, maxChunk)
+
+	// Reduce-scatter: after p−1 steps, rank r owns the full sum of chunk
+	// (r+1) mod p.
+	for step := 0; step < p-1; step++ {
+		sendIdx := c.rank - step
+		recvIdx := c.rank - step - 1
+		sc := chunk(sendIdx)
+		rc := chunk(recvIdx)
+		c.Send(next, tagRing+step, sc)
+		c.Recv(prev, tagRing+step, tmp[:len(rc)])
+		op(rc, tmp[:len(rc)])
+	}
+	// Allgather: circulate the completed chunks.
+	for step := 0; step < p-1; step++ {
+		sendIdx := c.rank + 1 - step
+		recvIdx := c.rank - step
+		sc := chunk(sendIdx)
+		rc := chunk(recvIdx)
+		c.Send(next, tagRing+p+step, sc)
+		c.Recv(prev, tagRing+p+step, tmp[:len(rc)])
+		copy(rc, tmp[:len(rc)])
+	}
+}
+
+// recursiveDoubling implements the latency-optimal exchange for any rank
+// count: non-powers-of-two fold the extra ranks into partners first.
+func (c *Comm) recursiveDoubling(buf []float32, op func(dst, src []float32)) {
+	p := c.world.size
+	if p == 1 {
+		return
+	}
+	// Largest power of two ≤ p.
+	pof2 := 1
+	for pof2*2 <= p {
+		pof2 *= 2
+	}
+	rem := p - pof2
+	tmp := make([]float32, len(buf))
+
+	// Phase 1: ranks [0, 2·rem) pair up; odd ranks send to even partners
+	// and sit out the main exchange.
+	newRank := -1
+	switch {
+	case c.rank < 2*rem && c.rank%2 == 1:
+		c.Send(c.rank-1, tagRecDouble, buf)
+		// Wait for the final result in phase 3.
+		c.Recv(c.rank-1, tagRecDouble+1, buf)
+		return
+	case c.rank < 2*rem:
+		c.Recv(c.rank+1, tagRecDouble, tmp)
+		op(buf, tmp)
+		newRank = c.rank / 2
+	default:
+		newRank = c.rank - rem
+	}
+
+	// Phase 2: recursive doubling among pof2 virtual ranks.
+	toReal := func(vr int) int {
+		if vr < rem {
+			return vr * 2
+		}
+		return vr + rem
+	}
+	for mask := 1; mask < pof2; mask <<= 1 {
+		partner := toReal(newRank ^ mask)
+		c.Sendrecv(partner, tagRecDouble+2+mask, buf, partner, tagRecDouble+2+mask, tmp)
+		op(buf, tmp)
+	}
+
+	// Phase 3: deliver results back to the folded odd ranks.
+	if c.rank < 2*rem && c.rank%2 == 0 {
+		c.Send(c.rank+1, tagRecDouble+1, buf)
+	}
+}
+
+// naiveAllreduce gathers to rank 0, reduces, and broadcasts — the
+// correctness reference the optimized algorithms are tested against.
+func (c *Comm) naiveAllreduce(buf []float32, op func(dst, src []float32)) {
+	if c.rank == 0 {
+		tmp := make([]float32, len(buf))
+		for src := 1; src < c.world.size; src++ {
+			c.Recv(src, tagReduce, tmp)
+			op(buf, tmp)
+		}
+	} else {
+		c.Send(0, tagReduce, buf)
+	}
+	c.Bcast(buf, 0)
+}
+
+// Gather collects equal-length contributions on root; on root, out must
+// have size·len(in) elements. Other ranks may pass out nil.
+func (c *Comm) Gather(in []float32, out []float32, root int) {
+	if c.rank == root {
+		if len(out) != len(in)*c.world.size {
+			panic(fmt.Sprintf("mpi: Gather out has %d elements, want %d", len(out), len(in)*c.world.size))
+		}
+		copy(out[root*len(in):(root+1)*len(in)], in)
+		for src := 0; src < c.world.size; src++ {
+			if src == root {
+				continue
+			}
+			c.Recv(src, tagGather, out[src*len(in):(src+1)*len(in)])
+		}
+	} else {
+		c.Send(root, tagGather, in)
+	}
+}
+
+// Allgather concatenates every rank's equal-length contribution on every
+// rank: out has size·len(in) elements.
+func (c *Comm) Allgather(in []float32, out []float32) {
+	start := time.Now()
+	p := c.world.size
+	if len(out) != len(in)*p {
+		panic(fmt.Sprintf("mpi: Allgather out has %d elements, want %d", len(out), len(in)*p))
+	}
+	copy(out[c.rank*len(in):(c.rank+1)*len(in)], in)
+	if p == 1 {
+		return
+	}
+	// Ring allgather.
+	next := (c.rank + 1) % p
+	prev := (c.rank - 1 + p) % p
+	for step := 0; step < p-1; step++ {
+		sendIdx := (c.rank - step + p) % p
+		recvIdx := (c.rank - step - 1 + p) % p
+		c.Send(next, tagAllgather+step, out[sendIdx*len(in):(sendIdx+1)*len(in)])
+		c.Recv(prev, tagAllgather+step, out[recvIdx*len(in):(recvIdx+1)*len(in)])
+	}
+	c.profile("allgather", int64(len(out))*4, time.Since(start).Seconds())
+}

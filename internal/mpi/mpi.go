@@ -1,0 +1,163 @@
+// Package mpi implements an in-process message-passing interface with the
+// subset of MPI semantics distributed DNN training needs: ranks with
+// point-to-point send/receive (tag matching, real data movement) and the
+// collectives Horovod uses — broadcast, barrier, allreduce (several
+// algorithms), allgather, and gather.
+//
+// Each rank is a goroutine; sends copy their payload so senders may reuse
+// buffers immediately (MPI's blocking-send contract). The package is the
+// substrate on which the repository's *real* data-parallel training runs;
+// the scaled-up 512-GPU experiments use the discrete-event simulator in
+// internal/collective instead, with the same algorithmic structure.
+package mpi
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Profiler receives a record for every collective a communicator executes.
+// internal/hvprof implements it; a nil profiler disables recording.
+type Profiler interface {
+	Record(op string, bytes int64, seconds float64)
+}
+
+// message is an in-flight point-to-point payload.
+type message struct {
+	src, tag int
+	data     []float32
+}
+
+// mailbox is one rank's incoming queue with (src, tag) matching. MPI
+// ordering semantics hold: messages from the same (src, tag) are received
+// in send order.
+type mailbox struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	queue []message
+}
+
+func newMailbox() *mailbox {
+	m := &mailbox{}
+	m.cond = sync.NewCond(&m.mu)
+	return m
+}
+
+func (m *mailbox) put(msg message) {
+	m.mu.Lock()
+	m.queue = append(m.queue, msg)
+	m.mu.Unlock()
+	m.cond.Broadcast()
+}
+
+// get blocks until a message matching (src, tag) is available and removes
+// the first match.
+func (m *mailbox) get(src, tag int) message {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for {
+		for i, msg := range m.queue {
+			if msg.src == src && msg.tag == tag {
+				m.queue = append(m.queue[:i], m.queue[i+1:]...)
+				return msg
+			}
+		}
+		m.cond.Wait()
+	}
+}
+
+// World is a set of communicating ranks sharing one address space.
+type World struct {
+	size      int
+	mailboxes []*mailbox
+}
+
+// NewWorld creates a world with the given number of ranks.
+func NewWorld(size int) *World {
+	if size < 1 {
+		panic("mpi: world size must be >= 1")
+	}
+	w := &World{size: size}
+	w.mailboxes = make([]*mailbox, size)
+	for i := range w.mailboxes {
+		w.mailboxes[i] = newMailbox()
+	}
+	return w
+}
+
+// Size returns the number of ranks.
+func (w *World) Size() int { return w.size }
+
+// Comm returns the communicator for one rank.
+func (w *World) Comm(rank int) *Comm {
+	if rank < 0 || rank >= w.size {
+		panic(fmt.Sprintf("mpi: rank %d out of range [0,%d)", rank, w.size))
+	}
+	return &Comm{world: w, rank: rank}
+}
+
+// Run launches fn on every rank concurrently and waits for all to finish.
+// It is the moral equivalent of mpirun for in-process jobs.
+func (w *World) Run(fn func(c *Comm)) {
+	var wg sync.WaitGroup
+	for r := 0; r < w.size; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			fn(w.Comm(rank))
+		}(r)
+	}
+	wg.Wait()
+}
+
+// Comm is one rank's handle on the world.
+type Comm struct {
+	world    *World
+	rank     int
+	Profiler Profiler
+}
+
+// Rank returns this communicator's rank.
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the world size.
+func (c *Comm) Size() int { return c.world.size }
+
+// Send delivers a copy of data to dst with the given tag (blocking send
+// semantics: the buffer may be reused on return).
+func (c *Comm) Send(dst, tag int, data []float32) {
+	if dst < 0 || dst >= c.world.size {
+		panic(fmt.Sprintf("mpi: Send to invalid rank %d", dst))
+	}
+	cp := make([]float32, len(data))
+	copy(cp, data)
+	c.world.mailboxes[dst].put(message{src: c.rank, tag: tag, data: cp})
+}
+
+// Recv blocks until a message with the given source and tag arrives and
+// copies it into buf, which must be exactly the message length.
+func (c *Comm) Recv(src, tag int, buf []float32) {
+	if src < 0 || src >= c.world.size {
+		panic(fmt.Sprintf("mpi: Recv from invalid rank %d", src))
+	}
+	msg := c.world.mailboxes[c.rank].get(src, tag)
+	if len(msg.data) != len(buf) {
+		panic(fmt.Sprintf("mpi: Recv buffer %d elements, message %d (src=%d tag=%d)",
+			len(buf), len(msg.data), src, tag))
+	}
+	copy(buf, msg.data)
+}
+
+// Sendrecv exchanges buffers with two peers (send to dst, receive from
+// src), the building block of ring algorithms. Send happens first so the
+// ring cannot deadlock.
+func (c *Comm) Sendrecv(dst, sendTag int, sendBuf []float32, src, recvTag int, recvBuf []float32) {
+	c.Send(dst, sendTag, sendBuf)
+	c.Recv(src, recvTag, recvBuf)
+}
+
+func (c *Comm) profile(op string, bytes int64, seconds float64) {
+	if c.Profiler != nil {
+		c.Profiler.Record(op, bytes, seconds)
+	}
+}

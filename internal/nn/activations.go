@@ -1,0 +1,99 @@
+package nn
+
+import "repro/internal/tensor"
+
+// ReLU is the rectified linear activation, y = max(x, 0).
+type ReLU struct {
+	mask []bool // which inputs were positive, for the backward pass
+}
+
+// NewReLU returns a ReLU layer.
+func NewReLU() *ReLU { return &ReLU{} }
+
+// Forward applies max(x, 0) element-wise.
+func (r *ReLU) Forward(x *tensor.Tensor) *tensor.Tensor {
+	out := tensor.New(x.Shape()...)
+	if cap(r.mask) < x.Len() {
+		r.mask = make([]bool, x.Len())
+	}
+	r.mask = r.mask[:x.Len()]
+	xd, od := x.Data(), out.Data()
+	for i, v := range xd {
+		if v > 0 {
+			od[i] = v
+			r.mask[i] = true
+		} else {
+			od[i] = 0
+			r.mask[i] = false
+		}
+	}
+	return out
+}
+
+// Backward zeroes gradients where the input was non-positive.
+func (r *ReLU) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
+	if len(r.mask) != gradOut.Len() {
+		panic("nn: ReLU Backward before Forward")
+	}
+	gradIn := tensor.New(gradOut.Shape()...)
+	gd, gi := gradOut.Data(), gradIn.Data()
+	for i, pass := range r.mask {
+		if pass {
+			gi[i] = gd[i]
+		}
+	}
+	return gradIn
+}
+
+// Params returns nil; ReLU has no parameters.
+func (r *ReLU) Params() []*Param { return nil }
+
+// LeakyReLU is max(x, alpha*x); SRGAN-family discriminators use it, and it
+// is kept here for parity with the SRResNet generator variants.
+type LeakyReLU struct {
+	Alpha float32
+	mask  []bool
+}
+
+// NewLeakyReLU returns a LeakyReLU with the given negative slope.
+func NewLeakyReLU(alpha float32) *LeakyReLU { return &LeakyReLU{Alpha: alpha} }
+
+// Forward applies the leaky rectifier element-wise.
+func (r *LeakyReLU) Forward(x *tensor.Tensor) *tensor.Tensor {
+	out := tensor.New(x.Shape()...)
+	if cap(r.mask) < x.Len() {
+		r.mask = make([]bool, x.Len())
+	}
+	r.mask = r.mask[:x.Len()]
+	xd, od := x.Data(), out.Data()
+	for i, v := range xd {
+		if v > 0 {
+			od[i] = v
+			r.mask[i] = true
+		} else {
+			od[i] = r.Alpha * v
+			r.mask[i] = false
+		}
+	}
+	return out
+}
+
+// Backward scales gradients by 1 or Alpha depending on the input sign.
+func (r *LeakyReLU) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
+	if len(r.mask) != gradOut.Len() {
+		panic("nn: LeakyReLU Backward before Forward")
+	}
+	gradIn := tensor.New(gradOut.Shape()...)
+	gd, gi := gradOut.Data(), gradIn.Data()
+	for i, pass := range r.mask {
+		if pass {
+			gi[i] = gd[i]
+		} else {
+			gi[i] = r.Alpha * gd[i]
+		}
+	}
+	return gradIn
+}
+
+// Params returns nil; LeakyReLU has no parameters.
+func (r *LeakyReLU) Params() []*Param { return nil }

@@ -1,0 +1,153 @@
+package nn
+
+import (
+	"fmt"
+
+	"repro/internal/tensor"
+)
+
+// ConvTranspose2d is a transposed ("fractionally-strided") convolution —
+// the learned upsampler FSRCNN introduced to super-resolution, and the
+// historical alternative to EDSR's PixelShuffle tail.
+//
+// The implementation reuses the convolution machinery through the adjoint
+// relationship: the forward pass of a transposed convolution is exactly
+// the backward-data pass of a normal convolution with the same weights,
+// and vice versa. Weights are stored (InC, OutC*kh*kw) so the underlying
+// "forward" convolution maps OutC → InC.
+type ConvTranspose2d struct {
+	Weight *Param
+	Bias   *Param
+
+	InC, OutC   int
+	KH, KW      int
+	Stride, Pad int
+	hasBias     bool
+
+	lastIn       *tensor.Tensor
+	lastOutH     int
+	lastOutW     int
+	col, gradCol *tensor.Tensor
+}
+
+// NewConvTranspose2d creates a transposed convolution. The output size is
+// (H−1)·stride − 2·pad + k.
+func NewConvTranspose2d(name string, inC, outC, k, stride, pad int, bias bool, rng *tensor.RNG) *ConvTranspose2d {
+	c := &ConvTranspose2d{
+		InC: inC, OutC: outC, KH: k, KW: k, Stride: stride, Pad: pad, hasBias: bias,
+	}
+	c.Weight = NewParam(name+".weight", inC, outC*k*k)
+	c.Weight.Value.KaimingInit(rng, inC*k*k)
+	if bias {
+		c.Bias = NewParam(name+".bias", outC)
+	}
+	return c
+}
+
+// OutSize returns the spatial output size for an h×w input.
+func (c *ConvTranspose2d) OutSize(h, w int) (int, int) {
+	return (h-1)*c.Stride - 2*c.Pad + c.KH, (w-1)*c.Stride - 2*c.Pad + c.KW
+}
+
+// Forward computes the transposed convolution of x (N, InC, H, W) into
+// (N, OutC, outH, outW): per sample, dCol = Wᵀ·x, then Col2Im scatters the
+// columns into the upsampled plane.
+func (c *ConvTranspose2d) Forward(x *tensor.Tensor) *tensor.Tensor {
+	if x.Rank() != 4 || x.Dim(1) != c.InC {
+		panic(fmt.Sprintf("nn: ConvTranspose2d input %v, want (N,%d,H,W)", x.Shape(), c.InC))
+	}
+	n, h, w := x.Dim(0), x.Dim(2), x.Dim(3)
+	outH, outW := c.OutSize(h, w)
+	if outH < 1 || outW < 1 {
+		panic(fmt.Sprintf("nn: ConvTranspose2d output %dx%d degenerate", outH, outW))
+	}
+	c.lastIn, c.lastOutH, c.lastOutW = x, outH, outW
+
+	k := c.OutC * c.KH * c.KW
+	cols := h * w
+	if c.col == nil || c.col.Dim(0) != k || c.col.Dim(1) != cols {
+		c.col = tensor.New(k, cols)
+	}
+	out := tensor.New(n, c.OutC, outH, outW)
+	inPlane := c.InC * h * w
+	outPlane := c.OutC * outH * outW
+	scratch := tensor.New(c.OutC, outH, outW)
+	for i := 0; i < n; i++ {
+		src := tensor.FromSlice(x.Data()[i*inPlane:(i+1)*inPlane], c.InC, cols)
+		// dCol = Wᵀ (k×InC) · x (InC×cols)
+		tensor.MatMulTransA(c.col, c.Weight.Value, src)
+		tensor.Col2Im(scratch, c.col, c.KH, c.KW, c.Stride, c.Pad)
+		copy(out.Data()[i*outPlane:(i+1)*outPlane], scratch.Data())
+	}
+	if c.hasBias {
+		bd, od := c.Bias.Value.Data(), out.Data()
+		plane := outH * outW
+		for i := 0; i < n; i++ {
+			for oc := 0; oc < c.OutC; oc++ {
+				b := bd[oc]
+				row := od[i*outPlane+oc*plane : i*outPlane+(oc+1)*plane]
+				for j := range row {
+					row[j] += b
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Backward is the adjoint: gradIn = conv(gradOut) with the stored weights
+// (an ordinary im2col convolution), and dW accumulates from the input and
+// the gradient columns.
+func (c *ConvTranspose2d) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
+	x := c.lastIn
+	if x == nil {
+		panic("nn: ConvTranspose2d Backward before Forward")
+	}
+	n, h, w := x.Dim(0), x.Dim(2), x.Dim(3)
+	outH, outW := c.lastOutH, c.lastOutW
+	k := c.OutC * c.KH * c.KW
+	cols := h * w
+	if gradOut.Dim(0) != n || gradOut.Dim(1) != c.OutC || gradOut.Dim(2) != outH || gradOut.Dim(3) != outW {
+		panic(fmt.Sprintf("nn: ConvTranspose2d gradOut %v mismatch", gradOut.Shape()))
+	}
+	if c.gradCol == nil || c.gradCol.Dim(0) != k || c.gradCol.Dim(1) != cols {
+		c.gradCol = tensor.New(k, cols)
+	}
+	gradIn := tensor.New(n, c.InC, h, w)
+	inPlane := c.InC * h * w
+	outPlane := c.OutC * outH * outW
+	for i := 0; i < n; i++ {
+		g := tensor.FromSlice(gradOut.Data()[i*outPlane:(i+1)*outPlane], c.OutC, outH, outW)
+		// Columns of the upstream gradient.
+		tensor.Im2Col(c.gradCol, g, c.KH, c.KW, c.Stride, c.Pad)
+		// gradIn = W (InC×k) · gradCol (k×cols)
+		dst := tensor.FromSlice(gradIn.Data()[i*inPlane:(i+1)*inPlane], c.InC, cols)
+		tensor.MatMul(dst, c.Weight.Value, c.gradCol)
+		// dW += x (InC×cols) · gradColᵀ (cols×k)
+		src := tensor.FromSlice(x.Data()[i*inPlane:(i+1)*inPlane], c.InC, cols)
+		tensor.MatMulTransBAccum(c.Weight.Grad, src, c.gradCol)
+
+		if c.hasBias {
+			bg := c.Bias.Grad.Data()
+			gd := g.Data()
+			plane := outH * outW
+			for oc := 0; oc < c.OutC; oc++ {
+				var s float32
+				for _, v := range gd[oc*plane : (oc+1)*plane] {
+					s += v
+				}
+				bg[oc] += s
+			}
+		}
+	}
+	c.lastIn = nil
+	return gradIn
+}
+
+// Params returns the trainable parameters.
+func (c *ConvTranspose2d) Params() []*Param {
+	if c.hasBias {
+		return []*Param{c.Weight, c.Bias}
+	}
+	return []*Param{c.Weight}
+}

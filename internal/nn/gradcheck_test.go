@@ -1,0 +1,339 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+// numericalGrad estimates dLoss/dx[i] by central differences for the scalar
+// loss produced by lossOf. It rebuilds the forward pass each probe, so
+// layers under test must be deterministic.
+func numericalGrad(x *tensor.Tensor, i int, lossOf func() float64) float64 {
+	const h = 1e-3
+	orig := x.Data()[i]
+	x.Data()[i] = orig + h
+	up := lossOf()
+	x.Data()[i] = orig - h
+	down := lossOf()
+	x.Data()[i] = orig
+	return (up - down) / (2 * h)
+}
+
+// checkLayerGradients runs a full forward/backward through layer with an
+// MSE-style quadratic loss and compares analytic input and parameter
+// gradients against finite differences.
+func checkLayerGradients(t *testing.T, layer Layer, x *tensor.Tensor, tol float64) {
+	t.Helper()
+	// Quadratic loss: L = 0.5 Σ y². dL/dy = y.
+	lossOf := func() float64 {
+		y := layer.Forward(x.Clone())
+		return 0.5 * y.SqSum()
+	}
+	y := layer.Forward(x.Clone())
+	gradOut := y.Clone()
+	ZeroGrads(layer.Params())
+	gradIn := layer.Backward(gradOut)
+
+	// Input gradient check on a sample of indices.
+	stride := x.Len()/12 + 1
+	for i := 0; i < x.Len(); i += stride {
+		want := numericalGrad(x, i, lossOf)
+		got := float64(gradIn.Data()[i])
+		if math.Abs(got-want) > tol*(math.Abs(want)+1) {
+			t.Errorf("input grad[%d]: analytic %g vs numeric %g", i, got, want)
+		}
+	}
+	// Parameter gradient check.
+	for _, p := range layer.Params() {
+		pstride := p.Value.Len()/8 + 1
+		for i := 0; i < p.Value.Len(); i += pstride {
+			want := numericalGrad(p.Value, i, lossOf)
+			got := float64(p.Grad.Data()[i])
+			if math.Abs(got-want) > tol*(math.Abs(want)+1) {
+				t.Errorf("%s grad[%d]: analytic %g vs numeric %g", p.Name, i, got, want)
+			}
+		}
+	}
+}
+
+func TestConv2dGradients(t *testing.T) {
+	rng := tensor.NewRNG(1)
+	conv := NewConv2d("c", 2, 3, 3, 1, 1, true, rng)
+	x := tensor.New(2, 2, 5, 5)
+	x.FillUniform(rng, -1, 1)
+	checkLayerGradients(t, conv, x, 2e-2)
+}
+
+func TestConv2dStridedGradients(t *testing.T) {
+	rng := tensor.NewRNG(2)
+	conv := NewConv2d("c", 1, 2, 3, 2, 1, true, rng)
+	x := tensor.New(1, 1, 7, 7)
+	x.FillUniform(rng, -1, 1)
+	checkLayerGradients(t, conv, x, 2e-2)
+}
+
+func TestConv2dNoBiasGradients(t *testing.T) {
+	rng := tensor.NewRNG(3)
+	conv := NewConv2d("c", 2, 2, 1, 1, 0, false, rng)
+	x := tensor.New(1, 2, 4, 4)
+	x.FillUniform(rng, -1, 1)
+	checkLayerGradients(t, conv, x, 2e-2)
+}
+
+func TestLinearGradients(t *testing.T) {
+	rng := tensor.NewRNG(4)
+	lin := NewLinear("l", 6, 4, rng)
+	x := tensor.New(3, 6)
+	x.FillUniform(rng, -1, 1)
+	checkLayerGradients(t, lin, x, 1e-2)
+}
+
+func TestPixelShuffleGradients(t *testing.T) {
+	rng := tensor.NewRNG(5)
+	ps := NewPixelShuffle(2)
+	x := tensor.New(2, 8, 3, 3)
+	x.FillUniform(rng, -1, 1)
+	checkLayerGradients(t, ps, x, 1e-3)
+}
+
+func TestReLUGradients(t *testing.T) {
+	rng := tensor.NewRNG(6)
+	// Keep values away from the kink so finite differences are valid.
+	x := tensor.New(2, 3, 4, 4)
+	x.FillUniform(rng, 0.1, 1)
+	x.Data()[0] = -0.5
+	x.Data()[7] = -0.9
+	checkLayerGradients(t, NewReLU(), x, 1e-3)
+}
+
+func TestLeakyReLUGradients(t *testing.T) {
+	rng := tensor.NewRNG(7)
+	x := tensor.New(1, 2, 3, 3)
+	x.FillUniform(rng, 0.1, 1)
+	x.Data()[3] = -0.7
+	checkLayerGradients(t, NewLeakyReLU(0.2), x, 1e-3)
+}
+
+func TestMeanShiftGradients(t *testing.T) {
+	rng := tensor.NewRNG(8)
+	ms := NewMeanShift([]float32{0.4, 0.5, 0.6}, []float32{1, 0.5, 2}, -1)
+	x := tensor.New(2, 3, 3, 3)
+	x.FillUniform(rng, 0, 1)
+	checkLayerGradients(t, ms, x, 1e-3)
+}
+
+func TestBatchNormGradients(t *testing.T) {
+	rng := tensor.NewRNG(9)
+	bn := NewBatchNorm2d("bn", 2)
+	x := tensor.New(3, 2, 4, 4)
+	x.FillUniform(rng, -1, 1)
+	checkLayerGradients(t, bn, x, 5e-2)
+}
+
+func TestResBlockEDSRGradients(t *testing.T) {
+	rng := tensor.NewRNG(10)
+	rb := NewResBlock("rb", StyleEDSR, 3, 0.1, rng)
+	x := tensor.New(1, 3, 5, 5)
+	x.FillUniform(rng, -1, 1)
+	checkLayerGradients(t, rb, x, 2e-2)
+}
+
+func TestResBlockSRResNetGradients(t *testing.T) {
+	rng := tensor.NewRNG(11)
+	rb := NewResBlock("rb", StyleSRResNet, 2, 1, rng)
+	x := tensor.New(2, 2, 4, 4)
+	x.FillUniform(rng, -1, 1)
+	checkLayerGradients(t, rb, x, 6e-2)
+}
+
+func TestResBlockResNetGradients(t *testing.T) {
+	rng := tensor.NewRNG(12)
+	rb := NewResBlock("rb", StyleResNet, 2, 1, rng)
+	x := tensor.New(2, 2, 4, 4)
+	// Bias away from ReLU kinks.
+	x.FillUniform(rng, 0.2, 1)
+	checkLayerGradients(t, rb, x, 8e-2)
+}
+
+func TestSequentialGradients(t *testing.T) {
+	rng := tensor.NewRNG(13)
+	seq := NewSequential("s",
+		NewConv2d("s.c1", 1, 2, 3, 1, 1, true, rng),
+		NewReLU(),
+		NewConv2d("s.c2", 2, 1, 3, 1, 1, true, rng),
+	)
+	x := tensor.New(1, 1, 5, 5)
+	x.FillUniform(rng, 0.1, 1)
+	checkLayerGradients(t, seq, x, 2e-2)
+}
+
+func TestGlobalAvgPoolGradients(t *testing.T) {
+	rng := tensor.NewRNG(14)
+	x := tensor.New(2, 3, 4, 4)
+	x.FillUniform(rng, -1, 1)
+	// GlobalAvgPool output is 2-D; quadratic-loss harness still applies.
+	checkLayerGradients(t, NewGlobalAvgPool(), x, 1e-3)
+}
+
+func TestL1LossGradient(t *testing.T) {
+	rng := tensor.NewRNG(15)
+	pred := tensor.New(2, 3)
+	pred.FillUniform(rng, -1, 1)
+	target := tensor.New(2, 3)
+	target.FillUniform(rng, -1, 1)
+	loss, grad := L1Loss{}.Forward(pred, target)
+	if loss < 0 {
+		t.Fatalf("L1 loss negative: %g", loss)
+	}
+	for i := range pred.Data() {
+		want := numericalGrad(pred, i, func() float64 {
+			l, _ := L1Loss{}.Forward(pred, target)
+			return l
+		})
+		got := float64(grad.Data()[i])
+		if math.Abs(got-want) > 1e-3 {
+			t.Errorf("L1 grad[%d]: %g vs %g", i, got, want)
+		}
+	}
+}
+
+func TestMSELossGradient(t *testing.T) {
+	rng := tensor.NewRNG(16)
+	pred := tensor.New(2, 4)
+	pred.FillUniform(rng, -1, 1)
+	target := tensor.New(2, 4)
+	target.FillUniform(rng, -1, 1)
+	loss, grad := MSELoss{}.Forward(pred, target)
+	if loss < 0 {
+		t.Fatalf("MSE loss negative: %g", loss)
+	}
+	for i := range pred.Data() {
+		want := numericalGrad(pred, i, func() float64 {
+			l, _ := MSELoss{}.Forward(pred, target)
+			return l
+		})
+		got := float64(grad.Data()[i])
+		if math.Abs(got-want) > 1e-3 {
+			t.Errorf("MSE grad[%d]: %g vs %g", i, got, want)
+		}
+	}
+}
+
+func TestSoftmaxCrossEntropyGradient(t *testing.T) {
+	rng := tensor.NewRNG(17)
+	pred := tensor.New(3, 5)
+	pred.FillUniform(rng, -2, 2)
+	labels := []int{1, 4, 0}
+	loss, grad := SoftmaxCrossEntropy{}.Forward(pred, labels)
+	if loss <= 0 {
+		t.Fatalf("CE loss should be positive for random logits: %g", loss)
+	}
+	for i := range pred.Data() {
+		want := numericalGrad(pred, i, func() float64 {
+			l, _ := SoftmaxCrossEntropy{}.Forward(pred, labels)
+			return l
+		})
+		got := float64(grad.Data()[i])
+		if math.Abs(got-want) > 1e-3 {
+			t.Errorf("CE grad[%d]: %g vs %g", i, got, want)
+		}
+	}
+}
+
+func TestConvTranspose2dGradients(t *testing.T) {
+	rng := tensor.NewRNG(20)
+	ct := NewConvTranspose2d("ct", 2, 3, 3, 2, 1, true, rng)
+	x := tensor.New(1, 2, 4, 4)
+	x.FillUniform(rng, -1, 1)
+	checkLayerGradients(t, ct, x, 2e-2)
+}
+
+func TestConvTranspose2dNoBiasGradients(t *testing.T) {
+	rng := tensor.NewRNG(21)
+	ct := NewConvTranspose2d("ct", 3, 2, 2, 2, 0, false, rng)
+	x := tensor.New(2, 3, 3, 3)
+	x.FillUniform(rng, -1, 1)
+	checkLayerGradients(t, ct, x, 2e-2)
+}
+
+func TestConvTranspose2dUpsamples(t *testing.T) {
+	rng := tensor.NewRNG(22)
+	// k=4, stride=2, pad=1 → exact 2x upsampling (the FSRCNN deconv).
+	ct := NewConvTranspose2d("ct", 1, 1, 4, 2, 1, true, rng)
+	x := tensor.New(1, 1, 5, 7)
+	x.FillUniform(rng, 0, 1)
+	y := ct.Forward(x)
+	if y.Dim(2) != 10 || y.Dim(3) != 14 {
+		t.Fatalf("output %v, want (1,1,10,14)", y.Shape())
+	}
+}
+
+// TestConvTransposeIsConvAdjoint verifies the defining property:
+// <ConvT(x), y> == <x, Conv(y)> for matching weights.
+func TestConvTransposeIsConvAdjoint(t *testing.T) {
+	rng := tensor.NewRNG(23)
+	const inC, outC, k, stride, pad = 2, 3, 3, 2, 1
+	ct := NewConvTranspose2d("ct", inC, outC, k, stride, pad, false, rng)
+	// The adjoint ordinary convolution maps outC→inC with the same kernel.
+	conv := &Conv2d{
+		InC: outC, OutC: inC, KH: k, KW: k, Stride: stride, Pad: pad,
+		Weight: ct.Weight, // shared storage: (inC, outC*k*k) matches conv's (outC', inC'*k*k)
+	}
+	x := tensor.New(1, inC, 4, 4)
+	x.FillUniform(rng, -1, 1)
+	up := ct.Forward(x)
+	y := tensor.New(up.Shape()...)
+	y.FillUniform(rng, -1, 1)
+	down := conv.Forward(y)
+	var lhs, rhs float64
+	for i := range up.Data() {
+		lhs += float64(up.Data()[i]) * float64(y.Data()[i])
+	}
+	for i := range x.Data() {
+		rhs += float64(x.Data()[i]) * float64(down.Data()[i])
+	}
+	if math.Abs(lhs-rhs) > 1e-3*(math.Abs(lhs)+1) {
+		t.Fatalf("adjoint identity broken: %g vs %g", lhs, rhs)
+	}
+}
+
+func TestBCEWithLogitsGradient(t *testing.T) {
+	rng := tensor.NewRNG(30)
+	pred := tensor.New(3, 2)
+	pred.FillUniform(rng, -3, 3)
+	target := tensor.FromSlice([]float32{1, 0, 1, 1, 0, 0}, 3, 2)
+	loss, grad := BCEWithLogits{}.Forward(pred, target)
+	if loss <= 0 {
+		t.Fatalf("BCE of random logits should be positive: %g", loss)
+	}
+	for i := range pred.Data() {
+		want := numericalGrad(pred, i, func() float64 {
+			l, _ := BCEWithLogits{}.Forward(pred, target)
+			return l
+		})
+		got := float64(grad.Data()[i])
+		if math.Abs(got-want) > 1e-3 {
+			t.Errorf("BCE grad[%d]: %g vs %g", i, got, want)
+		}
+	}
+}
+
+func TestBCEWithLogitsStability(t *testing.T) {
+	// Extreme logits must not overflow to Inf/NaN.
+	pred := tensor.FromSlice([]float32{80, -80}, 2)
+	target := tensor.FromSlice([]float32{1, 0}, 2)
+	loss, grad := BCEWithLogits{}.Forward(pred, target)
+	if math.IsNaN(loss) || math.IsInf(loss, 0) {
+		t.Fatalf("unstable loss %g", loss)
+	}
+	if loss > 1e-6 {
+		t.Fatalf("confident correct logits should give ~0 loss: %g", loss)
+	}
+	for _, g := range grad.Data() {
+		if math.IsNaN(float64(g)) {
+			t.Fatal("NaN gradient")
+		}
+	}
+}

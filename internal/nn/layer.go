@@ -1,0 +1,125 @@
+// Package nn implements the neural-network layers, losses, and optimizers
+// needed to train super-resolution models (EDSR, SRCNN, SRResNet) and small
+// classifiers on the CPU.
+//
+// Layers follow a manual-backprop design: Forward caches whatever the
+// matching Backward pass needs, and Backward consumes the cache and
+// accumulates parameter gradients. The design trades generality of a full
+// autograd for simplicity and tight control over allocation, which is what
+// the distributed-training experiments care about: the per-parameter
+// gradient tensors exposed through Params() are exactly the buffers that
+// Horovod-style data parallelism must allreduce.
+package nn
+
+import (
+	"fmt"
+
+	"repro/internal/tensor"
+)
+
+// Param is a trainable parameter: its value and accumulated gradient.
+// Grad has the same shape as Value and is owned by the layer; data-parallel
+// training reduces Grad across ranks in place.
+type Param struct {
+	Name  string
+	Value *tensor.Tensor
+	Grad  *tensor.Tensor
+}
+
+// NewParam allocates a parameter and its gradient with the given shape.
+func NewParam(name string, shape ...int) *Param {
+	return &Param{Name: name, Value: tensor.New(shape...), Grad: tensor.New(shape...)}
+}
+
+// ZeroGrad clears the accumulated gradient.
+func (p *Param) ZeroGrad() { p.Grad.Zero() }
+
+// Layer is a differentiable module. Forward consumes an input batch and
+// returns the output; Backward consumes the gradient of the loss with
+// respect to the output and returns the gradient with respect to the input,
+// accumulating parameter gradients along the way. A Layer's Backward must
+// be called after its Forward, with tensors from the same iteration.
+type Layer interface {
+	Forward(x *tensor.Tensor) *tensor.Tensor
+	Backward(gradOut *tensor.Tensor) *tensor.Tensor
+	Params() []*Param
+}
+
+// Sequential chains layers, feeding each one's output to the next.
+type Sequential struct {
+	Name   string
+	Layers []Layer
+}
+
+// NewSequential builds a sequential container.
+func NewSequential(name string, layers ...Layer) *Sequential {
+	return &Sequential{Name: name, Layers: layers}
+}
+
+// Append adds a layer to the end of the chain.
+func (s *Sequential) Append(l Layer) { s.Layers = append(s.Layers, l) }
+
+// Forward runs all layers in order.
+func (s *Sequential) Forward(x *tensor.Tensor) *tensor.Tensor {
+	for _, l := range s.Layers {
+		x = l.Forward(x)
+	}
+	return x
+}
+
+// Backward runs all layers in reverse order.
+func (s *Sequential) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
+	for i := len(s.Layers) - 1; i >= 0; i-- {
+		gradOut = s.Layers[i].Backward(gradOut)
+	}
+	return gradOut
+}
+
+// Params returns the parameters of all layers in declaration order.
+func (s *Sequential) Params() []*Param {
+	var out []*Param
+	for _, l := range s.Layers {
+		out = append(out, l.Params()...)
+	}
+	return out
+}
+
+// ZeroGrads clears the gradients of every parameter in ps.
+func ZeroGrads(ps []*Param) {
+	for _, p := range ps {
+		p.ZeroGrad()
+	}
+}
+
+// NumParams returns the total element count across parameters.
+func NumParams(ps []*Param) int {
+	n := 0
+	for _, p := range ps {
+		n += p.Value.Len()
+	}
+	return n
+}
+
+// GradBytes returns the total gradient payload in bytes — the volume a
+// data-parallel step must allreduce.
+func GradBytes(ps []*Param) int64 {
+	var n int64
+	for _, p := range ps {
+		n += p.Grad.Bytes()
+	}
+	return n
+}
+
+// CheckUniqueNames verifies that parameter names are distinct; Horovod-style
+// negotiation keys tensors by name, so collisions would silently corrupt
+// training.
+func CheckUniqueNames(ps []*Param) error {
+	seen := make(map[string]bool, len(ps))
+	for _, p := range ps {
+		if seen[p.Name] {
+			return fmt.Errorf("nn: duplicate parameter name %q", p.Name)
+		}
+		seen[p.Name] = true
+	}
+	return nil
+}

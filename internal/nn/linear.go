@@ -1,0 +1,124 @@
+package nn
+
+import (
+	"fmt"
+
+	"repro/internal/tensor"
+)
+
+// Linear is a fully-connected layer: y = xW + b with x of shape (N, In).
+type Linear struct {
+	Weight *Param // stored (In, Out)
+	Bias   *Param
+	In, Out int
+
+	lastIn *tensor.Tensor
+}
+
+// NewLinear creates a fully-connected layer with Kaiming initialization.
+func NewLinear(name string, in, out int, rng *tensor.RNG) *Linear {
+	l := &Linear{In: in, Out: out}
+	l.Weight = NewParam(name+".weight", in, out)
+	l.Weight.Value.KaimingInit(rng, in)
+	l.Bias = NewParam(name+".bias", out)
+	return l
+}
+
+// Forward computes the affine map for a batch.
+func (l *Linear) Forward(x *tensor.Tensor) *tensor.Tensor {
+	if x.Rank() != 2 || x.Dim(1) != l.In {
+		panic(fmt.Sprintf("nn: Linear input %v, want (N,%d)", x.Shape(), l.In))
+	}
+	l.lastIn = x
+	n := x.Dim(0)
+	out := tensor.New(n, l.Out)
+	tensor.MatMul(out, x, l.Weight.Value)
+	bd, od := l.Bias.Value.Data(), out.Data()
+	for i := 0; i < n; i++ {
+		row := od[i*l.Out : (i+1)*l.Out]
+		for j := range row {
+			row[j] += bd[j]
+		}
+	}
+	return out
+}
+
+// Backward accumulates dW = xᵀg, db = Σg and returns dx = gWᵀ.
+func (l *Linear) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
+	x := l.lastIn
+	if x == nil {
+		panic("nn: Linear Backward before Forward")
+	}
+	n := x.Dim(0)
+	// dW += xᵀ · g
+	dW := tensor.New(l.In, l.Out)
+	tensor.MatMulTransA(dW, x, gradOut)
+	l.Weight.Grad.Add(dW)
+	// db += column sums of g
+	bg, gd := l.Bias.Grad.Data(), gradOut.Data()
+	for i := 0; i < n; i++ {
+		row := gd[i*l.Out : (i+1)*l.Out]
+		for j, v := range row {
+			bg[j] += v
+		}
+	}
+	// dx = g · Wᵀ
+	gradIn := tensor.New(n, l.In)
+	wt := l.Weight.Value // (In, Out); want g(N,Out) · Wᵀ(Out,In)
+	tensor.MatMulTransB(gradIn, gradOut, wt)
+	l.lastIn = nil
+	return gradIn
+}
+
+// Params returns the weight and bias.
+func (l *Linear) Params() []*Param { return []*Param{l.Weight, l.Bias} }
+
+// GlobalAvgPool reduces (N, C, H, W) to (N, C) by averaging each plane —
+// the head of ResNet-style classifiers.
+type GlobalAvgPool struct {
+	inShape []int
+}
+
+// NewGlobalAvgPool returns a global average pooling layer.
+func NewGlobalAvgPool() *GlobalAvgPool { return &GlobalAvgPool{} }
+
+// Forward averages over the spatial axes.
+func (g *GlobalAvgPool) Forward(x *tensor.Tensor) *tensor.Tensor {
+	n, c, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
+	g.inShape = []int{n, c, h, w}
+	out := tensor.New(n, c)
+	plane := h * w
+	inv := 1 / float32(plane)
+	xd, od := x.Data(), out.Data()
+	for i := 0; i < n*c; i++ {
+		var s float32
+		for _, v := range xd[i*plane : (i+1)*plane] {
+			s += v
+		}
+		od[i] = s * inv
+	}
+	return out
+}
+
+// Backward spreads each gradient uniformly over its plane.
+func (g *GlobalAvgPool) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
+	if g.inShape == nil {
+		panic("nn: GlobalAvgPool Backward before Forward")
+	}
+	n, c, h, w := g.inShape[0], g.inShape[1], g.inShape[2], g.inShape[3]
+	gradIn := tensor.New(n, c, h, w)
+	plane := h * w
+	inv := 1 / float32(plane)
+	gd, gi := gradOut.Data(), gradIn.Data()
+	for i := 0; i < n*c; i++ {
+		v := gd[i] * inv
+		row := gi[i*plane : (i+1)*plane]
+		for j := range row {
+			row[j] = v
+		}
+	}
+	return gradIn
+}
+
+// Params returns nil; pooling has no parameters.
+func (g *GlobalAvgPool) Params() []*Param { return nil }

@@ -1,0 +1,143 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// Loss computes a scalar training objective and the gradient of that scalar
+// with respect to the prediction.
+type Loss interface {
+	// Forward returns the loss value and dLoss/dPred.
+	Forward(pred, target *tensor.Tensor) (float64, *tensor.Tensor)
+	Name() string
+}
+
+// L1Loss is mean absolute error — EDSR's training objective (the EDSR paper
+// found L1 gives better PSNR than L2 for super-resolution).
+type L1Loss struct{}
+
+// Name returns "L1".
+func (L1Loss) Name() string { return "L1" }
+
+// Forward computes mean |pred − target| and its subgradient.
+func (L1Loss) Forward(pred, target *tensor.Tensor) (float64, *tensor.Tensor) {
+	if !pred.SameShape(target) {
+		panic(fmt.Sprintf("nn: L1Loss shape mismatch %v vs %v", pred.Shape(), target.Shape()))
+	}
+	grad := tensor.New(pred.Shape()...)
+	pd, td, gd := pred.Data(), target.Data(), grad.Data()
+	inv := 1 / float32(pred.Len())
+	var loss float64
+	for i, p := range pd {
+		d := p - td[i]
+		loss += math.Abs(float64(d))
+		switch {
+		case d > 0:
+			gd[i] = inv
+		case d < 0:
+			gd[i] = -inv
+		}
+	}
+	return loss / float64(pred.Len()), grad
+}
+
+// MSELoss is mean squared error, the objective of SRCNN and SRResNet.
+type MSELoss struct{}
+
+// Name returns "MSE".
+func (MSELoss) Name() string { return "MSE" }
+
+// Forward computes mean (pred − target)² and its gradient.
+func (MSELoss) Forward(pred, target *tensor.Tensor) (float64, *tensor.Tensor) {
+	if !pred.SameShape(target) {
+		panic(fmt.Sprintf("nn: MSELoss shape mismatch %v vs %v", pred.Shape(), target.Shape()))
+	}
+	grad := tensor.New(pred.Shape()...)
+	pd, td, gd := pred.Data(), target.Data(), grad.Data()
+	inv := 2 / float32(pred.Len())
+	var loss float64
+	for i, p := range pd {
+		d := p - td[i]
+		loss += float64(d) * float64(d)
+		gd[i] = inv * d
+	}
+	return loss / float64(pred.Len()), grad
+}
+
+// BCEWithLogits is binary cross-entropy on raw logits, computed in the
+// numerically stable form max(x,0) − x·y + log(1+exp(−|x|)) — the
+// adversarial objective of SRGAN's discriminator and generator.
+type BCEWithLogits struct{}
+
+// Name returns "BCEWithLogits".
+func (BCEWithLogits) Name() string { return "BCEWithLogits" }
+
+// Forward computes mean BCE of logits pred against targets in {0,1} (any
+// shape) and the gradient (σ(x) − y)/N.
+func (BCEWithLogits) Forward(pred, target *tensor.Tensor) (float64, *tensor.Tensor) {
+	if !pred.SameShape(target) {
+		panic(fmt.Sprintf("nn: BCEWithLogits shape mismatch %v vs %v", pred.Shape(), target.Shape()))
+	}
+	grad := tensor.New(pred.Shape()...)
+	pd, td, gd := pred.Data(), target.Data(), grad.Data()
+	invN := 1 / float32(pred.Len())
+	var loss float64
+	for i, x := range pd {
+		y := td[i]
+		fx := float64(x)
+		loss += math.Max(fx, 0) - fx*float64(y) + math.Log1p(math.Exp(-math.Abs(fx)))
+		sig := float32(1 / (1 + math.Exp(-fx)))
+		gd[i] = (sig - y) * invN
+	}
+	return loss / float64(pred.Len()), grad
+}
+
+// SoftmaxCrossEntropy combines softmax and negative log-likelihood for
+// classification heads (the mini-ResNet used in the Fig. 1 comparison).
+// Targets are class indices, one per row of pred (N, Classes).
+type SoftmaxCrossEntropy struct{}
+
+// Name returns "SoftmaxCE".
+func (SoftmaxCrossEntropy) Name() string { return "SoftmaxCE" }
+
+// Forward computes mean cross-entropy of pred (N, C) against integer
+// labels and the gradient (softmax − onehot)/N.
+func (SoftmaxCrossEntropy) Forward(pred *tensor.Tensor, labels []int) (float64, *tensor.Tensor) {
+	n, c := pred.Dim(0), pred.Dim(1)
+	if len(labels) != n {
+		panic(fmt.Sprintf("nn: SoftmaxCrossEntropy got %d labels for batch %d", len(labels), n))
+	}
+	grad := tensor.New(n, c)
+	pd, gd := pred.Data(), grad.Data()
+	var loss float64
+	invN := 1 / float32(n)
+	for i := 0; i < n; i++ {
+		row := pd[i*c : (i+1)*c]
+		maxv := row[0]
+		for _, v := range row[1:] {
+			if v > maxv {
+				maxv = v
+			}
+		}
+		var sum float64
+		for _, v := range row {
+			sum += math.Exp(float64(v - maxv))
+		}
+		logSum := math.Log(sum) + float64(maxv)
+		lbl := labels[i]
+		if lbl < 0 || lbl >= c {
+			panic(fmt.Sprintf("nn: label %d out of range [0,%d)", lbl, c))
+		}
+		loss += logSum - float64(row[lbl])
+		grow := gd[i*c : (i+1)*c]
+		for j, v := range row {
+			p := float32(math.Exp(float64(v) - logSum))
+			grow[j] = p * invN
+		}
+		grow[lbl] -= invN
+	}
+	return loss / float64(n), grad
+}

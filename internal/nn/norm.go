@@ -1,0 +1,237 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// MeanShift subtracts (Sign=-1) or re-adds (Sign=+1) a fixed per-channel
+// mean, optionally dividing by a per-channel std. EDSR wraps its body in a
+// SubMean/AddMean pair so the network operates on zero-centered pixels.
+// It has no trainable parameters.
+type MeanShift struct {
+	Mean []float32
+	Std  []float32
+	Sign float32
+}
+
+// NewMeanShift builds a mean-shift layer. std may be nil for unit std.
+func NewMeanShift(mean, std []float32, sign float32) *MeanShift {
+	if std == nil {
+		std = make([]float32, len(mean))
+		for i := range std {
+			std[i] = 1
+		}
+	}
+	if len(mean) != len(std) {
+		panic("nn: MeanShift mean/std length mismatch")
+	}
+	return &MeanShift{Mean: mean, Std: std, Sign: sign}
+}
+
+// Forward applies y = (x + sign*mean)/std for sign=-1 (normalize) or
+// y = x*std + sign*mean for sign=+1 (denormalize).
+func (m *MeanShift) Forward(x *tensor.Tensor) *tensor.Tensor {
+	if x.Rank() != 4 || x.Dim(1) != len(m.Mean) {
+		panic(fmt.Sprintf("nn: MeanShift input %v, want %d channels", x.Shape(), len(m.Mean)))
+	}
+	n, c, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
+	out := tensor.New(n, c, h, w)
+	plane := h * w
+	xd, od := x.Data(), out.Data()
+	for i := 0; i < n; i++ {
+		for ch := 0; ch < c; ch++ {
+			off := (i*c + ch) * plane
+			src, dst := xd[off:off+plane], od[off:off+plane]
+			if m.Sign < 0 {
+				mu, inv := m.Mean[ch], 1/m.Std[ch]
+				for j, v := range src {
+					dst[j] = (v - mu) * inv
+				}
+			} else {
+				mu, sd := m.Mean[ch], m.Std[ch]
+				for j, v := range src {
+					dst[j] = v*sd + mu
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Backward scales gradients by the per-channel 1/std (normalize) or std
+// (denormalize); the additive mean term has zero derivative.
+func (m *MeanShift) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
+	n, c, h, w := gradOut.Dim(0), gradOut.Dim(1), gradOut.Dim(2), gradOut.Dim(3)
+	gradIn := tensor.New(n, c, h, w)
+	plane := h * w
+	gd, gi := gradOut.Data(), gradIn.Data()
+	for i := 0; i < n; i++ {
+		for ch := 0; ch < c; ch++ {
+			off := (i*c + ch) * plane
+			var scale float32
+			if m.Sign < 0 {
+				scale = 1 / m.Std[ch]
+			} else {
+				scale = m.Std[ch]
+			}
+			src, dst := gd[off:off+plane], gi[off:off+plane]
+			for j, v := range src {
+				dst[j] = v * scale
+			}
+		}
+	}
+	return gradIn
+}
+
+// Params returns nil; MeanShift is a fixed transform.
+func (m *MeanShift) Params() []*Param { return nil }
+
+// BatchNorm2d normalizes each channel over the batch and spatial axes.
+// SRResNet keeps batch norm in its residual blocks; EDSR's headline
+// architectural change (paper Fig. 5a) is removing it. Implementing both
+// lets the model zoo contrast the two designs.
+type BatchNorm2d struct {
+	Gamma, Beta *Param
+	Eps         float32
+	Momentum    float32
+
+	RunningMean, RunningVar []float32
+	Training                bool
+
+	// Backward cache.
+	lastNorm *tensor.Tensor
+	lastIn   *tensor.Tensor
+	mean, invStd []float32
+}
+
+// NewBatchNorm2d creates a batch-norm layer over c channels.
+func NewBatchNorm2d(name string, c int) *BatchNorm2d {
+	bn := &BatchNorm2d{
+		Gamma:       NewParam(name+".gamma", c),
+		Beta:        NewParam(name+".beta", c),
+		Eps:         1e-5,
+		Momentum:    0.1,
+		RunningMean: make([]float32, c),
+		RunningVar:  make([]float32, c),
+		Training:    true,
+	}
+	bn.Gamma.Value.Fill(1)
+	for i := range bn.RunningVar {
+		bn.RunningVar[i] = 1
+	}
+	return bn
+}
+
+// Forward normalizes per channel using batch statistics (training) or
+// running statistics (inference).
+func (bn *BatchNorm2d) Forward(x *tensor.Tensor) *tensor.Tensor {
+	n, c, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
+	if c != bn.Gamma.Value.Len() {
+		panic(fmt.Sprintf("nn: BatchNorm2d input %v, want %d channels", x.Shape(), bn.Gamma.Value.Len()))
+	}
+	plane := h * w
+	cnt := float64(n * plane)
+	out := tensor.New(n, c, h, w)
+	norm := tensor.New(n, c, h, w)
+	if bn.mean == nil {
+		bn.mean = make([]float32, c)
+		bn.invStd = make([]float32, c)
+	}
+	xd, od, nd := x.Data(), out.Data(), norm.Data()
+	gd, bd := bn.Gamma.Value.Data(), bn.Beta.Value.Data()
+	for ch := 0; ch < c; ch++ {
+		var mu, va float32
+		if bn.Training {
+			var sum, sq float64
+			for i := 0; i < n; i++ {
+				off := (i*c + ch) * plane
+				for _, v := range xd[off : off+plane] {
+					sum += float64(v)
+					sq += float64(v) * float64(v)
+				}
+			}
+			mu = float32(sum / cnt)
+			va = float32(sq/cnt - (sum/cnt)*(sum/cnt))
+			if va < 0 {
+				va = 0
+			}
+			bn.RunningMean[ch] = (1-bn.Momentum)*bn.RunningMean[ch] + bn.Momentum*mu
+			bn.RunningVar[ch] = (1-bn.Momentum)*bn.RunningVar[ch] + bn.Momentum*va
+		} else {
+			mu, va = bn.RunningMean[ch], bn.RunningVar[ch]
+		}
+		inv := float32(1 / math.Sqrt(float64(va)+float64(bn.Eps)))
+		bn.mean[ch], bn.invStd[ch] = mu, inv
+		g, b := gd[ch], bd[ch]
+		for i := 0; i < n; i++ {
+			off := (i*c + ch) * plane
+			src := xd[off : off+plane]
+			no := nd[off : off+plane]
+			oo := od[off : off+plane]
+			for j, v := range src {
+				nv := (v - mu) * inv
+				no[j] = nv
+				oo[j] = g*nv + b
+			}
+		}
+	}
+	bn.lastNorm, bn.lastIn = norm, x
+	return out
+}
+
+// Backward implements the standard batch-norm gradient (training mode).
+func (bn *BatchNorm2d) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
+	if bn.lastNorm == nil {
+		panic("nn: BatchNorm2d Backward before Forward")
+	}
+	n, c := gradOut.Dim(0), gradOut.Dim(1)
+	h, w := gradOut.Dim(2), gradOut.Dim(3)
+	plane := h * w
+	cnt := float32(n * plane)
+	gradIn := tensor.New(n, c, h, w)
+	gd := gradOut.Data()
+	nd := bn.lastNorm.Data()
+	gi := gradIn.Data()
+	gammaD := bn.Gamma.Value.Data()
+	gGrad, bGrad := bn.Gamma.Grad.Data(), bn.Beta.Grad.Data()
+	for ch := 0; ch < c; ch++ {
+		var sumG, sumGN float32
+		for i := 0; i < n; i++ {
+			off := (i*c + ch) * plane
+			for j := 0; j < plane; j++ {
+				g := gd[off+j]
+				sumG += g
+				sumGN += g * nd[off+j]
+			}
+		}
+		gGrad[ch] += sumGN
+		bGrad[ch] += sumG
+		if !bn.Training {
+			// Inference mode: gradient is just scale by gamma*invStd.
+			scale := gammaD[ch] * bn.invStd[ch]
+			for i := 0; i < n; i++ {
+				off := (i*c + ch) * plane
+				for j := 0; j < plane; j++ {
+					gi[off+j] = gd[off+j] * scale
+				}
+			}
+			continue
+		}
+		k := gammaD[ch] * bn.invStd[ch]
+		mg, mgn := sumG/cnt, sumGN/cnt
+		for i := 0; i < n; i++ {
+			off := (i*c + ch) * plane
+			for j := 0; j < plane; j++ {
+				gi[off+j] = k * (gd[off+j] - mg - nd[off+j]*mgn)
+			}
+		}
+	}
+	bn.lastNorm, bn.lastIn = nil, nil
+	return gradIn
+}
+
+// Params returns gamma and beta.
+func (bn *BatchNorm2d) Params() []*Param { return []*Param{bn.Gamma, bn.Beta} }

@@ -1,0 +1,168 @@
+package nn
+
+import (
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// Optimizer updates parameters from their accumulated gradients. Step is
+// called once per training iteration after gradients are synchronized.
+type Optimizer interface {
+	Step()
+	ZeroGrad()
+	// LR returns the current learning rate; SetLR overrides it (used both
+	// by schedules and by Horovod's linear LR scaling rule).
+	LR() float64
+	SetLR(lr float64)
+	// Params exposes the parameter set so wrappers (e.g. Horovod's
+	// DistributedOptimizer) can interpose on gradients before the update.
+	Params() []*Param
+}
+
+// SGD is stochastic gradient descent with optional momentum and weight
+// decay.
+type SGD struct {
+	lr           float64
+	Momentum     float64
+	WeightDecay  float64
+	params       []*Param
+	velocity     []*tensor.Tensor
+}
+
+// NewSGD creates an SGD optimizer over params.
+func NewSGD(params []*Param, lr, momentum, weightDecay float64) *SGD {
+	s := &SGD{lr: lr, Momentum: momentum, WeightDecay: weightDecay, params: params}
+	if momentum != 0 {
+		s.velocity = make([]*tensor.Tensor, len(params))
+		for i, p := range params {
+			s.velocity[i] = tensor.New(p.Value.Shape()...)
+		}
+	}
+	return s
+}
+
+// Step applies one SGD update.
+func (s *SGD) Step() {
+	lr := float32(s.lr)
+	mom := float32(s.Momentum)
+	wd := float32(s.WeightDecay)
+	for i, p := range s.params {
+		vd, gd := p.Value.Data(), p.Grad.Data()
+		if s.velocity != nil {
+			vel := s.velocity[i].Data()
+			for j := range vd {
+				g := gd[j] + wd*vd[j]
+				vel[j] = mom*vel[j] + g
+				vd[j] -= lr * vel[j]
+			}
+		} else {
+			for j := range vd {
+				g := gd[j] + wd*vd[j]
+				vd[j] -= lr * g
+			}
+		}
+	}
+}
+
+// ZeroGrad clears all gradients.
+func (s *SGD) ZeroGrad() { ZeroGrads(s.params) }
+
+// LR returns the learning rate.
+func (s *SGD) LR() float64 { return s.lr }
+
+// SetLR sets the learning rate.
+func (s *SGD) SetLR(lr float64) { s.lr = lr }
+
+// Params returns the optimizer's parameter set.
+func (s *SGD) Params() []*Param { return s.params }
+
+// Adam implements the Adam optimizer (Kingma & Ba), EDSR's published
+// training configuration (lr 1e-4, β₁ 0.9, β₂ 0.999, ε 1e-8).
+type Adam struct {
+	lr             float64
+	Beta1, Beta2   float64
+	Eps            float64
+	params         []*Param
+	m, v           []*tensor.Tensor
+	t              int
+}
+
+// NewAdam creates an Adam optimizer with the standard hyperparameters.
+func NewAdam(params []*Param, lr float64) *Adam {
+	a := &Adam{lr: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8, params: params}
+	a.m = make([]*tensor.Tensor, len(params))
+	a.v = make([]*tensor.Tensor, len(params))
+	for i, p := range params {
+		a.m[i] = tensor.New(p.Value.Shape()...)
+		a.v[i] = tensor.New(p.Value.Shape()...)
+	}
+	return a
+}
+
+// Step applies one Adam update with bias correction.
+func (a *Adam) Step() {
+	a.t++
+	b1, b2 := float32(a.Beta1), float32(a.Beta2)
+	corr1 := 1 - math.Pow(a.Beta1, float64(a.t))
+	corr2 := 1 - math.Pow(a.Beta2, float64(a.t))
+	stepSize := float32(a.lr / corr1)
+	sqrtCorr2 := float32(math.Sqrt(corr2))
+	eps := float32(a.Eps)
+	for i, p := range a.params {
+		vd, gd := p.Value.Data(), p.Grad.Data()
+		md, sd := a.m[i].Data(), a.v[i].Data()
+		for j := range vd {
+			g := gd[j]
+			md[j] = b1*md[j] + (1-b1)*g
+			sd[j] = b2*sd[j] + (1-b2)*g*g
+			denom := float32(math.Sqrt(float64(sd[j])))/sqrtCorr2 + eps
+			vd[j] -= stepSize * md[j] / denom
+		}
+	}
+}
+
+// ZeroGrad clears all gradients.
+func (a *Adam) ZeroGrad() { ZeroGrads(a.params) }
+
+// State exposes the optimizer's internal state for checkpointing: the
+// first and second moment estimates (in parameter order) and the step
+// counter. The returned tensors are the live internal buffers.
+func (a *Adam) State() (m, v []*tensor.Tensor, step int) {
+	return a.m, a.v, a.t
+}
+
+// SetStep restores the bias-correction step counter.
+func (a *Adam) SetStep(t int) { a.t = t }
+
+// LR returns the learning rate.
+func (a *Adam) LR() float64 { return a.lr }
+
+// SetLR sets the learning rate.
+func (a *Adam) SetLR(lr float64) { a.lr = lr }
+
+// Params returns the optimizer's parameter set.
+func (a *Adam) Params() []*Param { return a.params }
+
+// StepLRSchedule halves (or generally scales) the learning rate every
+// DecayEvery steps — EDSR's published schedule halves lr every 2·10⁵
+// iterations.
+type StepLRSchedule struct {
+	Base       float64
+	DecayEvery int
+	Gamma      float64
+}
+
+// LRAt returns the learning rate for a given global step.
+func (s StepLRSchedule) LRAt(step int) float64 {
+	if s.DecayEvery <= 0 {
+		return s.Base
+	}
+	return s.Base * math.Pow(s.Gamma, float64(step/s.DecayEvery))
+}
+
+// Apply sets opt's learning rate for the given step, preserving any
+// multiplicative scale (e.g. Horovod's ×N rule) baked into Base.
+func (s StepLRSchedule) Apply(opt Optimizer, step int) {
+	opt.SetLR(s.LRAt(step))
+}

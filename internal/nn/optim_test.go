@@ -1,0 +1,190 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+// quadratic builds a single-parameter "model" whose loss is 0.5‖p−target‖².
+func quadratic(target float32) (*Param, func() float64) {
+	p := NewParam("p", 4)
+	lossOf := func() float64 {
+		var l float64
+		for _, v := range p.Value.Data() {
+			d := float64(v) - float64(target)
+			l += 0.5 * d * d
+		}
+		return l
+	}
+	return p, lossOf
+}
+
+func fillQuadGrad(p *Param, target float32) {
+	for i, v := range p.Value.Data() {
+		p.Grad.Data()[i] = v - target
+	}
+}
+
+func TestSGDConverges(t *testing.T) {
+	p, lossOf := quadratic(3)
+	p.Value.Fill(0)
+	opt := NewSGD([]*Param{p}, 0.2, 0, 0)
+	for i := 0; i < 100; i++ {
+		opt.ZeroGrad()
+		fillQuadGrad(p, 3)
+		opt.Step()
+	}
+	if lossOf() > 1e-6 {
+		t.Fatalf("SGD did not converge: loss %g, p=%v", lossOf(), p.Value.Data())
+	}
+}
+
+func TestSGDMomentumConverges(t *testing.T) {
+	p, lossOf := quadratic(-2)
+	p.Value.Fill(5)
+	opt := NewSGD([]*Param{p}, 0.05, 0.9, 0)
+	for i := 0; i < 300; i++ {
+		opt.ZeroGrad()
+		fillQuadGrad(p, -2)
+		opt.Step()
+	}
+	if lossOf() > 1e-4 {
+		t.Fatalf("momentum SGD did not converge: loss %g", lossOf())
+	}
+}
+
+func TestSGDWeightDecayShrinks(t *testing.T) {
+	p := NewParam("p", 2)
+	p.Value.Fill(1)
+	opt := NewSGD([]*Param{p}, 0.1, 0, 0.5)
+	for i := 0; i < 50; i++ {
+		opt.ZeroGrad() // gradient stays zero; only decay acts
+		opt.Step()
+	}
+	if math.Abs(float64(p.Value.At(0))) > 0.1 {
+		t.Fatalf("weight decay should shrink params: %v", p.Value.Data())
+	}
+}
+
+func TestAdamConverges(t *testing.T) {
+	p, lossOf := quadratic(1.5)
+	p.Value.Fill(-4)
+	opt := NewAdam([]*Param{p}, 0.1)
+	for i := 0; i < 500; i++ {
+		opt.ZeroGrad()
+		fillQuadGrad(p, 1.5)
+		opt.Step()
+	}
+	if lossOf() > 1e-4 {
+		t.Fatalf("Adam did not converge: loss %g, p=%v", lossOf(), p.Value.Data())
+	}
+}
+
+func TestAdamFirstStepMagnitude(t *testing.T) {
+	// With bias correction, Adam's first step has magnitude ≈ lr regardless
+	// of gradient scale.
+	p := NewParam("p", 1)
+	p.Value.Fill(0)
+	opt := NewAdam([]*Param{p}, 0.01)
+	p.Grad.Fill(1000)
+	opt.Step()
+	if got := math.Abs(float64(p.Value.At(0))); math.Abs(got-0.01) > 0.001 {
+		t.Fatalf("first Adam step %g, want ≈lr=0.01", got)
+	}
+}
+
+func TestLRAccessors(t *testing.T) {
+	p := NewParam("p", 1)
+	for _, opt := range []Optimizer{NewSGD([]*Param{p}, 0.1, 0, 0), NewAdam([]*Param{p}, 0.1)} {
+		if opt.LR() != 0.1 {
+			t.Fatalf("LR() = %g", opt.LR())
+		}
+		opt.SetLR(0.4)
+		if opt.LR() != 0.4 {
+			t.Fatalf("SetLR not applied")
+		}
+		if len(opt.Params()) != 1 {
+			t.Fatalf("Params() wrong length")
+		}
+	}
+}
+
+func TestStepLRSchedule(t *testing.T) {
+	s := StepLRSchedule{Base: 1e-4, DecayEvery: 100, Gamma: 0.5}
+	if s.LRAt(0) != 1e-4 || s.LRAt(99) != 1e-4 {
+		t.Fatal("schedule decayed too early")
+	}
+	if got := s.LRAt(100); math.Abs(got-5e-5) > 1e-12 {
+		t.Fatalf("LRAt(100) = %g", got)
+	}
+	if got := s.LRAt(250); math.Abs(got-2.5e-5) > 1e-12 {
+		t.Fatalf("LRAt(250) = %g", got)
+	}
+	p := NewParam("p", 1)
+	opt := NewSGD([]*Param{p}, 1e-4, 0, 0)
+	s.Apply(opt, 300)
+	if math.Abs(opt.LR()-1.25e-5) > 1e-12 {
+		t.Fatalf("Apply gave %g", opt.LR())
+	}
+	// Zero DecayEvery means constant.
+	c := StepLRSchedule{Base: 2e-3}
+	if c.LRAt(1e6) != 2e-3 {
+		t.Fatal("DecayEvery=0 should be constant")
+	}
+}
+
+func TestCheckUniqueNames(t *testing.T) {
+	a, b := NewParam("x", 1), NewParam("x", 1)
+	if err := CheckUniqueNames([]*Param{a, b}); err == nil {
+		t.Fatal("expected duplicate-name error")
+	}
+	b.Name = "y"
+	if err := CheckUniqueNames([]*Param{a, b}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParamCounts(t *testing.T) {
+	rng := tensor.NewRNG(1)
+	conv := NewConv2d("c", 3, 8, 3, 1, 1, true, rng)
+	ps := conv.Params()
+	wantW := 8 * 3 * 3 * 3
+	if NumParams(ps) != wantW+8 {
+		t.Fatalf("NumParams = %d, want %d", NumParams(ps), wantW+8)
+	}
+	if GradBytes(ps) != int64(wantW+8)*4 {
+		t.Fatalf("GradBytes = %d", GradBytes(ps))
+	}
+}
+
+// End-to-end: a tiny conv net must fit a linear downscale of its input.
+func TestTinyNetworkLearns(t *testing.T) {
+	rng := tensor.NewRNG(99)
+	net := NewSequential("net",
+		NewConv2d("net.c1", 1, 4, 3, 1, 1, true, rng),
+		NewReLU(),
+		NewConv2d("net.c2", 4, 1, 3, 1, 1, true, rng),
+	)
+	opt := NewAdam(net.Params(), 1e-2)
+	x := tensor.New(4, 1, 8, 8)
+	x.FillUniform(rng, 0, 1)
+	// Target: identity map of the input (a learnable task for a conv net).
+	target := x.Clone()
+	var first, last float64
+	for step := 0; step < 150; step++ {
+		opt.ZeroGrad()
+		y := net.Forward(x)
+		loss, grad := MSELoss{}.Forward(y, target)
+		if step == 0 {
+			first = loss
+		}
+		last = loss
+		net.Backward(grad)
+		opt.Step()
+	}
+	if last > first*0.05 {
+		t.Fatalf("network failed to learn: first %g, last %g", first, last)
+	}
+}

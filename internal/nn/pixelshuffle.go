@@ -1,0 +1,88 @@
+package nn
+
+import (
+	"fmt"
+
+	"repro/internal/tensor"
+)
+
+// PixelShuffle rearranges (N, C*r², H, W) into (N, C, H*r, W*r) — the
+// sub-pixel convolution upsampler EDSR and SRResNet use in their tails.
+// Input channel c*r²+dy*r+dx maps to output channel c at spatial offset
+// (dy, dx) within each r×r output block.
+type PixelShuffle struct {
+	R       int
+	inShape []int
+}
+
+// NewPixelShuffle returns a pixel shuffle with upscale factor r.
+func NewPixelShuffle(r int) *PixelShuffle {
+	if r < 1 {
+		panic("nn: PixelShuffle factor must be >= 1")
+	}
+	return &PixelShuffle{R: r}
+}
+
+// Forward performs the channel-to-space rearrangement.
+func (p *PixelShuffle) Forward(x *tensor.Tensor) *tensor.Tensor {
+	r := p.R
+	if x.Rank() != 4 || x.Dim(1)%(r*r) != 0 {
+		panic(fmt.Sprintf("nn: PixelShuffle input %v not divisible by r²=%d", x.Shape(), r*r))
+	}
+	n, cIn, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
+	cOut := cIn / (r * r)
+	p.inShape = []int{n, cIn, h, w}
+	out := tensor.New(n, cOut, h*r, w*r)
+	xd, od := x.Data(), out.Data()
+	oh, ow := h*r, w*r
+	for i := 0; i < n; i++ {
+		for c := 0; c < cOut; c++ {
+			for dy := 0; dy < r; dy++ {
+				for dx := 0; dx < r; dx++ {
+					ic := c*r*r + dy*r + dx
+					for y := 0; y < h; y++ {
+						srow := xd[((i*cIn+ic)*h+y)*w : ((i*cIn+ic)*h+y+1)*w]
+						obase := ((i*cOut+c)*oh+(y*r+dy))*ow + dx
+						for xq, v := range srow {
+							od[obase+xq*r] = v
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Backward performs the inverse space-to-channel rearrangement.
+func (p *PixelShuffle) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
+	if p.inShape == nil {
+		panic("nn: PixelShuffle Backward before Forward")
+	}
+	r := p.R
+	n, cIn, h, w := p.inShape[0], p.inShape[1], p.inShape[2], p.inShape[3]
+	cOut := cIn / (r * r)
+	gradIn := tensor.New(n, cIn, h, w)
+	gd, gi := gradOut.Data(), gradIn.Data()
+	oh, ow := h*r, w*r
+	for i := 0; i < n; i++ {
+		for c := 0; c < cOut; c++ {
+			for dy := 0; dy < r; dy++ {
+				for dx := 0; dx < r; dx++ {
+					ic := c*r*r + dy*r + dx
+					for y := 0; y < h; y++ {
+						irow := gi[((i*cIn+ic)*h+y)*w : ((i*cIn+ic)*h+y+1)*w]
+						obase := ((i*cOut+c)*oh+(y*r+dy))*ow + dx
+						for xq := range irow {
+							irow[xq] = gd[obase+xq*r]
+						}
+					}
+				}
+			}
+		}
+	}
+	return gradIn
+}
+
+// Params returns nil; PixelShuffle has no parameters.
+func (p *PixelShuffle) Params() []*Param { return nil }

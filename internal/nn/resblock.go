@@ -1,0 +1,129 @@
+package nn
+
+import "repro/internal/tensor"
+
+// ResBlock is the residual block family compared in the paper's Fig. 5a:
+//
+//	ResNet:   Conv → BN → ReLU → Conv → BN → (+x) → ReLU
+//	SRResNet: Conv → BN → ReLU → Conv → BN → (+x)
+//	EDSR:     Conv → ReLU → Conv → ×resScale → (+x)
+//
+// EDSR removes batch normalization entirely (BN consumes memory comparable
+// to the convolutions and hurts super-resolution quality) and scales the
+// residual branch by a constant (0.1 in the paper) to stabilize training of
+// wide models.
+type ResBlock struct {
+	Body     *Sequential
+	ResScale float32
+	FinalReLU bool // ResNet-style trailing activation
+
+	lastIn   *tensor.Tensor
+	tailRelu *ReLU
+}
+
+// BlockStyle selects which residual block variant to build.
+type BlockStyle int
+
+// Residual block variants from the paper's Fig. 5a.
+const (
+	StyleEDSR BlockStyle = iota
+	StyleSRResNet
+	StyleResNet
+)
+
+// NewResBlock builds a residual block over c channels with 3×3 kernels.
+// resScale is only used by StyleEDSR (pass 1 for no scaling).
+func NewResBlock(name string, style BlockStyle, c int, resScale float32, rng *tensor.RNG) *ResBlock {
+	b := &ResBlock{ResScale: 1}
+	switch style {
+	case StyleEDSR:
+		b.Body = NewSequential(name,
+			NewConv2d(name+".conv1", c, c, 3, 1, 1, true, rng),
+			NewReLU(),
+			NewConv2d(name+".conv2", c, c, 3, 1, 1, true, rng),
+		)
+		b.ResScale = resScale
+	case StyleSRResNet:
+		b.Body = NewSequential(name,
+			NewConv2d(name+".conv1", c, c, 3, 1, 1, true, rng),
+			NewBatchNorm2d(name+".bn1", c),
+			NewReLU(),
+			NewConv2d(name+".conv2", c, c, 3, 1, 1, true, rng),
+			NewBatchNorm2d(name+".bn2", c),
+		)
+	case StyleResNet:
+		b.Body = NewSequential(name,
+			NewConv2d(name+".conv1", c, c, 3, 1, 1, true, rng),
+			NewBatchNorm2d(name+".bn1", c),
+			NewReLU(),
+			NewConv2d(name+".conv2", c, c, 3, 1, 1, true, rng),
+			NewBatchNorm2d(name+".bn2", c),
+		)
+		b.FinalReLU = true
+		b.tailRelu = NewReLU()
+	}
+	return b
+}
+
+// Forward computes x + resScale·body(x), with an optional trailing ReLU.
+func (b *ResBlock) Forward(x *tensor.Tensor) *tensor.Tensor {
+	b.lastIn = x
+	out := b.Body.Forward(x)
+	if b.ResScale != 1 {
+		out.Scale(b.ResScale)
+	}
+	out.Add(x)
+	if b.FinalReLU {
+		out = b.tailRelu.Forward(out)
+	}
+	return out
+}
+
+// Backward propagates through the skip connection and the body.
+func (b *ResBlock) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
+	if b.lastIn == nil {
+		panic("nn: ResBlock Backward before Forward")
+	}
+	if b.FinalReLU {
+		gradOut = b.tailRelu.Backward(gradOut)
+	}
+	// Branch gradient: scale by resScale before entering the body.
+	branch := gradOut
+	if b.ResScale != 1 {
+		branch = gradOut.Clone()
+		branch.Scale(b.ResScale)
+	}
+	gradIn := b.Body.Backward(branch)
+	gradIn.Add(gradOut) // skip connection
+	b.lastIn = nil
+	return gradIn
+}
+
+// Params returns the body's parameters.
+func (b *ResBlock) Params() []*Param { return b.Body.Params() }
+
+// Flatten reshapes (N, C, H, W) to (N, C*H*W) for classifier heads.
+type Flatten struct {
+	inShape []int
+}
+
+// NewFlatten returns a flatten layer.
+func NewFlatten() *Flatten { return &Flatten{} }
+
+// Forward flattens all non-batch dimensions.
+func (f *Flatten) Forward(x *tensor.Tensor) *tensor.Tensor {
+	f.inShape = append([]int(nil), x.Shape()...)
+	n := x.Dim(0)
+	return x.Reshape(n, x.Len()/n)
+}
+
+// Backward restores the original shape.
+func (f *Flatten) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
+	if f.inShape == nil {
+		panic("nn: Flatten Backward before Forward")
+	}
+	return gradOut.Reshape(f.inShape...)
+}
+
+// Params returns nil; Flatten has no parameters.
+func (f *Flatten) Params() []*Param { return nil }

@@ -1,0 +1,212 @@
+// Package perfmodel holds the calibrated performance model of EDSR
+// training on a Volta V100: compute rates taken from the paper's own
+// single-GPU measurements (Fig. 1), the per-tensor gradient layout that
+// drives Horovod fusion, the batch-size/memory model behind Fig. 9, and
+// the jittered step-time generator the scaling simulation consumes.
+//
+// Everything here is a model input, not a claim: absolute numbers come
+// from the paper, shapes come from architecture arithmetic.
+package perfmodel
+
+import (
+	"fmt"
+
+	"repro/internal/models"
+)
+
+// Calibration constants from the paper.
+const (
+	// EDSRImagesPerSecV100 is the paper's measured single-V100 EDSR
+	// training throughput at batch size 4 (abstract and Fig. 1).
+	EDSRImagesPerSecV100 = 10.3
+	// ResNet50ImagesPerSecV100 is the paper's ResNet-50 comparison point.
+	ResNet50ImagesPerSecV100 = 360.0
+	// EDSRBatchSize is the batch size the paper selected from Fig. 9.
+	EDSRBatchSize = 4
+)
+
+// Step-time decomposition: t(b) = FixedOverheadSec + b·PerImageSec.
+// Solving 4/t(4) = 10.3 img/s with a kernel-launch/driver overhead share
+// gives the Fig. 9 saturating-throughput shape.
+const (
+	// EDSRFixedOverheadSec is the per-step fixed cost (launch, optimizer,
+	// Python) independent of batch size.
+	EDSRFixedOverheadSec = 0.040
+	// EDSRPerImageSec is the marginal compute cost per image.
+	EDSRPerImageSec = 0.087125
+	// ForwardFraction of the compute time; the rest is the backward pass,
+	// during which gradients become available for communication.
+	ForwardFraction = 0.35
+)
+
+// V100MemBytes is the device memory (16 GB).
+const V100MemBytes int64 = 16 << 30
+
+// EDSRActivationBytesPerImage is the training-time activation + autograd
+// footprint per image for the paper configuration (B=32, F=256, 48 px LR
+// patch): ~1.55 GB. It caps the usable batch size on a 16 GB V100 at 8,
+// which is the Fig. 9 sweep's upper end.
+const EDSRActivationBytesPerImage int64 = 1_660_000_000
+
+// EDSRModelStateBytes is the resident model + optimizer state (weights,
+// gradients, Adam moments: 4 copies of ~41 M float32 parameters).
+const EDSRModelStateBytes int64 = 680_000_000
+
+// EDSRStepSec returns the modeled single-V100 step time at batch b.
+func EDSRStepSec(b int) float64 {
+	return EDSRFixedOverheadSec + float64(b)*EDSRPerImageSec
+}
+
+// EDSRThroughput returns modeled single-V100 images/second at batch b and
+// whether the batch fits in device memory.
+func EDSRThroughput(b int) (imgsPerSec float64, fits bool) {
+	mem := EDSRModelStateBytes + int64(b)*EDSRActivationBytesPerImage
+	return float64(b) / EDSRStepSec(b), mem <= V100MemBytes
+}
+
+// ResNet50Throughput returns the modeled ResNet-50 throughput (images/s)
+// at its standard batch size — the paper's Fig. 1 contrast point. The
+// batch-size dependence reuses the same saturating form.
+func ResNet50Throughput(b int) float64 {
+	// Calibrated to 360 img/s at batch 64 with a V100-typical curve.
+	const fixed = 0.020
+	const perImage = 0.0024653
+	return float64(b) / (fixed + float64(b)*perImage)
+}
+
+// TensorSpec describes one gradient tensor in registration (forward)
+// order.
+type TensorSpec struct {
+	Name  string
+	Elems int
+}
+
+// Bytes returns the tensor payload (float32).
+func (t TensorSpec) Bytes() int64 { return int64(t.Elems) * 4 }
+
+// GradLayout computes EDSR's parameter layout analytically from the
+// configuration — the same arithmetic as models.NewEDSR but without
+// allocating the 40M-parameter network (a test cross-checks the two).
+// Order matches models.(*EDSR).Params(): head, body blocks, body end,
+// tail.
+func GradLayout(cfg models.EDSRConfig) []TensorSpec {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	f, c := cfg.NumFeats, cfg.Colors
+	var specs []TensorSpec
+	add := func(name string, elems int) {
+		specs = append(specs, TensorSpec{Name: name, Elems: elems})
+	}
+	add("head.weight", f*c*9)
+	add("head.bias", f)
+	for i := 0; i < cfg.NumBlocks; i++ {
+		add(fmt.Sprintf("body.%d.conv1.weight", i), f*f*9)
+		add(fmt.Sprintf("body.%d.conv1.bias", i), f)
+		add(fmt.Sprintf("body.%d.conv2.weight", i), f*f*9)
+		add(fmt.Sprintf("body.%d.conv2.bias", i), f)
+	}
+	add("body.end.weight", f*f*9)
+	add("body.end.bias", f)
+	appendUp := func(idx, s int) {
+		add(fmt.Sprintf("tail.up%d.weight", idx), f*s*s*f*9)
+		add(fmt.Sprintf("tail.up%d.bias", idx), f*s*s)
+	}
+	switch cfg.Scale {
+	case 2:
+		appendUp(0, 2)
+	case 3:
+		appendUp(0, 3)
+	case 4:
+		appendUp(0, 2)
+		appendUp(1, 2)
+	}
+	add("tail.out.weight", c*f*9)
+	add("tail.out.bias", c)
+	return specs
+}
+
+// TotalGradBytes sums the layout's payload — the per-step allreduce volume
+// of data-parallel EDSR training (~163 MB for the paper configuration).
+func TotalGradBytes(layout []TensorSpec) int64 {
+	var total int64
+	for _, t := range layout {
+		total += t.Bytes()
+	}
+	return total
+}
+
+// BackwardSchedule splits the backward-pass duration into per-tensor
+// completion offsets, in submission order (reverse of layout, since
+// backprop reaches the tail first). Each tensor's slice of the backward
+// time is proportional to its element count — conv gradient FLOPs scale
+// with weight volume at EDSR's constant spatial resolution. Biases ride
+// on their convolutions but are given their size-proportional (tiny)
+// share, which is harmless.
+//
+// The returned offsets are cumulative times (0, backwardSec] at which each
+// reversed-layout tensor's gradient becomes available.
+func BackwardSchedule(layout []TensorSpec, backwardSec float64) []float64 {
+	total := float64(TotalGradBytes(layout))
+	offsets := make([]float64, len(layout))
+	var acc float64
+	for i := range layout {
+		rev := layout[len(layout)-1-i]
+		acc += backwardSec * float64(rev.Bytes()) / total
+		offsets[i] = acc
+	}
+	return offsets
+}
+
+// Burst is a batch of gradients that becomes visible to the communication
+// engine together: Tensors holds submission-order indices (0 = first
+// tensor of the reversed layout), AtFrac the fraction of the backward
+// pass after which the burst is available.
+type Burst struct {
+	AtFrac  float64
+	Tensors []int
+}
+
+// burstBoundary pairs a cumulative byte fraction with its release time.
+var burstBoundaries = []struct{ bytesFrac, atFrac float64 }{
+	{0.07, 0.25}, // tail gradients (up-convolution) early in backward
+	{0.25, 0.50}, // first stretch of body blocks
+	{0.63, 0.75}, // second stretch
+	{1.01, 1.00}, // remainder at backward completion
+}
+
+// BurstSchedule groups the submission-order tensors into availability
+// bursts. PyTorch's framework-level gradient hooks fire eagerly, but the
+// tensors only become safe for MPI after CUDA stream synchronization,
+// which Horovod observes at a much coarser granularity — gradients
+// therefore reach the engine in a few bunches rather than one-by-one. The
+// bunch boundaries are chosen so the fused message sizes land in the
+// 1–16, 16–32 and 32–64 MB classes with the weighting the paper's
+// Table I / Fig. 14 report (see DESIGN.md).
+func BurstSchedule(layout []TensorSpec) []Burst {
+	total := float64(TotalGradBytes(layout))
+	n := len(layout)
+	bursts := make([]Burst, len(burstBoundaries))
+	for i := range bursts {
+		bursts[i].AtFrac = burstBoundaries[i].atFrac
+	}
+	var acc float64
+	for i := 0; i < n; i++ {
+		rev := layout[n-1-i]
+		acc += float64(rev.Bytes())
+		frac := acc / total
+		b := 0
+		for b < len(burstBoundaries)-1 && frac > burstBoundaries[b].bytesFrac {
+			b++
+		}
+		bursts[b].Tensors = append(bursts[b].Tensors, i)
+	}
+	// Drop empty bursts (tiny models may not span all boundaries).
+	out := bursts[:0]
+	for _, b := range bursts {
+		if len(b.Tensors) > 0 {
+			out = append(out, b)
+		}
+	}
+	return out
+}

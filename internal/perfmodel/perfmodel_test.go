@@ -1,0 +1,193 @@
+package perfmodel
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/models"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+func TestCalibrationPoints(t *testing.T) {
+	// The model must reproduce the paper's Fig. 1 numbers at the paper's
+	// operating points.
+	got, fits := EDSRThroughput(4)
+	if math.Abs(got-10.3) > 0.1 {
+		t.Fatalf("EDSR @batch4 = %g img/s, paper says 10.3", got)
+	}
+	if !fits {
+		t.Fatal("batch 4 must fit in 16 GB")
+	}
+	if r := ResNet50Throughput(64); math.Abs(r-360) > 5 {
+		t.Fatalf("ResNet-50 @batch64 = %g img/s, paper says 360", r)
+	}
+	// The architectural contrast: ~35x throughput gap.
+	if ratio := ResNet50Throughput(64) / got; ratio < 30 || ratio > 40 {
+		t.Fatalf("ResNet/EDSR ratio %g, paper implies ~35", ratio)
+	}
+}
+
+func TestBatchSweepShape(t *testing.T) {
+	// Fig. 9 shape: throughput increases with batch size with diminishing
+	// returns, until memory runs out.
+	prev := 0.0
+	for _, b := range []int{1, 2, 4, 8} {
+		tp, fits := EDSRThroughput(b)
+		if tp <= prev {
+			t.Fatalf("throughput must increase with batch: %d → %g (prev %g)", b, tp, prev)
+		}
+		if !fits {
+			t.Fatalf("batch %d should fit", b)
+		}
+		prev = tp
+	}
+	if _, fits := EDSRThroughput(16); fits {
+		t.Fatal("batch 16 must exceed 16 GB (the Fig. 9 memory wall)")
+	}
+	// Diminishing returns: 1→2 gain bigger than 4→8 gain, relatively.
+	t1, _ := EDSRThroughput(1)
+	t2, _ := EDSRThroughput(2)
+	t4, _ := EDSRThroughput(4)
+	t8, _ := EDSRThroughput(8)
+	if (t2-t1)/t1 <= (t8-t4)/t4 {
+		t.Fatal("gains should diminish with batch size")
+	}
+}
+
+func TestStepSecMonotone(t *testing.T) {
+	if EDSRStepSec(1) >= EDSRStepSec(8) {
+		t.Fatal("step time must grow with batch")
+	}
+}
+
+// TestGradLayoutMatchesModel cross-checks the analytic layout against the
+// real network construction for a small configuration: same names, same
+// order, same sizes.
+func TestGradLayoutMatchesModel(t *testing.T) {
+	for _, cfg := range []models.EDSRConfig{
+		models.EDSRTiny(),
+		{NumBlocks: 2, NumFeats: 8, Scale: 3, ResScale: 0.1, Colors: 3},
+		{NumBlocks: 1, NumFeats: 4, Scale: 4, ResScale: 0.1, Colors: 3},
+	} {
+		layout := GradLayout(cfg)
+		m := models.NewEDSR(cfg, tensor.NewRNG(1))
+		params := m.Params()
+		if len(layout) != len(params) {
+			t.Fatalf("cfg %+v: layout %d tensors, model %d", cfg, len(layout), len(params))
+		}
+		for i, spec := range layout {
+			if spec.Name != params[i].Name {
+				t.Fatalf("cfg %+v tensor %d: layout %q vs model %q", cfg, i, spec.Name, params[i].Name)
+			}
+			if spec.Elems != params[i].Value.Len() {
+				t.Fatalf("tensor %q: layout %d elems, model %d", spec.Name, spec.Elems, params[i].Value.Len())
+			}
+		}
+		if int64(nn.GradBytes(params)) != TotalGradBytes(layout) {
+			t.Fatal("byte totals disagree")
+		}
+	}
+}
+
+func TestPaperConfigGradVolume(t *testing.T) {
+	layout := GradLayout(models.EDSRPaper())
+	total := TotalGradBytes(layout)
+	// ~40.7M params = ~163 MB — more than two 64 MB fusion buffers, the
+	// precondition for Table I's 32-64 MB messages.
+	if total < 150<<20 || total > 180<<20 {
+		t.Fatalf("paper-config gradient volume %d MB, want ~163", total>>20)
+	}
+}
+
+func TestBackwardScheduleProperties(t *testing.T) {
+	layout := GradLayout(models.EDSRPaper())
+	offsets := BackwardSchedule(layout, 0.25)
+	if len(offsets) != len(layout) {
+		t.Fatal("offset count mismatch")
+	}
+	prev := 0.0
+	for i, o := range offsets {
+		if o < prev {
+			t.Fatalf("offsets must be non-decreasing at %d: %g < %g", i, o, prev)
+		}
+		prev = o
+	}
+	if math.Abs(offsets[len(offsets)-1]-0.25) > 1e-9 {
+		t.Fatalf("last offset %g, want 0.25 (full backward)", offsets[len(offsets)-1])
+	}
+}
+
+func TestBurstSchedulePartition(t *testing.T) {
+	layout := GradLayout(models.EDSRPaper())
+	bursts := BurstSchedule(layout)
+	if len(bursts) != 4 {
+		t.Fatalf("expected 4 bursts for the paper config, got %d", len(bursts))
+	}
+	seen := make(map[int]bool)
+	prevAt := 0.0
+	for _, b := range bursts {
+		if b.AtFrac <= prevAt {
+			t.Fatalf("burst times must increase: %v", b.AtFrac)
+		}
+		prevAt = b.AtFrac
+		for _, id := range b.Tensors {
+			if seen[id] {
+				t.Fatalf("tensor %d in two bursts", id)
+			}
+			seen[id] = true
+		}
+	}
+	if len(seen) != len(layout) {
+		t.Fatalf("bursts cover %d of %d tensors", len(seen), len(layout))
+	}
+	if bursts[len(bursts)-1].AtFrac != 1.0 {
+		t.Fatal("last burst must land at backward completion")
+	}
+}
+
+func TestBurstSizesMatchTableIBuckets(t *testing.T) {
+	// The burst partition is what places fused messages into the paper's
+	// Table I buckets: burst 1 in 1-16 MB, burst 2 in 16-32 MB, bursts 3-4
+	// in 32-64 MB.
+	layout := GradLayout(models.EDSRPaper())
+	bursts := BurstSchedule(layout)
+	sizes := make([]int64, len(bursts))
+	for bi, b := range bursts {
+		for _, id := range b.Tensors {
+			sizes[bi] += layout[len(layout)-1-id].Bytes()
+		}
+	}
+	if !(sizes[0] > 1<<20 && sizes[0] < 16<<20) {
+		t.Fatalf("burst 1 = %d MB, want 1-16", sizes[0]>>20)
+	}
+	if !(sizes[1] >= 16<<20 && sizes[1] < 32<<20) {
+		t.Fatalf("burst 2 = %d MB, want 16-32", sizes[1]>>20)
+	}
+	for i := 2; i < 4; i++ {
+		if !(sizes[i] >= 32<<20 && sizes[i] < 64<<20) {
+			t.Fatalf("burst %d = %d MB, want 32-64", i+1, sizes[i]>>20)
+		}
+	}
+}
+
+func TestBurstScheduleTinyModel(t *testing.T) {
+	layout := GradLayout(models.EDSRTiny())
+	bursts := BurstSchedule(layout)
+	if len(bursts) == 0 {
+		t.Fatal("tiny model should still produce bursts")
+	}
+	n := 0
+	for _, b := range bursts {
+		n += len(b.Tensors)
+	}
+	if n != len(layout) {
+		t.Fatalf("tiny bursts cover %d of %d", n, len(layout))
+	}
+}
+
+func TestTensorSpecBytes(t *testing.T) {
+	if (TensorSpec{Elems: 10}).Bytes() != 40 {
+		t.Fatal("4 bytes per element")
+	}
+}

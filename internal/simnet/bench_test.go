@@ -1,0 +1,68 @@
+package simnet
+
+import "testing"
+
+// BenchmarkEventThroughput measures raw scheduler throughput: one proc,
+// many sleeps.
+func BenchmarkEventThroughput(b *testing.B) {
+	s := New()
+	s.Spawn("p", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			p.Sleep(0.001)
+		}
+	})
+	b.ResetTimer()
+	s.RunAll()
+}
+
+// BenchmarkManyProcs measures context-switch cost with many interleaved
+// processes, the regime the 512-rank cluster simulation runs in.
+func BenchmarkManyProcs(b *testing.B) {
+	const procs = 512
+	s := New()
+	per := b.N/procs + 1
+	for i := 0; i < procs; i++ {
+		s.Spawn("p", func(p *Proc) {
+			for j := 0; j < per; j++ {
+				p.Sleep(0.001)
+			}
+		})
+	}
+	b.ResetTimer()
+	s.RunAll()
+}
+
+// BenchmarkChanRendezvous measures the rendezvous channel hot path.
+func BenchmarkChanRendezvous(b *testing.B) {
+	s := New()
+	ch := s.NewChan("c")
+	s.Spawn("send", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			ch.Send(p, i)
+		}
+	})
+	s.Spawn("recv", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			ch.Recv(p)
+		}
+	})
+	b.ResetTimer()
+	s.RunAll()
+}
+
+// BenchmarkResourceContention measures FIFO resource queuing.
+func BenchmarkResourceContention(b *testing.B) {
+	s := New()
+	r := s.NewResource("link", 1)
+	const procs = 16
+	per := b.N/procs + 1
+	for i := 0; i < procs; i++ {
+		s.Spawn("p", func(p *Proc) {
+			for j := 0; j < per; j++ {
+				r.Use(p, 0.0001)
+			}
+		})
+	}
+	b.ResetTimer()
+	s.RunAll()
+}

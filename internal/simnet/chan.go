@@ -1,0 +1,141 @@
+package simnet
+
+// Chan is a rendezvous channel between simulated processes: Send blocks
+// until a matching Recv and vice versa, both resuming at the same virtual
+// time. It carries arbitrary values; collective algorithms use it for
+// synchronization between ranks.
+type Chan struct {
+	sim   *Sim
+	name  string
+	sendQ []*chanWaiter
+	recvQ []*chanWaiter
+}
+
+type chanWaiter struct {
+	proc *Proc
+	val  any
+}
+
+// NewChan creates a rendezvous channel.
+func (s *Sim) NewChan(name string) *Chan {
+	return &Chan{sim: s, name: name}
+}
+
+// Send delivers v to a receiver, blocking until one is present.
+func (c *Chan) Send(p *Proc, v any) {
+	if len(c.recvQ) > 0 {
+		r := c.recvQ[0]
+		c.recvQ = c.recvQ[1:]
+		r.val = v
+		c.sim.schedule(c.sim.now, r.proc)
+		return
+	}
+	w := &chanWaiter{proc: p, val: v}
+	c.sendQ = append(c.sendQ, w)
+	p.block()
+}
+
+// Recv blocks until a sender provides a value.
+func (c *Chan) Recv(p *Proc) any {
+	if len(c.sendQ) > 0 {
+		s := c.sendQ[0]
+		c.sendQ = c.sendQ[1:]
+		c.sim.schedule(c.sim.now, s.proc)
+		return s.val
+	}
+	w := &chanWaiter{proc: p}
+	c.recvQ = append(c.recvQ, w)
+	p.block()
+	return w.val
+}
+
+// Resource is a counted resource with FIFO admission (a link, a NIC, a
+// copy engine). Acquire blocks while all units are held.
+type Resource struct {
+	sim      *Sim
+	name     string
+	capacity int
+	inUse    int
+	waiters  []*Proc
+}
+
+// NewResource creates a resource with the given capacity.
+func (s *Sim) NewResource(name string, capacity int) *Resource {
+	if capacity < 1 {
+		panic("simnet: resource capacity must be >= 1")
+	}
+	return &Resource{sim: s, name: name, capacity: capacity}
+}
+
+// Acquire takes one unit, blocking FIFO if none are free.
+func (r *Resource) Acquire(p *Proc) {
+	if r.inUse < r.capacity {
+		r.inUse++
+		return
+	}
+	r.waiters = append(r.waiters, p)
+	p.block()
+	// Ownership was transferred by Release; inUse already accounts for us.
+}
+
+// Release frees one unit, waking the oldest waiter if any.
+func (r *Resource) Release() {
+	if len(r.waiters) > 0 {
+		next := r.waiters[0]
+		r.waiters = r.waiters[1:]
+		// Hand the unit directly to the waiter.
+		r.sim.schedule(r.sim.now, next)
+		return
+	}
+	if r.inUse == 0 {
+		panic("simnet: Release without Acquire on " + r.name)
+	}
+	r.inUse--
+}
+
+// InUse reports the number of held units (for tests and stats).
+func (r *Resource) InUse() int { return r.inUse }
+
+// Use acquires the resource, sleeps d, and releases — the common pattern
+// for modeling an exclusive transfer of known duration.
+func (r *Resource) Use(p *Proc, d Time) {
+	r.Acquire(p)
+	p.Sleep(d)
+	r.Release()
+}
+
+// WaitGroup lets one process wait for n completions signalled by others.
+type WaitGroup struct {
+	sim     *Sim
+	pending int
+	waiter  *Proc
+}
+
+// NewWaitGroup creates a wait group expecting n Done calls.
+func (s *Sim) NewWaitGroup(n int) *WaitGroup {
+	return &WaitGroup{sim: s, pending: n}
+}
+
+// Done signals one completion.
+func (w *WaitGroup) Done() {
+	w.pending--
+	if w.pending < 0 {
+		panic("simnet: WaitGroup Done past zero")
+	}
+	if w.pending == 0 && w.waiter != nil {
+		w.sim.schedule(w.sim.now, w.waiter)
+		w.waiter = nil
+	}
+}
+
+// Wait blocks p until the count reaches zero. Only one process may wait.
+func (w *WaitGroup) Wait(p *Proc) {
+	if w.pending == 0 {
+		return
+	}
+	if w.waiter != nil {
+		panic("simnet: WaitGroup already has a waiter")
+	}
+	w.waiter = p
+	p.block()
+}

@@ -1,0 +1,165 @@
+// Package simnet is a deterministic discrete-event simulation kernel in
+// the SimPy style: simulated processes are goroutines that block on a
+// virtual clock (Sleep), rendezvous channels (Send/Recv), and FIFO
+// resources (Acquire/Release). Exactly one process runs at a time and
+// events at equal timestamps fire in creation order, so a simulation is a
+// pure function of its inputs.
+//
+// The cluster model in internal/cluster and the collective algorithms in
+// internal/collective are built on this kernel; together they stand in for
+// the Lassen system the paper measured on.
+package simnet
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Time is simulated seconds since the start of the run.
+type Time = float64
+
+// event resumes one blocked process at a point in virtual time.
+type event struct {
+	at   Time
+	seq  uint64
+	proc *Proc
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)        { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// Sim owns the virtual clock and the event queue.
+type Sim struct {
+	now    Time
+	seq    uint64
+	events eventHeap
+	// yield carries control back from the running process to the
+	// scheduler: true means the process terminated.
+	yield chan bool
+	alive int
+}
+
+// New creates an empty simulation.
+func New() *Sim {
+	return &Sim{yield: make(chan bool)}
+}
+
+// Now returns the current virtual time.
+func (s *Sim) Now() Time { return s.now }
+
+// Proc is one simulated process. All Proc methods must be called from the
+// process's own goroutine.
+type Proc struct {
+	sim    *Sim
+	name   string
+	resume chan struct{}
+}
+
+// Name returns the process name given at Spawn.
+func (p *Proc) Name() string { return p.name }
+
+// Sim returns the owning simulation.
+func (p *Proc) Sim() *Sim { return p.sim }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() Time { return p.sim.now }
+
+// schedule enqueues a wake-up for proc at time t.
+func (s *Sim) schedule(t Time, proc *Proc) {
+	if t < s.now {
+		panic(fmt.Sprintf("simnet: scheduling into the past (%g < %g)", t, s.now))
+	}
+	s.seq++
+	heap.Push(&s.events, event{at: t, seq: s.seq, proc: proc})
+}
+
+// Spawn creates a process and schedules it to start at the current time.
+// May be called before Run or from a running process.
+func (s *Sim) Spawn(name string, fn func(p *Proc)) *Proc {
+	p := &Proc{sim: s, name: name, resume: make(chan struct{})}
+	s.alive++
+	go func() {
+		<-p.resume
+		defer func() {
+			s.alive--
+			s.yield <- true
+		}()
+		fn(p)
+	}()
+	s.schedule(s.now, p)
+	return p
+}
+
+// Run executes events until the queue empties or until limit (use
+// math.Inf(1) for no limit). It returns the final virtual time. Run
+// panics if processes remain blocked with no pending events (deadlock),
+// since a simulation that cannot progress is a modeling bug.
+func (s *Sim) Run(limit Time) Time {
+	for len(s.events) > 0 {
+		e := heap.Pop(&s.events).(event)
+		if e.at > limit {
+			heap.Push(&s.events, e)
+			s.now = limit
+			return s.now
+		}
+		s.now = e.at
+		e.proc.resume <- struct{}{}
+		<-s.yield
+	}
+	if s.alive > 0 {
+		panic(fmt.Sprintf("simnet: deadlock — %d process(es) blocked with no pending events at t=%g", s.alive, s.now))
+	}
+	return s.now
+}
+
+// RunAll runs with no time limit.
+func (s *Sim) RunAll() Time { return s.Run(math.Inf(1)) }
+
+// block yields control to the scheduler and waits to be resumed.
+func (p *Proc) block() {
+	p.sim.yield <- false
+	<-p.resume
+}
+
+// Block parks the process until another process calls Sim.Wake on it.
+// It is the low-level hook custom synchronization primitives (such as the
+// collective barriers in internal/collective) build on.
+func (p *Proc) Block() { p.block() }
+
+// Wake schedules a process previously parked with Block to resume at the
+// current virtual time. Waking a process that is not parked corrupts the
+// simulation, so primitives must pair Block/Wake exactly.
+func (s *Sim) Wake(p *Proc) { s.schedule(s.now, p) }
+
+// Sleep advances the process by d simulated seconds (d < 0 panics).
+func (p *Proc) Sleep(d Time) {
+	if d < 0 {
+		panic("simnet: negative sleep")
+	}
+	p.sim.schedule(p.sim.now+d, p)
+	p.block()
+}
+
+// Yield reschedules the process at the current time behind already-queued
+// events, letting equal-time events interleave deterministically.
+func (p *Proc) Yield() {
+	p.sim.schedule(p.sim.now, p)
+	p.block()
+}

@@ -1,0 +1,371 @@
+package simnet
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSleepAdvancesClock(t *testing.T) {
+	s := New()
+	var woke Time
+	s.Spawn("a", func(p *Proc) {
+		p.Sleep(2.5)
+		woke = p.Now()
+	})
+	end := s.RunAll()
+	if woke != 2.5 || end != 2.5 {
+		t.Fatalf("woke=%g end=%g", woke, end)
+	}
+}
+
+func TestEventOrdering(t *testing.T) {
+	s := New()
+	var order []string
+	s.Spawn("late", func(p *Proc) {
+		p.Sleep(2)
+		order = append(order, "late")
+	})
+	s.Spawn("early", func(p *Proc) {
+		p.Sleep(1)
+		order = append(order, "early")
+	})
+	s.RunAll()
+	if len(order) != 2 || order[0] != "early" || order[1] != "late" {
+		t.Fatalf("order %v", order)
+	}
+}
+
+func TestEqualTimeFIFO(t *testing.T) {
+	s := New()
+	var order []int
+	for i := 0; i < 5; i++ {
+		i := i
+		s.Spawn("p", func(p *Proc) {
+			p.Sleep(1)
+			order = append(order, i)
+		})
+	}
+	s.RunAll()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("equal-time events out of creation order: %v", order)
+		}
+	}
+}
+
+func TestRunLimit(t *testing.T) {
+	s := New()
+	reached := false
+	s.Spawn("a", func(p *Proc) {
+		p.Sleep(10)
+		reached = true
+	})
+	end := s.Run(5)
+	if end != 5 || reached {
+		t.Fatalf("end=%g reached=%v", end, reached)
+	}
+	// Continue to completion.
+	end = s.RunAll()
+	if end != 10 || !reached {
+		t.Fatalf("after resume: end=%g reached=%v", end, reached)
+	}
+}
+
+func TestNegativeSleepPanics(t *testing.T) {
+	s := New()
+	panicked := false
+	s.Spawn("a", func(p *Proc) {
+		defer func() {
+			if recover() != nil {
+				panicked = true
+			}
+		}()
+		p.Sleep(-1)
+	})
+	s.RunAll()
+	if !panicked {
+		t.Fatal("expected panic")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() []Time {
+		s := New()
+		var stamps []Time
+		for i := 0; i < 10; i++ {
+			i := i
+			s.Spawn("p", func(p *Proc) {
+				for j := 0; j < 5; j++ {
+					p.Sleep(Time(i%3) * 0.5)
+					stamps = append(stamps, p.Now())
+				}
+			})
+		}
+		s.RunAll()
+		return stamps
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatal("different event counts")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("run diverged at %d: %g vs %g", i, a[i], b[i])
+		}
+	}
+}
+
+func TestChanRendezvous(t *testing.T) {
+	s := New()
+	ch := s.NewChan("c")
+	var got any
+	var recvAt Time
+	s.Spawn("recv", func(p *Proc) {
+		got = ch.Recv(p)
+		recvAt = p.Now()
+	})
+	s.Spawn("send", func(p *Proc) {
+		p.Sleep(3)
+		ch.Send(p, 42)
+	})
+	s.RunAll()
+	if got != 42 || recvAt != 3 {
+		t.Fatalf("got=%v at %g", got, recvAt)
+	}
+}
+
+func TestChanSenderBlocksUntilReceiver(t *testing.T) {
+	s := New()
+	ch := s.NewChan("c")
+	var sendDone Time
+	s.Spawn("send", func(p *Proc) {
+		ch.Send(p, "x")
+		sendDone = p.Now()
+	})
+	s.Spawn("recv", func(p *Proc) {
+		p.Sleep(7)
+		ch.Recv(p)
+	})
+	s.RunAll()
+	if sendDone != 7 {
+		t.Fatalf("sender resumed at %g, want 7", sendDone)
+	}
+}
+
+func TestChanManyMessagesOrdered(t *testing.T) {
+	s := New()
+	ch := s.NewChan("c")
+	var got []int
+	s.Spawn("send", func(p *Proc) {
+		for i := 0; i < 10; i++ {
+			ch.Send(p, i)
+		}
+	})
+	s.Spawn("recv", func(p *Proc) {
+		for i := 0; i < 10; i++ {
+			got = append(got, ch.Recv(p).(int))
+		}
+	})
+	s.RunAll()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("message order %v", got)
+		}
+	}
+}
+
+func TestResourceSerializes(t *testing.T) {
+	s := New()
+	r := s.NewResource("link", 1)
+	var finish []Time
+	for i := 0; i < 3; i++ {
+		s.Spawn("user", func(p *Proc) {
+			r.Use(p, 2)
+			finish = append(finish, p.Now())
+		})
+	}
+	s.RunAll()
+	want := []Time{2, 4, 6}
+	for i, f := range finish {
+		if f != want[i] {
+			t.Fatalf("finish times %v, want %v (FIFO serialization)", finish, want)
+		}
+	}
+}
+
+func TestResourceCapacityTwo(t *testing.T) {
+	s := New()
+	r := s.NewResource("link", 2)
+	var finish []Time
+	for i := 0; i < 4; i++ {
+		s.Spawn("user", func(p *Proc) {
+			r.Use(p, 3)
+			finish = append(finish, p.Now())
+		})
+	}
+	s.RunAll()
+	want := []Time{3, 3, 6, 6}
+	for i, f := range finish {
+		if f != want[i] {
+			t.Fatalf("finish %v, want %v", finish, want)
+		}
+	}
+}
+
+func TestResourceReleaseWithoutAcquirePanics(t *testing.T) {
+	s := New()
+	r := s.NewResource("x", 1)
+	panicked := false
+	s.Spawn("a", func(p *Proc) {
+		defer func() {
+			if recover() != nil {
+				panicked = true
+			}
+		}()
+		r.Release()
+	})
+	s.RunAll()
+	if !panicked {
+		t.Fatal("expected panic")
+	}
+}
+
+func TestDeadlockDetected(t *testing.T) {
+	s := New()
+	ch := s.NewChan("never")
+	s.Spawn("stuck", func(p *Proc) {
+		ch.Recv(p)
+	})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected deadlock panic")
+		}
+	}()
+	s.RunAll()
+}
+
+func TestWaitGroup(t *testing.T) {
+	s := New()
+	wg := s.NewWaitGroup(3)
+	var doneAt Time
+	for i := 1; i <= 3; i++ {
+		d := Time(i)
+		s.Spawn("worker", func(p *Proc) {
+			p.Sleep(d)
+			wg.Done()
+		})
+	}
+	s.Spawn("waiter", func(p *Proc) {
+		wg.Wait(p)
+		doneAt = p.Now()
+	})
+	s.RunAll()
+	if doneAt != 3 {
+		t.Fatalf("waiter resumed at %g, want 3", doneAt)
+	}
+}
+
+func TestWaitGroupAlreadyZero(t *testing.T) {
+	s := New()
+	wg := s.NewWaitGroup(0)
+	ok := false
+	s.Spawn("w", func(p *Proc) {
+		wg.Wait(p) // must not block
+		ok = true
+	})
+	s.RunAll()
+	if !ok {
+		t.Fatal("Wait on zero count should return immediately")
+	}
+}
+
+func TestSpawnFromProcess(t *testing.T) {
+	s := New()
+	var childAt Time
+	s.Spawn("parent", func(p *Proc) {
+		p.Sleep(1)
+		p.Sim().Spawn("child", func(c *Proc) {
+			c.Sleep(1)
+			childAt = c.Now()
+		})
+		p.Sleep(5)
+	})
+	s.RunAll()
+	if childAt != 2 {
+		t.Fatalf("child finished at %g, want 2", childAt)
+	}
+}
+
+func TestYield(t *testing.T) {
+	s := New()
+	var order []string
+	s.Spawn("a", func(p *Proc) {
+		p.Yield()
+		order = append(order, "a")
+	})
+	s.Spawn("b", func(p *Proc) {
+		order = append(order, "b")
+	})
+	s.RunAll()
+	// a yields, so b (already queued) runs its body first.
+	if len(order) != 2 || order[0] != "b" || order[1] != "a" {
+		t.Fatalf("order %v", order)
+	}
+}
+
+func TestManyProcsPerformance(t *testing.T) {
+	// Sanity check that thousands of procs with many events complete.
+	s := New()
+	for i := 0; i < 2000; i++ {
+		s.Spawn("p", func(p *Proc) {
+			for j := 0; j < 10; j++ {
+				p.Sleep(0.001)
+			}
+		})
+	}
+	end := s.RunAll()
+	if math.Abs(end-0.01) > 1e-12 {
+		t.Fatalf("end %g", end)
+	}
+}
+
+// Property: resources never exceed capacity under random workloads.
+func TestResourceCapacityInvariant(t *testing.T) {
+	s := New()
+	r := s.NewResource("link", 3)
+	violated := false
+	for i := 0; i < 20; i++ {
+		d := Time(i%4+1) * 0.01
+		s.Spawn("user", func(p *Proc) {
+			r.Acquire(p)
+			if r.InUse() > 3 {
+				violated = true
+			}
+			p.Sleep(d)
+			r.Release()
+		})
+	}
+	s.RunAll()
+	if violated {
+		t.Fatal("resource exceeded its capacity")
+	}
+}
+
+// Property: total simulated time of serialized resource use equals the
+// sum of durations (conservation under FIFO).
+func TestResourceConservation(t *testing.T) {
+	s := New()
+	r := s.NewResource("link", 1)
+	var total Time
+	for i := 1; i <= 10; i++ {
+		d := Time(i) * 0.01
+		total += d
+		s.Spawn("user", func(p *Proc) {
+			r.Use(p, d)
+		})
+	}
+	end := s.RunAll()
+	if math.Abs(end-total) > 1e-12 {
+		t.Fatalf("end %g, want %g", end, total)
+	}
+}

@@ -1,0 +1,77 @@
+package tensor
+
+import (
+	"fmt"
+	"testing"
+)
+
+func BenchmarkMatMul(b *testing.B) {
+	for _, n := range []int{32, 128, 256} {
+		b.Run(fmt.Sprintf("%dx%d", n, n), func(b *testing.B) {
+			r := NewRNG(1)
+			x, y, dst := New(n, n), New(n, n), New(n, n)
+			x.FillUniform(r, -1, 1)
+			y.FillUniform(r, -1, 1)
+			b.SetBytes(int64(n) * int64(n) * int64(n) * 4)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				MatMul(dst, x, y)
+			}
+		})
+	}
+}
+
+func BenchmarkMatMulTransB(b *testing.B) {
+	r := NewRNG(2)
+	const m, n, k = 128, 256, 64
+	a, bt, dst := New(m, n), New(k, n), New(m, k)
+	a.FillUniform(r, -1, 1)
+	bt.FillUniform(r, -1, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MatMulTransB(dst, a, bt)
+	}
+}
+
+func BenchmarkIm2Col(b *testing.B) {
+	r := NewRNG(3)
+	src := New(16, 48, 48)
+	src.FillUniform(r, 0, 1)
+	dst := New(16*9, 48*48)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Im2Col(dst, src, 3, 3, 1, 1)
+	}
+}
+
+func BenchmarkCol2Im(b *testing.B) {
+	r := NewRNG(4)
+	src := New(16*9, 48*48)
+	src.FillUniform(r, 0, 1)
+	dst := New(16, 48, 48)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Col2Im(dst, src, 3, 3, 1, 1)
+	}
+}
+
+func BenchmarkElementwiseAdd(b *testing.B) {
+	r := NewRNG(5)
+	x, y := New(1<<20), New(1<<20)
+	x.FillUniform(r, -1, 1)
+	y.FillUniform(r, -1, 1)
+	b.SetBytes(1 << 22)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x.Add(y)
+	}
+}
+
+func BenchmarkRNGNormal(b *testing.B) {
+	r := NewRNG(6)
+	x := New(4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x.FillNormal(r, 0, 1)
+	}
+}

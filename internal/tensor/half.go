@@ -1,0 +1,91 @@
+package tensor
+
+import "math"
+
+// IEEE 754 half-precision conversion, used by the gradient-compression
+// path: Horovod's fp16 compression halves every allreduce payload at the
+// cost of quantizing gradients to 11 significand bits.
+
+// Float32ToHalf converts a float32 to IEEE 754 binary16 bits with
+// round-to-nearest-even, handling subnormals, overflow to infinity, and
+// NaN propagation.
+func Float32ToHalf(f float32) uint16 {
+	bits := math.Float32bits(f)
+	sign := uint16(bits>>16) & 0x8000
+	exp := int32(bits>>23&0xff) - 127 + 15
+	mant := bits & 0x7fffff
+
+	switch {
+	case exp >= 0x1f:
+		// Overflow or inf/NaN.
+		if int32(bits>>23&0xff) == 0xff {
+			if mant != 0 {
+				return sign | 0x7e00 // NaN (quiet)
+			}
+			return sign | 0x7c00 // Inf
+		}
+		return sign | 0x7c00 // overflow → Inf
+	case exp <= 0:
+		// Subnormal or underflow to zero.
+		if exp < -10 {
+			return sign
+		}
+		// Add the implicit leading 1, then shift into subnormal position.
+		mant |= 0x800000
+		shift := uint32(14 - exp)
+		half := uint16(mant >> shift)
+		// Round to nearest even.
+		rem := mant & ((1 << shift) - 1)
+		halfway := uint32(1) << (shift - 1)
+		if rem > halfway || (rem == halfway && half&1 == 1) {
+			half++
+		}
+		return sign | half
+	default:
+		half := sign | uint16(exp)<<10 | uint16(mant>>13)
+		// Round to nearest even on the 13 dropped bits.
+		rem := mant & 0x1fff
+		if rem > 0x1000 || (rem == 0x1000 && half&1 == 1) {
+			half++
+		}
+		return half
+	}
+}
+
+// HalfToFloat32 converts IEEE 754 binary16 bits to float32.
+func HalfToFloat32(h uint16) float32 {
+	sign := uint32(h&0x8000) << 16
+	exp := uint32(h >> 10 & 0x1f)
+	mant := uint32(h & 0x3ff)
+
+	switch exp {
+	case 0:
+		if mant == 0 {
+			return math.Float32frombits(sign) // ±0
+		}
+		// Subnormal: normalize.
+		e := uint32(127 - 15 + 1)
+		for mant&0x400 == 0 {
+			mant <<= 1
+			e--
+		}
+		mant &= 0x3ff
+		return math.Float32frombits(sign | e<<23 | mant<<13)
+	case 0x1f:
+		if mant == 0 {
+			return math.Float32frombits(sign | 0x7f800000) // ±Inf
+		}
+		return math.Float32frombits(sign | 0x7fc00000) // NaN
+	default:
+		return math.Float32frombits(sign | (exp+127-15)<<23 | mant<<13)
+	}
+}
+
+// QuantizeHalf rounds every element of s through fp16 in place —
+// numerically identical to compressing to half precision for transmission
+// and decompressing on arrival.
+func QuantizeHalf(s []float32) {
+	for i, v := range s {
+		s[i] = HalfToFloat32(Float32ToHalf(v))
+	}
+}

@@ -1,0 +1,124 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestHalfKnownValues(t *testing.T) {
+	cases := []struct {
+		f float32
+		h uint16
+	}{
+		{0, 0x0000},
+		{1, 0x3c00},
+		{-1, 0xbc00},
+		{2, 0x4000},
+		{0.5, 0x3800},
+		{65504, 0x7bff},            // max finite half
+		{0.00006103515625, 0x0400}, // min normal half
+		{float32(math.Inf(1)), 0x7c00},
+		{float32(math.Inf(-1)), 0xfc00},
+	}
+	for _, c := range cases {
+		if got := Float32ToHalf(c.f); got != c.h {
+			t.Errorf("Float32ToHalf(%g) = %#04x, want %#04x", c.f, got, c.h)
+		}
+		if back := HalfToFloat32(c.h); back != c.f {
+			t.Errorf("HalfToFloat32(%#04x) = %g, want %g", c.h, back, c.f)
+		}
+	}
+}
+
+func TestHalfOverflowToInf(t *testing.T) {
+	if got := HalfToFloat32(Float32ToHalf(1e6)); !math.IsInf(float64(got), 1) {
+		t.Fatalf("1e6 should overflow to +Inf, got %g", got)
+	}
+	if got := HalfToFloat32(Float32ToHalf(-1e6)); !math.IsInf(float64(got), -1) {
+		t.Fatalf("-1e6 should overflow to -Inf, got %g", got)
+	}
+}
+
+func TestHalfNaN(t *testing.T) {
+	nan := float32(math.NaN())
+	if got := HalfToFloat32(Float32ToHalf(nan)); !math.IsNaN(float64(got)) {
+		t.Fatalf("NaN should survive round trip, got %g", got)
+	}
+}
+
+func TestHalfSubnormals(t *testing.T) {
+	// Smallest positive half subnormal is 2^-24 ≈ 5.96e-8.
+	tiny := float32(math.Ldexp(1, -24))
+	h := Float32ToHalf(tiny)
+	if h != 0x0001 {
+		t.Fatalf("2^-24 should map to the smallest subnormal, got %#04x", h)
+	}
+	if back := HalfToFloat32(h); back != tiny {
+		t.Fatalf("subnormal round trip: %g vs %g", back, tiny)
+	}
+	// Below half the smallest subnormal: flush to zero.
+	if Float32ToHalf(1e-9) != 0 {
+		t.Fatal("1e-9 should underflow to +0")
+	}
+}
+
+// Property: round trip is exact for values representable in half, and
+// within 2^-11 relative error for normal-range values.
+func TestQuickHalfRoundTripError(t *testing.T) {
+	f := func(raw float32) bool {
+		v := raw
+		if math.IsNaN(float64(v)) || math.IsInf(float64(v), 0) {
+			return true
+		}
+		// Clamp to the half normal range.
+		if v > 60000 {
+			v = 60000
+		} else if v < -60000 {
+			v = -60000
+		}
+		if v != 0 && math.Abs(float64(v)) < 6.2e-5 {
+			v = 6.2e-5 // stay in normal range for the tight bound
+		}
+		back := HalfToFloat32(Float32ToHalf(v))
+		relErr := math.Abs(float64(back-v)) / math.Max(math.Abs(float64(v)), 1e-30)
+		return relErr <= 1.0/2048+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: half round trip is idempotent (quantize twice == once).
+func TestQuickHalfIdempotent(t *testing.T) {
+	f := func(raw float32) bool {
+		if math.IsNaN(float64(raw)) {
+			return true
+		}
+		once := HalfToFloat32(Float32ToHalf(raw))
+		twice := HalfToFloat32(Float32ToHalf(once))
+		return once == twice || (math.IsNaN(float64(once)) && math.IsNaN(float64(twice)))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuantizeHalfSlice(t *testing.T) {
+	s := []float32{1.0000001, 0.333333, -2.718281}
+	orig := append([]float32(nil), s...)
+	QuantizeHalf(s)
+	for i := range s {
+		if math.Abs(float64(s[i]-orig[i])) > math.Abs(float64(orig[i]))/1024 {
+			t.Fatalf("element %d: %g too far from %g", i, s[i], orig[i])
+		}
+	}
+	// Quantized values are exactly representable: re-quantizing is a no-op.
+	again := append([]float32(nil), s...)
+	QuantizeHalf(again)
+	for i := range s {
+		if again[i] != s[i] {
+			t.Fatal("quantization not idempotent")
+		}
+	}
+}

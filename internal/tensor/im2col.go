@@ -1,0 +1,95 @@
+package tensor
+
+// Im2Col unrolls the patches of a single image for convolution-as-matmul.
+//
+// src has shape (C, H, W); dst receives shape (C*kh*kw, outH*outW), where
+// outH = (H + 2*pad - kh)/stride + 1 and likewise for outW. Out-of-bounds
+// positions contribute zeros (zero padding).
+func Im2Col(dst, src *Tensor, kh, kw, stride, pad int) {
+	c, h, w := src.shape[0], src.shape[1], src.shape[2]
+	outH := (h+2*pad-kh)/stride + 1
+	outW := (w+2*pad-kw)/stride + 1
+	rows := c * kh * kw
+	cols := outH * outW
+	if dst.shape[0] != rows || dst.shape[1] != cols {
+		panic("tensor: Im2Col dst shape mismatch")
+	}
+	sd, dd := src.data, dst.data
+	parallelFor(rows, 16, func(lo, hi int) {
+		for r := lo; r < hi; r++ {
+			ch := r / (kh * kw)
+			rem := r % (kh * kw)
+			ky := rem / kw
+			kx := rem % kw
+			plane := sd[ch*h*w : (ch+1)*h*w]
+			drow := dd[r*cols : (r+1)*cols]
+			idx := 0
+			for oy := 0; oy < outH; oy++ {
+				sy := oy*stride - pad + ky
+				if sy < 0 || sy >= h {
+					for ox := 0; ox < outW; ox++ {
+						drow[idx] = 0
+						idx++
+					}
+					continue
+				}
+				srow := plane[sy*w : (sy+1)*w]
+				for ox := 0; ox < outW; ox++ {
+					sx := ox*stride - pad + kx
+					if sx < 0 || sx >= w {
+						drow[idx] = 0
+					} else {
+						drow[idx] = srow[sx]
+					}
+					idx++
+				}
+			}
+		}
+	})
+}
+
+// Col2Im scatters a column matrix back into an image, accumulating
+// overlapping contributions — the adjoint of Im2Col, used in convolution
+// backward passes. dst has shape (C, H, W) and is zeroed first.
+func Col2Im(dst, src *Tensor, kh, kw, stride, pad int) {
+	c, h, w := dst.shape[0], dst.shape[1], dst.shape[2]
+	outH := (h+2*pad-kh)/stride + 1
+	outW := (w+2*pad-kw)/stride + 1
+	rows := c * kh * kw
+	cols := outH * outW
+	if src.shape[0] != rows || src.shape[1] != cols {
+		panic("tensor: Col2Im src shape mismatch")
+	}
+	dst.Zero()
+	sd, dd := src.data, dst.data
+	// Parallelize over channels: every row of src with the same channel
+	// writes to a disjoint plane of dst, so channel-level parallelism is
+	// race-free.
+	parallelFor(c, 1, func(clo, chi int) {
+		for ch := clo; ch < chi; ch++ {
+			plane := dd[ch*h*w : (ch+1)*h*w]
+			for ky := 0; ky < kh; ky++ {
+				for kx := 0; kx < kw; kx++ {
+					r := (ch*kh+ky)*kw + kx
+					srow := sd[r*cols : (r+1)*cols]
+					idx := 0
+					for oy := 0; oy < outH; oy++ {
+						sy := oy*stride - pad + ky
+						if sy < 0 || sy >= h {
+							idx += outW
+							continue
+						}
+						drow := plane[sy*w : (sy+1)*w]
+						for ox := 0; ox < outW; ox++ {
+							sx := ox*stride - pad + kx
+							if sx >= 0 && sx < w {
+								drow[sx] += srow[idx]
+							}
+							idx++
+						}
+					}
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,185 @@
+package tensor
+
+import (
+	"runtime"
+	"sync"
+)
+
+// maxWorkers bounds the parallelism of tensor kernels. Training code may
+// run several model replicas concurrently (one per simulated rank), so
+// each kernel keeps its worker count modest.
+var maxWorkers = runtime.GOMAXPROCS(0)
+
+// SetMaxWorkers overrides the kernel parallelism (n < 1 resets to
+// GOMAXPROCS). It returns the previous value.
+func SetMaxWorkers(n int) int {
+	prev := maxWorkers
+	if n < 1 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	maxWorkers = n
+	return prev
+}
+
+// parallelFor runs f(lo, hi) over [0, n) split across workers. It runs
+// inline when n is small or only one worker is configured.
+func parallelFor(n, minPerWorker int, f func(lo, hi int)) {
+	workers := maxWorkers
+	if workers > n/minPerWorker {
+		workers = n / minPerWorker
+	}
+	if workers <= 1 {
+		f(0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			f(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// MatMul computes dst = a(m×k) * b(k×n). dst must be m×n and distinct
+// from a and b. The inner loops are written j-inner so the compiler can
+// vectorize over contiguous rows of b.
+func MatMul(dst, a, b *Tensor) {
+	m, k := a.shape[0], a.shape[1]
+	k2, n := b.shape[0], b.shape[1]
+	if k != k2 || dst.shape[0] != m || dst.shape[1] != n {
+		panic("tensor: MatMul shape mismatch")
+	}
+	ad, bd, dd := a.data, b.data, dst.data
+	parallelFor(m, 8, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			drow := dd[i*n : (i+1)*n]
+			for j := range drow {
+				drow[j] = 0
+			}
+			arow := ad[i*k : (i+1)*k]
+			for p, av := range arow {
+				if av == 0 {
+					continue
+				}
+				brow := bd[p*n : (p+1)*n]
+				for j, bv := range brow {
+					drow[j] += av * bv
+				}
+			}
+		}
+	})
+}
+
+// MatMulAccum computes dst += a(m×k) * b(k×n) without zeroing dst first.
+func MatMulAccum(dst, a, b *Tensor) {
+	m, k := a.shape[0], a.shape[1]
+	k2, n := b.shape[0], b.shape[1]
+	if k != k2 || dst.shape[0] != m || dst.shape[1] != n {
+		panic("tensor: MatMulAccum shape mismatch")
+	}
+	ad, bd, dd := a.data, b.data, dst.data
+	parallelFor(m, 8, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			drow := dd[i*n : (i+1)*n]
+			arow := ad[i*k : (i+1)*k]
+			for p, av := range arow {
+				if av == 0 {
+					continue
+				}
+				brow := bd[p*n : (p+1)*n]
+				for j, bv := range brow {
+					drow[j] += av * bv
+				}
+			}
+		}
+	})
+}
+
+// MatMulTransA computes dst = aᵀ(k×m)ᵀ… precisely: given a stored as
+// (k×m), computes dst(m×n) = aᵀ * b(k×n). Used for weight-gradient
+// computation in convolution backward passes.
+func MatMulTransA(dst, a, b *Tensor) {
+	k, m := a.shape[0], a.shape[1]
+	k2, n := b.shape[0], b.shape[1]
+	if k != k2 || dst.shape[0] != m || dst.shape[1] != n {
+		panic("tensor: MatMulTransA shape mismatch")
+	}
+	ad, bd, dd := a.data, b.data, dst.data
+	parallelFor(m, 4, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			drow := dd[i*n : (i+1)*n]
+			for j := range drow {
+				drow[j] = 0
+			}
+			for p := 0; p < k; p++ {
+				av := ad[p*m+i]
+				if av == 0 {
+					continue
+				}
+				brow := bd[p*n : (p+1)*n]
+				for j, bv := range brow {
+					drow[j] += av * bv
+				}
+			}
+		}
+	})
+}
+
+// MatMulTransBAccum computes dst(m×k) += a(m×n) * bᵀ where b is stored
+// (k×n). Used for weight-gradient accumulation in convolution backward
+// passes, where per-sample contributions sum into one gradient tensor.
+func MatMulTransBAccum(dst, a, b *Tensor) {
+	m, n := a.shape[0], a.shape[1]
+	k, n2 := b.shape[0], b.shape[1]
+	if n != n2 || dst.shape[0] != m || dst.shape[1] != k {
+		panic("tensor: MatMulTransBAccum shape mismatch")
+	}
+	ad, bd, dd := a.data, b.data, dst.data
+	parallelFor(m, 4, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			arow := ad[i*n : (i+1)*n]
+			drow := dd[i*k : (i+1)*k]
+			for p := 0; p < k; p++ {
+				brow := bd[p*n : (p+1)*n]
+				var s float32
+				for j, av := range arow {
+					s += av * brow[j]
+				}
+				drow[p] += s
+			}
+		}
+	})
+}
+
+// MatMulTransB computes dst(m×k) = a(m×n) * bᵀ where b is stored (k×n).
+// Used for input-gradient computation in convolution backward passes.
+func MatMulTransB(dst, a, b *Tensor) {
+	m, n := a.shape[0], a.shape[1]
+	k, n2 := b.shape[0], b.shape[1]
+	if n != n2 || dst.shape[0] != m || dst.shape[1] != k {
+		panic("tensor: MatMulTransB shape mismatch")
+	}
+	ad, bd, dd := a.data, b.data, dst.data
+	parallelFor(m, 8, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			arow := ad[i*n : (i+1)*n]
+			drow := dd[i*k : (i+1)*k]
+			for p := 0; p < k; p++ {
+				brow := bd[p*n : (p+1)*n]
+				var s float32
+				for j, av := range arow {
+					s += av * brow[j]
+				}
+				drow[p] = s
+			}
+		}
+	})
+}

@@ -1,0 +1,90 @@
+package tensor
+
+import "math"
+
+// RNG is a small, fast, deterministic pseudo-random generator
+// (xorshift64*). Training code keeps one RNG per rank so that
+// data-parallel runs are reproducible regardless of goroutine scheduling.
+type RNG struct {
+	state uint64
+}
+
+// NewRNG returns a generator seeded with seed (zero is remapped).
+func NewRNG(seed uint64) *RNG {
+	if seed == 0 {
+		seed = 0x9e3779b97f4a7c15
+	}
+	return &RNG{state: seed}
+}
+
+// State returns the generator's internal state for checkpointing.
+func (r *RNG) State() uint64 { return r.state }
+
+// SetState restores a state captured with State, resuming the exact
+// stream (zero is remapped as in NewRNG).
+func (r *RNG) SetState(s uint64) {
+	if s == 0 {
+		s = 0x9e3779b97f4a7c15
+	}
+	r.state = s
+}
+
+// Uint64 returns the next raw 64-bit value.
+func (r *RNG) Uint64() uint64 {
+	x := r.state
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	r.state = x
+	return x * 0x2545f4914f6cdd1d
+}
+
+// Float32 returns a uniform value in [0, 1).
+func (r *RNG) Float32() float32 {
+	return float32(r.Uint64()>>40) / float32(1<<24)
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / float64(1<<53)
+}
+
+// Intn returns a uniform value in [0, n).
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("tensor: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// NormFloat32 returns a standard-normal sample (Box–Muller).
+func (r *RNG) NormFloat32() float32 {
+	u1 := r.Float64()
+	for u1 == 0 {
+		u1 = r.Float64()
+	}
+	u2 := r.Float64()
+	return float32(math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2))
+}
+
+// FillUniform fills t with uniform samples in [lo, hi).
+func (t *Tensor) FillUniform(r *RNG, lo, hi float32) {
+	span := hi - lo
+	for i := range t.data {
+		t.data[i] = lo + span*r.Float32()
+	}
+}
+
+// FillNormal fills t with normal samples of the given mean and stddev.
+func (t *Tensor) FillNormal(r *RNG, mean, std float32) {
+	for i := range t.data {
+		t.data[i] = mean + std*r.NormFloat32()
+	}
+}
+
+// KaimingInit fills t with He-normal initialization for a layer with the
+// given fan-in, the standard initialization for ReLU networks such as EDSR.
+func (t *Tensor) KaimingInit(r *RNG, fanIn int) {
+	std := float32(math.Sqrt(2.0 / float64(fanIn)))
+	t.FillNormal(r, 0, std)
+}

@@ -1,0 +1,55 @@
+package tensor
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// MarshalBinary encodes the tensor as shape rank, dims, then raw float32
+// bits, all little-endian. It satisfies encoding.BinaryMarshaler, so
+// tensors can be stored through encoding/gob (used for checkpoints).
+func (t *Tensor) MarshalBinary() ([]byte, error) {
+	buf := make([]byte, 0, 4+4*len(t.shape)+4*len(t.data))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(t.shape)))
+	for _, d := range t.shape {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(d))
+	}
+	for _, v := range t.data {
+		buf = binary.LittleEndian.AppendUint32(buf, math.Float32bits(v))
+	}
+	return buf, nil
+}
+
+// UnmarshalBinary decodes data produced by MarshalBinary.
+func (t *Tensor) UnmarshalBinary(data []byte) error {
+	if len(data) < 4 {
+		return fmt.Errorf("tensor: truncated header")
+	}
+	rank := int(binary.LittleEndian.Uint32(data))
+	data = data[4:]
+	if rank <= 0 || len(data) < 4*rank {
+		return fmt.Errorf("tensor: invalid rank %d", rank)
+	}
+	shape := make([]int, rank)
+	n := 1
+	for i := range shape {
+		shape[i] = int(binary.LittleEndian.Uint32(data))
+		data = data[4:]
+		if shape[i] <= 0 {
+			return fmt.Errorf("tensor: invalid dimension %d", shape[i])
+		}
+		n *= shape[i]
+	}
+	if len(data) != 4*n {
+		return fmt.Errorf("tensor: payload %d bytes, want %d", len(data), 4*n)
+	}
+	vals := make([]float32, n)
+	for i := range vals {
+		vals[i] = math.Float32frombits(binary.LittleEndian.Uint32(data))
+		data = data[4:]
+	}
+	t.shape = shape
+	t.data = vals
+	return nil
+}

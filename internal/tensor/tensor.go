@@ -1,0 +1,290 @@
+// Package tensor provides dense float32 tensors with the operations needed
+// to implement convolutional neural networks on the CPU: shape/stride
+// bookkeeping, element-wise arithmetic, reductions, im2col, and a
+// goroutine-parallel matrix multiply.
+//
+// The package is deliberately small and allocation-conscious: a Tensor is a
+// shape plus a flat []float32 in row-major order, and most operations have
+// an in-place or destination-passing variant so training loops can reuse
+// buffers across iterations.
+package tensor
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Tensor is a dense row-major float32 tensor.
+type Tensor struct {
+	shape []int
+	data  []float32
+}
+
+// New returns a zero-filled tensor with the given shape.
+func New(shape ...int) *Tensor {
+	n := checkShape(shape)
+	return &Tensor{shape: append([]int(nil), shape...), data: make([]float32, n)}
+}
+
+// FromSlice wraps data in a tensor of the given shape. The slice is used
+// directly (not copied); its length must equal the shape's element count.
+func FromSlice(data []float32, shape ...int) *Tensor {
+	n := checkShape(shape)
+	if len(data) != n {
+		panic(fmt.Sprintf("tensor: data length %d does not match shape %v (%d elements)", len(data), shape, n))
+	}
+	return &Tensor{shape: append([]int(nil), shape...), data: data}
+}
+
+// Scalar returns a 1-element tensor holding v.
+func Scalar(v float32) *Tensor {
+	return FromSlice([]float32{v}, 1)
+}
+
+func checkShape(shape []int) int {
+	if len(shape) == 0 {
+		panic("tensor: empty shape")
+	}
+	n := 1
+	for _, d := range shape {
+		if d <= 0 {
+			panic(fmt.Sprintf("tensor: invalid dimension %d in shape %v", d, shape))
+		}
+		n *= d
+	}
+	return n
+}
+
+// Shape returns the tensor's dimensions. The returned slice must not be
+// modified.
+func (t *Tensor) Shape() []int { return t.shape }
+
+// Dim returns the size of dimension i.
+func (t *Tensor) Dim(i int) int { return t.shape[i] }
+
+// Rank returns the number of dimensions.
+func (t *Tensor) Rank() int { return len(t.shape) }
+
+// Len returns the total number of elements.
+func (t *Tensor) Len() int { return len(t.data) }
+
+// Data returns the underlying flat storage in row-major order.
+func (t *Tensor) Data() []float32 { return t.data }
+
+// Bytes returns the storage size in bytes (4 bytes per element).
+func (t *Tensor) Bytes() int64 { return int64(len(t.data)) * 4 }
+
+// At returns the element at the given multi-dimensional index.
+func (t *Tensor) At(idx ...int) float32 { return t.data[t.offset(idx)] }
+
+// Set stores v at the given multi-dimensional index.
+func (t *Tensor) Set(v float32, idx ...int) { t.data[t.offset(idx)] = v }
+
+func (t *Tensor) offset(idx []int) int {
+	if len(idx) != len(t.shape) {
+		panic(fmt.Sprintf("tensor: index %v has wrong rank for shape %v", idx, t.shape))
+	}
+	off := 0
+	for i, x := range idx {
+		if x < 0 || x >= t.shape[i] {
+			panic(fmt.Sprintf("tensor: index %v out of range for shape %v", idx, t.shape))
+		}
+		off = off*t.shape[i] + x
+	}
+	return off
+}
+
+// SameShape reports whether t and u have identical shapes.
+func (t *Tensor) SameShape(u *Tensor) bool {
+	if len(t.shape) != len(u.shape) {
+		return false
+	}
+	for i := range t.shape {
+		if t.shape[i] != u.shape[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns a deep copy of t.
+func (t *Tensor) Clone() *Tensor {
+	c := New(t.shape...)
+	copy(c.data, t.data)
+	return c
+}
+
+// CopyFrom copies u's contents into t. Shapes must have equal element
+// counts (reshaping copies are allowed).
+func (t *Tensor) CopyFrom(u *Tensor) {
+	if len(t.data) != len(u.data) {
+		panic(fmt.Sprintf("tensor: CopyFrom size mismatch %v vs %v", t.shape, u.shape))
+	}
+	copy(t.data, u.data)
+}
+
+// Reshape returns a tensor sharing t's storage with a new shape of equal
+// element count.
+func (t *Tensor) Reshape(shape ...int) *Tensor {
+	n := checkShape(shape)
+	if n != len(t.data) {
+		panic(fmt.Sprintf("tensor: cannot reshape %v to %v", t.shape, shape))
+	}
+	return &Tensor{shape: append([]int(nil), shape...), data: t.data}
+}
+
+// Zero sets every element to 0.
+func (t *Tensor) Zero() {
+	for i := range t.data {
+		t.data[i] = 0
+	}
+}
+
+// Fill sets every element to v.
+func (t *Tensor) Fill(v float32) {
+	for i := range t.data {
+		t.data[i] = v
+	}
+}
+
+// Add accumulates u into t element-wise.
+func (t *Tensor) Add(u *Tensor) {
+	if !t.SameShape(u) {
+		panic(fmt.Sprintf("tensor: Add shape mismatch %v vs %v", t.shape, u.shape))
+	}
+	for i, v := range u.data {
+		t.data[i] += v
+	}
+}
+
+// Sub subtracts u from t element-wise.
+func (t *Tensor) Sub(u *Tensor) {
+	if !t.SameShape(u) {
+		panic(fmt.Sprintf("tensor: Sub shape mismatch %v vs %v", t.shape, u.shape))
+	}
+	for i, v := range u.data {
+		t.data[i] -= v
+	}
+}
+
+// Mul multiplies t by u element-wise.
+func (t *Tensor) Mul(u *Tensor) {
+	if !t.SameShape(u) {
+		panic(fmt.Sprintf("tensor: Mul shape mismatch %v vs %v", t.shape, u.shape))
+	}
+	for i, v := range u.data {
+		t.data[i] *= v
+	}
+}
+
+// Scale multiplies every element by s.
+func (t *Tensor) Scale(s float32) {
+	for i := range t.data {
+		t.data[i] *= s
+	}
+}
+
+// AddScaled accumulates s*u into t (axpy).
+func (t *Tensor) AddScaled(s float32, u *Tensor) {
+	if len(t.data) != len(u.data) {
+		panic(fmt.Sprintf("tensor: AddScaled size mismatch %v vs %v", t.shape, u.shape))
+	}
+	for i, v := range u.data {
+		t.data[i] += s * v
+	}
+}
+
+// Sum returns the sum of all elements in float64 for accuracy.
+func (t *Tensor) Sum() float64 {
+	var s float64
+	for _, v := range t.data {
+		s += float64(v)
+	}
+	return s
+}
+
+// Mean returns the arithmetic mean of all elements.
+func (t *Tensor) Mean() float64 { return t.Sum() / float64(len(t.data)) }
+
+// AbsSum returns the sum of absolute values (L1 norm).
+func (t *Tensor) AbsSum() float64 {
+	var s float64
+	for _, v := range t.data {
+		s += math.Abs(float64(v))
+	}
+	return s
+}
+
+// SqSum returns the sum of squares (squared L2 norm).
+func (t *Tensor) SqSum() float64 {
+	var s float64
+	for _, v := range t.data {
+		s += float64(v) * float64(v)
+	}
+	return s
+}
+
+// Max returns the largest element.
+func (t *Tensor) Max() float32 {
+	m := t.data[0]
+	for _, v := range t.data[1:] {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Min returns the smallest element.
+func (t *Tensor) Min() float32 {
+	m := t.data[0]
+	for _, v := range t.data[1:] {
+		if v < m {
+			m = v
+		}
+	}
+	return m
+}
+
+// ArgMax returns the flat index of the largest element.
+func (t *Tensor) ArgMax() int {
+	best, bi := t.data[0], 0
+	for i, v := range t.data {
+		if v > best {
+			best, bi = v, i
+		}
+	}
+	return bi
+}
+
+// Clamp limits every element to [lo, hi].
+func (t *Tensor) Clamp(lo, hi float32) {
+	for i, v := range t.data {
+		if v < lo {
+			t.data[i] = lo
+		} else if v > hi {
+			t.data[i] = hi
+		}
+	}
+}
+
+// Apply replaces each element x with f(x).
+func (t *Tensor) Apply(f func(float32) float32) {
+	for i, v := range t.data {
+		t.data[i] = f(v)
+	}
+}
+
+// String renders small tensors fully and large ones as a summary.
+func (t *Tensor) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Tensor%v", t.shape)
+	if len(t.data) <= 16 {
+		fmt.Fprintf(&b, "%v", t.data)
+	} else {
+		fmt.Fprintf(&b, "[%g %g %g ... %g] (n=%d, mean=%.4g)",
+			t.data[0], t.data[1], t.data[2], t.data[len(t.data)-1], len(t.data), t.Mean())
+	}
+	return b.String()
+}

@@ -1,0 +1,513 @@
+package tensor
+
+import (
+	"bytes"
+	"encoding/gob"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestNewZeroFilled(t *testing.T) {
+	x := New(2, 3, 4)
+	if x.Len() != 24 || x.Rank() != 3 {
+		t.Fatalf("got len=%d rank=%d", x.Len(), x.Rank())
+	}
+	for i, v := range x.Data() {
+		if v != 0 {
+			t.Fatalf("element %d = %g, want 0", i, v)
+		}
+	}
+}
+
+func TestFromSliceAndIndexing(t *testing.T) {
+	x := FromSlice([]float32{1, 2, 3, 4, 5, 6}, 2, 3)
+	if x.At(0, 0) != 1 || x.At(0, 2) != 3 || x.At(1, 0) != 4 || x.At(1, 2) != 6 {
+		t.Fatalf("row-major indexing broken: %v", x.Data())
+	}
+	x.Set(42, 1, 1)
+	if x.At(1, 1) != 42 {
+		t.Fatal("Set did not store value")
+	}
+}
+
+func TestFromSliceLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	FromSlice([]float32{1, 2, 3}, 2, 2)
+}
+
+func TestInvalidShapePanics(t *testing.T) {
+	for _, shape := range [][]int{{}, {0}, {-1, 3}, {2, 0}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("shape %v: expected panic", shape)
+				}
+			}()
+			New(shape...)
+		}()
+	}
+}
+
+func TestReshapeSharesStorage(t *testing.T) {
+	x := FromSlice([]float32{1, 2, 3, 4}, 2, 2)
+	y := x.Reshape(4)
+	y.Set(99, 0)
+	if x.At(0, 0) != 99 {
+		t.Fatal("Reshape should share storage")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	x := FromSlice([]float32{1, 2}, 2)
+	y := x.Clone()
+	y.Set(5, 0)
+	if x.At(0) != 1 {
+		t.Fatal("Clone should not share storage")
+	}
+}
+
+func TestArithmetic(t *testing.T) {
+	a := FromSlice([]float32{1, 2, 3}, 3)
+	b := FromSlice([]float32{4, 5, 6}, 3)
+	a.Add(b)
+	if a.At(0) != 5 || a.At(2) != 9 {
+		t.Fatalf("Add: %v", a.Data())
+	}
+	a.Sub(b)
+	if a.At(0) != 1 || a.At(2) != 3 {
+		t.Fatalf("Sub: %v", a.Data())
+	}
+	a.Mul(b)
+	if a.At(1) != 10 {
+		t.Fatalf("Mul: %v", a.Data())
+	}
+	a.Scale(0.5)
+	if a.At(1) != 5 {
+		t.Fatalf("Scale: %v", a.Data())
+	}
+}
+
+func TestAddScaled(t *testing.T) {
+	a := FromSlice([]float32{1, 1}, 2)
+	b := FromSlice([]float32{2, 4}, 2)
+	a.AddScaled(0.5, b)
+	if a.At(0) != 2 || a.At(1) != 3 {
+		t.Fatalf("AddScaled: %v", a.Data())
+	}
+}
+
+func TestReductions(t *testing.T) {
+	x := FromSlice([]float32{-1, 2, -3, 4}, 4)
+	if x.Sum() != 2 {
+		t.Errorf("Sum = %g", x.Sum())
+	}
+	if x.Mean() != 0.5 {
+		t.Errorf("Mean = %g", x.Mean())
+	}
+	if x.AbsSum() != 10 {
+		t.Errorf("AbsSum = %g", x.AbsSum())
+	}
+	if x.SqSum() != 30 {
+		t.Errorf("SqSum = %g", x.SqSum())
+	}
+	if x.Max() != 4 || x.Min() != -3 {
+		t.Errorf("Max/Min = %g/%g", x.Max(), x.Min())
+	}
+	if x.ArgMax() != 3 {
+		t.Errorf("ArgMax = %d", x.ArgMax())
+	}
+}
+
+func TestClampApply(t *testing.T) {
+	x := FromSlice([]float32{-2, 0.5, 3}, 3)
+	x.Clamp(0, 1)
+	if x.At(0) != 0 || x.At(1) != 0.5 || x.At(2) != 1 {
+		t.Fatalf("Clamp: %v", x.Data())
+	}
+	x.Apply(func(v float32) float32 { return v * 2 })
+	if x.At(2) != 2 {
+		t.Fatalf("Apply: %v", x.Data())
+	}
+}
+
+func TestMatMulSmall(t *testing.T) {
+	a := FromSlice([]float32{1, 2, 3, 4, 5, 6}, 2, 3)
+	b := FromSlice([]float32{7, 8, 9, 10, 11, 12}, 3, 2)
+	dst := New(2, 2)
+	MatMul(dst, a, b)
+	want := []float32{58, 64, 139, 154}
+	for i, w := range want {
+		if dst.Data()[i] != w {
+			t.Fatalf("MatMul[%d] = %g, want %g", i, dst.Data()[i], w)
+		}
+	}
+}
+
+// matMulNaive is a reference implementation used to check the optimized
+// kernels, including the transposed variants.
+func matMulNaive(a, b *Tensor) *Tensor {
+	m, k, n := a.Dim(0), a.Dim(1), b.Dim(1)
+	dst := New(m, n)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			var s float32
+			for p := 0; p < k; p++ {
+				s += a.At(i, p) * b.At(p, j)
+			}
+			dst.Set(s, i, j)
+		}
+	}
+	return dst
+}
+
+func randTensor(r *RNG, shape ...int) *Tensor {
+	t := New(shape...)
+	t.FillUniform(r, -1, 1)
+	return t
+}
+
+func TestMatMulAgainstNaive(t *testing.T) {
+	r := NewRNG(7)
+	for _, dims := range [][3]int{{1, 1, 1}, {3, 5, 2}, {17, 9, 23}, {32, 64, 16}} {
+		m, k, n := dims[0], dims[1], dims[2]
+		a, b := randTensor(r, m, k), randTensor(r, k, n)
+		got := New(m, n)
+		MatMul(got, a, b)
+		want := matMulNaive(a, b)
+		for i := range got.Data() {
+			if !almostEqual(float64(got.Data()[i]), float64(want.Data()[i]), 1e-4) {
+				t.Fatalf("dims %v: element %d: got %g want %g", dims, i, got.Data()[i], want.Data()[i])
+			}
+		}
+	}
+}
+
+func transpose(a *Tensor) *Tensor {
+	m, n := a.Dim(0), a.Dim(1)
+	out := New(n, m)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			out.Set(a.At(i, j), j, i)
+		}
+	}
+	return out
+}
+
+func TestMatMulTransA(t *testing.T) {
+	r := NewRNG(11)
+	a := randTensor(r, 7, 5) // stored (k=7, m=5)
+	b := randTensor(r, 7, 4)
+	got := New(5, 4)
+	MatMulTransA(got, a, b)
+	want := matMulNaive(transpose(a), b)
+	for i := range got.Data() {
+		if !almostEqual(float64(got.Data()[i]), float64(want.Data()[i]), 1e-4) {
+			t.Fatalf("element %d: got %g want %g", i, got.Data()[i], want.Data()[i])
+		}
+	}
+}
+
+func TestMatMulTransB(t *testing.T) {
+	r := NewRNG(13)
+	a := randTensor(r, 6, 5)
+	b := randTensor(r, 3, 5) // stored (k=3, n=5)
+	got := New(6, 3)
+	MatMulTransB(got, a, b)
+	want := matMulNaive(a, transpose(b))
+	for i := range got.Data() {
+		if !almostEqual(float64(got.Data()[i]), float64(want.Data()[i]), 1e-4) {
+			t.Fatalf("element %d: got %g want %g", i, got.Data()[i], want.Data()[i])
+		}
+	}
+}
+
+func TestMatMulAccum(t *testing.T) {
+	r := NewRNG(17)
+	a, b := randTensor(r, 4, 3), randTensor(r, 3, 4)
+	dst := New(4, 4)
+	dst.Fill(1)
+	MatMulAccum(dst, a, b)
+	want := matMulNaive(a, b)
+	for i := range dst.Data() {
+		if !almostEqual(float64(dst.Data()[i]), float64(want.Data()[i]+1), 1e-4) {
+			t.Fatalf("element %d: got %g want %g", i, dst.Data()[i], want.Data()[i]+1)
+		}
+	}
+}
+
+func TestSetMaxWorkers(t *testing.T) {
+	prev := SetMaxWorkers(1)
+	defer SetMaxWorkers(prev)
+	a := FromSlice([]float32{1, 2, 3, 4}, 2, 2)
+	b := FromSlice([]float32{1, 0, 0, 1}, 2, 2)
+	dst := New(2, 2)
+	MatMul(dst, a, b) // must still be correct single-threaded
+	for i, w := range []float32{1, 2, 3, 4} {
+		if dst.Data()[i] != w {
+			t.Fatalf("single-worker MatMul wrong: %v", dst.Data())
+		}
+	}
+	if SetMaxWorkers(0); maxWorkers < 1 {
+		t.Fatal("SetMaxWorkers(0) should reset to >=1")
+	}
+}
+
+// Property: (a+b) summed equals sum(a)+sum(b) for any float32 vectors.
+func TestQuickAddSumLinearity(t *testing.T) {
+	f := func(av, bv []float32) bool {
+		n := len(av)
+		if len(bv) < n {
+			n = len(bv)
+		}
+		if n == 0 {
+			return true
+		}
+		// Clean non-finite values that quick may generate.
+		clean := func(s []float32) []float32 {
+			out := make([]float32, n)
+			for i := 0; i < n; i++ {
+				v := s[i]
+				if math.IsNaN(float64(v)) || math.IsInf(float64(v), 0) {
+					v = 1
+				}
+				// Bound magnitude so float32 addition stays accurate.
+				if v > 1e3 {
+					v = 1e3
+				} else if v < -1e3 {
+					v = -1e3
+				}
+				out[i] = v
+			}
+			return out
+		}
+		a := FromSlice(clean(av), n)
+		b := FromSlice(clean(bv), n)
+		sa, sb := a.Sum(), b.Sum()
+		a.Add(b)
+		return almostEqual(a.Sum(), sa+sb, 1e-2*float64(n)+1e-3)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Scale(s) multiplies AbsSum by |s|.
+func TestQuickScaleNorm(t *testing.T) {
+	f := func(vals []float32, s float32) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		if math.IsNaN(float64(s)) || math.IsInf(float64(s), 0) || s > 10 || s < -10 {
+			s = 2
+		}
+		data := make([]float32, len(vals))
+		for i, v := range vals {
+			if math.IsNaN(float64(v)) || math.IsInf(float64(v), 0) || v > 1e3 || v < -1e3 {
+				v = 1
+			}
+			data[i] = v
+		}
+		x := FromSlice(data, len(data))
+		before := x.AbsSum()
+		x.Scale(s)
+		return almostEqual(x.AbsSum(), math.Abs(float64(s))*before, 1e-2*before+1e-2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed must give same stream")
+		}
+	}
+	if NewRNG(0).Uint64() == 0 {
+		t.Fatal("zero seed should be remapped")
+	}
+}
+
+func TestRNGUniformRange(t *testing.T) {
+	r := NewRNG(1)
+	for i := 0; i < 1000; i++ {
+		v := r.Float32()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float32 out of range: %g", v)
+		}
+		n := r.Intn(10)
+		if n < 0 || n >= 10 {
+			t.Fatalf("Intn out of range: %d", n)
+		}
+	}
+}
+
+func TestNormalMoments(t *testing.T) {
+	r := NewRNG(3)
+	x := New(20000)
+	x.FillNormal(r, 2, 3)
+	if !almostEqual(x.Mean(), 2, 0.1) {
+		t.Errorf("mean = %g, want ≈2", x.Mean())
+	}
+	varEst := x.SqSum()/float64(x.Len()) - x.Mean()*x.Mean()
+	if !almostEqual(varEst, 9, 0.5) {
+		t.Errorf("variance = %g, want ≈9", varEst)
+	}
+}
+
+func TestKaimingInitStd(t *testing.T) {
+	r := NewRNG(5)
+	x := New(30000)
+	x.KaimingInit(r, 50)
+	wantStd := math.Sqrt(2.0 / 50.0)
+	gotStd := math.Sqrt(x.SqSum() / float64(x.Len()))
+	if !almostEqual(gotStd, wantStd, wantStd*0.05) {
+		t.Errorf("std = %g, want ≈%g", gotStd, wantStd)
+	}
+}
+
+func TestIm2ColIdentityKernel(t *testing.T) {
+	// 1x1 kernel, stride 1, no pad: im2col is the identity (reshaped).
+	src := FromSlice([]float32{1, 2, 3, 4}, 1, 2, 2)
+	dst := New(1, 4)
+	Im2Col(dst, src, 1, 1, 1, 0)
+	for i, w := range []float32{1, 2, 3, 4} {
+		if dst.Data()[i] != w {
+			t.Fatalf("Im2Col 1x1: %v", dst.Data())
+		}
+	}
+}
+
+func TestIm2ColKnownValues(t *testing.T) {
+	// 3x3 input, 2x2 kernel, stride 1, no pad → 2x2 output positions.
+	src := FromSlice([]float32{
+		1, 2, 3,
+		4, 5, 6,
+		7, 8, 9,
+	}, 1, 3, 3)
+	dst := New(4, 4)
+	Im2Col(dst, src, 2, 2, 1, 0)
+	// Row r = kernel offset (ky,kx); column = output position (oy,ox).
+	want := [][]float32{
+		{1, 2, 4, 5}, // ky=0,kx=0
+		{2, 3, 5, 6}, // ky=0,kx=1
+		{4, 5, 7, 8}, // ky=1,kx=0
+		{5, 6, 8, 9}, // ky=1,kx=1
+	}
+	for r, row := range want {
+		for c, w := range row {
+			if dst.At(r, c) != w {
+				t.Fatalf("Im2Col[%d,%d] = %g, want %g", r, c, dst.At(r, c), w)
+			}
+		}
+	}
+}
+
+func TestIm2ColPadding(t *testing.T) {
+	src := FromSlice([]float32{5}, 1, 1, 1)
+	// 3x3 kernel with pad 1 → one output position, only center sees the pixel.
+	dst := New(9, 1)
+	Im2Col(dst, src, 3, 3, 1, 1)
+	for i := 0; i < 9; i++ {
+		want := float32(0)
+		if i == 4 {
+			want = 5
+		}
+		if dst.At(i, 0) != want {
+			t.Fatalf("pad: row %d = %g, want %g", i, dst.At(i, 0), want)
+		}
+	}
+}
+
+// Property: Col2Im is the adjoint of Im2Col: <Im2Col(x), y> == <x, Col2Im(y)>.
+func TestCol2ImAdjoint(t *testing.T) {
+	r := NewRNG(23)
+	for _, cfg := range []struct{ c, h, w, kh, kw, stride, pad int }{
+		{1, 4, 4, 3, 3, 1, 1},
+		{2, 5, 6, 3, 3, 1, 1},
+		{3, 6, 6, 2, 2, 2, 0},
+		{1, 7, 5, 3, 3, 2, 1},
+	} {
+		outH := (cfg.h+2*cfg.pad-cfg.kh)/cfg.stride + 1
+		outW := (cfg.w+2*cfg.pad-cfg.kw)/cfg.stride + 1
+		rows := cfg.c * cfg.kh * cfg.kw
+		cols := outH * outW
+		x := randTensor(r, cfg.c, cfg.h, cfg.w)
+		y := randTensor(r, rows, cols)
+		cx := New(rows, cols)
+		Im2Col(cx, x, cfg.kh, cfg.kw, cfg.stride, cfg.pad)
+		xy := New(cfg.c, cfg.h, cfg.w)
+		Col2Im(xy, y, cfg.kh, cfg.kw, cfg.stride, cfg.pad)
+		var lhs, rhs float64
+		for i := range cx.Data() {
+			lhs += float64(cx.Data()[i]) * float64(y.Data()[i])
+		}
+		for i := range x.Data() {
+			rhs += float64(x.Data()[i]) * float64(xy.Data()[i])
+		}
+		if !almostEqual(lhs, rhs, 1e-3*(math.Abs(lhs)+1)) {
+			t.Fatalf("cfg %+v: adjoint mismatch: %g vs %g", cfg, lhs, rhs)
+		}
+	}
+}
+
+func TestSerializeRoundTrip(t *testing.T) {
+	r := NewRNG(31)
+	x := randTensor(r, 3, 4, 5)
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(x); err != nil {
+		t.Fatal(err)
+	}
+	var y Tensor
+	if err := gob.NewDecoder(&buf).Decode(&y); err != nil {
+		t.Fatal(err)
+	}
+	if !x.SameShape(&y) {
+		t.Fatalf("shape mismatch: %v vs %v", x.Shape(), y.Shape())
+	}
+	for i := range x.Data() {
+		if x.Data()[i] != y.Data()[i] {
+			t.Fatal("data mismatch after round trip")
+		}
+	}
+}
+
+func TestUnmarshalRejectsCorrupt(t *testing.T) {
+	var y Tensor
+	for _, data := range [][]byte{
+		{},
+		{1, 0, 0},
+		{1, 0, 0, 0, 2, 0, 0, 0},          // shape [2] but no payload
+		{1, 0, 0, 0, 0, 0, 0, 0},          // zero dim
+		{255, 255, 255, 255, 0, 0, 0, 0}, // absurd rank
+	} {
+		if err := y.UnmarshalBinary(data); err == nil {
+			t.Fatalf("expected error for %v", data)
+		}
+	}
+}
+
+func TestStringForms(t *testing.T) {
+	small := FromSlice([]float32{1, 2}, 2)
+	if got := small.String(); got == "" {
+		t.Fatal("empty String for small tensor")
+	}
+	big := New(100)
+	if got := big.String(); got == "" {
+		t.Fatal("empty String for big tensor")
+	}
+}
+
+func TestBytes(t *testing.T) {
+	if New(10, 10).Bytes() != 400 {
+		t.Fatal("Bytes should be 4 per element")
+	}
+}

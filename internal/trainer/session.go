@@ -1,0 +1,167 @@
+package trainer
+
+import (
+	"encoding/gob"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/data"
+	"repro/internal/metrics"
+	"repro/internal/models"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// Session is a resumable single-process training run: unlike the fire-and-
+// forget TrainSingle, it owns the full mutable state — model parameters,
+// Adam moments, the data-sampling stream, and the step counter — and can
+// round-trip all of it through a checkpoint file so a resumed run is
+// bit-identical to one that never stopped.
+type Session struct {
+	Cfg    Config
+	Model  *models.EDSR
+	Opt    *nn.Adam
+	Loader *data.Loader
+	Step   int
+
+	loss  nn.L1Loss
+	meter metrics.ThroughputMeter
+}
+
+// NewSession builds a fresh training session.
+func NewSession(cfg Config) (*Session, error) {
+	if cfg.Steps < 0 || cfg.BatchSize < 1 {
+		return nil, fmt.Errorf("trainer: invalid session config %+v", cfg)
+	}
+	rng := tensor.NewRNG(cfg.Seed)
+	model := models.NewEDSR(cfg.Model, rng)
+	ds := data.NewDataset(cfg.Data)
+	loader, err := data.NewLoader(ds, data.LoaderConfig{
+		BatchSize: cfg.BatchSize,
+		PatchSize: cfg.PatchSize,
+		Scale:     cfg.Model.Scale,
+		Rank:      0,
+		WorldSize: 1,
+		Seed:      cfg.Seed + 100,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Session{
+		Cfg:    cfg,
+		Model:  model,
+		Opt:    nn.NewAdam(model.Params(), cfg.LR),
+		Loader: loader,
+	}, nil
+}
+
+// RunSteps performs n training steps and returns the last loss.
+func (s *Session) RunSteps(n int) (float64, error) {
+	if n < 0 {
+		return 0, fmt.Errorf("trainer: negative step count")
+	}
+	schedule := nn.StepLRSchedule{Base: s.Cfg.LR, DecayEvery: s.Cfg.LRDecayEvery, Gamma: 0.5}
+	var last float64
+	for i := 0; i < n; i++ {
+		if s.Cfg.LRDecayEvery > 0 {
+			schedule.Apply(s.Opt, s.Step)
+		}
+		batch := s.Loader.Next()
+		start := time.Now()
+		s.Opt.ZeroGrad()
+		pred := s.Model.Forward(batch.LR)
+		l, grad := s.loss.Forward(pred, batch.HR)
+		s.Model.Backward(grad)
+		s.Opt.Step()
+		s.meter.Record(s.Cfg.BatchSize, time.Since(start).Seconds())
+		s.Step++
+		last = l
+		if s.Cfg.LogEvery > 0 && s.Cfg.Log != nil && s.Step%s.Cfg.LogEvery == 0 {
+			fmt.Fprintf(s.Cfg.Log, "step %4d  loss %.5f\n", s.Step, l)
+		}
+	}
+	return last, nil
+}
+
+// ImagesPerSec returns the session's running throughput.
+func (s *Session) ImagesPerSec() float64 { return s.meter.ImagesPerSecond() }
+
+// sessionState is the serialized form of a Session.
+type sessionState struct {
+	Config   Config
+	Step     int
+	RNGState uint64
+	Names    []string
+	Values   []*tensor.Tensor
+	AdamM    []*tensor.Tensor
+	AdamV    []*tensor.Tensor
+	AdamStep int
+}
+
+// Save writes the complete training state to path.
+func (s *Session) Save(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	st := sessionState{
+		Config:   s.Cfg,
+		Step:     s.Step,
+		RNGState: s.Loader.RNGState(),
+	}
+	st.Config.Log = nil // writers are runtime-only, not serializable
+	m, v, adamStep := s.Opt.State()
+	st.AdamM, st.AdamV, st.AdamStep = m, v, adamStep
+	for _, p := range s.Model.Params() {
+		st.Names = append(st.Names, p.Name)
+		st.Values = append(st.Values, p.Value)
+	}
+	return gob.NewEncoder(f).Encode(st)
+}
+
+// ResumeSession restores a session saved with Save; the resumed run
+// continues the exact parameter, optimizer, and data streams.
+func ResumeSession(path string) (*Session, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var st sessionState
+	if err := gob.NewDecoder(f).Decode(&st); err != nil {
+		return nil, err
+	}
+	// Log writers cannot be serialized.
+	st.Config.Log = nil
+	s, err := NewSession(st.Config)
+	if err != nil {
+		return nil, err
+	}
+	params := s.Model.Params()
+	if len(params) != len(st.Names) {
+		return nil, fmt.Errorf("trainer: checkpoint has %d tensors, model %d", len(st.Names), len(params))
+	}
+	for i, p := range params {
+		if p.Name != st.Names[i] {
+			return nil, fmt.Errorf("trainer: checkpoint tensor %q does not match %q", st.Names[i], p.Name)
+		}
+		if !p.Value.SameShape(st.Values[i]) {
+			return nil, fmt.Errorf("trainer: shape mismatch for %q", p.Name)
+		}
+		p.Value.CopyFrom(st.Values[i])
+	}
+	m, v, _ := s.Opt.State()
+	if len(st.AdamM) != len(m) || len(st.AdamV) != len(v) {
+		return nil, fmt.Errorf("trainer: optimizer state size mismatch")
+	}
+	for i := range m {
+		m[i].CopyFrom(st.AdamM[i])
+		v[i].CopyFrom(st.AdamV[i])
+	}
+	s.Opt.SetStep(st.AdamStep)
+	s.Step = st.Step
+	s.Loader.SetRNGState(st.RNGState)
+	return s, nil
+}

@@ -1,0 +1,169 @@
+package trainer
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/data"
+	"repro/internal/metrics"
+	"repro/internal/models"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// SRModel is any trainable super-resolution network from the model zoo.
+type SRModel interface {
+	Forward(x *tensor.Tensor) *tensor.Tensor
+	Backward(g *tensor.Tensor) *tensor.Tensor
+	Params() []*nn.Param
+	NumParams() int
+}
+
+// Arch names a model-zoo architecture.
+type Arch string
+
+// Architectures available to TrainZoo; the set mirrors the paper's
+// Section II background (SRCNN → SRResNet → EDSR lineage).
+const (
+	ArchEDSR     Arch = "edsr"
+	ArchSRCNN    Arch = "srcnn"
+	ArchSRResNet Arch = "srresnet"
+	ArchFSRCNN   Arch = "fsrcnn"
+)
+
+// ParseArch validates an architecture name.
+func ParseArch(s string) (Arch, error) {
+	switch Arch(strings.ToLower(s)) {
+	case ArchEDSR:
+		return ArchEDSR, nil
+	case ArchSRCNN:
+		return ArchSRCNN, nil
+	case ArchSRResNet:
+		return ArchSRResNet, nil
+	case ArchFSRCNN:
+		return ArchFSRCNN, nil
+	default:
+		return "", fmt.Errorf("trainer: unknown architecture %q (have edsr, srcnn, srresnet, fsrcnn)", s)
+	}
+}
+
+// ZooConfig configures a zoo training run. SRCNN ignores Blocks/Feats
+// (its architecture is fixed) and operates on bicubic-upscaled input.
+type ZooConfig struct {
+	Arch   Arch
+	Scale  int
+	Blocks int
+	Feats  int
+	Train  Config // Steps, BatchSize, PatchSize, LR, Seed, Data
+}
+
+// Build constructs the model and its input preprocessing. EDSR and
+// SRResNet learn the upscaling themselves; SRCNN refines a bicubic
+// upscale, so its preprocessing blows the LR patch up first.
+func (z ZooConfig) Build(rng *tensor.RNG) (SRModel, func(lr *tensor.Tensor) *tensor.Tensor, error) {
+	pre := func(lr *tensor.Tensor) *tensor.Tensor { return lr }
+	switch z.Arch {
+	case ArchEDSR:
+		cfg := models.EDSRConfig{NumBlocks: z.Blocks, NumFeats: z.Feats, Scale: z.Scale, ResScale: 0.1, Colors: 3}
+		if err := cfg.Validate(); err != nil {
+			return nil, nil, err
+		}
+		return models.NewEDSR(cfg, rng), pre, nil
+	case ArchSRResNet:
+		if z.Scale != 2 && z.Scale != 4 {
+			return nil, nil, fmt.Errorf("trainer: SRResNet supports x2/x4, got x%d", z.Scale)
+		}
+		return models.NewSRResNet(3, z.Blocks, z.Feats, z.Scale, rng), pre, nil
+	case ArchSRCNN:
+		scale := z.Scale
+		return models.NewSRCNN(3, rng), func(lr *tensor.Tensor) *tensor.Tensor {
+			return models.BicubicUpscale(lr, scale)
+		}, nil
+	case ArchFSRCNN:
+		if z.Scale < 2 || z.Scale > 4 {
+			return nil, nil, fmt.Errorf("trainer: FSRCNN supports x2-x4, got x%d", z.Scale)
+		}
+		// Published configuration: d=56, s=12, m=4; Feats/Blocks override
+		// d and m when set.
+		d, m := 56, 4
+		if z.Feats > 0 {
+			d = z.Feats
+		}
+		if z.Blocks > 0 {
+			m = z.Blocks
+		}
+		return models.NewFSRCNN(3, d, 12, m, z.Scale, rng), pre, nil
+	default:
+		return nil, nil, fmt.Errorf("trainer: unknown architecture %q", z.Arch)
+	}
+}
+
+// ZooResult is the outcome of one zoo training run.
+type ZooResult struct {
+	Arch        Arch
+	Params      int
+	FinalLoss   float64
+	PSNR        float64
+	PSNRBicubic float64
+}
+
+// TrainZoo trains one architecture on the synthetic dataset and evaluates
+// PSNR against ground truth and the bicubic baseline on held-out images.
+func TrainZoo(z ZooConfig, evalImages int) (ZooResult, error) {
+	cfg := z.Train
+	if cfg.Steps < 1 || cfg.BatchSize < 1 {
+		return ZooResult{}, fmt.Errorf("trainer: invalid zoo config %+v", cfg)
+	}
+	rng := tensor.NewRNG(cfg.Seed)
+	model, pre, err := z.Build(rng)
+	if err != nil {
+		return ZooResult{}, err
+	}
+	ds := data.NewDataset(cfg.Data)
+	loader, err := data.NewLoader(ds, data.LoaderConfig{
+		BatchSize: cfg.BatchSize,
+		PatchSize: cfg.PatchSize,
+		Scale:     z.Scale,
+		Rank:      0,
+		WorldSize: 1,
+		Seed:      cfg.Seed + 100,
+	})
+	if err != nil {
+		return ZooResult{}, err
+	}
+	opt := nn.NewAdam(model.Params(), cfg.LR)
+	loss := nn.L1Loss{}
+	var last float64
+	for step := 0; step < cfg.Steps; step++ {
+		batch := loader.Next()
+		opt.ZeroGrad()
+		pred := model.Forward(pre(batch.LR))
+		l, grad := loss.Forward(pred, batch.HR)
+		model.Backward(grad)
+		opt.Step()
+		last = l
+		if cfg.LogEvery > 0 && cfg.Log != nil && (step+1)%cfg.LogEvery == 0 {
+			fmt.Fprintf(cfg.Log, "[%s] step %4d  loss %.5f\n", z.Arch, step+1, l)
+		}
+	}
+
+	res := ZooResult{Arch: z.Arch, Params: model.NumParams(), FinalLoss: last}
+	eval := data.NewDataset(data.SyntheticConfig{
+		Images: cfg.Data.Images + evalImages, Height: cfg.Data.Height,
+		Width: cfg.Data.Width, Channels: cfg.Data.Channels, Seed: cfg.Data.Seed,
+	})
+	for i := 0; i < evalImages; i++ {
+		lr, hr := eval.Pair(cfg.Data.Images+i, z.Scale)
+		sr := model.Forward(pre(lr))
+		sr.Clamp(0, 1)
+		bi := models.BicubicUpscale(lr, z.Scale)
+		bi.Clamp(0, 1)
+		res.PSNR += metrics.PSNR(sr, hr, 1)
+		res.PSNRBicubic += metrics.PSNR(bi, hr, 1)
+	}
+	if evalImages > 0 {
+		res.PSNR /= float64(evalImages)
+		res.PSNRBicubic /= float64(evalImages)
+	}
+	return res, nil
+}

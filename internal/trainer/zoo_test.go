@@ -1,0 +1,139 @@
+package trainer
+
+import (
+	"testing"
+
+	"repro/internal/data"
+	"repro/internal/tensor"
+)
+
+func zooTrain() Config {
+	return Config{
+		Data:      data.SyntheticConfig{Images: 8, Height: 24, Width: 24, Channels: 3, Seed: 3},
+		Steps:     8,
+		BatchSize: 2,
+		PatchSize: 8,
+		LR:        1e-3,
+		Seed:      1,
+	}
+}
+
+func TestParseArch(t *testing.T) {
+	for _, s := range []string{"edsr", "SRCNN", "SRResNet"} {
+		if _, err := ParseArch(s); err != nil {
+			t.Fatalf("%s: %v", s, err)
+		}
+	}
+	if _, err := ParseArch("vdsr"); err == nil {
+		t.Fatal("expected error for unknown arch")
+	}
+}
+
+func TestTrainZooEDSR(t *testing.T) {
+	res, err := TrainZoo(ZooConfig{
+		Arch: ArchEDSR, Scale: 2, Blocks: 1, Feats: 6, Train: zooTrain(),
+	}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Params == 0 || res.FinalLoss <= 0 || res.PSNR <= 0 {
+		t.Fatalf("result %+v", res)
+	}
+}
+
+func TestTrainZooSRCNN(t *testing.T) {
+	res, err := TrainZoo(ZooConfig{
+		Arch: ArchSRCNN, Scale: 2, Train: zooTrain(),
+	}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// SRCNN's fixed architecture: 9-1-5 convs over 3 channels.
+	want := (3*64*81 + 64) + (64*32 + 32) + (32*3*25 + 3)
+	if res.Params != want {
+		t.Fatalf("SRCNN params %d, want %d", res.Params, want)
+	}
+}
+
+func TestTrainZooSRResNet(t *testing.T) {
+	res, err := TrainZoo(ZooConfig{
+		Arch: ArchSRResNet, Scale: 2, Blocks: 1, Feats: 8, Train: zooTrain(),
+	}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PSNR <= 0 {
+		t.Fatalf("result %+v", res)
+	}
+}
+
+func TestTrainZooValidation(t *testing.T) {
+	if _, err := TrainZoo(ZooConfig{Arch: "nope", Scale: 2, Train: zooTrain()}, 0); err == nil {
+		t.Fatal("unknown arch should fail")
+	}
+	if _, err := TrainZoo(ZooConfig{Arch: ArchSRResNet, Scale: 3, Blocks: 1, Feats: 8, Train: zooTrain()}, 0); err == nil {
+		t.Fatal("SRResNet x3 should fail")
+	}
+	bad := zooTrain()
+	bad.Steps = 0
+	if _, err := TrainZoo(ZooConfig{Arch: ArchEDSR, Scale: 2, Blocks: 1, Feats: 4, Train: bad}, 0); err == nil {
+		t.Fatal("zero steps should fail")
+	}
+	if _, err := TrainZoo(ZooConfig{Arch: ArchEDSR, Scale: 7, Blocks: 1, Feats: 4, Train: zooTrain()}, 0); err == nil {
+		t.Fatal("bad scale should fail")
+	}
+}
+
+func TestTrainZooFSRCNN(t *testing.T) {
+	res, err := TrainZoo(ZooConfig{
+		Arch: ArchFSRCNN, Scale: 2, Blocks: 2, Feats: 16, Train: zooTrain(),
+	}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Params == 0 || res.PSNR <= 0 {
+		t.Fatalf("result %+v", res)
+	}
+	if _, err := ParseArch("fsrcnn"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEvaluateOnBenchmarks(t *testing.T) {
+	cfg := ZooConfig{Arch: ArchEDSR, Scale: 2, Blocks: 1, Feats: 6, Train: zooTrain()}
+	rngSeed := cfg.Train
+	rngSeed.Steps = 12
+	cfg.Train = rngSeed
+	model, pre, err := cfg.Build(tensorRNG())
+	if err != nil {
+		t.Fatal(err)
+	}
+	scores := EvaluateOnBenchmarks(model, pre, 2, 32, 1)
+	if len(scores) != 4 {
+		t.Fatalf("scores %d", len(scores))
+	}
+	for _, s := range scores {
+		if s.PSNR <= 0 || s.SSIM < -1 || s.SSIM > 1 || s.BicubicPSNR <= 0 {
+			t.Fatalf("bad score %+v", s)
+		}
+	}
+	// Bicubic must do better on the smooth set than on textures.
+	byName := map[string]BenchmarkScore{}
+	for _, s := range scores {
+		byName[s.Set] = s
+	}
+	if byName["smooth5"].BicubicPSNR <= byName["textures8"].BicubicPSNR {
+		t.Fatalf("bicubic should prefer smooth content: smooth %g vs textures %g",
+			byName["smooth5"].BicubicPSNR, byName["textures8"].BicubicPSNR)
+	}
+	out := FormatBenchmarkScores("edsr-tiny", scores)
+	if len(out) == 0 {
+		t.Fatal("format broken")
+	}
+	// nil preprocessing defaults to identity.
+	if got := EvaluateOnBenchmarks(model, nil, 2, 32, 1); len(got) != 4 {
+		t.Fatal("nil pre should work")
+	}
+}
+
+func tensorRNG() *tensor.RNG { return tensor.NewRNG(5) }
