@@ -1,0 +1,218 @@
+// Command bench-kernels measures the compute hot path and emits a
+// machine-readable BENCH_kernels.json: GFLOP/s for GEMM sizes drawn from
+// EDSR layer shapes (seed kernel vs naive j-inner vs cache-blocked), and
+// img/s for tiny-EDSR training steps (seed-style serial convolutions vs
+// the batch-parallel zero-alloc path).
+//
+// The "seed" baselines are faithful replicas of the repository's original
+// kernels — the j-inner GEMM with the zero-skip branch and the serial
+// per-sample, allocate-per-call convolution layers — so the reported
+// speedups track exactly what the blocked engine replaced.
+//
+// Usage:
+//
+//	bench-kernels [-o BENCH_kernels.json] [-steps 30] [-mintime 0.25]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/models"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// gemmResult records one GEMM shape's throughput under the three kernels.
+type gemmResult struct {
+	M             int     `json:"m"`
+	K             int     `json:"k"`
+	N             int     `json:"n"`
+	Shape         string  `json:"shape"`
+	SeedGFLOPS    float64 `json:"seed_gflops"`
+	NaiveGFLOPS   float64 `json:"naive_gflops"`
+	BlockedGFLOPS float64 `json:"blocked_gflops"`
+	BlockedVsSeed float64 `json:"blocked_vs_seed"`
+}
+
+// trainResult records the tiny-EDSR train-step comparison.
+type trainResult struct {
+	Model            string  `json:"model"`
+	Batch            int     `json:"batch"`
+	Patch            int     `json:"patch"`
+	Steps            int     `json:"steps"`
+	Workers          int     `json:"workers"`
+	SeedImgPerSec    float64 `json:"seed_img_per_sec"`
+	BlockedImgPerSec float64 `json:"blocked_img_per_sec"`
+	Speedup          float64 `json:"speedup"`
+	AllocsPerStep    float64 `json:"blocked_allocs_per_step"`
+}
+
+type report struct {
+	GOOS       string       `json:"goos"`
+	GOARCH     string       `json:"goarch"`
+	GOMAXPROCS int          `json:"gomaxprocs"`
+	Gemm       []gemmResult `json:"gemm"`
+	Train      trainResult  `json:"train"`
+}
+
+func main() {
+	out := flag.String("o", "BENCH_kernels.json", "output path for the JSON report")
+	steps := flag.Int("steps", 30, "train steps per timing run")
+	minTime := flag.Float64("mintime", 0.25, "minimum seconds per GEMM timing loop")
+	flag.Parse()
+	if *steps < 1 {
+		fmt.Fprintln(os.Stderr, "bench-kernels: -steps must be >= 1")
+		os.Exit(2)
+	}
+
+	rep := report{
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+
+	// GEMM shapes from EDSR layer lowerings (m = outC, k = inC·kh·kw,
+	// n = output pixels of a 24×24 HR patch). The 256×2304×576 shape is
+	// the body convolution of the paper's 256-feature config.
+	shapes := [][3]int{
+		{256, 2304, 576},  // EDSR-paper body conv
+		{1024, 2304, 576}, // EDSR-paper tail upsample conv
+		{64, 576, 576},    // EDSR-baseline body conv
+		{256, 27, 576},    // EDSR-paper head conv
+		{16, 144, 144},    // EDSR-tiny body conv (12×12 patch)
+	}
+	for _, s := range shapes {
+		m, k, n := s[0], s[1], s[2]
+		fmt.Fprintf(os.Stderr, "gemm %dx%dx%d...\n", m, k, n)
+		r := benchGemm(m, k, n, *minTime)
+		rep.Gemm = append(rep.Gemm, r)
+		fmt.Fprintf(os.Stderr, "  seed %.2f  naive %.2f  blocked %.2f GFLOP/s  (%.1fx vs seed)\n",
+			r.SeedGFLOPS, r.NaiveGFLOPS, r.BlockedGFLOPS, r.BlockedVsSeed)
+	}
+
+	fmt.Fprintln(os.Stderr, "tiny-EDSR train steps...")
+	rep.Train = benchTrain(*steps)
+	fmt.Fprintf(os.Stderr, "  seed %.1f img/s  blocked %.1f img/s  (%.1fx)  allocs/step %.0f\n",
+		rep.Train.SeedImgPerSec, rep.Train.BlockedImgPerSec, rep.Train.Speedup, rep.Train.AllocsPerStep)
+
+	f, err := os.Create(*out)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	f.Close()
+	fmt.Fprintf(os.Stderr, "wrote %s\n", *out)
+}
+
+// timeLoop runs fn until minTime seconds have elapsed (at least once
+// after one warm-up call) and returns seconds per call.
+func timeLoop(minTime float64, fn func()) float64 {
+	fn() // warm up: grows buffers, faults pages
+	iters := 0
+	var elapsed time.Duration
+	for iters == 0 || elapsed.Seconds() < minTime {
+		start := time.Now()
+		fn()
+		elapsed += time.Since(start)
+		iters++
+	}
+	return elapsed.Seconds() / float64(iters)
+}
+
+func benchGemm(m, k, n int, minTime float64) gemmResult {
+	rng := tensor.NewRNG(uint64(m*31 + k*7 + n))
+	a := tensor.New(m, k)
+	a.FillUniform(rng, -1, 1)
+	b := tensor.New(k, n)
+	b.FillUniform(rng, -1, 1)
+	dst := tensor.New(m, n)
+	flops := 2 * float64(m) * float64(k) * float64(n)
+
+	seedSec := timeLoop(minTime, func() { seedMatMul(dst.Data(), a.Data(), b.Data(), m, k, n) })
+	naiveSec := timeLoop(minTime, func() { tensor.MatMulNaive(dst, a, b) })
+	blockedSec := timeLoop(minTime, func() { tensor.MatMul(dst, a, b) })
+
+	r := gemmResult{
+		M: m, K: k, N: n,
+		Shape:         fmt.Sprintf("%dx%dx%d", m, k, n),
+		SeedGFLOPS:    flops / seedSec / 1e9,
+		NaiveGFLOPS:   flops / naiveSec / 1e9,
+		BlockedGFLOPS: flops / blockedSec / 1e9,
+	}
+	r.BlockedVsSeed = r.BlockedGFLOPS / r.SeedGFLOPS
+	return r
+}
+
+// benchTrain times full tiny-EDSR training steps (forward, L1 loss,
+// backward, Adam) on a fixed in-memory batch, for the seed-style replica
+// model and for the current models.NewEDSR path.
+func benchTrain(steps int) trainResult {
+	cfg := models.EDSRTiny()
+	const batch, patch = 4, 12
+	rng := tensor.NewRNG(99)
+	lr := tensor.New(batch, cfg.Colors, patch, patch)
+	lr.FillUniform(rng, 0, 1)
+	hr := tensor.New(batch, cfg.Colors, patch*cfg.Scale, patch*cfg.Scale)
+	hr.FillUniform(rng, 0, 1)
+
+	res := trainResult{
+		Model: "edsr-tiny", Batch: batch, Patch: patch, Steps: steps,
+		Workers: tensor.WorkerCount(batch, 1),
+	}
+
+	// Seed path: replica layers, allocate-per-call, serial batch loop.
+	seedModel := newSeedEDSR(cfg, tensor.NewRNG(1))
+	seedOpt := nn.NewAdam(seedModel.params(), 1e-3)
+	seedSec := timeLoop(0, wrapSteps(steps, func() {
+		seedOpt.ZeroGrad()
+		pred := seedModel.forward(lr)
+		_, grad := nn.L1Loss{}.Forward(pred, hr)
+		seedModel.backward(grad)
+		seedOpt.Step()
+	}))
+	res.SeedImgPerSec = float64(batch*steps) / seedSec
+
+	// Blocked path: the real model with scratch pools and buffer reuse.
+	model := models.NewEDSR(cfg, tensor.NewRNG(1))
+	opt := nn.NewAdam(model.Params(), 1e-3)
+	var gradBuf *tensor.Tensor
+	loss := nn.L1Loss{}
+	step := func() {
+		opt.ZeroGrad()
+		pred := model.Forward(lr)
+		_, grad := loss.ForwardBuf(gradBuf, pred, hr)
+		gradBuf = grad
+		model.Backward(grad)
+		opt.Step()
+	}
+	step() // warm up scratch buffers before metering allocations
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	sec := timeLoop(0, wrapSteps(steps, step))
+	runtime.ReadMemStats(&m1)
+	res.BlockedImgPerSec = float64(batch*steps) / sec
+	res.AllocsPerStep = float64(m1.Mallocs-m0.Mallocs) / float64(2*steps) // timeLoop runs warm-up + timed pass
+	res.Speedup = res.BlockedImgPerSec / res.SeedImgPerSec
+	return res
+}
+
+// wrapSteps returns a closure running fn steps times; timeLoop then
+// reports seconds per step batch, which we divide back out.
+func wrapSteps(steps int, fn func()) func() {
+	return func() {
+		for i := 0; i < steps; i++ {
+			fn()
+		}
+	}
+}

@@ -1,0 +1,386 @@
+package main
+
+// Faithful replicas of the repository's original (pre-blocking) kernels
+// and convolution layers, kept here so the benchmark always compares the
+// current engine against the exact baseline it replaced: the j-inner GEMM
+// with the `av == 0` zero-skip branch, and serial per-sample convolutions
+// that allocate their outputs and gradients on every call.
+
+import (
+	"repro/internal/models"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// seedMatMul is the seed dst = a(m×k)·b(k×n) kernel: j-inner with the
+// zero-skip branch, rows split across workers at the seed's grain of 8.
+func seedMatMul(dst, a, b []float32, m, k, n int) {
+	tensor.ParallelWorkers(m, 8, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			drow := dst[i*n : (i+1)*n]
+			for j := range drow {
+				drow[j] = 0
+			}
+			arow := a[i*k : (i+1)*k]
+			for p, av := range arow {
+				if av == 0 {
+					continue
+				}
+				brow := b[p*n : (p+1)*n]
+				for j, bv := range brow {
+					drow[j] += av * bv
+				}
+			}
+		}
+	})
+}
+
+// seedMatMulTransA computes dst(m×n) = aᵀ·b for a stored (k×m).
+func seedMatMulTransA(dst, a, b []float32, k, m, n int) {
+	tensor.ParallelWorkers(m, 4, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			drow := dst[i*n : (i+1)*n]
+			for j := range drow {
+				drow[j] = 0
+			}
+			for p := 0; p < k; p++ {
+				av := a[p*m+i]
+				if av == 0 {
+					continue
+				}
+				brow := b[p*n : (p+1)*n]
+				for j, bv := range brow {
+					drow[j] += av * bv
+				}
+			}
+		}
+	})
+}
+
+// seedMatMulTransBAccum computes dst(m×k) += a(m×n)·bᵀ for b stored (k×n).
+func seedMatMulTransBAccum(dst, a, b []float32, m, n, k int) {
+	tensor.ParallelWorkers(m, 4, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			arow := a[i*n : (i+1)*n]
+			drow := dst[i*k : (i+1)*k]
+			for p := 0; p < k; p++ {
+				brow := b[p*n : (p+1)*n]
+				var s float32
+				for j, av := range arow {
+					s += av * brow[j]
+				}
+				drow[p] += s
+			}
+		}
+	})
+}
+
+// seedConv is the seed Conv2d: serial batch loop, fresh output/gradient
+// tensors per call, bias added in a separate pass after the GEMM.
+type seedConv struct {
+	weight, bias *nn.Param
+	inC, outC    int
+	kh, kw       int
+	stride, pad  int
+
+	lastIn             *tensor.Tensor
+	lastOutH, lastOutW int
+	col, gradCol       *tensor.Tensor
+}
+
+func newSeedConv(name string, inC, outC, k, stride, pad int, rng *tensor.RNG) *seedConv {
+	c := &seedConv{inC: inC, outC: outC, kh: k, kw: k, stride: stride, pad: pad}
+	c.weight = nn.NewParam(name+".weight", outC, inC*k*k)
+	c.weight.Value.KaimingInit(rng, inC*k*k)
+	c.bias = nn.NewParam(name+".bias", outC)
+	return c
+}
+
+func (c *seedConv) forward(x *tensor.Tensor) *tensor.Tensor {
+	n, h, w := x.Dim(0), x.Dim(2), x.Dim(3)
+	outH := (h+2*c.pad-c.kh)/c.stride + 1
+	outW := (w+2*c.pad-c.kw)/c.stride + 1
+	c.lastIn, c.lastOutH, c.lastOutW = x, outH, outW
+	k := c.inC * c.kh * c.kw
+	cols := outH * outW
+	if c.col == nil || c.col.Dim(0) != k || c.col.Dim(1) != cols {
+		c.col = tensor.New(k, cols)
+	}
+	out := tensor.New(n, c.outC, outH, outW)
+	inPlane := c.inC * h * w
+	outPlane := c.outC * cols
+	for i := 0; i < n; i++ {
+		tensor.Im2ColBuf(c.col.Data(), x.Data()[i*inPlane:(i+1)*inPlane], c.inC, h, w, c.kh, c.kw, c.stride, c.pad)
+		seedMatMul(out.Data()[i*outPlane:(i+1)*outPlane], c.weight.Value.Data(), c.col.Data(), c.outC, k, cols)
+	}
+	bd, od := c.bias.Value.Data(), out.Data()
+	for i := 0; i < n; i++ {
+		for oc := 0; oc < c.outC; oc++ {
+			b := bd[oc]
+			row := od[i*outPlane+oc*cols : i*outPlane+(oc+1)*cols]
+			for j := range row {
+				row[j] += b
+			}
+		}
+	}
+	return out
+}
+
+func (c *seedConv) backward(gradOut *tensor.Tensor) *tensor.Tensor {
+	x := c.lastIn
+	n, h, w := x.Dim(0), x.Dim(2), x.Dim(3)
+	k := c.inC * c.kh * c.kw
+	cols := c.lastOutH * c.lastOutW
+	if c.gradCol == nil || c.gradCol.Dim(0) != k || c.gradCol.Dim(1) != cols {
+		c.gradCol = tensor.New(k, cols)
+	}
+	gradIn := tensor.New(n, c.inC, h, w)
+	inPlane := c.inC * h * w
+	outPlane := c.outC * cols
+	scratch := tensor.New(c.inC, h, w)
+	for i := 0; i < n; i++ {
+		tensor.Im2ColBuf(c.col.Data(), x.Data()[i*inPlane:(i+1)*inPlane], c.inC, h, w, c.kh, c.kw, c.stride, c.pad)
+		g := gradOut.Data()[i*outPlane : (i+1)*outPlane]
+		seedMatMulTransBAccum(c.weight.Grad.Data(), g, c.col.Data(), c.outC, cols, k)
+		seedMatMulTransA(c.gradCol.Data(), c.weight.Value.Data(), g, c.outC, k, cols)
+		for j := range scratch.Data() {
+			scratch.Data()[j] = 0
+		}
+		tensor.Col2ImBuf(scratch.Data(), c.gradCol.Data(), c.inC, h, w, c.kh, c.kw, c.stride, c.pad)
+		copy(gradIn.Data()[i*inPlane:(i+1)*inPlane], scratch.Data())
+		bg := c.bias.Grad.Data()
+		for oc := 0; oc < c.outC; oc++ {
+			var s float32
+			for _, v := range g[oc*cols : (oc+1)*cols] {
+				s += v
+			}
+			bg[oc] += s
+		}
+	}
+	c.lastIn = nil
+	return gradIn
+}
+
+// seedReLU allocates its output and gradient on every call (seed style).
+type seedReLU struct{ mask []bool }
+
+func (r *seedReLU) forward(x *tensor.Tensor) *tensor.Tensor {
+	out := tensor.New(x.Shape()...)
+	if cap(r.mask) < x.Len() {
+		r.mask = make([]bool, x.Len())
+	}
+	r.mask = r.mask[:x.Len()]
+	for i, v := range x.Data() {
+		if v > 0 {
+			out.Data()[i] = v
+			r.mask[i] = true
+		} else {
+			r.mask[i] = false
+		}
+	}
+	return out
+}
+
+func (r *seedReLU) backward(g *tensor.Tensor) *tensor.Tensor {
+	gi := tensor.New(g.Shape()...)
+	for i, pass := range r.mask {
+		if pass {
+			gi.Data()[i] = g.Data()[i]
+		}
+	}
+	return gi
+}
+
+// seedShuffle is the seed PixelShuffle (allocating rearrangement).
+type seedShuffle struct {
+	r       int
+	inShape []int
+}
+
+func (p *seedShuffle) forward(x *tensor.Tensor) *tensor.Tensor {
+	r := p.r
+	n, cIn, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
+	cOut := cIn / (r * r)
+	p.inShape = []int{n, cIn, h, w}
+	out := tensor.New(n, cOut, h*r, w*r)
+	xd, od := x.Data(), out.Data()
+	oh, ow := h*r, w*r
+	for i := 0; i < n; i++ {
+		for c := 0; c < cOut; c++ {
+			for dy := 0; dy < r; dy++ {
+				for dx := 0; dx < r; dx++ {
+					ic := c*r*r + dy*r + dx
+					for y := 0; y < h; y++ {
+						srow := xd[((i*cIn+ic)*h+y)*w : ((i*cIn+ic)*h+y+1)*w]
+						obase := ((i*cOut+c)*oh+(y*r+dy))*ow + dx
+						for xq, v := range srow {
+							od[obase+xq*r] = v
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+func (p *seedShuffle) backward(gradOut *tensor.Tensor) *tensor.Tensor {
+	r := p.r
+	n, cIn, h, w := p.inShape[0], p.inShape[1], p.inShape[2], p.inShape[3]
+	cOut := cIn / (r * r)
+	gradIn := tensor.New(n, cIn, h, w)
+	gd, gi := gradOut.Data(), gradIn.Data()
+	oh, ow := h*r, w*r
+	for i := 0; i < n; i++ {
+		for c := 0; c < cOut; c++ {
+			for dy := 0; dy < r; dy++ {
+				for dx := 0; dx < r; dx++ {
+					ic := c*r*r + dy*r + dx
+					for y := 0; y < h; y++ {
+						irow := gi[((i*cIn+ic)*h+y)*w : ((i*cIn+ic)*h+y+1)*w]
+						obase := ((i*cOut+c)*oh+(y*r+dy))*ow + dx
+						for xq := range irow {
+							irow[xq] = gd[obase+xq*r]
+						}
+					}
+				}
+			}
+		}
+	}
+	return gradIn
+}
+
+// seedMeanShift shifts per-channel means, allocating its output.
+type seedMeanShift struct {
+	mean []float32
+	sign float32
+}
+
+func (m *seedMeanShift) forward(x *tensor.Tensor) *tensor.Tensor {
+	n, c, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
+	out := tensor.New(n, c, h, w)
+	plane := h * w
+	for i := 0; i < n; i++ {
+		for ch := 0; ch < c; ch++ {
+			off := (i*c + ch) * plane
+			mu := m.sign * m.mean[ch]
+			src, dst := x.Data()[off:off+plane], out.Data()[off:off+plane]
+			for j, v := range src {
+				dst[j] = v + mu
+			}
+		}
+	}
+	return out
+}
+
+func (m *seedMeanShift) backward(g *tensor.Tensor) *tensor.Tensor {
+	gi := tensor.New(g.Shape()...)
+	copy(gi.Data(), g.Data())
+	return gi
+}
+
+// seedResBlock is the EDSR-style block: conv → relu → conv, scaled branch.
+type seedResBlock struct {
+	conv1, conv2 *seedConv
+	relu         seedReLU
+	resScale     float32
+}
+
+func (b *seedResBlock) forward(x *tensor.Tensor) *tensor.Tensor {
+	h := b.conv1.forward(x)
+	h = b.relu.forward(h)
+	h = b.conv2.forward(h)
+	h.Scale(b.resScale)
+	h.Add(x)
+	return h
+}
+
+func (b *seedResBlock) backward(g *tensor.Tensor) *tensor.Tensor {
+	branch := g.Clone()
+	branch.Scale(b.resScale)
+	gi := b.conv2.backward(branch)
+	gi = b.relu.backward(gi)
+	gi = b.conv1.backward(gi)
+	gi.Add(g)
+	return gi
+}
+
+// seedEDSR mirrors models.EDSR built from the seed layers above.
+type seedEDSR struct {
+	cfg              models.EDSRConfig
+	subMean, addMean seedMeanShift
+	head             *seedConv
+	blocks           []*seedResBlock
+	bodyEnd          *seedConv
+	tailUp           *seedConv
+	shuffle          seedShuffle
+	tailOut          *seedConv
+}
+
+func newSeedEDSR(cfg models.EDSRConfig, rng *tensor.RNG) *seedEDSR {
+	if cfg.Scale != 2 {
+		panic("bench: seed replica supports scale 2 only")
+	}
+	mean := models.DIV2KMean
+	m := &seedEDSR{
+		cfg:     cfg,
+		subMean: seedMeanShift{mean: mean, sign: -1},
+		addMean: seedMeanShift{mean: mean, sign: +1},
+		head:    newSeedConv("head", cfg.Colors, cfg.NumFeats, 3, 1, 1, rng),
+	}
+	for i := 0; i < cfg.NumBlocks; i++ {
+		m.blocks = append(m.blocks, &seedResBlock{
+			conv1:    newSeedConv("c1", cfg.NumFeats, cfg.NumFeats, 3, 1, 1, rng),
+			conv2:    newSeedConv("c2", cfg.NumFeats, cfg.NumFeats, 3, 1, 1, rng),
+			resScale: cfg.ResScale,
+		})
+	}
+	m.bodyEnd = newSeedConv("body.end", cfg.NumFeats, cfg.NumFeats, 3, 1, 1, rng)
+	m.tailUp = newSeedConv("tail.up", cfg.NumFeats, cfg.NumFeats*4, 3, 1, 1, rng)
+	m.shuffle = seedShuffle{r: 2}
+	m.tailOut = newSeedConv("tail.out", cfg.NumFeats, cfg.Colors, 3, 1, 1, rng)
+	return m
+}
+
+func (m *seedEDSR) forward(x *tensor.Tensor) *tensor.Tensor {
+	x = m.subMean.forward(x)
+	h := m.head.forward(x)
+	b := h
+	for _, blk := range m.blocks {
+		b = blk.forward(b)
+	}
+	b = m.bodyEnd.forward(b)
+	b.Add(h)
+	out := m.tailUp.forward(b)
+	out = m.shuffle.forward(out)
+	out = m.tailOut.forward(out)
+	return m.addMean.forward(out)
+}
+
+func (m *seedEDSR) backward(g *tensor.Tensor) *tensor.Tensor {
+	g = m.addMean.backward(g)
+	g = m.tailOut.backward(g)
+	g = m.shuffle.backward(g)
+	g = m.tailUp.backward(g)
+	gb := m.bodyEnd.backward(g)
+	for i := len(m.blocks) - 1; i >= 0; i-- {
+		gb = m.blocks[i].backward(gb)
+	}
+	gb.Add(g)
+	gi := m.head.backward(gb)
+	return m.subMean.backward(gi)
+}
+
+func (m *seedEDSR) params() []*nn.Param {
+	var ps []*nn.Param
+	add := func(c *seedConv) { ps = append(ps, c.weight, c.bias) }
+	add(m.head)
+	for _, blk := range m.blocks {
+		add(blk.conv1)
+		add(blk.conv2)
+	}
+	add(m.bodyEnd)
+	add(m.tailUp)
+	add(m.tailOut)
+	return ps
+}

@@ -57,9 +57,9 @@ func textureSet(name string, n, size int, seed uint64) *BenchmarkSet {
 		waves := make([]wave, 8)
 		for k := range waves {
 			waves[k] = wave{
-				fx: (6 + rng.Float64()*18) * 2 * math.Pi,
-				fy: (6 + rng.Float64()*18) * 2 * math.Pi,
-				ph: rng.Float64() * 2 * math.Pi,
+				fx:  (6 + rng.Float64()*18) * 2 * math.Pi,
+				fy:  (6 + rng.Float64()*18) * 2 * math.Pi,
+				ph:  rng.Float64() * 2 * math.Pi,
 				amp: 0.06 + 0.06*rng.Float64(),
 			}
 		}

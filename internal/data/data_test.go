@@ -81,7 +81,7 @@ func TestLoaderValidation(t *testing.T) {
 		{BatchSize: 4, PatchSize: 0, Scale: 2, WorldSize: 1},
 		{BatchSize: 4, PatchSize: 8, Scale: 2, WorldSize: 0},
 		{BatchSize: 4, PatchSize: 8, Scale: 2, Rank: 2, WorldSize: 2},
-		{BatchSize: 4, PatchSize: 99, Scale: 2, WorldSize: 1},   // patch > LR image
+		{BatchSize: 4, PatchSize: 99, Scale: 2, WorldSize: 1},           // patch > LR image
 		{BatchSize: 4, PatchSize: 8, Scale: 2, Rank: 0, WorldSize: 100}, // ok: shard nonempty
 	}
 	for i, cfg := range cases[:5] {

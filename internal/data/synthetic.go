@@ -66,7 +66,10 @@ func (d *Dataset) HR(i int) *tensor.Tensor {
 	img := tensor.New(1, c, h, w)
 
 	type wave struct{ fx, fy, phase, amp float64 }
-	type blob struct{ cx, cy, r, amp float64; ch int }
+	type blob struct {
+		cx, cy, r, amp float64
+		ch             int
+	}
 	// Low-frequency structure plus band-limited high-frequency texture:
 	// the high band is what bicubic downsampling destroys, giving a
 	// trained model the opportunity to beat the classical baseline.

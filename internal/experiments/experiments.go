@@ -79,9 +79,9 @@ func (f Fig1) Format() string {
 
 // Fig9Point is one batch-size measurement.
 type Fig9Point struct {
-	Batch        int
-	ImgPerSec    float64
-	Fits         bool
+	Batch     int
+	ImgPerSec float64
+	Fits      bool
 }
 
 // RunFig9 sweeps the single-GPU batch size (the paper selected 4).

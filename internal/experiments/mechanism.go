@@ -11,10 +11,10 @@ import (
 // Fig6Row is the per-GPU memory footprint under one visibility mode — the
 // paper's Fig. 6 "overhead kernel" mechanism made quantitative.
 type Fig6Row struct {
-	Mode       cluster.VisibilityMode
-	PerGPU     []int64 // allocated bytes per device after process start-up
-	Overflow   bool    // did any device exceed 16 GB?
-	IPCForMPI  bool    // can the MPI layer still open IPC handles?
+	Mode      cluster.VisibilityMode
+	PerGPU    []int64 // allocated bytes per device after process start-up
+	Overflow  bool    // did any device exceed 16 GB?
+	IPCForMPI bool    // can the MPI layer still open IPC handles?
 }
 
 // RunFig6 applies each visibility mode's framework footprint to a

@@ -18,10 +18,10 @@ import (
 // backend over a grid of Horovod tunables and compare the best result
 // against MPI-Opt at its defaults.
 type TuningLimitResult struct {
-	BestDefault  AblationPoint // best default-MPI throughput over the grid
-	BestSetting  string
-	MPIOpt       float64 // MPI-Opt throughput at default tunables
-	GapPercent   float64 // how far the best default remains below MPI-Opt
+	BestDefault AblationPoint // best default-MPI throughput over the grid
+	BestSetting string
+	MPIOpt      float64 // MPI-Opt throughput at default tunables
+	GapPercent  float64 // how far the best default remains below MPI-Opt
 }
 
 // RunTuningLimit sweeps Horovod tunables on the default backend.
@@ -66,12 +66,12 @@ func (r TuningLimitResult) Format() string {
 // ModelSensitivityRow compares how two EDSR configurations stress the
 // communication layer.
 type ModelSensitivityRow struct {
-	Name        string
-	GradMB      float64
-	Messages    float64 // per step
-	DefaultEff  float64
-	OptEff      float64
-	GainPts     float64
+	Name       string
+	GradMB     float64
+	Messages   float64 // per step
+	DefaultEff float64
+	OptEff     float64
+	GainPts    float64
 }
 
 // RunModelSensitivity contrasts the paper's 40.7M-parameter EDSR against

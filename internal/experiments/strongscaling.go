@@ -11,10 +11,10 @@ import (
 
 // StrongScalingPoint is one scale of a fixed-global-batch run.
 type StrongScalingPoint struct {
-	GPUs         int
-	BatchPerGPU  int
-	StepMs       float64
-	Speedup      float64 // vs the single-node step time
+	GPUs        int
+	BatchPerGPU int
+	StepMs      float64
+	Speedup     float64 // vs the single-node step time
 }
 
 // StrongScalingResult is a strong-scaling curve for one backend.

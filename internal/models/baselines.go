@@ -24,13 +24,15 @@ type SRCNN struct {
 
 // NewSRCNN builds an SRCNN over c color channels.
 func NewSRCNN(c int, rng *tensor.RNG) *SRCNN {
-	return &SRCNN{net: nn.NewSequential("srcnn",
+	m := &SRCNN{net: nn.NewSequential("srcnn",
 		nn.NewConv2d("srcnn.c1", c, 64, 9, 1, 4, true, rng),
 		nn.NewReLU(),
 		nn.NewConv2d("srcnn.c2", 64, 32, 1, 1, 0, true, rng),
 		nn.NewReLU(),
 		nn.NewConv2d("srcnn.c3", 32, c, 5, 1, 2, true, rng),
 	)}
+	nn.AttachScratch(m.net, nn.NewScratchPool())
+	return m
 }
 
 // Forward refines a bicubic-upsampled image.
@@ -49,10 +51,10 @@ func (m *SRCNN) NumParams() int { return nn.NumParams(m.Params()) }
 // EDSR simplified by dropping batch normalization (paper Fig. 5a). This is
 // a width/depth-configurable variant for contrast experiments.
 type SRResNet struct {
-	head    *nn.Sequential
-	body    *nn.Sequential
-	bodyEnd *nn.Sequential
-	tail    *nn.Sequential
+	head     *nn.Sequential
+	body     *nn.Sequential
+	bodyEnd  *nn.Sequential
+	tail     *nn.Sequential
 	lastHead *tensor.Tensor
 }
 
@@ -86,6 +88,11 @@ func NewSRResNet(c, b, f, scale int, rng *tensor.RNG) *SRResNet {
 		m.tail.Append(nn.NewReLU())
 	}
 	m.tail.Append(nn.NewConv2d("sr.tail.out", f, c, 9, 1, 4, true, rng))
+	sp := nn.NewScratchPool()
+	nn.AttachScratch(m.head, sp)
+	nn.AttachScratch(m.body, sp)
+	nn.AttachScratch(m.bodyEnd, sp)
+	nn.AttachScratch(m.tail, sp)
 	return m
 }
 

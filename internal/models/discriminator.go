@@ -38,6 +38,7 @@ func NewDiscriminator(c int, widths []int, rng *tensor.RNG) *Discriminator {
 	}
 	d.pool = nn.NewGlobalAvgPool()
 	d.head = nn.NewLinear("disc.head", prev, 1, rng)
+	nn.AttachScratch(d.net, nn.NewScratchPool())
 	return d
 }
 

@@ -118,6 +118,14 @@ func NewEDSR(cfg EDSRConfig, rng *tensor.RNG) *EDSR {
 		appendUpsample(1, 2)
 	}
 	m.tail.Append(nn.NewConv2d("tail.out", cfg.NumFeats, cfg.Colors, 3, 1, 1, true, rng))
+	// All convolutions share one per-worker scratch pool: layers run
+	// sequentially, so the pool's packed-panel and column buffers are
+	// reused by every layer, keeping steady-state training allocation-free.
+	sp := nn.NewScratchPool()
+	nn.AttachScratch(m.head, sp)
+	nn.AttachScratch(m.body, sp)
+	nn.AttachScratch(m.bodyEnd, sp)
+	nn.AttachScratch(m.tail, sp)
 	return m
 }
 

@@ -49,6 +49,7 @@ func NewFSRCNN(c, d, s, m, scale int, rng *tensor.RNG) *FSRCNN {
 	case 3:
 		seq.Append(nn.NewConvTranspose2d("fsrcnn.deconv", d, c, 9, 3, 3, true, rng))
 	}
+	nn.AttachScratch(seq, nn.NewScratchPool())
 	return &FSRCNN{net: seq}
 }
 

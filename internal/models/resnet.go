@@ -49,6 +49,9 @@ func NewMiniResNet(widths []int, blocksPerStage, classes int, rng *tensor.RNG) *
 	}
 	m.pool = nn.NewGlobalAvgPool()
 	m.fc = nn.NewLinear("fc", prev, classes, rng)
+	sp := nn.NewScratchPool()
+	nn.AttachScratch(m.stem, sp)
+	nn.AttachScratch(m.stages, sp)
 	return m
 }
 

@@ -2,9 +2,12 @@ package nn
 
 import "repro/internal/tensor"
 
-// ReLU is the rectified linear activation, y = max(x, 0).
+// ReLU is the rectified linear activation, y = max(x, 0). Output and
+// gradient buffers are reused across iterations: a returned tensor is
+// valid until the next call on the same layer instance.
 type ReLU struct {
-	mask []bool // which inputs were positive, for the backward pass
+	mask        []bool // which inputs were positive, for the backward pass
+	out, gradIn *tensor.Tensor
 }
 
 // NewReLU returns a ReLU layer.
@@ -12,12 +15,12 @@ func NewReLU() *ReLU { return &ReLU{} }
 
 // Forward applies max(x, 0) element-wise.
 func (r *ReLU) Forward(x *tensor.Tensor) *tensor.Tensor {
-	out := tensor.New(x.Shape()...)
+	r.out = tensor.Ensure(r.out, x.Shape()...)
 	if cap(r.mask) < x.Len() {
 		r.mask = make([]bool, x.Len())
 	}
 	r.mask = r.mask[:x.Len()]
-	xd, od := x.Data(), out.Data()
+	xd, od := x.Data(), r.out.Data()
 	for i, v := range xd {
 		if v > 0 {
 			od[i] = v
@@ -27,7 +30,7 @@ func (r *ReLU) Forward(x *tensor.Tensor) *tensor.Tensor {
 			r.mask[i] = false
 		}
 	}
-	return out
+	return r.out
 }
 
 // Backward zeroes gradients where the input was non-positive.
@@ -35,14 +38,16 @@ func (r *ReLU) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
 	if len(r.mask) != gradOut.Len() {
 		panic("nn: ReLU Backward before Forward")
 	}
-	gradIn := tensor.New(gradOut.Shape()...)
-	gd, gi := gradOut.Data(), gradIn.Data()
+	r.gradIn = tensor.Ensure(r.gradIn, gradOut.Shape()...)
+	gd, gi := gradOut.Data(), r.gradIn.Data()
 	for i, pass := range r.mask {
 		if pass {
 			gi[i] = gd[i]
+		} else {
+			gi[i] = 0
 		}
 	}
-	return gradIn
+	return r.gradIn
 }
 
 // Params returns nil; ReLU has no parameters.
@@ -51,8 +56,9 @@ func (r *ReLU) Params() []*Param { return nil }
 // LeakyReLU is max(x, alpha*x); SRGAN-family discriminators use it, and it
 // is kept here for parity with the SRResNet generator variants.
 type LeakyReLU struct {
-	Alpha float32
-	mask  []bool
+	Alpha       float32
+	mask        []bool
+	out, gradIn *tensor.Tensor
 }
 
 // NewLeakyReLU returns a LeakyReLU with the given negative slope.
@@ -60,12 +66,12 @@ func NewLeakyReLU(alpha float32) *LeakyReLU { return &LeakyReLU{Alpha: alpha} }
 
 // Forward applies the leaky rectifier element-wise.
 func (r *LeakyReLU) Forward(x *tensor.Tensor) *tensor.Tensor {
-	out := tensor.New(x.Shape()...)
+	r.out = tensor.Ensure(r.out, x.Shape()...)
 	if cap(r.mask) < x.Len() {
 		r.mask = make([]bool, x.Len())
 	}
 	r.mask = r.mask[:x.Len()]
-	xd, od := x.Data(), out.Data()
+	xd, od := x.Data(), r.out.Data()
 	for i, v := range xd {
 		if v > 0 {
 			od[i] = v
@@ -75,7 +81,7 @@ func (r *LeakyReLU) Forward(x *tensor.Tensor) *tensor.Tensor {
 			r.mask[i] = false
 		}
 	}
-	return out
+	return r.out
 }
 
 // Backward scales gradients by 1 or Alpha depending on the input sign.
@@ -83,8 +89,8 @@ func (r *LeakyReLU) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
 	if len(r.mask) != gradOut.Len() {
 		panic("nn: LeakyReLU Backward before Forward")
 	}
-	gradIn := tensor.New(gradOut.Shape()...)
-	gd, gi := gradOut.Data(), gradIn.Data()
+	r.gradIn = tensor.Ensure(r.gradIn, gradOut.Shape()...)
+	gd, gi := gradOut.Data(), r.gradIn.Data()
 	for i, pass := range r.mask {
 		if pass {
 			gi[i] = gd[i]
@@ -92,7 +98,7 @@ func (r *LeakyReLU) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
 			gi[i] = r.Alpha * gd[i]
 		}
 	}
-	return gradIn
+	return r.gradIn
 }
 
 // Params returns nil; LeakyReLU has no parameters.

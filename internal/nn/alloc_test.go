@@ -1,0 +1,86 @@
+package nn
+
+import (
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+// The perf contract of the scratch-pool kernels: after the first
+// (buffer-growing) iteration, convolution forward/backward performs zero
+// heap allocations. Measured with a single worker — the multi-worker path
+// allocates only goroutine bookkeeping inside ParallelWorkers, and the
+// gradient math itself is identical.
+
+func TestConv2dForwardBackwardNoAllocs(t *testing.T) {
+	prev := tensor.SetMaxWorkers(1)
+	defer tensor.SetMaxWorkers(prev)
+	rng := tensor.NewRNG(31)
+	conv := NewConv2d("c", 8, 16, 3, 1, 1, true, rng)
+	x := tensor.New(2, 8, 12, 12)
+	x.FillUniform(rng, -1, 1)
+	gradOut := tensor.New(2, 16, 12, 12)
+	gradOut.FillUniform(rng, -1, 1)
+
+	allocs := testing.AllocsPerRun(5, func() {
+		ZeroGrads(conv.Params())
+		conv.Forward(x)
+		conv.Backward(gradOut)
+	})
+	if allocs != 0 {
+		t.Fatalf("Conv2d forward+backward allocated %.0f objects per step, want 0", allocs)
+	}
+}
+
+func TestConvTranspose2dForwardBackwardNoAllocs(t *testing.T) {
+	prev := tensor.SetMaxWorkers(1)
+	defer tensor.SetMaxWorkers(prev)
+	rng := tensor.NewRNG(32)
+	deconv := NewConvTranspose2d("d", 8, 4, 4, 2, 1, true, rng)
+	x := tensor.New(2, 8, 6, 6)
+	x.FillUniform(rng, -1, 1)
+	y := deconv.Forward(x)
+	gradOut := tensor.New(y.Shape()...)
+	gradOut.FillUniform(rng, -1, 1)
+
+	allocs := testing.AllocsPerRun(5, func() {
+		ZeroGrads(deconv.Params())
+		deconv.Forward(x)
+		deconv.Backward(gradOut)
+	})
+	if allocs != 0 {
+		t.Fatalf("ConvTranspose2d forward+backward allocated %.0f objects per step, want 0", allocs)
+	}
+}
+
+func TestSequentialConvStackNoAllocs(t *testing.T) {
+	// An EDSR-shaped stack: conv → ReLU → residual block → pixel-shuffle
+	// upsampler. Exercises the cross-layer buffer reuse end to end.
+	prev := tensor.SetMaxWorkers(1)
+	defer tensor.SetMaxWorkers(prev)
+	rng := tensor.NewRNG(33)
+	seq := NewSequential("s",
+		NewConv2d("s.head", 3, 8, 3, 1, 1, true, rng),
+		NewReLU(),
+		NewResBlock("s.rb", StyleEDSR, 8, 0.1, rng),
+		NewConv2d("s.up", 8, 32, 3, 1, 1, true, rng),
+		NewPixelShuffle(2),
+		NewConv2d("s.out", 8, 3, 3, 1, 1, true, rng),
+	)
+	AttachScratch(seq, NewScratchPool())
+	x := tensor.New(2, 3, 8, 8)
+	x.FillUniform(rng, -1, 1)
+	y := seq.Forward(x)
+	gradOut := tensor.New(y.Shape()...)
+	gradOut.FillUniform(rng, -1, 1)
+	params := seq.Params() // Params() itself builds a slice; hoist it
+
+	allocs := testing.AllocsPerRun(5, func() {
+		ZeroGrads(params)
+		seq.Forward(x)
+		seq.Backward(gradOut)
+	})
+	if allocs != 0 {
+		t.Fatalf("conv stack forward+backward allocated %.0f objects per step, want 0", allocs)
+	}
+}

@@ -6,27 +6,51 @@ import (
 	"repro/internal/tensor"
 )
 
+// Per-worker Workspace slot assignments shared by the convolution layers.
+// Slots 0 and 1 hold the im2col column matrices; 2 and 3 hold per-worker
+// weight- and bias-gradient accumulators that are merged serially after a
+// multi-worker backward region.
+const (
+	slotCol = iota
+	slotGradCol
+	slotDW
+	slotDB
+)
+
 // Conv2d is a 2-D convolution with square or rectangular kernels, zero
 // padding, and stride, implemented as im2col + matrix multiply — the same
 // lowering cuDNN uses for its GEMM-based algorithms.
 //
 // Input and output are NCHW. Weight is stored as (outC, inC*kh*kw) so the
-// per-sample forward pass is a single (outC × K) · (K × outH*outW) matmul.
+// per-sample forward pass is a single (outC × K) · (K × outH*outW) matmul
+// with the bias fused into the GEMM store epilogue. The batch dimension is
+// split across workers, each owning a Workspace from the layer's scratch
+// pool, and the output and input-gradient tensors are reused across
+// iterations: a returned tensor is valid until the next Forward/Backward
+// on the same layer instance.
 type Conv2d struct {
 	Weight *Param
 	Bias   *Param
 
-	InC, OutC      int
-	KH, KW         int
-	Stride, Pad    int
-	hasBias        bool
+	InC, OutC   int
+	KH, KW      int
+	Stride, Pad int
+	hasBias     bool
 
 	// Backward cache.
-	lastIn         *tensor.Tensor
+	lastIn             *tensor.Tensor
 	lastOutH, lastOutW int
 
-	// Scratch buffers reused across iterations.
-	col, gradCol *tensor.Tensor
+	// Reused output/gradient buffers and per-worker scratch.
+	scratch    *ScratchPool
+	out        *tensor.Tensor
+	gradIn     *tensor.Tensor
+	gradOut    *tensor.Tensor // view of the incoming gradient during Backward
+	bwdWorkers int
+
+	// Persistent worker closures: bound once so the steady-state parallel
+	// loops do not allocate.
+	fwdFn, bwdFn func(worker, lo, hi int)
 }
 
 // NewConv2d creates a convolution layer with Kaiming-normal weights.
@@ -42,12 +66,30 @@ func NewConv2d(name string, inC, outC, k, stride, pad int, bias bool, rng *tenso
 	return c
 }
 
+// setScratch points the layer at a shared per-worker workspace pool.
+func (c *Conv2d) setScratch(sp *ScratchPool) { c.scratch = sp }
+
+// ensureScratch lazily provisions the pool and worker closures, so layers
+// assembled by struct literal (tests construct adjoint pairs that way)
+// work without NewConv2d or AttachScratch.
+func (c *Conv2d) ensureScratch(n int) {
+	if c.scratch == nil {
+		c.scratch = NewScratchPool()
+	}
+	c.scratch.Reserve(tensor.WorkerCount(n, 1))
+	if c.fwdFn == nil {
+		c.fwdFn = c.fwdWork
+		c.bwdFn = c.bwdWork
+	}
+}
+
 // OutSize returns the spatial output size for an input of h×w.
 func (c *Conv2d) OutSize(h, w int) (int, int) {
 	return (h+2*c.Pad-c.KH)/c.Stride + 1, (w+2*c.Pad-c.KW)/c.Stride + 1
 }
 
 // Forward computes the convolution for a batch x of shape (N, InC, H, W).
+// The returned tensor is owned by the layer and reused on the next call.
 func (c *Conv2d) Forward(x *tensor.Tensor) *tensor.Tensor {
 	if x.Rank() != 4 || x.Dim(1) != c.InC {
 		panic(fmt.Sprintf("nn: Conv2d input shape %v, want (N,%d,H,W)", x.Shape(), c.InC))
@@ -58,38 +100,46 @@ func (c *Conv2d) Forward(x *tensor.Tensor) *tensor.Tensor {
 		panic(fmt.Sprintf("nn: Conv2d input %dx%d too small for kernel", h, w))
 	}
 	c.lastIn, c.lastOutH, c.lastOutW = x, outH, outW
-
-	k := c.InC * c.KH * c.KW
-	cols := outH * outW
-	if c.col == nil || c.col.Dim(0) != k || c.col.Dim(1) != cols {
-		c.col = tensor.New(k, cols)
-	}
-	out := tensor.New(n, c.OutC, outH, outW)
-	inPlane := c.InC * h * w
-	outPlane := c.OutC * cols
-	for i := 0; i < n; i++ {
-		src := tensor.FromSlice(x.Data()[i*inPlane:(i+1)*inPlane], c.InC, h, w)
-		tensor.Im2Col(c.col, src, c.KH, c.KW, c.Stride, c.Pad)
-		dst := tensor.FromSlice(out.Data()[i*outPlane:(i+1)*outPlane], c.OutC, cols)
-		tensor.MatMul(dst, c.Weight.Value, c.col)
-	}
-	if c.hasBias {
-		bd := c.Bias.Value.Data()
-		od := out.Data()
-		for i := 0; i < n; i++ {
-			for oc := 0; oc < c.OutC; oc++ {
-				b := bd[oc]
-				row := od[i*outPlane+oc*cols : i*outPlane+(oc+1)*cols]
-				for j := range row {
-					row[j] += b
-				}
-			}
-		}
-	}
-	return out
+	c.out = tensor.Ensure(c.out, n, c.OutC, outH, outW)
+	c.ensureScratch(n)
+	tensor.ParallelWorkers(n, 1, c.fwdFn)
+	return c.out
 }
 
-// Backward accumulates weight/bias gradients and returns the input gradient.
+// fwdWork convolves samples [lo,hi) using worker-private scratch: each
+// sample is lowered to columns and multiplied against the weight matrix
+// with the bias added in the GEMM epilogue.
+func (c *Conv2d) fwdWork(worker, lo, hi int) {
+	x := c.lastIn
+	h, w := x.Dim(2), x.Dim(3)
+	cols := c.lastOutH * c.lastOutW
+	k := c.InC * c.KH * c.KW
+	inPlane := c.InC * h * w
+	outPlane := c.OutC * cols
+	ws := c.scratch.Worker(worker)
+	col := ws.Slot(slotCol, k*cols)
+	wd := c.Weight.Value.Data()
+	xd, od := x.Data(), c.out.Data()
+	var bias []float32
+	if c.hasBias {
+		bias = c.Bias.Value.Data()
+	}
+	for i := lo; i < hi; i++ {
+		tensor.Im2ColBuf(col, xd[i*inPlane:(i+1)*inPlane], c.InC, h, w, c.KH, c.KW, c.Stride, c.Pad)
+		dst := od[i*outPlane : (i+1)*outPlane]
+		if bias != nil {
+			ws.GemmBias(dst, wd, col, bias, c.OutC, k, cols)
+		} else {
+			ws.Gemm(dst, wd, col, c.OutC, k, cols)
+		}
+	}
+}
+
+// Backward accumulates weight/bias gradients and returns the input
+// gradient (owned by the layer, reused on the next call). With one worker
+// gradients accumulate straight into Param.Grad; with several, each
+// worker fills a private accumulator slot and the slots are summed
+// serially afterwards, keeping the parallel region race-free.
 func (c *Conv2d) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
 	x := c.lastIn
 	if x == nil {
@@ -97,48 +147,93 @@ func (c *Conv2d) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
 	}
 	n, h, w := x.Dim(0), x.Dim(2), x.Dim(3)
 	outH, outW := c.lastOutH, c.lastOutW
-	k := c.InC * c.KH * c.KW
-	cols := outH * outW
 	if gradOut.Dim(0) != n || gradOut.Dim(1) != c.OutC || gradOut.Dim(2) != outH || gradOut.Dim(3) != outW {
 		panic(fmt.Sprintf("nn: Conv2d gradOut shape %v mismatch", gradOut.Shape()))
 	}
-	if c.gradCol == nil || c.gradCol.Dim(0) != k || c.gradCol.Dim(1) != cols {
-		c.gradCol = tensor.New(k, cols)
-	}
-	gradIn := tensor.New(n, c.InC, h, w)
-	inPlane := c.InC * h * w
-	outPlane := c.OutC * cols
-	scratch := tensor.New(c.InC, h, w)
-	for i := 0; i < n; i++ {
-		src := tensor.FromSlice(x.Data()[i*inPlane:(i+1)*inPlane], c.InC, h, w)
-		// Recompute the column matrix rather than caching one per sample:
-		// EDSR activations dominate memory, so trading FLOPs for footprint
-		// mirrors the checkpointing trade-off real frameworks make.
-		tensor.Im2Col(c.col, src, c.KH, c.KW, c.Stride, c.Pad)
-		g := tensor.FromSlice(gradOut.Data()[i*outPlane:(i+1)*outPlane], c.OutC, cols)
+	c.gradIn = tensor.Ensure(c.gradIn, n, c.InC, h, w)
+	c.gradOut = gradOut
+	c.ensureScratch(n)
 
-		// dW += g · colᵀ   — (OutC×cols)·(cols×K)ᵀ accumulation.
-		tensor.MatMulTransBAccum(c.Weight.Grad, g, c.col)
-		// dCol = Wᵀ · g    — (K×OutC)·(OutC×cols) via MatMulTransA.
-		tensor.MatMulTransA(c.gradCol, c.Weight.Value, g)
-		tensor.Col2Im(scratch, c.gradCol, c.KH, c.KW, c.Stride, c.Pad)
-		copy(gradIn.Data()[i*inPlane:(i+1)*inPlane], scratch.Data())
-
-		if c.hasBias {
-			bg := c.Bias.Grad.Data()
-			gd := g.Data()
-			for oc := 0; oc < c.OutC; oc++ {
-				var s float32
-				row := gd[oc*cols : (oc+1)*cols]
-				for _, v := range row {
-					s += v
-				}
-				bg[oc] += s
+	workers := tensor.WorkerCount(n, 1)
+	c.bwdWorkers = workers
+	if workers > 1 {
+		// Pre-zero every worker's accumulator slot (including workers the
+		// range split may leave idle) so the merge below never reads stale
+		// gradients from an earlier iteration.
+		for wk := 0; wk < workers; wk++ {
+			ws := c.scratch.Worker(wk)
+			ws.ZeroSlot(slotDW, c.Weight.Grad.Len())
+			if c.hasBias {
+				ws.ZeroSlot(slotDB, c.Bias.Grad.Len())
 			}
 		}
 	}
-	c.lastIn = nil
-	return gradIn
+	tensor.ParallelWorkers(n, 1, c.bwdFn)
+	if workers > 1 {
+		wg := c.Weight.Grad.Data()
+		for wk := 0; wk < workers; wk++ {
+			ws := c.scratch.Worker(wk)
+			for j, v := range ws.Slot(slotDW, len(wg)) {
+				wg[j] += v
+			}
+			if c.hasBias {
+				bg := c.Bias.Grad.Data()
+				for j, v := range ws.Slot(slotDB, len(bg)) {
+					bg[j] += v
+				}
+			}
+		}
+	}
+	c.lastIn, c.gradOut = nil, nil
+	return c.gradIn
+}
+
+// bwdWork processes samples [lo,hi): it recomputes the column matrix
+// (activations dominate EDSR memory, so trading FLOPs for footprint
+// mirrors the checkpointing trade-off real frameworks make), accumulates
+// dW += g·colᵀ and dB += Σg, and scatters dCol = Wᵀ·g back to the input
+// gradient.
+func (c *Conv2d) bwdWork(worker, lo, hi int) {
+	x := c.lastIn
+	h, w := x.Dim(2), x.Dim(3)
+	cols := c.lastOutH * c.lastOutW
+	k := c.InC * c.KH * c.KW
+	inPlane := c.InC * h * w
+	outPlane := c.OutC * cols
+	ws := c.scratch.Worker(worker)
+	col := ws.Slot(slotCol, k*cols)
+	gcol := ws.Slot(slotGradCol, k*cols)
+	dW := c.Weight.Grad.Data()
+	var dB []float32
+	if c.hasBias {
+		dB = c.Bias.Grad.Data()
+	}
+	if c.bwdWorkers > 1 {
+		dW = ws.Slot(slotDW, len(dW))
+		if c.hasBias {
+			dB = ws.Slot(slotDB, len(dB))
+		}
+	}
+	wd := c.Weight.Value.Data()
+	xd, gd, gi := x.Data(), c.gradOut.Data(), c.gradIn.Data()
+	for i := lo; i < hi; i++ {
+		tensor.Im2ColBuf(col, xd[i*inPlane:(i+1)*inPlane], c.InC, h, w, c.KH, c.KW, c.Stride, c.Pad)
+		g := gd[i*outPlane : (i+1)*outPlane]
+		// dW (OutC×K) += g (OutC×cols) · colᵀ (cols×K).
+		ws.GemmTransBAccum(dW, g, col, c.OutC, cols, k)
+		// dCol (K×cols) = Wᵀ (K×OutC) · g (OutC×cols).
+		ws.GemmTransA(gcol, wd, g, c.OutC, k, cols)
+		tensor.Col2ImBuf(gi[i*inPlane:(i+1)*inPlane], gcol, c.InC, h, w, c.KH, c.KW, c.Stride, c.Pad)
+		if dB != nil {
+			for oc := 0; oc < c.OutC; oc++ {
+				var s float32
+				for _, v := range g[oc*cols : (oc+1)*cols] {
+					s += v
+				}
+				dB[oc] += s
+			}
+		}
+	}
 }
 
 // Params returns the convolution's trainable parameters.

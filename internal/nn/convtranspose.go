@@ -14,7 +14,9 @@ import (
 // relationship: the forward pass of a transposed convolution is exactly
 // the backward-data pass of a normal convolution with the same weights,
 // and vice versa. Weights are stored (InC, OutC*kh*kw) so the underlying
-// "forward" convolution maps OutC → InC.
+// "forward" convolution maps OutC → InC. Like Conv2d, the batch dimension
+// is split across workers with per-worker scratch, and the output and
+// input-gradient tensors are reused across iterations.
 type ConvTranspose2d struct {
 	Weight *Param
 	Bias   *Param
@@ -24,10 +26,16 @@ type ConvTranspose2d struct {
 	Stride, Pad int
 	hasBias     bool
 
-	lastIn       *tensor.Tensor
-	lastOutH     int
-	lastOutW     int
-	col, gradCol *tensor.Tensor
+	lastIn             *tensor.Tensor
+	lastOutH, lastOutW int
+
+	scratch    *ScratchPool
+	out        *tensor.Tensor
+	gradIn     *tensor.Tensor
+	gradOut    *tensor.Tensor
+	bwdWorkers int
+
+	fwdFn, bwdFn func(worker, lo, hi int)
 }
 
 // NewConvTranspose2d creates a transposed convolution. The output size is
@@ -44,14 +52,29 @@ func NewConvTranspose2d(name string, inC, outC, k, stride, pad int, bias bool, r
 	return c
 }
 
+// setScratch points the layer at a shared per-worker workspace pool.
+func (c *ConvTranspose2d) setScratch(sp *ScratchPool) { c.scratch = sp }
+
+func (c *ConvTranspose2d) ensureScratch(n int) {
+	if c.scratch == nil {
+		c.scratch = NewScratchPool()
+	}
+	c.scratch.Reserve(tensor.WorkerCount(n, 1))
+	if c.fwdFn == nil {
+		c.fwdFn = c.fwdWork
+		c.bwdFn = c.bwdWork
+	}
+}
+
 // OutSize returns the spatial output size for an h×w input.
 func (c *ConvTranspose2d) OutSize(h, w int) (int, int) {
 	return (h-1)*c.Stride - 2*c.Pad + c.KH, (w-1)*c.Stride - 2*c.Pad + c.KW
 }
 
 // Forward computes the transposed convolution of x (N, InC, H, W) into
-// (N, OutC, outH, outW): per sample, dCol = Wᵀ·x, then Col2Im scatters the
-// columns into the upsampled plane.
+// (N, OutC, outH, outW): per sample, dCol = Wᵀ·x, then Col2Im scatters
+// the columns into the upsampled plane. The returned tensor is owned by
+// the layer and reused on the next call.
 func (c *ConvTranspose2d) Forward(x *tensor.Tensor) *tensor.Tensor {
 	if x.Rank() != 4 || x.Dim(1) != c.InC {
 		panic(fmt.Sprintf("nn: ConvTranspose2d input %v, want (N,%d,H,W)", x.Shape(), c.InC))
@@ -62,42 +85,52 @@ func (c *ConvTranspose2d) Forward(x *tensor.Tensor) *tensor.Tensor {
 		panic(fmt.Sprintf("nn: ConvTranspose2d output %dx%d degenerate", outH, outW))
 	}
 	c.lastIn, c.lastOutH, c.lastOutW = x, outH, outW
+	c.out = tensor.Ensure(c.out, n, c.OutC, outH, outW)
+	c.ensureScratch(n)
+	tensor.ParallelWorkers(n, 1, c.fwdFn)
+	return c.out
+}
 
+func (c *ConvTranspose2d) fwdWork(worker, lo, hi int) {
+	x := c.lastIn
+	h, w := x.Dim(2), x.Dim(3)
+	outH, outW := c.lastOutH, c.lastOutW
 	k := c.OutC * c.KH * c.KW
 	cols := h * w
-	if c.col == nil || c.col.Dim(0) != k || c.col.Dim(1) != cols {
-		c.col = tensor.New(k, cols)
-	}
-	out := tensor.New(n, c.OutC, outH, outW)
-	inPlane := c.InC * h * w
-	outPlane := c.OutC * outH * outW
-	scratch := tensor.New(c.OutC, outH, outW)
-	for i := 0; i < n; i++ {
-		src := tensor.FromSlice(x.Data()[i*inPlane:(i+1)*inPlane], c.InC, cols)
-		// dCol = Wᵀ (k×InC) · x (InC×cols)
-		tensor.MatMulTransA(c.col, c.Weight.Value, src)
-		tensor.Col2Im(scratch, c.col, c.KH, c.KW, c.Stride, c.Pad)
-		copy(out.Data()[i*outPlane:(i+1)*outPlane], scratch.Data())
-	}
+	inPlane := c.InC * cols
+	plane := outH * outW
+	outPlane := c.OutC * plane
+	ws := c.scratch.Worker(worker)
+	col := ws.Slot(slotCol, k*cols)
+	wd := c.Weight.Value.Data()
+	xd, od := x.Data(), c.out.Data()
+	var bias []float32
 	if c.hasBias {
-		bd, od := c.Bias.Value.Data(), out.Data()
-		plane := outH * outW
-		for i := 0; i < n; i++ {
+		bias = c.Bias.Value.Data()
+	}
+	for i := lo; i < hi; i++ {
+		// dCol (K×cols) = Wᵀ (K×InC) · x (InC×cols).
+		ws.GemmTransA(col, wd, xd[i*inPlane:(i+1)*inPlane], c.InC, k, cols)
+		dst := od[i*outPlane : (i+1)*outPlane]
+		tensor.Col2ImBuf(dst, col, c.OutC, outH, outW, c.KH, c.KW, c.Stride, c.Pad)
+		// Col2Im scatters, so the bias cannot ride the GEMM epilogue; add
+		// it here while the output plane is still cache-hot.
+		if bias != nil {
 			for oc := 0; oc < c.OutC; oc++ {
-				b := bd[oc]
-				row := od[i*outPlane+oc*plane : i*outPlane+(oc+1)*plane]
+				b := bias[oc]
+				row := dst[oc*plane : (oc+1)*plane]
 				for j := range row {
 					row[j] += b
 				}
 			}
 		}
 	}
-	return out
 }
 
 // Backward is the adjoint: gradIn = conv(gradOut) with the stored weights
 // (an ordinary im2col convolution), and dW accumulates from the input and
-// the gradient columns.
+// the gradient columns. Multi-worker runs use per-worker accumulator
+// slots merged serially, exactly like Conv2d.
 func (c *ConvTranspose2d) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
 	x := c.lastIn
 	if x == nil {
@@ -105,43 +138,86 @@ func (c *ConvTranspose2d) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
 	}
 	n, h, w := x.Dim(0), x.Dim(2), x.Dim(3)
 	outH, outW := c.lastOutH, c.lastOutW
-	k := c.OutC * c.KH * c.KW
-	cols := h * w
 	if gradOut.Dim(0) != n || gradOut.Dim(1) != c.OutC || gradOut.Dim(2) != outH || gradOut.Dim(3) != outW {
 		panic(fmt.Sprintf("nn: ConvTranspose2d gradOut %v mismatch", gradOut.Shape()))
 	}
-	if c.gradCol == nil || c.gradCol.Dim(0) != k || c.gradCol.Dim(1) != cols {
-		c.gradCol = tensor.New(k, cols)
-	}
-	gradIn := tensor.New(n, c.InC, h, w)
-	inPlane := c.InC * h * w
-	outPlane := c.OutC * outH * outW
-	for i := 0; i < n; i++ {
-		g := tensor.FromSlice(gradOut.Data()[i*outPlane:(i+1)*outPlane], c.OutC, outH, outW)
-		// Columns of the upstream gradient.
-		tensor.Im2Col(c.gradCol, g, c.KH, c.KW, c.Stride, c.Pad)
-		// gradIn = W (InC×k) · gradCol (k×cols)
-		dst := tensor.FromSlice(gradIn.Data()[i*inPlane:(i+1)*inPlane], c.InC, cols)
-		tensor.MatMul(dst, c.Weight.Value, c.gradCol)
-		// dW += x (InC×cols) · gradColᵀ (cols×k)
-		src := tensor.FromSlice(x.Data()[i*inPlane:(i+1)*inPlane], c.InC, cols)
-		tensor.MatMulTransBAccum(c.Weight.Grad, src, c.gradCol)
+	c.gradIn = tensor.Ensure(c.gradIn, n, c.InC, h, w)
+	c.gradOut = gradOut
+	c.ensureScratch(n)
 
-		if c.hasBias {
-			bg := c.Bias.Grad.Data()
-			gd := g.Data()
-			plane := outH * outW
-			for oc := 0; oc < c.OutC; oc++ {
-				var s float32
-				for _, v := range gd[oc*plane : (oc+1)*plane] {
-					s += v
-				}
-				bg[oc] += s
+	workers := tensor.WorkerCount(n, 1)
+	c.bwdWorkers = workers
+	if workers > 1 {
+		for wk := 0; wk < workers; wk++ {
+			ws := c.scratch.Worker(wk)
+			ws.ZeroSlot(slotDW, c.Weight.Grad.Len())
+			if c.hasBias {
+				ws.ZeroSlot(slotDB, c.Bias.Grad.Len())
 			}
 		}
 	}
-	c.lastIn = nil
-	return gradIn
+	tensor.ParallelWorkers(n, 1, c.bwdFn)
+	if workers > 1 {
+		wg := c.Weight.Grad.Data()
+		for wk := 0; wk < workers; wk++ {
+			ws := c.scratch.Worker(wk)
+			for j, v := range ws.Slot(slotDW, len(wg)) {
+				wg[j] += v
+			}
+			if c.hasBias {
+				bg := c.Bias.Grad.Data()
+				for j, v := range ws.Slot(slotDB, len(bg)) {
+					bg[j] += v
+				}
+			}
+		}
+	}
+	c.lastIn, c.gradOut = nil, nil
+	return c.gradIn
+}
+
+func (c *ConvTranspose2d) bwdWork(worker, lo, hi int) {
+	x := c.lastIn
+	h, w := x.Dim(2), x.Dim(3)
+	outH, outW := c.lastOutH, c.lastOutW
+	k := c.OutC * c.KH * c.KW
+	cols := h * w
+	inPlane := c.InC * cols
+	plane := outH * outW
+	outPlane := c.OutC * plane
+	ws := c.scratch.Worker(worker)
+	gcol := ws.Slot(slotGradCol, k*cols)
+	dW := c.Weight.Grad.Data()
+	var dB []float32
+	if c.hasBias {
+		dB = c.Bias.Grad.Data()
+	}
+	if c.bwdWorkers > 1 {
+		dW = ws.Slot(slotDW, len(dW))
+		if c.hasBias {
+			dB = ws.Slot(slotDB, len(dB))
+		}
+	}
+	wd := c.Weight.Value.Data()
+	xd, gd, gi := x.Data(), c.gradOut.Data(), c.gradIn.Data()
+	for i := lo; i < hi; i++ {
+		g := gd[i*outPlane : (i+1)*outPlane]
+		tensor.Im2ColBuf(gcol, g, c.OutC, outH, outW, c.KH, c.KW, c.Stride, c.Pad)
+		// gradIn (InC×cols) = W (InC×K) · gradCol (K×cols).
+		ws.Gemm(gi[i*inPlane:(i+1)*inPlane], wd, gcol, c.InC, k, cols)
+		// dW (InC×K) += x (InC×cols) · gradColᵀ (cols×K).
+		xs := xd[i*inPlane : (i+1)*inPlane]
+		ws.GemmTransBAccum(dW, xs, gcol, c.InC, cols, k)
+		if dB != nil {
+			for oc := 0; oc < c.OutC; oc++ {
+				var s float32
+				for _, v := range g[oc*plane : (oc+1)*plane] {
+					s += v
+				}
+				dB[oc] += s
+			}
+		}
+	}
 }
 
 // Params returns the trainable parameters.

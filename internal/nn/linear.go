@@ -8,11 +8,12 @@ import (
 
 // Linear is a fully-connected layer: y = xW + b with x of shape (N, In).
 type Linear struct {
-	Weight *Param // stored (In, Out)
-	Bias   *Param
+	Weight  *Param // stored (In, Out)
+	Bias    *Param
 	In, Out int
 
-	lastIn *tensor.Tensor
+	lastIn      *tensor.Tensor
+	out, gradIn *tensor.Tensor
 }
 
 // NewLinear creates a fully-connected layer with Kaiming initialization.
@@ -31,7 +32,8 @@ func (l *Linear) Forward(x *tensor.Tensor) *tensor.Tensor {
 	}
 	l.lastIn = x
 	n := x.Dim(0)
-	out := tensor.New(n, l.Out)
+	l.out = tensor.Ensure(l.out, n, l.Out)
+	out := l.out
 	tensor.MatMul(out, x, l.Weight.Value)
 	bd, od := l.Bias.Value.Data(), out.Data()
 	for i := 0; i < n; i++ {
@@ -50,10 +52,8 @@ func (l *Linear) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
 		panic("nn: Linear Backward before Forward")
 	}
 	n := x.Dim(0)
-	// dW += xᵀ · g
-	dW := tensor.New(l.In, l.Out)
-	tensor.MatMulTransA(dW, x, gradOut)
-	l.Weight.Grad.Add(dW)
+	// dW += xᵀ · g, accumulated straight into the gradient tensor.
+	tensor.MatMulTransAAccum(l.Weight.Grad, x, gradOut)
 	// db += column sums of g
 	bg, gd := l.Bias.Grad.Data(), gradOut.Data()
 	for i := 0; i < n; i++ {
@@ -63,7 +63,8 @@ func (l *Linear) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
 		}
 	}
 	// dx = g · Wᵀ
-	gradIn := tensor.New(n, l.In)
+	l.gradIn = tensor.Ensure(l.gradIn, n, l.In)
+	gradIn := l.gradIn
 	wt := l.Weight.Value // (In, Out); want g(N,Out) · Wᵀ(Out,In)
 	tensor.MatMulTransB(gradIn, gradOut, wt)
 	l.lastIn = nil
@@ -76,7 +77,9 @@ func (l *Linear) Params() []*Param { return []*Param{l.Weight, l.Bias} }
 // GlobalAvgPool reduces (N, C, H, W) to (N, C) by averaging each plane —
 // the head of ResNet-style classifiers.
 type GlobalAvgPool struct {
-	inShape []int
+	inN, inC, inH, inW int
+
+	out, gradIn *tensor.Tensor
 }
 
 // NewGlobalAvgPool returns a global average pooling layer.
@@ -85,8 +88,9 @@ func NewGlobalAvgPool() *GlobalAvgPool { return &GlobalAvgPool{} }
 // Forward averages over the spatial axes.
 func (g *GlobalAvgPool) Forward(x *tensor.Tensor) *tensor.Tensor {
 	n, c, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
-	g.inShape = []int{n, c, h, w}
-	out := tensor.New(n, c)
+	g.inN, g.inC, g.inH, g.inW = n, c, h, w
+	g.out = tensor.Ensure(g.out, n, c)
+	out := g.out
 	plane := h * w
 	inv := 1 / float32(plane)
 	xd, od := x.Data(), out.Data()
@@ -102,11 +106,12 @@ func (g *GlobalAvgPool) Forward(x *tensor.Tensor) *tensor.Tensor {
 
 // Backward spreads each gradient uniformly over its plane.
 func (g *GlobalAvgPool) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
-	if g.inShape == nil {
+	if g.inN == 0 {
 		panic("nn: GlobalAvgPool Backward before Forward")
 	}
-	n, c, h, w := g.inShape[0], g.inShape[1], g.inShape[2], g.inShape[3]
-	gradIn := tensor.New(n, c, h, w)
+	n, c, h, w := g.inN, g.inC, g.inH, g.inW
+	g.gradIn = tensor.Ensure(g.gradIn, n, c, h, w)
+	gradIn := g.gradIn
 	plane := h * w
 	inv := 1 / float32(plane)
 	gd, gi := gradOut.Data(), gradIn.Data()

@@ -23,11 +23,18 @@ type L1Loss struct{}
 func (L1Loss) Name() string { return "L1" }
 
 // Forward computes mean |pred − target| and its subgradient.
-func (L1Loss) Forward(pred, target *tensor.Tensor) (float64, *tensor.Tensor) {
+func (l L1Loss) Forward(pred, target *tensor.Tensor) (float64, *tensor.Tensor) {
+	return l.ForwardBuf(nil, pred, target)
+}
+
+// ForwardBuf is Forward with a caller-owned gradient buffer: buf is grown
+// with tensor.Ensure and returned, so a training loop that feeds the
+// previous step's buffer back in allocates nothing at steady state.
+func (L1Loss) ForwardBuf(buf, pred, target *tensor.Tensor) (float64, *tensor.Tensor) {
 	if !pred.SameShape(target) {
 		panic(fmt.Sprintf("nn: L1Loss shape mismatch %v vs %v", pred.Shape(), target.Shape()))
 	}
-	grad := tensor.New(pred.Shape()...)
+	grad := tensor.Ensure(buf, pred.Shape()...)
 	pd, td, gd := pred.Data(), target.Data(), grad.Data()
 	inv := 1 / float32(pred.Len())
 	var loss float64
@@ -39,6 +46,8 @@ func (L1Loss) Forward(pred, target *tensor.Tensor) (float64, *tensor.Tensor) {
 			gd[i] = inv
 		case d < 0:
 			gd[i] = -inv
+		default:
+			gd[i] = 0 // reused buffers are not zero-initialized
 		}
 	}
 	return loss / float64(pred.Len()), grad
@@ -51,11 +60,17 @@ type MSELoss struct{}
 func (MSELoss) Name() string { return "MSE" }
 
 // Forward computes mean (pred − target)² and its gradient.
-func (MSELoss) Forward(pred, target *tensor.Tensor) (float64, *tensor.Tensor) {
+func (l MSELoss) Forward(pred, target *tensor.Tensor) (float64, *tensor.Tensor) {
+	return l.ForwardBuf(nil, pred, target)
+}
+
+// ForwardBuf is Forward with a caller-owned gradient buffer (see
+// L1Loss.ForwardBuf).
+func (MSELoss) ForwardBuf(buf, pred, target *tensor.Tensor) (float64, *tensor.Tensor) {
 	if !pred.SameShape(target) {
 		panic(fmt.Sprintf("nn: MSELoss shape mismatch %v vs %v", pred.Shape(), target.Shape()))
 	}
-	grad := tensor.New(pred.Shape()...)
+	grad := tensor.Ensure(buf, pred.Shape()...)
 	pd, td, gd := pred.Data(), target.Data(), grad.Data()
 	inv := 2 / float32(pred.Len())
 	var loss float64
@@ -77,11 +92,17 @@ func (BCEWithLogits) Name() string { return "BCEWithLogits" }
 
 // Forward computes mean BCE of logits pred against targets in {0,1} (any
 // shape) and the gradient (σ(x) − y)/N.
-func (BCEWithLogits) Forward(pred, target *tensor.Tensor) (float64, *tensor.Tensor) {
+func (l BCEWithLogits) Forward(pred, target *tensor.Tensor) (float64, *tensor.Tensor) {
+	return l.ForwardBuf(nil, pred, target)
+}
+
+// ForwardBuf is Forward with a caller-owned gradient buffer (see
+// L1Loss.ForwardBuf).
+func (BCEWithLogits) ForwardBuf(buf, pred, target *tensor.Tensor) (float64, *tensor.Tensor) {
 	if !pred.SameShape(target) {
 		panic(fmt.Sprintf("nn: BCEWithLogits shape mismatch %v vs %v", pred.Shape(), target.Shape()))
 	}
-	grad := tensor.New(pred.Shape()...)
+	grad := tensor.Ensure(buf, pred.Shape()...)
 	pd, td, gd := pred.Data(), target.Data(), grad.Data()
 	invN := 1 / float32(pred.Len())
 	var loss float64

@@ -15,6 +15,8 @@ type MeanShift struct {
 	Mean []float32
 	Std  []float32
 	Sign float32
+
+	out, gradIn *tensor.Tensor
 }
 
 // NewMeanShift builds a mean-shift layer. std may be nil for unit std.
@@ -38,7 +40,8 @@ func (m *MeanShift) Forward(x *tensor.Tensor) *tensor.Tensor {
 		panic(fmt.Sprintf("nn: MeanShift input %v, want %d channels", x.Shape(), len(m.Mean)))
 	}
 	n, c, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
-	out := tensor.New(n, c, h, w)
+	m.out = tensor.Ensure(m.out, n, c, h, w)
+	out := m.out
 	plane := h * w
 	xd, od := x.Data(), out.Data()
 	for i := 0; i < n; i++ {
@@ -65,7 +68,8 @@ func (m *MeanShift) Forward(x *tensor.Tensor) *tensor.Tensor {
 // (denormalize); the additive mean term has zero derivative.
 func (m *MeanShift) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
 	n, c, h, w := gradOut.Dim(0), gradOut.Dim(1), gradOut.Dim(2), gradOut.Dim(3)
-	gradIn := tensor.New(n, c, h, w)
+	m.gradIn = tensor.Ensure(m.gradIn, n, c, h, w)
+	gradIn := m.gradIn
 	plane := h * w
 	gd, gi := gradOut.Data(), gradIn.Data()
 	for i := 0; i < n; i++ {
@@ -101,10 +105,12 @@ type BatchNorm2d struct {
 	RunningMean, RunningVar []float32
 	Training                bool
 
-	// Backward cache.
-	lastNorm *tensor.Tensor
-	lastIn   *tensor.Tensor
+	// Backward cache and reused buffers.
+	lastNorm     *tensor.Tensor
+	lastIn       *tensor.Tensor
 	mean, invStd []float32
+	out, norm    *tensor.Tensor
+	gradIn       *tensor.Tensor
 }
 
 // NewBatchNorm2d creates a batch-norm layer over c channels.
@@ -134,8 +140,9 @@ func (bn *BatchNorm2d) Forward(x *tensor.Tensor) *tensor.Tensor {
 	}
 	plane := h * w
 	cnt := float64(n * plane)
-	out := tensor.New(n, c, h, w)
-	norm := tensor.New(n, c, h, w)
+	bn.out = tensor.Ensure(bn.out, n, c, h, w)
+	bn.norm = tensor.Ensure(bn.norm, n, c, h, w)
+	out, norm := bn.out, bn.norm
 	if bn.mean == nil {
 		bn.mean = make([]float32, c)
 		bn.invStd = make([]float32, c)
@@ -191,7 +198,8 @@ func (bn *BatchNorm2d) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
 	h, w := gradOut.Dim(2), gradOut.Dim(3)
 	plane := h * w
 	cnt := float32(n * plane)
-	gradIn := tensor.New(n, c, h, w)
+	bn.gradIn = tensor.Ensure(bn.gradIn, n, c, h, w)
+	gradIn := bn.gradIn
 	gd := gradOut.Data()
 	nd := bn.lastNorm.Data()
 	gi := gradIn.Data()

@@ -23,11 +23,11 @@ type Optimizer interface {
 // SGD is stochastic gradient descent with optional momentum and weight
 // decay.
 type SGD struct {
-	lr           float64
-	Momentum     float64
-	WeightDecay  float64
-	params       []*Param
-	velocity     []*tensor.Tensor
+	lr          float64
+	Momentum    float64
+	WeightDecay float64
+	params      []*Param
+	velocity    []*tensor.Tensor
 }
 
 // NewSGD creates an SGD optimizer over params.
@@ -80,12 +80,12 @@ func (s *SGD) Params() []*Param { return s.params }
 // Adam implements the Adam optimizer (Kingma & Ba), EDSR's published
 // training configuration (lr 1e-4, β₁ 0.9, β₂ 0.999, ε 1e-8).
 type Adam struct {
-	lr             float64
-	Beta1, Beta2   float64
-	Eps            float64
-	params         []*Param
-	m, v           []*tensor.Tensor
-	t              int
+	lr           float64
+	Beta1, Beta2 float64
+	Eps          float64
+	params       []*Param
+	m, v         []*tensor.Tensor
+	t            int
 }
 
 // NewAdam creates an Adam optimizer with the standard hyperparameters.

@@ -1,0 +1,139 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+// The batch-parallel convolution path splits samples across workers with
+// per-worker gradient accumulators. These tests pin worker counts that
+// exercise the interesting chunkings: more samples than workers,
+// non-divisible splits, and reserved-but-idle workers.
+
+func TestConv2dBatchParallelGradients(t *testing.T) {
+	prev := tensor.SetMaxWorkers(3)
+	defer tensor.SetMaxWorkers(prev)
+	rng := tensor.NewRNG(21)
+	conv := NewConv2d("c", 2, 3, 3, 1, 1, true, rng)
+	// n=5 over 3 workers: ceil(5/3)=2 per chunk → chunks of 2,2,1.
+	x := tensor.New(5, 2, 4, 4)
+	x.FillUniform(rng, -1, 1)
+	checkLayerGradients(t, conv, x, 2e-2)
+}
+
+func TestConvTranspose2dBatchParallelGradients(t *testing.T) {
+	prev := tensor.SetMaxWorkers(3)
+	defer tensor.SetMaxWorkers(prev)
+	rng := tensor.NewRNG(22)
+	deconv := NewConvTranspose2d("d", 2, 2, 4, 2, 1, true, rng)
+	x := tensor.New(5, 2, 4, 4)
+	x.FillUniform(rng, -1, 1)
+	checkLayerGradients(t, deconv, x, 2e-2)
+}
+
+func TestConv2dIdleWorkerGradientsStayClean(t *testing.T) {
+	// With 4 workers and n=5, the chunk size is ceil(5/4)=2, so only 3
+	// chunks are dispatched and worker 3 stays idle. Run two backward
+	// passes with different data: if an idle worker's accumulator slot
+	// kept stale gradients from pass one, the pass-two merge would be
+	// polluted. Compare against a single-worker reference.
+	rng := tensor.NewRNG(23)
+	conv := NewConv2d("c", 2, 2, 3, 1, 1, true, rng)
+	x1 := tensor.New(5, 2, 4, 4)
+	x1.FillUniform(rng, -1, 1)
+	x2 := tensor.New(5, 2, 4, 4)
+	x2.FillUniform(rng, -1, 1)
+
+	run := func(workers int, x *tensor.Tensor) (dw, db []float32) {
+		prev := tensor.SetMaxWorkers(workers)
+		defer tensor.SetMaxWorkers(prev)
+		ZeroGrads(conv.Params())
+		y := conv.Forward(x)
+		g := y.Clone()
+		conv.Backward(g)
+		dw = append([]float32(nil), conv.Weight.Grad.Data()...)
+		db = append([]float32(nil), conv.Bias.Grad.Data()...)
+		return dw, db
+	}
+
+	// Warm the multi-worker accumulators with x1, then measure x2.
+	run(4, x1)
+	gotW, gotB := run(4, x2)
+	wantW, wantB := run(1, x2)
+	for i := range wantW {
+		if d := math.Abs(float64(gotW[i] - wantW[i])); d > 1e-4 {
+			t.Fatalf("dW[%d]: parallel %g vs serial %g", i, gotW[i], wantW[i])
+		}
+	}
+	for i := range wantB {
+		if d := math.Abs(float64(gotB[i] - wantB[i])); d > 1e-4 {
+			t.Fatalf("dB[%d]: parallel %g vs serial %g", i, gotB[i], wantB[i])
+		}
+	}
+}
+
+// convParallelMatchesSerial runs one forward/backward serially and in
+// parallel on the same layer and asserts identical outputs and input
+// gradients (bitwise — per-sample work is order-independent) and matching
+// parameter gradients (to tolerance — the merge reorders float additions).
+func convParallelMatchesSerial(t *testing.T, layer Layer, x *tensor.Tensor) {
+	t.Helper()
+	prev := tensor.SetMaxWorkers(1)
+	defer tensor.SetMaxWorkers(prev)
+	ZeroGrads(layer.Params())
+	ySerial := layer.Forward(x).Clone()
+	giSerial := layer.Backward(ySerial.Clone()).Clone()
+	var gradsSerial [][]float32
+	for _, p := range layer.Params() {
+		gradsSerial = append(gradsSerial, append([]float32(nil), p.Grad.Data()...))
+	}
+
+	tensor.SetMaxWorkers(4)
+	ZeroGrads(layer.Params())
+	yPar := layer.Forward(x)
+	for i, v := range yPar.Data() {
+		if v != ySerial.Data()[i] {
+			t.Fatalf("output[%d]: parallel %g vs serial %g", i, v, ySerial.Data()[i])
+		}
+	}
+	giPar := layer.Backward(ySerial.Clone())
+	for i, v := range giPar.Data() {
+		if v != giSerial.Data()[i] {
+			t.Fatalf("gradIn[%d]: parallel %g vs serial %g", i, v, giSerial.Data()[i])
+		}
+	}
+	for pi, p := range layer.Params() {
+		for i, v := range p.Grad.Data() {
+			want := gradsSerial[pi][i]
+			if d := math.Abs(float64(v - want)); d > 1e-4*(math.Abs(float64(want))+1) {
+				t.Fatalf("%s grad[%d]: parallel %g vs serial %g", p.Name, i, v, want)
+			}
+		}
+	}
+}
+
+func TestConv2dParallelMatchesSerial(t *testing.T) {
+	rng := tensor.NewRNG(24)
+	conv := NewConv2d("c", 3, 4, 3, 1, 1, true, rng)
+	x := tensor.New(6, 3, 6, 6)
+	x.FillUniform(rng, -1, 1)
+	convParallelMatchesSerial(t, conv, x)
+}
+
+func TestConvTranspose2dParallelMatchesSerial(t *testing.T) {
+	rng := tensor.NewRNG(25)
+	deconv := NewConvTranspose2d("d", 3, 2, 4, 2, 1, true, rng)
+	x := tensor.New(6, 3, 5, 5)
+	x.FillUniform(rng, -1, 1)
+	convParallelMatchesSerial(t, deconv, x)
+}
+
+func TestPixelShuffleParallelMatchesSerial(t *testing.T) {
+	rng := tensor.NewRNG(26)
+	ps := NewPixelShuffle(2)
+	x := tensor.New(6, 8, 3, 3)
+	x.FillUniform(rng, -1, 1)
+	convParallelMatchesSerial(t, ps, x)
+}

@@ -9,10 +9,19 @@ import (
 // PixelShuffle rearranges (N, C*r², H, W) into (N, C, H*r, W*r) — the
 // sub-pixel convolution upsampler EDSR and SRResNet use in their tails.
 // Input channel c*r²+dy*r+dx maps to output channel c at spatial offset
-// (dy, dx) within each r×r output block.
+// (dy, dx) within each r×r output block. The rearrangement is pure data
+// movement, parallelized over the batch, with output and gradient
+// buffers reused across iterations.
 type PixelShuffle struct {
-	R       int
-	inShape []int
+	R int
+
+	inN, inC, inH, inW int
+
+	lastIn      *tensor.Tensor
+	lastGrad    *tensor.Tensor
+	out, gradIn *tensor.Tensor
+
+	fwdFn, bwdFn func(worker, lo, hi int)
 }
 
 // NewPixelShuffle returns a pixel shuffle with upscale factor r.
@@ -23,19 +32,33 @@ func NewPixelShuffle(r int) *PixelShuffle {
 	return &PixelShuffle{R: r}
 }
 
-// Forward performs the channel-to-space rearrangement.
+// Forward performs the channel-to-space rearrangement. The returned
+// tensor is owned by the layer and reused on the next call.
 func (p *PixelShuffle) Forward(x *tensor.Tensor) *tensor.Tensor {
 	r := p.R
 	if x.Rank() != 4 || x.Dim(1)%(r*r) != 0 {
 		panic(fmt.Sprintf("nn: PixelShuffle input %v not divisible by r²=%d", x.Shape(), r*r))
 	}
 	n, cIn, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
+	p.inN, p.inC, p.inH, p.inW = n, cIn, h, w
+	p.out = tensor.Ensure(p.out, n, cIn/(r*r), h*r, w*r)
+	p.lastIn = x
+	if p.fwdFn == nil {
+		p.fwdFn = p.fwdWork
+		p.bwdFn = p.bwdWork
+	}
+	tensor.ParallelWorkers(n, 1, p.fwdFn)
+	p.lastIn = nil
+	return p.out
+}
+
+func (p *PixelShuffle) fwdWork(_, lo, hi int) {
+	r := p.R
+	cIn, h, w := p.inC, p.inH, p.inW
 	cOut := cIn / (r * r)
-	p.inShape = []int{n, cIn, h, w}
-	out := tensor.New(n, cOut, h*r, w*r)
-	xd, od := x.Data(), out.Data()
+	xd, od := p.lastIn.Data(), p.out.Data()
 	oh, ow := h*r, w*r
-	for i := 0; i < n; i++ {
+	for i := lo; i < hi; i++ {
 		for c := 0; c < cOut; c++ {
 			for dy := 0; dy < r; dy++ {
 				for dx := 0; dx < r; dx++ {
@@ -51,21 +74,29 @@ func (p *PixelShuffle) Forward(x *tensor.Tensor) *tensor.Tensor {
 			}
 		}
 	}
-	return out
 }
 
-// Backward performs the inverse space-to-channel rearrangement.
+// Backward performs the inverse space-to-channel rearrangement. The
+// returned tensor is owned by the layer and reused on the next call.
 func (p *PixelShuffle) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
-	if p.inShape == nil {
+	if p.inN == 0 {
 		panic("nn: PixelShuffle Backward before Forward")
 	}
+	n := p.inN
+	p.gradIn = tensor.Ensure(p.gradIn, n, p.inC, p.inH, p.inW)
+	p.lastGrad = gradOut
+	tensor.ParallelWorkers(n, 1, p.bwdFn)
+	p.lastGrad = nil
+	return p.gradIn
+}
+
+func (p *PixelShuffle) bwdWork(_, lo, hi int) {
 	r := p.R
-	n, cIn, h, w := p.inShape[0], p.inShape[1], p.inShape[2], p.inShape[3]
+	cIn, h, w := p.inC, p.inH, p.inW
 	cOut := cIn / (r * r)
-	gradIn := tensor.New(n, cIn, h, w)
-	gd, gi := gradOut.Data(), gradIn.Data()
+	gd, gi := p.lastGrad.Data(), p.gradIn.Data()
 	oh, ow := h*r, w*r
-	for i := 0; i < n; i++ {
+	for i := lo; i < hi; i++ {
 		for c := 0; c < cOut; c++ {
 			for dy := 0; dy < r; dy++ {
 				for dx := 0; dx < r; dx++ {
@@ -81,7 +112,6 @@ func (p *PixelShuffle) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
 			}
 		}
 	}
-	return gradIn
 }
 
 // Params returns nil; PixelShuffle has no parameters.

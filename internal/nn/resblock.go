@@ -13,12 +13,13 @@ import "repro/internal/tensor"
 // residual branch by a constant (0.1 in the paper) to stabilize training of
 // wide models.
 type ResBlock struct {
-	Body     *Sequential
-	ResScale float32
+	Body      *Sequential
+	ResScale  float32
 	FinalReLU bool // ResNet-style trailing activation
 
-	lastIn   *tensor.Tensor
-	tailRelu *ReLU
+	lastIn    *tensor.Tensor
+	tailRelu  *ReLU
+	branchBuf *tensor.Tensor // reused scaled-gradient buffer
 }
 
 // BlockStyle selects which residual block variant to build.
@@ -90,8 +91,10 @@ func (b *ResBlock) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
 	// Branch gradient: scale by resScale before entering the body.
 	branch := gradOut
 	if b.ResScale != 1 {
-		branch = gradOut.Clone()
-		branch.Scale(b.ResScale)
+		b.branchBuf = tensor.Ensure(b.branchBuf, gradOut.Shape()...)
+		b.branchBuf.CopyFrom(gradOut)
+		b.branchBuf.Scale(b.ResScale)
+		branch = b.branchBuf
 	}
 	gradIn := b.Body.Backward(branch)
 	gradIn.Add(gradOut) // skip connection

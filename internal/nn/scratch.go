@@ -1,0 +1,51 @@
+package nn
+
+import "repro/internal/tensor"
+
+// ScratchPool owns one tensor.Workspace per kernel worker so that
+// batch-parallel layers can run their GEMMs and im2col lowerings
+// concurrently without sharing — or repeatedly allocating — scratch
+// memory. All layers of a model share one pool: layers execute
+// sequentially, so only the per-worker axis needs distinct buffers, and
+// sharing lets a deep network reuse the same packed-panel and column
+// buffers for every convolution.
+type ScratchPool struct {
+	ws []*tensor.Workspace
+}
+
+// NewScratchPool returns an empty pool; workspaces are created on Reserve.
+func NewScratchPool() *ScratchPool { return &ScratchPool{} }
+
+// Reserve grows the pool to at least n workspaces. Layers call it before
+// entering a parallel region; once the pool has reached its steady-state
+// size the call is allocation-free.
+func (s *ScratchPool) Reserve(n int) {
+	for len(s.ws) < n {
+		s.ws = append(s.ws, tensor.NewWorkspace())
+	}
+}
+
+// Worker returns the workspace for dense worker index i. The pool must
+// have been Reserve'd past i.
+func (s *ScratchPool) Worker(i int) *tensor.Workspace { return s.ws[i] }
+
+// scratchUser is implemented by layers that run batch-parallel kernels
+// and want to draw per-worker scratch from a shared pool.
+type scratchUser interface{ setScratch(*ScratchPool) }
+
+// AttachScratch walks a layer tree and hands every batch-parallel layer
+// the shared pool. Model constructors call it once after assembling the
+// network. Attachment is an optimization, not a requirement: a layer
+// without a pool lazily creates a private one on first use.
+func AttachScratch(l Layer, sp *ScratchPool) {
+	switch v := l.(type) {
+	case *Sequential:
+		for _, inner := range v.Layers {
+			AttachScratch(inner, sp)
+		}
+	case *ResBlock:
+		AttachScratch(v.Body, sp)
+	case scratchUser:
+		v.setScratch(sp)
+	}
+}

@@ -100,15 +100,15 @@ func (o Options) withDefaults() Options {
 
 // Result summarizes one run.
 type Result struct {
-	GPUs          int
-	Backend       collective.Backend
-	ImagesPerSec  float64
-	StepSec       float64
-	SimulatedSec  float64
-	RegCacheHits  int64
-	RegCacheMiss  int64
-	Messages      int
-	FusedBytes    int64
+	GPUs         int
+	Backend      collective.Backend
+	ImagesPerSec float64
+	StepSec      float64
+	SimulatedSec float64
+	RegCacheHits int64
+	RegCacheMiss int64
+	Messages     int
+	FusedBytes   int64
 }
 
 // RegCacheHitRate returns the registration-cache hit rate of the run.

@@ -1,0 +1,231 @@
+package tensor
+
+// Cache-blocked GEMM engine shared by every MatMul* entry point and by the
+// convolution lowerings in internal/nn.
+//
+// The structure is the classic three-level blocking (Goto & van de Geijn):
+// B is packed into KC×NC panels that stay resident in L2 while MC×KC
+// panels of A stream through them, and the innermost computation is a
+// register-tiled MR×NR micro-kernel over packed, contiguous panels. Both
+// operands may be logically transposed, which lets one engine serve the
+// forward pass (C = A·B), the weight gradient (C += A·Bᵀ), and the data
+// gradient (C = Aᵀ·B) without materializing any transposes. A per-row bias
+// can be fused into the store epilogue, which is how convolution layers
+// avoid a separate bias pass over their output.
+//
+// The naive j-inner kernel this replaces streamed all of B from memory for
+// every output row (k·n·4 bytes per row — megabytes for EDSR-shaped
+// layers) and paid a load+store of the destination per multiply-add. The
+// packed micro-kernel keeps an MR×NR accumulator block in registers across
+// the whole k loop, so the destination traffic disappears and each packed
+// B panel is read from cache, not DRAM. On amd64 with AVX2+FMA the
+// micro-kernel is a 6×16 assembly tile (gemm_amd64.s); elsewhere a 2×4
+// pure-Go tile sized for 16 scalar registers.
+
+// The micro-tile dimensions gemmMR×gemmNR are architecture-specific (see
+// gemm_tile_amd64.go and gemm_tile_noasm.go); the cache-block sizes below
+// are shared.
+const (
+	gemmMC = 128 // rows of A packed per L2 block
+	gemmKC = 256 // depth of one packed panel pair
+	gemmNC = 512 // columns of B packed per panel
+)
+
+func roundUp(x, to int) int { return (x + to - 1) / to * to }
+
+// gemmRange computes rows [i0,i1) of C(m×n) = op(A)(m×k)·op(B)(k×n),
+// overwriting (accum=false) or accumulating into (accum=true) dst. Operand
+// storage is selected by the transpose flags:
+//
+//	aTrans=false: A[i][p] = a[i*k+p] (stored m×k)
+//	aTrans=true:  A[i][p] = a[p*m+i] (stored k×m)
+//	bTrans=false: B[p][j] = b[p*n+j] (stored k×n)
+//	bTrans=true:  B[p][j] = b[j*k+p] (stored n×k)
+//
+// When bias is non-nil (valid only with accum=false), bias[i] is added to
+// every element of row i during the first store of that row.
+func (w *Workspace) gemmRange(dst, a, b []float32, m, n, k, i0, i1 int, aTrans, bTrans, accum bool, bias []float32) {
+	if i0 >= i1 || n <= 0 || k <= 0 {
+		return
+	}
+	var acc [gemmMR * gemmNR]float32
+	for jc := 0; jc < n; jc += gemmNC {
+		nc := min(gemmNC, n-jc)
+		for pc := 0; pc < k; pc += gemmKC {
+			kc := min(gemmKC, k-pc)
+			overwrite := pc == 0 && !accum
+			w.packBPanels(b, n, k, pc, jc, kc, nc, bTrans)
+			for ic := i0; ic < i1; ic += gemmMC {
+				mc := min(gemmMC, i1-ic)
+				w.packAPanels(a, m, k, ic, pc, mc, kc, aTrans)
+				for jr := 0; jr < nc; jr += gemmNR {
+					nrr := min(gemmNR, nc-jr)
+					bp := w.packB[(jr/gemmNR)*kc*gemmNR:]
+					for ir := 0; ir < mc; ir += gemmMR {
+						mrr := min(gemmMR, mc-ir)
+						ap := w.packA[(ir/gemmMR)*kc*gemmMR:]
+						gemmMicro(ap, bp, kc, &acc)
+						gemmStoreTile(dst, n, ic+ir, jc+jr, mrr, nrr, &acc, overwrite, bias)
+					}
+				}
+			}
+		}
+	}
+}
+
+// gemmMicroGeneric accumulates a gemmMR×gemmNR tile over kc packed steps
+// in pure Go — the portable fallback behind the per-architecture
+// gemmMicro. ap holds gemmMR A values per step (one per tile row), bp
+// holds gemmNR B values per step (one per tile column); both advance in
+// lockstep.
+func gemmMicroGeneric(ap, bp []float32, kc int, acc *[gemmMR * gemmNR]float32) {
+	for i := range acc {
+		acc[i] = 0
+	}
+	for p := 0; p < kc; p++ {
+		as := ap[p*gemmMR : p*gemmMR+gemmMR]
+		bs := bp[p*gemmNR : p*gemmNR+gemmNR]
+		for r, av := range as {
+			row := acc[r*gemmNR : r*gemmNR+gemmNR]
+			for c, bv := range bs {
+				row[c] += av * bv
+			}
+		}
+	}
+}
+
+// gemmStoreTile writes the micro-kernel accumulators into dst rows
+// [i0,i0+mr) × columns [j0,j0+nr), clipping the zero-padded tile edge.
+// overwrite selects dst = acc (+bias) versus dst += acc.
+func gemmStoreTile(dst []float32, n, i0, j0, mr, nr int, acc *[gemmMR * gemmNR]float32, overwrite bool, bias []float32) {
+	for r := 0; r < mr; r++ {
+		row := dst[(i0+r)*n+j0 : (i0+r)*n+j0+nr]
+		av := acc[r*gemmNR : r*gemmNR+nr]
+		if !overwrite {
+			for c, v := range av {
+				row[c] += v
+			}
+		} else if bias != nil {
+			bv := bias[i0+r]
+			for c, v := range av {
+				row[c] = v + bv
+			}
+		} else {
+			copy(row, av)
+		}
+	}
+}
+
+// packAPanels packs rows [ic,ic+mc) × depth [pc,pc+kc) of op(A) into
+// MR-row interleaved panels: panel q holds rows ic+q·MR.. with layout
+// [p·MR + r]. Rows beyond mc are zero-filled so the micro-kernel never
+// branches on the edge.
+func (w *Workspace) packAPanels(a []float32, m, k, ic, pc, mc, kc int, aTrans bool) {
+	mcp := roundUp(mc, gemmMR)
+	w.packA = growF32(w.packA, mcp*kc)
+	for ir := 0; ir < mcp; ir += gemmMR {
+		panel := w.packA[ir*kc : ir*kc+gemmMR*kc]
+		rows := min(gemmMR, mc-ir)
+		if aTrans {
+			// A[i][p] = a[p*m+i]: each packed step is contiguous in r.
+			idx := 0
+			for p := 0; p < kc; p++ {
+				src := a[(pc+p)*m+ic+ir:]
+				copy(panel[idx:idx+rows], src)
+				for r := rows; r < gemmMR; r++ {
+					panel[idx+r] = 0
+				}
+				idx += gemmMR
+			}
+			continue
+		}
+		// A[i][p] = a[i*k+p]: stream each source row into a strided lane
+		// of the panel (the panel itself stays L1-resident).
+		for r := 0; r < gemmMR; r++ {
+			if r < rows {
+				src := a[(ic+ir+r)*k+pc : (ic+ir+r)*k+pc+kc]
+				for p, v := range src {
+					panel[p*gemmMR+r] = v
+				}
+			} else {
+				for p := 0; p < kc; p++ {
+					panel[p*gemmMR+r] = 0
+				}
+			}
+		}
+	}
+}
+
+// packBPanels packs depth [pc,pc+kc) × columns [jc,jc+nc) of op(B) into
+// NR-column interleaved panels: panel q holds columns jc+q·NR.. with
+// layout [p·NR + c], zero-filling past nc.
+func (w *Workspace) packBPanels(b []float32, n, k, pc, jc, kc, nc int, bTrans bool) {
+	ncp := roundUp(nc, gemmNR)
+	w.packB = growF32(w.packB, ncp*kc)
+	for jp := 0; jp < ncp; jp += gemmNR {
+		panel := w.packB[jp*kc : jp*kc+gemmNR*kc]
+		cols := min(gemmNR, nc-jp)
+		if bTrans {
+			// B[p][j] = b[j*k+p]: each logical column is contiguous in p,
+			// so stream it into a strided lane of the panel.
+			for c := 0; c < gemmNR; c++ {
+				if c < cols {
+					src := b[(jc+jp+c)*k+pc : (jc+jp+c)*k+pc+kc]
+					for p, v := range src {
+						panel[p*gemmNR+c] = v
+					}
+				} else {
+					for p := 0; p < kc; p++ {
+						panel[p*gemmNR+c] = 0
+					}
+				}
+			}
+			continue
+		}
+		idx := 0
+		for p := 0; p < kc; p++ {
+			src := b[(pc+p)*n+jc+jp : (pc+p)*n+jc+jp+cols]
+			copy(panel[idx:], src)
+			for c := cols; c < gemmNR; c++ {
+				panel[idx+c] = 0
+			}
+			idx += gemmNR
+		}
+	}
+}
+
+// Slice-level entry points. These run single-threaded on the calling
+// goroutine — callers that parallelize (e.g. batch-parallel convolution)
+// own one Workspace per worker and drive these directly, which keeps the
+// steady-state hot path free of heap allocations.
+
+// Gemm computes dst(m×n) = a(m×k)·b(k×n).
+func (w *Workspace) Gemm(dst, a, b []float32, m, k, n int) {
+	w.gemmRange(dst, a, b, m, n, k, 0, m, false, false, false, nil)
+}
+
+// GemmBias computes dst(m×n) = a(m×k)·b(k×n) + bias broadcast per row:
+// bias[i] is added to every element of row i in the store epilogue.
+func (w *Workspace) GemmBias(dst, a, b, bias []float32, m, k, n int) {
+	w.gemmRange(dst, a, b, m, n, k, 0, m, false, false, false, bias)
+}
+
+// GemmAccum computes dst(m×n) += a(m×k)·b(k×n).
+func (w *Workspace) GemmAccum(dst, a, b []float32, m, k, n int) {
+	w.gemmRange(dst, a, b, m, n, k, 0, m, false, false, true, nil)
+}
+
+// GemmTransA computes dst(m×n) = aᵀ·b for a stored (k×m), b stored (k×n).
+func (w *Workspace) GemmTransA(dst, a, b []float32, k, m, n int) {
+	w.gemmRange(dst, a, b, m, n, k, 0, m, true, false, false, nil)
+}
+
+// GemmTransB computes dst(m×k) = a(m×n)·bᵀ for b stored (k×n).
+func (w *Workspace) GemmTransB(dst, a, b []float32, m, n, k int) {
+	w.gemmRange(dst, a, b, m, k, n, 0, m, false, true, false, nil)
+}
+
+// GemmTransBAccum computes dst(m×k) += a(m×n)·bᵀ for b stored (k×n).
+func (w *Workspace) GemmTransBAccum(dst, a, b []float32, m, n, k int) {
+	w.gemmRange(dst, a, b, m, k, n, 0, m, false, true, true, nil)
+}

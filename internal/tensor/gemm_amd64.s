@@ -1,0 +1,96 @@
+#include "textflag.h"
+
+// func gemmMicroFMA(ap, bp *float32, kc int, acc *[96]float32)
+//
+// 6×16 FMA micro-kernel over packed panels. Per step p it reads 6 A
+// values (one per tile row, layout ap[p*6+r]) and 16 B values (layout
+// bp[p*16+c], two YMM vectors), and accumulates the outer product into
+// 12 YMM accumulators:
+//
+//	Y0,Y1  = row 0 cols 0-7, 8-15      Y6,Y7   = row 3
+//	Y2,Y3  = row 1                     Y8,Y9   = row 4
+//	Y4,Y5  = row 2                     Y10,Y11 = row 5
+//
+// Y12/Y13 hold the current B vectors, Y14/Y15 rotate A broadcasts.
+TEXT ·gemmMicroFMA(SB), NOSPLIT, $0-32
+	MOVQ ap+0(FP), SI
+	MOVQ bp+8(FP), DX
+	MOVQ kc+16(FP), CX
+	MOVQ acc+24(FP), DI
+
+	VXORPS Y0, Y0, Y0
+	VXORPS Y1, Y1, Y1
+	VXORPS Y2, Y2, Y2
+	VXORPS Y3, Y3, Y3
+	VXORPS Y4, Y4, Y4
+	VXORPS Y5, Y5, Y5
+	VXORPS Y6, Y6, Y6
+	VXORPS Y7, Y7, Y7
+	VXORPS Y8, Y8, Y8
+	VXORPS Y9, Y9, Y9
+	VXORPS Y10, Y10, Y10
+	VXORPS Y11, Y11, Y11
+
+loop:
+	VMOVUPS (DX), Y12
+	VMOVUPS 32(DX), Y13
+
+	VBROADCASTSS (SI), Y14
+	VBROADCASTSS 4(SI), Y15
+	VFMADD231PS Y12, Y14, Y0
+	VFMADD231PS Y13, Y14, Y1
+	VFMADD231PS Y12, Y15, Y2
+	VFMADD231PS Y13, Y15, Y3
+
+	VBROADCASTSS 8(SI), Y14
+	VBROADCASTSS 12(SI), Y15
+	VFMADD231PS Y12, Y14, Y4
+	VFMADD231PS Y13, Y14, Y5
+	VFMADD231PS Y12, Y15, Y6
+	VFMADD231PS Y13, Y15, Y7
+
+	VBROADCASTSS 16(SI), Y14
+	VBROADCASTSS 20(SI), Y15
+	VFMADD231PS Y12, Y14, Y8
+	VFMADD231PS Y13, Y14, Y9
+	VFMADD231PS Y12, Y15, Y10
+	VFMADD231PS Y13, Y15, Y11
+
+	ADDQ $24, SI
+	ADDQ $64, DX
+	DECQ CX
+	JNZ  loop
+
+	VMOVUPS Y0, (DI)
+	VMOVUPS Y1, 32(DI)
+	VMOVUPS Y2, 64(DI)
+	VMOVUPS Y3, 96(DI)
+	VMOVUPS Y4, 128(DI)
+	VMOVUPS Y5, 160(DI)
+	VMOVUPS Y6, 192(DI)
+	VMOVUPS Y7, 224(DI)
+	VMOVUPS Y8, 256(DI)
+	VMOVUPS Y9, 288(DI)
+	VMOVUPS Y10, 320(DI)
+	VMOVUPS Y11, 352(DI)
+	VZEROUPPER
+	RET
+
+// func cpuidAsm(eaxArg, ecxArg uint32) (eax, ebx, ecx, edx uint32)
+TEXT ·cpuidAsm(SB), NOSPLIT, $0-24
+	MOVL eaxArg+0(FP), AX
+	MOVL ecxArg+4(FP), CX
+	CPUID
+	MOVL AX, eax+8(FP)
+	MOVL BX, ebx+12(FP)
+	MOVL CX, ecx+16(FP)
+	MOVL DX, edx+20(FP)
+	RET
+
+// func xgetbvAsm() (eax, edx uint32)
+TEXT ·xgetbvAsm(SB), NOSPLIT, $0-8
+	XORL CX, CX
+	XGETBV
+	MOVL AX, eax+0(FP)
+	MOVL DX, edx+4(FP)
+	RET

@@ -1,0 +1,27 @@
+package tensor
+
+import "testing"
+
+// TestGemmGenericFallbackMatchesFMA runs the same product through the FMA
+// assembly micro-kernel and the generic Go fallback (as used on CPUs
+// without AVX2) and checks they agree to float tolerance. FMA fuses the
+// multiply-add rounding, so equality is approximate, not bitwise.
+func TestGemmGenericFallbackMatchesFMA(t *testing.T) {
+	if !gemmHasFMA {
+		t.Skip("CPU has no AVX2+FMA; generic path is already the default")
+	}
+	r := NewRNG(11)
+	const m, k, n = 37, 129, 83 // odd sizes exercise the padded tile edges
+	a, b := New(m, k), New(k, n)
+	fillRand(r, a, b)
+	fma, gen := New(m, n), New(m, n)
+
+	MatMul(fma, a, b)
+	gemmHasFMA = false
+	MatMul(gen, a, b)
+	gemmHasFMA = true
+
+	if d := maxAbsDiff(fma, gen); d > tolFor(k) {
+		t.Fatalf("FMA vs generic kernel: max abs diff %g", d)
+	}
+}

@@ -1,0 +1,55 @@
+package tensor
+
+// amd64 micro-tile: 6×16 sized for AVX2+FMA — 12 YMM accumulators (6 rows
+// × two 8-float vectors), two B loads and a broadcast per step, leaving
+// headroom in the 16 vector registers. CPUs without AVX2/FMA (or an OS
+// that does not save YMM state) fall back to the generic Go kernel over
+// the same packed layout.
+const (
+	gemmMR = 6  // micro-tile rows: register-tiled rows of A
+	gemmNR = 16 // micro-tile columns: two YMM vectors of B
+)
+
+var gemmHasFMA = detectFMA()
+
+func gemmMicro(ap, bp []float32, kc int, acc *[gemmMR * gemmNR]float32) {
+	if gemmHasFMA && kc > 0 {
+		gemmMicroFMA(&ap[0], &bp[0], kc, acc)
+		return
+	}
+	gemmMicroGeneric(ap, bp, kc, acc)
+}
+
+// gemmMicroFMA computes acc[r*16+c] = Σ_p ap[p*6+r]·bp[p*16+c] over kc
+// packed steps (implemented in gemm_amd64.s; requires AVX2+FMA, kc ≥ 1).
+//
+//go:noescape
+func gemmMicroFMA(ap, bp *float32, kc int, acc *[gemmMR * gemmNR]float32)
+
+//go:noescape
+func cpuidAsm(eaxArg, ecxArg uint32) (eax, ebx, ecx, edx uint32)
+
+//go:noescape
+func xgetbvAsm() (eax, edx uint32)
+
+// detectFMA reports whether the CPU supports AVX2 and FMA3 and the OS
+// saves YMM state across context switches (XCR0 bits 1 and 2).
+func detectFMA() bool {
+	maxID, _, _, _ := cpuidAsm(0, 0)
+	if maxID < 7 {
+		return false
+	}
+	_, _, ecx1, _ := cpuidAsm(1, 0)
+	const fma = 1 << 12
+	const osxsave = 1 << 27
+	const avx = 1 << 28
+	if ecx1&(fma|osxsave|avx) != fma|osxsave|avx {
+		return false
+	}
+	if xcr0, _ := xgetbvAsm(); xcr0&0x6 != 0x6 {
+		return false
+	}
+	_, ebx7, _, _ := cpuidAsm(7, 0)
+	const avx2 = 1 << 5
+	return ebx7&avx2 != 0
+}

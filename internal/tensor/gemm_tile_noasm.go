@@ -1,0 +1,83 @@
+//go:build !amd64
+
+package tensor
+
+// Portable micro-tile: 2×4 so the 8 accumulators plus 6 operand values
+// fit a 16-register file without spilling (a 4×4 tile spills half its
+// accumulators every iteration in compiled scalar code).
+const (
+	gemmMR = 2 // micro-tile rows: register-tiled rows of A
+	gemmNR = 4 // micro-tile columns
+)
+
+// gemmMicro accumulates a 2×4 tile over kc packed steps. ap holds 2 A
+// values per step (one per tile row), bp holds 4 B values per step (one
+// per tile column); both advance in lockstep, so the inner loop is two
+// contiguous streams feeding 8 independent multiply-add chains. The depth
+// loop is unrolled ×4 to amortize the advance and bounds checks.
+func gemmMicro(ap, bp []float32, kc int, acc *[gemmMR * gemmNR]float32) {
+	var c00, c01, c02, c03 float32
+	var c10, c11, c12, c13 float32
+	ap = ap[: kc*gemmMR : kc*gemmMR]
+	bp = bp[: kc*gemmNR : kc*gemmNR]
+	for len(ap) >= 4*gemmMR && len(bp) >= 4*gemmNR {
+		a0, a1 := ap[0], ap[1]
+		b0, b1, b2, b3 := bp[0], bp[1], bp[2], bp[3]
+		c00 += a0 * b0
+		c01 += a0 * b1
+		c02 += a0 * b2
+		c03 += a0 * b3
+		c10 += a1 * b0
+		c11 += a1 * b1
+		c12 += a1 * b2
+		c13 += a1 * b3
+		a0, a1 = ap[2], ap[3]
+		b0, b1, b2, b3 = bp[4], bp[5], bp[6], bp[7]
+		c00 += a0 * b0
+		c01 += a0 * b1
+		c02 += a0 * b2
+		c03 += a0 * b3
+		c10 += a1 * b0
+		c11 += a1 * b1
+		c12 += a1 * b2
+		c13 += a1 * b3
+		a0, a1 = ap[4], ap[5]
+		b0, b1, b2, b3 = bp[8], bp[9], bp[10], bp[11]
+		c00 += a0 * b0
+		c01 += a0 * b1
+		c02 += a0 * b2
+		c03 += a0 * b3
+		c10 += a1 * b0
+		c11 += a1 * b1
+		c12 += a1 * b2
+		c13 += a1 * b3
+		a0, a1 = ap[6], ap[7]
+		b0, b1, b2, b3 = bp[12], bp[13], bp[14], bp[15]
+		c00 += a0 * b0
+		c01 += a0 * b1
+		c02 += a0 * b2
+		c03 += a0 * b3
+		c10 += a1 * b0
+		c11 += a1 * b1
+		c12 += a1 * b2
+		c13 += a1 * b3
+		ap = ap[4*gemmMR:]
+		bp = bp[4*gemmNR:]
+	}
+	for len(ap) >= gemmMR && len(bp) >= gemmNR {
+		a0, a1 := ap[0], ap[1]
+		b0, b1, b2, b3 := bp[0], bp[1], bp[2], bp[3]
+		c00 += a0 * b0
+		c01 += a0 * b1
+		c02 += a0 * b2
+		c03 += a0 * b3
+		c10 += a1 * b0
+		c11 += a1 * b1
+		c12 += a1 * b2
+		c13 += a1 * b3
+		ap = ap[gemmMR:]
+		bp = bp[gemmNR:]
+	}
+	acc[0], acc[1], acc[2], acc[3] = c00, c01, c02, c03
+	acc[4], acc[5], acc[6], acc[7] = c10, c11, c12, c13
+}

@@ -7,45 +7,60 @@ package tensor
 // positions contribute zeros (zero padding).
 func Im2Col(dst, src *Tensor, kh, kw, stride, pad int) {
 	c, h, w := src.shape[0], src.shape[1], src.shape[2]
+	rows := c * kh * kw
 	outH := (h+2*pad-kh)/stride + 1
 	outW := (w+2*pad-kw)/stride + 1
-	rows := c * kh * kw
-	cols := outH * outW
-	if dst.shape[0] != rows || dst.shape[1] != cols {
+	if dst.shape[0] != rows || dst.shape[1] != outH*outW {
 		panic("tensor: Im2Col dst shape mismatch")
 	}
 	sd, dd := src.data, dst.data
 	parallelFor(rows, 16, func(lo, hi int) {
-		for r := lo; r < hi; r++ {
-			ch := r / (kh * kw)
-			rem := r % (kh * kw)
-			ky := rem / kw
-			kx := rem % kw
-			plane := sd[ch*h*w : (ch+1)*h*w]
-			drow := dd[r*cols : (r+1)*cols]
-			idx := 0
-			for oy := 0; oy < outH; oy++ {
-				sy := oy*stride - pad + ky
-				if sy < 0 || sy >= h {
-					for ox := 0; ox < outW; ox++ {
-						drow[idx] = 0
-						idx++
-					}
-					continue
-				}
-				srow := plane[sy*w : (sy+1)*w]
+		im2colRows(dd, sd, c, h, w, kh, kw, stride, pad, lo, hi)
+	})
+}
+
+// Im2ColBuf is the slice-level Im2Col: src is a (c,h,w) image in row-major
+// order and dst receives (c*kh*kw) × (outH*outW) columns. It runs serially
+// on the calling goroutine — batch-parallel convolution calls it from
+// per-sample workers that own the parallelism.
+func Im2ColBuf(dst, src []float32, c, h, w, kh, kw, stride, pad int) {
+	im2colRows(dst, src, c, h, w, kh, kw, stride, pad, 0, c*kh*kw)
+}
+
+// im2colRows fills rows [r0,r1) of the column matrix.
+func im2colRows(dd, sd []float32, c, h, w, kh, kw, stride, pad, r0, r1 int) {
+	outH := (h+2*pad-kh)/stride + 1
+	outW := (w+2*pad-kw)/stride + 1
+	cols := outH * outW
+	for r := r0; r < r1; r++ {
+		ch := r / (kh * kw)
+		rem := r % (kh * kw)
+		ky := rem / kw
+		kx := rem % kw
+		plane := sd[ch*h*w : (ch+1)*h*w]
+		drow := dd[r*cols : (r+1)*cols]
+		idx := 0
+		for oy := 0; oy < outH; oy++ {
+			sy := oy*stride - pad + ky
+			if sy < 0 || sy >= h {
 				for ox := 0; ox < outW; ox++ {
-					sx := ox*stride - pad + kx
-					if sx < 0 || sx >= w {
-						drow[idx] = 0
-					} else {
-						drow[idx] = srow[sx]
-					}
+					drow[idx] = 0
 					idx++
 				}
+				continue
+			}
+			srow := plane[sy*w : (sy+1)*w]
+			for ox := 0; ox < outW; ox++ {
+				sx := ox*stride - pad + kx
+				if sx < 0 || sx >= w {
+					drow[idx] = 0
+				} else {
+					drow[idx] = srow[sx]
+				}
+				idx++
 			}
 		}
-	})
+	}
 }
 
 // Col2Im scatters a column matrix back into an image, accumulating
@@ -55,9 +70,7 @@ func Col2Im(dst, src *Tensor, kh, kw, stride, pad int) {
 	c, h, w := dst.shape[0], dst.shape[1], dst.shape[2]
 	outH := (h+2*pad-kh)/stride + 1
 	outW := (w+2*pad-kw)/stride + 1
-	rows := c * kh * kw
-	cols := outH * outW
-	if src.shape[0] != rows || src.shape[1] != cols {
+	if src.shape[0] != c*kh*kw || src.shape[1] != outH*outW {
 		panic("tensor: Col2Im src shape mismatch")
 	}
 	dst.Zero()
@@ -66,30 +79,49 @@ func Col2Im(dst, src *Tensor, kh, kw, stride, pad int) {
 	// writes to a disjoint plane of dst, so channel-level parallelism is
 	// race-free.
 	parallelFor(c, 1, func(clo, chi int) {
-		for ch := clo; ch < chi; ch++ {
-			plane := dd[ch*h*w : (ch+1)*h*w]
-			for ky := 0; ky < kh; ky++ {
-				for kx := 0; kx < kw; kx++ {
-					r := (ch*kh+ky)*kw + kx
-					srow := sd[r*cols : (r+1)*cols]
-					idx := 0
-					for oy := 0; oy < outH; oy++ {
-						sy := oy*stride - pad + ky
-						if sy < 0 || sy >= h {
-							idx += outW
-							continue
+		col2imChannels(dd, sd, c, h, w, kh, kw, stride, pad, clo, chi)
+	})
+}
+
+// Col2ImBuf is the slice-level Col2Im: it zeroes dst (a (c,h,w) image) and
+// scatter-accumulates the (c*kh*kw) × (outH*outW) column matrix src into
+// it, serially on the calling goroutine.
+func Col2ImBuf(dst, src []float32, c, h, w, kh, kw, stride, pad int) {
+	for i := range dst {
+		dst[i] = 0
+	}
+	col2imChannels(dst, src, c, h, w, kh, kw, stride, pad, 0, c)
+}
+
+// col2imChannels scatters channels [clo,chi) of the column matrix into dst.
+func col2imChannels(dd, sd []float32, c, h, w, kh, kw, stride, pad, clo, chi int) {
+	_ = c
+	outH := (h+2*pad-kh)/stride + 1
+	outW := (w+2*pad-kw)/stride + 1
+	cols := outH * outW
+	for ch := clo; ch < chi; ch++ {
+		plane := dd[ch*h*w : (ch+1)*h*w]
+		for ky := 0; ky < kh; ky++ {
+			for kx := 0; kx < kw; kx++ {
+				r := (ch*kh+ky)*kw + kx
+				srow := sd[r*cols : (r+1)*cols]
+				idx := 0
+				for oy := 0; oy < outH; oy++ {
+					sy := oy*stride - pad + ky
+					if sy < 0 || sy >= h {
+						idx += outW
+						continue
+					}
+					drow := plane[sy*w : (sy+1)*w]
+					for ox := 0; ox < outW; ox++ {
+						sx := ox*stride - pad + kx
+						if sx >= 0 && sx < w {
+							drow[sx] += srow[idx]
 						}
-						drow := plane[sy*w : (sy+1)*w]
-						for ox := 0; ox < outW; ox++ {
-							sx := ox*stride - pad + kx
-							if sx >= 0 && sx < w {
-								drow[sx] += srow[idx]
-							}
-							idx++
-						}
+						idx++
 					}
 				}
 			}
 		}
-	})
+	}
 }

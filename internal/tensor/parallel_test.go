@@ -1,0 +1,119 @@
+package tensor
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+)
+
+func TestWorkerCountClamps(t *testing.T) {
+	prev := SetMaxWorkers(8)
+	defer SetMaxWorkers(prev)
+
+	cases := []struct {
+		n, minPer, want int
+	}{
+		{0, 4, 0},   // empty range: no workers
+		{-3, 4, 0},  // negative range: no workers
+		{3, 4, 1},   // n < minPerWorker: explicit clamp to one worker
+		{4, 4, 1},   // exactly one grain
+		{8, 4, 2},   // two grains
+		{100, 4, 8}, // capped by maxWorkers
+		{100, 0, 8}, // minPerWorker < 1 treated as 1
+		{5, 1, 5},   // one worker per item, below maxWorkers
+		{7, 2, 3},   // floor division of grains
+	}
+	for _, c := range cases {
+		if got := WorkerCount(c.n, c.minPer); got != c.want {
+			t.Errorf("WorkerCount(%d, %d) = %d, want %d", c.n, c.minPer, got, c.want)
+		}
+	}
+}
+
+func TestParallelWorkersCoversRangeExactlyOnce(t *testing.T) {
+	prev := SetMaxWorkers(3)
+	defer SetMaxWorkers(prev)
+
+	for _, n := range []int{1, 2, 3, 5, 7, 10, 11, 100} {
+		var mu sync.Mutex
+		seen := make([]int, n)
+		maxWorker := -1
+		ParallelWorkers(n, 1, func(worker, lo, hi int) {
+			mu.Lock()
+			defer mu.Unlock()
+			if worker > maxWorker {
+				maxWorker = worker
+			}
+			for i := lo; i < hi; i++ {
+				seen[i]++
+			}
+		})
+		for i, c := range seen {
+			if c != 1 {
+				t.Fatalf("n=%d: index %d visited %d times", n, i, c)
+			}
+		}
+		if want := WorkerCount(n, 1); maxWorker >= want {
+			t.Fatalf("n=%d: worker index %d out of range [0,%d)", n, maxWorker, want)
+		}
+	}
+}
+
+func TestParallelWorkersZeroAndSmallN(t *testing.T) {
+	calls := 0
+	ParallelWorkers(0, 4, func(_, _, _ int) { calls++ })
+	if calls != 0 {
+		t.Fatalf("n=0 invoked f %d times", calls)
+	}
+	// n below the per-worker grain must still process everything, inline.
+	var got [][2]int
+	ParallelWorkers(3, 16, func(worker, lo, hi int) {
+		if worker != 0 {
+			t.Fatalf("inline path used worker %d", worker)
+		}
+		got = append(got, [2]int{lo, hi})
+	})
+	if len(got) != 1 || got[0] != [2]int{0, 3} {
+		t.Fatalf("inline chunks %v, want [[0 3]]", got)
+	}
+}
+
+func TestSetMaxWorkersRestore(t *testing.T) {
+	orig := maxWorkers
+	prev := SetMaxWorkers(2)
+	if prev != orig {
+		t.Fatalf("SetMaxWorkers returned %d, want previous %d", prev, orig)
+	}
+	if maxWorkers != 2 {
+		t.Fatalf("maxWorkers = %d after SetMaxWorkers(2)", maxWorkers)
+	}
+	// n < 1 resets to GOMAXPROCS.
+	SetMaxWorkers(0)
+	if maxWorkers != runtime.GOMAXPROCS(0) {
+		t.Fatalf("reset gave %d, want GOMAXPROCS %d", maxWorkers, runtime.GOMAXPROCS(0))
+	}
+	// Restoring the returned previous value round-trips.
+	SetMaxWorkers(prev)
+	if maxWorkers != orig {
+		t.Fatalf("restore gave %d, want %d", maxWorkers, orig)
+	}
+}
+
+func TestParallelForNonDivisibleChunks(t *testing.T) {
+	prev := SetMaxWorkers(4)
+	defer SetMaxWorkers(prev)
+	// 10 items over 4 workers → chunk 3: ranges [0,3) [3,6) [6,9) [9,10).
+	var mu sync.Mutex
+	total := 0
+	parallelFor(10, 1, func(lo, hi int) {
+		mu.Lock()
+		total += hi - lo
+		mu.Unlock()
+		if hi <= lo {
+			t.Errorf("empty chunk [%d,%d)", lo, hi)
+		}
+	})
+	if total != 10 {
+		t.Fatalf("covered %d of 10 items", total)
+	}
+}

@@ -485,8 +485,8 @@ func TestUnmarshalRejectsCorrupt(t *testing.T) {
 	for _, data := range [][]byte{
 		{},
 		{1, 0, 0},
-		{1, 0, 0, 0, 2, 0, 0, 0},          // shape [2] but no payload
-		{1, 0, 0, 0, 0, 0, 0, 0},          // zero dim
+		{1, 0, 0, 0, 2, 0, 0, 0},         // shape [2] but no payload
+		{1, 0, 0, 0, 0, 0, 0, 0},         // zero dim
 		{255, 255, 255, 255, 0, 0, 0, 0}, // absurd rank
 	} {
 		if err := y.UnmarshalBinary(data); err == nil {

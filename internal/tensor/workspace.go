@@ -1,0 +1,77 @@
+package tensor
+
+// Workspace holds the reusable scratch buffers the blocked GEMM kernels
+// and convolution lowerings need: packed A/B panels plus a set of numbered
+// general-purpose slots (im2col columns, per-worker gradient accumulators,
+// and similar). Buffers grow monotonically and are reused across calls, so
+// a training loop that owns a Workspace per worker performs zero
+// steady-state heap allocations in its compute hot path.
+//
+// A Workspace is NOT safe for concurrent use; give each worker goroutine
+// its own (see nn.ScratchPool). The package-level MatMul entry points keep
+// an internal pool of Workspaces, one per transient worker.
+type Workspace struct {
+	packA []float32 // packed A panels (mc×kc, MR-row interleaved)
+	packB []float32 // packed B panels (kc×nc, NR-column interleaved)
+	slots [][]float32
+}
+
+// NewWorkspace returns an empty workspace; buffers are grown on demand.
+func NewWorkspace() *Workspace { return &Workspace{} }
+
+// Slot returns slot i resized to exactly n elements, growing the backing
+// array if needed. Contents are unspecified (callers overwrite or zero).
+// Slot indices are small integers chosen by the caller; each distinct use
+// within one call frame must use a distinct index.
+func (w *Workspace) Slot(i, n int) []float32 {
+	for len(w.slots) <= i {
+		w.slots = append(w.slots, nil)
+	}
+	s := w.slots[i]
+	if cap(s) < n {
+		s = make([]float32, n)
+		w.slots[i] = s
+	}
+	return s[:n]
+}
+
+// ZeroSlot returns slot i resized to n elements with every element zeroed.
+func (w *Workspace) ZeroSlot(i, n int) []float32 {
+	s := w.Slot(i, n)
+	for j := range s {
+		s[j] = 0
+	}
+	return s
+}
+
+// growF32 resizes buf to n elements, reallocating only when capacity is
+// insufficient.
+func growF32(buf []float32, n int) []float32 {
+	if cap(buf) < n {
+		return make([]float32, n)
+	}
+	return buf[:n]
+}
+
+// Ensure returns t when it already has exactly the requested shape and a
+// freshly allocated tensor otherwise. Layers use it to reuse their output
+// and gradient buffers across iterations. The shape slice is copied only
+// on the allocating path, so the fast path is allocation-free (the
+// variadic stays on the caller's stack).
+func Ensure(t *Tensor, shape ...int) *Tensor {
+	if t != nil && len(t.shape) == len(shape) {
+		same := true
+		for i, d := range shape {
+			if t.shape[i] != d {
+				same = false
+				break
+			}
+		}
+		if same {
+			return t
+		}
+	}
+	ns := make([]int, len(shape))
+	copy(ns, shape)
+	return New(ns...)
+}

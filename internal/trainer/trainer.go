@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"time"
 
 	"repro/internal/data"
@@ -63,11 +64,18 @@ func DefaultConfig() Config {
 
 // Stats summarizes a completed run.
 type Stats struct {
-	Steps         int
-	FinalLoss     float64
-	AvgLoss       float64
-	ImagesPerSec  float64
-	WallSeconds   float64
+	Steps        int
+	FinalLoss    float64
+	AvgLoss      float64
+	ImagesPerSec float64
+	WallSeconds  float64
+	// AllocsPerStep is the mean number of heap allocations per training
+	// step after the first (warm-up) step, measured process-wide with
+	// runtime.ReadMemStats. With the scratch-pool kernels the model's
+	// forward/backward is allocation-free at steady state, so this mostly
+	// counts the data loader and logging; it is only meaningful for
+	// single-process runs (distributed ranks share the process counters).
+	AllocsPerStep float64
 	// PSNRModel and PSNRBicubic compare the trained model against the
 	// classical baseline on held-out images (computed by Evaluate).
 	PSNRModel   float64
@@ -165,6 +173,8 @@ func trainRank(cfg Config, comm *mpi.Comm, engine *horovod.Engine) (*models.EDSR
 	loss := nn.L1Loss{}
 	meter := metrics.ThroughputMeter{WarmupSteps: 1}
 	var lossSum, lastLoss float64
+	var gradBuf *tensor.Tensor
+	var memWarm runtime.MemStats
 	start := time.Now()
 	for step := 0; step < cfg.Steps; step++ {
 		if cfg.LRDecayEvery > 0 {
@@ -174,12 +184,18 @@ func trainRank(cfg Config, comm *mpi.Comm, engine *horovod.Engine) (*models.EDSR
 		stepStart := time.Now()
 		dopt.ZeroGrad()
 		pred := model.Forward(batch.LR)
-		l, grad := loss.Forward(pred, batch.HR)
+		l, grad := loss.ForwardBuf(gradBuf, pred, batch.HR)
+		gradBuf = grad
 		model.Backward(grad)
 		dopt.Step()
 		meter.Record(cfg.BatchSize*world, time.Since(stepStart).Seconds())
 		lossSum += l
 		lastLoss = l
+		if step == 0 {
+			// Step 0 grows every scratch buffer; the allocation meter
+			// starts after it so it reflects steady state.
+			runtime.ReadMemStats(&memWarm)
+		}
 		if cfg.LogEvery > 0 && cfg.Log != nil && (step+1)%cfg.LogEvery == 0 && rank == 0 {
 			fmt.Fprintf(cfg.Log, "step %4d  loss %.5f  lr %.2e  %.1f img/s\n",
 				step+1, l, opt.LR(), meter.ImagesPerSecond())
@@ -191,6 +207,11 @@ func trainRank(cfg Config, comm *mpi.Comm, engine *horovod.Engine) (*models.EDSR
 		AvgLoss:      lossSum / float64(cfg.Steps),
 		ImagesPerSec: meter.ImagesPerSecond(),
 		WallSeconds:  time.Since(start).Seconds(),
+	}
+	if cfg.Steps > 1 {
+		var memEnd runtime.MemStats
+		runtime.ReadMemStats(&memEnd)
+		st.AllocsPerStep = float64(memEnd.Mallocs-memWarm.Mallocs) / float64(cfg.Steps-1)
 	}
 	return model, st, nil
 }

@@ -1,0 +1,29 @@
+#!/bin/sh
+# check.sh — repository health gates.
+#
+# Tier 1 (must stay green): build + full test suite.
+# Tier 2 (kernel hygiene): vet, formatting, and the race detector over
+# the batch-parallel convolution and blocked-GEMM paths.
+set -e
+
+cd "$(dirname "$0")/.."
+
+echo "== tier 1: build + tests"
+go build ./...
+go test ./...
+
+echo "== tier 2: vet"
+go vet ./...
+
+echo "== tier 2: gofmt"
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+echo "== tier 2: race detector (parallel conv + GEMM)"
+go test -race ./internal/nn/ ./internal/tensor/
+
+echo "all checks passed"
