@@ -26,6 +26,10 @@ type Config struct {
 	// the cost of 11-bit significands. Values are quantized on submit and
 	// after reduction, reproducing the numerics of an fp16 wire format.
 	FP16Compression bool
+	// AllreduceFn, when non-nil, replaces the backend sum-allreduce —
+	// benchmarks use it to run the engine over a baseline implementation,
+	// and tests over instrumented ones. Algo is ignored when set.
+	AllreduceFn func(c *mpi.Comm, buf []float32)
 }
 
 // DefaultConfig returns Horovod's defaults (64 MB fusion buffer, 3.5 ms
@@ -57,6 +61,7 @@ type Engine struct {
 	shutdown bool
 
 	fusion   []float32
+	readyIDs []int // loop-local ready set, reused across cycles
 	loopDone chan struct{}
 	started  bool
 }
@@ -145,6 +150,7 @@ func (e *Engine) loop() {
 	defer close(e.loopDone)
 	n := len(e.names)
 	mask := make([]float32, n+1) // last slot carries the shutdown vote
+	e.readyIDs = make([]int, 0, n)
 	for {
 		if e.cfg.CycleTime > 0 {
 			time.Sleep(e.cfg.CycleTime)
@@ -164,14 +170,15 @@ func (e *Engine) loop() {
 		}
 		e.mu.Unlock()
 
-		e.comm.AllreduceMin(mask)
+		e.comm.NegotiateMin(mask)
 
-		var ready []int
+		ready := e.readyIDs[:0]
 		for i := 0; i < n; i++ {
 			if mask[i] == 1 {
 				ready = append(ready, i)
 			}
 		}
+		e.readyIDs = ready
 		for _, group := range PlanFusion(e.sizes, ready, e.cfg.FusionThresholdBytes) {
 			e.reduceGroup(group)
 		}
@@ -213,7 +220,11 @@ func (e *Engine) reduceGroup(group []int) {
 	if e.cfg.FP16Compression {
 		tensor.QuantizeHalf(buf)
 	}
-	e.comm.AllreduceSum(buf, e.cfg.Algo)
+	if e.cfg.AllreduceFn != nil {
+		e.cfg.AllreduceFn(e.comm, buf)
+	} else {
+		e.comm.AllreduceSum(buf, e.cfg.Algo)
+	}
 	if e.cfg.FP16Compression {
 		tensor.QuantizeHalf(buf)
 	}

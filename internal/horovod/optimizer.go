@@ -1,6 +1,8 @@
 package horovod
 
 import (
+	"fmt"
+
 	"repro/internal/mpi"
 	"repro/internal/nn"
 )
@@ -21,14 +23,28 @@ func ScaleLR(opt nn.Optimizer, worldSize int) {
 	opt.SetLR(opt.LR() * float64(worldSize))
 }
 
-// DistributedOptimizer wraps an optimizer so that Step() first reduces all
-// gradients through the engine (step 3 of the integration guide). It
-// submits gradients in reverse registration order, matching the order a
-// backward pass produces them.
+// DistributedOptimizer wraps an optimizer so gradients are reduced
+// through the engine (step 3 of the integration guide). Two modes:
+//
+//   - Overlapped: install GradHook() on the model (nn.GradNotifier).
+//     Each parameter is submitted to the engine the moment its backward
+//     contribution completes, so reduction of late-layer gradients
+//     overlaps the remaining backward computation; Step() only drains the
+//     outstanding completions.
+//   - Serial (no hook): Step() submits everything in reverse registration
+//     order — the order a backward pass produces gradients — then waits.
+//
+// Both modes reduce identical values; with fusion disabled the results
+// are bitwise identical (see TestOverlappedMatchesSerial).
 type DistributedOptimizer struct {
 	inner  nn.Optimizer
 	engine *Engine
 	ids    []int
+	slotOf map[*nn.Param]int
+	// pending[i] is the completion channel of ids[i]'s in-flight
+	// reduction, nil when not submitted; reused across steps.
+	pending []<-chan struct{}
+	hook    nn.GradHook
 }
 
 // NewDistributedOptimizer registers every parameter's gradient with the
@@ -36,22 +52,52 @@ type DistributedOptimizer struct {
 // identically on every rank.
 func NewDistributedOptimizer(inner nn.Optimizer, engine *Engine) *DistributedOptimizer {
 	d := &DistributedOptimizer{inner: inner, engine: engine}
-	for _, p := range inner.Params() {
+	params := inner.Params()
+	d.slotOf = make(map[*nn.Param]int, len(params))
+	d.pending = make([]<-chan struct{}, len(params))
+	for i, p := range params {
 		d.ids = append(d.ids, engine.Register(p.Name, p.Grad.Data()))
+		d.slotOf[p] = i
+	}
+	d.hook = func(p *nn.Param) {
+		slot, ok := d.slotOf[p]
+		if !ok {
+			panic(fmt.Sprintf("horovod: grad hook fired for unregistered parameter %q", p.Name))
+		}
+		if d.pending[slot] != nil {
+			panic(fmt.Sprintf("horovod: parameter %q announced twice in one step", p.Name))
+		}
+		d.pending[slot] = d.engine.Submit(d.ids[slot])
 	}
 	return d
 }
 
-// Step allreduces all gradients, waits for completion, then applies the
-// wrapped optimizer's update.
-func (d *DistributedOptimizer) Step() {
-	waits := make([]<-chan struct{}, len(d.ids))
+// GradHook returns the hook that submits a parameter for reduction as its
+// gradient becomes final. Install it on the model with SetGradHook before
+// training; it must fire on the goroutine that calls Step.
+func (d *DistributedOptimizer) GradHook() nn.GradHook { return d.hook }
+
+// Drain submits any gradients the hook has not already announced
+// (reverse registration order, as a backward pass would produce them)
+// and blocks until every outstanding reduction completes. Step calls it
+// before the wrapped update; callers that want to schedule or measure
+// the exposed communication window may call it directly.
+func (d *DistributedOptimizer) Drain() {
 	for i := len(d.ids) - 1; i >= 0; i-- {
-		waits[i] = d.engine.Submit(d.ids[i])
+		if d.pending[i] == nil {
+			d.pending[i] = d.engine.Submit(d.ids[i])
+		}
 	}
-	for _, w := range waits {
+	for i, w := range d.pending {
 		<-w
+		d.pending[i] = nil
 	}
+}
+
+// Step drains all gradient reductions, then applies the wrapped
+// optimizer's update.
+func (d *DistributedOptimizer) Step() {
+	d.Drain()
 	d.inner.Step()
 }
 

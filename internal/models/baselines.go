@@ -44,6 +44,9 @@ func (m *SRCNN) Backward(g *tensor.Tensor) *tensor.Tensor { return m.net.Backwar
 // Params returns the trainable parameters.
 func (m *SRCNN) Params() []*nn.Param { return m.net.Params() }
 
+// SetGradHook installs a per-parameter gradient-ready hook (nn.GradHook).
+func (m *SRCNN) SetGradHook(h nn.GradHook) { m.net.SetGradHook(h) }
+
 // NumParams returns the trainable parameter count.
 func (m *SRCNN) NumParams() int { return nn.NumParams(m.Params()) }
 
@@ -128,3 +131,12 @@ func (m *SRResNet) Params() []*nn.Param {
 
 // NumParams returns the trainable parameter count.
 func (m *SRResNet) NumParams() int { return nn.NumParams(m.Params()) }
+
+// SetGradHook installs a per-parameter gradient-ready hook; all four
+// stages are Sequentials, which fire for their own layers in reverse.
+func (m *SRResNet) SetGradHook(h nn.GradHook) {
+	m.head.SetGradHook(h)
+	m.body.SetGradHook(h)
+	m.bodyEnd.SetGradHook(h)
+	m.tail.SetGradHook(h)
+}

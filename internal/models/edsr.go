@@ -76,6 +76,10 @@ type EDSR struct {
 	tail    *nn.Sequential
 
 	lastHeadOut *tensor.Tensor
+
+	gradHook      nn.GradHook
+	headParams    []*nn.Param // cached for hook firing (Params() allocates)
+	bodyEndParams []*nn.Param
 }
 
 // NewEDSR builds an EDSR with the given configuration.
@@ -142,16 +146,44 @@ func (m *EDSR) Forward(x *tensor.Tensor) *tensor.Tensor {
 }
 
 // Backward propagates gradients through the network, accumulating
-// parameter gradients.
+// parameter gradients. With a gradient hook installed (SetGradHook), each
+// parameter is announced as soon as its layer's backward contribution
+// completes — tail first, head last — so gradient reduction can overlap
+// the rest of the pass.
 func (m *EDSR) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
 	g := m.addMean.Backward(gradOut)
 	g = m.tail.Backward(g)
 	gBody := m.bodyEnd.Backward(g)
+	m.fire(m.bodyEndParams)
 	gBody = m.body.Backward(gBody)
 	gBody.Add(g) // gradient of the global skip
 	gIn := m.head.Backward(gBody)
+	m.fire(m.headParams)
 	m.lastHeadOut = nil
 	return m.subMean.Backward(gIn)
+}
+
+func (m *EDSR) fire(ps []*nn.Param) {
+	if m.gradHook == nil {
+		return
+	}
+	for _, p := range ps {
+		m.gradHook(p)
+	}
+}
+
+// SetGradHook installs h to fire per parameter during Backward, in
+// reverse-layer order. The tail and body containers notify for their own
+// layers; the head and body-end convolutions are fired here.
+func (m *EDSR) SetGradHook(h nn.GradHook) {
+	m.gradHook = h
+	m.tail.SetGradHook(h)
+	m.body.SetGradHook(h)
+	m.headParams, m.bodyEndParams = nil, nil
+	if h != nil {
+		m.headParams = m.head.Params()
+		m.bodyEndParams = m.bodyEnd.Params()
+	}
 }
 
 // Params returns all trainable parameters in a stable order.

@@ -3,6 +3,8 @@ package mpi
 import (
 	"fmt"
 	"time"
+
+	"repro/internal/tensor"
 )
 
 // Tag ranges reserved per collective so concurrent collectives with
@@ -53,12 +55,11 @@ func (a AllreduceAlgo) String() string {
 func (c *Comm) Bcast(buf []float32, root int) {
 	start := time.Now()
 	size := c.world.size
-	if size == 1 {
-		return
-	}
 	// Renumber so the root is virtual rank 0, then run the standard
 	// binomial tree: at round k (mask = 2^k), ranks below mask forward to
-	// rank+mask; ranks in [mask, 2·mask) receive from rank−mask.
+	// rank+mask; ranks in [mask, 2·mask) receive from rank−mask. A
+	// single-rank world still records the (trivial) collective so profiles
+	// count every Bcast call.
 	vrank := (c.rank - root + size) % size
 	for mask := 1; mask < size; mask <<= 1 {
 		switch {
@@ -75,13 +76,17 @@ func (c *Comm) Bcast(buf []float32, root int) {
 
 // Barrier blocks until every rank has entered it (dissemination barrier).
 func (c *Comm) Barrier() {
+	start := time.Now()
 	size := c.world.size
-	token := []float32{0}
+	token := [1]float32{}
+	rounds := int64(0)
 	for dist := 1; dist < size; dist <<= 1 {
 		dst := (c.rank + dist) % size
 		src := (c.rank - dist + size) % size
-		c.Sendrecv(dst, tagBarrier, token, src, tagBarrier, token)
+		c.Sendrecv(dst, tagBarrier, token[:], src, tagBarrier, token[:])
+		rounds++
 	}
+	c.profile("barrier", rounds*4, time.Since(start).Seconds())
 }
 
 // AllreduceSum sums buf element-wise across all ranks; on return every
@@ -101,31 +106,60 @@ func (c *Comm) AllreduceSum(buf []float32, algo AllreduceAlgo) {
 	c.profile("allreduce", int64(len(buf))*4, time.Since(start).Seconds())
 }
 
-// AllreduceMin computes the element-wise minimum across ranks. Horovod's
-// coordinator uses a min over readiness masks to find tensors ready on
-// every rank.
+// AllreduceMin computes the element-wise minimum across ranks.
 func (c *Comm) AllreduceMin(buf []float32) {
 	start := time.Now()
 	c.recursiveDoubling(buf, minInto)
 	c.profile("allreduce", int64(len(buf))*4, time.Since(start).Seconds())
 }
 
-func sumInto(dst, src []float32) {
-	for i, v := range src {
-		dst[i] += v
-	}
+// NegotiateMin is AllreduceMin recorded under the dedicated "negotiate"
+// profile op. Horovod's coordinator mins readiness masks to find tensors
+// ready on every rank; that is control traffic, and folding it into the
+// "allreduce" op would inflate the apparent payload volume in profiles.
+func (c *Comm) NegotiateMin(buf []float32) {
+	start := time.Now()
+	c.recursiveDoubling(buf, minInto)
+	c.profile("negotiate", int64(len(buf))*4, time.Since(start).Seconds())
 }
 
-func minInto(dst, src []float32) {
-	for i, v := range src {
-		if v < dst[i] {
-			dst[i] = v
-		}
+// sumInto and minInto delegate to the SIMD-dispatched vector kernels in
+// internal/tensor (AVX2 on amd64, scalar elsewhere); they are the
+// reduction primitives of every collective here.
+func sumInto(dst, src []float32) { tensor.VecAdd(dst, src) }
+
+func minInto(dst, src []float32) { tensor.VecMin(dst, src) }
+
+// ringChunkElems is the sub-chunk granularity (elements) of the pipelined
+// ring allreduce. Each per-step ring chunk is walked in windows of this
+// size so the transport of a reduced window overlaps the reduction of the
+// next one; 64K floats (256 KB) keeps per-message fixed costs below a
+// percent while still splitting multi-megabyte chunks into several
+// in-flight pieces.
+var ringChunkElems = 64 << 10
+
+// SetRingChunkElems overrides the pipelined ring's sub-chunk granularity
+// (in float32 elements) and returns the previous value. Benchmarks use it
+// to sweep the pipeline depth; values < 1 panic.
+func SetRingChunkElems(n int) int {
+	if n < 1 {
+		panic("mpi: ring chunk must be >= 1 element")
 	}
+	old := ringChunkElems
+	ringChunkElems = n
+	return old
 }
 
 // ringAllreduce implements reduce-scatter + allgather over a logical ring:
 // bandwidth-optimal (each rank sends 2·(p−1)/p of the buffer).
+//
+// Both phases are chunk-pipelined: every per-step ring chunk is processed
+// in sub-chunks of ringChunkElems, and each sub-chunk is forwarded to the
+// next rank the moment it is reduced (or received, in the allgather), so
+// downstream transport of sub-chunk k overlaps local reduction of
+// sub-chunk k+1. Sub-chunks of one step share a tag; per-(src, tag) FIFO
+// ordering keeps them in sequence. The only buffer is a per-Comm scratch
+// of one sub-chunk.
 func (c *Comm) ringAllreduce(buf []float32, op func(dst, src []float32)) {
 	p := c.world.size
 	if p == 1 {
@@ -135,45 +169,51 @@ func (c *Comm) ringAllreduce(buf []float32, op func(dst, src []float32)) {
 	if n == 0 {
 		return
 	}
-	// Chunk boundaries: chunk i covers [bound[i], bound[i+1]).
-	bound := make([]int, p+1)
-	for i := 0; i <= p; i++ {
-		bound[i] = i * n / p
-	}
-	chunk := func(i int) []float32 {
-		i = ((i % p) + p) % p
-		return buf[bound[i]:bound[i+1]]
-	}
 	next := (c.rank + 1) % p
 	prev := (c.rank - 1 + p) % p
-	maxChunk := 0
-	for i := 0; i < p; i++ {
-		if s := bound[i+1] - bound[i]; s > maxChunk {
-			maxChunk = s
+	// Chunk i covers [i·n/p, (i+1)·n/p); bounds are computed, not stored.
+	chunk := func(i int) []float32 {
+		i = ((i % p) + p) % p
+		return buf[i*n/p : (i+1)*n/p]
+	}
+	cs := ringChunkElems
+	tmp := c.tmpScratch(min(cs, (n+p-1)/p))
+
+	// Prime the pipeline: step 0's traffic is this rank's own chunk,
+	// which needs no reduction first.
+	own := chunk(c.rank)
+	for lo := 0; lo < len(own); lo += cs {
+		c.Send(next, tagRing, own[lo:min(lo+cs, len(own))])
+	}
+	// Reduce-scatter: at step s this rank accumulates into chunk
+	// (rank−s−1); after p−1 steps, rank r owns the full sum of chunk
+	// (r+1) mod p. Each reduced sub-chunk is sent onward immediately —
+	// the last step's sub-chunks bridge straight into the allgather.
+	for step := 0; step < p-1; step++ {
+		rc := chunk(c.rank - step - 1)
+		for lo := 0; lo < len(rc); lo += cs {
+			hi := min(lo+cs, len(rc))
+			t := tmp[:hi-lo]
+			c.Recv(prev, tagRing+step, t)
+			op(rc[lo:hi], t)
+			if step < p-2 {
+				c.Send(next, tagRing+step+1, rc[lo:hi])
+			} else {
+				c.Send(next, tagRing+p, rc[lo:hi])
+			}
 		}
 	}
-	tmp := make([]float32, maxChunk)
-
-	// Reduce-scatter: after p−1 steps, rank r owns the full sum of chunk
-	// (r+1) mod p.
+	// Allgather: circulate the completed chunks; received sub-chunks land
+	// directly in place and are forwarded before the next one is awaited.
 	for step := 0; step < p-1; step++ {
-		sendIdx := c.rank - step
-		recvIdx := c.rank - step - 1
-		sc := chunk(sendIdx)
-		rc := chunk(recvIdx)
-		c.Send(next, tagRing+step, sc)
-		c.Recv(prev, tagRing+step, tmp[:len(rc)])
-		op(rc, tmp[:len(rc)])
-	}
-	// Allgather: circulate the completed chunks.
-	for step := 0; step < p-1; step++ {
-		sendIdx := c.rank + 1 - step
-		recvIdx := c.rank - step
-		sc := chunk(sendIdx)
-		rc := chunk(recvIdx)
-		c.Send(next, tagRing+p+step, sc)
-		c.Recv(prev, tagRing+p+step, tmp[:len(rc)])
-		copy(rc, tmp[:len(rc)])
+		rc := chunk(c.rank - step)
+		for lo := 0; lo < len(rc); lo += cs {
+			hi := min(lo+cs, len(rc))
+			c.Recv(prev, tagRing+p+step, rc[lo:hi])
+			if step < p-2 {
+				c.Send(next, tagRing+p+step+1, rc[lo:hi])
+			}
+		}
 	}
 }
 
@@ -190,7 +230,7 @@ func (c *Comm) recursiveDoubling(buf []float32, op func(dst, src []float32)) {
 		pof2 *= 2
 	}
 	rem := p - pof2
-	tmp := make([]float32, len(buf))
+	tmp := c.tmpScratch(len(buf))
 
 	// Phase 1: ranks [0, 2·rem) pair up; odd ranks send to even partners
 	// and sit out the main exchange.
@@ -232,7 +272,7 @@ func (c *Comm) recursiveDoubling(buf []float32, op func(dst, src []float32)) {
 // correctness reference the optimized algorithms are tested against.
 func (c *Comm) naiveAllreduce(buf []float32, op func(dst, src []float32)) {
 	if c.rank == 0 {
-		tmp := make([]float32, len(buf))
+		tmp := c.tmpScratch(len(buf))
 		for src := 1; src < c.world.size; src++ {
 			c.Recv(src, tagReduce, tmp)
 			op(buf, tmp)
@@ -246,6 +286,7 @@ func (c *Comm) naiveAllreduce(buf []float32, op func(dst, src []float32)) {
 // Gather collects equal-length contributions on root; on root, out must
 // have size·len(in) elements. Other ranks may pass out nil.
 func (c *Comm) Gather(in []float32, out []float32, root int) {
+	start := time.Now()
 	if c.rank == root {
 		if len(out) != len(in)*c.world.size {
 			panic(fmt.Sprintf("mpi: Gather out has %d elements, want %d", len(out), len(in)*c.world.size))
@@ -260,6 +301,7 @@ func (c *Comm) Gather(in []float32, out []float32, root int) {
 	} else {
 		c.Send(root, tagGather, in)
 	}
+	c.profile("gather", int64(len(in))*4, time.Since(start).Seconds())
 }
 
 // Allgather concatenates every rank's equal-length contribution on every
@@ -271,17 +313,16 @@ func (c *Comm) Allgather(in []float32, out []float32) {
 		panic(fmt.Sprintf("mpi: Allgather out has %d elements, want %d", len(out), len(in)*p))
 	}
 	copy(out[c.rank*len(in):(c.rank+1)*len(in)], in)
-	if p == 1 {
-		return
-	}
-	// Ring allgather.
-	next := (c.rank + 1) % p
-	prev := (c.rank - 1 + p) % p
-	for step := 0; step < p-1; step++ {
-		sendIdx := (c.rank - step + p) % p
-		recvIdx := (c.rank - step - 1 + p) % p
-		c.Send(next, tagAllgather+step, out[sendIdx*len(in):(sendIdx+1)*len(in)])
-		c.Recv(prev, tagAllgather+step, out[recvIdx*len(in):(recvIdx+1)*len(in)])
+	if p > 1 {
+		// Ring allgather.
+		next := (c.rank + 1) % p
+		prev := (c.rank - 1 + p) % p
+		for step := 0; step < p-1; step++ {
+			sendIdx := (c.rank - step + p) % p
+			recvIdx := (c.rank - step - 1 + p) % p
+			c.Send(next, tagAllgather+step, out[sendIdx*len(in):(sendIdx+1)*len(in)])
+			c.Recv(prev, tagAllgather+step, out[recvIdx*len(in):(recvIdx+1)*len(in)])
+		}
 	}
 	c.profile("allgather", int64(len(out))*4, time.Since(start).Seconds())
 }

@@ -22,10 +22,10 @@ func (c *Comm) Reduce(buf []float32, root int) {
 	if vrank != 0 {
 		// Work on a copy so the caller's buffer is not clobbered on
 		// non-root ranks (MPI_Reduce semantics).
-		acc = make([]float32, len(buf))
+		acc = c.workScratch(len(buf))
 		copy(acc, buf)
 	}
-	tmp := make([]float32, len(buf))
+	tmp := c.tmpScratch(len(buf))
 	for mask := 1; mask < size; mask <<= 1 {
 		if vrank&mask != 0 {
 			parent := ((vrank &^ mask) + root) % size
@@ -58,11 +58,11 @@ func (c *Comm) ReduceScatterBlock(buf []float32, recv []float32) {
 		return
 	}
 	// Work on a copy to preserve MPI semantics (buf unchanged).
-	work := make([]float32, len(buf))
+	work := c.workScratch(len(buf))
 	copy(work, buf)
 	next := (c.rank + 1) % p
 	prev := (c.rank - 1 + p) % p
-	tmp := make([]float32, block)
+	tmp := c.tmpScratch(block)
 	chunk := func(i int) []float32 {
 		i = ((i % p) + p) % p
 		return work[i*block : (i+1)*block]
@@ -96,7 +96,7 @@ func (c *Comm) HierarchicalAllreduce(buf []float32, groupSize int) {
 	if groupEnd > p {
 		groupEnd = p
 	}
-	tmp := make([]float32, len(buf))
+	tmp := c.tmpScratch(len(buf))
 
 	// Phase 1: intra-group reduce onto the leader (flat gather-reduce;
 	// groups are small — 4 GPUs per node on Lassen).
@@ -133,21 +133,13 @@ func (c *Comm) leaderRing(buf []float32, groupSize, leaders int) {
 	nextLeader := ((me + 1) % leaders) * groupSize
 	prevLeader := ((me - 1 + leaders) % leaders) * groupSize
 	n := len(buf)
-	bound := make([]int, leaders+1)
-	for i := 0; i <= leaders; i++ {
-		bound[i] = i * n / leaders
-	}
+	// Chunk i covers [i·n/leaders, (i+1)·n/leaders). The scratch lives in
+	// scrWork: scrTmp still holds HierarchicalAllreduce's phase-1 buffer.
 	chunk := func(i int) []float32 {
 		i = ((i % leaders) + leaders) % leaders
-		return buf[bound[i]:bound[i+1]]
+		return buf[i*n/leaders : (i+1)*n/leaders]
 	}
-	maxChunk := 0
-	for i := 0; i < leaders; i++ {
-		if s := bound[i+1] - bound[i]; s > maxChunk {
-			maxChunk = s
-		}
-	}
-	tmp := make([]float32, maxChunk)
+	tmp := c.workScratch((n + leaders - 1) / leaders)
 	for step := 0; step < leaders-1; step++ {
 		sc := chunk(me - step)
 		rc := chunk(me - step - 1)

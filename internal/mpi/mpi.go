@@ -13,6 +13,7 @@ package mpi
 
 import (
 	"fmt"
+	"math/bits"
 	"sync"
 )
 
@@ -66,10 +67,56 @@ func (m *mailbox) get(src, tag int) message {
 	}
 }
 
+// bufPool recycles message payload buffers so steady-state point-to-point
+// traffic performs no heap allocations: Send draws a buffer from the
+// pool instead of allocating a copy, and Recv returns it after the
+// payload is copied out. Buffers are segregated into power-of-two size
+// classes; the pool grows to the peak number of concurrent in-flight
+// messages per class and is stable afterwards.
+type bufPool struct {
+	mu      sync.Mutex
+	classes [33][][]float32
+}
+
+// sizeClass returns the class index whose buffers have capacity 2^k ≥ n.
+func sizeClass(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return bits.Len(uint(n - 1))
+}
+
+func (p *bufPool) get(n int) []float32 {
+	if n == 0 {
+		return nil
+	}
+	k := sizeClass(n)
+	p.mu.Lock()
+	if s := p.classes[k]; len(s) > 0 {
+		buf := s[len(s)-1]
+		p.classes[k] = s[:len(s)-1]
+		p.mu.Unlock()
+		return buf[:n]
+	}
+	p.mu.Unlock()
+	return make([]float32, n, 1<<k)
+}
+
+func (p *bufPool) put(buf []float32) {
+	if cap(buf) == 0 {
+		return
+	}
+	k := sizeClass(cap(buf))
+	p.mu.Lock()
+	p.classes[k] = append(p.classes[k], buf[:cap(buf)])
+	p.mu.Unlock()
+}
+
 // World is a set of communicating ranks sharing one address space.
 type World struct {
 	size      int
 	mailboxes []*mailbox
+	pool      bufPool
 }
 
 // NewWorld creates a world with the given number of ranks.
@@ -111,10 +158,45 @@ func (w *World) Run(fn func(c *Comm)) {
 }
 
 // Comm is one rank's handle on the world.
+//
+// A Comm is a single-goroutine object for reducing collectives: the
+// allreduce family, Reduce, and ReduceScatterBlock share the per-Comm
+// scratch buffers below and must not run concurrently on one Comm.
+// Point-to-point Send/Recv, Bcast, and Barrier are scratch-free, so a
+// background engine may negotiate on its own collectives while the
+// owning goroutine broadcasts (the Horovod startup pattern). Distinct
+// Comm values for the same rank (each World.Comm call returns a fresh
+// one) have independent scratch.
 type Comm struct {
 	world    *World
 	rank     int
 	Profiler Profiler
+
+	// scrTmp receives chunks inside the allreduce algorithms; scrWork is
+	// the secondary buffer of the two-buffer collectives (Reduce's
+	// accumulator copy, ReduceScatterBlock's working copy). Both grow to
+	// the largest message seen and are reused, so the reduction path is
+	// allocation-free in steady state.
+	scrTmp  []float32
+	scrWork []float32
+}
+
+// tmpScratch returns the per-Comm receive scratch with at least n
+// elements.
+func (c *Comm) tmpScratch(n int) []float32 {
+	if cap(c.scrTmp) < n {
+		c.scrTmp = make([]float32, n)
+	}
+	return c.scrTmp[:n]
+}
+
+// workScratch returns the per-Comm secondary work buffer with at least n
+// elements.
+func (c *Comm) workScratch(n int) []float32 {
+	if cap(c.scrWork) < n {
+		c.scrWork = make([]float32, n)
+	}
+	return c.scrWork[:n]
 }
 
 // Rank returns this communicator's rank.
@@ -124,12 +206,14 @@ func (c *Comm) Rank() int { return c.rank }
 func (c *Comm) Size() int { return c.world.size }
 
 // Send delivers a copy of data to dst with the given tag (blocking send
-// semantics: the buffer may be reused on return).
+// semantics: the buffer may be reused on return). The copy lives in a
+// pooled buffer recycled by the matching Recv, so steady-state traffic
+// does not allocate.
 func (c *Comm) Send(dst, tag int, data []float32) {
 	if dst < 0 || dst >= c.world.size {
 		panic(fmt.Sprintf("mpi: Send to invalid rank %d", dst))
 	}
-	cp := make([]float32, len(data))
+	cp := c.world.pool.get(len(data))
 	copy(cp, data)
 	c.world.mailboxes[dst].put(message{src: c.rank, tag: tag, data: cp})
 }
@@ -146,6 +230,7 @@ func (c *Comm) Recv(src, tag int, buf []float32) {
 			len(buf), len(msg.data), src, tag))
 	}
 	copy(buf, msg.data)
+	c.world.pool.put(msg.data)
 }
 
 // Sendrecv exchanges buffers with two peers (send to dst, receive from

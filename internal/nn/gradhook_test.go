@@ -1,0 +1,114 @@
+package nn
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+// hookNet builds a 3-conv Sequential whose backward walks c3 → c2 → c1.
+func hookNet(rng *tensor.RNG) *Sequential {
+	return NewSequential("net",
+		NewConv2d("c1", 2, 4, 3, 1, 1, true, rng),
+		NewReLU(),
+		NewConv2d("c2", 4, 4, 3, 1, 1, true, rng),
+		NewReLU(),
+		NewConv2d("c3", 4, 2, 3, 1, 1, false, rng),
+	)
+}
+
+func runStep(t *testing.T, net *Sequential) {
+	t.Helper()
+	x := tensor.New(1, 2, 6, 6)
+	x.FillUniform(tensor.NewRNG(7), -0.5, 0.5)
+	out := net.Forward(x)
+	g := tensor.New(out.Shape()...)
+	g.FillUniform(tensor.NewRNG(8), -0.5, 0.5)
+	net.Backward(g)
+}
+
+// TestGradHookFiresInReverseLayerOrder is the contract the overlapped
+// distributed optimizer relies on: parameters are announced as their
+// layer's backward completes, last layer first.
+func TestGradHookFiresInReverseLayerOrder(t *testing.T) {
+	net := hookNet(tensor.NewRNG(1))
+	var order []string
+	net.SetGradHook(func(p *Param) { order = append(order, p.Name) })
+	runStep(t, net)
+	want := []string{"c3.weight", "c2.weight", "c2.bias", "c1.weight", "c1.bias"}
+	if !reflect.DeepEqual(order, want) {
+		t.Fatalf("hook order %v, want %v", order, want)
+	}
+}
+
+// TestGradHookSeesFinalGradients: at hook time the parameter's gradient
+// must already equal its end-of-backward value.
+func TestGradHookSeesFinalGradients(t *testing.T) {
+	net := hookNet(tensor.NewRNG(1))
+	snap := map[string][]float32{}
+	net.SetGradHook(func(p *Param) {
+		snap[p.Name] = append([]float32(nil), p.Grad.Data()...)
+	})
+	runStep(t, net)
+	for _, p := range net.Params() {
+		got, ok := snap[p.Name]
+		if !ok {
+			t.Fatalf("hook never fired for %q", p.Name)
+		}
+		if !reflect.DeepEqual(got, p.Grad.Data()) {
+			t.Fatalf("%q: gradient changed after hook fired", p.Name)
+		}
+	}
+}
+
+func TestGradHookRemovedAndAppend(t *testing.T) {
+	net := hookNet(tensor.NewRNG(1))
+	fired := 0
+	net.SetGradHook(func(p *Param) { fired++ })
+
+	// Append after installation must re-snapshot: the new layer's params
+	// fire too.
+	net.Append(NewConv2d("c4", 2, 2, 3, 1, 1, true, tensor.NewRNG(2)))
+	runStep(t, net)
+	if fired != 7 { // 5 original params + c4.weight + c4.bias
+		t.Fatalf("hook fired %d times, want 7", fired)
+	}
+
+	fired = 0
+	net.SetGradHook(nil)
+	runStep(t, net)
+	if fired != 0 {
+		t.Fatalf("hook fired %d times after removal", fired)
+	}
+}
+
+// TestGradHookResBlockDelegation: a container of ResBlocks delegates the
+// hook to each block's body; params still fire in reverse order.
+func TestGradHookResBlockDelegation(t *testing.T) {
+	rng := tensor.NewRNG(3)
+	net := NewSequential("net",
+		NewResBlock("b0", StyleEDSR, 2, 0.1, rng),
+		NewResBlock("b1", StyleEDSR, 2, 0.1, rng),
+	)
+	var order []string
+	net.SetGradHook(func(p *Param) { order = append(order, p.Name) })
+	runStep2ch(t, net)
+	want := []string{
+		"b1.conv2.weight", "b1.conv2.bias", "b1.conv1.weight", "b1.conv1.bias",
+		"b0.conv2.weight", "b0.conv2.bias", "b0.conv1.weight", "b0.conv1.bias",
+	}
+	if !reflect.DeepEqual(order, want) {
+		t.Fatalf("hook order %v, want %v", order, want)
+	}
+}
+
+func runStep2ch(t *testing.T, net *Sequential) {
+	t.Helper()
+	x := tensor.New(1, 2, 5, 5)
+	x.FillUniform(tensor.NewRNG(9), -0.5, 0.5)
+	out := net.Forward(x)
+	g := tensor.New(out.Shape()...)
+	g.FillUniform(tensor.NewRNG(10), -0.5, 0.5)
+	net.Backward(g)
+}

@@ -45,10 +45,33 @@ type Layer interface {
 	Params() []*Param
 }
 
+// GradHook observes a parameter whose gradient accumulation for the
+// current backward pass has just completed. It fires on the goroutine
+// running Backward, after the owning layer's Backward returns, so p.Grad
+// is final for the step — the hook may hand the buffer to a communication
+// engine immediately, overlapping the remaining backward computation with
+// gradient reduction.
+type GradHook func(p *Param)
+
+// GradNotifier is implemented by layers and containers that can fire a
+// GradHook during Backward. SetGradHook(nil) removes the hook. Containers
+// propagate the hook to notifier children and fire it themselves for
+// plain-Layer children.
+type GradNotifier interface {
+	SetGradHook(h GradHook)
+}
+
 // Sequential chains layers, feeding each one's output to the next.
 type Sequential struct {
 	Name   string
 	Layers []Layer
+
+	hook GradHook
+	// hookParams caches each non-notifier layer's Params() slice so
+	// Backward fires the hook without calling Params() per step (which
+	// would allocate). Entry i is nil when layer i notifies for itself or
+	// has no parameters.
+	hookParams [][]*Param
 }
 
 // NewSequential builds a sequential container.
@@ -57,7 +80,37 @@ func NewSequential(name string, layers ...Layer) *Sequential {
 }
 
 // Append adds a layer to the end of the chain.
-func (s *Sequential) Append(l Layer) { s.Layers = append(s.Layers, l) }
+func (s *Sequential) Append(l Layer) {
+	s.Layers = append(s.Layers, l)
+	if s.hook != nil {
+		s.SetGradHook(s.hook) // re-snapshot hookParams for the new layer
+	}
+}
+
+// SetGradHook installs h to fire for each layer's parameters as soon as
+// that layer's Backward returns (reverse layer order). Child layers that
+// are themselves GradNotifiers receive the hook and fire for their own
+// parameters.
+func (s *Sequential) SetGradHook(h GradHook) {
+	s.hook = h
+	s.hookParams = nil
+	if h == nil {
+		for _, l := range s.Layers {
+			if n, ok := l.(GradNotifier); ok {
+				n.SetGradHook(nil)
+			}
+		}
+		return
+	}
+	s.hookParams = make([][]*Param, len(s.Layers))
+	for i, l := range s.Layers {
+		if n, ok := l.(GradNotifier); ok {
+			n.SetGradHook(h)
+			continue
+		}
+		s.hookParams[i] = l.Params()
+	}
+}
 
 // Forward runs all layers in order.
 func (s *Sequential) Forward(x *tensor.Tensor) *tensor.Tensor {
@@ -67,10 +120,17 @@ func (s *Sequential) Forward(x *tensor.Tensor) *tensor.Tensor {
 	return x
 }
 
-// Backward runs all layers in reverse order.
+// Backward runs all layers in reverse order. With a gradient hook
+// installed, each layer's parameters are announced the moment that
+// layer's backward contribution completes.
 func (s *Sequential) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
 	for i := len(s.Layers) - 1; i >= 0; i-- {
 		gradOut = s.Layers[i].Backward(gradOut)
+		if s.hook != nil {
+			for _, p := range s.hookParams[i] {
+				s.hook(p)
+			}
+		}
 	}
 	return gradOut
 }

@@ -105,6 +105,10 @@ func (b *ResBlock) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
 // Params returns the body's parameters.
 func (b *ResBlock) Params() []*Param { return b.Body.Params() }
 
+// SetGradHook delegates to the body: its layers fire as Body.Backward
+// walks them in reverse. The skip connection adds no parameters.
+func (b *ResBlock) SetGradHook(h GradHook) { b.Body.SetGradHook(h) }
+
 // Flatten reshapes (N, C, H, W) to (N, C*H*W) for classifier heads.
 type Flatten struct {
 	inShape []int

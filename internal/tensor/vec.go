@@ -1,0 +1,52 @@
+package tensor
+
+import "fmt"
+
+// SIMD-dispatched element-wise vector kernels. These are the reduction
+// primitives of the communication path: every allreduce algorithm in
+// internal/mpi folds received chunks into the local buffer with VecAdd
+// (gradient sums) or VecMin (Horovod readiness-mask negotiation). They
+// follow the same dispatch pattern as the GEMM micro-kernel: an AVX2
+// assembly body on amd64 when the CPU and OS support it, and a pure-Go
+// loop everywhere else. Both kernels are in-place, allocation-free, and
+// safe for any length (including 0).
+
+// VecAdd accumulates src into dst element-wise: dst[i] += src[i].
+// The slices must have equal length.
+func VecAdd(dst, src []float32) {
+	if len(dst) != len(src) {
+		panic(fmt.Sprintf("tensor: VecAdd length mismatch %d vs %d", len(dst), len(src)))
+	}
+	if len(dst) == 0 {
+		return
+	}
+	vecAdd(dst, src)
+}
+
+// VecMin folds src into dst element-wise: dst[i] = min(dst[i], src[i]).
+// The slices must have equal length. NaN handling follows the scalar
+// comparison (a NaN in src never replaces dst); callers reduce readiness
+// masks and gradients, which are NaN-free by construction.
+func VecMin(dst, src []float32) {
+	if len(dst) != len(src) {
+		panic(fmt.Sprintf("tensor: VecMin length mismatch %d vs %d", len(dst), len(src)))
+	}
+	if len(dst) == 0 {
+		return
+	}
+	vecMin(dst, src)
+}
+
+func vecAddGeneric(dst, src []float32) {
+	for i, v := range src {
+		dst[i] += v
+	}
+}
+
+func vecMinGeneric(dst, src []float32) {
+	for i, v := range src {
+		if v < dst[i] {
+			dst[i] = v
+		}
+	}
+}

@@ -1,0 +1,33 @@
+package tensor
+
+// The vector kernels reuse the GEMM micro-kernel's CPU detection: the asm
+// bodies only need AVX (VADDPS/VMINPS on YMM), which detectFMA's
+// AVX2+FMA+OS-YMM check implies.
+
+func vecAdd(dst, src []float32) {
+	if n8 := len(dst) &^ 7; gemmHasFMA && n8 > 0 {
+		vecAddAVX(&dst[0], &src[0], n8)
+		dst, src = dst[n8:], src[n8:]
+	}
+	vecAddGeneric(dst, src)
+}
+
+func vecMin(dst, src []float32) {
+	if n8 := len(dst) &^ 7; gemmHasFMA && n8 > 0 {
+		vecMinAVX(&dst[0], &src[0], n8)
+		dst, src = dst[n8:], src[n8:]
+	}
+	vecMinGeneric(dst, src)
+}
+
+// vecAddAVX computes dst[i] += src[i] for i < n (vec_amd64.s).
+//
+//go:noescape
+func vecAddAVX(dst, src *float32, n int)
+
+// vecMinAVX computes dst[i] = min(dst[i], src[i]) for i < n, with the
+// scalar tie/NaN convention "src replaces dst only when src < dst"
+// (vec_amd64.s).
+//
+//go:noescape
+func vecMinAVX(dst, src *float32, n int)

@@ -1,0 +1,101 @@
+#include "textflag.h"
+
+// func vecAddAVX(dst, src *float32, n int)
+//
+// dst[i] += src[i] for i < n, 32 floats per main-loop iteration (4 YMM
+// pairs), then 8 at a time. n is a multiple of 8 (the Go wrapper handles
+// the scalar tail), but the loops are guarded so any n is safe.
+TEXT ·vecAddAVX(SB), NOSPLIT, $0-24
+	MOVQ dst+0(FP), DI
+	MOVQ src+8(FP), SI
+	MOVQ n+16(FP), CX
+
+add32:
+	CMPQ CX, $32
+	JLT  add8
+	VMOVUPS (DI), Y0
+	VMOVUPS 32(DI), Y1
+	VMOVUPS 64(DI), Y2
+	VMOVUPS 96(DI), Y3
+	VMOVUPS (SI), Y4
+	VMOVUPS 32(SI), Y5
+	VMOVUPS 64(SI), Y6
+	VMOVUPS 96(SI), Y7
+	VADDPS  Y4, Y0, Y0
+	VADDPS  Y5, Y1, Y1
+	VADDPS  Y6, Y2, Y2
+	VADDPS  Y7, Y3, Y3
+	VMOVUPS Y0, (DI)
+	VMOVUPS Y1, 32(DI)
+	VMOVUPS Y2, 64(DI)
+	VMOVUPS Y3, 96(DI)
+	ADDQ    $128, DI
+	ADDQ    $128, SI
+	SUBQ    $32, CX
+	JMP     add32
+
+add8:
+	CMPQ CX, $8
+	JLT  adddone
+	VMOVUPS (DI), Y0
+	VMOVUPS (SI), Y4
+	VADDPS  Y4, Y0, Y0
+	VMOVUPS Y0, (DI)
+	ADDQ    $32, DI
+	ADDQ    $32, SI
+	SUBQ    $8, CX
+	JMP     add8
+
+adddone:
+	VZEROUPPER
+	RET
+
+// func vecMinAVX(dst, src *float32, n int)
+//
+// dst[i] = min(dst[i], src[i]) for i < n. VMINPS with src as the first
+// source returns the second source (dst) on ties and NaNs, matching the
+// scalar "replace only when src < dst" convention.
+TEXT ·vecMinAVX(SB), NOSPLIT, $0-24
+	MOVQ dst+0(FP), DI
+	MOVQ src+8(FP), SI
+	MOVQ n+16(FP), CX
+
+min32:
+	CMPQ CX, $32
+	JLT  min8
+	VMOVUPS (DI), Y0
+	VMOVUPS 32(DI), Y1
+	VMOVUPS 64(DI), Y2
+	VMOVUPS 96(DI), Y3
+	VMOVUPS (SI), Y4
+	VMOVUPS 32(SI), Y5
+	VMOVUPS 64(SI), Y6
+	VMOVUPS 96(SI), Y7
+	VMINPS  Y0, Y4, Y0
+	VMINPS  Y1, Y5, Y1
+	VMINPS  Y2, Y6, Y2
+	VMINPS  Y3, Y7, Y3
+	VMOVUPS Y0, (DI)
+	VMOVUPS Y1, 32(DI)
+	VMOVUPS Y2, 64(DI)
+	VMOVUPS Y3, 96(DI)
+	ADDQ    $128, DI
+	ADDQ    $128, SI
+	SUBQ    $32, CX
+	JMP     min32
+
+min8:
+	CMPQ CX, $8
+	JLT  mindone
+	VMOVUPS (DI), Y0
+	VMOVUPS (SI), Y4
+	VMINPS  Y0, Y4, Y0
+	VMOVUPS Y0, (DI)
+	ADDQ    $32, DI
+	ADDQ    $32, SI
+	SUBQ    $8, CX
+	JMP     min8
+
+mindone:
+	VZEROUPPER
+	RET

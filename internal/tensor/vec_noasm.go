@@ -1,0 +1,7 @@
+//go:build !amd64
+
+package tensor
+
+func vecAdd(dst, src []float32) { vecAddGeneric(dst, src) }
+
+func vecMin(dst, src []float32) { vecMinGeneric(dst, src) }

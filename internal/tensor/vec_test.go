@@ -1,0 +1,119 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+)
+
+// vecCase builds deterministic operands of length n with mixed signs and
+// magnitudes, exercising both the unrolled SIMD body and the scalar tail.
+func vecCase(n int) (dst, src []float32) {
+	dst = make([]float32, n)
+	src = make([]float32, n)
+	for i := range dst {
+		dst[i] = float32(i%17) - 8.25
+		src[i] = float32((i*7)%23) - 11.5
+	}
+	return dst, src
+}
+
+func TestVecAddMatchesGeneric(t *testing.T) {
+	for _, n := range []int{0, 1, 3, 7, 8, 9, 15, 16, 31, 32, 33, 63, 64, 100, 1023, 4096} {
+		got, src := vecCase(n)
+		want := append([]float32(nil), got...)
+		VecAdd(got, src)
+		vecAddGeneric(want, src)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("n=%d elem %d: %g want %g", n, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestVecMinMatchesGeneric(t *testing.T) {
+	for _, n := range []int{0, 1, 5, 8, 13, 16, 32, 37, 64, 255, 1000} {
+		got, src := vecCase(n)
+		want := append([]float32(nil), got...)
+		VecMin(got, src)
+		vecMinGeneric(want, src)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("n=%d elem %d: %g want %g", n, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestVecMinReadinessMask(t *testing.T) {
+	// The negotiation use case: 0/1 masks, min picks 0 whenever any rank
+	// reports not-ready.
+	n := 67
+	dst := make([]float32, n)
+	src := make([]float32, n)
+	for i := range dst {
+		dst[i] = 1
+		src[i] = float32(i % 2)
+	}
+	VecMin(dst, src)
+	for i, v := range dst {
+		if v != float32(i%2) {
+			t.Fatalf("elem %d: %g", i, v)
+		}
+	}
+}
+
+func TestVecLengthMismatchPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { VecAdd(make([]float32, 3), make([]float32, 4)) },
+		func() { VecMin(make([]float32, 4), make([]float32, 3)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestVecAddZeroAlloc(t *testing.T) {
+	dst, src := vecCase(4096)
+	if a := testing.AllocsPerRun(100, func() { VecAdd(dst, src) }); a != 0 {
+		t.Fatalf("VecAdd allocates %g per run", a)
+	}
+	if a := testing.AllocsPerRun(100, func() { VecMin(dst, src) }); a != 0 {
+		t.Fatalf("VecMin allocates %g per run", a)
+	}
+}
+
+func TestVecMinNaNKeepsDst(t *testing.T) {
+	// src NaN must not replace dst (scalar convention "src < dst").
+	nan := float32(math.NaN())
+	dst := []float32{1, 2, 3, 4, 5, 6, 7, 8, 9}
+	src := []float32{nan, nan, nan, nan, nan, nan, nan, nan, nan}
+	VecMin(dst, src)
+	for i, v := range dst {
+		if v != float32(i+1) {
+			t.Fatalf("elem %d: %g, NaN src replaced dst", i, v)
+		}
+	}
+}
+
+func BenchmarkVecAdd(b *testing.B) {
+	dst, src := vecCase(1 << 20)
+	b.SetBytes(1 << 22)
+	for i := 0; i < b.N; i++ {
+		VecAdd(dst, src)
+	}
+}
+
+func BenchmarkVecAddGeneric(b *testing.B) {
+	dst, src := vecCase(1 << 20)
+	b.SetBytes(1 << 22)
+	for i := 0; i < b.N; i++ {
+		vecAddGeneric(dst, src)
+	}
+}

@@ -162,6 +162,9 @@ func trainRank(cfg Config, comm *mpi.Comm, engine *horovod.Engine) (*models.EDSR
 	} = opt
 	if engine != nil {
 		d := horovod.NewDistributedOptimizer(opt, engine)
+		// Overlap backward with communication: each parameter is submitted
+		// for reduction the moment its backward contribution completes.
+		model.SetGradHook(d.GradHook())
 		engine.Start()
 		defer engine.Shutdown()
 		horovod.BroadcastParameters(comm, params, 0)

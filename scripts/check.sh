@@ -2,8 +2,9 @@
 # check.sh — repository health gates.
 #
 # Tier 1 (must stay green): build + full test suite.
-# Tier 2 (kernel hygiene): vet, formatting, and the race detector over
-# the batch-parallel convolution and blocked-GEMM paths.
+# Tier 2 (hygiene): vet, formatting, the race detector over the
+# batch-parallel kernel paths and the overlapped communication path, the
+# zero-allocation steady-state gates, and a bench-comm smoke run.
 set -e
 
 cd "$(dirname "$0")/.."
@@ -25,5 +26,15 @@ fi
 
 echo "== tier 2: race detector (parallel conv + GEMM)"
 go test -race ./internal/nn/ ./internal/tensor/
+
+echo "== tier 2: race detector (overlapped backward/comm + collectives)"
+go test -race ./internal/mpi/ ./internal/horovod/
+
+echo "== tier 2: zero-allocation steady-state gates"
+go test -run 'ZeroAlloc|NoAllocs' -v ./internal/mpi/ ./internal/nn/ ./internal/tensor/ | grep -E '^(--- (PASS|FAIL)|ok|FAIL)'
+
+echo "== tier 2: bench-comm smoke"
+go run ./cmd/bench-comm -quick -steps 2 -o /tmp/BENCH_comm_smoke.json
+rm -f /tmp/BENCH_comm_smoke.json
 
 echo "all checks passed"
