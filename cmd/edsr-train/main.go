@@ -7,17 +7,42 @@
 //
 //	edsr-train [-ranks N] [-steps N] [-batch N] [-patch N] [-scale 2|3|4]
 //	           [-blocks N] [-feats N] [-lr 1e-3] [-checkpoint path] [-eval N]
+//
+// Fault-tolerant multi-rank runs (crash-safe checkpoints, elastic
+// restart) add:
+//
+//	edsr-train -ranks 4 -checkpoint ck.gob -ckpt-every 10 \
+//	           [-inject-fault rank@step] [-recv-timeout 2s] [-resume ck.gob]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 
 	"repro/internal/data"
 	"repro/internal/models"
+	"repro/internal/mpi"
 	"repro/internal/trainer"
 )
+
+// parseFaultSpec parses "rank@step" into a crash-injection plan.
+func parseFaultSpec(s string) (mpi.FaultPlan, error) {
+	plan := mpi.NoFaults()
+	rankStr, stepStr, ok := strings.Cut(s, "@")
+	if !ok {
+		return plan, fmt.Errorf("bad -inject-fault %q: want rank@step", s)
+	}
+	rank, err1 := strconv.Atoi(rankStr)
+	step, err2 := strconv.Atoi(stepStr)
+	if err1 != nil || err2 != nil || rank < 0 || step < 0 {
+		return plan, fmt.Errorf("bad -inject-fault %q: want rank@step", s)
+	}
+	plan.CrashRank, plan.CrashStep = rank, step
+	return plan, nil
+}
 
 func main() {
 	arch := flag.String("arch", "edsr", "architecture: edsr, srcnn, srresnet, or fsrcnn (non-edsr train single-process)")
@@ -37,6 +62,10 @@ func main() {
 	resume := flag.String("resume", "", "resume from a training state saved with -state")
 	benchsets := flag.Bool("benchsets", false, "evaluate on the standard benchmark sets after training")
 	logEvery := flag.Int("log", 20, "log every N steps")
+	ckptEvery := flag.Int("ckpt-every", 0, "multi-rank: write a distributed checkpoint to -checkpoint every N steps")
+	injectFault := flag.String("inject-fault", "", "multi-rank: crash injection \"rank@step\" (fault-tolerance experiments)")
+	recvTimeout := flag.Duration("recv-timeout", 0, "multi-rank: failure-detection deadline for receives (0 disables)")
+	maxRestarts := flag.Int("max-restarts", 2, "multi-rank: elastic restarts allowed after rank failures")
 	flag.Parse()
 
 	cfg := trainer.Config{
@@ -82,13 +111,14 @@ func main() {
 		return
 	}
 
+	if *state != "" && *ranks != 1 {
+		fmt.Fprintln(os.Stderr, "-state supports single-rank training only (multi-rank: -checkpoint with -ckpt-every)")
+		os.Exit(2)
+	}
+
 	// Resumable single-rank path: session-based training with full-state
-	// checkpoints.
-	if *state != "" || *resume != "" {
-		if *ranks != 1 {
-			fmt.Fprintln(os.Stderr, "-state/-resume support single-rank training only")
-			os.Exit(2)
-		}
+	// checkpoints. Multi-rank -resume falls through to the elastic path.
+	if *ranks == 1 && (*state != "" || *resume != "") {
 		var sess *trainer.Session
 		if *resume != "" {
 			sess, err = trainer.ResumeSession(*resume)
@@ -120,6 +150,68 @@ func main() {
 		}
 		if *evalN > 0 {
 			pm, pb := trainer.Evaluate(sess.Model, sess.Cfg, *evalN)
+			fmt.Printf("held-out PSNR: EDSR %.2f dB vs bicubic %.2f dB (Δ %+.2f dB)\n", pm, pb, pm-pb)
+		}
+		return
+	}
+
+	// Fault-tolerant multi-rank path: periodic distributed checkpoints,
+	// optional crash injection, elastic restart with the survivors.
+	if *ranks > 1 && (*ckptEvery > 0 || *injectFault != "" || *recvTimeout > 0 || *resume != "") {
+		ckptPath := *checkpoint
+		if *resume != "" {
+			ckptPath = *resume
+		}
+		if ckptPath == "" && *ckptEvery > 0 {
+			fmt.Fprintln(os.Stderr, "-ckpt-every needs -checkpoint (or -resume) to name the state file")
+			os.Exit(2)
+		}
+		fault := mpi.NoFaults()
+		if *injectFault != "" {
+			fault, err = parseFaultSpec(*injectFault)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+		}
+		if *resume != "" {
+			step, ws, err := trainer.LoadElasticState(ckptPath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "resume failed:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("resuming from %s (step %d, saved by a %d-rank world)\n", ckptPath, step, ws)
+		}
+		fmt.Printf("Training EDSR (B=%d, F=%d, x%d) on %d rank(s), batch %d, %d steps (elastic)\n",
+			*blocks, *feats, *scale, *ranks, *batch, *steps)
+		model, stats, err := trainer.TrainElastic(trainer.ElasticConfig{
+			Train:           cfg,
+			WorldSize:       *ranks,
+			CheckpointPath:  ckptPath,
+			CheckpointEvery: *ckptEvery,
+			RecvTimeout:     *recvTimeout,
+			Fault:           fault,
+			MaxRestarts:     *maxRestarts,
+		})
+		for i, a := range stats.Attempts {
+			status := "ok"
+			if a.Err != "" {
+				// errors.Join output is one line per failed rank; the first
+				// line carries the root cause.
+				status, _, _ = strings.Cut(a.Err, "\n")
+			}
+			fmt.Printf("attempt %d: world %d, steps %d..%d, avg loss %.5f — %s\n",
+				i+1, a.WorldSize, a.StartStep, a.EndStep, a.AvgLoss, status)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "training failed:", err)
+			os.Exit(1)
+		}
+		if stats.Restarts > 0 {
+			fmt.Printf("recovered from %d rank failure(s) via elastic restart\n", stats.Restarts)
+		}
+		if *evalN > 0 {
+			pm, pb := trainer.Evaluate(model, cfg, *evalN)
 			fmt.Printf("held-out PSNR: EDSR %.2f dB vs bicubic %.2f dB (Δ %+.2f dB)\n", pm, pb, pm-pb)
 		}
 		return

@@ -59,6 +59,7 @@ type Engine struct {
 	ready    []bool
 	waiters  []chan struct{}
 	shutdown bool
+	failErr  error
 
 	fusion   []float32
 	readyIDs []int // loop-local ready set, reused across cycles
@@ -110,10 +111,16 @@ func (e *Engine) Start() {
 
 // Submit marks a tensor's gradient ready for reduction and returns a
 // channel closed when the reduced (averaged) values are back in the
-// registered buffer.
+// registered buffer. On a failed engine the channel is already closed —
+// the caller unblocks immediately and discovers the failure via Err.
 func (e *Engine) Submit(id int) <-chan struct{} {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	if e.failErr != nil {
+		done := make(chan struct{})
+		close(done)
+		return done
+	}
 	if e.ready[id] {
 		panic(fmt.Sprintf("horovod: tensor %q submitted twice before completion", e.names[id]))
 	}
@@ -134,12 +141,39 @@ func (e *Engine) SubmitByName(name string) <-chan struct{} {
 
 // Shutdown negotiates a clean stop: the loop exits once every rank has
 // requested shutdown and no tensors remain pending. Blocks until the
-// background loop ends.
+// background loop ends. On a failed engine (a peer died mid-run) the
+// loop has already aborted and Shutdown returns immediately.
 func (e *Engine) Shutdown() {
 	e.mu.Lock()
 	e.shutdown = true
 	e.mu.Unlock()
 	<-e.loopDone
+}
+
+// Err returns the failure that aborted the engine, or nil while it is
+// healthy. The error is a *mpi.RankError when a peer rank died.
+func (e *Engine) Err() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.failErr
+}
+
+// fail records the first failure, releases every waiter (so a Drain
+// blocked on an in-flight reduction unblocks and can observe Err), and
+// makes future Submits complete immediately.
+func (e *Engine) fail(err error) {
+	e.mu.Lock()
+	if e.failErr == nil {
+		e.failErr = err
+		for i, w := range e.waiters {
+			if w != nil {
+				close(w)
+				e.waiters[i] = nil
+			}
+			e.ready[i] = false
+		}
+	}
+	e.mu.Unlock()
 }
 
 // loop is the Horovod background thread: each cycle it collects locally
@@ -148,12 +182,33 @@ func (e *Engine) Shutdown() {
 // gather), fuses them within the threshold, and executes the reductions.
 func (e *Engine) loop() {
 	defer close(e.loopDone)
+	// The loop runs collectives on its own goroutine, outside World.Run's
+	// per-rank recovery — a dead peer surfacing as a *mpi.RankError panic
+	// inside NegotiateMin or an allreduce would crash the process. Recover
+	// it here and convert it into an engine failure instead: waiters are
+	// released and the training loop observes Err at its next Drain.
+	defer func() {
+		if r := recover(); r != nil {
+			if err, ok := r.(error); ok {
+				e.fail(fmt.Errorf("horovod: engine aborted: %w", err))
+			} else {
+				e.fail(fmt.Errorf("horovod: engine panicked: %v", r))
+			}
+		}
+	}()
 	n := len(e.names)
 	mask := make([]float32, n+1) // last slot carries the shutdown vote
 	e.readyIDs = make([]int, 0, n)
 	for {
 		if e.cfg.CycleTime > 0 {
 			time.Sleep(e.cfg.CycleTime)
+		}
+		// A crashed peer never negotiates again: without this check the
+		// cycle would keep min-ing all-zero masks forever (the classic
+		// Horovod stall) instead of surfacing the failure.
+		if err := e.comm.PeerFailure(); err != nil {
+			e.fail(fmt.Errorf("horovod: engine aborted: %w", err))
+			return
 		}
 		e.mu.Lock()
 		for i := 0; i < n; i++ {

@@ -1,0 +1,101 @@
+package horovod
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/mpi"
+	"repro/internal/nn"
+)
+
+// TestEngineAbortsOnRankCrash is the engine-level fault gate: one rank
+// dies at its fault point mid-training; the survivors' engines must
+// detect the dead peer, release their Drain waiters, and surface a
+// *mpi.RankError through World.Run — within the deadline, with no hang
+// and no process panic.
+func TestEngineAbortsOnRankCrash(t *testing.T) {
+	const world, steps, crashRank, crashStep = 3, 6, 1, 3
+	w := mpi.NewWorld(world)
+	w.SetRecvTimeout(2 * time.Second)
+	plan := mpi.NoFaults()
+	plan.CrashRank, plan.CrashStep = crashRank, crashStep
+	w.SetFaultPlan(plan)
+
+	stepsDone := make([]int, world)
+	done := make(chan error, 1)
+	go func() {
+		done <- w.Run(func(c *mpi.Comm) {
+			p := nn.NewParam("w", 4, 4)
+			opt := nn.NewSGD([]*nn.Param{p}, 0.1, 0, 0)
+			e := NewEngine(c, Config{CycleTime: 0, Average: true, Algo: mpi.AlgoRing})
+			dopt := NewDistributedOptimizer(opt, e)
+			e.Start()
+			defer e.Shutdown()
+			for s := 0; s < steps; s++ {
+				c.FaultPoint(s)
+				for i := range p.Grad.Data() {
+					p.Grad.Data()[i] = float32(c.Rank() + s)
+				}
+				dopt.Step()
+				stepsDone[c.Rank()]++
+			}
+		})
+	}()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("expected failure error")
+		}
+		if !errors.Is(err, mpi.ErrRankFailed) {
+			t.Fatalf("error chain missing ErrRankFailed: %v", err)
+		}
+		if !errors.Is(err, mpi.ErrInjectedFault) {
+			t.Fatalf("error chain missing ErrInjectedFault: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("training deadlocked on crashed rank")
+	}
+	if got := w.FailedRanks(); len(got) != 1 || got[0] != crashRank {
+		t.Fatalf("FailedRanks = %v, want [%d]", got, crashRank)
+	}
+	if got := len(w.Survivors()); got != world-1 {
+		t.Fatalf("%d survivors, want %d", got, world-1)
+	}
+	// The crashed rank completed exactly crashStep steps; survivors
+	// cannot have advanced past the step the reduction stalled on.
+	if stepsDone[crashRank] != crashStep {
+		t.Fatalf("crashed rank did %d steps, want %d", stepsDone[crashRank], crashStep)
+	}
+	for r, n := range stepsDone {
+		if r != crashRank && n < crashStep-1 {
+			t.Fatalf("rank %d only completed %d steps before abort", r, n)
+		}
+	}
+}
+
+// TestEngineErrAndSubmitAfterFailure pins the failure API: after fail,
+// Err is set, waiters are closed, and Submit returns a closed channel.
+func TestEngineErrAndSubmitAfterFailure(t *testing.T) {
+	w := mpi.NewWorld(1)
+	c := w.Comm(0)
+	e := NewEngine(c, Config{CycleTime: time.Hour}) // loop effectively idle
+	buf := make([]float32, 4)
+	id := e.Register("g", buf)
+	pending := e.Submit(id)
+	cause := errors.New("boom")
+	e.fail(cause)
+	select {
+	case <-pending:
+	case <-time.After(5 * time.Second):
+		t.Fatal("waiter not released on failure")
+	}
+	if err := e.Err(); !errors.Is(err, cause) {
+		t.Fatalf("Err = %v, want %v", err, cause)
+	}
+	select {
+	case <-e.Submit(id):
+	case <-time.After(5 * time.Second):
+		t.Fatal("Submit after failure must return a closed channel")
+	}
+}

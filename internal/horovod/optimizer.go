@@ -82,6 +82,12 @@ func (d *DistributedOptimizer) GradHook() nn.GradHook { return d.hook }
 // and blocks until every outstanding reduction completes. Step calls it
 // before the wrapped update; callers that want to schedule or measure
 // the exposed communication window may call it directly.
+//
+// If the engine failed (a peer rank died), its waiters are closed
+// without results; Drain then panics with the engine's error — a
+// *mpi.RankError — which World.Run recovers into this rank's per-rank
+// error, so a dead peer aborts the step instead of hanging it or
+// silently applying garbage gradients.
 func (d *DistributedOptimizer) Drain() {
 	for i := len(d.ids) - 1; i >= 0; i-- {
 		if d.pending[i] == nil {
@@ -92,10 +98,14 @@ func (d *DistributedOptimizer) Drain() {
 		<-w
 		d.pending[i] = nil
 	}
+	if err := d.engine.Err(); err != nil {
+		panic(err)
+	}
 }
 
 // Step drains all gradient reductions, then applies the wrapped
-// optimizer's update.
+// optimizer's update. On a failed engine Drain panics before the update
+// is applied (see Drain).
 func (d *DistributedOptimizer) Step() {
 	d.Drain()
 	d.inner.Step()

@@ -1,0 +1,243 @@
+package mpi
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Failure sentinels. Every failure the substrate reports is wrapped in a
+// *RankError, and errors.Is(err, ErrRankFailed) matches all of them;
+// the finer-grained sentinels name the cause.
+var (
+	// ErrRankFailed matches any *RankError (the generic "a rank is gone").
+	ErrRankFailed = errors.New("mpi: rank failed")
+	// ErrRecvTimeout is the cause when a peer stayed silent past the
+	// world's receive deadline — the timeout-based failure detection
+	// Horovod uses for stall/dead-worker detection.
+	ErrRecvTimeout = errors.New("mpi: receive deadline exceeded")
+	// ErrInjectedFault is the cause planted by a FaultPlan crash.
+	ErrInjectedFault = errors.New("mpi: injected fault")
+)
+
+// RankError reports that a rank can no longer participate in the world:
+// it crashed, panicked, timed out, or aborted after observing another
+// failure. Rank is the rank being reported dead (not necessarily the
+// rank that detected it); Err is the cause.
+type RankError struct {
+	Rank int
+	Err  error
+}
+
+func (e *RankError) Error() string {
+	return fmt.Sprintf("mpi: rank %d failed: %v", e.Rank, e.Err)
+}
+
+// Unwrap exposes the cause to errors.Is/As chains.
+func (e *RankError) Unwrap() error { return e.Err }
+
+// Is makes every RankError match the generic ErrRankFailed sentinel.
+func (e *RankError) Is(target error) bool { return target == ErrRankFailed }
+
+// FaultPlan is a deterministic fault-injection schedule for a World. The
+// zero value injects nothing only by accident of rank 0 existing; build
+// plans from NoFaults so disabled slots are explicit (-1).
+type FaultPlan struct {
+	// CrashRank dies with ErrInjectedFault when it calls
+	// Comm.FaultPoint(CrashStep) — training loops call FaultPoint once
+	// per step, so this is "rank crashes at step N". -1 disables.
+	CrashRank int
+	// CrashStep is the FaultPoint argument at which CrashRank dies.
+	CrashStep int
+
+	// DropRank's sends vanish silently starting with its (DropAfter+1)-th
+	// message: the process keeps computing but peers stop hearing from it
+	// (a dead NIC / partitioned node). Peers detect it through the
+	// receive deadline. -1 disables.
+	DropRank  int
+	DropAfter int
+
+	// DelayRank's messages are delivered only after Delay (a slow link;
+	// exercises deadline tuning without killing anyone). -1 disables.
+	DelayRank int
+	Delay     time.Duration
+}
+
+// NoFaults returns a plan with every injection disabled.
+func NoFaults() FaultPlan {
+	return FaultPlan{CrashRank: -1, DropRank: -1, DelayRank: -1}
+}
+
+// active reports whether the plan injects anything at all.
+func (p FaultPlan) active() bool {
+	return p.CrashRank >= 0 || p.DropRank >= 0 || (p.DelayRank >= 0 && p.Delay > 0)
+}
+
+// SetFaultPlan installs a fault-injection schedule. Call before Run.
+func (w *World) SetFaultPlan(p FaultPlan) {
+	if p.active() {
+		w.plan = &p
+	} else {
+		w.plan = nil
+	}
+}
+
+// SetRecvTimeout bounds how long any Recv waits for a message before
+// declaring the sender failed (0, the default, waits forever). Deadlines
+// are evaluated by a watchdog that World.Run manages, so timeouts fire
+// only inside Run — exactly where multi-rank jobs live.
+func (w *World) SetRecvTimeout(d time.Duration) { w.recvTimeout = d }
+
+// markDown records that a rank is out of the computation and wakes every
+// blocked receiver so the failure propagates instead of deadlocking.
+// root distinguishes the rank that originated a failure (crash, panic,
+// timeout victim) from ranks that merely aborted after observing one;
+// only root failures are excluded from Survivors.
+func (w *World) markDown(rank int, cause error, root bool) {
+	w.fmu.Lock()
+	if _, dup := w.down[rank]; !dup {
+		w.down[rank] = cause
+	}
+	if root {
+		if _, dup := w.rootFailed[rank]; !dup {
+			w.rootFailed[rank] = cause
+		}
+	}
+	w.fmu.Unlock()
+	for _, mb := range w.mailboxes {
+		mb.mu.Lock()
+		mb.cond.Broadcast()
+		mb.mu.Unlock()
+	}
+}
+
+// downCause returns the recorded cause if rank is down, else nil.
+func (w *World) downCause(rank int) error {
+	w.fmu.Lock()
+	defer w.fmu.Unlock()
+	return w.down[rank]
+}
+
+// FailedRanks returns the ranks that originated failures (crashed,
+// panicked, or were declared dead by a receive timeout), sorted.
+func (w *World) FailedRanks() []int {
+	w.fmu.Lock()
+	defer w.fmu.Unlock()
+	ranks := make([]int, 0, len(w.rootFailed))
+	for r := range w.rootFailed {
+		ranks = append(ranks, r)
+	}
+	sort.Ints(ranks)
+	return ranks
+}
+
+// Survivors returns the ranks that did not originate a failure — the set
+// an elastic restart rebuilds the next, smaller world from. Ranks that
+// aborted because a peer died count as survivors.
+func (w *World) Survivors() []int {
+	w.fmu.Lock()
+	defer w.fmu.Unlock()
+	var ranks []int
+	for r := 0; r < w.size; r++ {
+		if _, failed := w.rootFailed[r]; !failed {
+			ranks = append(ranks, r)
+		}
+	}
+	return ranks
+}
+
+// PeerFailure returns a *RankError for the lowest-numbered down rank
+// (including the caller itself), or nil while the world is healthy.
+// Background engines poll it between negotiation rounds so they abort
+// instead of stalling on a dead peer's never-ready tensors.
+func (c *Comm) PeerFailure() error {
+	w := c.world
+	w.fmu.Lock()
+	defer w.fmu.Unlock()
+	if len(w.down) == 0 {
+		return nil
+	}
+	for r := 0; r < w.size; r++ {
+		if cause, ok := w.down[r]; ok {
+			return &RankError{Rank: r, Err: cause}
+		}
+	}
+	return nil
+}
+
+// FaultPoint is the per-step injection hook: training loops call it once
+// per step, and a FaultPlan scheduled to crash this rank at this step
+// kills it here — the rank marks itself down (waking every peer blocked
+// on it) and panics with a *RankError that World.Run converts into a
+// per-rank error. A nil plan makes this a no-op.
+func (c *Comm) FaultPoint(step int) {
+	p := c.world.plan
+	if p == nil || p.CrashRank != c.rank || step != p.CrashStep {
+		return
+	}
+	cause := fmt.Errorf("%w: rank %d crashed at step %d", ErrInjectedFault, c.rank, step)
+	c.world.markDown(c.rank, cause, true)
+	panic(&RankError{Rank: c.rank, Err: cause})
+}
+
+// recoverRankError converts a recovered panic value from rank's goroutine
+// into that rank's error and records the rank as down. A *RankError
+// naming another rank means this rank aborted after observing a peer
+// failure (it survives an elastic restart); anything else — including a
+// *RankError naming itself, the injected-crash path — makes this rank
+// the root cause.
+func (w *World) recoverRankError(rank int, r any) error {
+	if err, ok := r.(error); ok {
+		var re *RankError
+		if errors.As(err, &re) {
+			if re.Rank == rank {
+				w.markDown(rank, re.Err, true)
+				return err
+			}
+			wrapped := fmt.Errorf("rank %d aborted: %w", rank, err)
+			w.markDown(rank, wrapped, false)
+			return wrapped
+		}
+	}
+	err := fmt.Errorf("rank %d panicked: %v", rank, r)
+	w.markDown(rank, err, true)
+	return err
+}
+
+// startWatchdog launches the deadline evaluator for Run: a ticker that
+// periodically wakes every blocked receiver so expired Recv deadlines
+// are noticed even when no message ever arrives. Returns a stop func.
+// With no receive timeout configured there is nothing to evaluate and
+// the returned stop is a no-op.
+func (w *World) startWatchdog() func() {
+	if w.recvTimeout <= 0 {
+		return func() {}
+	}
+	tick := w.recvTimeout / 4
+	const minTick, maxTick = time.Millisecond, 200 * time.Millisecond
+	if tick < minTick {
+		tick = minTick
+	}
+	if tick > maxTick {
+		tick = maxTick
+	}
+	stop := make(chan struct{})
+	go func() {
+		t := time.NewTicker(tick)
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+				for _, mb := range w.mailboxes {
+					mb.mu.Lock()
+					mb.cond.Broadcast()
+					mb.mu.Unlock()
+				}
+			}
+		}
+	}()
+	return func() { close(stop) }
+}

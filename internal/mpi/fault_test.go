@@ -1,0 +1,228 @@
+package mpi
+
+import (
+	"errors"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestRunRecoversPanicAndReportsRank pins the satellite bugfix: a panic
+// in one rank's goroutine (here the Recv length-mismatch panic) must not
+// take down the process or the unrelated ranks, and the returned error
+// must say which rank failed and why.
+func TestRunRecoversPanicAndReportsRank(t *testing.T) {
+	w := NewWorld(3)
+	var rank2Done atomic.Bool
+	err := w.Run(func(c *Comm) {
+		switch c.Rank() {
+		case 0:
+			c.Send(1, 1, []float32{1, 2})
+		case 1:
+			c.Recv(0, 1, make([]float32, 3)) // panics: size mismatch
+		case 2:
+			rank2Done.Store(true) // unrelated rank keeps working
+		}
+	})
+	if err == nil {
+		t.Fatal("expected an error from the panicking rank")
+	}
+	if !strings.Contains(err.Error(), "rank 1") {
+		t.Fatalf("error does not identify rank 1: %v", err)
+	}
+	if !strings.Contains(err.Error(), "3 elements") {
+		t.Fatalf("error does not carry the panic cause: %v", err)
+	}
+	if !rank2Done.Load() {
+		t.Fatal("unrelated rank 2 did not complete")
+	}
+	if got := w.FailedRanks(); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("FailedRanks = %v, want [1]", got)
+	}
+}
+
+// TestRunCleanReturnsNil checks the healthy path is unchanged.
+func TestRunCleanReturnsNil(t *testing.T) {
+	w := NewWorld(4)
+	if err := w.Run(func(c *Comm) { c.Barrier() }); err != nil {
+		t.Fatalf("clean run returned %v", err)
+	}
+	if got := w.Survivors(); len(got) != 4 {
+		t.Fatalf("Survivors = %v, want all 4", got)
+	}
+}
+
+// TestRecvDeadlineDetectsSilentPeer: with a receive timeout set, a Recv
+// on a rank that never sends surfaces as ErrRankFailed/ErrRecvTimeout
+// instead of hanging forever.
+func TestRecvDeadlineDetectsSilentPeer(t *testing.T) {
+	w := NewWorld(2)
+	w.SetRecvTimeout(50 * time.Millisecond)
+	start := time.Now()
+	err := w.Run(func(c *Comm) {
+		if c.Rank() == 0 {
+			c.Recv(1, 7, make([]float32, 1)) // rank 1 never sends
+		}
+	})
+	if err == nil {
+		t.Fatal("expected timeout error")
+	}
+	if !errors.Is(err, ErrRankFailed) || !errors.Is(err, ErrRecvTimeout) {
+		t.Fatalf("error chain missing sentinels: %v", err)
+	}
+	var re *RankError
+	if !errors.As(err, &re) || re.Rank != 1 {
+		t.Fatalf("expected *RankError naming rank 1, got %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("detection took %v, deadline not honored", elapsed)
+	}
+}
+
+// TestCrashInjectionUnblocksCollective: rank 1 crashes at its fault
+// point while the others enter an allreduce that needs it. The survivors
+// must error out via the failure registry (no timeout configured — the
+// in-process crash propagates through markDown) rather than deadlock.
+func TestCrashInjectionUnblocksCollective(t *testing.T) {
+	w := NewWorld(3)
+	plan := NoFaults()
+	plan.CrashRank, plan.CrashStep = 1, 0
+	w.SetFaultPlan(plan)
+	done := make(chan error, 1)
+	go func() {
+		done <- w.Run(func(c *Comm) {
+			c.FaultPoint(0) // rank 1 dies here
+			buf := []float32{float32(c.Rank())}
+			c.AllreduceSum(buf, AlgoRing)
+		})
+	}()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("expected failure error")
+		}
+		if !errors.Is(err, ErrInjectedFault) {
+			t.Fatalf("error chain missing ErrInjectedFault: %v", err)
+		}
+		if got := w.FailedRanks(); len(got) != 1 || got[0] != 1 {
+			t.Fatalf("FailedRanks = %v, want [1]", got)
+		}
+		if got := w.Survivors(); len(got) != 2 || got[0] != 0 || got[1] != 2 {
+			t.Fatalf("Survivors = %v, want [0 2]", got)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("collective deadlocked on crashed rank")
+	}
+}
+
+// TestMessagesBeforeCrashStillDelivered: in-flight messages sent before
+// a rank died are drained first; only the missing ones fail.
+func TestMessagesBeforeCrashStillDelivered(t *testing.T) {
+	w := NewWorld(2)
+	var got float32
+	err := w.Run(func(c *Comm) {
+		if c.Rank() == 1 {
+			c.Send(0, 3, []float32{42})
+			panic(&RankError{Rank: 1, Err: ErrInjectedFault})
+		}
+		buf := make([]float32, 1)
+		c.Recv(1, 3, buf) // already queued: must succeed
+		got = buf[0]
+		c.Recv(1, 4, buf) // never sent: must fail fast
+	})
+	if got != 42 {
+		t.Fatalf("pre-crash message lost: got %g", got)
+	}
+	if err == nil || !errors.Is(err, ErrRankFailed) {
+		t.Fatalf("expected rank-failed error, got %v", err)
+	}
+}
+
+// TestDropPlanDetectedByDeadline: a rank whose sends silently vanish (a
+// partitioned node — the process is alive, so no panic ever marks it
+// down) is detected by the receive deadline on its peers.
+func TestDropPlanDetectedByDeadline(t *testing.T) {
+	w := NewWorld(2)
+	w.SetRecvTimeout(60 * time.Millisecond)
+	plan := NoFaults()
+	plan.DropRank, plan.DropAfter = 1, 1 // first send delivered, rest lost
+	w.SetFaultPlan(plan)
+	err := w.Run(func(c *Comm) {
+		buf := make([]float32, 1)
+		if c.Rank() == 1 {
+			c.Send(0, 1, buf) // delivered
+			c.Send(0, 2, buf) // dropped
+			return
+		}
+		c.Recv(1, 1, buf)
+		c.Recv(1, 2, buf) // never arrives → deadline
+	})
+	if err == nil || !errors.Is(err, ErrRecvTimeout) {
+		t.Fatalf("expected recv-timeout error, got %v", err)
+	}
+	if got := w.FailedRanks(); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("FailedRanks = %v, want [1]", got)
+	}
+}
+
+// TestDelayPlanSlowsButDelivers: a delayed link stays within a generous
+// deadline; nothing is declared failed and data is intact.
+func TestDelayPlanSlowsButDelivers(t *testing.T) {
+	w := NewWorld(2)
+	w.SetRecvTimeout(5 * time.Second)
+	plan := NoFaults()
+	plan.DelayRank, plan.Delay = 1, 20*time.Millisecond
+	w.SetFaultPlan(plan)
+	start := time.Now()
+	err := w.Run(func(c *Comm) {
+		buf := []float32{float32(c.Rank() + 1)}
+		if c.Rank() == 1 {
+			c.Send(0, 9, buf)
+			return
+		}
+		c.Recv(1, 9, buf)
+		if buf[0] != 2 {
+			t.Errorf("delayed payload corrupted: %g", buf[0])
+		}
+	})
+	if err != nil {
+		t.Fatalf("delay must not fail the run: %v", err)
+	}
+	if time.Since(start) < 20*time.Millisecond {
+		t.Fatal("delay was not applied")
+	}
+}
+
+// TestCascadeAbortClassifiedAsSurvivor: rank 2 crashes; rank 0 and 1,
+// blocked on collectives needing it, abort with peer-failure errors but
+// remain survivors for the elastic restart.
+func TestCascadeAbortClassifiedAsSurvivor(t *testing.T) {
+	w := NewWorld(3)
+	plan := NoFaults()
+	plan.CrashRank, plan.CrashStep = 2, 5
+	w.SetFaultPlan(plan)
+	err := w.Run(func(c *Comm) {
+		c.FaultPoint(5)
+		buf := []float32{1}
+		c.AllreduceSum(buf, AlgoNaive)
+	})
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if got := w.Survivors(); len(got) != 2 || got[0] != 0 || got[1] != 1 {
+		t.Fatalf("Survivors = %v, want [0 1]", got)
+	}
+}
+
+// TestFaultPointNoPlanIsFree: without a plan, FaultPoint is a no-op.
+func TestFaultPointNoPlanIsFree(t *testing.T) {
+	w := NewWorld(2)
+	if err := w.Run(func(c *Comm) {
+		for s := 0; s < 100; s++ {
+			c.FaultPoint(s)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+}

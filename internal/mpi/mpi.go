@@ -12,9 +12,12 @@
 package mpi
 
 import (
+	"errors"
 	"fmt"
 	"math/bits"
 	"sync"
+	"sync/atomic"
+	"time"
 )
 
 // Profiler receives a record for every collective a communicator executes.
@@ -52,17 +55,45 @@ func (m *mailbox) put(msg message) {
 }
 
 // get blocks until a message matching (src, tag) is available and removes
-// the first match.
-func (m *mailbox) get(src, tag int) message {
+// the first match. It is deadline- and failure-aware: when the world has
+// a receive timeout, a silent src is declared dead after the deadline;
+// when src (or the receiving rank itself) is already marked down, get
+// fails immediately instead of hanging forever. Messages queued before a
+// sender died are still drained first — MPI's "messages in flight at
+// failure time are delivered" semantics.
+func (m *mailbox) get(w *World, self, src, tag int) (message, error) {
+	var deadline time.Time
+	if w.recvTimeout > 0 {
+		deadline = time.Now().Add(w.recvTimeout)
+	}
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	for {
 		for i, msg := range m.queue {
 			if msg.src == src && msg.tag == tag {
 				m.queue = append(m.queue[:i], m.queue[i+1:]...)
-				return msg
+				m.mu.Unlock()
+				return msg, nil
 			}
 		}
+		if cause := w.downCause(src); cause != nil {
+			m.mu.Unlock()
+			return message{}, &RankError{Rank: src, Err: cause}
+		}
+		if cause := w.downCause(self); cause != nil {
+			m.mu.Unlock()
+			return message{}, &RankError{Rank: self, Err: cause}
+		}
+		if !deadline.IsZero() && time.Now().After(deadline) {
+			// markDown wants every mailbox lock (to wake peers blocked on
+			// the now-dead src), including ours — release first.
+			m.mu.Unlock()
+			cause := fmt.Errorf("%w: no message from rank %d (tag %d) within %v, detected by rank %d",
+				ErrRecvTimeout, src, tag, w.recvTimeout, self)
+			w.markDown(src, cause, true)
+			return message{}, &RankError{Rank: src, Err: cause}
+		}
+		// Woken by put, by markDown (failure propagation), or by the
+		// watchdog (deadline evaluation); every wake re-checks all three.
 		m.cond.Wait()
 	}
 }
@@ -117,6 +148,21 @@ type World struct {
 	size      int
 	mailboxes []*mailbox
 	pool      bufPool
+
+	// recvTimeout bounds every Recv (0 = wait forever); see
+	// SetRecvTimeout. plan, when non-nil, injects deterministic faults.
+	recvTimeout time.Duration
+	plan        *FaultPlan
+	// sendSeq counts each rank's sends, the deterministic clock the drop
+	// injection keys on (atomic: main loop and engine send concurrently).
+	sendSeq []atomic.Int64
+
+	// down holds every rank that left the computation (crash, panic,
+	// timeout, or abort-on-peer-failure) keyed to its cause; rootFailed
+	// is the subset that originated a failure. Guarded by fmu.
+	fmu        sync.Mutex
+	down       map[int]error
+	rootFailed map[int]error
 }
 
 // NewWorld creates a world with the given number of ranks.
@@ -124,7 +170,12 @@ func NewWorld(size int) *World {
 	if size < 1 {
 		panic("mpi: world size must be >= 1")
 	}
-	w := &World{size: size}
+	w := &World{
+		size:       size,
+		down:       map[int]error{},
+		rootFailed: map[int]error{},
+		sendSeq:    make([]atomic.Int64, size),
+	}
 	w.mailboxes = make([]*mailbox, size)
 	for i := range w.mailboxes {
 		w.mailboxes[i] = newMailbox()
@@ -144,17 +195,32 @@ func (w *World) Comm(rank int) *Comm {
 }
 
 // Run launches fn on every rank concurrently and waits for all to finish.
-// It is the moral equivalent of mpirun for in-process jobs.
-func (w *World) Run(fn func(c *Comm)) {
+// It is the moral equivalent of mpirun for in-process jobs — including
+// the failure semantics: a panic in one rank's goroutine (an injected
+// crash, a Recv on a dead peer, a plain bug) no longer takes down the
+// whole process. The rank is recovered, recorded as down (waking every
+// peer blocked on it), and reported in the returned error, which joins
+// one error per affected rank and says which rank failed and why.
+// Healthy runs return nil.
+func (w *World) Run(fn func(c *Comm)) error {
+	stopWatchdog := w.startWatchdog()
+	defer stopWatchdog()
+	errs := make([]error, w.size)
 	var wg sync.WaitGroup
 	for r := 0; r < w.size; r++ {
 		wg.Add(1)
 		go func(rank int) {
 			defer wg.Done()
+			defer func() {
+				if rec := recover(); rec != nil {
+					errs[rank] = w.recoverRankError(rank, rec)
+				}
+			}()
 			fn(w.Comm(rank))
 		}(r)
 	}
 	wg.Wait()
+	return errors.Join(errs...)
 }
 
 // Comm is one rank's handle on the world.
@@ -215,16 +281,41 @@ func (c *Comm) Send(dst, tag int, data []float32) {
 	}
 	cp := c.world.pool.get(len(data))
 	copy(cp, data)
-	c.world.mailboxes[dst].put(message{src: c.rank, tag: tag, data: cp})
+	msg := message{src: c.rank, tag: tag, data: cp}
+	if p := c.world.plan; p != nil {
+		seq := c.world.sendSeq[c.rank].Add(1)
+		if p.DropRank == c.rank && seq > int64(p.DropAfter) {
+			// Lost on the wire: the sender believes it succeeded; peers
+			// find out through the receive deadline.
+			c.world.pool.put(cp)
+			return
+		}
+		if p.DelayRank == c.rank && p.Delay > 0 {
+			mb := c.world.mailboxes[dst]
+			time.AfterFunc(p.Delay, func() { mb.put(msg) })
+			return
+		}
+	}
+	c.world.mailboxes[dst].put(msg)
 }
 
 // Recv blocks until a message with the given source and tag arrives and
 // copies it into buf, which must be exactly the message length.
+//
+// Recv is deadline-aware: if the world has a receive timeout and src
+// stays silent past it — or src is already known to be down — Recv
+// panics with a *RankError instead of hanging forever. The panic
+// propagates the failure through whatever collective is running and is
+// recovered at the rank boundary by World.Run (or by the Horovod
+// engine's background loop), where it becomes an ordinary error.
 func (c *Comm) Recv(src, tag int, buf []float32) {
 	if src < 0 || src >= c.world.size {
 		panic(fmt.Sprintf("mpi: Recv from invalid rank %d", src))
 	}
-	msg := c.world.mailboxes[c.rank].get(src, tag)
+	msg, err := c.world.mailboxes[c.rank].get(c.world, c.rank, src, tag)
+	if err != nil {
+		panic(err)
+	}
 	if len(msg.data) != len(buf) {
 		panic(fmt.Sprintf("mpi: Recv buffer %d elements, message %d (src=%d tag=%d)",
 			len(buf), len(msg.data), src, tag))

@@ -21,23 +21,43 @@ func (t *Tensor) MarshalBinary() ([]byte, error) {
 	return buf, nil
 }
 
-// UnmarshalBinary decodes data produced by MarshalBinary.
+// UnmarshalBinary decodes data produced by MarshalBinary. Every size in
+// the header is validated against the bytes actually present before any
+// allocation happens, so a corrupted or adversarial checkpoint cannot
+// trigger a huge bogus allocation (or an integer-overflowed small one).
 func (t *Tensor) UnmarshalBinary(data []byte) error {
 	if len(data) < 4 {
 		return fmt.Errorf("tensor: truncated header")
 	}
 	rank := int(binary.LittleEndian.Uint32(data))
 	data = data[4:]
-	if rank <= 0 || len(data) < 4*rank {
-		return fmt.Errorf("tensor: invalid rank %d", rank)
+	if rank == 0 {
+		// A zero-value Tensor marshals as rank 0 with no payload; make it
+		// round-trip instead of rejecting what MarshalBinary produces.
+		if len(data) != 0 {
+			return fmt.Errorf("tensor: rank-0 tensor with %d payload bytes", len(data))
+		}
+		t.shape = nil
+		t.data = nil
+		return nil
+	}
+	if rank < 0 || len(data) < 4*rank {
+		return fmt.Errorf("tensor: invalid rank %d for %d remaining bytes", rank, len(data))
 	}
 	shape := make([]int, rank)
+	// maxElems bounds the element count by the payload that actually
+	// follows the dims; checking n against it before each multiply keeps
+	// the product from ever overflowing (n*shape[i] <= maxElems <= len/4).
+	maxElems := (len(data) - 4*rank) / 4
 	n := 1
 	for i := range shape {
 		shape[i] = int(binary.LittleEndian.Uint32(data))
 		data = data[4:]
 		if shape[i] <= 0 {
 			return fmt.Errorf("tensor: invalid dimension %d", shape[i])
+		}
+		if shape[i] > maxElems/n {
+			return fmt.Errorf("tensor: shape %v exceeds %d-element payload", shape[:i+1], maxElems)
 		}
 		n *= shape[i]
 	}

@@ -1,0 +1,90 @@
+package tensor
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"testing"
+)
+
+// TestScalarTensorRoundTrip pins the rank-0 case: a zero-value Tensor is
+// what MarshalBinary encodes as rank 0, and UnmarshalBinary must accept
+// its own output instead of rejecting it as "invalid rank 0".
+func TestScalarTensorRoundTrip(t *testing.T) {
+	var x Tensor
+	enc, err := x.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var y Tensor
+	if err := y.UnmarshalBinary(enc); err != nil {
+		t.Fatalf("rank-0 tensor did not round-trip: %v", err)
+	}
+	if y.Rank() != 0 || len(y.Data()) != 0 {
+		t.Fatalf("rank-0 round trip produced rank %d, %d elements", y.Rank(), len(y.Data()))
+	}
+
+	// Through gob too, the path checkpoints take.
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&x); err != nil {
+		t.Fatal(err)
+	}
+	var z Tensor
+	if err := gob.NewDecoder(&buf).Decode(&z); err != nil {
+		t.Fatalf("gob round trip of zero tensor: %v", err)
+	}
+}
+
+// TestUnmarshalBoundsProductBeforeAlloc feeds headers whose dim product
+// overflows or vastly exceeds the payload; decoding must fail cleanly
+// (no panic, no giant allocation — the latter would OOM the test).
+func TestUnmarshalBoundsProductBeforeAlloc(t *testing.T) {
+	le := binary.LittleEndian
+	// rank 4, dims 65536^4: product overflows int64 to a small value.
+	overflow := le.AppendUint32(nil, 4)
+	for i := 0; i < 4; i++ {
+		overflow = le.AppendUint32(overflow, 65536)
+	}
+	// rank 1, dim 2^31-1 with no payload: honest but absurd.
+	huge := le.AppendUint32(nil, 1)
+	huge = le.AppendUint32(huge, 1<<31-1)
+	// rank 0 followed by trailing garbage.
+	badScalar := le.AppendUint32(nil, 0)
+	badScalar = append(badScalar, 1, 2, 3, 4)
+	for _, data := range [][]byte{overflow, huge, badScalar} {
+		var y Tensor
+		if err := y.UnmarshalBinary(data); err == nil {
+			t.Fatalf("expected error for header %v", data[:min(len(data), 20)])
+		}
+	}
+}
+
+// FuzzUnmarshalBinary checks the codec never panics on arbitrary input
+// and that anything it accepts re-encodes to the exact same bytes.
+func FuzzUnmarshalBinary(f *testing.F) {
+	seed := func(t *Tensor) []byte {
+		b, err := t.MarshalBinary()
+		if err != nil {
+			f.Fatal(err)
+		}
+		return b
+	}
+	f.Add(seed(&Tensor{}))
+	f.Add(seed(FromSlice([]float32{1, 2, 3, 4, 5, 6}, 2, 3)))
+	f.Add(seed(New(1, 3, 4, 4)))
+	f.Add([]byte{})
+	f.Add([]byte{1, 0, 0, 0, 255, 255, 255, 255})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var x Tensor
+		if err := x.UnmarshalBinary(data); err != nil {
+			return
+		}
+		out, err := x.MarshalBinary()
+		if err != nil {
+			t.Fatalf("re-marshal of accepted input failed: %v", err)
+		}
+		if !bytes.Equal(out, data) {
+			t.Fatalf("accepted %d bytes but re-encoded %d differing bytes", len(data), len(out))
+		}
+	})
+}

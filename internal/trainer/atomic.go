@@ -1,0 +1,60 @@
+package trainer
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// atomicWrite writes a file crash-safely: the payload goes to a fresh
+// temp file in the destination directory, is fsynced, and only then
+// renamed over path. A crash (or a write error) at any point leaves the
+// previous file at path untouched — the property a checkpoint file must
+// have, since the file being replaced is usually the only good copy of
+// the training state. The directory is synced after the rename so the
+// new name itself survives a power loss.
+func atomicWrite(path string, write func(io.Writer) error) (err error) {
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("trainer: checkpoint temp file: %w", err)
+	}
+	tmp := f.Name()
+	// Until the rename happens, any failure must remove the temp file and
+	// report the first error; the close error matters too (NFS and full
+	// disks surface write failures there).
+	defer func() {
+		if err != nil {
+			f.Close()
+			os.Remove(tmp)
+		}
+	}()
+	if err = write(f); err != nil {
+		return fmt.Errorf("trainer: checkpoint encode: %w", err)
+	}
+	if err = f.Sync(); err != nil {
+		return fmt.Errorf("trainer: checkpoint fsync: %w", err)
+	}
+	if err = f.Close(); err != nil {
+		return fmt.Errorf("trainer: checkpoint close: %w", err)
+	}
+	if err = os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("trainer: checkpoint rename: %w", err)
+	}
+	if d, derr := os.Open(dir); derr == nil {
+		// Persist the rename itself; some filesystems do not support
+		// fsync on directories, which is not worth failing the save for.
+		d.Sync()
+		d.Close()
+	}
+	return nil
+}
+
+// atomicWriteGob gob-encodes v through atomicWrite.
+func atomicWriteGob(path string, v any) error {
+	return atomicWrite(path, func(w io.Writer) error {
+		return gob.NewEncoder(w).Encode(v)
+	})
+}

@@ -99,13 +99,11 @@ type sessionState struct {
 	AdamStep int
 }
 
-// Save writes the complete training state to path.
+// Save writes the complete training state to path. The write is
+// crash-safe: the state is encoded and fsynced into a temp file that is
+// atomically renamed over path, so a crash mid-save (or an encode,
+// sync, or close error) leaves the previous checkpoint intact.
 func (s *Session) Save(path string) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
 	st := sessionState{
 		Config:   s.Cfg,
 		Step:     s.Step,
@@ -118,7 +116,7 @@ func (s *Session) Save(path string) error {
 		st.Names = append(st.Names, p.Name)
 		st.Values = append(st.Values, p.Value)
 	}
-	return gob.NewEncoder(f).Encode(st)
+	return atomicWriteGob(path, &st)
 }
 
 // ResumeSession restores a session saved with Save; the resumed run

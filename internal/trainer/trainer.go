@@ -106,7 +106,7 @@ func TrainDistributed(cfg Config, worldSize int) (*models.EDSR, Stats, error) {
 		err error
 	}
 	results := make([]out, worldSize)
-	world.Run(func(c *mpi.Comm) {
+	if err := world.Run(func(c *mpi.Comm) {
 		engine := horovod.NewEngine(c, horovod.Config{
 			FusionThresholdBytes: 64 << 20,
 			CycleTime:            0, // in-process ranks negotiate eagerly
@@ -115,7 +115,9 @@ func TrainDistributed(cfg Config, worldSize int) (*models.EDSR, Stats, error) {
 		})
 		m, st, err := trainRank(cfg, c, engine)
 		results[c.Rank()] = out{m, st, err}
-	})
+	}); err != nil {
+		return nil, Stats{}, err
+	}
 	for r, o := range results {
 		if o.err != nil {
 			return nil, Stats{}, fmt.Errorf("rank %d: %w", r, o.err)
@@ -283,19 +285,18 @@ type checkpoint struct {
 	Values []*tensor.Tensor
 }
 
-// SaveCheckpoint writes the model parameters and config to path.
+// SaveCheckpoint writes the model parameters and config to path,
+// atomically (see atomicWrite): a crash mid-save cannot destroy the
+// previous checkpoint.
 func SaveCheckpoint(path string, model *models.EDSR, cfg Config) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
 	ck := checkpoint{Config: cfg}
+	cfg.Log = nil
+	ck.Config.Log = nil
 	for _, p := range model.Params() {
 		ck.Names = append(ck.Names, p.Name)
 		ck.Values = append(ck.Values, p.Value)
 	}
-	return gob.NewEncoder(f).Encode(ck)
+	return atomicWriteGob(path, &ck)
 }
 
 // LoadCheckpoint restores a model saved by SaveCheckpoint.
