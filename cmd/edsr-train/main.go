@@ -13,11 +13,21 @@
 //
 //	edsr-train -ranks 4 -checkpoint ck.gob -ckpt-every 10 \
 //	           [-inject-fault rank@step] [-recv-timeout 2s] [-resume ck.gob]
+//
+// Observability (tracing and live metrics):
+//
+//	edsr-train -ranks 4 -trace out.json -trace-jsonl out.jsonl \
+//	           -metrics-addr :9090
+//
+// -trace writes a Chrome trace_event timeline (open in Perfetto);
+// -trace-jsonl the same spans as JSONL for hvprof-report -spans;
+// -metrics-addr serves Prometheus /metrics plus /debug/pprof live.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -25,8 +35,22 @@ import (
 	"repro/internal/data"
 	"repro/internal/models"
 	"repro/internal/mpi"
+	"repro/internal/trace"
 	"repro/internal/trainer"
 )
+
+// exportTrace writes one trace artifact via the given timeline encoder.
+func exportTrace(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
 
 // parseFaultSpec parses "rank@step" into a crash-injection plan.
 func parseFaultSpec(s string) (mpi.FaultPlan, error) {
@@ -66,6 +90,9 @@ func main() {
 	injectFault := flag.String("inject-fault", "", "multi-rank: crash injection \"rank@step\" (fault-tolerance experiments)")
 	recvTimeout := flag.Duration("recv-timeout", 0, "multi-rank: failure-detection deadline for receives (0 disables)")
 	maxRestarts := flag.Int("max-restarts", 2, "multi-rank: elastic restarts allowed after rank failures")
+	tracePath := flag.String("trace", "", "write a Chrome trace_event JSON timeline here at run end (open at https://ui.perfetto.dev)")
+	traceJSONL := flag.String("trace-jsonl", "", "write the span timeline as JSONL (input for hvprof-report -spans)")
+	metricsAddr := flag.String("metrics-addr", "", "serve live Prometheus /metrics and /debug/pprof on this address (e.g. :9090)")
 	flag.Parse()
 
 	cfg := trainer.Config{
@@ -87,6 +114,45 @@ func main() {
 	if err := cfg.Model.Validate(); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
+	}
+
+	if *tracePath != "" || *traceJSONL != "" {
+		cfg.Trace = trace.NewSession(0)
+	}
+	if *metricsAddr != "" {
+		reg := trace.NewMetrics()
+		cfg.Metrics = trace.NewTrainMetrics(reg)
+		srv, err := trace.ServeMetrics(*metricsAddr, reg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		defer srv.Close()
+		fmt.Printf("metrics: http://%s/metrics (pprof under /debug/pprof/)\n", srv.Addr())
+	}
+	// writeTrace exports the merged timeline after a traced run and
+	// prints rank 0's backward/allreduce overlap verdict.
+	writeTrace := func() {
+		if cfg.Trace == nil {
+			return
+		}
+		tl := cfg.Trace.Timeline()
+		if *tracePath != "" {
+			if err := exportTrace(*tracePath, tl.WriteChromeTrace); err != nil {
+				fmt.Fprintln(os.Stderr, "trace export failed:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("trace: %d spans from %d rank(s) -> %s (open at https://ui.perfetto.dev)\n",
+				tl.NumSpans(), len(tl.Ranks), *tracePath)
+		}
+		if *traceJSONL != "" {
+			if err := exportTrace(*traceJSONL, tl.WriteJSONL); err != nil {
+				fmt.Fprintln(os.Stderr, "trace export failed:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("spans: %s (analyze with hvprof-report -spans %s)\n", *traceJSONL, *traceJSONL)
+		}
+		fmt.Println(trace.FormatOverlap(tl.Overlap(0)))
 	}
 
 	a, err := trainer.ParseArch(*arch)
@@ -203,6 +269,7 @@ func main() {
 			fmt.Printf("attempt %d: world %d, steps %d..%d, avg loss %.5f — %s\n",
 				i+1, a.WorldSize, a.StartStep, a.EndStep, a.AvgLoss, status)
 		}
+		writeTrace() // a trace of a failed run is still evidence
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "training failed:", err)
 			os.Exit(1)
@@ -226,6 +293,10 @@ func main() {
 	}
 	fmt.Printf("done: final L1 loss %.5f, avg %.5f, %.1f images/sec, %.1fs wall\n",
 		st.FinalLoss, st.AvgLoss, st.ImagesPerSec, st.WallSeconds)
+	if st.DrainMsPerStep > 0 {
+		fmt.Printf("communication wait: %.2f ms/step exposed in Drain\n", st.DrainMsPerStep)
+	}
+	writeTrace()
 
 	if *evalN > 0 {
 		pm, pb := trainer.Evaluate(model, cfg, *evalN)

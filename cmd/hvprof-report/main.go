@@ -7,21 +7,59 @@
 // Usage:
 //
 //	hvprof-report [-nodes 1] [-steps 100] [-compare]
+//	hvprof-report -spans out.jsonl
+//
+// With -spans the report is built from a recorded span stream (the
+// JSONL file written by edsr-train -trace-jsonl) instead of a simulated
+// profile: the same Table-I bucket breakdown, computed from real
+// measured collectives, plus each rank's backward/allreduce overlap.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"os"
 
 	"repro/internal/core"
 	"repro/internal/hvprof"
+	"repro/internal/trace"
 )
+
+// reportSpans renders the bucket report and overlap verdicts from a
+// JSONL span stream recorded by a traced training run.
+func reportSpans(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	tl, err := trace.ReadJSONL(f)
+	if err != nil {
+		return err
+	}
+	rep := tl.HvprofReport()
+	fmt.Printf("hvprof: %d spans from %d rank(s) in %s\n\n", tl.NumSpans(), len(tl.Ranks), path)
+	fmt.Println(rep.String())
+	for _, rt := range tl.Ranks {
+		fmt.Println(trace.FormatOverlap(tl.Overlap(rt.Rank)))
+	}
+	return nil
+}
 
 func main() {
 	nodes := flag.Int("nodes", 1, "simulated nodes (4 GPUs each); paper profiles 1 node")
 	steps := flag.Int("steps", 100, "training steps to profile (paper: 100)")
 	compare := flag.Bool("compare", true, "profile both default and optimized tunings")
+	spans := flag.String("spans", "", "build the report from a recorded JSONL span stream (edsr-train -trace-jsonl) instead of simulating")
 	flag.Parse()
+
+	if *spans != "" {
+		if err := reportSpans(*spans); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	fmt.Printf("hvprof: EDSR, %d node(s) x 4 GPUs, %d steps\n\n", *nodes, *steps)
 	defRep, defRes := core.Profile(core.ProfileOptions{

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/mpi"
 	"repro/internal/tensor"
+	"repro/internal/trace"
 )
 
 // Config mirrors the Horovod tunables the paper sweeps.
@@ -30,6 +31,15 @@ type Config struct {
 	// benchmarks use it to run the engine over a baseline implementation,
 	// and tests over instrumented ones. Algo is ignored when set.
 	AllreduceFn func(c *mpi.Comm, buf []float32)
+	// Trace, when non-nil, records engine spans (fusion-group
+	// reductions on the engine track, drain windows and per-parameter
+	// grad-hook instants on the trainer track). For the engine's own
+	// collectives to land on the engine track, pass NewEngine a forked
+	// Comm whose Tracer is bound to trace.TrackEngine.
+	Trace *trace.Recorder
+	// Metrics, when non-nil, receives live counters (bytes reduced,
+	// allreduce message sizes).
+	Metrics *trace.TrainMetrics
 }
 
 // DefaultConfig returns Horovod's defaults (64 MB fusion buffer, 3.5 ms
@@ -255,6 +265,11 @@ func (e *Engine) reduceGroup(group []int) {
 	for _, id := range group {
 		total += len(e.bufs[id])
 	}
+	spanStart := e.cfg.Trace.Now()
+	if m := e.cfg.Metrics; m != nil {
+		m.BytesReduced.Add(int64(total) * 4)
+		m.AllreduceBytes.Observe(float64(total) * 4)
+	}
 	var buf []float32
 	if len(group) == 1 {
 		// Unfused path: reduce the tensor's own buffer directly (no copy),
@@ -307,4 +322,5 @@ func (e *Engine) reduceGroup(group []int) {
 		}
 	}
 	e.mu.Unlock()
+	e.cfg.Trace.Emit(trace.CatFusedReduce, trace.TrackEngine, spanStart, int64(total)*4)
 }

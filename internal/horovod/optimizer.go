@@ -2,9 +2,11 @@ package horovod
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/mpi"
 	"repro/internal/nn"
+	"repro/internal/trace"
 )
 
 // BroadcastParameters sends root's parameter values to all ranks — step 2
@@ -45,6 +47,11 @@ type DistributedOptimizer struct {
 	// reduction, nil when not submitted; reused across steps.
 	pending []<-chan struct{}
 	hook    nn.GradHook
+
+	// drainTotal/drains accumulate the exposed communication window so
+	// trainer.Stats can report per-step drain milliseconds.
+	drainTotal time.Duration
+	drains     int
 }
 
 // NewDistributedOptimizer registers every parameter's gradient with the
@@ -68,6 +75,10 @@ func NewDistributedOptimizer(inner nn.Optimizer, engine *Engine) *DistributedOpt
 			panic(fmt.Sprintf("horovod: parameter %q announced twice in one step", p.Name))
 		}
 		d.pending[slot] = d.engine.Submit(d.ids[slot])
+		// Mark the submission instant on the timeline: the gap between a
+		// grad-hook marker and the matching engine reduction is the
+		// negotiation latency the overlap design must hide.
+		engine.cfg.Trace.EmitInstant(trace.CatGradHook, trace.TrackMain, engine.sizes[d.ids[slot]])
 	}
 	return d
 }
@@ -89,6 +100,8 @@ func (d *DistributedOptimizer) GradHook() nn.GradHook { return d.hook }
 // error, so a dead peer aborts the step instead of hanging it or
 // silently applying garbage gradients.
 func (d *DistributedOptimizer) Drain() {
+	start := time.Now()
+	spanStart := d.engine.cfg.Trace.Now()
 	for i := len(d.ids) - 1; i >= 0; i-- {
 		if d.pending[i] == nil {
 			d.pending[i] = d.engine.Submit(d.ids[i])
@@ -98,9 +111,24 @@ func (d *DistributedOptimizer) Drain() {
 		<-w
 		d.pending[i] = nil
 	}
+	dur := time.Since(start)
+	d.drainTotal += dur
+	d.drains++
+	d.engine.cfg.Trace.Emit(trace.CatDrain, trace.TrackMain, spanStart, 0)
+	if m := d.engine.cfg.Metrics; m != nil {
+		m.DrainSeconds.Observe(dur.Seconds())
+	}
 	if err := d.engine.Err(); err != nil {
 		panic(err)
 	}
+}
+
+// DrainStats returns the accumulated exposed-communication wait across
+// all Drain calls and how many drains ran. The mean per-step drain is
+// the step's non-overlapped allreduce cost — the quantity
+// trainer.Stats surfaces and cmd/bench-comm sweeps.
+func (d *DistributedOptimizer) DrainStats() (total time.Duration, n int) {
+	return d.drainTotal, d.drains
 }
 
 // Step drains all gradient reductions, then applies the wrapped

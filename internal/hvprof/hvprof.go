@@ -37,8 +37,13 @@ var BucketNames = []string{
 // NumBuckets is the number of message-size classes.
 const NumBuckets = 5
 
-// BucketOf maps a message size in bytes to its bucket index.
+// BucketOf maps a message size in bytes to its bucket index. Zero and
+// negative sizes (empty collectives, malformed records) clamp to the
+// smallest class rather than underflowing the table.
 func BucketOf(bytes int64) int {
+	if bytes <= 0 {
+		return 0
+	}
 	for i := len(bucketEdges) - 1; i >= 1; i-- {
 		if bytes >= bucketEdges[i] {
 			return i

@@ -33,6 +33,40 @@ func TestBucketOf(t *testing.T) {
 	}
 }
 
+// TestBucketOfBoundaries walks every bucket edge and checks the class
+// assignment at edge−1, edge, and edge+1, plus the zero/negative clamp.
+func TestBucketOfBoundaries(t *testing.T) {
+	if got := len(bucketEdges); got != NumBuckets {
+		t.Fatalf("bucketEdges has %d entries, NumBuckets %d", got, NumBuckets)
+	}
+	for _, bytes := range []int64{0, -1, -(64 << 20)} {
+		if got := BucketOf(bytes); got != 0 {
+			t.Errorf("BucketOf(%d) = %d, want clamp to 0", bytes, got)
+		}
+	}
+	for i, edge := range bucketEdges {
+		// Sizes below an edge belong to the previous class; the edge
+		// itself opens class i. Edge 0 (1 byte) is the clamp floor.
+		wantBelow := i - 1
+		if i == 0 {
+			wantBelow = 0
+		}
+		if got := BucketOf(edge - 1); got != wantBelow {
+			t.Errorf("BucketOf(%d) = %d, want %d (below edge %d)", edge-1, got, wantBelow, i)
+		}
+		if got := BucketOf(edge); got != i {
+			t.Errorf("BucketOf(%d) = %d, want %d (at edge)", edge, got, i)
+		}
+		wantAbove := i
+		if i+1 < len(bucketEdges) && edge+1 >= bucketEdges[i+1] {
+			wantAbove = i + 1
+		}
+		if got := BucketOf(edge + 1); got != wantAbove {
+			t.Errorf("BucketOf(%d) = %d, want %d (above edge)", edge+1, got, wantAbove)
+		}
+	}
+}
+
 // Property: bucket index is monotone non-decreasing in message size.
 func TestQuickBucketMonotone(t *testing.T) {
 	f := func(a, b uint32) bool {
@@ -142,6 +176,62 @@ func TestCompareHandlesMissingOp(t *testing.T) {
 	}
 	if rows[0].OptMs != 0 {
 		t.Fatal("missing op should read as zero")
+	}
+}
+
+// Golden renderings: the exact table layouts the paper-reproduction
+// scripts parse. A formatting change must update these deliberately.
+func TestReportStringGolden(t *testing.T) {
+	p := New()
+	p.Record("allreduce", 64, 0.010)
+	p.Record("allreduce", 20<<20, 0.500)
+	p.Record("bcast", 1024, 0.001)
+	want := "== allreduce ==\n" +
+		"Message Size          Calls          Bytes    Time (ms)\n" +
+		"1-128 KB                  1             64         10.0\n" +
+		"16 MB - 32 MB             1       20971520        500.0\n" +
+		"Total                                             510.0\n" +
+		"== bcast ==\n" +
+		"Message Size          Calls          Bytes    Time (ms)\n" +
+		"1-128 KB                  1           1024          1.0\n" +
+		"Total                                               1.0\n"
+	if got := p.Report().String(); got != want {
+		t.Fatalf("Report.String golden mismatch:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestCompareGolden(t *testing.T) {
+	def, opt := New(), New()
+	def.Record("allreduce", 64<<10, 0.392)
+	opt.Record("allreduce", 64<<10, 0.3912)
+	def.Record("allreduce", 20<<20, 1.3216)
+	opt.Record("allreduce", 20<<20, 0.6196)
+	rows := Compare(def.Report(), opt.Report(), "allreduce")
+	wantRows := []CompareRow{
+		{Bucket: "1-128 KB", DefaultMs: 392.0, OptMs: 391.2},
+		{Bucket: "16 MB - 32 MB", DefaultMs: 1321.6, OptMs: 619.6},
+		{Bucket: "Total Time", DefaultMs: 1713.6, OptMs: 1010.8},
+	}
+	wantImpr := []float64{0.204, 53.117, 41.013}
+	if len(rows) != len(wantRows) {
+		t.Fatalf("rows %v", rows)
+	}
+	for i, r := range rows {
+		w := wantRows[i]
+		if r.Bucket != w.Bucket ||
+			math.Abs(r.DefaultMs-w.DefaultMs) > 1e-9 ||
+			math.Abs(r.OptMs-w.OptMs) > 1e-9 ||
+			math.Abs(r.ImprovementPercent-wantImpr[i]) > 1e-3 {
+			t.Errorf("row %d: got %+v, want %+v impr %.3f", i, r, w, wantImpr[i])
+		}
+	}
+	want := "MPI_Allreduce time by message size (default vs optimized)\n" +
+		"Message Size      Default(ms)      Opt(ms)  Improvement %\n" +
+		"1-128 KB                392.0        391.2             ~0\n" +
+		"16 MB - 32 MB          1321.6        619.6           53.1\n" +
+		"Total Time             1713.6       1010.8           41.0\n"
+	if got := FormatCompare(rows, "MPI_Allreduce"); got != want {
+		t.Fatalf("FormatCompare golden mismatch:\ngot:\n%s\nwant:\n%s", got, want)
 	}
 }
 

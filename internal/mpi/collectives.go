@@ -71,7 +71,7 @@ func (c *Comm) Bcast(buf []float32, root int) {
 			c.Recv((vrank-mask+root)%size, tagBcast, buf)
 		}
 	}
-	c.profile("bcast", int64(len(buf))*4, time.Since(start).Seconds())
+	c.profile("bcast", "bcast", int64(len(buf))*4, time.Since(start))
 }
 
 // Barrier blocks until every rank has entered it (dissemination barrier).
@@ -86,7 +86,15 @@ func (c *Comm) Barrier() {
 		c.Sendrecv(dst, tagBarrier, token[:], src, tagBarrier, token[:])
 		rounds++
 	}
-	c.profile("barrier", rounds*4, time.Since(start).Seconds())
+	c.profile("barrier", "barrier", rounds*4, time.Since(start))
+}
+
+// allreduceTraceOps are the algorithm-qualified span names indexed by
+// AllreduceAlgo (static strings: the trace path must not allocate).
+var allreduceTraceOps = [...]string{
+	AlgoRing:              "allreduce/ring",
+	AlgoRecursiveDoubling: "allreduce/recursive-doubling",
+	AlgoNaive:             "allreduce/naive",
 }
 
 // AllreduceSum sums buf element-wise across all ranks; on return every
@@ -103,14 +111,14 @@ func (c *Comm) AllreduceSum(buf []float32, algo AllreduceAlgo) {
 	default:
 		panic(fmt.Sprintf("mpi: unknown allreduce algorithm %d", algo))
 	}
-	c.profile("allreduce", int64(len(buf))*4, time.Since(start).Seconds())
+	c.profile("allreduce", allreduceTraceOps[algo], int64(len(buf))*4, time.Since(start))
 }
 
 // AllreduceMin computes the element-wise minimum across ranks.
 func (c *Comm) AllreduceMin(buf []float32) {
 	start := time.Now()
 	c.recursiveDoubling(buf, minInto)
-	c.profile("allreduce", int64(len(buf))*4, time.Since(start).Seconds())
+	c.profile("allreduce", allreduceTraceOps[AlgoRecursiveDoubling], int64(len(buf))*4, time.Since(start))
 }
 
 // NegotiateMin is AllreduceMin recorded under the dedicated "negotiate"
@@ -120,7 +128,7 @@ func (c *Comm) AllreduceMin(buf []float32) {
 func (c *Comm) NegotiateMin(buf []float32) {
 	start := time.Now()
 	c.recursiveDoubling(buf, minInto)
-	c.profile("negotiate", int64(len(buf))*4, time.Since(start).Seconds())
+	c.profile("negotiate", "negotiate", int64(len(buf))*4, time.Since(start))
 }
 
 // sumInto and minInto delegate to the SIMD-dispatched vector kernels in
@@ -301,7 +309,7 @@ func (c *Comm) Gather(in []float32, out []float32, root int) {
 	} else {
 		c.Send(root, tagGather, in)
 	}
-	c.profile("gather", int64(len(in))*4, time.Since(start).Seconds())
+	c.profile("gather", "gather", int64(len(in))*4, time.Since(start))
 }
 
 // Allgather concatenates every rank's equal-length contribution on every
@@ -324,5 +332,5 @@ func (c *Comm) Allgather(in []float32, out []float32) {
 			c.Recv(prev, tagAllgather+step, out[recvIdx*len(in):(recvIdx+1)*len(in)])
 		}
 	}
-	c.profile("allgather", int64(len(out))*4, time.Since(start).Seconds())
+	c.profile("allgather", "allgather", int64(len(out))*4, time.Since(start))
 }

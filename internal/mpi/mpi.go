@@ -26,6 +26,18 @@ type Profiler interface {
 	Record(op string, bytes int64, seconds float64)
 }
 
+// Tracer receives a span for every collective a communicator executes:
+// the op name (allreduce ops carry their algorithm, e.g.
+// "allreduce/ring"), the payload size, and the duration of a span
+// ending at the moment of the call. internal/trace implements it; both
+// it and Profiler are fed from one timing measurement, so a bucket
+// report derived from the spans matches the profiler's exactly.
+// Implementations must not allocate (they sit on the training hot path)
+// and must be safe for the goroutine that owns the Comm.
+type Tracer interface {
+	RecordSpan(op string, bytes int64, dur time.Duration)
+}
+
 // message is an in-flight point-to-point payload.
 type message struct {
 	src, tag int
@@ -237,6 +249,10 @@ type Comm struct {
 	world    *World
 	rank     int
 	Profiler Profiler
+	// Tracer, when non-nil, receives a span per collective. Give each
+	// goroutine that runs collectives its own Comm (see Fork) so spans
+	// land on the right timeline track.
+	Tracer Tracer
 
 	// scrTmp receives chunks inside the allreduce algorithms; scrWork is
 	// the secondary buffer of the two-buffer collectives (Reduce's
@@ -264,6 +280,13 @@ func (c *Comm) workScratch(n int) []float32 {
 	}
 	return c.scrWork[:n]
 }
+
+// Fork returns a new communicator handle for the same rank with
+// independent scratch buffers and its own Profiler/Tracer fields. A
+// background goroutine (the Horovod engine) runs its collectives on a
+// fork so its reductions neither share scratch with, nor mis-attribute
+// trace spans to, the owning goroutine.
+func (c *Comm) Fork() *Comm { return &Comm{world: c.world, rank: c.rank} }
 
 // Rank returns this communicator's rank.
 func (c *Comm) Rank() int { return c.rank }
@@ -332,8 +355,14 @@ func (c *Comm) Sendrecv(dst, sendTag int, sendBuf []float32, src, recvTag int, r
 	c.Recv(src, recvTag, recvBuf)
 }
 
-func (c *Comm) profile(op string, bytes int64, seconds float64) {
+// profile reports one finished collective to the attached Profiler and
+// Tracer from a single duration measurement. op is the hvprof bucket
+// operation; traceOp the (possibly algorithm-qualified) span name.
+func (c *Comm) profile(op, traceOp string, bytes int64, dur time.Duration) {
 	if c.Profiler != nil {
-		c.Profiler.Record(op, bytes, seconds)
+		c.Profiler.Record(op, bytes, dur.Seconds())
+	}
+	if c.Tracer != nil {
+		c.Tracer.RecordSpan(traceOp, bytes, dur)
 	}
 }

@@ -1,0 +1,167 @@
+// End-to-end: a real 4-rank traced training run must produce a valid
+// Chrome trace with spans from every rank on both goroutine tracks,
+// live metrics that agree with the run's shape, and a drain-time stat.
+// External test package: trainer imports trace, so the e2e direction
+// must live outside package trace.
+package trace_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"repro/internal/data"
+	"repro/internal/models"
+	"repro/internal/trace"
+	"repro/internal/trainer"
+)
+
+func traceTestConfig(steps int) trainer.Config {
+	return trainer.Config{
+		Model: models.EDSRConfig{NumBlocks: 1, NumFeats: 4, Scale: 2, ResScale: 0.1, Colors: 3},
+		Data:  data.SyntheticConfig{Images: 8, Height: 24, Width: 24, Channels: 3, Seed: 7},
+		Steps: steps, BatchSize: 2, PatchSize: 8, LR: 1e-3, Seed: 1,
+	}
+}
+
+func TestTracedDistributedTraining(t *testing.T) {
+	const world = 4
+	cfg := traceTestConfig(3)
+	cfg.Trace = trace.NewSession(0)
+	reg := trace.NewMetrics()
+	cfg.Metrics = trace.NewTrainMetrics(reg)
+
+	_, st, err := trainer.TrainDistributed(cfg, world)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.DrainMsPerStep <= 0 {
+		t.Errorf("DrainMsPerStep = %g, want > 0 for a distributed run", st.DrainMsPerStep)
+	}
+
+	tl := cfg.Trace.Timeline()
+	if len(tl.Ranks) != world {
+		t.Fatalf("timeline has %d ranks, want %d", len(tl.Ranks), world)
+	}
+	for _, rt := range tl.Ranks {
+		cats := map[trace.Category]int{}
+		tracks := map[trace.Track]bool{}
+		for _, s := range rt.Spans {
+			cats[s.Cat]++
+			tracks[s.Track] = true
+			if s.Start < 0 || s.Dur < 0 {
+				t.Fatalf("rank %d: negative time in %+v", rt.Rank, s)
+			}
+		}
+		for _, want := range []trace.Category{
+			trace.CatStep, trace.CatForward, trace.CatBackward,
+			trace.CatGradHook, trace.CatDrain, trace.CatFusedReduce,
+			trace.CatNegotiate, trace.CatAllreduceRing,
+		} {
+			if cats[want] == 0 {
+				t.Errorf("rank %d: no %v spans", rt.Rank, want)
+			}
+		}
+		if cats[trace.CatStep] != cfg.Steps {
+			t.Errorf("rank %d: %d step spans, want %d", rt.Rank, cats[trace.CatStep], cfg.Steps)
+		}
+		if !tracks[trace.TrackMain] || !tracks[trace.TrackEngine] {
+			t.Errorf("rank %d: tracks %v, want both trainer and engine", rt.Rank, tracks)
+		}
+	}
+
+	// The exported Chrome trace must be valid trace_event JSON.
+	var buf bytes.Buffer
+	if err := tl.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			Pid  int     `json:"pid"`
+			Ts   float64 `json:"ts"`
+			Dur  float64 `json:"dur"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("exported trace is not valid JSON: %v", err)
+	}
+	pids := map[int]bool{}
+	for _, ev := range doc.TraceEvents {
+		if ev.Name == "" || ev.Ph == "" || ev.Ts < 0 || ev.Dur < 0 {
+			t.Fatalf("malformed event %+v", ev)
+		}
+		if ev.Ph != "M" {
+			pids[ev.Pid] = true
+		}
+	}
+	if len(pids) != world {
+		t.Fatalf("trace events cover %d ranks, want %d", len(pids), world)
+	}
+
+	// The span-derived hvprof report sees the run's collectives.
+	rep := tl.HvprofReport()
+	for _, op := range []string{"allreduce", "negotiate", "bcast"} {
+		if rep.TotalSeconds(op) <= 0 {
+			t.Errorf("span-derived report: no %s time", op)
+		}
+	}
+
+	// Live metrics reflect the run: world-size gauge, per-step counts.
+	if got := cfg.Metrics.WorldSize.Value(); got != world {
+		t.Errorf("world size gauge %g", got)
+	}
+	if got := cfg.Metrics.Steps.Value(); got != int64(cfg.Steps) {
+		t.Errorf("steps counter %d, want %d", got, cfg.Steps)
+	}
+	if got := cfg.Metrics.Images.Value(); got != int64(cfg.Steps*cfg.BatchSize*world) {
+		t.Errorf("images counter %d", got)
+	}
+	if cfg.Metrics.BytesReduced.Value() <= 0 || cfg.Metrics.DrainSeconds.Count() == 0 {
+		t.Errorf("engine metrics not updated: bytes %d drains %d",
+			cfg.Metrics.BytesReduced.Value(), cfg.Metrics.DrainSeconds.Count())
+	}
+}
+
+// TestTracedSingleTraining: the single-process path records compute
+// spans on rank 0 without any MPI world.
+func TestTracedSingleTraining(t *testing.T) {
+	cfg := traceTestConfig(2)
+	cfg.Trace = trace.NewSession(0)
+	if _, _, err := trainer.TrainSingle(cfg); err != nil {
+		t.Fatal(err)
+	}
+	tl := cfg.Trace.Timeline()
+	if len(tl.Ranks) != 1 {
+		t.Fatalf("ranks %d", len(tl.Ranks))
+	}
+	cats := map[trace.Category]int{}
+	for _, s := range tl.Ranks[0].Spans {
+		cats[s.Cat]++
+	}
+	if cats[trace.CatStep] != 2 || cats[trace.CatForward] != 2 || cats[trace.CatBackward] != 2 {
+		t.Fatalf("compute span counts %v", cats)
+	}
+}
+
+// TestUntracedConfigStillSerializes guards the checkpoint paths: a
+// traced Config must strip its runtime-only fields before gob encoding
+// (a *trace.Session is not serializable).
+func TestTracedCheckpointRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	cfg := traceTestConfig(1)
+	cfg.Trace = trace.NewSession(0)
+	cfg.Metrics = trace.NewTrainMetrics(trace.NewMetrics())
+	model, _, err := trainer.TrainSingle(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := dir + "/ck.gob"
+	if err := trainer.SaveCheckpoint(path, model, cfg); err != nil {
+		t.Fatalf("traced config broke checkpointing: %v", err)
+	}
+	if _, _, err := trainer.LoadCheckpoint(path); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,97 @@
+package trace
+
+import (
+	"math"
+
+	"repro/internal/mpi"
+)
+
+// Point-to-point tags for the span gather (user tag space, below the
+// collective tag bands).
+const (
+	tagTraceHeader  = 9001
+	tagTracePayload = 9002
+)
+
+// spanFloats is the wire size of one span: category+track packed in one
+// float's bits, then start, dur, and bytes as lo/hi bit halves. The MPI
+// substrate moves float32 buffers; Send/Recv only copy, so raw bit
+// halves round-trip exactly (the same trick the elastic checkpoint uses
+// for RNG streams).
+const spanFloats = 7
+
+func encodeSpans(spans []Span, out []float32) []float32 {
+	for _, s := range spans {
+		out = append(out,
+			math.Float32frombits(uint32(s.Cat)|uint32(s.Track)<<8),
+			math.Float32frombits(uint32(s.Start)),
+			math.Float32frombits(uint32(uint64(s.Start)>>32)),
+			math.Float32frombits(uint32(s.Dur)),
+			math.Float32frombits(uint32(uint64(s.Dur)>>32)),
+			math.Float32frombits(uint32(s.Bytes)),
+			math.Float32frombits(uint32(uint64(s.Bytes)>>32)),
+		)
+	}
+	return out
+}
+
+func decodeSpans(in []float32) []Span {
+	n := len(in) / spanFloats
+	spans := make([]Span, 0, n)
+	for i := 0; i < n; i++ {
+		f := in[i*spanFloats:]
+		packed := math.Float32bits(f[0])
+		spans = append(spans, Span{
+			Cat:   Category(packed & 0xff),
+			Track: Track(packed >> 8 & 0xff),
+			Start: int64(uint64(math.Float32bits(f[1])) | uint64(math.Float32bits(f[2]))<<32),
+			Dur:   int64(uint64(math.Float32bits(f[3])) | uint64(math.Float32bits(f[4]))<<32),
+			Bytes: int64(uint64(math.Float32bits(f[5])) | uint64(math.Float32bits(f[6]))<<32),
+		})
+	}
+	return spans
+}
+
+// Gather collects every rank's recorded spans on root and merges them
+// into the session's global timeline. Every rank of the communicator
+// must call it (it is collective: non-root ranks send a header with
+// their span and drop counts, then the encoded payload); on root the
+// merged timeline becomes what Session.Timeline returns. Call at run
+// end, after the recording goroutines have quiesced.
+func (s *Session) Gather(c *mpi.Comm, root int) {
+	if s == nil {
+		return
+	}
+	rec := s.Recorder(c.Rank())
+	spans := rec.Spans()
+	if c.Rank() != root {
+		hdr := [2]float32{
+			math.Float32frombits(uint32(len(spans))),
+			math.Float32frombits(uint32(rec.Dropped())),
+		}
+		c.Send(root, tagTraceHeader, hdr[:])
+		if len(spans) > 0 {
+			c.Send(root, tagTracePayload, encodeSpans(spans, make([]float32, 0, len(spans)*spanFloats)))
+		}
+		return
+	}
+	t := &Timeline{Ranks: []RankTrace{{Rank: root, Dropped: rec.Dropped(), Spans: spans}}}
+	for src := 0; src < c.Size(); src++ {
+		if src == root {
+			continue
+		}
+		var hdr [2]float32
+		c.Recv(src, tagTraceHeader, hdr[:])
+		count := int(math.Float32bits(hdr[0]))
+		dropped := uint64(math.Float32bits(hdr[1]))
+		var remote []Span
+		if count > 0 {
+			buf := make([]float32, count*spanFloats)
+			c.Recv(src, tagTracePayload, buf)
+			remote = decodeSpans(buf)
+		}
+		t.Ranks = append(t.Ranks, RankTrace{Rank: src, Dropped: dropped, Spans: remote})
+	}
+	t.sort()
+	s.setGathered(t)
+}

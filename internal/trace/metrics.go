@@ -1,0 +1,346 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Metrics is a registry of counters, gauges, and histograms rendered in
+// Prometheus text exposition format. Registration takes a lock; the
+// instruments themselves are single atomics (or atomic arrays), so
+// updating them from the training hot path is lock-free and
+// allocation-free.
+type Metrics struct {
+	mu   sync.Mutex
+	fams []*family
+}
+
+type family struct {
+	name, help, typ string
+	c               *Counter
+	g               *Gauge
+	h               *Histogram
+}
+
+// NewMetrics creates an empty registry.
+func NewMetrics() *Metrics { return &Metrics{} }
+
+// Counter is a monotonically increasing integer.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Add increases the counter by n.
+func (c *Counter) Add(n int64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a float64 that can go up and down.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	if g != nil {
+		g.bits.Store(math.Float64bits(v))
+	}
+}
+
+// Value returns the stored value.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram counts observations into cumulative buckets (Prometheus
+// histogram semantics: bucket i counts observations ≤ edges[i], plus an
+// implicit +Inf bucket) and tracks the sum of observed values.
+type Histogram struct {
+	edges   []float64
+	counts  []atomic.Int64 // len(edges)+1; last is +Inf
+	count   atomic.Int64
+	sumBits atomic.Uint64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := 0
+	for i < len(h.edges) && v > h.edges[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sumBits.Load())
+}
+
+// Counter registers (or returns the existing) counter with this name.
+func (m *Metrics) Counter(name, help string) *Counter {
+	if m == nil {
+		return nil
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if f := m.find(name); f != nil {
+		return f.c
+	}
+	f := &family{name: name, help: help, typ: "counter", c: &Counter{}}
+	m.fams = append(m.fams, f)
+	return f.c
+}
+
+// Gauge registers (or returns the existing) gauge with this name.
+func (m *Metrics) Gauge(name, help string) *Gauge {
+	if m == nil {
+		return nil
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if f := m.find(name); f != nil {
+		return f.g
+	}
+	f := &family{name: name, help: help, typ: "gauge", g: &Gauge{}}
+	m.fams = append(m.fams, f)
+	return f.g
+}
+
+// Histogram registers (or returns the existing) histogram with the
+// given ascending bucket upper bounds.
+func (m *Metrics) Histogram(name, help string, buckets []float64) *Histogram {
+	if m == nil {
+		return nil
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if f := m.find(name); f != nil {
+		return f.h
+	}
+	edges := append([]float64(nil), buckets...)
+	sort.Float64s(edges)
+	f := &family{name: name, help: help, typ: "histogram",
+		h: &Histogram{edges: edges, counts: make([]atomic.Int64, len(edges)+1)}}
+	m.fams = append(m.fams, f)
+	return f.h
+}
+
+// find returns the family with the given name; caller holds m.mu.
+func (m *Metrics) find(name string) *family {
+	for _, f := range m.fams {
+		if f.name == name {
+			return f
+		}
+	}
+	return nil
+}
+
+// WritePrometheus renders the registry in Prometheus text exposition
+// format (the format scraped from /metrics).
+func (m *Metrics) WritePrometheus(w io.Writer) error {
+	if m == nil {
+		return nil
+	}
+	m.mu.Lock()
+	fams := append([]*family(nil), m.fams...)
+	m.mu.Unlock()
+	for _, f := range fams {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", f.name, f.help, f.name, f.typ); err != nil {
+			return err
+		}
+		var err error
+		switch f.typ {
+		case "counter":
+			_, err = fmt.Fprintf(w, "%s %d\n", f.name, f.c.Value())
+		case "gauge":
+			_, err = fmt.Fprintf(w, "%s %g\n", f.name, f.g.Value())
+		case "histogram":
+			var cum int64
+			for i, edge := range f.h.edges {
+				cum += f.h.counts[i].Load()
+				if _, err = fmt.Fprintf(w, "%s_bucket{le=\"%g\"} %d\n", f.name, edge, cum); err != nil {
+					return err
+				}
+			}
+			cum += f.h.counts[len(f.h.edges)].Load()
+			_, err = fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n%s_sum %g\n%s_count %d\n",
+				f.name, cum, f.name, f.h.Sum(), f.name, f.h.Count())
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Handler serves the registry at any path (mount it at /metrics).
+func (m *Metrics) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		_ = m.WritePrometheus(w)
+	})
+}
+
+// MetricsServer is a live observability endpoint: /metrics in
+// Prometheus format plus the full /debug/pprof suite.
+type MetricsServer struct {
+	srv *http.Server
+	ln  net.Listener
+}
+
+// ServeMetrics starts the endpoint on addr (e.g. ":9090"; ":0" picks a
+// free port) and serves in a background goroutine until Close.
+func ServeMetrics(addr string, m *Metrics) (*MetricsServer, error) {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", m.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("trace: metrics endpoint: %w", err)
+	}
+	s := &MetricsServer{srv: &http.Server{Handler: mux}, ln: ln}
+	go func() { _ = s.srv.Serve(ln) }()
+	return s, nil
+}
+
+// Addr returns the bound address (useful with ":0").
+func (s *MetricsServer) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the server.
+func (s *MetricsServer) Close() error { return s.srv.Close() }
+
+// DurationBuckets are generic latency bucket bounds in seconds
+// (100 µs … 30 s).
+var DurationBuckets = []float64{
+	1e-4, 2.5e-4, 5e-4, 1e-3, 2.5e-3, 5e-3, 1e-2, 2.5e-2, 5e-2,
+	0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30,
+}
+
+// MessageBuckets mirror the hvprof Table I size classes (bytes).
+var MessageBuckets = []float64{
+	128 << 10, // 128 KB
+	16 << 20,  // 16 MB
+	32 << 20,  // 32 MB
+	64 << 20,  // 64 MB
+}
+
+// TrainMetrics bundles the live training instruments the trainer, the
+// Horovod engine, and the elastic driver update. All fields tolerate a
+// nil receiver, and NewTrainMetrics(nil) returns nil, so instrumented
+// code needs no enabled-checks.
+type TrainMetrics struct {
+	// Steps and Images count completed optimization steps and globally
+	// processed images (rank 0 updates them).
+	Steps  *Counter
+	Images *Counter
+	// BytesReduced totals gradient bytes through the engine's allreduce;
+	// AllreduceBytes histograms the fusion-group message sizes into the
+	// hvprof size classes.
+	BytesReduced   *Counter
+	AllreduceBytes *Histogram
+	// StepSeconds and DrainSeconds histogram the step latency and the
+	// exposed communication wait per step.
+	StepSeconds  *Histogram
+	DrainSeconds *Histogram
+	// Restarts and FailedRanks count elastic-recovery events.
+	Restarts    *Counter
+	FailedRanks *Counter
+	// ImagesPerSec and WorldSize are live gauges.
+	ImagesPerSec *Gauge
+	WorldSize    *Gauge
+	// Checkpoints counts distributed checkpoints written.
+	Checkpoints *Counter
+}
+
+// NewTrainMetrics registers the standard training instruments on m.
+func NewTrainMetrics(m *Metrics) *TrainMetrics {
+	if m == nil {
+		return nil
+	}
+	return &TrainMetrics{
+		Steps:          m.Counter("edsr_steps_total", "Completed optimization steps."),
+		Images:         m.Counter("edsr_images_total", "Images processed across all ranks."),
+		BytesReduced:   m.Counter("edsr_bytes_reduced_total", "Gradient bytes allreduced by the Horovod engine."),
+		AllreduceBytes: m.Histogram("edsr_allreduce_message_bytes", "Fusion-group allreduce message sizes (hvprof size classes).", MessageBuckets),
+		StepSeconds:    m.Histogram("edsr_step_seconds", "Training step latency.", DurationBuckets),
+		DrainSeconds:   m.Histogram("edsr_drain_seconds", "Exposed communication wait per step (DistributedOptimizer.Drain).", DurationBuckets),
+		Restarts:       m.Counter("edsr_restarts_total", "Elastic restarts after rank failures."),
+		FailedRanks:    m.Counter("edsr_failed_ranks_total", "Ranks lost to crashes or timeouts."),
+		ImagesPerSec:   m.Gauge("edsr_images_per_second", "Current training throughput."),
+		WorldSize:      m.Gauge("edsr_world_size", "Live data-parallel world size."),
+		Checkpoints:    m.Counter("edsr_checkpoints_total", "Distributed checkpoints written."),
+	}
+}
+
+// GobEncode and GobDecode make TrainMetrics gob-inert, like
+// trace.Session: it travels in trainer.Config, whose checkpoint
+// serialization must tolerate the field type even though the value is
+// stripped first. Live metrics are runtime-only by design.
+func (t *TrainMetrics) GobEncode() ([]byte, error) { return nil, nil }
+
+// GobDecode implements gob.GobDecoder as a no-op (see GobEncode).
+func (t *TrainMetrics) GobDecode([]byte) error { return nil }
+
+// ObserveStep records one completed step: n images in d, at the given
+// running throughput. Nil-safe.
+func (t *TrainMetrics) ObserveStep(n int, d time.Duration, imgPerSec float64) {
+	if t == nil {
+		return
+	}
+	t.Steps.Inc()
+	t.Images.Add(int64(n))
+	t.StepSeconds.Observe(d.Seconds())
+	if imgPerSec > 0 {
+		t.ImagesPerSec.Set(imgPerSec)
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"repro/internal/mpi"
 	"repro/internal/nn"
 	"repro/internal/tensor"
+	"repro/internal/trace"
 )
 
 // ElasticConfig drives a fault-tolerant data-parallel training run: the
@@ -150,6 +151,14 @@ func TrainElastic(cfg ElasticConfig) (*models.EDSR, ElasticStats, error) {
 		if cfg.Train.Log != nil {
 			fmt.Fprintf(cfg.Train.Log, "elastic: %s; restarting with %d rank(s) from %s\n",
 				firstLine(runErr.Error()), survivors, cfg.CheckpointPath)
+		}
+		// Mark the restart boundary on rank 0's timeline and in the live
+		// metrics so a trace of a recovered run shows where the old world
+		// ended and the shrunken one began.
+		cfg.Train.Trace.Recorder(0).EmitInstant(trace.CatRestart, trace.TrackMain, 0)
+		if tm := cfg.Train.Metrics; tm != nil {
+			tm.Restarts.Inc()
+			tm.FailedRanks.Add(int64(ws - survivors))
 		}
 		ws = survivors
 		fault = mpi.NoFaults() // the injected fault fired; restarts run clean
@@ -301,11 +310,13 @@ func elasticRankLoop(cfg ElasticConfig, c *mpi.Comm, st *elasticState, out *rank
 		// the dead world's stream.
 	}
 
-	engine := horovod.NewEngine(c, horovod.Config{
+	engine := horovod.NewEngine(engineComm(tcfg, c), horovod.Config{
 		FusionThresholdBytes: cfg.FusionThresholdBytes,
 		CycleTime:            0, // in-process ranks negotiate eagerly
 		Average:              true,
 		Algo:                 mpi.AlgoRing,
+		Trace:                tcfg.Trace.Recorder(rank),
+		Metrics:              rankMetrics(tcfg, rank),
 	})
 	dopt := horovod.NewDistributedOptimizer(opt, engine)
 	model.SetGradHook(dopt.GradHook())
@@ -315,6 +326,11 @@ func elasticRankLoop(cfg ElasticConfig, c *mpi.Comm, st *elasticState, out *rank
 	horovod.ScaleLR(opt, ws)
 	schedule := nn.StepLRSchedule{Base: tcfg.LR * float64(ws), DecayEvery: tcfg.LRDecayEvery, Gamma: 0.5}
 
+	rec := tcfg.Trace.Recorder(rank)
+	tm := rankMetrics(tcfg, rank)
+	if tm != nil {
+		tm.WorldSize.Set(float64(ws))
+	}
 	loss := nn.L1Loss{}
 	var gradBuf *tensor.Tensor
 	for step := start; step < tcfg.Steps; step++ {
@@ -323,12 +339,22 @@ func elasticRankLoop(cfg ElasticConfig, c *mpi.Comm, st *elasticState, out *rank
 			schedule.Apply(opt, step)
 		}
 		batch := loader.Next()
+		stepStart := time.Now()
+		stepSpan := rec.Now()
 		dopt.ZeroGrad()
+		fwdSpan := rec.Now()
 		pred := model.Forward(batch.LR)
+		rec.Emit(trace.CatForward, trace.TrackMain, fwdSpan, 0)
 		l, grad := loss.ForwardBuf(gradBuf, pred, batch.HR)
 		gradBuf = grad
+		bwdSpan := rec.Now()
 		model.Backward(grad)
+		rec.Emit(trace.CatBackward, trace.TrackMain, bwdSpan, 0)
 		dopt.Step()
+		rec.Emit(trace.CatStep, trace.TrackMain, stepSpan, 0)
+		if tm != nil {
+			tm.ObserveStep(tcfg.BatchSize*ws, time.Since(stepStart), 0)
+		}
 		out.lossSum += l
 		out.last = l
 		out.steps++
@@ -337,12 +363,20 @@ func elasticRankLoop(cfg ElasticConfig, c *mpi.Comm, st *elasticState, out *rank
 		}
 		if cfg.CheckpointPath != "" &&
 			(step+1 == tcfg.Steps || (cfg.CheckpointEvery > 0 && (step+1)%cfg.CheckpointEvery == 0)) {
+			ckSpan := rec.Now()
 			if err := writeElasticCheckpoint(cfg, c, step+1, params, opt, loader); err != nil {
 				out.err = err
 				return
 			}
+			rec.Emit(trace.CatCheckpoint, trace.TrackMain, ckSpan, 0)
+			if tm != nil {
+				tm.Checkpoints.Inc()
+			}
 		}
 	}
+	// Merge spans on rank 0 while the world is still healthy; failed
+	// attempts skip this (the trace keeps what rank 0 recorded locally).
+	tcfg.Trace.Gather(c, 0)
 }
 
 // loaderSeed derives the loader's base seed. Fresh runs use the same
@@ -399,11 +433,10 @@ func writeElasticCheckpoint(cfg ElasticConfig, c *mpi.Comm, step int, params []*
 		return nil
 	}
 	st := elasticState{
-		Config:    cfg.Train,
+		Config:    cfg.Train.sanitized(),
 		WorldSize: ws,
 		Step:      step,
 	}
-	st.Config.Log = nil
 	m, v, adamStep := opt.State()
 	st.AdamM, st.AdamV, st.AdamStep = m, v, adamStep
 	for _, p := range params {

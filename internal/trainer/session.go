@@ -109,7 +109,7 @@ func (s *Session) Save(path string) error {
 		Step:     s.Step,
 		RNGState: s.Loader.RNGState(),
 	}
-	st.Config.Log = nil // writers are runtime-only, not serializable
+	st.Config = st.Config.sanitized() // writers/tracing are runtime-only, not serializable
 	m, v, adamStep := s.Opt.State()
 	st.AdamM, st.AdamV, st.AdamStep = m, v, adamStep
 	for _, p := range s.Model.Params() {

@@ -20,6 +20,7 @@ import (
 	"repro/internal/mpi"
 	"repro/internal/nn"
 	"repro/internal/tensor"
+	"repro/internal/trace"
 )
 
 // Config drives a training run.
@@ -46,6 +47,24 @@ type Config struct {
 	LogEvery int
 	// Log receives progress lines (nil for no logging).
 	Log io.Writer
+	// Trace, when non-nil, records per-phase spans (step, forward,
+	// backward, grad hooks, engine reductions, drain, checkpoints) on
+	// every rank; gather the merged timeline with Trace.Timeline().
+	// Runtime-only, like Log: stripped before checkpoint serialization.
+	Trace *trace.Session
+	// Metrics, when non-nil, receives live counters/gauges/histograms
+	// (rank 0 updates them); serve with trace.ServeMetrics.
+	// Runtime-only, like Log.
+	Metrics *trace.TrainMetrics
+}
+
+// sanitized strips the runtime-only fields (writers, tracing, metrics)
+// that cannot or should not be serialized into checkpoints.
+func (c Config) sanitized() Config {
+	c.Log = nil
+	c.Trace = nil
+	c.Metrics = nil
+	return c
 }
 
 // DefaultConfig returns a laptop-scale configuration that trains a tiny
@@ -80,6 +99,12 @@ type Stats struct {
 	// classical baseline on held-out images (computed by Evaluate).
 	PSNRModel   float64
 	PSNRBicubic float64
+	// DrainMsPerStep is the mean exposed communication wait per step —
+	// the milliseconds DistributedOptimizer.Drain blocked after backward
+	// finished. Zero for single-process runs; the lower it is relative
+	// to total allreduce time, the more communication the overlapped
+	// backward actually hid.
+	DrainMsPerStep float64
 }
 
 // TrainSingle trains an EDSR on one process and returns the model and
@@ -107,11 +132,13 @@ func TrainDistributed(cfg Config, worldSize int) (*models.EDSR, Stats, error) {
 	}
 	results := make([]out, worldSize)
 	if err := world.Run(func(c *mpi.Comm) {
-		engine := horovod.NewEngine(c, horovod.Config{
+		engine := horovod.NewEngine(engineComm(cfg, c), horovod.Config{
 			FusionThresholdBytes: 64 << 20,
 			CycleTime:            0, // in-process ranks negotiate eagerly
 			Average:              true,
 			Algo:                 mpi.AlgoRing,
+			Trace:                cfg.Trace.Recorder(c.Rank()),
+			Metrics:              rankMetrics(cfg, c.Rank()),
 		})
 		m, st, err := trainRank(cfg, c, engine)
 		results[c.Rank()] = out{m, st, err}
@@ -124,6 +151,30 @@ func TrainDistributed(cfg Config, worldSize int) (*models.EDSR, Stats, error) {
 		}
 	}
 	return results[0].m, results[0].st, nil
+}
+
+// engineComm prepares the communicator the Horovod engine runs its
+// collectives on. With tracing enabled the engine gets a fork whose
+// Tracer lands spans on the engine track, and the rank's own Comm traces
+// onto the trainer track; without tracing the engine shares c directly.
+func engineComm(cfg Config, c *mpi.Comm) *mpi.Comm {
+	if cfg.Trace == nil {
+		return c
+	}
+	rec := cfg.Trace.Recorder(c.Rank())
+	c.Tracer = rec.Sink(trace.TrackMain)
+	ec := c.Fork()
+	ec.Tracer = rec.Sink(trace.TrackEngine)
+	return ec
+}
+
+// rankMetrics returns the live-metrics bundle for a rank: rank 0 only,
+// so per-step counters reflect global steps, not steps × world size.
+func rankMetrics(cfg Config, rank int) *trace.TrainMetrics {
+	if rank != 0 {
+		return nil
+	}
+	return cfg.Metrics
 }
 
 // trainRank is the shared per-process loop; comm and engine are nil for
@@ -162,19 +213,25 @@ func trainRank(cfg Config, comm *mpi.Comm, engine *horovod.Engine) (*models.EDSR
 		Step()
 		ZeroGrad()
 	} = opt
+	var distOpt *horovod.DistributedOptimizer
 	if engine != nil {
-		d := horovod.NewDistributedOptimizer(opt, engine)
+		distOpt = horovod.NewDistributedOptimizer(opt, engine)
 		// Overlap backward with communication: each parameter is submitted
 		// for reduction the moment its backward contribution completes.
-		model.SetGradHook(d.GradHook())
+		model.SetGradHook(distOpt.GradHook())
 		engine.Start()
 		defer engine.Shutdown()
 		horovod.BroadcastParameters(comm, params, 0)
 		horovod.ScaleLR(opt, world)
 		schedule.Base = cfg.LR * float64(world)
-		dopt = d
+		dopt = distOpt
 	}
 
+	rec := cfg.Trace.Recorder(rank)
+	tm := rankMetrics(cfg, rank)
+	if tm != nil {
+		tm.WorldSize.Set(float64(world))
+	}
 	loss := nn.L1Loss{}
 	meter := metrics.ThroughputMeter{WarmupSteps: 1}
 	var lossSum, lastLoss float64
@@ -187,13 +244,21 @@ func trainRank(cfg Config, comm *mpi.Comm, engine *horovod.Engine) (*models.EDSR
 		}
 		batch := loader.Next()
 		stepStart := time.Now()
+		stepSpan := rec.Now()
 		dopt.ZeroGrad()
+		fwdSpan := rec.Now()
 		pred := model.Forward(batch.LR)
+		rec.Emit(trace.CatForward, trace.TrackMain, fwdSpan, 0)
 		l, grad := loss.ForwardBuf(gradBuf, pred, batch.HR)
 		gradBuf = grad
+		bwdSpan := rec.Now()
 		model.Backward(grad)
+		rec.Emit(trace.CatBackward, trace.TrackMain, bwdSpan, 0)
 		dopt.Step()
-		meter.Record(cfg.BatchSize*world, time.Since(stepStart).Seconds())
+		rec.Emit(trace.CatStep, trace.TrackMain, stepSpan, 0)
+		stepDur := time.Since(stepStart)
+		meter.Record(cfg.BatchSize*world, stepDur.Seconds())
+		tm.ObserveStep(cfg.BatchSize*world, stepDur, meter.ImagesPerSecond())
 		lossSum += l
 		lastLoss = l
 		if step == 0 {
@@ -213,10 +278,19 @@ func trainRank(cfg Config, comm *mpi.Comm, engine *horovod.Engine) (*models.EDSR
 		ImagesPerSec: meter.ImagesPerSecond(),
 		WallSeconds:  time.Since(start).Seconds(),
 	}
+	if distOpt != nil {
+		if total, n := distOpt.DrainStats(); n > 0 {
+			st.DrainMsPerStep = total.Seconds() * 1e3 / float64(n)
+		}
+	}
 	if cfg.Steps > 1 {
 		var memEnd runtime.MemStats
 		runtime.ReadMemStats(&memEnd)
 		st.AllocsPerStep = float64(memEnd.Mallocs-memWarm.Mallocs) / float64(cfg.Steps-1)
+	}
+	if comm != nil {
+		// Merge every rank's spans on rank 0 before the world tears down.
+		cfg.Trace.Gather(comm, 0)
 	}
 	return model, st, nil
 }
@@ -289,9 +363,7 @@ type checkpoint struct {
 // atomically (see atomicWrite): a crash mid-save cannot destroy the
 // previous checkpoint.
 func SaveCheckpoint(path string, model *models.EDSR, cfg Config) error {
-	ck := checkpoint{Config: cfg}
-	cfg.Log = nil
-	ck.Config.Log = nil
+	ck := checkpoint{Config: cfg.sanitized()}
 	for _, p := range model.Params() {
 		ck.Names = append(ck.Names, p.Name)
 		ck.Values = append(ck.Values, p.Value)

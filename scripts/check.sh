@@ -30,6 +30,10 @@ go test -race ./internal/nn/ ./internal/tensor/
 echo "== tier 2: race detector (overlapped backward/comm + collectives)"
 go test -race ./internal/mpi/ ./internal/horovod/
 
+echo "== tier 2: tracing gate (concurrent span recording under race, 0 allocs with recorder enabled)"
+go test -race -run 'Concurrent|Gather|ProfilerTracerAgree' ./internal/trace/
+go test -run 'NoAllocs' -v ./internal/trace/ | grep -E '^(--- (PASS|FAIL)|ok|FAIL)'
+
 echo "== tier 2: fault tolerance (injection, crash-safe checkpoints, elastic restart) under race"
 go test -race -run 'Fault|Crash|Elastic|Resume|Atomic|Recv|Drop|Delay|Cascade|Engine' \
     ./internal/mpi/ ./internal/horovod/ ./internal/trainer/
@@ -38,7 +42,7 @@ echo "== tier 2: fuzz smoke (tensor deserialization)"
 go test -run '^$' -fuzz 'FuzzUnmarshalBinary' -fuzztime 5s ./internal/tensor/
 
 echo "== tier 2: zero-allocation steady-state gates"
-go test -run 'ZeroAlloc|NoAllocs' -v ./internal/mpi/ ./internal/nn/ ./internal/tensor/ | grep -E '^(--- (PASS|FAIL)|ok|FAIL)'
+go test -run 'ZeroAlloc|NoAllocs' -v ./internal/mpi/ ./internal/nn/ ./internal/tensor/ ./internal/trace/ | grep -E '^(--- (PASS|FAIL)|ok|FAIL)'
 
 echo "== tier 2: bench-comm smoke"
 go run ./cmd/bench-comm -quick -steps 2 -o /tmp/BENCH_comm_smoke.json
