@@ -1,0 +1,246 @@
+// Command bench-serve measures the serving path end to end and emits a
+// machine-readable BENCH_serve.json: upscale throughput (img/s) and
+// latency percentiles (p50/p99) across micro-batch sizes, driven by
+// concurrent HTTP clients POSTing PNGs through a real listener — the
+// full decode → queue → coalesce → batched forward → stitch → encode
+// pipeline, exactly what sr-serve runs in production.
+//
+// Batching trades latency for throughput by amortizing per-forward
+// overhead across coalesced requests; the sweep makes that trade-off
+// measurable on the machine at hand. The report records cores
+// (GOMAXPROCS): with one worker per replica, batching gains require the
+// batched forward to use the cores a larger batch exposes, so single-
+// core boxes show the queueing cost, not the speedup (see
+// EXPERIMENTS.md).
+//
+// Usage:
+//
+//	bench-serve [-o BENCH_serve.json] [-quick] [-requests 64] [-clients 16]
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"runtime"
+	"sort"
+	"time"
+
+	"repro/internal/imageio"
+	"repro/internal/models"
+	"repro/internal/serve"
+	"repro/internal/tensor"
+	"repro/internal/trace"
+)
+
+// sweepResult is one micro-batch-size cell of the sweep.
+type sweepResult struct {
+	MaxBatch     int     `json:"max_batch"`
+	Workers      int     `json:"workers"`
+	Clients      int     `json:"clients"`
+	Requests     int     `json:"requests"`
+	ImgPerSec    float64 `json:"img_per_sec"`
+	P50Ms        float64 `json:"p50_ms"`
+	P99Ms        float64 `json:"p99_ms"`
+	MeanBatch    float64 `json:"mean_batch"`
+	VsBatch1     float64 `json:"vs_batch1"`
+	BatchedFwds  int64   `json:"batched_forwards"`
+	TotalSubmits int64   `json:"total_submits"`
+}
+
+// report is the BENCH_serve.json schema.
+type report struct {
+	GOOS       string        `json:"goos"`
+	GOARCH     string        `json:"goarch"`
+	GOMAXPROCS int           `json:"gomaxprocs"`
+	NumCPU     int           `json:"num_cpu"`
+	Model      string        `json:"model"`
+	Blocks     int           `json:"blocks"`
+	Feats      int           `json:"feats"`
+	Scale      int           `json:"scale"`
+	ImageEdge  int           `json:"image_edge_lr_px"`
+	Tile       int           `json:"tile"`
+	MaxDelayMs float64       `json:"max_delay_ms"`
+	Sweep      []sweepResult `json:"sweep"`
+}
+
+// benchPoint serves one engine configuration over a real TCP listener
+// and hammers it with concurrent clients.
+func benchPoint(maxBatch, workers, clients, requests, size, tile int, maxDelay time.Duration, pngBody []byte) (sweepResult, error) {
+	res := sweepResult{MaxBatch: maxBatch, Workers: workers, Clients: clients, Requests: requests}
+
+	reg := trace.NewMetrics()
+	met := serve.NewMetrics(reg)
+	master := models.NewEDSR(models.EDSRTiny(), tensor.NewRNG(1))
+	engine := serve.NewEngine(serve.EngineConfig{
+		Batch: serve.BatcherConfig{
+			MaxBatch: maxBatch,
+			MaxDelay: maxDelay,
+			Queue:    4 * clients * max(1, (size+tile-1)/tile*(size+tile-1)/tile),
+			Workers:  workers,
+		},
+		TileSize: tile,
+	}, met, nil)
+	if err := engine.Register("edsr-tiny", serve.EDSRFactory(master)); err != nil {
+		return res, err
+	}
+	defer engine.Shutdown()
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return res, err
+	}
+	httpSrv := &http.Server{Handler: serve.NewServer(engine, reg, met, 0)}
+	go httpSrv.Serve(ln)
+	defer httpSrv.Close()
+	url := "http://" + ln.Addr().String() + "/v1/upscale"
+
+	client := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: clients}}
+	post := func() (time.Duration, error) {
+		began := time.Now()
+		resp, err := client.Post(url, "image/png", bytes.NewReader(pngBody))
+		if err != nil {
+			return 0, err
+		}
+		defer resp.Body.Close()
+		if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+			return 0, err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return 0, fmt.Errorf("status %d", resp.StatusCode)
+		}
+		return time.Since(began), nil
+	}
+
+	// Warmup: stabilize batcher and layer buffers outside the timed run.
+	for i := 0; i < 2*clients; i++ {
+		if _, err := post(); err != nil {
+			return res, fmt.Errorf("warmup: %w", err)
+		}
+	}
+	warmBatches, warmSubmits := met.Batches.Value(), met.Submits.Value()
+
+	lats := make([]time.Duration, requests)
+	errs := make([]error, clients)
+	perClient := requests / clients
+	began := time.Now()
+	done := make(chan int, clients)
+	for c := 0; c < clients; c++ {
+		go func(c int) {
+			for i := 0; i < perClient; i++ {
+				d, err := post()
+				if err != nil {
+					errs[c] = err
+					break
+				}
+				lats[c*perClient+i] = d
+			}
+			done <- c
+		}(c)
+	}
+	for c := 0; c < clients; c++ {
+		<-done
+	}
+	wall := time.Since(began)
+	for _, err := range errs {
+		if err != nil {
+			return res, err
+		}
+	}
+
+	n := clients * perClient
+	lats = lats[:n]
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	res.Requests = n
+	res.ImgPerSec = float64(n) / wall.Seconds()
+	res.P50Ms = float64(lats[n/2].Microseconds()) / 1e3
+	res.P99Ms = float64(lats[min(n-1, n*99/100)].Microseconds()) / 1e3
+	res.BatchedFwds = met.Batches.Value() - warmBatches
+	res.TotalSubmits = met.Submits.Value() - warmSubmits
+	if res.BatchedFwds > 0 {
+		res.MeanBatch = float64(res.TotalSubmits) / float64(res.BatchedFwds)
+	}
+	return res, nil
+}
+
+func main() {
+	out := flag.String("o", "BENCH_serve.json", "output JSON path")
+	quick := flag.Bool("quick", false, "smaller sweep for CI smoke")
+	requests := flag.Int("requests", 64, "timed requests per sweep point")
+	clients := flag.Int("clients", 16, "concurrent HTTP clients")
+	size := flag.Int("size", 32, "LR image edge in pixels")
+	tile := flag.Int("tile", 48, "LR tile edge (<0 disables tiling)")
+	workers := flag.Int("workers", 1, "batcher model replicas")
+	maxDelay := flag.Duration("max-delay", 2*time.Millisecond, "batch-open hold time")
+	flag.Parse()
+
+	cfg := models.EDSRTiny()
+	rep := report{
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		Model:      "edsr-tiny",
+		Blocks:     cfg.NumBlocks,
+		Feats:      cfg.NumFeats,
+		Scale:      cfg.Scale,
+		ImageEdge:  *size,
+		Tile:       *tile,
+		MaxDelayMs: float64(maxDelay.Microseconds()) / 1e3,
+	}
+
+	// The benchmark image: a deterministic random LR PNG.
+	rng := tensor.NewRNG(9)
+	x := tensor.New(1, 3, *size, *size)
+	x.FillUniform(rng, 0, 1)
+	var png bytes.Buffer
+	if err := imageio.WritePNG(&png, x); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	batches := []int{1, 2, 4, 8, 16}
+	reqN, cliN := *requests, *clients
+	if *quick {
+		batches = []int{1, 4}
+		reqN = min(reqN, 16)
+		cliN = min(cliN, 4)
+	}
+	var batch1 float64
+	for _, mb := range batches {
+		r, err := benchPoint(mb, *workers, cliN, reqN, *size, *tile, *maxDelay, png.Bytes())
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "max-batch %d: %v\n", mb, err)
+			os.Exit(1)
+		}
+		if mb == 1 {
+			batch1 = r.ImgPerSec
+		}
+		if batch1 > 0 {
+			r.VsBatch1 = r.ImgPerSec / batch1
+		}
+		rep.Sweep = append(rep.Sweep, r)
+		fmt.Fprintf(os.Stderr,
+			"max-batch %2d: %6.2f img/s  p50 %7.2f ms  p99 %7.2f ms  mean batch %.2f  (%.2fx vs batch 1)\n",
+			mb, r.ImgPerSec, r.P50Ms, r.P99Ms, r.MeanBatch, r.VsBatch1)
+	}
+
+	f, err := os.Create(*out)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	f.Close()
+	fmt.Fprintf(os.Stderr, "wrote %s\n", *out)
+}

@@ -1,0 +1,150 @@
+// Command sr-serve runs the batched super-resolution inference server:
+// POST a PNG to /v1/upscale and get the super-resolved PNG back.
+//
+// Concurrent requests are coalesced into micro-batches (the serving-side
+// analogue of the paper's batched training forward), large images are
+// split into halo tiles to bound activation memory, and the process
+// exposes the same observability surface as training: Prometheus
+// counters on /metrics and, with -trace, a Chrome trace_event timeline
+// of every request, queue wait, and batch on shutdown.
+//
+// SIGINT/SIGTERM drains gracefully: /healthz flips to 503, new requests
+// are rejected, in-flight requests and queued batches complete, then the
+// process exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/serve"
+	"repro/internal/trace"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "HTTP listen address")
+	checkpoint := flag.String("checkpoint", "", "serve a trained EDSR checkpoint (weights-only or full training state) as model \"edsr\"")
+	builtins := flag.String("models", "bicubic", "comma-separated built-in models to also serve (bicubic, edsr-tiny, srcnn)")
+	maxBatch := flag.Int("max-batch", 8, "largest coalesced micro-batch")
+	maxDelay := flag.Duration("max-delay", 2*time.Millisecond, "how long a worker holds an open batch for same-shaped followers")
+	queue := flag.Int("queue", 64, "pending-request queue bound (full queue returns 429)")
+	workers := flag.Int("workers", 1, "model replicas running batches concurrently")
+	tile := flag.Int("tile", 48, "LR tile edge for splitting large images (<0 disables tiling)")
+	maxBody := flag.Int64("max-body", serve.DefaultMaxBodyBytes, "largest accepted PNG upload in bytes")
+	tracePath := flag.String("trace", "", "write a Chrome trace_event JSON timeline here on shutdown (open at https://ui.perfetto.dev)")
+	drainWait := flag.Duration("drain-wait", 10*time.Second, "how long to wait for in-flight requests on shutdown")
+	flag.Parse()
+
+	reg := trace.NewMetrics()
+	met := serve.NewMetrics(reg)
+	var rec *trace.Recorder
+	var sess *trace.Session
+	if *tracePath != "" {
+		sess = trace.NewSession(0)
+		rec = sess.Recorder(0)
+	}
+
+	engine := serve.NewEngine(serve.EngineConfig{
+		Batch: serve.BatcherConfig{
+			MaxBatch: *maxBatch,
+			MaxDelay: *maxDelay,
+			Queue:    *queue,
+			Workers:  *workers,
+		},
+		TileSize: *tile,
+	}, met, rec)
+
+	if *checkpoint != "" {
+		f, cfg, err := serve.LoadEDSRCheckpoint(*checkpoint)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := engine.Register("edsr", f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("model edsr: x%d, %d blocks, %d feats (from %s)\n",
+			cfg.Scale, cfg.NumBlocks, cfg.NumFeats, *checkpoint)
+	}
+	for _, name := range strings.Split(*builtins, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		f, err := serve.BuiltinFactory(name)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		if err := engine.Register(name, f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+	}
+	models := engine.Models()
+	if len(models) == 0 {
+		fmt.Fprintln(os.Stderr, "no models to serve: pass -checkpoint and/or -models")
+		os.Exit(2)
+	}
+	for _, m := range models {
+		fmt.Printf("serving %-10s x%d (halo %d)\n", m.Name, m.Scale, m.Halo)
+	}
+
+	srv := serve.NewServer(engine, reg, met, *maxBody)
+	httpSrv := &http.Server{Addr: *addr, Handler: srv}
+
+	done := make(chan error, 1)
+	go func() {
+		err := httpSrv.ListenAndServe()
+		if errors.Is(err, http.ErrServerClosed) {
+			err = nil
+		}
+		done <- err
+	}()
+	fmt.Printf("listening on %s (default model %q; POST PNGs to /v1/upscale)\n", *addr, models[0].Name)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-done:
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	case s := <-sig:
+		fmt.Printf("\n%s: draining...\n", s)
+		// Drain order: stop admitting work, let in-flight HTTP handlers
+		// finish, then run the batcher queues dry.
+		srv.StartDrain()
+		ctx, cancel := context.WithTimeout(context.Background(), *drainWait)
+		if err := httpSrv.Shutdown(ctx); err != nil {
+			fmt.Fprintln(os.Stderr, "HTTP shutdown:", err)
+		}
+		cancel()
+		engine.Shutdown()
+	}
+
+	if sess != nil {
+		f, err := os.Create(*tracePath)
+		if err == nil {
+			err = sess.Timeline().WriteChromeTrace(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "trace export failed:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("trace: %s (open at https://ui.perfetto.dev)\n", *tracePath)
+	}
+}

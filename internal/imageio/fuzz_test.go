@@ -1,0 +1,119 @@
+package imageio
+
+import (
+	"bytes"
+	"image"
+	"image/color"
+	"image/png"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+// seedPNG encodes a small gradient image for the fuzz corpus.
+func seedPNG(w, h int, gray bool) []byte {
+	var img image.Image
+	if gray {
+		g := image.NewGray(image.Rect(0, 0, w, h))
+		for y := 0; y < h; y++ {
+			for x := 0; x < w; x++ {
+				g.SetGray(x, y, color.Gray{Y: uint8(x*37 + y*11)})
+			}
+		}
+		img = g
+	} else {
+		rgba := image.NewRGBA(image.Rect(0, 0, w, h))
+		for y := 0; y < h; y++ {
+			for x := 0; x < w; x++ {
+				rgba.SetRGBA(x, y, color.RGBA{R: uint8(x * 17), G: uint8(y * 29), B: uint8(x ^ y), A: 255})
+			}
+		}
+		img = rgba
+	}
+	var buf bytes.Buffer
+	if err := png.Encode(&buf, img); err != nil {
+		panic(err)
+	}
+	return buf.Bytes()
+}
+
+// FuzzDecodePNG is the untrusted-input gate for the serving decode path:
+// ReadPNG must never panic or allocate unbounded memory, whatever bytes
+// arrive — valid PNGs, truncated streams, bit flips, or garbage. A
+// successful decode must produce a sane (1, 3, H, W) tensor within the
+// MaxDecodePixels bound, with every value in [0,1].
+func FuzzDecodePNG(f *testing.F) {
+	valid := seedPNG(9, 7, false)
+	f.Add(valid)
+	f.Add(seedPNG(1, 1, false))
+	f.Add(seedPNG(4, 12, true))
+	f.Add(valid[:len(valid)/2])       // truncated mid-chunk
+	f.Add(valid[:20])                 // header only
+	f.Add([]byte{})                   // empty
+	f.Add([]byte("not a png at all")) // garbage
+	f.Add(bytes.Repeat([]byte{0x89, 'P', 'N', 'G'}, 8))
+	// Valid signature, corrupt IHDR claiming a huge image.
+	huge := append([]byte(nil), valid...)
+	huge[16], huge[17], huge[18], huge[19] = 0x7f, 0xff, 0xff, 0xff // width
+	f.Add(huge)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		x, err := ReadPNG(bytes.NewReader(data))
+		if err != nil {
+			return // rejected input is fine; panics and OOM are the bugs
+		}
+		if x.Rank() != 4 || x.Dim(0) != 1 || x.Dim(1) != 3 {
+			t.Fatalf("decoded tensor has shape %v, want (1,3,H,W)", x.Shape())
+		}
+		h, w := x.Dim(2), x.Dim(3)
+		if h < 1 || w < 1 || int64(h)*int64(w) > MaxDecodePixels {
+			t.Fatalf("decoded %dx%d outside (0, %d] pixel bounds", w, h, MaxDecodePixels)
+		}
+		for i, v := range x.Data() {
+			if v < 0 || v > 1 || v != v {
+				t.Fatalf("pixel %d = %g outside [0,1]", i, v)
+			}
+		}
+	})
+}
+
+// TestReadPNGRoundTrip pins the decode side against the existing
+// encoder: WritePNG → ReadPNG must reproduce the tensor exactly up to
+// the 8-bit quantization step.
+func TestReadPNGRoundTrip(t *testing.T) {
+	rng := tensor.NewRNG(71)
+	x := tensor.New(1, 3, 13, 9)
+	x.FillUniform(rng, 0, 1)
+	var buf bytes.Buffer
+	if err := WritePNG(&buf, x); err != nil {
+		t.Fatalf("WritePNG: %v", err)
+	}
+	got, err := ReadPNG(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("ReadPNG: %v", err)
+	}
+	if !got.SameShape(x) {
+		t.Fatalf("round trip shape %v, want %v", got.Shape(), x.Shape())
+	}
+	gd, xd := got.Data(), x.Data()
+	for i := range gd {
+		d := float64(gd[i]) - float64(xd[i])
+		if d < 0 {
+			d = -d
+		}
+		if d > 1.0/255+1e-6 { // one 8-bit quantization step
+			t.Fatalf("pixel %d drifted by %g through the PNG round trip", i, d)
+		}
+	}
+}
+
+// TestReadPNGRejectsHugeHeader checks the decode-limit guard fires from
+// the header alone, before pixel buffers are allocated.
+func TestReadPNGRejectsHugeHeader(t *testing.T) {
+	valid := seedPNG(9, 7, false)
+	huge := append([]byte(nil), valid...)
+	huge[16], huge[17], huge[18], huge[19] = 0x7f, 0xff, 0xff, 0xff
+	if _, err := ReadPNG(bytes.NewReader(huge)); err == nil {
+		t.Fatal("expected a decode-limit error for a 2-gigapixel header")
+	}
+}

@@ -5,6 +5,7 @@
 package imageio
 
 import (
+	"bytes"
 	"fmt"
 	"image"
 	"image/color"
@@ -90,6 +91,42 @@ func SavePNG(path string, t *tensor.Tensor) error {
 	return WritePNG(f, t)
 }
 
+// MaxDecodePixels bounds ReadPNG's decoded image size (16 Mpixel): the
+// dimensions are checked from the header before the pixel buffer is
+// allocated, so a tiny malicious file cannot demand gigabytes.
+const MaxDecodePixels = 1 << 24
+
+// ReadPNG decodes a PNG stream into a (1, 3, H, W) tensor. This is the
+// server-facing decode path: input is untrusted, so the image header is
+// validated against MaxDecodePixels before decoding and any decoder
+// error is returned rather than panicking (fuzzed by FuzzDecodePNG).
+func ReadPNG(r io.Reader) (*tensor.Tensor, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("imageio: reading PNG: %w", err)
+	}
+	cfg, err := png.DecodeConfig(bytes.NewReader(data))
+	if err != nil {
+		return nil, fmt.Errorf("imageio: %w", err)
+	}
+	if cfg.Width < 1 || cfg.Height < 1 {
+		return nil, fmt.Errorf("imageio: invalid image size %dx%d", cfg.Width, cfg.Height)
+	}
+	if int64(cfg.Width)*int64(cfg.Height) > MaxDecodePixels {
+		return nil, fmt.Errorf("imageio: image %dx%d exceeds the %d-pixel decode limit",
+			cfg.Width, cfg.Height, MaxDecodePixels)
+	}
+	img, err := png.Decode(bytes.NewReader(data))
+	if err != nil {
+		return nil, fmt.Errorf("imageio: %w", err)
+	}
+	b := img.Bounds()
+	if b.Dx() < 1 || b.Dy() < 1 {
+		return nil, fmt.Errorf("imageio: decoded image has empty bounds %v", b)
+	}
+	return FromImage(img), nil
+}
+
 // LoadPNG reads a PNG file into a (1, 3, H, W) tensor.
 func LoadPNG(path string) (*tensor.Tensor, error) {
 	f, err := os.Open(path)
@@ -97,11 +134,7 @@ func LoadPNG(path string) (*tensor.Tensor, error) {
 		return nil, err
 	}
 	defer f.Close()
-	img, err := png.Decode(f)
-	if err != nil {
-		return nil, err
-	}
-	return FromImage(img), nil
+	return ReadPNG(f)
 }
 
 // SideBySide concatenates equally-sized (1, C, H, W) tensors horizontally

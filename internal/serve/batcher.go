@@ -1,0 +1,281 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/tensor"
+	"repro/internal/trace"
+)
+
+// Submission errors. The HTTP layer maps ErrOverloaded to 429 and
+// ErrDraining to 503; both are returned synchronously from Submit, so a
+// rejected request is never half-enqueued.
+var (
+	ErrOverloaded = errors.New("serve: queue full")
+	ErrDraining   = errors.New("serve: draining, not accepting requests")
+	errShape      = errors.New("serve: result buffer shape mismatch")
+)
+
+// BatcherConfig sizes the dynamic micro-batching queue.
+type BatcherConfig struct {
+	// MaxBatch is the largest coalesced batch (default 8).
+	MaxBatch int
+	// MaxDelay is how long a worker holds an open batch waiting for
+	// same-shaped followers — the Horovod cycle time of the serving path
+	// (default 2ms). Zero disables waiting: batches only form from
+	// requests already queued.
+	MaxDelay time.Duration
+	// Queue bounds the pending-request queue; a full queue rejects with
+	// ErrOverloaded (default 64).
+	Queue int
+	// Workers is the number of model replicas running batches
+	// concurrently (default 1).
+	Workers int
+}
+
+// withDefaults fills unset fields.
+func (c BatcherConfig) withDefaults() BatcherConfig {
+	if c.MaxBatch < 1 {
+		c.MaxBatch = 8
+	}
+	if c.MaxDelay < 0 {
+		c.MaxDelay = 0
+	}
+	if c.MaxDelay == 0 && c.MaxBatch > 1 {
+		c.MaxDelay = 2 * time.Millisecond
+	}
+	if c.Queue < 1 {
+		c.Queue = 64
+	}
+	if c.Workers < 1 {
+		c.Workers = 1
+	}
+	return c
+}
+
+// request is one queued unit of work: a single LR image (or tile) and
+// the caller-provided output buffer its SR result is copied into.
+// Requests are pooled; errc is buffered so a worker's reply never
+// blocks.
+type request struct {
+	x, out *tensor.Tensor
+	enq    int64 // Recorder.Now() at enqueue, for the queue-wait span
+	errc   chan error
+}
+
+// Batcher coalesces concurrent single-image requests into batched
+// forwards. The first request pulled by a worker opens a batch; the
+// worker then waits up to MaxDelay for more same-shaped requests (shapes
+// must match to share one NCHW batch tensor) before running the model
+// once over all of them. Each worker owns a private model replica, so
+// batches run concurrently without sharing layer buffers.
+type Batcher struct {
+	cfg   BatcherConfig
+	queue chan *request
+	pool  sync.Pool
+
+	mu       sync.RWMutex // guards draining vs. queue sends
+	draining bool
+	wg       sync.WaitGroup
+
+	scale, halo, colors int
+
+	met *Metrics
+	rec *trace.Recorder
+}
+
+// NewBatcher starts cfg.Workers workers, each with its own replica from
+// f. met and rec may be nil (metrics and tracing off).
+func NewBatcher(f Factory, cfg BatcherConfig, met *Metrics, rec *trace.Recorder) *Batcher {
+	cfg = cfg.withDefaults()
+	b := &Batcher{
+		cfg:   cfg,
+		queue: make(chan *request, cfg.Queue),
+		pool:  sync.Pool{New: func() any { return &request{errc: make(chan error, 1)} }},
+		met:   met,
+		rec:   rec,
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		m := f()
+		if i == 0 {
+			b.scale, b.halo, b.colors = m.Scale(), m.Halo(), m.Colors()
+		}
+		w := &worker{
+			b:     b,
+			model: m,
+			batch: make([]*request, 0, cfg.MaxBatch),
+			timer: time.NewTimer(time.Hour),
+		}
+		if !w.timer.Stop() {
+			<-w.timer.C
+		}
+		b.wg.Add(1)
+		go w.run()
+	}
+	return b
+}
+
+// Scale returns the served model's upscale factor.
+func (b *Batcher) Scale() int { return b.scale }
+
+// Halo returns the served model's tiling halo in LR pixels.
+func (b *Batcher) Halo() int { return b.halo }
+
+// Colors returns the served model's input channel count.
+func (b *Batcher) Colors() int { return b.colors }
+
+// Submit enqueues one image (1, C, h, w) and blocks until a worker has
+// written its SR result into out (1, C, h*scale, w*scale), which the
+// caller allocates. Every call gets exactly one outcome: nil once out is
+// filled, ErrOverloaded if the queue was full, ErrDraining after
+// Shutdown began, or a shape error. x and out must not be touched until
+// Submit returns.
+func (b *Batcher) Submit(x, out *tensor.Tensor) error {
+	if x.Rank() != 4 || x.Dim(0) != 1 || x.Dim(1) != b.colors {
+		return fmt.Errorf("serve: want a single (1,%d,h,w) image, got %v", b.colors, x.Shape())
+	}
+	req := b.pool.Get().(*request)
+	req.x, req.out = x, out
+	req.enq = b.rec.Now()
+
+	b.mu.RLock()
+	if b.draining {
+		b.mu.RUnlock()
+		b.release(req)
+		return ErrDraining
+	}
+	select {
+	case b.queue <- req:
+		b.mu.RUnlock()
+	default:
+		b.mu.RUnlock()
+		b.release(req)
+		return ErrOverloaded
+	}
+	b.met.submitted(len(b.queue))
+
+	err := <-req.errc
+	b.release(req)
+	return err
+}
+
+// release returns a request to the pool with its payload cleared.
+func (b *Batcher) release(req *request) {
+	req.x, req.out = nil, nil
+	b.pool.Put(req)
+}
+
+// QueueLen reports the current queue depth (for tests and backpressure
+// introspection).
+func (b *Batcher) QueueLen() int { return len(b.queue) }
+
+// Shutdown drains the batcher: new Submits fail with ErrDraining,
+// already-queued requests are completed, and the call returns once every
+// worker has exited. Idempotent.
+func (b *Batcher) Shutdown() {
+	b.mu.Lock()
+	if b.draining {
+		b.mu.Unlock()
+		b.wg.Wait()
+		return
+	}
+	b.draining = true
+	close(b.queue)
+	b.mu.Unlock()
+	b.wg.Wait()
+}
+
+// worker pulls requests, coalesces them into batches, and runs its model
+// replica. The steady-state batch path (runBatch) is allocation-free
+// once buffer shapes have stabilized — enforced by
+// TestRunBatchNoAllocs.
+type worker struct {
+	b     *Batcher
+	model Model
+	in    *tensor.Tensor // reused NCHW batch input
+	batch []*request     // reused batch slice, cap MaxBatch
+	timer *time.Timer
+}
+
+// run is the worker loop. A request of a different shape than the open
+// batch closes the batch and seeds the next one (pending), so
+// mixed-shape traffic degrades to smaller batches instead of failing.
+func (w *worker) run() {
+	defer w.b.wg.Done()
+	var pending *request
+	for {
+		first := pending
+		pending = nil
+		if first == nil {
+			r, ok := <-w.b.queue
+			if !ok {
+				return
+			}
+			first = r
+		}
+		w.batch = w.batch[:0]
+		w.batch = append(w.batch, first)
+		if w.b.cfg.MaxBatch > 1 {
+			fired := false
+			w.timer.Reset(w.b.cfg.MaxDelay)
+		collect:
+			for len(w.batch) < w.b.cfg.MaxBatch {
+				select {
+				case r, ok := <-w.b.queue:
+					if !ok {
+						break collect
+					}
+					if !r.x.SameShape(first.x) {
+						pending = r
+						break collect
+					}
+					w.batch = append(w.batch, r)
+				case <-w.timer.C:
+					fired = true
+					break collect
+				}
+			}
+			if !fired && !w.timer.Stop() {
+				<-w.timer.C
+			}
+		}
+		w.runBatch(w.batch)
+	}
+}
+
+// runBatch assembles the NCHW batch, runs one forward, and scatters the
+// per-sample results into each request's output buffer. Samples are
+// processed independently by the batch-parallel kernels, so a sample's
+// result is bit-identical no matter which batch it rode in (pinned by
+// TestBatchedForwardBitIdentical).
+func (w *worker) runBatch(reqs []*request) {
+	n := len(reqs)
+	first := reqs[0].x
+	c, h, wd := first.Dim(1), first.Dim(2), first.Dim(3)
+	plane := c * h * wd
+	w.in = tensor.Ensure(w.in, n, c, h, wd)
+	id := w.in.Data()
+	now := w.b.rec.Now()
+	for i, r := range reqs {
+		copy(id[i*plane:(i+1)*plane], r.x.Data())
+		w.b.rec.Emit(trace.CatServeQueue, trace.TrackMain, r.enq, r.x.Bytes())
+		w.b.met.queueWait(float64(now-r.enq) / 1e9)
+	}
+	start := w.b.rec.Now()
+	y := w.model.Forward(w.in)
+	outPlane := y.Len() / n
+	yd := y.Data()
+	for i, r := range reqs {
+		if r.out == nil || r.out.Len() != outPlane {
+			r.errc <- errShape
+			continue
+		}
+		copy(r.out.Data(), yd[i*outPlane:(i+1)*outPlane])
+		r.errc <- nil
+	}
+	w.b.rec.Emit(trace.CatServeBatch, trace.TrackMain, start, w.in.Bytes())
+	w.b.met.batched(n, len(w.b.queue))
+}

@@ -1,0 +1,172 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/tensor"
+	"repro/internal/trace"
+)
+
+// ErrUnknownModel is returned by Upscale for an unregistered model name
+// (HTTP 404).
+var ErrUnknownModel = errors.New("serve: unknown model")
+
+// ErrBadInput wraps client-side validation failures (HTTP 400).
+var ErrBadInput = errors.New("serve: bad input")
+
+// EngineConfig sizes the inference engine.
+type EngineConfig struct {
+	// Batch configures every model's micro-batching queue.
+	Batch BatcherConfig
+	// TileSize is the LR tile core edge; images larger than one tile in
+	// either dimension are split into halo tiles and re-batched per
+	// tile, bounding activation memory to one padded tile regardless of
+	// image size (default 48, <0 disables tiling).
+	TileSize int
+}
+
+// ModelInfo describes one registered model (the /v1/models payload).
+type ModelInfo struct {
+	Name   string `json:"name"`
+	Scale  int    `json:"scale"`
+	Halo   int    `json:"halo"`
+	Colors int    `json:"colors"`
+}
+
+// Engine routes upscale requests to per-model batchers, tiling images
+// that exceed the tile size. The first registered model is the default.
+type Engine struct {
+	cfg EngineConfig
+
+	mu    sync.RWMutex
+	mods  map[string]*Batcher
+	order []string
+
+	met *Metrics
+	rec *trace.Recorder
+}
+
+// NewEngine creates an engine; met and rec may be nil (observability
+// off).
+func NewEngine(cfg EngineConfig, met *Metrics, rec *trace.Recorder) *Engine {
+	if cfg.TileSize == 0 {
+		cfg.TileSize = 48
+	}
+	return &Engine{cfg: cfg, mods: map[string]*Batcher{}, met: met, rec: rec}
+}
+
+// Register adds a model under name, spinning up its batcher workers.
+func (e *Engine) Register(name string, f Factory) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if _, dup := e.mods[name]; dup {
+		return fmt.Errorf("serve: model %q already registered", name)
+	}
+	e.mods[name] = NewBatcher(f, e.cfg.Batch, e.met, e.rec)
+	e.order = append(e.order, name)
+	return nil
+}
+
+// Models lists the registered models in registration order.
+func (e *Engine) Models() []ModelInfo {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	out := make([]ModelInfo, 0, len(e.order))
+	for _, name := range e.order {
+		b := e.mods[name]
+		out = append(out, ModelInfo{Name: name, Scale: b.Scale(), Halo: b.Halo(), Colors: b.Colors()})
+	}
+	return out
+}
+
+// batcher resolves a model name ("" selects the default).
+func (e *Engine) batcher(name string) (*Batcher, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if name == "" {
+		if len(e.order) == 0 {
+			return nil, fmt.Errorf("%w: no models registered", ErrUnknownModel)
+		}
+		name = e.order[0]
+	}
+	b, ok := e.mods[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownModel, name)
+	}
+	return b, nil
+}
+
+// Upscale super-resolves one image (1, C, H, W) with the named model and
+// returns a freshly allocated (1, C, H*s, W*s) result. Images within the
+// tile size ride the batcher whole; larger images are split into halo
+// tiles, submitted concurrently (so tiles from different requests
+// coalesce into shared batches), and stitched. A request is atomic: if
+// any tile is rejected by backpressure the whole request fails with that
+// error.
+func (e *Engine) Upscale(name string, x *tensor.Tensor) (*tensor.Tensor, error) {
+	b, err := e.batcher(name)
+	if err != nil {
+		return nil, err
+	}
+	if err := checkInput(x, b.Colors()); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadInput, err)
+	}
+	began := time.Now()
+	start := e.rec.Now()
+	c, h, w := x.Dim(1), x.Dim(2), x.Dim(3)
+	s := b.Scale()
+	out := tensor.New(1, c, h*s, w*s)
+
+	tile := e.cfg.TileSize
+	if tile < 0 || (h <= tile && w <= tile) {
+		// Whole image in one submission: no extract/stitch copies.
+		if err := b.Submit(x, out); err != nil {
+			return nil, err
+		}
+	} else {
+		tiles := SplitTiles(h, w, tile, b.Halo())
+		e.met.tiled(len(tiles))
+		errs := make([]error, len(tiles))
+		outs := make([]*tensor.Tensor, len(tiles))
+		var wg sync.WaitGroup
+		for i, t := range tiles {
+			wg.Add(1)
+			go func(i int, t Tile) {
+				defer wg.Done()
+				xt := ExtractTile(x, t)
+				outs[i] = tensor.New(1, c, (t.PY1-t.PY0)*s, (t.PX1-t.PX0)*s)
+				errs[i] = b.Submit(xt, outs[i])
+			}(i, t)
+		}
+		wg.Wait()
+		for _, terr := range errs {
+			if terr != nil {
+				return nil, terr
+			}
+		}
+		for i, t := range tiles {
+			StitchTile(out, outs[i], t, s)
+		}
+	}
+	e.rec.Emit(trace.CatServeRequest, trace.TrackMain, start, x.Bytes())
+	e.met.observeRequest(time.Since(began))
+	return out, nil
+}
+
+// Shutdown drains every model's batcher: queued work completes, new
+// submissions fail with ErrDraining, and the call returns when all
+// workers have exited.
+func (e *Engine) Shutdown() {
+	e.mu.RLock()
+	mods := make([]*Batcher, 0, len(e.mods))
+	for _, b := range e.mods {
+		mods = append(mods, b)
+	}
+	e.mu.RUnlock()
+	for _, b := range mods {
+		b.Shutdown()
+	}
+}

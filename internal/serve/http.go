@@ -1,0 +1,137 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync/atomic"
+
+	"repro/internal/imageio"
+	"repro/internal/trace"
+)
+
+// DefaultMaxBodyBytes bounds an uploaded PNG (16 MB).
+const DefaultMaxBodyBytes = 16 << 20
+
+// Server is the HTTP front end: POST a PNG to /v1/upscale and get the
+// super-resolved PNG back. It adds transport concerns on top of the
+// engine — body limits, content negotiation, error mapping (backpressure
+// → 429, drain → 503), health, model listing, and the shared /metrics
+// endpoint.
+type Server struct {
+	e        *Engine
+	reg      *trace.Metrics
+	met      *Metrics
+	maxBody  int64
+	mux      *http.ServeMux
+	draining atomic.Bool
+}
+
+// NewServer wires the engine into an http.Handler. reg and met may be
+// nil (no /metrics endpoint, no counters); maxBody <= 0 selects
+// DefaultMaxBodyBytes.
+func NewServer(e *Engine, reg *trace.Metrics, met *Metrics, maxBody int64) *Server {
+	if maxBody <= 0 {
+		maxBody = DefaultMaxBodyBytes
+	}
+	s := &Server{e: e, reg: reg, met: met, maxBody: maxBody, mux: http.NewServeMux()}
+	s.mux.HandleFunc("/v1/upscale", s.handleUpscale)
+	s.mux.HandleFunc("/v1/models", s.handleModels)
+	s.mux.HandleFunc("/healthz", s.handleHealth)
+	if reg != nil {
+		s.mux.Handle("/metrics", reg.Handler())
+	}
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// StartDrain flips the server into draining mode: /healthz reports 503
+// (so load balancers stop routing here) and new upscale requests are
+// rejected with 503, while requests already inside a handler finish
+// normally. Call Engine.Shutdown after the HTTP server has finished its
+// in-flight handlers to complete the drain.
+func (s *Server) StartDrain() { s.draining.Store(true) }
+
+// Draining reports whether StartDrain was called.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// fail writes a plain-text error response and records the outcome.
+func (s *Server) fail(w http.ResponseWriter, code int, msg string) {
+	s.met.httpOutcome(code)
+	if code == http.StatusTooManyRequests {
+		w.Header().Set("Retry-After", "1")
+	}
+	http.Error(w, msg, code)
+}
+
+// handleUpscale is POST /v1/upscale?model=NAME with a PNG body.
+func (s *Server) handleUpscale(w http.ResponseWriter, r *http.Request) {
+	s.met.httpRequest()
+	if r.Method != http.MethodPost {
+		s.fail(w, http.StatusMethodNotAllowed, "POST a PNG body")
+		return
+	}
+	if s.draining.Load() {
+		s.fail(w, http.StatusServiceUnavailable, ErrDraining.Error())
+		return
+	}
+	body := http.MaxBytesReader(w, r.Body, s.maxBody)
+	x, err := imageio.ReadPNG(body)
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			s.fail(w, http.StatusRequestEntityTooLarge, fmt.Sprintf("body over %d bytes", s.maxBody))
+			return
+		}
+		s.fail(w, http.StatusBadRequest, "bad PNG: "+err.Error())
+		return
+	}
+	out, err := s.e.Upscale(r.URL.Query().Get("model"), x)
+	switch {
+	case err == nil:
+	case errors.Is(err, ErrOverloaded):
+		s.fail(w, http.StatusTooManyRequests, err.Error())
+		return
+	case errors.Is(err, ErrDraining):
+		s.fail(w, http.StatusServiceUnavailable, err.Error())
+		return
+	case errors.Is(err, ErrUnknownModel):
+		s.fail(w, http.StatusNotFound, err.Error())
+		return
+	case errors.Is(err, ErrBadInput):
+		s.fail(w, http.StatusBadRequest, err.Error())
+		return
+	default:
+		s.fail(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	w.Header().Set("Content-Type", "image/png")
+	if err := imageio.WritePNG(w, out); err != nil {
+		// Headers are gone; all we can do is count it.
+		s.met.httpOutcome(http.StatusInternalServerError)
+		return
+	}
+	s.met.httpOutcome(http.StatusOK)
+}
+
+// handleModels is GET /v1/models.
+func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(s.e.Models())
+}
+
+// handleHealth is GET /healthz: 200 while serving, 503 while draining.
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	if s.draining.Load() {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	fmt.Fprintln(w, "ok")
+}

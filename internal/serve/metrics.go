@@ -1,0 +1,128 @@
+package serve
+
+import (
+	"time"
+
+	"repro/internal/trace"
+)
+
+// BatchBuckets histogram the coalesced batch sizes.
+var BatchBuckets = []float64{1, 2, 4, 8, 16, 32}
+
+// Metrics bundles the serving instruments, registered on a trace.Metrics
+// registry and scraped from the same /metrics endpoint the trainer uses.
+// Like trace.TrainMetrics, every method tolerates a nil receiver, so the
+// engine and batcher need no enabled-checks on the hot path.
+type Metrics struct {
+	// Requests counts HTTP upscale requests received; Responses,
+	// Rejected, and Errors partition their outcomes (2xx / 429+503 /
+	// other).
+	Requests  *trace.Counter
+	Responses *trace.Counter
+	Rejected  *trace.Counter
+	Errors    *trace.Counter
+	// Submits counts batcher submissions (a tiled request submits once
+	// per tile); Batches counts coalesced forwards, and BatchSize
+	// histograms how full they were.
+	Submits   *trace.Counter
+	Batches   *trace.Counter
+	BatchSize *trace.Histogram
+	// Tiles counts tile submissions from split requests.
+	Tiles *trace.Counter
+	// QueueDepth is the live pending-request queue length;
+	// QueueSeconds histograms how long requests waited in it.
+	QueueDepth   *trace.Gauge
+	QueueSeconds *trace.Histogram
+	// RequestSeconds histograms end-to-end upscale latency (decode and
+	// encode excluded; queue, batching, and forward included).
+	RequestSeconds *trace.Histogram
+}
+
+// NewMetrics registers the serving instruments on m (nil m → nil bundle,
+// metrics off).
+func NewMetrics(m *trace.Metrics) *Metrics {
+	if m == nil {
+		return nil
+	}
+	return &Metrics{
+		Requests:       m.Counter("sr_requests_total", "HTTP upscale requests received."),
+		Responses:      m.Counter("sr_responses_total", "Successful upscale responses."),
+		Rejected:       m.Counter("sr_rejected_total", "Requests rejected by backpressure (429) or drain (503)."),
+		Errors:         m.Counter("sr_errors_total", "Requests failed with a client or server error."),
+		Submits:        m.Counter("sr_submits_total", "Batcher submissions (tiles submit individually)."),
+		Batches:        m.Counter("sr_batches_total", "Coalesced micro-batch forwards."),
+		BatchSize:      m.Histogram("sr_batch_size", "Images per coalesced forward.", BatchBuckets),
+		Tiles:          m.Counter("sr_tiles_total", "Tiles produced by splitting large images."),
+		QueueDepth:     m.Gauge("sr_queue_depth", "Pending requests in the batching queue."),
+		QueueSeconds:   m.Histogram("sr_queue_seconds", "Time requests spent queued before a worker picked them up.", trace.DurationBuckets),
+		RequestSeconds: m.Histogram("sr_request_seconds", "End-to-end upscale latency (queue + batching + forward).", trace.DurationBuckets),
+	}
+}
+
+// submitted records an accepted submission and the resulting queue depth.
+func (m *Metrics) submitted(depth int) {
+	if m == nil {
+		return
+	}
+	m.Submits.Inc()
+	m.QueueDepth.Set(float64(depth))
+}
+
+// tiled records a request split into n tiles.
+func (m *Metrics) tiled(n int) {
+	if m == nil {
+		return
+	}
+	m.Tiles.Add(int64(n))
+}
+
+// httpRequest records one HTTP request arrival.
+func (m *Metrics) httpRequest() {
+	if m == nil {
+		return
+	}
+	m.Requests.Inc()
+}
+
+// httpOutcome records the response status: 2xx → Responses, 429/503 →
+// Rejected, anything else → Errors.
+func (m *Metrics) httpOutcome(code int) {
+	if m == nil {
+		return
+	}
+	switch {
+	case code >= 200 && code < 300:
+		m.Responses.Inc()
+	case code == 429 || code == 503:
+		m.Rejected.Inc()
+	default:
+		m.Errors.Inc()
+	}
+}
+
+// batched records one coalesced forward of n images and the queue depth
+// after it was pulled.
+func (m *Metrics) batched(n, depth int) {
+	if m == nil {
+		return
+	}
+	m.Batches.Inc()
+	m.BatchSize.Observe(float64(n))
+	m.QueueDepth.Set(float64(depth))
+}
+
+// queueWait records one request's time in the queue.
+func (m *Metrics) queueWait(sec float64) {
+	if m == nil {
+		return
+	}
+	m.QueueSeconds.Observe(sec)
+}
+
+// observeRequest records one engine request's end-to-end latency.
+func (m *Metrics) observeRequest(d time.Duration) {
+	if m == nil {
+		return
+	}
+	m.RequestSeconds.Observe(d.Seconds())
+}

@@ -1,0 +1,44 @@
+package serve
+
+import (
+	"fmt"
+
+	"repro/internal/models"
+	"repro/internal/tensor"
+	"repro/internal/trainer"
+)
+
+// LoadEDSRCheckpoint loads trained EDSR weights from disk and returns a
+// Factory serving them. Both checkpoint flavors work: the weights-only
+// file written by trainer.SaveCheckpoint and the full training state
+// written by trainer.Session.Save — gob matches the shared
+// Config/Names/Values fields and skips the optimizer state.
+func LoadEDSRCheckpoint(path string) (Factory, models.EDSRConfig, error) {
+	m, cfg, err := trainer.LoadCheckpoint(path)
+	if err != nil {
+		return nil, models.EDSRConfig{}, fmt.Errorf("serve: loading %s: %w", path, err)
+	}
+	return EDSRFactory(m), cfg.Model, nil
+}
+
+// BuiltinFactory returns a Factory for the named built-in model —
+// fresh-weight demo networks and the bicubic baseline, so the server can
+// run without a checkpoint:
+//
+//	bicubic    classical baseline, scale 2
+//	edsr-tiny  EDSRTiny with seeded random weights
+//	srcnn      SRCNN with seeded random weights, scale 2
+func BuiltinFactory(name string) (Factory, error) {
+	switch name {
+	case "bicubic":
+		return BicubicFactory(2, 3), nil
+	case "edsr-tiny":
+		master := models.NewEDSR(models.EDSRTiny(), tensor.NewRNG(1))
+		return EDSRFactory(master), nil
+	case "srcnn":
+		master := models.NewSRCNN(3, tensor.NewRNG(1))
+		return SRCNNFactory(master, 2, 3), nil
+	default:
+		return nil, fmt.Errorf("serve: unknown built-in model %q (have bicubic, edsr-tiny, srcnn)", name)
+	}
+}

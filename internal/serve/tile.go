@@ -1,0 +1,115 @@
+package serve
+
+import (
+	"fmt"
+
+	"repro/internal/tensor"
+)
+
+// Tile is one piece of a tiled forward. Core (CX0,CY0)–(CX1,CY1) is the
+// half-open LR region this tile is responsible for in the output;
+// Padded (PX0,PY0)–(PX1,PY1) is the core grown by the model's halo and
+// clamped to the image bounds — the region actually forwarded. Zero
+// padding inside the model only corrupts the outermost halo pixels of
+// the padded tile, which the stitcher crops away, so the core comes out
+// identical to a whole-image forward. Where the padded region hits a
+// real image border the clamp makes the tile border coincide with the
+// image border, and the model's zero padding applies exactly as it
+// would on the whole image.
+type Tile struct {
+	CX0, CY0, CX1, CY1 int
+	PX0, PY0, PX1, PY1 int
+}
+
+// SplitTiles cuts an h×w LR image into tiles with cores at most
+// tile×tile and a halo-pixel context ring. tile < 1 (or a tile covering
+// the whole image) degenerates to a single tile whose padded region is
+// the full image, making the tiled forward trivially exact.
+func SplitTiles(h, w, tile, halo int) []Tile {
+	if tile < 1 {
+		tile = max(h, w)
+	}
+	if halo < 0 {
+		halo = 0
+	}
+	ts := make([]Tile, 0, ((h+tile-1)/tile)*((w+tile-1)/tile))
+	for y0 := 0; y0 < h; y0 += tile {
+		y1 := min(y0+tile, h)
+		for x0 := 0; x0 < w; x0 += tile {
+			x1 := min(x0+tile, w)
+			ts = append(ts, Tile{
+				CX0: x0, CY0: y0, CX1: x1, CY1: y1,
+				PX0: max(0, x0-halo), PY0: max(0, y0-halo),
+				PX1: min(w, x1+halo), PY1: min(h, y1+halo),
+			})
+		}
+	}
+	return ts
+}
+
+// ExtractTile copies the padded region of t from the LR image x
+// (1, C, H, W) into a fresh (1, C, ph, pw) tensor.
+func ExtractTile(x *tensor.Tensor, t Tile) *tensor.Tensor {
+	c, w := x.Dim(1), x.Dim(3)
+	ph, pw := t.PY1-t.PY0, t.PX1-t.PX0
+	out := tensor.New(1, c, ph, pw)
+	xd, od := x.Data(), out.Data()
+	h := x.Dim(2)
+	for ch := 0; ch < c; ch++ {
+		srcPlane := xd[ch*h*w : (ch+1)*h*w]
+		dstPlane := od[ch*ph*pw : (ch+1)*ph*pw]
+		for y := 0; y < ph; y++ {
+			src := srcPlane[(t.PY0+y)*w+t.PX0 : (t.PY0+y)*w+t.PX1]
+			copy(dstPlane[y*pw:(y+1)*pw], src)
+		}
+	}
+	return out
+}
+
+// StitchTile copies the core of a forwarded tile into the SR output
+// image. y is the model output for the padded tile, (1, C, ph*s, pw*s);
+// dst is the whole SR image (1, C, H*s, W*s). Only the core region —
+// the seam-cropped center — is written.
+func StitchTile(dst, y *tensor.Tensor, t Tile, scale int) {
+	c := dst.Dim(1)
+	dw := dst.Dim(3)
+	pw := (t.PX1 - t.PX0) * scale
+	ph := (t.PY1 - t.PY0) * scale
+	// Core region in the tile's local HR coordinates.
+	ly0, lx0 := (t.CY0-t.PY0)*scale, (t.CX0-t.PX0)*scale
+	ch, cw := (t.CY1-t.CY0)*scale, (t.CX1-t.CX0)*scale
+	yd, dd := y.Data(), dst.Data()
+	dh := dst.Dim(2)
+	for chn := 0; chn < c; chn++ {
+		srcPlane := yd[chn*ph*pw : (chn+1)*ph*pw]
+		dstPlane := dd[chn*dh*dw : (chn+1)*dh*dw]
+		for r := 0; r < ch; r++ {
+			src := srcPlane[(ly0+r)*pw+lx0 : (ly0+r)*pw+lx0+cw]
+			drow := dstPlane[(t.CY0*scale+r)*dw+t.CX0*scale:]
+			copy(drow[:cw], src)
+		}
+	}
+}
+
+// TiledForward runs m over x (1, C, H, W) tile by tile with the model's
+// halo and stitches the seam-cropped cores into the full SR image.
+// Memory is bounded by one padded tile's activations instead of the
+// whole image's; with halo ≥ the receptive-field radius the result
+// equals m.Forward(x) (see TestTiledForwardEquivalence).
+func TiledForward(m Model, x *tensor.Tensor, tile int) (*tensor.Tensor, error) {
+	if err := checkInput(x, m.Colors()); err != nil {
+		return nil, err
+	}
+	c, h, w := x.Dim(1), x.Dim(2), x.Dim(3)
+	s := m.Scale()
+	out := tensor.New(1, c, h*s, w*s)
+	for _, t := range SplitTiles(h, w, tile, m.Halo()) {
+		y := m.Forward(ExtractTile(x, t))
+		if y.Dim(2) != (t.PY1-t.PY0)*s || y.Dim(3) != (t.PX1-t.PX0)*s {
+			return nil, fmt.Errorf("serve: model produced %v for a %dx%d tile at scale %d",
+				y.Shape(), t.PY1-t.PY0, t.PX1-t.PX0, s)
+		}
+		StitchTile(out, y, t, s)
+	}
+	return out, nil
+}

@@ -1,0 +1,150 @@
+package serve
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/models"
+	"repro/internal/tensor"
+)
+
+// maxAbsDiff returns the largest per-element difference.
+func maxAbsDiff(a, b *tensor.Tensor) float64 {
+	if !a.SameShape(b) {
+		return 1e30
+	}
+	var m float64
+	ad, bd := a.Data(), b.Data()
+	for i := range ad {
+		d := float64(ad[i]) - float64(bd[i])
+		if d < 0 {
+			d = -d
+		}
+		if d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// randImage builds a deterministic random (1, c, h, w) image in [0,1].
+func randImage(rng *tensor.RNG, c, h, w int) *tensor.Tensor {
+	x := tensor.New(1, c, h, w)
+	x.FillUniform(rng, 0, 1)
+	return x
+}
+
+// checkTiledEquivalence asserts tiled forward == whole forward within
+// 1e-5 per pixel for one (model, image, tile) case.
+func checkTiledEquivalence(t *testing.T, m Model, x *tensor.Tensor, tile int, label string) {
+	t.Helper()
+	whole := m.Forward(x).Clone() // the model reuses its output buffer
+	tiled, err := TiledForward(m, x, tile)
+	if err != nil {
+		t.Fatalf("%s: TiledForward: %v", label, err)
+	}
+	if !whole.SameShape(tiled) {
+		t.Fatalf("%s: shape %v vs whole %v", label, tiled.Shape(), whole.Shape())
+	}
+	if d := maxAbsDiff(whole, tiled); d > 1e-5 {
+		t.Errorf("%s: tiled forward differs from whole by %g (> 1e-5)", label, d)
+	}
+}
+
+// TestTiledForwardEquivalence is the property test: for randomized image
+// sizes, tile sizes, and model configurations, a tiled forward with the
+// model's halo must match the whole-image forward within 1e-5 per pixel.
+// A failure here means the halo under-covers the receptive field (seam
+// artifacts) or the stitcher mis-addresses a region.
+func TestTiledForwardEquivalence(t *testing.T) {
+	rng := tensor.NewRNG(42)
+	edsrConfigs := []models.EDSRConfig{
+		{NumBlocks: 1, NumFeats: 4, Scale: 2, ResScale: 0.1, Colors: 3},
+		{NumBlocks: 2, NumFeats: 6, Scale: 3, ResScale: 0.1, Colors: 3},
+		{NumBlocks: 3, NumFeats: 4, Scale: 4, ResScale: 1, Colors: 3},
+	}
+	var cases []Model
+	for _, cfg := range edsrConfigs {
+		cases = append(cases, &EDSRModel{M: models.NewEDSR(cfg, rng)})
+	}
+	cases = append(cases,
+		&SRCNNModel{M: models.NewSRCNN(3, rng), scale: 2, c: 3},
+		&BicubicModel{S: 3, C: 3},
+	)
+	tiles := []int{2, 4, 8, 16, 64}
+	for mi, m := range cases {
+		for trial := 0; trial < 4; trial++ {
+			h := 3 + int(rng.Uint64()%28)
+			w := 3 + int(rng.Uint64()%28)
+			x := randImage(rng, m.Colors(), h, w)
+			tile := tiles[rng.Intn(len(tiles))]
+			label := fmt.Sprintf("model %d (scale %d, halo %d) image %dx%d tile %d",
+				mi, m.Scale(), m.Halo(), h, w, tile)
+			checkTiledEquivalence(t, m, x, tile, label)
+		}
+	}
+}
+
+// TestTiledForwardDegenerateCases pins the edge geometries: an image
+// smaller than one tile (single-tile path), exact-multiple sizes (no
+// partial tiles), tile exactly the image size, and 1-pixel slivers from
+// an off-by-one image edge.
+func TestTiledForwardDegenerateCases(t *testing.T) {
+	rng := tensor.NewRNG(7)
+	m := &EDSRModel{M: models.NewEDSR(models.EDSRConfig{
+		NumBlocks: 2, NumFeats: 4, Scale: 2, ResScale: 0.1, Colors: 3}, rng)}
+	cases := []struct {
+		h, w, tile int
+		name       string
+	}{
+		{5, 7, 16, "image smaller than one tile"},
+		{16, 16, 8, "exact multiple of the tile size"},
+		{12, 12, 12, "tile exactly the image"},
+		{17, 9, 8, "1-pixel sliver tiles at the edges"},
+		{8, 24, 8, "single row of tiles"},
+		{3, 3, 1, "1x1 cores, halo larger than the image"},
+	}
+	for _, c := range cases {
+		x := randImage(rng, 3, c.h, c.w)
+		checkTiledEquivalence(t, m, x, c.tile, c.name)
+	}
+}
+
+// TestSplitTilesCoverage checks the tiling geometry invariants directly:
+// cores partition the image exactly, and every padded region stays in
+// bounds while covering its core by the halo (clamped at image borders).
+func TestSplitTilesCoverage(t *testing.T) {
+	rng := tensor.NewRNG(3)
+	for trial := 0; trial < 50; trial++ {
+		h := 1 + int(rng.Uint64()%40)
+		w := 1 + int(rng.Uint64()%40)
+		tile := 1 + int(rng.Uint64()%12)
+		halo := int(rng.Uint64() % 8)
+		covered := make([]int, h*w)
+		for _, tl := range SplitTiles(h, w, tile, halo) {
+			if tl.PX0 > tl.CX0 || tl.PY0 > tl.CY0 || tl.PX1 < tl.CX1 || tl.PY1 < tl.CY1 {
+				t.Fatalf("padded %+v does not contain core", tl)
+			}
+			if tl.PX0 < 0 || tl.PY0 < 0 || tl.PX1 > w || tl.PY1 > h {
+				t.Fatalf("padded %+v out of %dx%d bounds", tl, h, w)
+			}
+			wantPX0 := max(0, tl.CX0-halo)
+			wantPY0 := max(0, tl.CY0-halo)
+			wantPX1 := min(w, tl.CX1+halo)
+			wantPY1 := min(h, tl.CY1+halo)
+			if tl.PX0 != wantPX0 || tl.PY0 != wantPY0 || tl.PX1 != wantPX1 || tl.PY1 != wantPY1 {
+				t.Fatalf("padded %+v does not extend the core by halo %d (clamped)", tl, halo)
+			}
+			for y := tl.CY0; y < tl.CY1; y++ {
+				for x := tl.CX0; x < tl.CX1; x++ {
+					covered[y*w+x]++
+				}
+			}
+		}
+		for i, n := range covered {
+			if n != 1 {
+				t.Fatalf("%dx%d tile %d halo %d: pixel %d covered %d times", h, w, tile, halo, i, n)
+			}
+		}
+	}
+}

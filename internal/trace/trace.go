@@ -62,6 +62,12 @@ const (
 	// CatRestart marks an elastic restart boundary (state restore after
 	// a rank failure).
 	CatRestart
+	// Serving-path categories (internal/serve): one HTTP upscale request
+	// end to end, one coalesced micro-batch forward, and the time a
+	// request spent queued before a worker picked it up.
+	CatServeRequest
+	CatServeBatch
+	CatServeQueue
 
 	numCategories
 )
@@ -84,6 +90,9 @@ var catNames = [numCategories]string{
 	"drain",
 	"checkpoint",
 	"restart",
+	"serve/request",
+	"serve/batch",
+	"serve/queue",
 }
 
 // String returns the category's canonical op name.
@@ -145,6 +154,8 @@ func (c Category) Group() string {
 		return "engine"
 	case CatCheckpoint, CatRestart:
 		return "lifecycle"
+	case CatServeRequest, CatServeBatch, CatServeQueue:
+		return "serve"
 	}
 	return "other"
 }

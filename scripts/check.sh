@@ -3,8 +3,9 @@
 #
 # Tier 1 (must stay green): build + full test suite.
 # Tier 2 (hygiene): vet, formatting, the race detector over the
-# batch-parallel kernel paths and the overlapped communication path, the
-# zero-allocation steady-state gates, and a bench-comm smoke run.
+# batch-parallel kernel paths, the overlapped communication path, and the
+# serving batcher, the zero-allocation steady-state gates, fuzz smokes
+# for the untrusted decode paths, and bench smoke runs.
 set -e
 
 cd "$(dirname "$0")/.."
@@ -41,11 +42,23 @@ go test -race -run 'Fault|Crash|Elastic|Resume|Atomic|Recv|Drop|Delay|Cascade|En
 echo "== tier 2: fuzz smoke (tensor deserialization)"
 go test -run '^$' -fuzz 'FuzzUnmarshalBinary' -fuzztime 5s ./internal/tensor/
 
+echo "== tier 2: fuzz smoke (untrusted PNG decode)"
+go test -run '^$' -fuzz 'FuzzDecodePNG' -fuzztime 5s ./internal/imageio/
+
+echo "== tier 2: serving gate (builds, batcher under race, tiling equivalence, e2e golden)"
+go build -o /tmp/check-bin/ ./cmd/sr-serve ./cmd/bench-serve
+rm -rf /tmp/check-bin
+go test -race ./internal/serve/ ./internal/imageio/
+
 echo "== tier 2: zero-allocation steady-state gates"
-go test -run 'ZeroAlloc|NoAllocs' -v ./internal/mpi/ ./internal/nn/ ./internal/tensor/ ./internal/trace/ | grep -E '^(--- (PASS|FAIL)|ok|FAIL)'
+go test -run 'ZeroAlloc|NoAllocs' -v ./internal/mpi/ ./internal/nn/ ./internal/tensor/ ./internal/trace/ ./internal/serve/ | grep -E '^(--- (PASS|FAIL)|ok|FAIL)'
 
 echo "== tier 2: bench-comm smoke"
 go run ./cmd/bench-comm -quick -steps 2 -o /tmp/BENCH_comm_smoke.json
 rm -f /tmp/BENCH_comm_smoke.json
+
+echo "== tier 2: bench-serve smoke"
+go run ./cmd/bench-serve -quick -o /tmp/BENCH_serve_smoke.json
+rm -f /tmp/BENCH_serve_smoke.json
 
 echo "all checks passed"
