@@ -29,6 +29,7 @@ import (
 	"os"
 	"runtime"
 	"sort"
+	"strings"
 	"time"
 
 	"repro/internal/imageio"
@@ -38,19 +39,26 @@ import (
 	"repro/internal/trace"
 )
 
-// sweepResult is one micro-batch-size cell of the sweep.
+// sweepResult is one (variant, micro-batch-size) cell of the sweep.
+// Variant and PSNRVsFloat32 tie every throughput number to the
+// arithmetic that produced it and the golden-set fidelity it was
+// admitted with; VsFloat32 is the speedup over the float32 variant at
+// the same batch size.
 type sweepResult struct {
-	MaxBatch     int     `json:"max_batch"`
-	Workers      int     `json:"workers"`
-	Clients      int     `json:"clients"`
-	Requests     int     `json:"requests"`
-	ImgPerSec    float64 `json:"img_per_sec"`
-	P50Ms        float64 `json:"p50_ms"`
-	P99Ms        float64 `json:"p99_ms"`
-	MeanBatch    float64 `json:"mean_batch"`
-	VsBatch1     float64 `json:"vs_batch1"`
-	BatchedFwds  int64   `json:"batched_forwards"`
-	TotalSubmits int64   `json:"total_submits"`
+	Variant       string   `json:"variant"`
+	PSNRVsFloat32 *float64 `json:"psnr_vs_float32_db,omitempty"`
+	MaxBatch      int      `json:"max_batch"`
+	Workers       int      `json:"workers"`
+	Clients       int      `json:"clients"`
+	Requests      int      `json:"requests"`
+	ImgPerSec     float64  `json:"img_per_sec"`
+	P50Ms         float64  `json:"p50_ms"`
+	P99Ms         float64  `json:"p99_ms"`
+	MeanBatch     float64  `json:"mean_batch"`
+	VsBatch1      float64  `json:"vs_batch1"`
+	VsFloat32     float64  `json:"vs_float32,omitempty"`
+	BatchedFwds   int64    `json:"batched_forwards"`
+	TotalSubmits  int64    `json:"total_submits"`
 }
 
 // report is the BENCH_serve.json schema.
@@ -71,12 +79,15 @@ type report struct {
 
 // benchPoint serves one engine configuration over a real TCP listener
 // and hammers it with concurrent clients.
-func benchPoint(maxBatch, workers, clients, requests, size, tile int, maxDelay time.Duration, pngBody []byte) (sweepResult, error) {
-	res := sweepResult{MaxBatch: maxBatch, Workers: workers, Clients: clients, Requests: requests}
+func benchPoint(master *models.EDSR, variant string, maxBatch, workers, clients, requests, size, tile int, maxDelay time.Duration, pngBody []byte) (sweepResult, error) {
+	res := sweepResult{Variant: variant, MaxBatch: maxBatch, Workers: workers, Clients: clients, Requests: requests}
 
 	reg := trace.NewMetrics()
 	met := serve.NewMetrics(reg)
-	master := models.NewEDSR(models.EDSRTiny(), tensor.NewRNG(1))
+	f, err := serve.EDSRVariantFactory(master, variant)
+	if err != nil {
+		return res, err
+	}
 	engine := serve.NewEngine(serve.EngineConfig{
 		Batch: serve.BatcherConfig{
 			MaxBatch: maxBatch,
@@ -86,7 +97,7 @@ func benchPoint(maxBatch, workers, clients, requests, size, tile int, maxDelay t
 		},
 		TileSize: tile,
 	}, met, nil)
-	if err := engine.Register("edsr-tiny", serve.EDSRFactory(master)); err != nil {
+	if err := engine.RegisterInfo("edsr-tiny", f, variant, nil); err != nil {
 		return res, err
 	}
 	defer engine.Shutdown()
@@ -177,6 +188,7 @@ func main() {
 	tile := flag.Int("tile", 48, "LR tile edge (<0 disables tiling)")
 	workers := flag.Int("workers", 1, "batcher model replicas")
 	maxDelay := flag.Duration("max-delay", 2*time.Millisecond, "batch-open hold time")
+	variants := flag.String("variants", "float32,fused,int8", "comma-separated serving variants to sweep")
 	flag.Parse()
 
 	cfg := models.EDSRTiny()
@@ -211,23 +223,50 @@ func main() {
 		reqN = min(reqN, 16)
 		cliN = min(cliN, 4)
 	}
-	var batch1 float64
-	for _, mb := range batches {
-		r, err := benchPoint(mb, *workers, cliN, reqN, *size, *tile, *maxDelay, png.Bytes())
+
+	// One master weight set across all variants, so every sweep cell
+	// serves the same model and the gate deltas are meaningful.
+	master := models.NewEDSR(models.EDSRTiny(), tensor.NewRNG(1))
+	float32At := map[int]float64{} // img/s of the float32 variant per batch size
+	for _, vs := range strings.Split(*variants, ",") {
+		variant, err := serve.ParseVariant(strings.TrimSpace(vs))
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "max-batch %d: %v\n", mb, err)
+			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		if mb == 1 {
-			batch1 = r.ImgPerSec
+		// Record each compiled variant's golden-set fidelity alongside its
+		// throughput, same gate sr-serve admits it with.
+		var psnr *float64
+		if variant != serve.VariantFloat32 {
+			cand, _ := serve.EDSRVariantFactory(master, variant)
+			g := serve.RunGate("edsr-tiny", variant, cand, serve.EDSRFactory(master))
+			fmt.Fprintln(os.Stderr, g.Transcript())
+			psnr = &g.DeltaDB
 		}
-		if batch1 > 0 {
-			r.VsBatch1 = r.ImgPerSec / batch1
+		var batch1 float64
+		for _, mb := range batches {
+			r, err := benchPoint(master, variant, mb, *workers, cliN, reqN, *size, *tile, *maxDelay, png.Bytes())
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "%s max-batch %d: %v\n", variant, mb, err)
+				os.Exit(1)
+			}
+			r.PSNRVsFloat32 = psnr
+			if mb == batches[0] {
+				batch1 = r.ImgPerSec
+			}
+			if batch1 > 0 {
+				r.VsBatch1 = r.ImgPerSec / batch1
+			}
+			if variant == serve.VariantFloat32 {
+				float32At[mb] = r.ImgPerSec
+			} else if base := float32At[mb]; base > 0 {
+				r.VsFloat32 = r.ImgPerSec / base
+			}
+			rep.Sweep = append(rep.Sweep, r)
+			fmt.Fprintf(os.Stderr,
+				"%-7s max-batch %2d: %6.2f img/s  p50 %7.2f ms  p99 %7.2f ms  mean batch %.2f  (%.2fx vs batch 1, %.2fx vs float32)\n",
+				variant, mb, r.ImgPerSec, r.P50Ms, r.P99Ms, r.MeanBatch, r.VsBatch1, r.VsFloat32)
 		}
-		rep.Sweep = append(rep.Sweep, r)
-		fmt.Fprintf(os.Stderr,
-			"max-batch %2d: %6.2f img/s  p50 %7.2f ms  p99 %7.2f ms  mean batch %.2f  (%.2fx vs batch 1)\n",
-			mb, r.ImgPerSec, r.P50Ms, r.P99Ms, r.MeanBatch, r.VsBatch1)
 	}
 
 	f, err := os.Create(*out)

@@ -33,6 +33,7 @@ func main() {
 	addr := flag.String("addr", ":8080", "HTTP listen address")
 	checkpoint := flag.String("checkpoint", "", "serve a trained EDSR checkpoint (weights-only or full training state) as model \"edsr\"")
 	builtins := flag.String("models", "bicubic", "comma-separated built-in models to also serve (bicubic, edsr-tiny, srcnn)")
+	variant := flag.String("variant", "float32", "serving variant for network models: float32 (training graph), fused (prepacked weights + fused conv+bias+ReLU), int8 (quantized conv); compiled variants must pass the golden-set PSNR gate or the server refuses to start")
 	maxBatch := flag.Int("max-batch", 8, "largest coalesced micro-batch")
 	maxDelay := flag.Duration("max-delay", 2*time.Millisecond, "how long a worker holds an open batch for same-shaped followers")
 	queue := flag.Int("queue", 64, "pending-request queue bound (full queue returns 429)")
@@ -62,16 +63,52 @@ func main() {
 		TileSize: *tile,
 	}, met, rec)
 
+	vr, err := serve.ParseVariant(*variant)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	// gated registers a candidate factory under name. Compiled variants
+	// must first clear the golden-set PSNR gate against ref (the float32
+	// path over the same weights) — a failing gate aborts startup, so an
+	// optimized server can never silently serve degraded images.
+	gated := func(name string, cand, ref serve.Factory) {
+		if ref == nil {
+			if err := engine.Register(name, cand); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+			return
+		}
+		g := serve.RunGate(name, vr, cand, ref)
+		fmt.Println(g.Transcript())
+		if !g.Pass {
+			fmt.Fprintf(os.Stderr, "variant %s failed the PSNR gate for %s; refusing to serve\n", vr, name)
+			os.Exit(1)
+		}
+		delta := g.DeltaDB
+		if err := engine.RegisterInfo(name, cand, vr, &delta); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+	}
+
 	if *checkpoint != "" {
-		f, cfg, err := serve.LoadEDSRCheckpoint(*checkpoint)
+		master, cfg, err := serve.LoadEDSRMaster(*checkpoint)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		if err := engine.Register("edsr", f); err != nil {
+		cand, err := serve.EDSRVariantFactory(master, vr)
+		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
+		var ref serve.Factory
+		if vr != serve.VariantFloat32 {
+			ref = serve.EDSRFactory(master)
+		}
+		gated("edsr", cand, ref)
 		fmt.Printf("model edsr: x%d, %d blocks, %d feats (from %s)\n",
 			cfg.Scale, cfg.NumBlocks, cfg.NumFeats, *checkpoint)
 	}
@@ -80,15 +117,18 @@ func main() {
 		if name == "" {
 			continue
 		}
-		f, err := serve.BuiltinFactory(name)
+		useVr := vr
+		if name == "bicubic" {
+			// The classical baseline has no network to compile; it always
+			// serves as-is regardless of -variant.
+			useVr = serve.VariantFloat32
+		}
+		cand, ref, err := serve.BuiltinVariantFactory(name, useVr)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(2)
 		}
-		if err := engine.Register(name, f); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(2)
-		}
+		gated(name, cand, ref)
 	}
 	models := engine.Models()
 	if len(models) == 0 {
@@ -96,7 +136,7 @@ func main() {
 		os.Exit(2)
 	}
 	for _, m := range models {
-		fmt.Printf("serving %-10s x%d (halo %d)\n", m.Name, m.Scale, m.Halo)
+		fmt.Printf("serving %-10s x%d (halo %d, variant %s)\n", m.Name, m.Scale, m.Halo, m.Variant)
 	}
 
 	srv := serve.NewServer(engine, reg, met, *maxBody)

@@ -1,0 +1,192 @@
+package models
+
+import (
+	"fmt"
+
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// Inference compile pass. Compile snapshots a trained model into a
+// forward-only serving graph built from nn.FusedConv2d: every
+// convolution's weights are packed into the GEMM micro-kernel panel
+// layout once (or quantized to per-channel int8), every conv+ReLU pair
+// is fused into a single kernel, and the residual/skip arithmetic reuses
+// the layers' own buffers so the steady-state forward performs zero heap
+// allocations. The compiled graph shares nothing with the training
+// model: Compile can be called per serving replica and the replicas run
+// concurrently.
+
+// CompileOptions configures the inference compile pass.
+type CompileOptions struct {
+	// Precision selects fused float32 (bit-exact with training) or int8
+	// quantized convolutions.
+	Precision nn.Precision
+}
+
+// compiledResBlock is an EDSR residual block with the first conv's ReLU
+// folded into its GEMM epilogue.
+type compiledResBlock struct {
+	conv1, conv2 *nn.FusedConv2d // conv1 carries the fused ReLU
+}
+
+// CompiledEDSR is the optimized serving form of EDSR. Construct with
+// EDSR.Compile; Forward-only.
+type CompiledEDSR struct {
+	Config    EDSRConfig
+	Precision nn.Precision
+
+	subMean, addMean *nn.MeanShift
+	head             *nn.FusedConv2d
+	blocks           []*compiledResBlock
+	bodyEnd          *nn.FusedConv2d
+	tailConvs        []*nn.FusedConv2d
+	tailShuffles     []*nn.PixelShuffle
+	tailOut          *nn.FusedConv2d
+}
+
+// Compile builds the fused inference graph from the trained weights.
+func (m *EDSR) Compile(opts CompileOptions) *CompiledEDSR {
+	cfg := m.Config
+	mean := DIV2KMean
+	if cfg.Colors != 3 {
+		mean = make([]float32, cfg.Colors)
+		for i := range mean {
+			mean[i] = 0.45
+		}
+	}
+	prec := opts.Precision
+	c := &CompiledEDSR{
+		Config:    cfg,
+		Precision: prec,
+		subMean:   nn.NewMeanShift(mean, nil, -1),
+		addMean:   nn.NewMeanShift(mean, nil, +1),
+		head:      nn.CompileConv2d(m.head, false, prec),
+		bodyEnd:   nn.CompileConv2d(m.bodyEnd, false, prec),
+	}
+	for _, l := range m.body.Layers {
+		rb, ok := l.(*nn.ResBlock)
+		if !ok {
+			panic(fmt.Sprintf("models: EDSR body layer %T is not a ResBlock", l))
+		}
+		conv1, ok1 := rb.Body.Layers[0].(*nn.Conv2d)
+		conv2, ok2 := rb.Body.Layers[2].(*nn.Conv2d)
+		if !ok1 || !ok2 {
+			panic("models: EDSR ResBlock body is not conv-relu-conv")
+		}
+		c.blocks = append(c.blocks, &compiledResBlock{
+			conv1: nn.CompileConv2d(conv1, true, prec),
+			conv2: nn.CompileConv2d(conv2, false, prec),
+		})
+	}
+	for _, l := range m.tail.Layers {
+		switch v := l.(type) {
+		case *nn.Conv2d:
+			c.tailConvs = append(c.tailConvs, nn.CompileConv2d(v, false, prec))
+		case *nn.PixelShuffle:
+			c.tailShuffles = append(c.tailShuffles, nn.NewPixelShuffle(v.R))
+		default:
+			panic(fmt.Sprintf("models: EDSR tail layer %T unsupported", l))
+		}
+	}
+	if len(c.tailConvs) != len(c.tailShuffles)+1 {
+		panic("models: EDSR tail shape unexpected")
+	}
+	// The final tail conv produces output pixels; split it off so the
+	// upsample convs pair with their shuffles.
+	c.tailOut = c.tailConvs[len(c.tailConvs)-1]
+	c.tailConvs = c.tailConvs[:len(c.tailConvs)-1]
+	// One scratch pool across all fused layers, as in the training graph.
+	sp := nn.NewScratchPool()
+	c.attachScratch(sp)
+	return c
+}
+
+func (c *CompiledEDSR) attachScratch(sp *nn.ScratchPool) {
+	c.head.UseScratch(sp)
+	for _, b := range c.blocks {
+		b.conv1.UseScratch(sp)
+		b.conv2.UseScratch(sp)
+	}
+	c.bodyEnd.UseScratch(sp)
+	for _, tc := range c.tailConvs {
+		tc.UseScratch(sp)
+	}
+	c.tailOut.UseScratch(sp)
+}
+
+// Forward maps an LR batch (N, C, h, w) to an SR batch (N, C, h*S, w*S).
+// In float32 precision the result is bit-exact with EDSR.Forward.
+func (c *CompiledEDSR) Forward(x *tensor.Tensor) *tensor.Tensor {
+	x = c.subMean.Forward(x)
+	h := c.head.Forward(x)
+	cur := h
+	for _, b := range c.blocks {
+		t := b.conv1.Forward(cur)
+		t = b.conv2.Forward(t)
+		if c.Config.ResScale != 1 {
+			t.Scale(c.Config.ResScale)
+		}
+		t.Add(cur)
+		cur = t
+	}
+	b := c.bodyEnd.Forward(cur)
+	b.Add(h) // global residual skip around the body
+	for i, tc := range c.tailConvs {
+		b = c.tailShuffles[i].Forward(tc.Forward(b))
+	}
+	out := c.tailOut.Forward(b)
+	return c.addMean.Forward(out)
+}
+
+// WeightBytes returns the total packed weight footprint in bytes.
+func (c *CompiledEDSR) WeightBytes() int {
+	total := c.head.WeightBytes() + c.bodyEnd.WeightBytes() + c.tailOut.WeightBytes()
+	for _, b := range c.blocks {
+		total += b.conv1.WeightBytes() + b.conv2.WeightBytes()
+	}
+	for _, tc := range c.tailConvs {
+		total += tc.WeightBytes()
+	}
+	return total
+}
+
+// CompiledSRCNN is the optimized serving form of SRCNN (the convolutional
+// refinement only — serving wraps it with the bicubic pre-upscale, as it
+// does the training graph).
+type CompiledSRCNN struct {
+	Precision nn.Precision
+
+	c1, c2, c3 *nn.FusedConv2d // c1 and c2 carry fused ReLUs
+}
+
+// Compile builds the fused inference graph from the trained weights.
+func (m *SRCNN) Compile(opts CompileOptions) *CompiledSRCNN {
+	convs := make([]*nn.Conv2d, 0, 3)
+	for _, l := range m.net.Layers {
+		if cv, ok := l.(*nn.Conv2d); ok {
+			convs = append(convs, cv)
+		}
+	}
+	if len(convs) != 3 {
+		panic("models: SRCNN graph is not conv-relu-conv-relu-conv")
+	}
+	prec := opts.Precision
+	c := &CompiledSRCNN{
+		Precision: prec,
+		c1:        nn.CompileConv2d(convs[0], true, prec),
+		c2:        nn.CompileConv2d(convs[1], true, prec),
+		c3:        nn.CompileConv2d(convs[2], false, prec),
+	}
+	sp := nn.NewScratchPool()
+	c.c1.UseScratch(sp)
+	c.c2.UseScratch(sp)
+	c.c3.UseScratch(sp)
+	return c
+}
+
+// Forward refines a bicubic-upsampled batch. In float32 precision the
+// result is bit-exact with SRCNN.Forward.
+func (c *CompiledSRCNN) Forward(x *tensor.Tensor) *tensor.Tensor {
+	return c.c3.Forward(c.c2.Forward(c.c1.Forward(x)))
+}

@@ -1,0 +1,87 @@
+package models
+
+import (
+	"testing"
+
+	"repro/internal/metrics"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// TestCompiledEDSRBitExact: the float32 compiled graph must reproduce the
+// training graph's forward bit for bit — prepacking, im2col fusion, and
+// epilogue fusion are pure reorganizations of the same arithmetic.
+func TestCompiledEDSRBitExact(t *testing.T) {
+	rng := tensor.NewRNG(11)
+	m := NewEDSR(EDSRTiny(), rng)
+	c := m.Compile(CompileOptions{Precision: nn.PrecFloat32})
+	for _, n := range []int{1, 3} {
+		x := tensor.New(n, 3, 24, 24)
+		x.FillUniform(rng, 0, 1)
+		want := m.Forward(x).Data()
+		got := c.Forward(x).Data()
+		if len(want) != len(got) {
+			t.Fatalf("batch %d: output length %d, want %d", n, len(got), len(want))
+		}
+		for i := range want {
+			if want[i] != got[i] {
+				t.Fatalf("batch %d: output[%d] = %v, want %v (not bit-exact)", n, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestCompiledSRCNNBitExact mirrors the EDSR test for the SRCNN graph.
+func TestCompiledSRCNNBitExact(t *testing.T) {
+	rng := tensor.NewRNG(13)
+	m := NewSRCNN(3, rng)
+	c := m.Compile(CompileOptions{Precision: nn.PrecFloat32})
+	x := tensor.New(1, 3, 20, 20)
+	x.FillUniform(rng, 0, 1)
+	want := m.Forward(x).Data()
+	got := c.Forward(x).Data()
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("output[%d] = %v, want %v (not bit-exact)", i, got[i], want[i])
+		}
+	}
+}
+
+// TestCompiledEDSRZeroAlloc enforces zero steady-state allocations on the
+// whole compiled model forward, for both precisions.
+func TestCompiledEDSRZeroAlloc(t *testing.T) {
+	rng := tensor.NewRNG(2)
+	m := NewEDSR(EDSRTiny(), rng)
+	x := tensor.New(1, 3, 32, 32)
+	x.FillUniform(rng, 0, 1)
+	for _, prec := range []nn.Precision{nn.PrecFloat32, nn.PrecInt8} {
+		c := m.Compile(CompileOptions{Precision: prec})
+		c.Forward(x) // warm up buffers
+		if allocs := testing.AllocsPerRun(5, func() { c.Forward(x) }); allocs != 0 {
+			t.Fatalf("%v compiled forward allocates %v times per run, want 0", prec, allocs)
+		}
+	}
+}
+
+// TestCompiledEDSRInt8PSNR pins the quantized graph's fidelity floor.
+// With dynamic per-tensor u7 activations the error accumulates across
+// all ~18 convolutions of EDSR-tiny (per-stage isolation shows no single
+// culprit); on random weights this lands around 26 dB vs float32. The
+// floor below catches regressions in the quantization pipeline itself —
+// whether a given checkpoint's int8 form is fit to serve is decided by
+// the golden-set PSNR gate at model load, not here.
+func TestCompiledEDSRInt8PSNR(t *testing.T) {
+	rng := tensor.NewRNG(19)
+	m := NewEDSR(EDSRTiny(), rng)
+	ref := m.Compile(CompileOptions{Precision: nn.PrecFloat32})
+	q := m.Compile(CompileOptions{Precision: nn.PrecInt8})
+	x := tensor.New(1, 3, 32, 32)
+	x.FillUniform(rng, 0, 1)
+	a := ref.Forward(x)
+	b := q.Forward(x)
+	psnr := metrics.PSNR(a, b, 1)
+	if psnr < 24 {
+		t.Fatalf("int8 compiled EDSR PSNR vs float32 = %.2f dB, want >= 24", psnr)
+	}
+	t.Logf("int8 compiled EDSR PSNR vs float32 = %.2f dB", psnr)
+}

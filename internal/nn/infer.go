@@ -1,0 +1,148 @@
+package nn
+
+import (
+	"fmt"
+
+	"repro/internal/tensor"
+)
+
+// Inference compile pass: FusedConv2d is the serving-side counterpart of
+// Conv2d. Compiling a trained convolution snapshots its weights into the
+// GEMM micro-kernel's panel layout once (float32) or quantizes them to
+// per-channel int8 (PrecInt8), and its Forward fuses im2col, bias, and an
+// optional trailing ReLU into a single blocked-GEMM pass. The layer is
+// forward-only — it keeps no reference to the training parameters and
+// cannot be trained further — and its steady-state Forward performs zero
+// heap allocations (see TestFusedConv2dZeroAlloc).
+
+// Precision selects the arithmetic of a compiled layer or model.
+type Precision int
+
+const (
+	// PrecFloat32 keeps float32 arithmetic; the fused forward is
+	// bit-exact with the training path.
+	PrecFloat32 Precision = iota
+	// PrecInt8 quantizes weights to per-channel int8 at compile time and
+	// activations to u7 on the fly.
+	PrecInt8
+)
+
+// String returns the variant name used in logs and bench records.
+func (p Precision) String() string {
+	if p == PrecInt8 {
+		return "int8"
+	}
+	return "float32"
+}
+
+// Byte slot index for the quantized input plane (per-worker, u8).
+const slotU8QuantIn = 0
+
+// FusedConv2d is a compiled, forward-only convolution with prepacked
+// weights, fused bias+ReLU epilogue, and an optional int8 quantized
+// kernel. Construct with CompileConv2d.
+type FusedConv2d struct {
+	InC, OutC   int
+	KH, KW      int
+	Stride, Pad int
+	Relu        bool
+	Prec        Precision
+
+	bias []float32
+	pw   *tensor.PackedA  // PrecFloat32
+	pw8  *tensor.PackedA8 // PrecInt8
+
+	scratch            *ScratchPool
+	out                *tensor.Tensor
+	lastIn             *tensor.Tensor
+	lastOutH, lastOutW int
+	fwdFn              func(worker, lo, hi int)
+}
+
+// CompileConv2d snapshots a trained Conv2d into its fused inference
+// form. relu folds a trailing ReLU into the GEMM epilogue.
+func CompileConv2d(c *Conv2d, relu bool, prec Precision) *FusedConv2d {
+	f := &FusedConv2d{
+		InC: c.InC, OutC: c.OutC, KH: c.KH, KW: c.KW,
+		Stride: c.Stride, Pad: c.Pad, Relu: relu, Prec: prec,
+	}
+	// Always materialize a bias vector (zeros when the training layer has
+	// none) so the fused epilogue's fast path never branches on nil.
+	f.bias = make([]float32, c.OutC)
+	if c.hasBias {
+		copy(f.bias, c.Bias.Value.Data())
+	}
+	k := c.InC * c.KH * c.KW
+	switch prec {
+	case PrecInt8:
+		f.pw8 = tensor.PackA8(c.Weight.Value.Data(), c.OutC, k)
+	default:
+		f.pw = tensor.PackA(c.Weight.Value.Data(), c.OutC, k)
+	}
+	return f
+}
+
+// UseScratch points the layer at a shared per-worker workspace pool.
+// Compiled models call it for each fused layer (FusedConv2d is
+// forward-only and not an nn.Layer, so AttachScratch cannot reach it).
+func (f *FusedConv2d) UseScratch(sp *ScratchPool) { f.scratch = sp }
+
+// WeightBytes returns the packed weight footprint in bytes.
+func (f *FusedConv2d) WeightBytes() int {
+	if f.pw8 != nil {
+		return f.pw8.Bytes()
+	}
+	return f.pw.Bytes()
+}
+
+// OutSize returns the spatial output size for an input of h×w.
+func (f *FusedConv2d) OutSize(h, w int) (int, int) {
+	return (h+2*f.Pad-f.KH)/f.Stride + 1, (w+2*f.Pad-f.KW)/f.Stride + 1
+}
+
+// Forward computes the fused convolution for a batch x of shape
+// (N, InC, H, W). The returned tensor is owned by the layer and reused
+// on the next call.
+func (f *FusedConv2d) Forward(x *tensor.Tensor) *tensor.Tensor {
+	if x.Rank() != 4 || x.Dim(1) != f.InC {
+		panic(fmt.Sprintf("nn: FusedConv2d input shape %v, want (N,%d,H,W)", x.Shape(), f.InC))
+	}
+	n, h, w := x.Dim(0), x.Dim(2), x.Dim(3)
+	outH, outW := f.OutSize(h, w)
+	if outH <= 0 || outW <= 0 {
+		panic(fmt.Sprintf("nn: FusedConv2d input %dx%d too small for kernel", h, w))
+	}
+	f.lastIn, f.lastOutH, f.lastOutW = x, outH, outW
+	f.out = tensor.Ensure(f.out, n, f.OutC, outH, outW)
+	if f.scratch == nil {
+		f.scratch = NewScratchPool()
+	}
+	f.scratch.Reserve(tensor.WorkerCount(n, 1))
+	if f.fwdFn == nil {
+		f.fwdFn = f.fwdWork
+	}
+	tensor.ParallelWorkers(n, 1, f.fwdFn)
+	f.lastIn = nil
+	return f.out
+}
+
+// fwdWork convolves samples [lo,hi) with worker-private scratch.
+func (f *FusedConv2d) fwdWork(worker, lo, hi int) {
+	x := f.lastIn
+	h, w := x.Dim(2), x.Dim(3)
+	inPlane := f.InC * h * w
+	outPlane := f.OutC * f.lastOutH * f.lastOutW
+	ws := f.scratch.Worker(worker)
+	xd, od := x.Data(), f.out.Data()
+	for i := lo; i < hi; i++ {
+		src := xd[i*inPlane : (i+1)*inPlane]
+		dst := od[i*outPlane : (i+1)*outPlane]
+		if f.Prec == PrecInt8 {
+			srcQ := ws.SlotU8(slotU8QuantIn, inPlane)
+			scaleX, zp := tensor.QuantizeU7(srcQ, src)
+			ws.ConvGemmS8(dst, f.pw8, srcQ, scaleX, zp, f.InC, h, w, f.KH, f.KW, f.Stride, f.Pad, f.bias, f.Relu)
+		} else {
+			ws.ConvGemmPacked(dst, f.pw, src, f.InC, h, w, f.KH, f.KW, f.Stride, f.Pad, f.bias, f.Relu)
+		}
+	}
+}

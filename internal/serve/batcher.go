@@ -216,33 +216,75 @@ func (w *worker) run() {
 			}
 			first = r
 		}
-		w.batch = w.batch[:0]
-		w.batch = append(w.batch, first)
-		if w.b.cfg.MaxBatch > 1 {
-			fired := false
+		pending = w.collect(first)
+		w.runBatch(w.batch)
+	}
+}
+
+// collect fills w.batch starting from first and returns the follower
+// that must seed the next batch (nil normally). It runs in two phases:
+// a non-blocking drain that absorbs everything already queued, then —
+// only if the batch still has room — a single MaxDelay timer wait for
+// followers. A batch that reaches MaxBatch during the drain never arms
+// the timer at all, so full batches close in queue-pull time rather
+// than timer-resolution time (pinned by TestBatchFullClosesBeforeDelay);
+// the timer fires at most once per batch, bounding a lone request's
+// extra latency by MaxDelay exactly.
+func (w *worker) collect(first *request) *request {
+	w.batch = append(w.batch[:0], first)
+	max := w.b.cfg.MaxBatch
+	if max <= 1 {
+		w.b.met.batchClosed(closeFull)
+		return nil
+	}
+	for len(w.batch) < max {
+		select {
+		case r, ok := <-w.b.queue:
+			if !ok {
+				w.b.met.batchClosed(closeDrain)
+				return nil
+			}
+			if !r.x.SameShape(first.x) {
+				w.b.met.batchClosed(closeShape)
+				return r
+			}
+			w.batch = append(w.batch, r)
+		default:
+			// Queue empty right now: hold the batch open for followers.
 			w.timer.Reset(w.b.cfg.MaxDelay)
-		collect:
-			for len(w.batch) < w.b.cfg.MaxBatch {
+			for len(w.batch) < max {
 				select {
 				case r, ok := <-w.b.queue:
 					if !ok {
-						break collect
+						w.stopTimer()
+						w.b.met.batchClosed(closeDrain)
+						return nil
 					}
 					if !r.x.SameShape(first.x) {
-						pending = r
-						break collect
+						w.stopTimer()
+						w.b.met.batchClosed(closeShape)
+						return r
 					}
 					w.batch = append(w.batch, r)
 				case <-w.timer.C:
-					fired = true
-					break collect
+					w.b.met.batchClosed(closeTimeout)
+					return nil
 				}
 			}
-			if !fired && !w.timer.Stop() {
-				<-w.timer.C
-			}
+			w.stopTimer()
+			w.b.met.batchClosed(closeFull)
+			return nil
 		}
-		w.runBatch(w.batch)
+	}
+	w.b.met.batchClosed(closeFull)
+	return nil
+}
+
+// stopTimer cancels the hold timer, draining its channel if it fired
+// between the last receive and the stop.
+func (w *worker) stopTimer() {
+	if !w.timer.Stop() {
+		<-w.timer.C
 	}
 }
 

@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/models"
 	"repro/internal/tensor"
+	"repro/internal/trace"
 )
 
 // batchLog records every batch size any replica ran, across workers.
@@ -295,4 +296,124 @@ func TestBatchedForwardBitIdentical(t *testing.T) {
 	if d := maxAbsDiff(solo, outA); d != 0 {
 		t.Fatalf("batched forward differs from solo forward by %g, want bit-identical", d)
 	}
+}
+
+// TestBatchFullClosesBeforeDelay pins the batch-close fix: a batch that
+// reaches MaxBatch from already-queued requests must close and run
+// immediately, not sit out the MaxDelay hold. With a 2s MaxDelay any
+// regression back to timer-bound closing blows the deadline by orders
+// of magnitude.
+func TestBatchFullClosesBeforeDelay(t *testing.T) {
+	log := &batchLog{}
+	met := NewMetrics(trace.NewMetrics())
+	b := NewBatcher(fakeFactory(2, 0, log), BatcherConfig{
+		MaxBatch: 4, MaxDelay: 2 * time.Second, Queue: 32, Workers: 1,
+	}, met, nil)
+	defer b.Shutdown()
+
+	const N = 8 // two full batches
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < N; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			x := tensor.New(1, 3, 4, 4)
+			out := tensor.New(1, 3, 8, 8)
+			if err := b.Submit(x, out); err != nil {
+				t.Errorf("Submit: %v", err)
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	// All N must complete far below MaxDelay. 500ms is ~4x a slow-CI
+	// scheduling hiccup and 1/4 of the 2s delay a regression would incur.
+	if elapsed >= 500*time.Millisecond {
+		t.Fatalf("%d requests took %v with MaxDelay=2s: full batches are waiting on the timer", N, elapsed)
+	}
+	if got := met.BatchCloseFull.Value(); got == 0 {
+		t.Fatalf("no batch closed on full (sizes %v, timeout closes %d)",
+			log.seen(), met.BatchCloseTimeout.Value())
+	}
+	t.Logf("%d requests in %v, batches %v, closes full=%d timeout=%d",
+		N, elapsed, log.seen(), met.BatchCloseFull.Value(), met.BatchCloseTimeout.Value())
+}
+
+// TestSoloRequestBoundedByMaxDelay pins the other side of the timing
+// contract: a lone request under MaxBatch>1 waits at most ~MaxDelay for
+// followers that never come, then runs. The timer must fire once per
+// batch, not reset per poll.
+func TestSoloRequestBoundedByMaxDelay(t *testing.T) {
+	met := NewMetrics(trace.NewMetrics())
+	const delay = 30 * time.Millisecond
+	b := NewBatcher(fakeFactory(2, 0, &batchLog{}), BatcherConfig{
+		MaxBatch: 8, MaxDelay: delay, Queue: 32, Workers: 1,
+	}, met, nil)
+	defer b.Shutdown()
+
+	x := tensor.New(1, 3, 4, 4)
+	out := tensor.New(1, 3, 8, 8)
+	start := time.Now()
+	if err := b.Submit(x, out); err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	elapsed := time.Since(start)
+	if elapsed < delay {
+		t.Fatalf("solo request returned in %v, before the %v hold expired", elapsed, delay)
+	}
+	if elapsed > delay+200*time.Millisecond {
+		t.Fatalf("solo request took %v, want ~MaxDelay=%v plus scheduling slack", elapsed, delay)
+	}
+	if got := met.BatchCloseTimeout.Value(); got != 1 {
+		t.Fatalf("timeout closes = %d, want 1", got)
+	}
+	t.Logf("solo request in %v (MaxDelay %v)", elapsed, delay)
+}
+
+// TestBatchCloseReasonCounters drives each close path and checks the
+// sr_batch_close_* partition accounts for every batch.
+func TestBatchCloseReasonCounters(t *testing.T) {
+	met := NewMetrics(trace.NewMetrics())
+	b := NewBatcher(fakeFactory(2, 0, &batchLog{}), BatcherConfig{
+		MaxBatch: 2, MaxDelay: 5 * time.Millisecond, Queue: 32, Workers: 1,
+	}, met, nil)
+
+	submit := func(h, w int) error {
+		x := tensor.New(1, 3, h, w)
+		out := tensor.New(1, 3, 2*h, 2*w)
+		return b.Submit(x, out)
+	}
+
+	// Solo request → timeout close.
+	if err := submit(4, 4); err != nil {
+		t.Fatalf("solo: %v", err)
+	}
+	// Shape change mid-collect → shape close for the first batch.
+	var wg sync.WaitGroup
+	for _, hw := range [][2]int{{4, 4}, {6, 6}} {
+		wg.Add(1)
+		go func(h, w int) {
+			defer wg.Done()
+			if err := submit(h, w); err != nil {
+				t.Errorf("%dx%d: %v", h, w, err)
+			}
+		}(hw[0], hw[1])
+	}
+	wg.Wait()
+	b.Shutdown()
+
+	full := met.BatchCloseFull.Value()
+	timeout := met.BatchCloseTimeout.Value()
+	shape := met.BatchCloseShape.Value()
+	drain := met.BatchCloseDrain.Value()
+	batches := met.Batches.Value()
+	if full+timeout+shape+drain != batches {
+		t.Fatalf("close reasons %d+%d+%d+%d don't partition %d batches",
+			full, timeout, shape, drain, batches)
+	}
+	if timeout == 0 {
+		t.Fatalf("solo request produced no timeout close")
+	}
+	t.Logf("batches %d: full=%d timeout=%d shape=%d drain=%d", batches, full, timeout, shape, drain)
 }

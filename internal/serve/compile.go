@@ -1,0 +1,122 @@
+package serve
+
+import (
+	"fmt"
+
+	"repro/internal/models"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// Serving variants. A variant names the arithmetic a registered model
+// runs with: the training graph as-is, or one of the compiled inference
+// paths (see internal/models/compile.go). The compiled variants are
+// selected at load time (sr-serve -variant) and admitted only after the
+// golden-set PSNR gate passes.
+const (
+	// VariantFloat32 serves the training graph unchanged — the reference
+	// every other variant is gated against.
+	VariantFloat32 = "float32"
+	// VariantFused serves the compiled float32 graph: weights prepacked
+	// into the GEMM panel layout once at load, conv+bias+ReLU fused into
+	// a single kernel pass. Bit-exact with VariantFloat32.
+	VariantFused = "fused"
+	// VariantInt8 serves the compiled int8 graph: per-channel weight
+	// scales computed at load, activations quantized on the fly.
+	VariantInt8 = "int8"
+)
+
+// Variants lists the recognized variant names.
+var Variants = []string{VariantFloat32, VariantFused, VariantInt8}
+
+// ParseVariant validates a -variant flag value ("" → float32).
+func ParseVariant(s string) (string, error) {
+	switch s {
+	case "", VariantFloat32:
+		return VariantFloat32, nil
+	case VariantFused, VariantInt8:
+		return s, nil
+	}
+	return "", fmt.Errorf("serve: unknown variant %q (have %v)", s, Variants)
+}
+
+// variantPrecision maps a compiled variant name to its nn.Precision.
+func variantPrecision(variant string) nn.Precision {
+	if variant == VariantInt8 {
+		return nn.PrecInt8
+	}
+	return nn.PrecFloat32
+}
+
+// CompiledEDSRModel adapts models.CompiledEDSR to the serving
+// interface. Scale, Colors, and Halo match EDSRModel — the compiled
+// graph computes the same function, so the tiler contract carries over.
+type CompiledEDSRModel struct {
+	M *models.CompiledEDSR
+}
+
+// Forward runs the compiled network.
+func (e *CompiledEDSRModel) Forward(x *tensor.Tensor) *tensor.Tensor { return e.M.Forward(x) }
+
+// Scale returns the configured upscale factor.
+func (e *CompiledEDSRModel) Scale() int { return e.M.Config.Scale }
+
+// Colors returns the configured channel count.
+func (e *CompiledEDSRModel) Colors() int { return e.M.Config.Colors }
+
+// Halo returns the receptive-field radius in LR pixels (see
+// EDSRModel.Halo — the compiled graph has the same topology).
+func (e *CompiledEDSRModel) Halo() int { return 2*e.M.Config.NumBlocks + 5 }
+
+// CompiledEDSRFactory returns a Factory producing independent compiled
+// replicas of master. Each replica runs the compile pass itself —
+// Compile snapshots the weights into private packed panels, so replicas
+// share nothing and batcher workers can forward concurrently.
+func CompiledEDSRFactory(master *models.EDSR, variant string) Factory {
+	opts := models.CompileOptions{Precision: variantPrecision(variant)}
+	return func() Model { return &CompiledEDSRModel{M: master.Compile(opts)} }
+}
+
+// CompiledSRCNNModel adapts models.CompiledSRCNN: like SRCNNModel it
+// performs the bicubic pre-upscale itself.
+type CompiledSRCNNModel struct {
+	M     *models.CompiledSRCNN
+	scale int
+	c     int
+}
+
+// Forward bicubic-upscales the LR batch and refines it with the
+// compiled network.
+func (s *CompiledSRCNNModel) Forward(x *tensor.Tensor) *tensor.Tensor {
+	return s.M.Forward(models.BicubicUpscale(x, s.scale))
+}
+
+// Scale returns the upscale factor.
+func (s *CompiledSRCNNModel) Scale() int { return s.scale }
+
+// Colors returns the input channel count.
+func (s *CompiledSRCNNModel) Colors() int { return s.c }
+
+// Halo matches SRCNNModel.Halo (same receptive field).
+func (s *CompiledSRCNNModel) Halo() int { return 2 + (6+s.scale-1)/s.scale }
+
+// CompiledSRCNNFactory returns a Factory producing independent compiled
+// SRCNN replicas at the given scale.
+func CompiledSRCNNFactory(master *models.SRCNN, scale, colors int, variant string) Factory {
+	opts := models.CompileOptions{Precision: variantPrecision(variant)}
+	return func() Model {
+		return &CompiledSRCNNModel{M: master.Compile(opts), scale: scale, c: colors}
+	}
+}
+
+// EDSRVariantFactory returns the Factory serving master under the given
+// variant.
+func EDSRVariantFactory(master *models.EDSR, variant string) (Factory, error) {
+	switch variant {
+	case "", VariantFloat32:
+		return EDSRFactory(master), nil
+	case VariantFused, VariantInt8:
+		return CompiledEDSRFactory(master, variant), nil
+	}
+	return nil, fmt.Errorf("serve: unknown variant %q (have %v)", variant, Variants)
+}

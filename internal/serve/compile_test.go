@@ -1,0 +1,110 @@
+package serve
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/models"
+	"repro/internal/tensor"
+)
+
+// TestGateFusedBitExact pins the compiled float32 contract end to end:
+// the fused variant's golden-set outputs are bit-identical to the
+// training graph, so the gate admits it with a zero delta.
+func TestGateFusedBitExact(t *testing.T) {
+	master := models.NewEDSR(models.EDSRTiny(), tensor.NewRNG(7))
+	g := RunGate("edsr-tiny", VariantFused, CompiledEDSRFactory(master, VariantFused), EDSRFactory(master))
+	if !g.Pass {
+		t.Fatalf("fused variant failed the gate:\n%s", g.Transcript())
+	}
+	if g.DeltaDB != 0 {
+		t.Fatalf("fused variant delta %.6f dB, want exactly 0 (bit-exact)", g.DeltaDB)
+	}
+	if !math.IsInf(g.DirectPSNR, 1) {
+		t.Fatalf("fused variant direct PSNR %.2f dB, want +Inf (bit-exact)", g.DirectPSNR)
+	}
+	t.Logf("\n%s", g.Transcript())
+}
+
+// TestGateInt8Reports checks the int8 gate mechanics: finite scores, a
+// consistent verdict, and a sane direct PSNR. Whether random weights
+// pass the 0.05 dB budget is the gate's call — trained checkpoints are
+// what the budget is calibrated for.
+func TestGateInt8Reports(t *testing.T) {
+	master := models.NewEDSR(models.EDSRTiny(), tensor.NewRNG(7))
+	g := RunGate("edsr-tiny", VariantInt8, CompiledEDSRFactory(master, VariantInt8), EDSRFactory(master))
+	if math.IsNaN(g.RefPSNR) || math.IsNaN(g.VarPSNR) || math.IsInf(g.RefPSNR, 0) {
+		t.Fatalf("non-finite gate scores: ref %.2f var %.2f", g.RefPSNR, g.VarPSNR)
+	}
+	if got := g.DeltaDB < GateMaxDelta; got != g.Pass {
+		t.Fatalf("verdict %v inconsistent with delta %.4f (budget %.2f)", g.Pass, g.DeltaDB, GateMaxDelta)
+	}
+	if g.DirectPSNR < 15 {
+		t.Fatalf("int8 output only %.2f dB from float32 — quantization is broken", g.DirectPSNR)
+	}
+	t.Logf("\n%s", g.Transcript())
+}
+
+// TestGateSRCNNFused covers the second architecture through the gate.
+func TestGateSRCNNFused(t *testing.T) {
+	master := models.NewSRCNN(3, tensor.NewRNG(7))
+	g := RunGate("srcnn", VariantFused, CompiledSRCNNFactory(master, 2, 3, VariantFused), SRCNNFactory(master, 2, 3))
+	if !g.Pass || g.DeltaDB != 0 {
+		t.Fatalf("fused SRCNN not bit-exact:\n%s", g.Transcript())
+	}
+}
+
+// TestEngineVariantInfo checks /v1/models metadata: Register defaults to
+// float32, RegisterInfo carries the variant and gate delta through.
+func TestEngineVariantInfo(t *testing.T) {
+	e := NewEngine(EngineConfig{Batch: BatcherConfig{MaxBatch: 1, Workers: 1}}, nil, nil)
+	defer e.Shutdown()
+	if err := e.Register("plain", BicubicFactory(2, 3)); err != nil {
+		t.Fatal(err)
+	}
+	master := models.NewEDSR(models.EDSRTiny(), tensor.NewRNG(7))
+	delta := 0.012
+	if err := e.RegisterInfo("opt", CompiledEDSRFactory(master, VariantFused), VariantFused, &delta); err != nil {
+		t.Fatal(err)
+	}
+	infos := e.Models()
+	if len(infos) != 2 {
+		t.Fatalf("got %d models, want 2", len(infos))
+	}
+	if infos[0].Variant != VariantFloat32 || infos[0].PSNRVsFloat32 != nil {
+		t.Fatalf("plain Register produced %+v, want float32 variant with no psnr", infos[0])
+	}
+	if infos[1].Variant != VariantFused || infos[1].PSNRVsFloat32 == nil || *infos[1].PSNRVsFloat32 != delta {
+		t.Fatalf("RegisterInfo produced %+v, want fused with psnr %v", infos[1], delta)
+	}
+}
+
+// TestCompiledVariantServes runs a compiled model through the full
+// engine path (tiling + batching) and checks the result matches the
+// float32 engine bit-for-bit for the fused variant.
+func TestCompiledVariantServes(t *testing.T) {
+	master := models.NewEDSR(models.EDSRTiny(), tensor.NewRNG(7))
+	cfg := EngineConfig{Batch: BatcherConfig{MaxBatch: 2, Workers: 1}, TileSize: 24}
+
+	x := goldenImage(0, 3)
+	run := func(f Factory) *tensor.Tensor {
+		e := NewEngine(cfg, nil, nil)
+		defer e.Shutdown()
+		if err := e.Register("m", f); err != nil {
+			t.Fatal(err)
+		}
+		y, err := e.Upscale("m", x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return y
+	}
+	want := run(EDSRFactory(master))
+	got := run(CompiledEDSRFactory(master, VariantFused))
+	wd, gd := want.Data(), got.Data()
+	for i := range wd {
+		if wd[i] != gd[i] {
+			t.Fatalf("fused engine output differs at %d: %v vs %v", i, gd[i], wd[i])
+		}
+	}
+}

@@ -29,11 +29,25 @@ type EngineConfig struct {
 }
 
 // ModelInfo describes one registered model (the /v1/models payload).
+// Variant names the serving arithmetic (float32 / fused / int8); for
+// compiled variants PSNRVsFloat32 carries the golden-set gate delta in
+// dB the variant was admitted with (absent for the float32 reference
+// and for bit-exact variants, whose delta is zero by construction).
 type ModelInfo struct {
-	Name   string `json:"name"`
-	Scale  int    `json:"scale"`
-	Halo   int    `json:"halo"`
-	Colors int    `json:"colors"`
+	Name          string   `json:"name"`
+	Scale         int      `json:"scale"`
+	Halo          int      `json:"halo"`
+	Colors        int      `json:"colors"`
+	Variant       string   `json:"variant"`
+	PSNRVsFloat32 *float64 `json:"psnr_vs_float32_db,omitempty"`
+}
+
+// modelEntry is one registered model: its batcher plus the serving
+// metadata reported by /v1/models.
+type modelEntry struct {
+	b       *Batcher
+	variant string
+	psnr    *float64
 }
 
 // Engine routes upscale requests to per-model batchers, tiling images
@@ -42,7 +56,7 @@ type Engine struct {
 	cfg EngineConfig
 
 	mu    sync.RWMutex
-	mods  map[string]*Batcher
+	mods  map[string]*modelEntry
 	order []string
 
 	met *Metrics
@@ -55,17 +69,30 @@ func NewEngine(cfg EngineConfig, met *Metrics, rec *trace.Recorder) *Engine {
 	if cfg.TileSize == 0 {
 		cfg.TileSize = 48
 	}
-	return &Engine{cfg: cfg, mods: map[string]*Batcher{}, met: met, rec: rec}
+	return &Engine{cfg: cfg, mods: map[string]*modelEntry{}, met: met, rec: rec}
 }
 
 // Register adds a model under name, spinning up its batcher workers.
+// The model is recorded as the float32 variant; compiled variants go
+// through RegisterInfo with their gate result.
 func (e *Engine) Register(name string, f Factory) error {
+	return e.RegisterInfo(name, f, VariantFloat32, nil)
+}
+
+// RegisterInfo adds a model with explicit variant metadata. psnr, when
+// non-nil, is the golden-set PSNR delta vs float32 (dB) the variant was
+// admitted with — the caller runs the gate before registering.
+func (e *Engine) RegisterInfo(name string, f Factory, variant string, psnr *float64) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if _, dup := e.mods[name]; dup {
 		return fmt.Errorf("serve: model %q already registered", name)
 	}
-	e.mods[name] = NewBatcher(f, e.cfg.Batch, e.met, e.rec)
+	e.mods[name] = &modelEntry{
+		b:       NewBatcher(f, e.cfg.Batch, e.met, e.rec),
+		variant: variant,
+		psnr:    psnr,
+	}
 	e.order = append(e.order, name)
 	return nil
 }
@@ -76,8 +103,11 @@ func (e *Engine) Models() []ModelInfo {
 	defer e.mu.RUnlock()
 	out := make([]ModelInfo, 0, len(e.order))
 	for _, name := range e.order {
-		b := e.mods[name]
-		out = append(out, ModelInfo{Name: name, Scale: b.Scale(), Halo: b.Halo(), Colors: b.Colors()})
+		m := e.mods[name]
+		out = append(out, ModelInfo{
+			Name: name, Scale: m.b.Scale(), Halo: m.b.Halo(), Colors: m.b.Colors(),
+			Variant: m.variant, PSNRVsFloat32: m.psnr,
+		})
 	}
 	return out
 }
@@ -92,11 +122,11 @@ func (e *Engine) batcher(name string) (*Batcher, error) {
 		}
 		name = e.order[0]
 	}
-	b, ok := e.mods[name]
+	m, ok := e.mods[name]
 	if !ok {
 		return nil, fmt.Errorf("%w: %q", ErrUnknownModel, name)
 	}
-	return b, nil
+	return m.b, nil
 }
 
 // Upscale super-resolves one image (1, C, H, W) with the named model and
@@ -162,8 +192,8 @@ func (e *Engine) Upscale(name string, x *tensor.Tensor) (*tensor.Tensor, error) 
 func (e *Engine) Shutdown() {
 	e.mu.RLock()
 	mods := make([]*Batcher, 0, len(e.mods))
-	for _, b := range e.mods {
-		mods = append(mods, b)
+	for _, m := range e.mods {
+		mods = append(mods, m.b)
 	}
 	e.mu.RUnlock()
 	for _, b := range mods {

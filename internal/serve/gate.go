@@ -1,0 +1,136 @@
+package serve
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/metrics"
+	"repro/internal/models"
+	"repro/internal/tensor"
+)
+
+// Golden-set fidelity gate. A compiled variant is only admitted into the
+// engine if its outputs stay within GateMaxDelta dB of the float32
+// reference on a fixed set of seeded images. The gate measures quality
+// loss, not raw output distance: each forward is scored against a
+// bicubic upscale of the input (a deterministic stand-in for ground
+// truth), and the delta between the reference's PSNR and the variant's
+// PSNR is what must stay under the budget. This way an int8 path that
+// perturbs pixels the model was going to get wrong anyway is not
+// penalized beyond its actual quality cost.
+
+// GateMaxDelta is the admission budget: a variant whose golden-set PSNR
+// trails the float32 reference by this much or more hard-fails at load.
+const GateMaxDelta = 0.05
+
+// GoldenImages is the number of seeded golden-set images (kept small —
+// the gate runs at every server start).
+const GoldenImages = 4
+
+// goldenEdge is the LR edge of each golden image.
+const goldenEdge = 24
+
+// GateResult reports one variant's golden-set comparison.
+type GateResult struct {
+	Model   string  // registered model name
+	Variant string  // candidate variant
+	Images  int     // golden images scored
+	RefPSNR float64 // float32 reference vs bicubic stand-in, mean dB
+	VarPSNR float64 // candidate vs bicubic stand-in, mean dB
+	// DeltaDB = RefPSNR − VarPSNR: the quality the variant gives up.
+	// Negative means the variant scored higher (bit-exact paths give 0).
+	DeltaDB float64
+	// DirectPSNR is candidate output vs reference output, mean dB (+Inf
+	// when bit-exact). Reported for the record; the gate keys on DeltaDB.
+	DirectPSNR float64
+	Pass       bool
+}
+
+// Transcript renders the result as the one-line-per-image-set summary
+// printed at startup and recorded in EXPERIMENTS.md.
+func (g GateResult) Transcript() string {
+	verdict := "PASS"
+	if !g.Pass {
+		verdict = "FAIL"
+	}
+	direct := "+Inf (bit-exact)"
+	if !math.IsInf(g.DirectPSNR, 1) {
+		direct = fmt.Sprintf("%.2f dB", g.DirectPSNR)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "gate %s variant=%s: %s\n", g.Model, g.Variant, verdict)
+	fmt.Fprintf(&b, "  golden set: %d seeded %dx%d images\n", g.Images, goldenEdge, goldenEdge)
+	fmt.Fprintf(&b, "  psnr vs stand-in: float32 %.4f dB, %s %.4f dB (delta %.4f dB, budget %.2f dB)\n",
+		g.RefPSNR, g.Variant, g.VarPSNR, g.DeltaDB, GateMaxDelta)
+	fmt.Fprintf(&b, "  psnr vs float32 output: %s", direct)
+	return b.String()
+}
+
+// goldenImage synthesizes golden image i: smooth seeded low-frequency
+// content plus mild seeded noise, clamped to [0,1]. Smooth content keeps
+// the stand-in PSNRs in a realistic SR range; the noise keeps the set
+// from being trivially flat.
+func goldenImage(i, colors int) *tensor.Tensor {
+	x := tensor.New(1, colors, goldenEdge, goldenEdge)
+	rng := tensor.NewRNG(uint64(1000 + i))
+	d := x.Data()
+	for c := 0; c < colors; c++ {
+		fx := 1 + rng.Float64()*3
+		fy := 1 + rng.Float64()*3
+		ph := rng.Float64() * 2 * math.Pi
+		for y := 0; y < goldenEdge; y++ {
+			for xx := 0; xx < goldenEdge; xx++ {
+				v := 0.5 + 0.35*math.Sin(2*math.Pi*(fx*float64(xx)+fy*float64(y))/goldenEdge+ph)
+				v += 0.08 * (rng.Float64() - 0.5)
+				d[c*goldenEdge*goldenEdge+y*goldenEdge+xx] = float32(math.Min(1, math.Max(0, v)))
+			}
+		}
+	}
+	return x
+}
+
+// RunGate scores candidate against reference on the golden set and
+// returns the admission verdict. Both factories must serve the same
+// weights; reference is the float32 training-graph path.
+func RunGate(model, variant string, candidate, reference Factory) GateResult {
+	ref := reference()
+	cand := candidate()
+	scale, colors := ref.Scale(), ref.Colors()
+
+	g := GateResult{Model: model, Variant: variant, Images: GoldenImages}
+	var refSum, varSum, directSum float64
+	directInf := true
+	for i := 0; i < GoldenImages; i++ {
+		x := goldenImage(i, colors)
+		// BicubicResize allocates a fresh result, so the stand-in survives
+		// the forwards below.
+		standIn := models.BicubicUpscale(x, scale)
+
+		yr := ref.Forward(x)
+		refSum += metrics.PSNR(yr, standIn, 1)
+		// Models reuse their output buffer: copy the reference result
+		// before the candidate forward (they may share kernels).
+		yrCopy := tensor.New(yr.Shape()...)
+		yrCopy.CopyFrom(yr)
+
+		yv := cand.Forward(x)
+		varSum += metrics.PSNR(yv, standIn, 1)
+		direct := metrics.PSNR(yv, yrCopy, 1)
+		if math.IsInf(direct, 1) {
+			continue
+		}
+		directInf = false
+		directSum += direct
+	}
+	g.RefPSNR = refSum / GoldenImages
+	g.VarPSNR = varSum / GoldenImages
+	g.DeltaDB = g.RefPSNR - g.VarPSNR
+	if directInf {
+		g.DirectPSNR = math.Inf(1)
+	} else {
+		g.DirectPSNR = directSum / GoldenImages
+	}
+	g.Pass = g.DeltaDB < GateMaxDelta
+	return g
+}

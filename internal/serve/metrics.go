@@ -29,6 +29,15 @@ type Metrics struct {
 	BatchSize *trace.Histogram
 	// Tiles counts tile submissions from split requests.
 	Tiles *trace.Counter
+	// BatchCloseFull/Timeout/Shape/Drain partition sr_batches_total by
+	// why the worker stopped collecting: capacity reached, MaxDelay
+	// expired, a different-shaped follower arrived, or shutdown drain.
+	// A healthy saturated server closes on full; a mostly-idle one on
+	// timeout.
+	BatchCloseFull    *trace.Counter
+	BatchCloseTimeout *trace.Counter
+	BatchCloseShape   *trace.Counter
+	BatchCloseDrain   *trace.Counter
 	// QueueDepth is the live pending-request queue length;
 	// QueueSeconds histograms how long requests waited in it.
 	QueueDepth   *trace.Gauge
@@ -45,17 +54,21 @@ func NewMetrics(m *trace.Metrics) *Metrics {
 		return nil
 	}
 	return &Metrics{
-		Requests:       m.Counter("sr_requests_total", "HTTP upscale requests received."),
-		Responses:      m.Counter("sr_responses_total", "Successful upscale responses."),
-		Rejected:       m.Counter("sr_rejected_total", "Requests rejected by backpressure (429) or drain (503)."),
-		Errors:         m.Counter("sr_errors_total", "Requests failed with a client or server error."),
-		Submits:        m.Counter("sr_submits_total", "Batcher submissions (tiles submit individually)."),
-		Batches:        m.Counter("sr_batches_total", "Coalesced micro-batch forwards."),
-		BatchSize:      m.Histogram("sr_batch_size", "Images per coalesced forward.", BatchBuckets),
-		Tiles:          m.Counter("sr_tiles_total", "Tiles produced by splitting large images."),
-		QueueDepth:     m.Gauge("sr_queue_depth", "Pending requests in the batching queue."),
-		QueueSeconds:   m.Histogram("sr_queue_seconds", "Time requests spent queued before a worker picked them up.", trace.DurationBuckets),
-		RequestSeconds: m.Histogram("sr_request_seconds", "End-to-end upscale latency (queue + batching + forward).", trace.DurationBuckets),
+		Requests:          m.Counter("sr_requests_total", "HTTP upscale requests received."),
+		Responses:         m.Counter("sr_responses_total", "Successful upscale responses."),
+		Rejected:          m.Counter("sr_rejected_total", "Requests rejected by backpressure (429) or drain (503)."),
+		Errors:            m.Counter("sr_errors_total", "Requests failed with a client or server error."),
+		Submits:           m.Counter("sr_submits_total", "Batcher submissions (tiles submit individually)."),
+		Batches:           m.Counter("sr_batches_total", "Coalesced micro-batch forwards."),
+		BatchSize:         m.Histogram("sr_batch_size", "Images per coalesced forward.", BatchBuckets),
+		Tiles:             m.Counter("sr_tiles_total", "Tiles produced by splitting large images."),
+		BatchCloseFull:    m.Counter("sr_batch_close_full_total", "Batches closed by reaching MaxBatch."),
+		BatchCloseTimeout: m.Counter("sr_batch_close_timeout_total", "Batches closed by the MaxDelay timer."),
+		BatchCloseShape:   m.Counter("sr_batch_close_shape_total", "Batches closed by a different-shaped follower."),
+		BatchCloseDrain:   m.Counter("sr_batch_close_drain_total", "Batches closed by shutdown drain."),
+		QueueDepth:        m.Gauge("sr_queue_depth", "Pending requests in the batching queue."),
+		QueueSeconds:      m.Histogram("sr_queue_seconds", "Time requests spent queued before a worker picked them up.", trace.DurationBuckets),
+		RequestSeconds:    m.Histogram("sr_request_seconds", "End-to-end upscale latency (queue + batching + forward).", trace.DurationBuckets),
 	}
 }
 
@@ -109,6 +122,33 @@ func (m *Metrics) batched(n, depth int) {
 	m.Batches.Inc()
 	m.BatchSize.Observe(float64(n))
 	m.QueueDepth.Set(float64(depth))
+}
+
+// closeReason says why a worker stopped collecting into a batch.
+type closeReason int
+
+const (
+	closeFull closeReason = iota
+	closeTimeout
+	closeShape
+	closeDrain
+)
+
+// batchClosed records why a batch stopped collecting.
+func (m *Metrics) batchClosed(r closeReason) {
+	if m == nil {
+		return
+	}
+	switch r {
+	case closeFull:
+		m.BatchCloseFull.Inc()
+	case closeTimeout:
+		m.BatchCloseTimeout.Inc()
+	case closeShape:
+		m.BatchCloseShape.Inc()
+	case closeDrain:
+		m.BatchCloseDrain.Inc()
+	}
 }
 
 // queueWait records one request's time in the queue.

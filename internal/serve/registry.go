@@ -21,6 +21,17 @@ func LoadEDSRCheckpoint(path string) (Factory, models.EDSRConfig, error) {
 	return EDSRFactory(m), cfg.Model, nil
 }
 
+// LoadEDSRMaster loads trained EDSR weights and returns the master model
+// itself, for callers that build variant factories (and the float32 gate
+// reference) from one weight set.
+func LoadEDSRMaster(path string) (*models.EDSR, models.EDSRConfig, error) {
+	m, cfg, err := trainer.LoadCheckpoint(path)
+	if err != nil {
+		return nil, models.EDSRConfig{}, fmt.Errorf("serve: loading %s: %w", path, err)
+	}
+	return m, cfg.Model, nil
+}
+
 // BuiltinFactory returns a Factory for the named built-in model —
 // fresh-weight demo networks and the bicubic baseline, so the server can
 // run without a checkpoint:
@@ -40,5 +51,29 @@ func BuiltinFactory(name string) (Factory, error) {
 		return SRCNNFactory(master, 2, 3), nil
 	default:
 		return nil, fmt.Errorf("serve: unknown built-in model %q (have bicubic, edsr-tiny, srcnn)", name)
+	}
+}
+
+// BuiltinVariantFactory returns the candidate Factory serving the named
+// built-in under variant, plus the float32 reference Factory over the
+// same weights for the golden-set gate (nil when the candidate is the
+// reference). bicubic has no network to compile and rejects compiled
+// variants.
+func BuiltinVariantFactory(name, variant string) (cand, ref Factory, err error) {
+	if variant == "" || variant == VariantFloat32 {
+		cand, err = BuiltinFactory(name)
+		return cand, nil, err
+	}
+	switch name {
+	case "bicubic":
+		return nil, nil, fmt.Errorf("serve: bicubic has no %s variant (classical baseline)", variant)
+	case "edsr-tiny":
+		master := models.NewEDSR(models.EDSRTiny(), tensor.NewRNG(1))
+		return CompiledEDSRFactory(master, variant), EDSRFactory(master), nil
+	case "srcnn":
+		master := models.NewSRCNN(3, tensor.NewRNG(1))
+		return CompiledSRCNNFactory(master, 2, 3, variant), SRCNNFactory(master, 2, 3), nil
+	default:
+		return nil, nil, fmt.Errorf("serve: unknown built-in model %q (have bicubic, edsr-tiny, srcnn)", name)
 	}
 }

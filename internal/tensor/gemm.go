@@ -123,8 +123,15 @@ func gemmStoreTile(dst []float32, n, i0, j0, mr, nr int, acc *[gemmMR * gemmNR]f
 func (w *Workspace) packAPanels(a []float32, m, k, ic, pc, mc, kc int, aTrans bool) {
 	mcp := roundUp(mc, gemmMR)
 	w.packA = growF32(w.packA, mcp*kc)
+	packAPanelsInto(w.packA, a, m, k, ic, pc, mc, kc, aTrans)
+}
+
+// packAPanelsInto is the destination-explicit core of packAPanels, shared
+// with the one-time inference prepacking in gemm_infer.go.
+func packAPanelsInto(dst []float32, a []float32, m, k, ic, pc, mc, kc int, aTrans bool) {
+	mcp := roundUp(mc, gemmMR)
 	for ir := 0; ir < mcp; ir += gemmMR {
-		panel := w.packA[ir*kc : ir*kc+gemmMR*kc]
+		panel := dst[ir*kc : ir*kc+gemmMR*kc]
 		rows := min(gemmMR, mc-ir)
 		if aTrans {
 			// A[i][p] = a[p*m+i]: each packed step is contiguous in r.

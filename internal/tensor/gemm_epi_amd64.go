@@ -1,0 +1,25 @@
+//go:build amd64
+
+package tensor
+
+// storeTileEpi16 stores a full-width (nr = 16) epilogue tile with the
+// AVX routine; the caller falls back to the portable loop when it
+// returns false. dst must point at the tile's first element, bias at the
+// tile's first row's bias.
+func storeTileEpi16(dst []float32, n int, acc *[gemmMR * gemmNR]float32, bias []float32, mr int, first, clamp bool) bool {
+	if !gemmHasFMA {
+		return false
+	}
+	flags := 0
+	if first {
+		flags |= 1
+	}
+	if clamp {
+		flags |= 2
+	}
+	gemmStoreTileEpiAsm(&dst[0], 4*n, &acc[0], &bias[0], mr, flags)
+	return true
+}
+
+//go:noescape
+func gemmStoreTileEpiAsm(dst *float32, strideB int, acc *float32, bias *float32, mr, flags int)

@@ -1,0 +1,64 @@
+#include "textflag.h"
+
+// func gemmStoreTileEpiAsm(dst *float32, strideB int, acc *float32, bias *float32, mr, flags int)
+//
+// Stores an mr×16 accumulator tile with the fused inference epilogue.
+// dst points at the tile's first element and advances strideB bytes per
+// row; acc rows are 16 floats (64 bytes) apart. flags bit0 selects the
+// first-depth-block form (dst = acc + bias[r], overwriting) versus the
+// accumulate form (dst += acc); flags bit1 applies the ReLU clamp before
+// the store. VMAXPS operand order keeps relu32 semantics: NaN and -0
+// both map to +0, so the result stays bit-identical to the Go epilogue.
+TEXT ·gemmStoreTileEpiAsm(SB), NOSPLIT, $0-48
+	MOVQ   dst+0(FP), DI
+	MOVQ   strideB+8(FP), DX
+	MOVQ   acc+16(FP), SI
+	MOVQ   bias+24(FP), BX
+	MOVQ   mr+32(FP), CX
+	MOVQ   flags+40(FP), AX
+	VXORPS Y15, Y15, Y15
+	TESTQ  $1, AX
+	JZ     epiacc
+
+epifirst:
+	VBROADCASTSS (BX), Y14
+	VMOVUPS      (SI), Y0
+	VMOVUPS      32(SI), Y1
+	VADDPS       Y14, Y0, Y0
+	VADDPS       Y14, Y1, Y1
+	TESTQ        $2, AX
+	JZ           epifstore
+	VMAXPS       Y15, Y0, Y0
+	VMAXPS       Y15, Y1, Y1
+
+epifstore:
+	VMOVUPS Y0, (DI)
+	VMOVUPS Y1, 32(DI)
+	ADDQ    $64, SI
+	ADDQ    $4, BX
+	ADDQ    DX, DI
+	DECQ    CX
+	JNE     epifirst
+	JMP     epidone
+
+epiacc:
+	VMOVUPS (DI), Y0
+	VMOVUPS 32(DI), Y1
+	VADDPS  (SI), Y0, Y0
+	VADDPS  32(SI), Y1, Y1
+	TESTQ   $2, AX
+	JZ      epiastore
+	VMAXPS  Y15, Y0, Y0
+	VMAXPS  Y15, Y1, Y1
+
+epiastore:
+	VMOVUPS Y0, (DI)
+	VMOVUPS Y1, 32(DI)
+	ADDQ    $64, SI
+	ADDQ    DX, DI
+	DECQ    CX
+	JNE     epiacc
+
+epidone:
+	VZEROUPPER
+	RET

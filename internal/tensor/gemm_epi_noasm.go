@@ -1,0 +1,9 @@
+//go:build !amd64
+
+package tensor
+
+// storeTileEpi16 has no assembly on this architecture; gemmStoreTileEpi
+// runs its portable loop instead.
+func storeTileEpi16(dst []float32, n int, acc *[gemmMR * gemmNR]float32, bias []float32, mr int, first, clamp bool) bool {
+	return false
+}

@@ -1,0 +1,405 @@
+package tensor
+
+// Inference-path GEMM: prepacked weights and a convolution entry point
+// that fuses im2col, bias, and ReLU into the blocked GEMM itself.
+//
+// The training engine in gemm.go repacks both operands on every call —
+// fine when weights change each step, pure overhead when serving a frozen
+// model. Profiling the EDSR forward on one core shows where that overhead
+// lives: ~51% of the time is Im2ColBuf materializing the column matrix,
+// ~18% is packBPanels re-reading it into panels, and another ~5% is the
+// separate ReLU pass. The compiled path removes all three:
+//
+//   - Weights are packed into micro-kernel A panels once at model load
+//     (PackedA / PackA) and streamed directly by the kernel thereafter.
+//   - The im2col column matrix is never materialized: packBIm2col packs
+//     B panels straight from the NCHW source plane, computing the im2col
+//     indexing on the fly. For stride-1 convolutions each panel row is a
+//     bounds-clipped copy of a contiguous input span, so the pack costs
+//     the same as the plain copy in packBPanels — the entire column
+//     matrix write+read disappears.
+//   - Bias add and ReLU happen in the store epilogue while the
+//     accumulator tile is still in registers.
+//
+// The loop order (jc outer, pc inner) and the micro-kernel are identical
+// to the training path, so the fused fp32 forward is bit-exact with
+// Conv2d.Forward + ReLU — see TestConvGemmPackedBitExact.
+
+// PackedA holds an m×k A operand packed once into the micro-kernel panel
+// layout, split into gemmKC depth blocks to mirror the blocked loop. It
+// is immutable after PackA and safe to share across worker goroutines.
+type PackedA struct {
+	M, K int
+
+	data []float32 // all depth blocks, concatenated
+	off  []int     // start of depth block i in data
+}
+
+// PackA packs a (stored m×k, non-transposed) into panel layout. Each
+// depth block pc holds roundUp(m,MR) rows × kc values in MR-row
+// interleaved panels — exactly the layout packAPanels produces, computed
+// once instead of per forward.
+func PackA(a []float32, m, k int) *PackedA {
+	if len(a) < m*k {
+		panic("tensor: PackA operand shorter than m*k")
+	}
+	mp := roundUp(m, gemmMR)
+	p := &PackedA{M: m, K: k}
+	for pc := 0; pc < k; pc += gemmKC {
+		kc := min(gemmKC, k-pc)
+		p.off = append(p.off, len(p.data))
+		block := make([]float32, mp*kc)
+		packAPanelsInto(block, a, m, k, 0, pc, m, kc, false)
+		p.data = append(p.data, block...)
+	}
+	return p
+}
+
+// block returns the packed panels for the depth block starting at
+// element index pc (which must be a multiple of gemmKC).
+func (p *PackedA) block(pc int) []float32 {
+	return p.data[p.off[pc/gemmKC]:]
+}
+
+// Bytes returns the packed footprint in bytes (for load-time logging).
+func (p *PackedA) Bytes() int { return 4 * len(p.data) }
+
+// ConvGemmPacked computes the convolution dst = relu?(pa·im2col(src) +
+// bias) for one NCHW sample plane, with the column matrix packed
+// implicitly. pa is the prepacked (outC × c*kh*kw) weight matrix; src is
+// the c×h×w input plane; dst receives outC×outH*outW. bias may be nil;
+// relu selects a fused max(x,0) on the final store.
+func (w *Workspace) ConvGemmPacked(dst []float32, pa *PackedA, src []float32, c, h, wd, kh, kw, stride, pad int, bias []float32, relu bool) {
+	outH := (h+2*pad-kh)/stride + 1
+	outW := (wd+2*pad-kw)/stride + 1
+	m, k, n := pa.M, pa.K, outH*outW
+	if k != c*kh*kw {
+		panic("tensor: ConvGemmPacked geometry does not match packed weights")
+	}
+	if n <= 0 || k <= 0 {
+		return
+	}
+	// For stride-1 convolutions the packer reads every panel row as one
+	// contiguous span. Copying the input into a zero-padded buffer once
+	// (c·(h+2p)·(w+2p) elements, ~5% of the im2col traffic) removes all
+	// bounds clipping from the hot pack loop: each row becomes a single
+	// unconditional vector copy.
+	psrc, pws := src, wd
+	if stride == 1 && pad > 0 {
+		pws = wd + 2*pad
+		psrc = w.Slot(slotPadSrc, c*(h+2*pad)*pws)
+		padPlanes(psrc, src, c, h, wd, pad)
+	}
+	var acc [gemmMR * gemmNR]float32
+	for jc := 0; jc < n; jc += gemmNC {
+		nc := min(gemmNC, n-jc)
+		for pc := 0; pc < k; pc += gemmKC {
+			kc := min(gemmKC, k-pc)
+			first, last := pc == 0, pc+kc == k
+			w.packBIm2col(src, psrc, pws, c, h, wd, kh, kw, stride, pad, outW, outH, pc, jc, kc, nc)
+			ablk := pa.block(pc)
+			for jr := 0; jr < nc; jr += gemmNR {
+				nrr := min(gemmNR, nc-jr)
+				bp := w.packB[(jr/gemmNR)*kc*gemmNR:]
+				for ir := 0; ir < m; ir += gemmMR {
+					mrr := min(gemmMR, m-ir)
+					ap := ablk[(ir/gemmMR)*kc*gemmMR:]
+					gemmMicro(ap, bp, kc, &acc)
+					gemmStoreTileEpi(dst, n, ir, jc+jr, mrr, nrr, &acc, first, last, bias, relu)
+				}
+			}
+		}
+	}
+}
+
+// GemmPackedBias computes dst(m×n) = pa(m×k)·b(k×n) + bias with an
+// optional fused ReLU — the prepacked-A analogue of GemmBias, used by
+// tests and non-convolution inference layers.
+func (w *Workspace) GemmPackedBias(dst []float32, pa *PackedA, b []float32, n int, bias []float32, relu bool) {
+	m, k := pa.M, pa.K
+	if n <= 0 || k <= 0 {
+		return
+	}
+	var acc [gemmMR * gemmNR]float32
+	for jc := 0; jc < n; jc += gemmNC {
+		nc := min(gemmNC, n-jc)
+		for pc := 0; pc < k; pc += gemmKC {
+			kc := min(gemmKC, k-pc)
+			first, last := pc == 0, pc+kc == k
+			w.packBPanels(b, n, k, pc, jc, kc, nc, false)
+			ablk := pa.block(pc)
+			for jr := 0; jr < nc; jr += gemmNR {
+				nrr := min(gemmNR, nc-jr)
+				bp := w.packB[(jr/gemmNR)*kc*gemmNR:]
+				for ir := 0; ir < m; ir += gemmMR {
+					mrr := min(gemmMR, m-ir)
+					ap := ablk[(ir/gemmMR)*kc*gemmMR:]
+					gemmMicro(ap, bp, kc, &acc)
+					gemmStoreTileEpi(dst, n, ir, jc+jr, mrr, nrr, &acc, first, last, bias, relu)
+				}
+			}
+		}
+	}
+}
+
+// gemmStoreTileEpi is gemmStoreTile with the inference epilogue: bias is
+// added on the first depth block (which overwrites dst), later blocks
+// accumulate, and ReLU clamps on the last block only — so multi-block
+// reductions stay correct and the fp32 result matches the unfused
+// bias-then-ReLU sequence bit for bit.
+func gemmStoreTileEpi(dst []float32, n, i0, j0, mr, nr int, acc *[gemmMR * gemmNR]float32, first, last bool, bias []float32, relu bool) {
+	clamp := last && relu
+	if gemmNR == 16 && nr == gemmNR && bias != nil &&
+		storeTileEpi16(dst[i0*n+j0:], n, acc, bias[i0:], mr, first, clamp) {
+		return
+	}
+	for r := 0; r < mr; r++ {
+		row := dst[(i0+r)*n+j0 : (i0+r)*n+j0+nr]
+		av := acc[r*gemmNR : r*gemmNR+nr]
+		if first {
+			var bv float32
+			if bias != nil {
+				bv = bias[i0+r]
+			}
+			if clamp {
+				for c, v := range av {
+					row[c] = relu32(v + bv)
+				}
+			} else {
+				for c, v := range av {
+					row[c] = v + bv
+				}
+			}
+		} else if clamp {
+			for c, v := range av {
+				row[c] = relu32(row[c] + v)
+			}
+		} else {
+			for c, v := range av {
+				row[c] += v
+			}
+		}
+	}
+}
+
+// relu32 matches nn.ReLU's forward semantics exactly (x if x > 0 else 0,
+// so -0 and NaN both map to +0).
+func relu32(x float32) float32 {
+	if x > 0 {
+		return x
+	}
+	return 0
+}
+
+// Workspace float32 slot used by ConvGemmPacked for the zero-padded
+// input copy (nn's training conv uses slots 0-3, the int8 path 4-5).
+const slotPadSrc = 6
+
+// padPlanes copies the c×h×w planes of src into dst with a zero border
+// of pad pixels on every side; dst is c×(h+2·pad)×(w+2·pad).
+func padPlanes(dst, src []float32, c, h, w, pad int) {
+	pw := w + 2*pad
+	ph := h + 2*pad
+	for ch := 0; ch < c; ch++ {
+		d := dst[ch*ph*pw : (ch+1)*ph*pw]
+		s := src[ch*h*w : (ch+1)*h*w]
+		for i := 0; i < pad*pw; i++ {
+			d[i] = 0
+		}
+		for i := (ph - pad) * pw; i < ph*pw; i++ {
+			d[i] = 0
+		}
+		for y := 0; y < h; y++ {
+			row := d[(y+pad)*pw : (y+pad+1)*pw]
+			for i := 0; i < pad; i++ {
+				row[i] = 0
+			}
+			copy(row[pad:pad+w], s[y*w:(y+1)*w])
+			for i := pad + w; i < pw; i++ {
+				row[i] = 0
+			}
+		}
+	}
+}
+
+// packBIm2col packs depth rows [pc,pc+kc) × columns [jc,jc+nc) of the
+// implicit im2col matrix of src (c×h×w) into w.packB, in the same
+// NR-column interleaved panel layout packBPanels produces. Row r of the
+// im2col matrix is (channel, ky, kx) = (r/(kh·kw), r%(kh·kw)/kw, r%kw);
+// column j is output pixel (j/outW, j%outW). For a fixed row, columns
+// within one output row read a contiguous input span, so the common
+// stride-1 case packs straight out of the pre-padded plane psrc (row
+// stride pws, see ConvGemmPacked): one unconditional fixed-size vector
+// copy per row, with all tap/pixel indices advancing incrementally. Only
+// ragged tail panels fall back to the bounds-clipped filler; this matters
+// because each packed value is touched just ~m/MR times by the kernel.
+func (w *Workspace) packBIm2col(src, psrc []float32, pws int, c, h, wd, kh, kw, stride, pad, outW, outH, pc, jc, kc, nc int) {
+	_ = c
+	_ = outH
+	ncp := roundUp(nc, gemmNR)
+	w.packB = growF32(w.packB, ncp*kc)
+	khw := kh * kw
+	for jp := 0; jp < ncp; jp += gemmNR {
+		panel := w.packB[jp*kc : jp*kc+gemmNR*kc]
+		cols := min(gemmNR, nc-jp)
+		j0 := jc + jp
+		if stride == 1 {
+			oy0 := j0 / outW
+			ox0 := j0 - oy0*outW
+			ch := pc / khw
+			rem := pc - ch*khw
+			ky := rem / kw
+			kx := rem - ky*kw
+			php := (h + 2*pad) * pws
+			if cols == gemmNR && ox0+gemmNR <= outW {
+				// Full panel inside one output row: every row is an
+				// unconditional contiguous copy from the padded plane
+				// (the source span never crosses a plane-row boundary:
+				// ox0+kx+NR ≤ outW+kw-1 = w+2·pad). The fixed-size
+				// array copy compiles to vector moves with one bounds
+				// check, and the source offset advances incrementally
+				// with the tap indices — no per-row clipping at all.
+				off := ch*php + (oy0+ky)*pws + ox0 + kx
+				if gemmNR == 16 && packRows16(panel, psrc[off:], kc, kw, kh, kx, ky, pws-kw+1, php-kh*pws) {
+					continue
+				}
+				for p := 0; p < kc; p++ {
+					*(*[gemmNR]float32)(panel[p*gemmNR:]) = *(*[gemmNR]float32)(psrc[off:])
+					if kx++; kx == kw {
+						kx = 0
+						off += pws - kw + 1
+						if ky++; ky == kh {
+							ky = 0
+							off += php - kh*pws
+							ch++
+						}
+					} else {
+						off++
+					}
+				}
+				continue
+			}
+			plane := src[ch*h*wd:]
+			for p := 0; p < kc; p++ {
+				row := panel[p*gemmNR : p*gemmNR+gemmNR]
+				fillIm2colRowF32(row[:cols], plane, h, wd, pad, outW, oy0, ox0, ky, kx, 0)
+				for cI := cols; cI < gemmNR; cI++ {
+					row[cI] = 0
+				}
+				if kx++; kx == kw {
+					kx = 0
+					if ky++; ky == kh {
+						ky = 0
+						ch++
+						plane = src[ch*h*wd:]
+					}
+				}
+			}
+			continue
+		}
+		for p := 0; p < kc; p++ {
+			r := pc + p
+			ch := r / khw
+			rem := r - ch*khw
+			ky := rem / kw
+			kx := rem - ky*kw
+			row := panel[p*gemmNR : p*gemmNR+gemmNR]
+			im2colSpan(row[:cols], src[ch*h*wd:(ch+1)*h*wd], j0, outW, h, wd, ky, kx, stride, pad)
+			for cI := cols; cI < gemmNR; cI++ {
+				row[cI] = 0
+			}
+		}
+	}
+}
+
+// fillIm2colRowF32 fills row with the stride-1 im2col values of kernel
+// tap (ky,kx) for consecutive output columns starting at pixel
+// (oy0,ox0), reading the h×w channel plane and writing padVal for
+// out-of-bounds taps. Small segment loops are deliberate: segments are
+// at most gemmNR elements, so an element loop beats a memmove call.
+// fillIm2colRowU8 in quant8.go is the byte twin (a generic version
+// compiles to measurably worse code than the concrete pair).
+func fillIm2colRowF32(row []float32, plane []float32, h, w, pad, outW, oy0, ox0, ky, kx int, padVal float32) {
+	di := 0
+	oy, ox := oy0, ox0
+	for di < len(row) {
+		seg := min(len(row)-di, outW-ox)
+		d := row[di : di+seg]
+		sy := oy - pad + ky
+		if sy < 0 || sy >= h {
+			for i := range d {
+				d[i] = padVal
+			}
+		} else {
+			sx := ox - pad + kx
+			srow := plane[sy*w : sy*w+w]
+			e := 0
+			for ; e < seg && sx+e < 0; e++ {
+				d[e] = padVal
+			}
+			stop := seg
+			if w-sx < stop {
+				stop = w - sx
+			}
+			if stop < e {
+				stop = e
+			}
+			for i := e; i < stop; i++ {
+				d[i] = srow[sx+i]
+			}
+			for ; stop < seg; stop++ {
+				d[stop] = padVal
+			}
+		}
+		di += seg
+		oy++
+		ox = 0
+	}
+}
+
+// im2colSpan fills dst[i] with the im2col value at kernel tap (ky,kx)
+// for consecutive output columns j0+i, reading from one channel plane.
+func im2colSpan(dst []float32, plane []float32, j0, outW, h, w, ky, kx, stride, pad int) {
+	i := 0
+	for i < len(dst) {
+		j := j0 + i
+		oy := j / outW
+		ox := j - oy*outW
+		seg := min(len(dst)-i, outW-ox)
+		sy := oy*stride - pad + ky
+		if sy < 0 || sy >= h {
+			for e := 0; e < seg; e++ {
+				dst[i+e] = 0
+			}
+			i += seg
+			continue
+		}
+		srow := plane[sy*w : (sy+1)*w]
+		if stride == 1 {
+			sx := ox - pad + kx
+			e := 0
+			for ; e < seg && sx+e < 0; e++ {
+				dst[i+e] = 0
+			}
+			stop := min(seg, w-sx)
+			if stop > e {
+				copy(dst[i+e:i+stop], srow[sx+e:sx+stop])
+			} else {
+				stop = e
+			}
+			for ; stop < seg; stop++ {
+				dst[i+stop] = 0
+			}
+		} else {
+			for e := 0; e < seg; e++ {
+				sx := (ox+e)*stride - pad + kx
+				if sx < 0 || sx >= w {
+					dst[i+e] = 0
+				} else {
+					dst[i+e] = srow[sx]
+				}
+			}
+		}
+		i += seg
+	}
+}

@@ -1,0 +1,144 @@
+package tensor
+
+import "testing"
+
+// convRef runs the training-path lowering (Im2ColBuf + GemmBias) and an
+// optional unfused ReLU pass — the reference the fused path must match
+// bit for bit.
+func convRef(dst, w, src []float32, outC, c, h, wd, kh, kw, stride, pad int, bias []float32, relu bool) {
+	outH := (h+2*pad-kh)/stride + 1
+	outW := (wd+2*pad-kw)/stride + 1
+	k, n := c*kh*kw, outH*outW
+	col := make([]float32, k*n)
+	Im2ColBuf(col, src, c, h, wd, kh, kw, stride, pad)
+	ws := NewWorkspace()
+	if bias != nil {
+		ws.GemmBias(dst, w, col, bias, outC, k, n)
+	} else {
+		ws.Gemm(dst, w, col, outC, k, n)
+	}
+	if relu {
+		for i, v := range dst {
+			if !(v > 0) {
+				dst[i] = 0
+			}
+		}
+	}
+}
+
+// TestConvGemmPackedBitExact proves the fused conv+bias+ReLU kernel with
+// prepacked weights is bitwise identical to the unfused training path
+// across shapes that exercise single- and multi-depth-block reductions,
+// panel edges, stride, and padding.
+func TestConvGemmPackedBitExact(t *testing.T) {
+	cases := []struct {
+		name                        string
+		outC, c, h, w, kh, kw, s, p int
+		relu, bias                  bool
+	}{
+		{"edsr-body", 16, 16, 32, 32, 3, 3, 1, 1, true, true},
+		{"edsr-head", 16, 3, 32, 32, 3, 3, 1, 1, false, true},
+		{"tail-64ch", 64, 16, 16, 16, 3, 3, 1, 1, false, true},
+		{"srcnn-c3-multiblock", 3, 32, 20, 20, 5, 5, 1, 2, false, true}, // k=800 > KC
+		{"stride2", 8, 4, 17, 13, 3, 3, 2, 1, true, true},
+		{"1x1", 12, 7, 9, 11, 1, 1, 1, 0, true, false},
+		{"odd-edges", 5, 3, 15, 31, 3, 3, 1, 1, true, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rng := NewRNG(31)
+			k := tc.c * tc.kh * tc.kw
+			w := New(tc.outC, k)
+			w.FillUniform(rng, -0.5, 0.5)
+			src := New(tc.c, tc.h, tc.w)
+			src.FillUniform(rng, -1, 1)
+			var bias []float32
+			if tc.bias {
+				bt := New(tc.outC)
+				bt.FillUniform(rng, -0.2, 0.2)
+				bias = bt.Data()
+			}
+			outH := (tc.h+2*tc.p-tc.kh)/tc.s + 1
+			outW := (tc.w+2*tc.p-tc.kw)/tc.s + 1
+			n := outH * outW
+
+			want := make([]float32, tc.outC*n)
+			convRef(want, w.Data(), src.Data(), tc.outC, tc.c, tc.h, tc.w, tc.kh, tc.kw, tc.s, tc.p, bias, tc.relu)
+
+			pa := PackA(w.Data(), tc.outC, k)
+			got := make([]float32, tc.outC*n)
+			ws := NewWorkspace()
+			ws.ConvGemmPacked(got, pa, src.Data(), tc.c, tc.h, tc.w, tc.kh, tc.kw, tc.s, tc.p, bias, tc.relu)
+
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("output[%d] = %v, want %v (not bit-exact)", i, got[i], want[i])
+				}
+			}
+		})
+	}
+}
+
+// TestGemmPackedBias checks the plain prepacked-A entry point against the
+// repacking GemmBias across edge shapes.
+func TestGemmPackedBias(t *testing.T) {
+	shapes := [][2]int{{16, 144}, {3, 800}, {7, 5}, {65, 300}, {1, 1}}
+	rng := NewRNG(5)
+	for _, sh := range shapes {
+		m, k := sh[0], sh[1]
+		n := 100
+		a := New(m, k)
+		a.FillUniform(rng, -1, 1)
+		b := New(k, n)
+		b.FillUniform(rng, -1, 1)
+		bias := New(m)
+		bias.FillUniform(rng, -1, 1)
+
+		want := make([]float32, m*n)
+		ws := NewWorkspace()
+		ws.GemmBias(want, a.Data(), b.Data(), bias.Data(), m, k, n)
+		for i, v := range want {
+			if !(v > 0) {
+				want[i] = 0
+			}
+		}
+
+		pa := PackA(a.Data(), m, k)
+		got := make([]float32, m*n)
+		ws2 := NewWorkspace()
+		ws2.GemmPackedBias(got, pa, b.Data(), n, bias.Data(), true)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("m=%d k=%d: output[%d] = %v, want %v", m, k, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestConvGemmPackedReuse confirms a Workspace driving the fused path
+// repeatedly (mixed shapes) reuses buffers without corrupting results.
+func TestConvGemmPackedReuse(t *testing.T) {
+	rng := NewRNG(77)
+	ws := NewWorkspace()
+	for trial := 0; trial < 3; trial++ {
+		for _, dim := range []int{8, 32, 19} {
+			c, outC := 4, 6
+			k := c * 9
+			w := New(outC, k)
+			w.FillUniform(rng, -1, 1)
+			src := New(c, dim, dim)
+			src.FillUniform(rng, -1, 1)
+			pa := PackA(w.Data(), outC, k)
+			n := dim * dim
+			got := make([]float32, outC*n)
+			ws.ConvGemmPacked(got, pa, src.Data(), c, dim, dim, 3, 3, 1, 1, nil, false)
+			want := make([]float32, outC*n)
+			convRef(want, w.Data(), src.Data(), outC, c, dim, dim, 3, 3, 1, 1, nil, false)
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("trial %d dim %d: output[%d] = %v, want %v", trial, dim, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}

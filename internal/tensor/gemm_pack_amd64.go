@@ -1,0 +1,18 @@
+//go:build amd64
+
+package tensor
+
+// packRows16 copies kc unconditional stride-1 B-panel rows (gemmNR=16
+// float32 each) from the padded input plane, advancing the source with
+// the incremental tap deltas (see packBIm2col). Returns false when the
+// AVX path is unavailable so the caller runs its portable loop.
+func packRows16(dst, src []float32, kc, kw, kh, kx0, ky0, dRow, dPlane int) bool {
+	if !gemmHasFMA {
+		return false
+	}
+	packRows16Asm(&dst[0], &src[0], kc, kw, kh, kx0, ky0, dRow, dPlane)
+	return true
+}
+
+//go:noescape
+func packRows16Asm(dst, src *float32, kc, kw, kh, kx0, ky0, dRow, dPlane int)

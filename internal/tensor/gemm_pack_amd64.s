@@ -1,0 +1,50 @@
+#include "textflag.h"
+
+// func packRows16Asm(dst, src *float32, kc, kw, kh, kx0, ky0, dRow, dPlane int)
+//
+// Copies kc unconditional B-panel rows of 16 float32 each straight out
+// of the zero-padded input plane (see packBIm2col). src points at the
+// first row's first element; the source then advances by one element per
+// row (next kx tap), by dRow elements instead when kx wraps to the next
+// ky tap, plus dPlane further elements when ky wraps to the next
+// channel. dst advances 16 elements per row. Two YMM loads/stores per
+// row replace the clipped scalar filler on the all-interior fast path.
+TEXT ·packRows16Asm(SB), NOSPLIT, $0-72
+	MOVQ dst+0(FP), DI
+	MOVQ src+8(FP), SI
+	MOVQ kc+16(FP), CX
+	MOVQ kw+24(FP), R8
+	MOVQ kh+32(FP), R9
+	MOVQ kx0+40(FP), R12
+	MOVQ ky0+48(FP), R13
+	MOVQ dRow+56(FP), R10
+	MOVQ dPlane+64(FP), R11
+	SHLQ $2, R10 // element deltas to byte deltas
+	SHLQ $2, R11
+
+loop:
+	VMOVUPS (SI), Y0
+	VMOVUPS 32(SI), Y1
+	VMOVUPS Y0, (DI)
+	VMOVUPS Y1, 32(DI)
+	ADDQ    $64, DI
+	INCQ    R12
+	CMPQ    R12, R8
+	JNE     kxstep
+	XORQ    R12, R12
+	ADDQ    R10, SI
+	INCQ    R13
+	CMPQ    R13, R9
+	JNE     next
+	XORQ    R13, R13
+	ADDQ    R11, SI
+	JMP     next
+
+kxstep:
+	ADDQ $4, SI
+
+next:
+	DECQ CX
+	JNE  loop
+	VZEROUPPER
+	RET

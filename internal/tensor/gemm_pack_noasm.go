@@ -1,0 +1,9 @@
+//go:build !amd64
+
+package tensor
+
+// packRows16 has no assembly on this architecture; packBIm2col runs its
+// portable row-copy loop instead.
+func packRows16(dst, src []float32, kc, kw, kh, kx0, ky0, dRow, dPlane int) bool {
+	return false
+}

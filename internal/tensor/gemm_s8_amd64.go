@@ -1,0 +1,92 @@
+package tensor
+
+// gemmMicroS8 dispatches the int8 micro-kernel: the AVX2 assembly tile
+// when the CPU supports it (the same detection gate as the fp32 kernel),
+// the pure-Go reference otherwise. Both compute identical results for
+// u7-clamped activations — see TestGemmMicroS8AsmMatchesGeneric.
+func gemmMicroS8(ap []int8, bp []uint8, kq int, acc *[gemmMR8 * gemmNR8]int32) {
+	if gemmHasFMA && kq > 0 {
+		gemmMicroS8Asm(&ap[0], &bp[0], kq, acc)
+		return
+	}
+	gemmMicroS8Generic(ap, bp, kq, acc)
+}
+
+// gemmMicroS8Asm computes acc[r*16+c] = Σ_q Σ_t ap[(q*4+r)*4+t]·bp[(q*16+c)*4+t]
+// over kq quads (implemented in gemm_s8_amd64.s; requires AVX2, kq ≥ 1).
+//
+//go:noescape
+func gemmMicroS8Asm(ap *int8, bp *uint8, kq int, acc *[gemmMR8 * gemmNR8]int32)
+
+// packQuads16 packs nq full depth quads of unconditional stride-1 panel
+// rows (16 bytes each) from the padded quantized plane into the
+// quad-interleaved B layout. Returns false when the SIMD path is
+// unavailable so the caller runs its portable staging loop.
+func packQuads16(dst, src []uint8, nq, kw, kh, dRow, dPlane int) bool {
+	if !gemmHasFMA {
+		return false
+	}
+	if nq > 0 {
+		packQuads16Asm(&dst[0], &src[0], nq, kw, kh, dRow, dPlane)
+	}
+	return true
+}
+
+//go:noescape
+func packQuads16Asm(dst, src *uint8, nq, kw, kh, dRow, dPlane int)
+
+// storeTileS816 stores a full-width (nr = 16) dequant tile with the AVX
+// routine; the caller falls back to the portable loop when it returns
+// false. dst must point at the tile's first element, da/db at the tile's
+// first row's coefficients.
+func storeTileS816(dst []float32, n int, acc *[gemmMR8 * gemmNR8]int32, da, db []float32, mr int, relu bool) bool {
+	if !gemmHasFMA {
+		return false
+	}
+	r := 0
+	if relu {
+		r = 1
+	}
+	gemmStoreTileS8Asm(&dst[0], 4*n, &acc[0], &da[0], &db[0], mr, r)
+	return true
+}
+
+//go:noescape
+func gemmStoreTileS8Asm(dst *float32, strideB int, acc *int32, da, db *float32, mr, relu int)
+
+// quantMinMax computes min(0, min(src)) / max(0, max(src)) with the AVX
+// scan, finishing ragged tails in Go. ok=false means no SIMD support.
+func quantMinMax(src []float32) (lo, hi float32, ok bool) {
+	n8 := len(src) &^ 7
+	if !gemmHasFMA || n8 == 0 {
+		return 0, 0, false
+	}
+	lo, hi = minMaxF32Asm(&src[0], n8)
+	for _, v := range src[n8:] {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	return lo, hi, true
+}
+
+// quantApply quantizes src into dst with the AVX kernel, finishing
+// ragged tails in Go. false means the caller must run the scalar loop.
+func quantApply(dst []uint8, src []float32, inv, zpf float32) bool {
+	n32 := len(src) &^ 31
+	if !gemmHasFMA || n32 == 0 {
+		return false
+	}
+	quantizeU7Asm(&dst[0], &src[0], n32, inv, zpf)
+	quantScalar(dst[n32:], src[n32:], inv, zpf)
+	return true
+}
+
+//go:noescape
+func minMaxF32Asm(src *float32, n8 int) (lo, hi float32)
+
+//go:noescape
+func quantizeU7Asm(dst *uint8, src *float32, n32 int, inv, zpf float32)

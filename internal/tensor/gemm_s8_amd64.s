@@ -1,0 +1,347 @@
+#include "textflag.h"
+
+// func gemmMicroS8Asm(ap *int8, bp *uint8, kq int, acc *[64]int32)
+//
+// 4×16 int8 micro-kernel over quad-interleaved panels. Per quad q it
+// loads 64 B bytes (16 columns × 4 depth values) and, for each of the 4
+// A rows, broadcasts the row's 4-byte weight quad and multiplies with
+// VPMADDUBSW (u8 activations × s8 weights → saturating pair sums; safe
+// because activations are ≤ 127) then VPMADDWD against a ones vector to
+// finish the quad dot products in int32 lanes:
+//
+//	Y0,Y1 = row 0 cols 0-7, 8-15      Y4,Y5 = row 2
+//	Y2,Y3 = row 1                     Y6,Y7 = row 3
+//
+// Y12/Y13 hold the B quads, Y14 the broadcast weight quad, Y10/Y11 the
+// pair-sum temporaries, Y15 the constant word ones.
+TEXT ·gemmMicroS8Asm(SB), NOSPLIT, $0-32
+	MOVQ ap+0(FP), SI
+	MOVQ bp+8(FP), DX
+	MOVQ kq+16(FP), CX
+	MOVQ acc+24(FP), DI
+
+	VPXOR Y0, Y0, Y0
+	VPXOR Y1, Y1, Y1
+	VPXOR Y2, Y2, Y2
+	VPXOR Y3, Y3, Y3
+	VPXOR Y4, Y4, Y4
+	VPXOR Y5, Y5, Y5
+	VPXOR Y6, Y6, Y6
+	VPXOR Y7, Y7, Y7
+
+	// Y15 = 16 × int16(1): all-ones then logical shift right by 15.
+	VPCMPEQD Y15, Y15, Y15
+	VPSRLW   $15, Y15, Y15
+
+loop:
+	VMOVDQU (DX), Y12
+	VMOVDQU 32(DX), Y13
+
+	VPBROADCASTD (SI), Y14
+	VPMADDUBSW   Y14, Y12, Y10
+	VPMADDUBSW   Y14, Y13, Y11
+	VPMADDWD     Y15, Y10, Y10
+	VPMADDWD     Y15, Y11, Y11
+	VPADDD       Y10, Y0, Y0
+	VPADDD       Y11, Y1, Y1
+
+	VPBROADCASTD 4(SI), Y14
+	VPMADDUBSW   Y14, Y12, Y10
+	VPMADDUBSW   Y14, Y13, Y11
+	VPMADDWD     Y15, Y10, Y10
+	VPMADDWD     Y15, Y11, Y11
+	VPADDD       Y10, Y2, Y2
+	VPADDD       Y11, Y3, Y3
+
+	VPBROADCASTD 8(SI), Y14
+	VPMADDUBSW   Y14, Y12, Y10
+	VPMADDUBSW   Y14, Y13, Y11
+	VPMADDWD     Y15, Y10, Y10
+	VPMADDWD     Y15, Y11, Y11
+	VPADDD       Y10, Y4, Y4
+	VPADDD       Y11, Y5, Y5
+
+	VPBROADCASTD 12(SI), Y14
+	VPMADDUBSW   Y14, Y12, Y10
+	VPMADDUBSW   Y14, Y13, Y11
+	VPMADDWD     Y15, Y10, Y10
+	VPMADDWD     Y15, Y11, Y11
+	VPADDD       Y10, Y6, Y6
+	VPADDD       Y11, Y7, Y7
+
+	ADDQ $16, SI
+	ADDQ $64, DX
+	DECQ CX
+	JNZ  loop
+
+	VMOVDQU Y0, (DI)
+	VMOVDQU Y1, 32(DI)
+	VMOVDQU Y2, 64(DI)
+	VMOVDQU Y3, 96(DI)
+	VMOVDQU Y4, 128(DI)
+	VMOVDQU Y5, 160(DI)
+	VMOVDQU Y6, 192(DI)
+	VMOVDQU Y7, 224(DI)
+	VZEROUPPER
+	RET
+
+// func packQuads16Asm(dst, src *uint8, nq, kw, kh, dRow, dPlane int)
+//
+// Packs nq depth quads of the implicit im2col matrix into the
+// quad-interleaved B layout, reading each depth row as one contiguous
+// 16-byte span of the zero-point-padded plane (see packBIm2colU8). The
+// source advances one byte per row (next kx tap), by dRow bytes instead
+// when kx wraps, plus dPlane bytes when ky wraps to the next channel;
+// tap counters start at (0,0). Each quad loads four 16-byte rows and
+// transposes them with PUNPCK byte/word interleaves so the stores are
+// four straight 16-byte writes: dst[c*4+t] = row_t[c].
+TEXT ·packQuads16Asm(SB), NOSPLIT, $0-56
+	MOVQ  dst+0(FP), DI
+	MOVQ  src+8(FP), SI
+	MOVQ  nq+16(FP), CX
+	MOVQ  kw+24(FP), R8
+	MOVQ  kh+32(FP), R9
+	MOVQ  dRow+40(FP), R10
+	MOVQ  dPlane+48(FP), R11
+	XORQ  R12, R12            // kx
+	XORQ  R13, R13            // ky
+	TESTQ CX, CX
+	JE    pqdone
+
+pqloop:
+	VMOVDQU (SI), X0
+	INCQ    R12
+	CMPQ    R12, R8
+	JNE     pqkx0
+	XORQ    R12, R12
+	ADDQ    R10, SI
+	INCQ    R13
+	CMPQ    R13, R9
+	JNE     pqrow1
+	XORQ    R13, R13
+	ADDQ    R11, SI
+	JMP     pqrow1
+
+pqkx0:
+	INCQ SI
+
+pqrow1:
+	VMOVDQU (SI), X1
+	INCQ    R12
+	CMPQ    R12, R8
+	JNE     pqkx1
+	XORQ    R12, R12
+	ADDQ    R10, SI
+	INCQ    R13
+	CMPQ    R13, R9
+	JNE     pqrow2
+	XORQ    R13, R13
+	ADDQ    R11, SI
+	JMP     pqrow2
+
+pqkx1:
+	INCQ SI
+
+pqrow2:
+	VMOVDQU (SI), X2
+	INCQ    R12
+	CMPQ    R12, R8
+	JNE     pqkx2
+	XORQ    R12, R12
+	ADDQ    R10, SI
+	INCQ    R13
+	CMPQ    R13, R9
+	JNE     pqrow3
+	XORQ    R13, R13
+	ADDQ    R11, SI
+	JMP     pqrow3
+
+pqkx2:
+	INCQ SI
+
+pqrow3:
+	VMOVDQU (SI), X3
+	INCQ    R12
+	CMPQ    R12, R8
+	JNE     pqkx3
+	XORQ    R12, R12
+	ADDQ    R10, SI
+	INCQ    R13
+	CMPQ    R13, R9
+	JNE     pqstore
+	XORQ    R13, R13
+	ADDQ    R11, SI
+	JMP     pqstore
+
+pqkx3:
+	INCQ SI
+
+pqstore:
+	VPUNPCKLBW X1, X0, X4     // a0 b0 .. a7 b7
+	VPUNPCKHBW X1, X0, X5     // a8 b8 .. a15 b15
+	VPUNPCKLBW X3, X2, X6     // c0 d0 .. c7 d7
+	VPUNPCKHBW X3, X2, X7
+	VPUNPCKLWD X6, X4, X8     // a0 b0 c0 d0 .. (cols 0-3)
+	VPUNPCKHWD X6, X4, X9     // cols 4-7
+	VPUNPCKLWD X7, X5, X10    // cols 8-11
+	VPUNPCKHWD X7, X5, X11    // cols 12-15
+	VMOVDQU    X8, (DI)
+	VMOVDQU    X9, 16(DI)
+	VMOVDQU    X10, 32(DI)
+	VMOVDQU    X11, 48(DI)
+	ADDQ       $64, DI
+	DECQ       CX
+	JNE        pqloop
+
+pqdone:
+	RET
+
+// func gemmStoreTileS8Asm(dst *float32, strideB int, acc *int32, da, db *float32, mr, relu int)
+//
+// Dequantizes and stores an mr×16 int32 accumulator tile:
+// dst[r][c] = da[r]·acc[r][c] + db[r], with an optional ReLU clamp.
+// VMULPS+VADDPS (not FMA) keep the rounding identical to the portable
+// Go epilogue; VMAXPS operand order maps NaN and -0 to +0 like relu32.
+TEXT ·gemmStoreTileS8Asm(SB), NOSPLIT, $0-56
+	MOVQ   dst+0(FP), DI
+	MOVQ   strideB+8(FP), DX
+	MOVQ   acc+16(FP), SI
+	MOVQ   da+24(FP), BX
+	MOVQ   db+32(FP), R8
+	MOVQ   mr+40(FP), CX
+	MOVQ   relu+48(FP), AX
+	VXORPS Y15, Y15, Y15
+
+s8row:
+	VBROADCASTSS (BX), Y14
+	VBROADCASTSS (R8), Y13
+	VCVTDQ2PS    (SI), Y0
+	VCVTDQ2PS    32(SI), Y1
+	VMULPS       Y14, Y0, Y0
+	VMULPS       Y14, Y1, Y1
+	VADDPS       Y13, Y0, Y0
+	VADDPS       Y13, Y1, Y1
+	TESTQ        AX, AX
+	JZ           s8store
+	VMAXPS       Y15, Y0, Y0
+	VMAXPS       Y15, Y1, Y1
+
+s8store:
+	VMOVUPS Y0, (DI)
+	VMOVUPS Y1, 32(DI)
+	ADDQ    $64, SI
+	ADDQ    $4, BX
+	ADDQ    $4, R8
+	ADDQ    DX, DI
+	DECQ    CX
+	JNE     s8row
+	VZEROUPPER
+	RET
+
+// func minMaxF32Asm(src *float32, n8 int) (lo, hi float32)
+//
+// Running min/max over n8 floats (n8 a positive multiple of 8), with
+// both accumulators seeded at 0 to match QuantizeU7's range convention
+// (the quantized range always includes 0). VMINPS/VMAXPS operand order
+// keeps the accumulator on NaN input, like the portable comparisons.
+TEXT ·minMaxF32Asm(SB), NOSPLIT, $0-24
+	MOVQ   src+0(FP), SI
+	MOVQ   n8+8(FP), CX
+	VXORPS Y0, Y0, Y0
+	VXORPS Y1, Y1, Y1
+
+mmloop:
+	VMOVUPS (SI), Y2
+	VMINPS  Y0, Y2, Y0
+	VMAXPS  Y1, Y2, Y1
+	ADDQ    $32, SI
+	SUBQ    $8, CX
+	JNE     mmloop
+	VEXTRACTF128 $1, Y0, X2
+	VMINPS       X0, X2, X0
+	VEXTRACTF128 $1, Y1, X3
+	VMAXPS       X1, X3, X1
+	VPERMILPS    $0x4e, X0, X2
+	VMINPS       X0, X2, X0
+	VPERMILPS    $0xb1, X0, X2
+	VMINPS       X0, X2, X0
+	VPERMILPS    $0x4e, X1, X3
+	VMAXPS       X1, X3, X1
+	VPERMILPS    $0xb1, X1, X3
+	VMAXPS       X1, X3, X1
+	VMOVSS       X0, lo+16(FP)
+	VMOVSS       X1, hi+20(FP)
+	VZEROUPPER
+	RET
+
+// Dword permutation that reorders the lane-interleaved VPACKSSDW →
+// VPACKUSWB result into 32 consecutive quantized bytes.
+DATA permQ<>+0(SB)/4, $0
+DATA permQ<>+4(SB)/4, $4
+DATA permQ<>+8(SB)/4, $1
+DATA permQ<>+12(SB)/4, $5
+DATA permQ<>+16(SB)/4, $2
+DATA permQ<>+20(SB)/4, $6
+DATA permQ<>+24(SB)/4, $3
+DATA permQ<>+28(SB)/4, $7
+GLOBL permQ<>(SB), RODATA|NOPTR, $32
+
+// func quantizeU7Asm(dst *uint8, src *float32, n32 int, inv, zpf float32)
+//
+// Quantizes n32 floats (a positive multiple of 32) to u7 bytes:
+// q = clamp(int32(v·inv + zpf + 0.5), 0, 127). The adds happen in the
+// same order as the Go loop ((v·inv + zpf) + 0.5, separate roundings)
+// so the two paths produce identical bytes; VCVTTPS2DQ truncates like
+// Go's int32 conversion and sends NaN to INT_MIN, which the clamp maps
+// to 0. Four YMM vectors pack to one 32-byte store via saturating
+// narrowing plus a cross-lane dword permute.
+TEXT ·quantizeU7Asm(SB), NOSPLIT, $0-32
+	MOVQ         dst+0(FP), DI
+	MOVQ         src+8(FP), SI
+	MOVQ         n32+16(FP), CX
+	VBROADCASTSS inv+24(FP), Y14
+	VBROADCASTSS zpf+28(FP), Y13
+	VPCMPEQD     Y12, Y12, Y12
+	VPSRLD       $25, Y12, Y12 // 127
+	VPCMPEQD     Y9, Y9, Y9
+	VPSRLD       $26, Y9, Y9
+	VPSLLD       $24, Y9, Y9   // 0.5f
+	VPXOR        Y11, Y11, Y11
+	VMOVDQU      permQ<>(SB), Y10
+
+qloop:
+	VMULPS      (SI), Y14, Y0
+	VMULPS      32(SI), Y14, Y1
+	VMULPS      64(SI), Y14, Y2
+	VMULPS      96(SI), Y14, Y3
+	VADDPS      Y13, Y0, Y0
+	VADDPS      Y13, Y1, Y1
+	VADDPS      Y13, Y2, Y2
+	VADDPS      Y13, Y3, Y3
+	VADDPS      Y9, Y0, Y0
+	VADDPS      Y9, Y1, Y1
+	VADDPS      Y9, Y2, Y2
+	VADDPS      Y9, Y3, Y3
+	VCVTTPS2DQ  Y0, Y0
+	VCVTTPS2DQ  Y1, Y1
+	VCVTTPS2DQ  Y2, Y2
+	VCVTTPS2DQ  Y3, Y3
+	VPMAXSD     Y11, Y0, Y0
+	VPMAXSD     Y11, Y1, Y1
+	VPMAXSD     Y11, Y2, Y2
+	VPMAXSD     Y11, Y3, Y3
+	VPMINSD     Y12, Y0, Y0
+	VPMINSD     Y12, Y1, Y1
+	VPMINSD     Y12, Y2, Y2
+	VPMINSD     Y12, Y3, Y3
+	VPACKSSDW   Y1, Y0, Y0
+	VPACKSSDW   Y3, Y2, Y2
+	VPACKUSWB   Y2, Y0, Y0
+	VPERMD      Y0, Y10, Y0
+	VMOVDQU     Y0, (DI)
+	ADDQ        $128, SI
+	ADDQ        $32, DI
+	SUBQ        $32, CX
+	JNE         qloop
+	VZEROUPPER
+	RET

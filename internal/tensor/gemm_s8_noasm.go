@@ -1,0 +1,27 @@
+//go:build !amd64
+
+package tensor
+
+// gemmMicroS8 falls back to the portable int8 micro-kernel on
+// architectures without the AVX2 assembly tile.
+func gemmMicroS8(ap []int8, bp []uint8, kq int, acc *[gemmMR8 * gemmNR8]int32) {
+	gemmMicroS8Generic(ap, bp, kq, acc)
+}
+
+// packQuads16 has no assembly on this architecture; packBIm2colU8 runs
+// its portable staging loop instead.
+func packQuads16(dst, src []uint8, nq, kw, kh, dRow, dPlane int) bool {
+	return false
+}
+
+// storeTileS816 has no assembly on this architecture; gemmStoreTileS8
+// runs its portable loop instead.
+func storeTileS816(dst []float32, n int, acc *[gemmMR8 * gemmNR8]int32, da, db []float32, mr int, relu bool) bool {
+	return false
+}
+
+// quantMinMax has no assembly on this architecture.
+func quantMinMax(src []float32) (lo, hi float32, ok bool) { return 0, 0, false }
+
+// quantApply has no assembly on this architecture.
+func quantApply(dst []uint8, src []float32, inv, zpf float32) bool { return false }

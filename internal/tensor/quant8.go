@@ -1,0 +1,499 @@
+package tensor
+
+import "math"
+
+// Int8 quantized convolution for the inference compile path.
+//
+// Weights are quantized offline at model compile time: symmetric
+// per-output-channel int8 (scale = absmax/127, no zero point), packed
+// into micro-kernel panels once. Activations are quantized on the fly,
+// per forward call, to *unsigned 7-bit* [0,127] with an asymmetric zero
+// point. The u7 range is what makes the AVX2 kernel safe: VPMADDUBSW
+// sums two u8×s8 products into a saturating int16, and 2·127·127 =
+// 32258 < 32767, so with activations clamped to 127 the pair sum can
+// never saturate and the asm kernel is exactly equal to the pure-Go
+// reference.
+//
+// Dequantization folds the zero point through precomputed per-row weight
+// sums: with wq the quantized weights, xq the quantized activations,
+//
+//	real ≈ Σ_p (wq·sW)·((xq−zp)·sX)
+//	     = sW·sX·(Σ wq·xq − zp·Σ wq)
+//	dst[r][c] = sW[r]·sX·(acc[r][c] − zp·rowSum[r]) + bias[r]
+//
+// so the integer GEMM needs no per-element zero-point handling, and the
+// epilogue is one fused multiply-add per output (plus optional ReLU).
+//
+// The int8 path keeps the whole reduction depth in one block (int32
+// accumulators lose no precision to blocking, and |acc| ≤ k·127² stays
+// far below 2³¹ for any realistic k), which lets the epilogue dequantize
+// directly from the accumulator tile.
+
+// Int8 micro-tile: 4×16. The AVX2 kernel processes the depth in quads
+// (4 int8 values per 32-bit lane), so panels are quad-interleaved:
+//
+//	A (weights, int8):      ap[(q*MR8 + r)*4 + t]  — row r, depth 4q+t
+//	B (activations, uint8): bp[(q*NR8 + c)*4 + t]  — col c, depth 4q+t
+//
+// 8 YMM int32 accumulators (4 rows × two 8-lane halves) leave registers
+// free for the two B loads, the broadcast weight quad, the pair-sum
+// temporaries, and the ones vector VPMADDWD needs.
+const (
+	gemmMR8 = 4  // int8 micro-tile rows
+	gemmNR8 = 16 // int8 micro-tile columns
+)
+
+// maxQuantK bounds the reduction depth so int32 accumulators cannot
+// overflow: k·127·127 < 2³¹ ⇒ k < 133152.
+const maxQuantK = 1 << 17
+
+// PackedA8 holds per-output-channel int8 quantized weights packed into
+// the quad-interleaved micro-kernel layout, plus the per-row scales and
+// quantized-weight row sums the dequantization epilogue needs. Immutable
+// after PackA8 and safe to share across workers.
+type PackedA8 struct {
+	M, K int
+
+	data    []int8    // panels: rows padded to MR8, depth padded to quads
+	Scales  []float32 // per-row weight scale sW[r] (absmax/127)
+	RowSums []int32   // per-row Σ_p wq[r][p] for zero-point correction
+}
+
+// PackA8 quantizes a (stored m×k float32) to symmetric per-row int8 and
+// packs it for the int8 micro-kernel.
+func PackA8(a []float32, m, k int) *PackedA8 {
+	if len(a) < m*k {
+		panic("tensor: PackA8 operand shorter than m*k")
+	}
+	if k >= maxQuantK {
+		panic("tensor: PackA8 reduction depth too large for int32 accumulation")
+	}
+	p := &PackedA8{
+		M: m, K: k,
+		Scales:  make([]float32, m),
+		RowSums: make([]int32, m),
+	}
+	q := make([]int8, m*k)
+	for r := 0; r < m; r++ {
+		row := a[r*k : (r+1)*k]
+		var amax float32
+		for _, v := range row {
+			if av := float32(math.Abs(float64(v))); av > amax {
+				amax = av
+			}
+		}
+		scale := amax / 127
+		if scale == 0 {
+			scale = 1 // all-zero row: any scale dequantizes 0 correctly
+		}
+		p.Scales[r] = scale
+		inv := 1 / scale
+		var sum int32
+		for pIdx, v := range row {
+			qv := int32(math.RoundToEven(float64(v * inv)))
+			if qv > 127 {
+				qv = 127
+			} else if qv < -127 {
+				qv = -127
+			}
+			q[r*k+pIdx] = int8(qv)
+			sum += qv
+		}
+		p.RowSums[r] = sum
+	}
+	// Pack: rows padded to MR8 panels, depth padded to whole quads.
+	kq := (k + 3) / 4
+	mp := roundUp(m, gemmMR8)
+	p.data = make([]int8, mp*kq*4)
+	for ir := 0; ir < mp; ir += gemmMR8 {
+		panel := p.data[ir*kq*4 : (ir+gemmMR8)*kq*4]
+		for r := 0; r < gemmMR8; r++ {
+			if ir+r >= m {
+				continue // padding rows stay zero
+			}
+			row := q[(ir+r)*k : (ir+r+1)*k]
+			for pIdx, v := range row {
+				qi, t := pIdx/4, pIdx%4
+				panel[(qi*gemmMR8+r)*4+t] = v
+			}
+		}
+	}
+	return p
+}
+
+// Bytes returns the packed footprint in bytes.
+func (p *PackedA8) Bytes() int { return len(p.data) + 8*len(p.Scales) }
+
+// panel returns the packed quads for the row panel starting at row ir.
+func (p *PackedA8) panel(ir, kq int) []int8 {
+	return p.data[ir*kq*4:]
+}
+
+// QuantizeU7 quantizes src to dst in [0,127] with an asymmetric zero
+// point chosen so that both the observed range of src and the value 0
+// (zero padding introduces it) are representable exactly enough:
+// scale = (hi−lo)/127 over lo = min(0, min src), hi = max(0, max src),
+// zp = round(−lo/scale). Returns (scale, zp). An all-zero or constant-0
+// input yields scale 1, zp 0.
+func QuantizeU7(dst []uint8, src []float32) (float32, int32) {
+	if len(dst) < len(src) {
+		panic("tensor: QuantizeU7 dst shorter than src")
+	}
+	lo, hi, ok := quantMinMax(src)
+	if !ok {
+		for _, v := range src {
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+	}
+	scale := (hi - lo) / 127
+	if scale == 0 {
+		scale = 1
+	}
+	inv := 1 / scale
+	zp := int32(math.RoundToEven(float64(-lo * inv)))
+	if zp < 0 {
+		zp = 0
+	} else if zp > 127 {
+		zp = 127
+	}
+	// Hot loop in float32 with round-half-up via +0.5: v*inv+zp ≥ -0.5 by
+	// construction, so int32 truncation after the shift is a floor. The
+	// half-step error bound is unchanged.
+	zpf := float32(zp)
+	if !quantApply(dst[:len(src)], src, inv, zpf) {
+		quantScalar(dst[:len(src)], src, inv, zpf)
+	}
+	return scale, zp
+}
+
+// quantScalar is the portable quantize loop (also the ragged-tail
+// finisher for the SIMD path, which produces identical bytes).
+func quantScalar(dst []uint8, src []float32, inv, zpf float32) {
+	for i, v := range src {
+		q := int32(v*inv + zpf + 0.5)
+		if q < 0 {
+			q = 0
+		} else if q > 127 {
+			q = 127
+		}
+		dst[i] = uint8(q)
+	}
+}
+
+// DequantizeU7 reverses QuantizeU7 for testing: real = (q − zp)·scale.
+func DequantizeU7(dst []float32, src []uint8, scale float32, zp int32) {
+	for i, q := range src {
+		dst[i] = float32(int32(q)-zp) * scale
+	}
+}
+
+// ConvGemmS8 computes the int8 convolution dst = relu?(dequant(pa8 ·
+// im2col(srcQ)) + bias) for one NCHW sample plane. srcQ is the input
+// plane already quantized by QuantizeU7 with (scaleX, zp); dst receives
+// float32 outC×outH*outW. The zero-padding ring contributes the exact
+// quantized zero (zp), so padding dequantizes to 0.
+func (w *Workspace) ConvGemmS8(dst []float32, pa *PackedA8, srcQ []uint8, scaleX float32, zp int32, c, h, wd, kh, kw, stride, pad int, bias []float32, relu bool) {
+	outH := (h+2*pad-kh)/stride + 1
+	outW := (wd+2*pad-kw)/stride + 1
+	m, k, n := pa.M, pa.K, outH*outW
+	if k != c*kh*kw {
+		panic("tensor: ConvGemmS8 geometry does not match packed weights")
+	}
+	if n <= 0 || k <= 0 {
+		return
+	}
+	kq := (k + 3) / 4
+	// Per-row dequant coefficients: dst = a[r]·acc + b[r].
+	da := w.Slot(slotDequantA, m)
+	db := w.Slot(slotDequantB, m)
+	for r := 0; r < m; r++ {
+		da[r] = pa.Scales[r] * scaleX
+		var bv float32
+		if bias != nil {
+			bv = bias[r]
+		}
+		db[r] = bv - da[r]*float32(zp*pa.RowSums[r])
+	}
+	// Mirror of the float32 fast path (see ConvGemmPacked): pre-pad the
+	// quantized plane once so the packer's interior rows are
+	// unconditional contiguous copies. The border byte is the activation
+	// zero point — the exact quantized 0.0 — so padding taps dequantize
+	// to zero through the db correction term.
+	psrc, pws := srcQ, wd
+	if stride == 1 && pad > 0 {
+		pws = wd + 2*pad
+		psrc = w.SlotU8(slotPadSrc8, c*(h+2*pad)*pws)
+		padPlanesU8(psrc, srcQ, c, h, wd, pad, uint8(zp))
+	}
+	var acc [gemmMR8 * gemmNR8]int32
+	for jc := 0; jc < n; jc += gemmNC {
+		nc := min(gemmNC, n-jc)
+		w.packBIm2colU8(srcQ, psrc, pws, h, wd, kh, kw, stride, pad, outW, jc, k, kq, nc, uint8(zp))
+		for jr := 0; jr < nc; jr += gemmNR8 {
+			nrr := min(gemmNR8, nc-jr)
+			bp := w.packB8[(jr/gemmNR8)*kq*4*gemmNR8:]
+			for ir := 0; ir < m; ir += gemmMR8 {
+				mrr := min(gemmMR8, m-ir)
+				ap := pa.panel(ir, kq)
+				gemmMicroS8(ap, bp, kq, &acc)
+				gemmStoreTileS8(dst, n, ir, jc+jr, mrr, nrr, &acc, da, db, relu)
+			}
+		}
+	}
+}
+
+// Dequant coefficient slots (float32 Workspace slots). They sit above the
+// conv/grad slots used by internal/nn (0-3).
+const (
+	slotDequantA = 4
+	slotDequantB = 5
+)
+
+// Workspace byte-slot used by ConvGemmS8 for the zero-point-padded
+// quantized plane (internal/nn uses byte slot 0 for the quantized
+// input).
+const slotPadSrc8 = 1
+
+// padPlanesU8 copies the c×h×w quantized planes of src into dst with a
+// border of pad pixels holding padVal (the activation zero point) on
+// every side; dst is c×(h+2·pad)×(w+2·pad).
+func padPlanesU8(dst, src []uint8, c, h, w, pad int, padVal uint8) {
+	pw := w + 2*pad
+	ph := h + 2*pad
+	for ch := 0; ch < c; ch++ {
+		d := dst[ch*ph*pw : (ch+1)*ph*pw]
+		s := src[ch*h*w : (ch+1)*h*w]
+		for i := 0; i < pad*pw; i++ {
+			d[i] = padVal
+		}
+		for i := (ph - pad) * pw; i < ph*pw; i++ {
+			d[i] = padVal
+		}
+		for y := 0; y < h; y++ {
+			row := d[(y+pad)*pw : (y+pad+1)*pw]
+			for i := 0; i < pad; i++ {
+				row[i] = padVal
+			}
+			copy(row[pad:pad+w], s[y*w:(y+1)*w])
+			for i := pad + w; i < pw; i++ {
+				row[i] = padVal
+			}
+		}
+	}
+}
+
+// gemmStoreTileS8 dequantizes and stores an int32 accumulator tile:
+// dst[r][c] = da[r]·acc + db[r], optionally clamped by ReLU.
+func gemmStoreTileS8(dst []float32, n, i0, j0, mr, nr int, acc *[gemmMR8 * gemmNR8]int32, da, db []float32, relu bool) {
+	if gemmNR8 == 16 && nr == gemmNR8 &&
+		storeTileS816(dst[i0*n+j0:], n, acc, da[i0:], db[i0:], mr, relu) {
+		return
+	}
+	for r := 0; r < mr; r++ {
+		row := dst[(i0+r)*n+j0 : (i0+r)*n+j0+nr]
+		av := acc[r*gemmNR8 : r*gemmNR8+nr]
+		a, b := da[i0+r], db[i0+r]
+		if relu {
+			for c, v := range av {
+				row[c] = relu32(a*float32(v) + b)
+			}
+		} else {
+			for c, v := range av {
+				row[c] = a*float32(v) + b
+			}
+		}
+	}
+}
+
+// packBIm2colU8 packs the implicit im2col of the quantized plane srcQ
+// (covering depth rows [0,k) padded to kq quads × columns [jc,jc+nc))
+// into w.packB8 in the quad-interleaved B layout. Zero-padding taps get
+// the activation zero point zp (the exact quantized 0); depth rows past
+// k and columns past nc get byte 0 (they meet zero weights or are
+// clipped at store, and 0 keeps the VPMADDUBSW pair sums small).
+//
+// Packing is two-phase per panel: phase 1 fills a row-major gemmNR8-wide
+// staging buffer with the same fast clipped-span code the float32 packer
+// uses (contiguous byte writes); phase 2 interleaves the staging rows
+// into the quad layout the kernel loads. The staging buffer is a few KB
+// and stays L1-resident, so the interleave is cheap — much cheaper than
+// writing stride-4 bytes straight from the image would be.
+func (w *Workspace) packBIm2colU8(srcQ, psrc []uint8, pws int, h, wd, kh, kw, stride, pad, outW, jc, k, kq, nc int, zp uint8) {
+	ncp := roundUp(nc, gemmNR8)
+	need := ncp * kq * 4
+	if cap(w.packB8) < need {
+		w.packB8 = make([]uint8, need)
+	}
+	w.packB8 = w.packB8[:need]
+	tmpN := kq * 4 * gemmNR8
+	if cap(w.packTmp8) < tmpN {
+		w.packTmp8 = make([]uint8, tmpN)
+	}
+	tmp := w.packTmp8[:tmpN]
+	php := (h + 2*pad) * pws
+	for jp := 0; jp < ncp; jp += gemmNR8 {
+		panel := w.packB8[jp*kq*4 : (jp+gemmNR8)*kq*4]
+		cols := min(gemmNR8, nc-jp)
+		j0 := jc + jp
+		oy0 := j0 / outW
+		ox0 := j0 - oy0*outW
+		// Fast path twin of the float32 packer: a full panel inside one
+		// output row reads every depth row as one contiguous 16-byte
+		// span of the padded plane. The asm routine transposes four
+		// such rows at a time into the quad-interleaved layout.
+		if stride == 1 && cols == gemmNR8 && ox0+gemmNR8 <= outW && gemmNR8 == 16 &&
+			packQuads16(panel, psrc[oy0*pws+ox0:], k/4, kw, kh, pws-kw+1, php-kh*pws) {
+			khw := kh * kw
+			for q := k / 4; q < kq; q++ {
+				out := panel[q*gemmNR8*4 : (q+1)*gemmNR8*4]
+				for t := 0; t < 4; t++ {
+					p := q*4 + t
+					if p < k {
+						ch := p / khw
+						rem := p - ch*khw
+						ky := rem / kw
+						kx := rem - ky*kw
+						span := psrc[ch*php+(oy0+ky)*pws+ox0+kx:]
+						for c := 0; c < gemmNR8; c++ {
+							out[c*4+t] = span[c]
+						}
+					} else {
+						for c := 0; c < gemmNR8; c++ {
+							out[c*4+t] = 0
+						}
+					}
+				}
+			}
+			continue
+		}
+		// Phase 1: row-major staging, tmp[p*NR8+c] = im2col[k-row p][col j0+c].
+		ch, ky, kx := 0, 0, 0
+		plane := srcQ
+		for p := 0; p < k; p++ {
+			row := tmp[p*gemmNR8 : p*gemmNR8+gemmNR8]
+			if stride == 1 {
+				fillIm2colRowU8(row[:cols], plane, h, wd, pad, outW, oy0, ox0, ky, kx, zp)
+			} else {
+				im2colRowU8Strided(row[:cols], plane, j0, outW, h, wd, ky, kx, stride, pad, zp)
+			}
+			for c := cols; c < gemmNR8; c++ {
+				row[c] = 0
+			}
+			if kx++; kx == kw {
+				kx = 0
+				if ky++; ky == kh {
+					ky = 0
+					ch++
+					plane = srcQ[min(ch*h*wd, len(srcQ)):]
+				}
+			}
+		}
+		for p := k; p < kq*4; p++ {
+			row := tmp[p*gemmNR8 : p*gemmNR8+gemmNR8]
+			for c := range row {
+				row[c] = 0
+			}
+		}
+		// Phase 2: quad interleave, panel[q*NR8*4 + c*4 + t] = tmp[(4q+t)*NR8+c].
+		for q := 0; q < kq; q++ {
+			r0 := tmp[(4*q)*gemmNR8 : (4*q)*gemmNR8+gemmNR8]
+			r1 := tmp[(4*q+1)*gemmNR8 : (4*q+1)*gemmNR8+gemmNR8]
+			r2 := tmp[(4*q+2)*gemmNR8 : (4*q+2)*gemmNR8+gemmNR8]
+			r3 := tmp[(4*q+3)*gemmNR8 : (4*q+3)*gemmNR8+gemmNR8]
+			out := panel[q*gemmNR8*4 : (q+1)*gemmNR8*4]
+			for c := 0; c < gemmNR8; c++ {
+				out[c*4] = r0[c]
+				out[c*4+1] = r1[c]
+				out[c*4+2] = r2[c]
+				out[c*4+3] = r3[c]
+			}
+		}
+	}
+}
+
+// fillIm2colRowU8 is the byte twin of fillIm2colRowF32 (see gemm_infer.go
+// for why the pair is not a generic).
+func fillIm2colRowU8(row []uint8, plane []uint8, h, w, pad, outW, oy0, ox0, ky, kx int, padVal uint8) {
+	di := 0
+	oy, ox := oy0, ox0
+	for di < len(row) {
+		seg := min(len(row)-di, outW-ox)
+		d := row[di : di+seg]
+		sy := oy - pad + ky
+		if sy < 0 || sy >= h {
+			for i := range d {
+				d[i] = padVal
+			}
+		} else {
+			sx := ox - pad + kx
+			srow := plane[sy*w : sy*w+w]
+			e := 0
+			for ; e < seg && sx+e < 0; e++ {
+				d[e] = padVal
+			}
+			stop := seg
+			if w-sx < stop {
+				stop = w - sx
+			}
+			if stop < e {
+				stop = e
+			}
+			for i := e; i < stop; i++ {
+				d[i] = srow[sx+i]
+			}
+			for ; stop < seg; stop++ {
+				d[stop] = padVal
+			}
+		}
+		di += seg
+		oy++
+		ox = 0
+	}
+}
+
+// im2colRowU8Strided is the general-stride staging-row filler.
+func im2colRowU8Strided(dst []uint8, plane []uint8, j0, outW, h, w, ky, kx, stride, pad int, zp uint8) {
+	for i := range dst {
+		j := j0 + i
+		oy := j / outW
+		ox := j - oy*outW
+		sy := oy*stride - pad + ky
+		sx := ox*stride - pad + kx
+		if sy < 0 || sy >= h || sx < 0 || sx >= w {
+			dst[i] = zp
+		} else {
+			dst[i] = plane[sy*w+sx]
+		}
+	}
+}
+
+// gemmMicroS8Generic is the portable int8 micro-kernel: acc[r*NR8+c] =
+// Σ_q Σ_t ap[(q*MR8+r)*4+t]·bp[(q*NR8+c)*4+t] over kq quads. It is the
+// reference the asm kernel must match exactly; with activations in
+// [0,127] the asm pair sums cannot saturate, so the two agree bit for
+// bit.
+func gemmMicroS8Generic(ap []int8, bp []uint8, kq int, acc *[gemmMR8 * gemmNR8]int32) {
+	for i := range acc {
+		acc[i] = 0
+	}
+	for q := 0; q < kq; q++ {
+		as := ap[q*gemmMR8*4 : (q+1)*gemmMR8*4]
+		bs := bp[q*gemmNR8*4 : (q+1)*gemmNR8*4]
+		for r := 0; r < gemmMR8; r++ {
+			a0 := int32(as[r*4])
+			a1 := int32(as[r*4+1])
+			a2 := int32(as[r*4+2])
+			a3 := int32(as[r*4+3])
+			row := acc[r*gemmNR8 : (r+1)*gemmNR8]
+			for c := 0; c < gemmNR8; c++ {
+				bq := bs[c*4 : c*4+4]
+				row[c] += a0*int32(bq[0]) + a1*int32(bq[1]) + a2*int32(bq[2]) + a3*int32(bq[3])
+			}
+		}
+	}
+}

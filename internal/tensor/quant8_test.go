@@ -1,0 +1,208 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+)
+
+// TestGemmMicroS8AsmMatchesGeneric drives the dispatching kernel against
+// the pure-Go reference on random u7 activations and s8 weights. On
+// amd64 with AVX2 this pins the assembly tile; elsewhere it degenerates
+// to generic-vs-generic and passes trivially.
+func TestGemmMicroS8AsmMatchesGeneric(t *testing.T) {
+	rng := NewRNG(123)
+	for _, kq := range []int{1, 2, 7, 36, 64} {
+		ap := make([]int8, kq*gemmMR8*4)
+		bp := make([]uint8, kq*gemmNR8*4)
+		for i := range ap {
+			ap[i] = int8(rng.Intn(255) - 127)
+		}
+		for i := range bp {
+			bp[i] = uint8(rng.Intn(128))
+		}
+		var got, want [gemmMR8 * gemmNR8]int32
+		gemmMicroS8(ap, bp, kq, &got)
+		gemmMicroS8Generic(ap, bp, kq, &want)
+		if got != want {
+			t.Fatalf("kq=%d: dispatched kernel disagrees with generic reference\n got %v\nwant %v", kq, got, want)
+		}
+	}
+}
+
+// TestQuantizeU7RoundTrip is the round-trip property: for any input, the
+// quantize→dequantize error per element is at most half a quantization
+// step, and exact zeros survive the trip exactly.
+func TestQuantizeU7RoundTrip(t *testing.T) {
+	rng := NewRNG(9)
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + rng.Intn(500)
+		src := make([]float32, n)
+		lo := rng.Float32()*4 - 2
+		hi := lo + rng.Float32()*4
+		for i := range src {
+			src[i] = lo + rng.Float32()*(hi-lo)
+		}
+		// Sprinkle exact zeros: padding must dequantize to 0.
+		for i := 0; i < n; i += 7 {
+			src[i] = 0
+		}
+		checkRoundTrip(t, src)
+	}
+}
+
+func checkRoundTrip(t *testing.T, src []float32) {
+	t.Helper()
+	q := make([]uint8, len(src))
+	scale, zp := QuantizeU7(q, src)
+	if zp < 0 || zp > 127 {
+		t.Fatalf("zero point %d outside [0,127]", zp)
+	}
+	back := make([]float32, len(src))
+	DequantizeU7(back, q, scale, zp)
+	// Half-step tolerance, plus a ulp of slack for the float arithmetic.
+	tol := float64(scale)*0.5 + 1e-6
+	for i, v := range src {
+		if err := math.Abs(float64(back[i] - v)); err > tol {
+			t.Fatalf("element %d: %v -> %d -> %v, error %v exceeds half-step %v", i, v, q[i], back[i], err, tol)
+		}
+		if v == 0 && back[i] != 0 {
+			// zp is the rounded image of 0; it must map back exactly when
+			// 0 is within the represented range (it always is, by
+			// construction of QuantizeU7).
+			if math.Abs(float64(back[i])) > 1e-6 {
+				t.Fatalf("exact zero dequantized to %v", back[i])
+			}
+		}
+	}
+}
+
+// FuzzQuantizeU7RoundTrip fuzzes the round-trip property over arbitrary
+// 4-float payloads, including NaN-free extremes.
+func FuzzQuantizeU7RoundTrip(f *testing.F) {
+	f.Add(float32(0), float32(0), float32(0), float32(0))
+	f.Add(float32(-1), float32(1), float32(0.5), float32(-0.25))
+	f.Add(float32(1e-30), float32(-1e-30), float32(255), float32(-255))
+	f.Add(float32(1e8), float32(-1e8), float32(3.14), float32(0))
+	f.Fuzz(func(t *testing.T, a, b, c, d float32) {
+		src := []float32{a, b, c, d}
+		for _, v := range src {
+			if math.IsNaN(float64(v)) || math.IsInf(float64(v), 0) {
+				t.Skip("quantization contract excludes NaN/Inf inputs")
+			}
+		}
+		q := make([]uint8, 4)
+		scale, zp := QuantizeU7(q, src)
+		if scale <= 0 || math.IsInf(float64(scale), 0) || math.IsNaN(float64(scale)) {
+			t.Fatalf("invalid scale %v for input %v", scale, src)
+		}
+		if zp < 0 || zp > 127 {
+			t.Fatalf("zero point %d outside [0,127] for input %v", zp, src)
+		}
+		back := make([]float32, 4)
+		DequantizeU7(back, q, scale, zp)
+		// Rounding the range endpoints can cost up to one full step.
+		tol := float64(scale) * 1.001
+		for i, v := range src {
+			if err := math.Abs(float64(back[i] - v)); err > tol && !(err <= tol*1.01) {
+				t.Fatalf("element %d: %v -> %d -> %v, error %v exceeds step %v", i, v, q[i], back[i], err, tol)
+			}
+		}
+	})
+}
+
+// TestConvGemmS8Accuracy runs the int8 conv against the float32 reference
+// and bounds the error by the quantization budget: each output element's
+// error should be within a few quantization steps of the operands.
+func TestConvGemmS8Accuracy(t *testing.T) {
+	rng := NewRNG(17)
+	outC, c, h, wd := 16, 16, 24, 24
+	kh, kw, stride, pad := 3, 3, 1, 1
+	k := c * kh * kw
+	w := New(outC, k)
+	w.FillUniform(rng, -0.3, 0.3)
+	bias := New(outC)
+	bias.FillUniform(rng, -0.1, 0.1)
+	src := New(c, h, wd)
+	src.FillUniform(rng, -1, 1)
+	n := h * wd
+
+	want := make([]float32, outC*n)
+	convRef(want, w.Data(), src.Data(), outC, c, h, wd, kh, kw, stride, pad, bias.Data(), true)
+
+	pa := PackA8(w.Data(), outC, k)
+	srcQ := make([]uint8, c*h*wd)
+	scaleX, zp := QuantizeU7(srcQ, src.Data())
+	got := make([]float32, outC*n)
+	ws := NewWorkspace()
+	ws.ConvGemmS8(got, pa, srcQ, scaleX, zp, c, h, wd, kh, kw, stride, pad, bias.Data(), true)
+
+	// Error budget: each product w·x carries error ≤ |w|·sX/2 + |x|·sW/2
+	// (half a quantization step per factor, to first order); the k-term
+	// accumulation is bounded by the sum of those.
+	var maxSW, maxW, maxX float32
+	for _, s := range pa.Scales {
+		if s > maxSW {
+			maxSW = s
+		}
+	}
+	for _, v := range w.Data() {
+		if av := float32(math.Abs(float64(v))); av > maxW {
+			maxW = av
+		}
+	}
+	for _, v := range src.Data() {
+		if av := float32(math.Abs(float64(v))); av > maxX {
+			maxX = av
+		}
+	}
+	bound := float64(k) * (float64(maxW)*float64(scaleX)/2 + float64(maxX)*float64(maxSW)/2 + float64(scaleX)*float64(maxSW)/4)
+	var worst float64
+	for i := range want {
+		if err := math.Abs(float64(got[i] - want[i])); err > worst {
+			worst = err
+		}
+	}
+	if worst > bound {
+		t.Fatalf("int8 conv worst-case error %v exceeds bound %v", worst, bound)
+	}
+	// And the signal must actually correlate: relative RMS error small.
+	var num, den float64
+	for i := range want {
+		d := float64(got[i] - want[i])
+		num += d * d
+		den += float64(want[i]) * float64(want[i])
+	}
+	if den == 0 {
+		t.Fatal("degenerate reference output")
+	}
+	if rel := math.Sqrt(num / den); rel > 0.05 {
+		t.Fatalf("int8 conv relative RMS error %v > 5%%", rel)
+	}
+}
+
+// TestConvGemmS8ZeroPadding checks that the zero-padding ring contributes
+// exactly zero after dequantization even with a nonzero activation zero
+// point: an all-zero input with zero bias must produce an all-zero
+// output regardless of padding.
+func TestConvGemmS8ZeroPadding(t *testing.T) {
+	rng := NewRNG(3)
+	outC, c, h, wd := 4, 2, 8, 8
+	k := c * 9
+	w := New(outC, k)
+	w.FillUniform(rng, -1, 1)
+	src := make([]float32, c*h*wd) // all zeros
+	pa := PackA8(w.Data(), outC, k)
+	srcQ := make([]uint8, len(src))
+	scaleX, zp := QuantizeU7(srcQ, src)
+	got := make([]float32, outC*h*wd)
+	for i := range got {
+		got[i] = 42 // poison
+	}
+	ws := NewWorkspace()
+	ws.ConvGemmS8(got, pa, srcQ, scaleX, zp, c, h, wd, 3, 3, 1, 1, nil, false)
+	for i, v := range got {
+		if v != 0 {
+			t.Fatalf("output[%d] = %v, want exact 0 for all-zero input", i, v)
+		}
+	}
+}

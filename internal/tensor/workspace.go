@@ -11,9 +11,12 @@ package tensor
 // its own (see nn.ScratchPool). The package-level MatMul entry points keep
 // an internal pool of Workspaces, one per transient worker.
 type Workspace struct {
-	packA []float32 // packed A panels (mc×kc, MR-row interleaved)
-	packB []float32 // packed B panels (kc×nc, NR-column interleaved)
-	slots [][]float32
+	packA    []float32 // packed A panels (mc×kc, MR-row interleaved)
+	packB    []float32 // packed B panels (kc×nc, NR-column interleaved)
+	packB8   []uint8   // packed int8 B panels (quad-interleaved, see quant8.go)
+	packTmp8 []uint8   // row-major staging buffer for the int8 B packer
+	slots    [][]float32
+	slots8   [][]uint8
 }
 
 // NewWorkspace returns an empty workspace; buffers are grown on demand.
@@ -42,6 +45,21 @@ func (w *Workspace) ZeroSlot(i, n int) []float32 {
 		s[j] = 0
 	}
 	return s
+}
+
+// SlotU8 returns byte slot i resized to exactly n elements, growing the
+// backing array if needed — the uint8 analogue of Slot, used by the
+// quantized inference path for activation planes.
+func (w *Workspace) SlotU8(i, n int) []uint8 {
+	for len(w.slots8) <= i {
+		w.slots8 = append(w.slots8, nil)
+	}
+	s := w.slots8[i]
+	if cap(s) < n {
+		s = make([]uint8, n)
+		w.slots8[i] = s
+	}
+	return s[:n]
 }
 
 // growF32 resizes buf to n elements, reallocating only when capacity is

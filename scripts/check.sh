@@ -4,8 +4,10 @@
 # Tier 1 (must stay green): build + full test suite.
 # Tier 2 (hygiene): vet, formatting, the race detector over the
 # batch-parallel kernel paths, the overlapped communication path, and the
-# serving batcher, the zero-allocation steady-state gates, fuzz smokes
-# for the untrusted decode paths, and bench smoke runs.
+# serving batcher, the compiled-inference gates (bit-exactness, PSNR
+# admission, zero-alloc forward, quantization fuzz), the zero-allocation
+# steady-state gates, fuzz smokes for the untrusted decode paths, and
+# bench smoke runs.
 set -e
 
 cd "$(dirname "$0")/.."
@@ -57,8 +59,17 @@ echo "== tier 2: bench-comm smoke"
 go run ./cmd/bench-comm -quick -steps 2 -o /tmp/BENCH_comm_smoke.json
 rm -f /tmp/BENCH_comm_smoke.json
 
-echo "== tier 2: bench-serve smoke"
-go run ./cmd/bench-serve -quick -o /tmp/BENCH_serve_smoke.json
+echo "== tier 2: inference compile gate (compiled forward under race, bit-exactness, PSNR gate)"
+go test -race -run 'Fused|Compiled|Gate' ./internal/nn/ ./internal/models/ ./internal/serve/
+
+echo "== tier 2: inference compile gate (zero-alloc compiled forward)"
+go test -run 'TestFusedConv2dZeroAlloc|TestCompiledEDSRZeroAlloc' -v ./internal/nn/ ./internal/models/ | grep -E '^(--- (PASS|FAIL)|ok|FAIL)'
+
+echo "== tier 2: fuzz smoke (activation quantization round-trip)"
+go test -run '^$' -fuzz 'FuzzQuantizeU7RoundTrip' -fuzztime 5s ./internal/tensor/
+
+echo "== tier 2: bench-serve smoke (all serving variants)"
+go run ./cmd/bench-serve -quick -variants float32,fused,int8 -o /tmp/BENCH_serve_smoke.json
 rm -f /tmp/BENCH_serve_smoke.json
 
 echo "all checks passed"
