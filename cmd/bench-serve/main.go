@@ -32,9 +32,11 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/data"
 	"repro/internal/imageio"
 	"repro/internal/models"
 	"repro/internal/serve"
+	"repro/internal/serve/cache"
 	"repro/internal/tensor"
 	"repro/internal/trace"
 )
@@ -61,20 +63,45 @@ type sweepResult struct {
 	TotalSubmits  int64    `json:"total_submits"`
 }
 
+// cacheSweepResult is one point of the result-cache sweep: the same
+// HTTP pipeline as the batch sweep, but driven by Zipf-distributed
+// repeat traffic over a fixed scene catalog, with the cache either off
+// (the baseline) or sized by CacheMB. VsCacheOff is the throughput
+// ratio against the cache-off point of the same traffic.
+type cacheSweepResult struct {
+	CacheMB       int     `json:"cache_mb"` // 0 = cache off
+	ZipfS         float64 `json:"zipf_s"`
+	Scenes        int     `json:"scenes"`
+	Clients       int     `json:"clients"`
+	Requests      int     `json:"requests"`
+	Hits          int64   `json:"hits"`
+	Misses        int64   `json:"misses"`
+	HitRatio      float64 `json:"hit_ratio"`
+	InflightWaits int64   `json:"inflight_waits"`
+	Evictions     int64   `json:"evictions"`
+	CacheBytes    int64   `json:"cache_bytes"`
+	ImgPerSec     float64 `json:"img_per_sec"`
+	P50Ms         float64 `json:"p50_ms"`
+	P99Ms         float64 `json:"p99_ms"`
+	VsCacheOff    float64 `json:"vs_cache_off,omitempty"`
+}
+
 // report is the BENCH_serve.json schema.
 type report struct {
-	GOOS       string        `json:"goos"`
-	GOARCH     string        `json:"goarch"`
-	GOMAXPROCS int           `json:"gomaxprocs"`
-	NumCPU     int           `json:"num_cpu"`
-	Model      string        `json:"model"`
-	Blocks     int           `json:"blocks"`
-	Feats      int           `json:"feats"`
-	Scale      int           `json:"scale"`
-	ImageEdge  int           `json:"image_edge_lr_px"`
-	Tile       int           `json:"tile"`
-	MaxDelayMs float64       `json:"max_delay_ms"`
-	Sweep      []sweepResult `json:"sweep"`
+	GOOS       string             `json:"goos"`
+	GOARCH     string             `json:"goarch"`
+	GOMAXPROCS int                `json:"gomaxprocs"`
+	NumCPU     int                `json:"num_cpu"`
+	Model      string             `json:"model"`
+	Blocks     int                `json:"blocks"`
+	Feats      int                `json:"feats"`
+	Scale      int                `json:"scale"`
+	ImageEdge  int                `json:"image_edge_lr_px"`
+	Tile       int                `json:"tile"`
+	MaxDelayMs float64            `json:"max_delay_ms"`
+	Seed       uint64             `json:"seed"`
+	Sweep      []sweepResult      `json:"sweep"`
+	CacheSweep []cacheSweepResult `json:"cache_sweep,omitempty"`
 }
 
 // benchPoint serves one engine configuration over a real TCP listener
@@ -179,6 +206,124 @@ func benchPoint(master *models.EDSR, variant string, maxBatch, workers, clients,
 	return res, nil
 }
 
+// cacheBenchPoint replays a Zipf-distributed request stream (seq indexes
+// into the scene PNGs) against a float32 engine with the given cache
+// budget over a real listener. The identical stream is replayed for every
+// budget, so cache-off and cache-on points see byte-for-byte the same
+// traffic and differ only in the cache.
+func cacheBenchPoint(master *models.EDSR, cacheMB, clients int, seq []int, pngs [][]byte, tile int, maxDelay time.Duration) (cacheSweepResult, error) {
+	res := cacheSweepResult{CacheMB: cacheMB, Scenes: len(pngs), Clients: clients, Requests: len(seq)}
+
+	reg := trace.NewMetrics()
+	met := serve.NewMetrics(reg)
+	f, err := serve.EDSRVariantFactory(master, serve.VariantFloat32)
+	if err != nil {
+		return res, err
+	}
+	engine := serve.NewEngine(serve.EngineConfig{
+		Batch: serve.BatcherConfig{
+			MaxBatch: 4,
+			MaxDelay: maxDelay,
+			Queue:    4 * clients,
+			Workers:  1,
+		},
+		TileSize: tile,
+		Cache:    cache.Config{MaxBytes: int64(cacheMB) << 20},
+	}, met, nil)
+	if err := engine.RegisterInfo("edsr-tiny", f, serve.VariantFloat32, nil); err != nil {
+		return res, err
+	}
+	defer engine.Shutdown()
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return res, err
+	}
+	httpSrv := &http.Server{Handler: serve.NewServer(engine, reg, met, 0)}
+	go httpSrv.Serve(ln)
+	defer httpSrv.Close()
+	url := "http://" + ln.Addr().String() + "/v1/upscale"
+
+	client := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: clients}}
+	post := func(body []byte) (time.Duration, error) {
+		began := time.Now()
+		resp, err := client.Post(url, "image/png", bytes.NewReader(body))
+		if err != nil {
+			return 0, err
+		}
+		defer resp.Body.Close()
+		if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+			return 0, err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return 0, fmt.Errorf("status %d", resp.StatusCode)
+		}
+		return time.Since(began), nil
+	}
+
+	// Warmup outside the timed run: one cold request to stabilize layer
+	// buffers, on a scene OUTSIDE the catalog so the cache starts empty
+	// and the measured hit ratio reflects the Zipf stream alone.
+	warm := tensor.New(1, 3, 8, 8)
+	var warmPNG bytes.Buffer
+	if err := imageio.WritePNG(&warmPNG, warm); err != nil {
+		return res, err
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := post(warmPNG.Bytes()); err != nil {
+			return res, fmt.Errorf("warmup: %w", err)
+		}
+	}
+	warmHits, warmMisses := met.Cache.Hits.Value(), met.Cache.Misses.Value()
+	warmWaits, warmEvicts := met.Cache.InflightWaits.Value(), met.Cache.Evictions.Value()
+
+	n := len(seq) / clients * clients
+	lats := make([]time.Duration, n)
+	errs := make([]error, clients)
+	perClient := n / clients
+	began := time.Now()
+	done := make(chan struct{}, clients)
+	for c := 0; c < clients; c++ {
+		go func(c int) {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < perClient; i++ {
+				d, err := post(pngs[seq[c*perClient+i]])
+				if err != nil {
+					errs[c] = err
+					return
+				}
+				lats[c*perClient+i] = d
+			}
+		}(c)
+	}
+	for c := 0; c < clients; c++ {
+		<-done
+	}
+	wall := time.Since(began)
+	for _, err := range errs {
+		if err != nil {
+			return res, err
+		}
+	}
+
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	res.Requests = n
+	res.ImgPerSec = float64(n) / wall.Seconds()
+	res.P50Ms = float64(lats[n/2].Microseconds()) / 1e3
+	res.P99Ms = float64(lats[min(n-1, n*99/100)].Microseconds()) / 1e3
+	res.Hits = met.Cache.Hits.Value() - warmHits
+	res.Misses = met.Cache.Misses.Value() - warmMisses
+	res.InflightWaits = met.Cache.InflightWaits.Value() - warmWaits
+	res.Evictions = met.Cache.Evictions.Value() - warmEvicts
+	if lookups := res.Hits + res.Misses; lookups > 0 {
+		res.HitRatio = float64(res.Hits) / float64(lookups)
+	}
+	if c := engine.Cache(); c != nil {
+		res.CacheBytes = c.Bytes()
+	}
+	return res, nil
+}
+
 func main() {
 	out := flag.String("o", "BENCH_serve.json", "output JSON path")
 	quick := flag.Bool("quick", false, "smaller sweep for CI smoke")
@@ -189,6 +334,11 @@ func main() {
 	workers := flag.Int("workers", 1, "batcher model replicas")
 	maxDelay := flag.Duration("max-delay", 2*time.Millisecond, "batch-open hold time")
 	variants := flag.String("variants", "float32,fused,int8", "comma-separated serving variants to sweep")
+	seed := flag.Uint64("seed", 9, "RNG seed for benchmark images and Zipf traffic (recorded in the report)")
+	zipfS := flag.Float64("zipf-s", 1.1, "Zipf exponent for cache-sweep repeat traffic (must be > 1)")
+	cacheMB := flag.Int("cache-mb", 256, "result-cache budget for the cache-on sweep point (MiB)")
+	cacheScenes := flag.Int("cache-scenes", 32, "distinct scenes in the cache-sweep catalog")
+	cacheRequests := flag.Int("cache-requests", 512, "timed requests per cache-sweep point (0 skips the cache sweep)")
 	flag.Parse()
 
 	cfg := models.EDSRTiny()
@@ -204,10 +354,11 @@ func main() {
 		ImageEdge:  *size,
 		Tile:       *tile,
 		MaxDelayMs: float64(maxDelay.Microseconds()) / 1e3,
+		Seed:       *seed,
 	}
 
 	// The benchmark image: a deterministic random LR PNG.
-	rng := tensor.NewRNG(9)
+	rng := tensor.NewRNG(*seed)
 	x := tensor.New(1, 3, *size, *size)
 	x.FillUniform(rng, 0, 1)
 	var png bytes.Buffer
@@ -218,10 +369,13 @@ func main() {
 
 	batches := []int{1, 2, 4, 8, 16}
 	reqN, cliN := *requests, *clients
+	cacheReqN, cacheScN := *cacheRequests, *cacheScenes
 	if *quick {
 		batches = []int{1, 4}
 		reqN = min(reqN, 16)
 		cliN = min(cliN, 4)
+		cacheReqN = min(cacheReqN, 48)
+		cacheScN = min(cacheScN, 8)
 	}
 
 	// One master weight set across all variants, so every sweep cell
@@ -266,6 +420,46 @@ func main() {
 			fmt.Fprintf(os.Stderr,
 				"%-7s max-batch %2d: %6.2f img/s  p50 %7.2f ms  p99 %7.2f ms  mean batch %.2f  (%.2fx vs batch 1, %.2fx vs float32)\n",
 				variant, mb, r.ImgPerSec, r.P50Ms, r.P99Ms, r.MeanBatch, r.VsBatch1, r.VsFloat32)
+		}
+	}
+
+	// Cache sweep: Zipf-distributed repeat traffic over a synthetic scene
+	// catalog, cache off vs on. Production SR traffic repeats (popular
+	// thumbnails, retried jobs); Zipf s≈1.1 is the classic web-request
+	// skew, so this point estimates what the result cache buys a real
+	// deployment rather than the adversarial all-unique stream above.
+	if cacheReqN > 0 {
+		ds := data.NewDataset(data.SyntheticConfig{
+			Images: cacheScN, Height: *size, Width: *size, Channels: 3, Seed: *seed,
+		})
+		pngs := make([][]byte, cacheScN)
+		for i := range pngs {
+			var buf bytes.Buffer
+			if err := imageio.WritePNG(&buf, ds.HR(i)); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			pngs[i] = buf.Bytes()
+		}
+		seq := data.NewZipfSampler(*seed, *zipfS, cacheScN).Sequence(cacheReqN)
+
+		var base float64
+		for _, mb := range []int{0, *cacheMB} {
+			r, err := cacheBenchPoint(master, mb, cliN, seq, pngs, *tile, *maxDelay)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "cache %d MiB: %v\n", mb, err)
+				os.Exit(1)
+			}
+			r.ZipfS = *zipfS
+			if mb == 0 {
+				base = r.ImgPerSec
+			} else if base > 0 {
+				r.VsCacheOff = r.ImgPerSec / base
+			}
+			rep.CacheSweep = append(rep.CacheSweep, r)
+			fmt.Fprintf(os.Stderr,
+				"cache %3d MiB zipf %.2f: %7.2f img/s  p50 %7.2f ms  p99 %7.2f ms  hit %.2f  waits %d  (%.2fx vs cache-off)\n",
+				mb, *zipfS, r.ImgPerSec, r.P50Ms, r.P99Ms, r.HitRatio, r.InflightWaits, r.VsCacheOff)
 		}
 	}
 

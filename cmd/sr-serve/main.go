@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"repro/internal/serve"
+	"repro/internal/serve/cache"
 	"repro/internal/trace"
 )
 
@@ -40,6 +41,8 @@ func main() {
 	workers := flag.Int("workers", 1, "model replicas running batches concurrently")
 	tile := flag.Int("tile", 48, "LR tile edge for splitting large images (<0 disables tiling)")
 	maxBody := flag.Int64("max-body", serve.DefaultMaxBodyBytes, "largest accepted PNG upload in bytes")
+	cacheMB := flag.Int("cache-mb", 256, "content-addressed result-cache budget in MiB (repeat requests skip the forward; concurrent identical requests collapse into one)")
+	cacheOff := flag.Bool("cache-off", false, "disable the result cache regardless of -cache-mb")
 	tracePath := flag.String("trace", "", "write a Chrome trace_event JSON timeline here on shutdown (open at https://ui.perfetto.dev)")
 	drainWait := flag.Duration("drain-wait", 10*time.Second, "how long to wait for in-flight requests on shutdown")
 	flag.Parse()
@@ -53,6 +56,10 @@ func main() {
 		rec = sess.Recorder(0)
 	}
 
+	cacheBytes := int64(*cacheMB) << 20
+	if *cacheOff {
+		cacheBytes = 0
+	}
 	engine := serve.NewEngine(serve.EngineConfig{
 		Batch: serve.BatcherConfig{
 			MaxBatch: *maxBatch,
@@ -61,6 +68,7 @@ func main() {
 			Workers:  *workers,
 		},
 		TileSize: *tile,
+		Cache:    cache.Config{MaxBytes: cacheBytes},
 	}, met, rec)
 
 	vr, err := serve.ParseVariant(*variant)
@@ -137,6 +145,11 @@ func main() {
 	}
 	for _, m := range models {
 		fmt.Printf("serving %-10s x%d (halo %d, variant %s)\n", m.Name, m.Scale, m.Halo, m.Variant)
+	}
+	if engine.Cache().Enabled() {
+		fmt.Printf("result cache: %d MiB (content-addressed, singleflight; -cache-off to disable)\n", *cacheMB)
+	} else {
+		fmt.Println("result cache: off")
 	}
 
 	srv := serve.NewServer(engine, reg, met, *maxBody)

@@ -1,0 +1,139 @@
+package cache
+
+import (
+	"math"
+	"math/bits"
+
+	"repro/internal/tensor"
+)
+
+// Key is a 128-bit content-addressed cache key. It is derived from the
+// post-normalization tensor content (the float32 planes the model
+// actually sees, after PNG decode and 1/255 scaling) plus the serving
+// identity — model name, variant, scale, and tile geometry — so two
+// requests share a key exactly when the serving stack would compute the
+// same bytes for both. Keys are deterministic across processes and
+// runs (no per-process hash seed), which keeps benchmark hit ratios
+// reproducible.
+type Key struct {
+	Hi, Lo uint64
+}
+
+// Hash accumulator constants: two independent multiply-xor-rotate
+// lanes seeded differently, finalized with the splitmix64 avalanche.
+// Not cryptographic — the threat model is accidental collision between
+// real images, where 128 well-mixed bits make collisions effectively
+// impossible (verified for stability and bit-sensitivity by
+// FuzzKeyDerivation).
+const (
+	keySeedLo = 0x9e3779b97f4a7c15
+	keySeedHi = 0xc2b2ae3d27d4eb4f
+	keyMulA   = 0xff51afd7ed558ccd
+	keyMulB   = 0xc4ceb9fe1a85ec53
+)
+
+// hasher is the two-lane streaming state. The zero value is NOT ready;
+// use newHasher.
+type hasher struct {
+	lo, hi uint64
+	n      uint64 // words absorbed, folded in at finalization
+}
+
+func newHasher() hasher { return hasher{lo: keySeedLo, hi: keySeedHi} }
+
+// word absorbs one 64-bit word into both lanes.
+func (h *hasher) word(w uint64) {
+	h.lo = bits.RotateLeft64(h.lo^(w*keyMulA), 31) * keyMulB
+	h.hi = bits.RotateLeft64(h.hi^(w*keyMulB), 29) * keyMulA
+	h.n++
+}
+
+// str absorbs a string length-prefixed, so ("ab","c") and ("a","bc")
+// hash differently. Byte-indexed to stay allocation-free.
+func (h *hasher) str(s string) {
+	h.word(uint64(len(s)))
+	var w uint64
+	var k uint
+	for i := 0; i < len(s); i++ {
+		w |= uint64(s[i]) << (8 * k)
+		if k++; k == 8 {
+			h.word(w)
+			w, k = 0, 0
+		}
+	}
+	if k > 0 {
+		h.word(w)
+	}
+}
+
+// floats absorbs a float32 slice two elements per word. Float bits are
+// hashed directly, so -0 and +0 (and NaN payloads) are distinct — the
+// key tracks exact byte content, matching the byte-identity contract.
+func (h *hasher) floats(d []float32) {
+	i := 0
+	for ; i+1 < len(d); i += 2 {
+		h.word(uint64(math.Float32bits(d[i])) | uint64(math.Float32bits(d[i+1]))<<32)
+	}
+	if i < len(d) {
+		h.word(uint64(math.Float32bits(d[i])))
+	}
+}
+
+// mix64 is the splitmix64 finalizer.
+func mix64(h uint64) uint64 {
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return h
+}
+
+// sum finalizes the two lanes, cross-feeding them so every input bit
+// influences both halves of the key.
+func (h *hasher) sum() Key {
+	lo := mix64(h.lo ^ h.n*keyMulA)
+	hi := mix64(h.hi ^ h.n*keyMulB ^ lo)
+	return Key{Hi: hi, Lo: mix64(lo ^ hi)}
+}
+
+// Granularity tags which serving level a key caches. It is hashed into
+// the key as a domain separator: a whole-image request and a halo tile
+// can carry the *same tensor* — when the engine's halo padding grows a
+// central tile to cover the entire image, ExtractTile returns a copy of
+// it — and without separation the tile's singleflight would join its
+// own ancestor's whole-image flight and deadlock waiting on itself
+// (pinned by serve.TestCacheTileGranularity, whose center tile pads to
+// the full image). Keeping the domains
+// apart makes flight nesting strictly whole → tile → batcher, which is
+// cycle-free.
+type Granularity uint8
+
+const (
+	// GranImage keys a whole-image request (and the stitched result of
+	// a tiled one).
+	GranImage Granularity = iota + 1
+	// GranTile keys one extracted halo tile.
+	GranTile
+)
+
+// MakeKey derives the cache key for serving tensor x (an LR image or an
+// extracted halo tile, post-normalization) with the named model and
+// variant at the given upscale factor and engine tile size. The tensor's
+// dims are hashed ahead of its data, so equal flattened content at
+// different geometry never collides. Allocation-free — it runs on the
+// cache-hit lookup path.
+func MakeKey(g Granularity, model, variant string, scale, tile int, x *tensor.Tensor) Key {
+	h := newHasher()
+	h.word(uint64(g))
+	h.str(model)
+	h.str(variant)
+	h.word(uint64(int64(scale)))
+	h.word(uint64(int64(tile)))
+	h.word(uint64(x.Rank()))
+	for i := 0; i < x.Rank(); i++ {
+		h.word(uint64(x.Dim(i)))
+	}
+	h.floats(x.Data())
+	return h.sum()
+}

@@ -1,0 +1,112 @@
+package cache
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"repro/internal/imageio"
+	"repro/internal/tensor"
+)
+
+func TestMakeKeyDeterministic(t *testing.T) {
+	rng := tensor.NewRNG(1)
+	x := tensor.New(1, 3, 12, 12)
+	x.FillUniform(rng, 0, 1)
+	a := MakeKey(GranImage, "edsr", "int8", 2, 48, x)
+	b := MakeKey(GranImage, "edsr", "int8", 2, 48, x.Clone())
+	if a != b {
+		t.Fatalf("same inputs hashed differently: %x vs %x", a, b)
+	}
+}
+
+// TestMakeKeySensitivity flips every key-derivation field one at a time
+// and requires a different key: a collision across any of them would
+// serve one model's pixels under another's identity.
+func TestMakeKeySensitivity(t *testing.T) {
+	rng := tensor.NewRNG(2)
+	x := tensor.New(1, 3, 12, 12)
+	x.FillUniform(rng, 0, 1)
+	base := MakeKey(GranImage, "edsr", "float32", 2, 48, x)
+
+	perturbed := map[string]Key{
+		"model":   MakeKey(GranImage, "srcnn", "float32", 2, 48, x),
+		"variant": MakeKey(GranImage, "edsr", "fused", 2, 48, x),
+		"scale":   MakeKey(GranImage, "edsr", "float32", 4, 48, x),
+		"tile":    MakeKey(GranImage, "edsr", "float32", 2, 64, x),
+		// Granularity is the singleflight domain separator: a halo tile
+		// padded to the full image carries the same tensor as the whole-
+		// image request, and a shared key would let the tile join its own
+		// ancestor's flight (deadlock).
+		"granularity": MakeKey(GranTile, "edsr", "float32", 2, 48, x),
+	}
+	// One-ULP pixel change.
+	y := x.Clone()
+	y.Data()[77] = math.Float32frombits(math.Float32bits(y.Data()[77]) ^ 1)
+	perturbed["pixel-bit"] = MakeKey(GranImage, "edsr", "float32", 2, 48, y)
+	// Same flattened bytes, different geometry.
+	z := tensor.FromSlice(x.Data(), 1, 3, 9, 16)
+	perturbed["dims"] = MakeKey(GranImage, "edsr", "float32", 2, 48, z)
+
+	seen := map[Key]string{base: "base"}
+	for field, k := range perturbed {
+		if prev, dup := seen[k]; dup {
+			t.Errorf("perturbing %s collided with %s", field, prev)
+		}
+		seen[k] = field
+	}
+	// Boundary-sensitivity: moving a string byte across the
+	// model/variant delimiter must change the key.
+	if MakeKey(GranImage, "ab", "c", 2, 48, x) == MakeKey(GranImage, "a", "bc", 2, 48, x) {
+		t.Error("length prefixing failed: string boundary shift collided")
+	}
+}
+
+func TestMakeKeyZeroVsNegativeZero(t *testing.T) {
+	x := tensor.New(1, 1, 2, 2)
+	y := x.Clone()
+	y.Data()[0] = float32(math.Copysign(0, -1))
+	if MakeKey(GranImage, "m", "v", 2, 48, x) == MakeKey(GranImage, "m", "v", 2, 48, y) {
+		t.Fatal("-0 and +0 collided; key must track exact bytes")
+	}
+}
+
+// FuzzKeyDerivation feeds mutated PNG bytes through the real decode
+// path (the normalization the key is computed after) and checks the two
+// properties serving correctness rests on: stability — the same decoded
+// content always derives the same key — and bit-sensitivity — flipping
+// one bit of any pixel, or any identity field, changes the key.
+func FuzzKeyDerivation(f *testing.F) {
+	rng := tensor.NewRNG(3)
+	for _, edge := range []int{1, 3, 8} {
+		x := tensor.New(1, 3, edge, edge)
+		x.FillUniform(rng, 0, 1)
+		var buf bytes.Buffer
+		if err := imageio.WritePNG(&buf, x); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes(), uint16(0))
+	}
+	f.Fuzz(func(t *testing.T, png []byte, pixSel uint16) {
+		x, err := imageio.ReadPNG(bytes.NewReader(png))
+		if err != nil {
+			t.Skip() // invalid PNG: decode rejects it before any caching
+		}
+		k1 := MakeKey(GranImage, "edsr", "int8", 2, 48, x)
+		k2 := MakeKey(GranImage, "edsr", "int8", 2, 48, x.Clone())
+		if k1 != k2 {
+			t.Fatalf("unstable key: %x vs %x", k1, k2)
+		}
+		// Flip one bit of one pixel: the key must move.
+		y := x.Clone()
+		i := int(pixSel) % y.Len()
+		bit := uint32(1) << (pixSel % 31)
+		y.Data()[i] = math.Float32frombits(math.Float32bits(y.Data()[i]) ^ bit)
+		if MakeKey(GranImage, "edsr", "int8", 2, 48, y) == k1 {
+			t.Fatalf("pixel bit flip at %d did not change the key", i)
+		}
+		if MakeKey(GranImage, "edsr", "fused", 2, 48, x) == k1 || MakeKey(GranImage, "srcnn", "int8", 2, 48, x) == k1 {
+			t.Fatal("identity field change did not change the key")
+		}
+	})
+}

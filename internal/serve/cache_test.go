@@ -1,0 +1,257 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/models"
+	"repro/internal/serve/cache"
+	"repro/internal/tensor"
+	"repro/internal/trace"
+)
+
+// cacheEnginePair builds two engines over the same master weights and
+// variant: ref with caching off, cached with the given budget. Shared
+// weights make their outputs directly comparable.
+func cacheEnginePair(t *testing.T, variant string, tile int, cacheBytes int64, met *Metrics) (ref, cached *Engine) {
+	t.Helper()
+	master := models.NewEDSR(models.EDSRTiny(), tensor.NewRNG(1))
+	f, err := EDSRVariantFactory(master, variant)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func(bytes int64, m *Metrics) *Engine {
+		e := NewEngine(EngineConfig{
+			Batch:    BatcherConfig{MaxBatch: 4, MaxDelay: time.Millisecond, Queue: 256},
+			TileSize: tile,
+			Cache:    cache.Config{MaxBytes: bytes},
+		}, m, nil)
+		if err := e.RegisterInfo("edsr-tiny", f, variant, nil); err != nil {
+			t.Fatal(err)
+		}
+		return e
+	}
+	ref = mk(0, nil)
+	cached = mk(cacheBytes, met)
+	t.Cleanup(func() { ref.Shutdown(); cached.Shutdown() })
+	return ref, cached
+}
+
+// TestCacheHitByteIdentical is the correctness-drift property test: for
+// every serving variant and both request granularities (whole-image and
+// tiled), the cache-miss response, the cache-hit response, and the
+// cache-off response are byte-identical. Float equality is exact
+// (math.Float32bits), so a single mangled pixel fails.
+func TestCacheHitByteIdentical(t *testing.T) {
+	for _, variant := range Variants {
+		for _, tc := range []struct {
+			name string
+			edge int
+			tile int
+		}{
+			{"whole-image", 16, 48}, // rides the batcher in one submission
+			{"tiled", 24, 8},        // splits into halo tiles, per-tile cache
+		} {
+			t.Run(variant+"/"+tc.name, func(t *testing.T) {
+				reg := trace.NewMetrics()
+				met := NewMetrics(reg)
+				ref, cached := cacheEnginePair(t, variant, tc.tile, 64<<20, met)
+
+				x := tensor.New(1, 3, tc.edge, tc.edge)
+				x.FillUniform(tensor.NewRNG(7), 0, 1)
+
+				want, err := ref.Upscale("", x)
+				if err != nil {
+					t.Fatal(err)
+				}
+				miss, err := cached.Upscale("", x) // cold: every key misses
+				if err != nil {
+					t.Fatal(err)
+				}
+				hit, err := cached.Upscale("", x) // warm: whole image hits
+				if err != nil {
+					t.Fatal(err)
+				}
+				if met.Cache.Hits.Value() == 0 {
+					t.Fatal("second request did not hit the cache")
+				}
+				for i := range want.Data() {
+					wb := math.Float32bits(want.Data()[i])
+					if math.Float32bits(miss.Data()[i]) != wb {
+						t.Fatalf("miss response differs from cache-off at %d", i)
+					}
+					if math.Float32bits(hit.Data()[i]) != wb {
+						t.Fatalf("hit response differs from cache-off at %d", i)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestCacheTileGranularity verifies the tile-level cache works across
+// requests: a second image that shares pixel content with the first
+// (here: the identical image) hits per tile without a whole-image
+// entry, and a whole-image hit never consults the batcher at all.
+func TestCacheTileGranularity(t *testing.T) {
+	reg := trace.NewMetrics()
+	met := NewMetrics(reg)
+	_, cached := cacheEnginePair(t, VariantFloat32, 8, 64<<20, met)
+
+	x := tensor.New(1, 3, 24, 24) // 3x3 tile grid
+	x.FillUniform(tensor.NewRNG(9), 0, 1)
+	if _, err := cached.Upscale("", x); err != nil {
+		t.Fatal(err)
+	}
+	submitsCold := met.Submits.Value()
+	if submitsCold != 9 {
+		t.Fatalf("cold tiled request made %d submits, want 9", submitsCold)
+	}
+	if _, err := cached.Upscale("", x); err != nil {
+		t.Fatal(err)
+	}
+	if met.Submits.Value() != submitsCold {
+		t.Fatalf("warm request reached the batcher (%d extra submits)", met.Submits.Value()-submitsCold)
+	}
+	// 1 whole-image hit; the 9 tile entries stay cached for partial overlap.
+	if met.Cache.Hits.Value() < 1 {
+		t.Fatal("warm request did not hit")
+	}
+}
+
+// TestCacheSingleflightCollapsesRequests pins the collapsing behavior
+// end to end: N concurrent identical requests produce exactly one
+// batcher submission, and every response is byte-identical.
+func TestCacheSingleflightCollapsesRequests(t *testing.T) {
+	reg := trace.NewMetrics()
+	met := NewMetrics(reg)
+	_, cached := cacheEnginePair(t, VariantFloat32, 48, 64<<20, met)
+
+	x := tensor.New(1, 3, 16, 16)
+	x.FillUniform(tensor.NewRNG(11), 0, 1)
+	const n = 12
+	outs := make([]*tensor.Tensor, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			outs[i], errs[i] = cached.Upscale("", x)
+		}(i)
+	}
+	wg.Wait()
+	for i := range errs {
+		if errs[i] != nil {
+			t.Fatalf("request %d: %v", i, errs[i])
+		}
+	}
+	if s := met.Submits.Value(); s != 1 {
+		t.Fatalf("%d identical concurrent requests made %d submits, want 1 (singleflight)", n, s)
+	}
+	for i := 1; i < n; i++ {
+		for j := range outs[0].Data() {
+			if math.Float32bits(outs[i].Data()[j]) != math.Float32bits(outs[0].Data()[j]) {
+				t.Fatalf("request %d result differs at %d", i, j)
+			}
+		}
+	}
+}
+
+// TestCacheWaiterCancelHammerDrainShutdown is the satellite hammer: a
+// storm of requests over a tiny image universe (forcing singleflight
+// pileups), a fraction of them with contexts cancelled mid-wait, racing
+// an engine drain/shutdown. Required outcomes: every call returns (no
+// deadlock — the test finishing is the assertion), cancelled waiters
+// surface ctx.Err() without poisoning the shared forward, and every
+// successful response is byte-identical to the reference.
+func TestCacheWaiterCancelHammerDrainShutdown(t *testing.T) {
+	master := models.NewEDSR(models.EDSRTiny(), tensor.NewRNG(1))
+	refEngine := NewEngine(EngineConfig{
+		Batch: BatcherConfig{MaxBatch: 4, Queue: 1024}, TileSize: 48,
+	}, nil, nil)
+	if err := refEngine.Register("edsr-tiny", EDSRFactory(master)); err != nil {
+		t.Fatal(err)
+	}
+	defer refEngine.Shutdown()
+
+	e := NewEngine(EngineConfig{
+		Batch:    BatcherConfig{MaxBatch: 4, MaxDelay: 200 * time.Microsecond, Queue: 1024},
+		TileSize: 48,
+		Cache:    cache.Config{MaxBytes: 32 << 20},
+	}, nil, nil)
+	if err := e.Register("edsr-tiny", EDSRFactory(master)); err != nil {
+		t.Fatal(err)
+	}
+
+	const universe = 3
+	xs := make([]*tensor.Tensor, universe)
+	wants := make([]*tensor.Tensor, universe)
+	for i := range xs {
+		xs[i] = tensor.New(1, 3, 12, 12)
+		xs[i].FillUniform(tensor.NewRNG(uint64(40+i)), 0, 1)
+		var err error
+		if wants[i], err = refEngine.Upscale("", xs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	const workers = 24
+	var wg sync.WaitGroup
+	var cancelled, ok, rejected int64
+	var mu sync.Mutex
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < 40; i++ {
+				k := rng.Intn(universe)
+				ctx := context.Background()
+				var cancel context.CancelFunc
+				if rng.Intn(3) == 0 {
+					ctx, cancel = context.WithCancel(ctx)
+					delay := time.Duration(rng.Intn(300)) * time.Microsecond
+					time.AfterFunc(delay, cancel)
+				}
+				out, err := e.UpscaleCtx(ctx, "", xs[k])
+				if cancel != nil {
+					cancel()
+				}
+				mu.Lock()
+				switch {
+				case err == nil:
+					ok++
+					for j := range out.Data() {
+						if math.Float32bits(out.Data()[j]) != math.Float32bits(wants[k].Data()[j]) {
+							t.Errorf("worker %d: response for image %d differs at %d", w, k, j)
+							break
+						}
+					}
+				case errors.Is(err, context.Canceled):
+					cancelled++
+				case errors.Is(err, ErrDraining), errors.Is(err, ErrOverloaded):
+					rejected++
+				default:
+					t.Errorf("worker %d: unexpected error %v", w, err)
+				}
+				mu.Unlock()
+			}
+		}(w)
+	}
+	// Shut down mid-storm: requests after the drain see ErrDraining,
+	// in-flight leaders complete, waiters still get their result.
+	time.Sleep(10 * time.Millisecond)
+	e.Shutdown()
+	wg.Wait()
+
+	if ok == 0 {
+		t.Fatal("no request succeeded before the drain")
+	}
+	t.Logf("hammer: %d ok, %d cancelled, %d rejected by drain/backpressure", ok, cancelled, rejected)
+}

@@ -1,11 +1,13 @@
 package serve
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
 	"time"
 
+	"repro/internal/serve/cache"
 	"repro/internal/tensor"
 	"repro/internal/trace"
 )
@@ -26,6 +28,11 @@ type EngineConfig struct {
 	// tile, bounding activation memory to one padded tile regardless of
 	// image size (default 48, <0 disables tiling).
 	TileSize int
+	// Cache configures the content-addressed result cache in front of
+	// the batcher (MaxBytes <= 0 disables it). Hits skip the forward
+	// entirely; concurrent identical misses collapse into one forward
+	// via singleflight. Both whole images and halo tiles are cached.
+	Cache cache.Config
 }
 
 // ModelInfo describes one registered model (the /v1/models payload).
@@ -59,6 +66,8 @@ type Engine struct {
 	mods  map[string]*modelEntry
 	order []string
 
+	cache *cache.Cache
+
 	met *Metrics
 	rec *trace.Recorder
 }
@@ -69,8 +78,18 @@ func NewEngine(cfg EngineConfig, met *Metrics, rec *trace.Recorder) *Engine {
 	if cfg.TileSize == 0 {
 		cfg.TileSize = 48
 	}
-	return &Engine{cfg: cfg, mods: map[string]*modelEntry{}, met: met, rec: rec}
+	return &Engine{
+		cfg:   cfg,
+		mods:  map[string]*modelEntry{},
+		cache: cache.New(cfg.Cache, met.cacheMetrics(), rec),
+		met:   met,
+		rec:   rec,
+	}
 }
+
+// Cache returns the engine's result cache (nil when caching is off),
+// for tests and benchmarks that inspect hit ratios.
+func (e *Engine) Cache() *cache.Cache { return e.cache }
 
 // Register adds a model under name, spinning up its batcher workers.
 // The model is recorded as the float32 variant; compiled variants go
@@ -112,35 +131,51 @@ func (e *Engine) Models() []ModelInfo {
 	return out
 }
 
-// batcher resolves a model name ("" selects the default).
-func (e *Engine) batcher(name string) (*Batcher, error) {
+// entry resolves a model name ("" selects the default) to its
+// registration and the resolved name (part of the cache key).
+func (e *Engine) entry(name string) (*modelEntry, string, error) {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
 	if name == "" {
 		if len(e.order) == 0 {
-			return nil, fmt.Errorf("%w: no models registered", ErrUnknownModel)
+			return nil, "", fmt.Errorf("%w: no models registered", ErrUnknownModel)
 		}
 		name = e.order[0]
 	}
 	m, ok := e.mods[name]
 	if !ok {
-		return nil, fmt.Errorf("%w: %q", ErrUnknownModel, name)
+		return nil, "", fmt.Errorf("%w: %q", ErrUnknownModel, name)
 	}
-	return m.b, nil
+	return m, name, nil
 }
 
-// Upscale super-resolves one image (1, C, H, W) with the named model and
-// returns a freshly allocated (1, C, H*s, W*s) result. Images within the
-// tile size ride the batcher whole; larger images are split into halo
-// tiles, submitted concurrently (so tiles from different requests
+// Upscale super-resolves one image with the default (background)
+// context: the request can never be abandoned early. See UpscaleCtx.
+func (e *Engine) Upscale(name string, x *tensor.Tensor) (*tensor.Tensor, error) {
+	return e.UpscaleCtx(context.Background(), name, x)
+}
+
+// UpscaleCtx super-resolves one image (1, C, H, W) with the named model
+// and returns a freshly allocated (1, C, H*s, W*s) result. Images within
+// the tile size ride the batcher whole; larger images are split into
+// halo tiles, submitted concurrently (so tiles from different requests
 // coalesce into shared batches), and stitched. A request is atomic: if
 // any tile is rejected by backpressure the whole request fails with that
 // error.
-func (e *Engine) Upscale(name string, x *tensor.Tensor) (*tensor.Tensor, error) {
-	b, err := e.batcher(name)
+//
+// With the result cache enabled, the request is first looked up by
+// content key (and, when tiled, per tile): hits skip the batcher
+// entirely, and concurrent identical misses collapse into one forward.
+// ctx only governs this request's singleflight waits — a cancelled ctx
+// (client disconnect) unblocks the caller with ctx.Err() while any
+// shared forward it was parked on keeps running; forwards themselves
+// are never cancelled.
+func (e *Engine) UpscaleCtx(ctx context.Context, name string, x *tensor.Tensor) (*tensor.Tensor, error) {
+	ent, name, err := e.entry(name)
 	if err != nil {
 		return nil, err
 	}
+	b := ent.b
 	if err := checkInput(x, b.Colors()); err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrBadInput, err)
 	}
@@ -150,40 +185,71 @@ func (e *Engine) Upscale(name string, x *tensor.Tensor) (*tensor.Tensor, error) 
 	s := b.Scale()
 	out := tensor.New(1, c, h*s, w*s)
 
-	tile := e.cfg.TileSize
-	if tile < 0 || (h <= tile && w <= tile) {
-		// Whole image in one submission: no extract/stitch copies.
-		if err := b.Submit(x, out); err != nil {
-			return nil, err
-		}
+	if e.cache == nil {
+		err = e.forward(ctx, ent, name, x, out)
 	} else {
-		tiles := SplitTiles(h, w, tile, b.Halo())
-		e.met.tiled(len(tiles))
-		errs := make([]error, len(tiles))
-		outs := make([]*tensor.Tensor, len(tiles))
-		var wg sync.WaitGroup
-		for i, t := range tiles {
-			wg.Add(1)
-			go func(i int, t Tile) {
-				defer wg.Done()
-				xt := ExtractTile(x, t)
-				outs[i] = tensor.New(1, c, (t.PY1-t.PY0)*s, (t.PX1-t.PX0)*s)
-				errs[i] = b.Submit(xt, outs[i])
-			}(i, t)
+		k := cache.MakeKey(cache.GranImage, name, ent.variant, s, e.cfg.TileSize, x)
+		if !e.cache.Get(k, out) {
+			err = e.cache.Do(ctx, k, out, func(o *tensor.Tensor) error {
+				return e.forward(ctx, ent, name, x, o)
+			})
 		}
-		wg.Wait()
-		for _, terr := range errs {
-			if terr != nil {
-				return nil, terr
-			}
-		}
-		for i, t := range tiles {
-			StitchTile(out, outs[i], t, s)
-		}
+	}
+	if err != nil {
+		return nil, err
 	}
 	e.rec.Emit(trace.CatServeRequest, trace.TrackMain, start, x.Bytes())
 	e.met.observeRequest(time.Since(began))
 	return out, nil
+}
+
+// forward computes the upscale of x into out through the batcher —
+// whole for images within the tile size, tiled otherwise. Tiles consult
+// the cache individually, so redundant tiles (across requests, or
+// repeated within one image) are forwarded once.
+func (e *Engine) forward(ctx context.Context, ent *modelEntry, name string, x, out *tensor.Tensor) error {
+	b := ent.b
+	c, h, w := x.Dim(1), x.Dim(2), x.Dim(3)
+	s := b.Scale()
+	tile := e.cfg.TileSize
+	if tile < 0 || (h <= tile && w <= tile) {
+		// Whole image in one submission: no extract/stitch copies.
+		return b.Submit(x, out)
+	}
+	tiles := SplitTiles(h, w, tile, b.Halo())
+	e.met.tiled(len(tiles))
+	errs := make([]error, len(tiles))
+	outs := make([]*tensor.Tensor, len(tiles))
+	var wg sync.WaitGroup
+	for i, t := range tiles {
+		wg.Add(1)
+		go func(i int, t Tile) {
+			defer wg.Done()
+			xt := ExtractTile(x, t)
+			outs[i] = tensor.New(1, c, (t.PY1-t.PY0)*s, (t.PX1-t.PX0)*s)
+			if e.cache == nil {
+				errs[i] = b.Submit(xt, outs[i])
+				return
+			}
+			k := cache.MakeKey(cache.GranTile, name, ent.variant, s, tile, xt)
+			if e.cache.Get(k, outs[i]) {
+				return
+			}
+			errs[i] = e.cache.Do(ctx, k, outs[i], func(o *tensor.Tensor) error {
+				return b.Submit(xt, o)
+			})
+		}(i, t)
+	}
+	wg.Wait()
+	for _, terr := range errs {
+		if terr != nil {
+			return terr
+		}
+	}
+	for i, t := range tiles {
+		StitchTile(out, outs[i], t, s)
+	}
+	return nil
 }
 
 // Shutdown drains every model's batcher: queued work completes, new

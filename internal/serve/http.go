@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -13,6 +14,11 @@ import (
 
 // DefaultMaxBodyBytes bounds an uploaded PNG (16 MB).
 const DefaultMaxBodyBytes = 16 << 20
+
+// statusClientClosedRequest is the conventional (nginx) status for a
+// request abandoned by its client; it only feeds metrics — the
+// connection is already gone, so no response is written.
+const statusClientClosedRequest = 499
 
 // Server is the HTTP front end: POST a PNG to /v1/upscale and get the
 // super-resolved PNG back. It adds transport concerns on top of the
@@ -89,9 +95,16 @@ func (s *Server) handleUpscale(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusBadRequest, "bad PNG: "+err.Error())
 		return
 	}
-	out, err := s.e.Upscale(r.URL.Query().Get("model"), x)
+	// The request context rides into the engine so a client that
+	// disconnects while parked on another request's in-flight forward
+	// unblocks immediately (the shared forward keeps running).
+	out, err := s.e.UpscaleCtx(r.Context(), r.URL.Query().Get("model"), x)
 	switch {
 	case err == nil:
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		// Client gone: nothing to write, just account for it.
+		s.met.httpOutcome(statusClientClosedRequest)
+		return
 	case errors.Is(err, ErrOverloaded):
 		s.fail(w, http.StatusTooManyRequests, err.Error())
 		return

@@ -3,6 +3,7 @@ package serve
 import (
 	"time"
 
+	"repro/internal/serve/cache"
 	"repro/internal/trace"
 )
 
@@ -45,6 +46,8 @@ type Metrics struct {
 	// RequestSeconds histograms end-to-end upscale latency (decode and
 	// encode excluded; queue, batching, and forward included).
 	RequestSeconds *trace.Histogram
+	// Cache bundles the sr_cache_* result-cache instruments.
+	Cache *cache.Metrics
 }
 
 // NewMetrics registers the serving instruments on m (nil m → nil bundle,
@@ -69,7 +72,16 @@ func NewMetrics(m *trace.Metrics) *Metrics {
 		QueueDepth:        m.Gauge("sr_queue_depth", "Pending requests in the batching queue."),
 		QueueSeconds:      m.Histogram("sr_queue_seconds", "Time requests spent queued before a worker picked them up.", trace.DurationBuckets),
 		RequestSeconds:    m.Histogram("sr_request_seconds", "End-to-end upscale latency (queue + batching + forward).", trace.DurationBuckets),
+		Cache:             cache.NewMetrics(m),
 	}
+}
+
+// cacheMetrics unwraps the cache bundle, tolerating a nil receiver.
+func (m *Metrics) cacheMetrics() *cache.Metrics {
+	if m == nil {
+		return nil
+	}
+	return m.Cache
 }
 
 // submitted records an accepted submission and the resulting queue depth.

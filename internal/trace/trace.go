@@ -68,6 +68,11 @@ const (
 	CatServeRequest
 	CatServeBatch
 	CatServeQueue
+	// CatServeCache covers result-cache activity on the serving path: a
+	// content-addressed hit (the span is the copy-out) or the time a
+	// request spent parked on another request's in-flight forward
+	// (singleflight wait).
+	CatServeCache
 
 	numCategories
 )
@@ -93,6 +98,7 @@ var catNames = [numCategories]string{
 	"serve/request",
 	"serve/batch",
 	"serve/queue",
+	"serve/cache",
 }
 
 // String returns the category's canonical op name.
@@ -154,7 +160,7 @@ func (c Category) Group() string {
 		return "engine"
 	case CatCheckpoint, CatRestart:
 		return "lifecycle"
-	case CatServeRequest, CatServeBatch, CatServeQueue:
+	case CatServeRequest, CatServeBatch, CatServeQueue, CatServeCache:
 		return "serve"
 	}
 	return "other"

@@ -68,8 +68,18 @@ go test -run 'TestFusedConv2dZeroAlloc|TestCompiledEDSRZeroAlloc' -v ./internal/
 echo "== tier 2: fuzz smoke (activation quantization round-trip)"
 go test -run '^$' -fuzz 'FuzzQuantizeU7RoundTrip' -fuzztime 5s ./internal/tensor/
 
-echo "== tier 2: bench-serve smoke (all serving variants)"
-go run ./cmd/bench-serve -quick -variants float32,fused,int8 -o /tmp/BENCH_serve_smoke.json
+echo "== tier 2: result-cache gate (LRU/singleflight under race, hit/miss/evict/drain hammers, byte-identity)"
+go test -race ./internal/serve/cache/
+go test -race -run 'Cache' ./internal/serve/
+
+echo "== tier 2: result-cache gate (zero-alloc hit-path lookup)"
+go test -run 'NoAllocs' -v ./internal/serve/cache/ | grep -E '^(--- (PASS|FAIL)|ok|FAIL)'
+
+echo "== tier 2: fuzz smoke (content-hash key derivation)"
+go test -run '^$' -fuzz 'FuzzKeyDerivation' -fuzztime 5s ./internal/serve/cache/
+
+echo "== tier 2: bench-serve smoke (all serving variants + Zipf cache sweep)"
+go run ./cmd/bench-serve -quick -seed 9 -variants float32,fused,int8 -o /tmp/BENCH_serve_smoke.json
 rm -f /tmp/BENCH_serve_smoke.json
 
 echo "all checks passed"
