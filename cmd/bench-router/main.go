@@ -1,0 +1,544 @@
+// Command bench-router measures the fleet router end to end and emits
+// a machine-readable BENCH_router.json. Unlike bench-serve (one engine
+// in-process), bench-router spawns real replica *processes* — it
+// re-execs itself with -replica, each child running the same engine +
+// HTTP stack as sr-serve on its own port — and drives concurrent
+// clients through an in-process router over real TCP.
+//
+// Scenarios:
+//
+//   - direct-1: clients hit one replica directly (no router) — the
+//     baseline the routed numbers are normalized against.
+//   - routed-1 / routed-3: the router in front of 1 and 3 replicas.
+//   - rolling-restart: 3 replicas under continuous load; one is
+//     SIGTERM-drained (lame-duck → exit) and restarted on the same
+//     port. Zero failed requests is an acceptance criterion, not a
+//     statistic: the run exits non-zero if any client request fails.
+//   - kill: same, but the replica is SIGKILLed mid-traffic with no
+//     drain; passive ejection + buffered-body retries must mask it.
+//   - slow-replica unhedged vs hedged: one replica serves with an
+//     injected straggler delay; hedged p99 must beat unhedged p99
+//     (the tail-at-scale result), also enforced by exit code.
+//   - overload-shed: per-replica admission capped below the offered
+//     load; records the shed rate and verifies sheds are 429s, not
+//     failures.
+//
+// Usage:
+//
+//	bench-router [-o BENCH_router.json] [-quick] [-clients 8] [-dur 2s]
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"os/signal"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"repro/internal/imageio"
+	"repro/internal/router"
+	"repro/internal/serve"
+	"repro/internal/tensor"
+	"repro/internal/trace"
+)
+
+// scenarioResult is one row of the report.
+type scenarioResult struct {
+	Name      string  `json:"name"`
+	Replicas  int     `json:"replicas"`
+	Routed    bool    `json:"routed"`
+	Placement string  `json:"placement,omitempty"`
+	Hedge     bool    `json:"hedge"`
+	SlowMs    int     `json:"slow_replica_ms,omitempty"`
+	Clients   int     `json:"clients"`
+	Requests  int64   `json:"requests"`
+	OK        int64   `json:"ok"`
+	Shed      int64   `json:"shed"`
+	Failed    int64   `json:"failed"`
+	ShedRate  float64 `json:"shed_rate"`
+	ImgPerSec float64 `json:"img_per_sec"`
+	P50Ms     float64 `json:"p50_ms"`
+	P99Ms     float64 `json:"p99_ms"`
+	VsDirect  float64 `json:"vs_direct,omitempty"`
+	// Router-side evidence of the churn the clients never saw.
+	Retries     int64 `json:"retries,omitempty"`
+	HedgesFired int64 `json:"hedges_fired,omitempty"`
+	HedgeWins   int64 `json:"hedge_wins,omitempty"`
+	Ejections   int64 `json:"ejections,omitempty"`
+	Readmits    int64 `json:"readmits,omitempty"`
+}
+
+// report is the BENCH_router.json schema.
+type report struct {
+	GOOS       string           `json:"goos"`
+	GOARCH     string           `json:"goarch"`
+	GOMAXPROCS int              `json:"gomaxprocs"`
+	NumCPU     int              `json:"num_cpu"`
+	Model      string           `json:"model"`
+	ImageEdge  int              `json:"image_edge_lr_px"`
+	Seed       uint64           `json:"seed"`
+	Scenarios  []scenarioResult `json:"scenarios"`
+}
+
+func main() {
+	// Replica mode: this process IS one fleet member (see runReplica).
+	replica := flag.Bool("replica", false, "internal: run as a fleet replica")
+	addr := flag.String("addr", "127.0.0.1:0", "replica listen address")
+	slowMs := flag.Int("slow-ms", 0, "replica: injected per-request straggler delay")
+	graceMs := flag.Int("grace-ms", 250, "replica: lame-duck window after SIGTERM")
+
+	out := flag.String("o", "BENCH_router.json", "output JSON path")
+	quick := flag.Bool("quick", false, "shorter scenarios for CI smoke")
+	clients := flag.Int("clients", 8, "concurrent HTTP clients")
+	dur := flag.Duration("dur", 2*time.Second, "steady-state load per scenario")
+	size := flag.Int("size", 24, "LR image edge in pixels")
+	seed := flag.Uint64("seed", 17, "RNG seed for benchmark images")
+	slowReplica := flag.Int("slow-replica-ms", 150, "straggler delay for the slow-replica scenarios")
+	flag.Parse()
+
+	if *replica {
+		runReplica(*addr, *slowMs, *graceMs)
+		return
+	}
+
+	loadDur := *dur
+	if *quick {
+		loadDur = min(loadDur, 600*time.Millisecond)
+	}
+
+	rep := report{
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		Model:      "bicubic",
+		ImageEdge:  *size,
+		Seed:       *seed,
+	}
+
+	// Benchmark bodies: a few distinct deterministic PNGs so hash
+	// placement spreads and per-replica caches would differ.
+	rng := tensor.NewRNG(*seed)
+	var bodies [][]byte
+	for i := 0; i < 4; i++ {
+		x := tensor.New(1, 3, *size, *size+i)
+		x.FillUniform(rng, 0, 1)
+		var buf bytes.Buffer
+		if err := imageio.WritePNG(&buf, x); err != nil {
+			fatal(err)
+		}
+		bodies = append(bodies, buf.Bytes())
+	}
+
+	self, err := os.Executable()
+	if err != nil {
+		fatal(err)
+	}
+	b := &bench{self: self, bodies: bodies, clients: *clients, loadDur: loadDur}
+
+	fail := false
+	check := func(ok bool, format string, args ...any) {
+		if !ok {
+			fmt.Fprintf(os.Stderr, "FAIL: "+format+"\n", args...)
+			fail = true
+		}
+	}
+
+	// --- direct baseline -------------------------------------------------
+	direct := b.scenario("direct-1", 1, nil, nil)
+	rep.Scenarios = append(rep.Scenarios, direct)
+	check(direct.Failed == 0, "direct baseline had %d failures", direct.Failed)
+
+	// --- routed steady state --------------------------------------------
+	for _, n := range []int{1, 3} {
+		r := b.scenario(fmt.Sprintf("routed-%d", n), n, &router.Config{Placement: "least-loaded"}, nil)
+		if direct.ImgPerSec > 0 {
+			r.VsDirect = r.ImgPerSec / direct.ImgPerSec
+		}
+		rep.Scenarios = append(rep.Scenarios, r)
+		check(r.Failed == 0, "%s had %d failures", r.Name, r.Failed)
+	}
+
+	// --- rolling restart: drain one of three under load ------------------
+	rr := b.scenario("rolling-restart", 3, &router.Config{
+		Placement: "least-loaded",
+		Pool:      router.PoolConfig{HealthInterval: 25 * time.Millisecond},
+	}, func(fleet []*replicaProc, rt *router.Router) {
+		time.Sleep(loadDur / 4)
+		fleet[1].drain() // SIGTERM → lame duck → exit
+		waitHealthy(rt, 2)
+		fleet[1].respawn(b.self)
+		waitHealthy(rt, 3)
+		time.Sleep(loadDur / 4)
+	})
+	rep.Scenarios = append(rep.Scenarios, rr)
+	check(rr.Failed == 0, "rolling restart leaked %d failed requests to clients", rr.Failed)
+	check(rr.Ejections >= 1 && rr.Readmits >= 1,
+		"rolling restart never cycled the replica (ejections %d, readmits %d)", rr.Ejections, rr.Readmits)
+
+	// --- kill: no drain, no grace ----------------------------------------
+	kill := b.scenario("kill", 3, &router.Config{
+		Placement: "least-loaded",
+		Pool:      router.PoolConfig{HealthInterval: 25 * time.Millisecond},
+	}, func(fleet []*replicaProc, rt *router.Router) {
+		time.Sleep(loadDur / 4)
+		fleet[2].kill() // SIGKILL mid-traffic
+		waitHealthy(rt, 2)
+		fleet[2].respawn(b.self)
+		waitHealthy(rt, 3)
+		time.Sleep(loadDur / 4)
+	})
+	rep.Scenarios = append(rep.Scenarios, kill)
+	check(kill.Failed == 0, "killed replica leaked %d failed requests to clients", kill.Failed)
+
+	// --- slow replica: unhedged vs hedged --------------------------------
+	b.slowMs = *slowReplica
+	unhedged := b.scenario("slow-replica-unhedged", 3, &router.Config{Placement: "least-loaded"}, nil)
+	hedged := b.scenario("slow-replica-hedged", 3, &router.Config{
+		Placement:  "least-loaded",
+		Hedge:      true,
+		HedgeFloor: 25 * time.Millisecond,
+	}, nil)
+	b.slowMs = 0
+	rep.Scenarios = append(rep.Scenarios, unhedged, hedged)
+	check(unhedged.Failed == 0 && hedged.Failed == 0, "slow-replica scenarios had failures")
+	check(hedged.P99Ms < unhedged.P99Ms,
+		"hedging did not beat the straggler: hedged p99 %.2fms vs unhedged %.2fms",
+		hedged.P99Ms, unhedged.P99Ms)
+	check(hedged.HedgesFired > 0, "hedge scenario never fired a hedge")
+
+	// --- overload shed ----------------------------------------------------
+	shed := b.scenario("overload-shed", 1, &router.Config{
+		Placement: "least-loaded",
+		Pool:      router.PoolConfig{MaxInflight: 1},
+	}, nil)
+	rep.Scenarios = append(rep.Scenarios, shed)
+	check(shed.Failed == 0, "overload shed produced %d hard failures (sheds must be clean 429s)", shed.Failed)
+	check(shed.Shed > 0, "overload scenario never shed (max-inflight 1, %d clients)", b.clients)
+
+	f, err := os.Create(*out)
+	if err != nil {
+		fatal(err)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fatal(err)
+	}
+	f.Close()
+	fmt.Fprintf(os.Stderr, "wrote %s\n", *out)
+	if fail {
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}
+
+// bench carries the fixed benchmark inputs across scenarios.
+type bench struct {
+	self    string
+	bodies  [][]byte
+	clients int
+	loadDur time.Duration
+	slowMs  int // straggler delay for replica index 0, when > 0
+}
+
+// scenario spawns n replica processes, optionally fronts them with a
+// router (cfg nil → clients hit replica 0 directly), drives steady
+// client load, and runs churn (if any) in the middle of it.
+func (b *bench) scenario(name string, n int, cfg *router.Config, churn func([]*replicaProc, *router.Router)) scenarioResult {
+	res := scenarioResult{
+		Name: name, Replicas: n, Routed: cfg != nil,
+		Hedge: cfg != nil && cfg.Hedge, SlowMs: b.slowMs, Clients: b.clients,
+	}
+
+	fleet := make([]*replicaProc, n)
+	for i := range fleet {
+		slow := 0
+		if i == 0 {
+			slow = b.slowMs
+		}
+		p, err := spawnReplica(b.self, "127.0.0.1:0", slow)
+		if err != nil {
+			fatal(fmt.Errorf("%s: spawn replica %d: %w", name, i, err))
+		}
+		fleet[i] = p
+		defer p.kill()
+	}
+
+	target := "http://" + fleet[0].addr
+	var rt *router.Router
+	if cfg != nil {
+		res.Placement = cfg.Placement
+		for _, p := range fleet {
+			cfg.Backends = append(cfg.Backends, "http://"+p.addr)
+		}
+		var err error
+		rt, err = router.New(*cfg, trace.NewMetrics(), nil)
+		if err != nil {
+			fatal(fmt.Errorf("%s: router: %w", name, err))
+		}
+		defer rt.Close()
+		waitHealthy(rt, n)
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			fatal(err)
+		}
+		httpSrv := &http.Server{Handler: rt}
+		go httpSrv.Serve(ln)
+		defer httpSrv.Close()
+		target = "http://" + ln.Addr().String()
+	}
+
+	client := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: b.clients + 2}}
+	defer client.CloseIdleConnections()
+	url := target + "/v1/upscale?model=bicubic"
+
+	// Warmup outside the timed window.
+	for i := 0; i < b.clients; i++ {
+		postOnce(client, url, b.bodies[i%len(b.bodies)])
+	}
+
+	var ok, shedN, failed atomic.Int64
+	var mu sync.Mutex
+	var lats []time.Duration
+	var firstErr atomic.Pointer[string]
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	began := time.Now()
+	for c := 0; c < b.clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			body := b.bodies[c%len(b.bodies)]
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				d, code, err := postOnce(client, url, body)
+				switch {
+				case err != nil:
+					failed.Add(1)
+					msg := err.Error()
+					firstErr.CompareAndSwap(nil, &msg)
+				case code == http.StatusOK:
+					ok.Add(1)
+					mu.Lock()
+					lats = append(lats, d)
+					mu.Unlock()
+				case code == http.StatusTooManyRequests:
+					shedN.Add(1)
+					time.Sleep(2 * time.Millisecond) // honor the back-off
+				default:
+					failed.Add(1)
+					msg := fmt.Sprintf("status %d", code)
+					firstErr.CompareAndSwap(nil, &msg)
+				}
+			}
+		}(c)
+	}
+
+	if churn != nil {
+		churn(fleet, rt)
+	} else {
+		time.Sleep(b.loadDur)
+	}
+	close(stop)
+	wg.Wait()
+	wall := time.Since(began)
+
+	res.OK, res.Shed, res.Failed = ok.Load(), shedN.Load(), failed.Load()
+	res.Requests = res.OK + res.Shed + res.Failed
+	if res.Requests > 0 {
+		res.ShedRate = float64(res.Shed) / float64(res.Requests)
+	}
+	res.ImgPerSec = float64(res.OK) / wall.Seconds()
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	if n := len(lats); n > 0 {
+		res.P50Ms = float64(lats[n/2].Microseconds()) / 1e3
+		res.P99Ms = float64(lats[min(n-1, n*99/100)].Microseconds()) / 1e3
+	}
+	if rt != nil {
+		m := rt.Metrics()
+		res.Retries = m.Retries.Value()
+		res.HedgesFired = m.HedgesFired.Value()
+		res.HedgeWins = m.HedgeWins.Value()
+		res.Ejections = m.Ejections.Value()
+		res.Readmits = m.Readmits.Value()
+	}
+	if msg := firstErr.Load(); msg != nil {
+		fmt.Fprintf(os.Stderr, "%s: first failure: %s\n", name, *msg)
+	}
+	fmt.Fprintf(os.Stderr,
+		"%-22s %d replica(s): %6.1f img/s  p50 %6.2f ms  p99 %7.2f ms  ok %5d  shed %4d  failed %d  retries %d  hedges %d/%d  eject/readmit %d/%d\n",
+		name, n, res.ImgPerSec, res.P50Ms, res.P99Ms, res.OK, res.Shed, res.Failed,
+		res.Retries, res.HedgeWins, res.HedgesFired, res.Ejections, res.Readmits)
+	return res
+}
+
+// postOnce sends one upscale and fully reads the response.
+func postOnce(client *http.Client, url string, body []byte) (time.Duration, int, error) {
+	began := time.Now()
+	resp, err := client.Post(url, "image/png", bytes.NewReader(body))
+	if err != nil {
+		return 0, 0, err
+	}
+	defer resp.Body.Close()
+	if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+		return 0, 0, err
+	}
+	return time.Since(began), resp.StatusCode, nil
+}
+
+// waitHealthy blocks until the router's rotation has n replicas.
+func waitHealthy(rt *router.Router, n int) {
+	deadline := time.Now().Add(10 * time.Second)
+	for rt.Pool().NumHealthy() != n {
+		if time.Now().After(deadline) {
+			fatal(fmt.Errorf("fleet never reached %d healthy replicas (have %d)", n, rt.Pool().NumHealthy()))
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// replicaProc is one child replica process.
+type replicaProc struct {
+	cmd    *exec.Cmd
+	addr   string // concrete host:port, stable across respawns
+	slowMs int
+}
+
+// spawnReplica starts a child on addr and waits for its ADDR line.
+func spawnReplica(self, addr string, slowMs int) (*replicaProc, error) {
+	cmd := exec.Command(self, "-replica",
+		"-addr", addr,
+		"-slow-ms", fmt.Sprint(slowMs))
+	cmd.Stderr = os.Stderr
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, err
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, err
+	}
+	var got string
+	if _, err := fmt.Fscanf(stdout, "ADDR %s\n", &got); err != nil {
+		cmd.Process.Kill()
+		cmd.Wait()
+		return nil, fmt.Errorf("replica did not report its address: %w", err)
+	}
+	go io.Copy(io.Discard, stdout) // drain any later chatter
+	// Wait until the replica actually answers health checks.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err := http.Get("http://" + got + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				break
+			}
+		}
+		if time.Now().After(deadline) {
+			cmd.Process.Kill()
+			cmd.Wait()
+			return nil, fmt.Errorf("replica on %s never became healthy", got)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	return &replicaProc{cmd: cmd, addr: got, slowMs: slowMs}, nil
+}
+
+// drain performs the sr-serve shutdown sequence (SIGTERM → lame duck →
+// exit) and waits for the process to leave.
+func (p *replicaProc) drain() {
+	if p.cmd == nil {
+		return
+	}
+	p.cmd.Process.Signal(syscall.SIGTERM)
+	p.cmd.Wait()
+	p.cmd = nil
+}
+
+// kill is the hard-failure analogue: SIGKILL, no drain.
+func (p *replicaProc) kill() {
+	if p.cmd == nil {
+		return
+	}
+	p.cmd.Process.Kill()
+	p.cmd.Wait()
+	p.cmd = nil
+}
+
+// respawn restarts the replica on its original port.
+func (p *replicaProc) respawn(self string) {
+	np, err := spawnReplica(self, p.addr, p.slowMs)
+	if err != nil {
+		fatal(fmt.Errorf("respawn %s: %w", p.addr, err))
+	}
+	p.cmd = np.cmd
+}
+
+// runReplica is the child process: a real engine + serve.Server on
+// addr, the same stack sr-serve runs, plus an optional injected
+// straggler delay on the upscale path. SIGTERM triggers the sr-serve
+// drain sequence (healthz 503 → lame duck → listener close → queues
+// dry) so the parent can exercise rolling restarts.
+func runReplica(addr string, slowMs, graceMs int) {
+	engine := serve.NewEngine(serve.EngineConfig{
+		Batch:    serve.BatcherConfig{MaxBatch: 8, MaxDelay: 500 * time.Microsecond, Queue: 256, Workers: 1},
+		TileSize: 64,
+	}, nil, nil)
+	if err := engine.Register("bicubic", serve.BicubicFactory(2, 3)); err != nil {
+		fatal(err)
+	}
+	srv := serve.NewServer(engine, nil, nil, 0)
+
+	var handler http.Handler = srv
+	if slowMs > 0 {
+		delay := time.Duration(slowMs) * time.Millisecond
+		handler = http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			// Straggle only the serving path; health checks stay honest.
+			if r.URL.Path == "/v1/upscale" {
+				time.Sleep(delay)
+			}
+			srv.ServeHTTP(w, r)
+		})
+	}
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("ADDR %s\n", ln.Addr().String())
+	httpSrv := &http.Server{Handler: handler}
+	done := make(chan struct{})
+	go func() {
+		httpSrv.Serve(ln)
+		close(done)
+	}()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGTERM, os.Interrupt)
+	<-sig
+	srv.StartDrain()
+	time.Sleep(time.Duration(graceMs) * time.Millisecond)
+	httpSrv.Close()
+	<-done
+	engine.Shutdown()
+}

@@ -45,6 +45,7 @@ func main() {
 	cacheOff := flag.Bool("cache-off", false, "disable the result cache regardless of -cache-mb")
 	tracePath := flag.String("trace", "", "write a Chrome trace_event JSON timeline here on shutdown (open at https://ui.perfetto.dev)")
 	drainWait := flag.Duration("drain-wait", 10*time.Second, "how long to wait for in-flight requests on shutdown")
+	drainGrace := flag.Duration("drain-grace", 3*time.Second, "lame-duck delay between flipping /healthz to 503 and closing the listener, so load balancers observe the drain and stop routing here before connections are refused (rolling restarts lose zero requests)")
 	flag.Parse()
 
 	reg := trace.NewMetrics()
@@ -169,15 +170,26 @@ func main() {
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	select {
 	case err := <-done:
+		// The listener died on its own; still run the batcher queues dry
+		// so queued requests complete instead of being abandoned.
+		engine.Shutdown()
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
 	case s := <-sig:
 		fmt.Printf("\n%s: draining...\n", s)
-		// Drain order: stop admitting work, let in-flight HTTP handlers
-		// finish, then run the batcher queues dry.
+		// Drain order: flip /healthz to 503 and reject new upscales, then
+		// hold the listener open for the lame-duck window so load
+		// balancers observe the drain and stop routing here — shutting
+		// down immediately would reset the requests they route in the
+		// meantime. Only then close the listener, let in-flight handlers
+		// finish, and run the batcher queues dry.
 		srv.StartDrain()
+		if *drainGrace > 0 {
+			fmt.Printf("lame duck for %s (healthz now 503)...\n", *drainGrace)
+			time.Sleep(*drainGrace)
+		}
 		ctx, cancel := context.WithTimeout(context.Background(), *drainWait)
 		if err := httpSrv.Shutdown(ctx); err != nil {
 			fmt.Fprintln(os.Stderr, "HTTP shutdown:", err)

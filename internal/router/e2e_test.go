@@ -1,0 +1,253 @@
+package router
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/imageio"
+	"repro/internal/serve"
+	"repro/internal/tensor"
+	"repro/internal/trace"
+)
+
+// replica is one real sr-serve instance (engine + HTTP server) bound
+// to a TCP port, restartable on the same address.
+type replica struct {
+	addr   string
+	engine *serve.Engine
+	srv    *serve.Server
+	http   *http.Server
+	done   chan struct{}
+}
+
+// startReplica binds addr ("127.0.0.1:0" for a fresh port) and serves
+// the bicubic model on it.
+func startReplica(t *testing.T, addr string) *replica {
+	t.Helper()
+	engine := serve.NewEngine(serve.EngineConfig{
+		Batch:    serve.BatcherConfig{MaxBatch: 4, MaxDelay: 200 * time.Microsecond, Queue: 256, Workers: 1},
+		TileSize: 32,
+	}, nil, nil)
+	if err := engine.Register("bicubic", serve.BicubicFactory(2, 3)); err != nil {
+		t.Fatalf("register: %v", err)
+	}
+	srv := serve.NewServer(engine, nil, nil, 0)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		t.Fatalf("listen %s: %v", addr, err)
+	}
+	rep := &replica{
+		addr:   ln.Addr().String(),
+		engine: engine,
+		srv:    srv,
+		http:   &http.Server{Handler: srv},
+		done:   make(chan struct{}),
+	}
+	go func() {
+		rep.http.Serve(ln)
+		close(rep.done)
+	}()
+	return rep
+}
+
+// drain performs the sr-serve rolling-restart sequence: healthz flips
+// to 503, a lame-duck window passes, then the listener closes and the
+// engine runs dry.
+func (r *replica) drain(grace time.Duration) {
+	r.srv.StartDrain()
+	time.Sleep(grace)
+	r.http.Close()
+	<-r.done
+	r.engine.Shutdown()
+}
+
+// kill is the SIGKILL analogue: the listener and all connections drop
+// with no drain and no grace.
+func (r *replica) kill() {
+	r.http.Close()
+	<-r.done
+}
+
+// TestRouterZeroLossRollingRestart is the headline e2e scenario: three
+// real serve replicas behind the router, continuous client load, and
+// mid-stream one replica is drained + restarted (rolling restart) and
+// another is killed outright + restarted. Every client request must
+// succeed with a byte-correct upscale; the only acceptable evidence of
+// the churn is the router's ejection/readmission counters.
+func TestRouterZeroLossRollingRestart(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-replica e2e in -short mode")
+	}
+
+	// A few distinct source images with precomputed expected outputs, so
+	// correctness is checked end to end (any replica must produce the
+	// identical bicubic result).
+	rng := tensor.NewRNG(7)
+	type testImg struct{ req, want []byte }
+	imgs := make([]testImg, 4)
+	for i := range imgs {
+		x := tensor.New(1, 3, 10+i, 9+i)
+		x.FillUniform(rng, 0, 1)
+		var req bytes.Buffer
+		if err := imageio.WritePNG(&req, x); err != nil {
+			t.Fatal(err)
+		}
+		imgs[i].req = req.Bytes()
+	}
+
+	reps := make([]*replica, 3)
+	var urls []string
+	for i := range reps {
+		reps[i] = startReplica(t, "127.0.0.1:0")
+		urls = append(urls, "http://"+reps[i].addr)
+	}
+	defer func() {
+		for _, r := range reps {
+			r.http.Close()
+		}
+	}()
+
+	reg := trace.NewMetrics()
+	rt, err := New(Config{
+		Backends:  urls,
+		Placement: "least-loaded",
+		Pool: PoolConfig{
+			HealthInterval: 15 * time.Millisecond,
+			ReadmitAfter:   2,
+		},
+	}, reg, nil)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer rt.Close()
+	met := rt.met
+
+	// Golden outputs via the router while the fleet is quiet.
+	routed := func(body []byte) (int, []byte, error) {
+		resp, err := http.Post("http://"+routerAddr(t, rt)+"/v1/upscale?model=bicubic",
+			"image/png", bytes.NewReader(body))
+		if err != nil {
+			return 0, nil, err
+		}
+		defer resp.Body.Close()
+		out, err := io.ReadAll(resp.Body)
+		return resp.StatusCode, out, err
+	}
+	for i := range imgs {
+		code, out, err := routed(imgs[i].req)
+		if err != nil || code != http.StatusOK {
+			t.Fatalf("golden request %d: code=%d err=%v", i, code, err)
+		}
+		imgs[i].want = out
+	}
+
+	// Continuous load: 4 clients, each hammering its own image.
+	var failures atomic.Int64
+	var successes atomic.Int64
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for c := 0; c < 4; c++ {
+		wg.Add(1)
+		go func(img testImg, id int) {
+			defer wg.Done()
+			for n := 0; ; n++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				code, out, err := routed(img.req)
+				if err != nil || code != http.StatusOK {
+					failures.Add(1)
+					t.Errorf("client %d req %d failed: code=%d err=%v", id, n, code, err)
+					return
+				}
+				if !bytes.Equal(out, img.want) {
+					failures.Add(1)
+					t.Errorf("client %d req %d: wrong bytes (%d vs %d)", id, n, len(out), len(img.want))
+					return
+				}
+				successes.Add(1)
+			}
+		}(imgs[c], c)
+	}
+
+	waitHealthy := func(n int) {
+		waitFor(t, func() bool { return rt.Pool().NumHealthy() == n },
+			fmt.Sprintf("%d healthy backends", n))
+	}
+	waitHealthy(3)
+
+	// Phase 1: rolling restart of replica 1 — drain with a lame-duck
+	// window longer than the health interval, restart on the same port.
+	time.Sleep(50 * time.Millisecond) // let load establish
+	reps[1].drain(60 * time.Millisecond)
+	waitHealthy(2)
+	reps[1] = startReplica(t, reps[1].addr)
+	waitHealthy(3)
+
+	// Phase 2: kill replica 2 outright (no drain), restart it.
+	time.Sleep(50 * time.Millisecond)
+	reps[2].kill()
+	waitHealthy(2)
+	reps[2] = startReplica(t, reps[2].addr)
+	waitHealthy(3)
+
+	time.Sleep(50 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+
+	if f := failures.Load(); f != 0 {
+		t.Fatalf("%d client requests failed across the rolling restart", f)
+	}
+	if s := successes.Load(); s < 20 {
+		t.Fatalf("only %d successful requests — load never established", s)
+	}
+	if met.Ejections.Value() < 2 {
+		t.Fatalf("ejections %d, want >=2 (one drain, one kill)", met.Ejections.Value())
+	}
+	if met.Readmits.Value() < 2 {
+		t.Fatalf("readmits %d, want >=2", met.Readmits.Value())
+	}
+	t.Logf("zero-loss: %d requests ok, %d retries, %d ejections, %d readmits",
+		successes.Load(), met.Retries.Value(), met.Ejections.Value(), met.Readmits.Value())
+}
+
+// routerListener caches one real listener per Router for e2e clients.
+var (
+	routerLnMu sync.Mutex
+	routerLns  = map[*Router]string{}
+)
+
+// routerAddr serves rt on a real TCP port (once) and returns the
+// address, so e2e clients exercise the full HTTP stack rather than
+// httptest recorders.
+func routerAddr(t *testing.T, rt *Router) string {
+	t.Helper()
+	routerLnMu.Lock()
+	defer routerLnMu.Unlock()
+	if addr, ok := routerLns[rt]; ok {
+		return addr
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	srv := &http.Server{Handler: rt}
+	go srv.Serve(ln)
+	t.Cleanup(func() {
+		srv.Close()
+		routerLnMu.Lock()
+		delete(routerLns, rt)
+		routerLnMu.Unlock()
+	})
+	routerLns[rt] = ln.Addr().String()
+	return routerLns[rt]
+}

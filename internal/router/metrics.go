@@ -1,0 +1,164 @@
+package router
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/trace"
+)
+
+// Metrics bundles the router's instruments, registered on the same
+// trace.Metrics registry the trainer and replicas use. Every method
+// tolerates a nil receiver so the proxy hot path needs no
+// enabled-checks. The trace registry has no label support, so
+// per-backend series carry the backend index in the metric name
+// (sr_router_backend_up_0, ...), fixed at pool construction.
+type Metrics struct {
+	// Requests counts routed upscale requests; Responses, Rejected, and
+	// Errors partition their outcomes like the replica-side sr_requests
+	// family (2xx / 429+503 / other).
+	Requests  *trace.Counter
+	Responses *trace.Counter
+	Rejected  *trace.Counter
+	Errors    *trace.Counter
+	// RateLimited counts 429s from the per-client token bucket; Sheds
+	// counts 429s from fleet-saturation admission control. Both are
+	// also in Rejected.
+	RateLimited *trace.Counter
+	Sheds       *trace.Counter
+	// Retries counts replayed attempts after a retryable backend
+	// failure (transport error, drain 503, backend 429).
+	Retries *trace.Counter
+	// HedgesFired counts hedge attempts launched after the p95 delay;
+	// HedgeWins counts the subset that beat the primary.
+	HedgesFired *trace.Counter
+	HedgeWins   *trace.Counter
+	// Ejections and Readmits count backend rotation transitions;
+	// BackendsHealthy gauges the current rotation size.
+	Ejections       *trace.Counter
+	Readmits        *trace.Counter
+	BackendsHealthy *trace.Gauge
+	// ProxySeconds histograms end-to-end routed latency (placement,
+	// all attempts, response copy-out).
+	ProxySeconds *trace.Histogram
+
+	backendUp   []*trace.Gauge
+	backendLoad []*trace.Gauge
+	backendReqs []*trace.Counter
+}
+
+// NewMetrics registers the router instruments for n backends on m
+// (nil m → nil bundle, metrics off).
+func NewMetrics(m *trace.Metrics, n int) *Metrics {
+	if m == nil {
+		return nil
+	}
+	r := &Metrics{
+		Requests:        m.Counter("sr_router_requests_total", "Upscale requests received by the router."),
+		Responses:       m.Counter("sr_router_responses_total", "Routed requests answered 2xx."),
+		Rejected:        m.Counter("sr_router_rejected_total", "Requests rejected with 429 or 503 at the router."),
+		Errors:          m.Counter("sr_router_errors_total", "Routed requests that failed with another error."),
+		RateLimited:     m.Counter("sr_router_ratelimited_total", "429s from the per-client token bucket."),
+		Sheds:           m.Counter("sr_router_sheds_total", "429s from fleet-saturation admission control."),
+		Retries:         m.Counter("sr_router_retries_total", "Attempts replayed on another backend after a retryable failure."),
+		HedgesFired:     m.Counter("sr_router_hedges_total", "Hedge attempts launched after the p95 delay."),
+		HedgeWins:       m.Counter("sr_router_hedge_wins_total", "Hedge attempts that beat the primary."),
+		Ejections:       m.Counter("sr_router_ejections_total", "Backends removed from rotation (probe failure, transport error, or drain)."),
+		Readmits:        m.Counter("sr_router_readmits_total", "Backends re-admitted after consecutive probe passes."),
+		BackendsHealthy: m.Gauge("sr_router_backends_healthy", "Backends currently in rotation."),
+		ProxySeconds:    m.Histogram("sr_router_proxy_seconds", "End-to-end routed request latency.", trace.DurationBuckets),
+	}
+	for i := 0; i < n; i++ {
+		r.backendUp = append(r.backendUp,
+			m.Gauge(fmt.Sprintf("sr_router_backend_up_%d", i), fmt.Sprintf("Backend %d is in rotation (1) or ejected (0).", i)))
+		r.backendLoad = append(r.backendLoad,
+			m.Gauge(fmt.Sprintf("sr_router_backend_inflight_%d", i), fmt.Sprintf("Requests in flight against backend %d.", i)))
+		r.backendReqs = append(r.backendReqs,
+			m.Counter(fmt.Sprintf("sr_router_backend_requests_total_%d", i), fmt.Sprintf("Attempts sent to backend %d.", i)))
+	}
+	return r
+}
+
+// request records one routed request arrival.
+func (m *Metrics) request() {
+	if m == nil {
+		return
+	}
+	m.Requests.Inc()
+}
+
+// outcome records the status written back to the client, partitioned
+// like serve.Metrics.httpOutcome.
+func (m *Metrics) outcome(code int) {
+	if m == nil {
+		return
+	}
+	switch {
+	case code >= 200 && code < 300:
+		m.Responses.Inc()
+	case code == 429 || code == 503:
+		m.Rejected.Inc()
+	default:
+		m.Errors.Inc()
+	}
+}
+
+// attempt records one proxy attempt dispatched to backend i.
+func (m *Metrics) attempt(i int) {
+	if m == nil || i >= len(m.backendReqs) {
+		return
+	}
+	m.backendReqs[i].Inc()
+}
+
+// backendInflight updates backend i's live in-flight gauge.
+func (m *Metrics) backendInflight(i int, n int64) {
+	if m == nil || i >= len(m.backendLoad) {
+		return
+	}
+	m.backendLoad[i].Set(float64(n))
+}
+
+// ejected counts one rotation removal.
+func (m *Metrics) ejected(int) {
+	if m == nil {
+		return
+	}
+	m.Ejections.Inc()
+}
+
+// readmitted counts one rotation return.
+func (m *Metrics) readmitted(int) {
+	if m == nil {
+		return
+	}
+	m.Readmits.Inc()
+}
+
+// syncPool refreshes the rotation gauges from the pool's current
+// state.
+func (m *Metrics) syncPool(p *Pool) {
+	if m == nil {
+		return
+	}
+	n := 0
+	for _, b := range p.backends {
+		up := 0.0
+		if b.healthy.Load() {
+			up = 1
+			n++
+		}
+		if b.Index < len(m.backendUp) {
+			m.backendUp[b.Index].Set(up)
+		}
+	}
+	m.BackendsHealthy.Set(float64(n))
+}
+
+// observeProxy records one routed request's end-to-end latency.
+func (m *Metrics) observeProxy(d time.Duration) {
+	if m == nil {
+		return
+	}
+	m.ProxySeconds.Observe(d.Seconds())
+}

@@ -1,0 +1,132 @@
+package router
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strconv"
+	"sync/atomic"
+)
+
+// Placement picks a backend for a request. key is the request's
+// content hash (model + body bytes); tried, when non-nil, holds
+// backends this request already attempted (hedges and retries go
+// elsewhere). Pick returns nil when no eligible backend remains.
+type Placement interface {
+	Pick(p *Pool, key uint64, tried map[*Backend]bool) *Backend
+	Name() string
+}
+
+// NewPlacement builds the named strategy over the pool's backends:
+// "hash" (consistent hashing on the content key — repeat requests for
+// the same image land on the same replica, compounding its result
+// cache) or "least-loaded" (fewest in-flight requests — best tail
+// latency under heterogeneous load).
+func NewPlacement(name string, backends []*Backend) (Placement, error) {
+	switch name {
+	case "hash":
+		return newHashRing(backends), nil
+	case "least-loaded":
+		return &leastLoaded{}, nil
+	}
+	return nil, fmt.Errorf("router: unknown placement %q (want hash or least-loaded)", name)
+}
+
+// hashKey is FNV-1a over the model name and request body — the same
+// bytes the serve-side result cache keys on, so hash placement keeps a
+// scene's repeat traffic on the replica that already cached it.
+func hashKey(model string, body []byte) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(model))
+	h.Write([]byte{0})
+	h.Write(body)
+	return mix64(h.Sum64())
+}
+
+// mix64 is the Murmur3 finalizer. FNV-1a alone does not avalanche:
+// near-identical inputs (vnode labels "url#0", "url#1", ...) yield
+// clustered sums, which would put a backend's virtual nodes in
+// contiguous runs on the ring and skew arc ownership badly.
+func mix64(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+// vnodesPerBackend spreads each backend around the ring so removing
+// one remaps only its own arcs (~1/N of keys), not the whole space.
+const vnodesPerBackend = 64
+
+// ringPoint is one virtual node.
+type ringPoint struct {
+	hash uint64
+	b    *Backend
+}
+
+// hashRing is a consistent-hash ring, built once over the full backend
+// set. Ineligible backends are skipped by walking clockwise, so keys
+// owned by an ejected backend spill to their ring successors and
+// return home on readmission.
+type hashRing struct {
+	points []ringPoint
+}
+
+func newHashRing(backends []*Backend) *hashRing {
+	r := &hashRing{points: make([]ringPoint, 0, len(backends)*vnodesPerBackend)}
+	for _, b := range backends {
+		for v := 0; v < vnodesPerBackend; v++ {
+			h := fnv.New64a()
+			h.Write([]byte(b.URL.String()))
+			h.Write([]byte("#" + strconv.Itoa(v)))
+			r.points = append(r.points, ringPoint{hash: mix64(h.Sum64()), b: b})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool { return r.points[i].hash < r.points[j].hash })
+	return r
+}
+
+func (r *hashRing) Name() string { return "hash" }
+
+// Pick walks clockwise from key to the first eligible backend.
+func (r *hashRing) Pick(p *Pool, key uint64, tried map[*Backend]bool) *Backend {
+	n := len(r.points)
+	start := sort.Search(n, func(i int) bool { return r.points[i].hash >= key }) % n
+	seen := 0
+	for i := start; seen < n; i = (i + 1) % n {
+		seen++
+		b := r.points[i].b
+		if !tried[b] && p.eligible(b) {
+			return b
+		}
+	}
+	return nil
+}
+
+// leastLoaded picks the eligible backend with the fewest in-flight
+// requests; ties rotate so an idle fleet still spreads traffic.
+type leastLoaded struct {
+	rr atomic.Uint64
+}
+
+func (l *leastLoaded) Name() string { return "least-loaded" }
+
+func (l *leastLoaded) Pick(p *Pool, _ uint64, tried map[*Backend]bool) *Backend {
+	backends := p.Backends()
+	n := len(backends)
+	off := int(l.rr.Add(1)) % n
+	var best *Backend
+	var bestLoad int64
+	for i := 0; i < n; i++ {
+		b := backends[(i+off)%n]
+		if tried[b] || !p.eligible(b) {
+			continue
+		}
+		if load := b.inflight.Load(); best == nil || load < bestLoad {
+			best, bestLoad = b, load
+		}
+	}
+	return best
+}

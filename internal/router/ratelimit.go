@@ -1,0 +1,78 @@
+package router
+
+import (
+	"sync"
+	"time"
+)
+
+// limiterMaxClients bounds the bucket map; beyond it, buckets idle
+// longer than limiterIdle are swept on the next Allow.
+const (
+	limiterMaxClients = 4096
+	limiterIdle       = time.Minute
+)
+
+// Limiter is a per-client token bucket: each client key accrues rate
+// tokens/second up to burst, and one request costs one token. A denied
+// request learns how long until the next token so the router can set
+// Retry-After instead of making clients guess.
+type Limiter struct {
+	rate, burst float64
+	now         func() time.Time // injectable for tests
+
+	mu      sync.Mutex
+	buckets map[string]*bucket
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// NewLimiter builds a limiter; rate <= 0 disables limiting (Allow
+// always passes). burst < 1 is clamped to 1 so a conforming client can
+// always make progress.
+func NewLimiter(rate, burst float64) *Limiter {
+	if burst < 1 {
+		burst = 1
+	}
+	return &Limiter{rate: rate, burst: burst, now: time.Now, buckets: map[string]*bucket{}}
+}
+
+// Allow spends one token for key. When denied, retryAfter is the time
+// until the bucket holds a whole token again.
+func (l *Limiter) Allow(key string) (ok bool, retryAfter time.Duration) {
+	if l == nil || l.rate <= 0 {
+		return true, 0
+	}
+	now := l.now()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	b, exists := l.buckets[key]
+	if !exists {
+		if len(l.buckets) >= limiterMaxClients {
+			l.sweep(now)
+		}
+		b = &bucket{tokens: l.burst, last: now}
+		l.buckets[key] = b
+	} else {
+		b.tokens = min(l.burst, b.tokens+now.Sub(b.last).Seconds()*l.rate)
+		b.last = now
+	}
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	return false, time.Duration((1 - b.tokens) / l.rate * float64(time.Second))
+}
+
+// sweep drops buckets idle past limiterIdle (caller holds mu). A full
+// idle bucket carries no state worth keeping — it refills to burst on
+// recreation anyway.
+func (l *Limiter) sweep(now time.Time) {
+	for k, b := range l.buckets {
+		if now.Sub(b.last) > limiterIdle {
+			delete(l.buckets, k)
+		}
+	}
+}

@@ -1,0 +1,509 @@
+package router
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/trace"
+)
+
+// fakePool builds a Pool directly (no probing) for placement tests.
+func fakePool(t *testing.T, n, maxInflight int) *Pool {
+	t.Helper()
+	p := &Pool{cfg: PoolConfig{MaxInflight: maxInflight}.withDefaults()}
+	if maxInflight > 0 {
+		p.cfg.MaxInflight = maxInflight
+	}
+	for i := 0; i < n; i++ {
+		u, err := url.Parse(fmt.Sprintf("http://backend-%d.example:8080", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b := &Backend{URL: u, Index: i}
+		b.healthy.Store(true)
+		p.backends = append(p.backends, b)
+	}
+	return p
+}
+
+// TestConsistentHashMinimalRemap pins the consistent-hash contract: a
+// key's backend is stable, ejecting one backend remaps only the keys
+// it owned, and readmission restores the original mapping.
+func TestConsistentHashMinimalRemap(t *testing.T) {
+	p := fakePool(t, 4, 0)
+	ring := newHashRing(p.backends)
+
+	const keys = 2000
+	owner := make([]*Backend, keys)
+	counts := map[int]int{}
+	for k := 0; k < keys; k++ {
+		b := ring.Pick(p, hashKey("m", []byte(fmt.Sprintf("key-%d", k))), nil)
+		if b == nil {
+			t.Fatal("no backend picked")
+		}
+		owner[k] = b
+		counts[b.Index]++
+	}
+	// Rough balance: every backend owns a nontrivial share.
+	for i := 0; i < 4; i++ {
+		if counts[i] < keys/16 {
+			t.Errorf("backend %d owns only %d/%d keys — ring badly unbalanced", i, counts[i], keys)
+		}
+	}
+
+	// Eject backend 2: its keys spill, everyone else's stay put.
+	p.backends[2].healthy.Store(false)
+	remapped := 0
+	for k := 0; k < keys; k++ {
+		b := ring.Pick(p, hashKey("m", []byte(fmt.Sprintf("key-%d", k))), nil)
+		if owner[k].Index == 2 {
+			if b.Index == 2 {
+				t.Fatalf("key %d still mapped to ejected backend", k)
+			}
+			remapped++
+		} else if b != owner[k] {
+			t.Fatalf("key %d moved from backend %d to %d though its owner stayed healthy",
+				k, owner[k].Index, b.Index)
+		}
+	}
+	if remapped != counts[2] {
+		t.Fatalf("remapped %d keys, want exactly backend 2's %d", remapped, counts[2])
+	}
+
+	// Readmission restores the original map.
+	p.backends[2].healthy.Store(true)
+	for k := 0; k < keys; k++ {
+		if b := ring.Pick(p, hashKey("m", []byte(fmt.Sprintf("key-%d", k))), nil); b != owner[k] {
+			t.Fatalf("key %d did not return home after readmission", k)
+		}
+	}
+}
+
+// TestLeastLoadedPick checks load-based selection, the tried-set, and
+// the MaxInflight eligibility cut.
+func TestLeastLoadedPick(t *testing.T) {
+	p := fakePool(t, 3, 4)
+	ll := &leastLoaded{}
+	p.backends[0].inflight.Store(3)
+	p.backends[1].inflight.Store(1)
+	p.backends[2].inflight.Store(2)
+
+	if b := ll.Pick(p, 0, nil); b.Index != 1 {
+		t.Fatalf("picked backend %d, want least-loaded 1", b.Index)
+	}
+	if b := ll.Pick(p, 0, map[*Backend]bool{p.backends[1]: true}); b.Index != 2 {
+		t.Fatalf("picked backend %d, want 2 with 1 excluded", b.Index)
+	}
+	p.backends[1].inflight.Store(4) // at MaxInflight: ineligible
+	if b := ll.Pick(p, 0, nil); b.Index != 2 {
+		t.Fatalf("picked backend %d, want 2 with 1 saturated", b.Index)
+	}
+	p.backends[0].inflight.Store(4)
+	p.backends[2].inflight.Store(4)
+	if b := ll.Pick(p, 0, nil); b != nil {
+		t.Fatalf("picked backend %d from a saturated fleet, want nil", b.Index)
+	}
+}
+
+// TestLimiter checks the token bucket: burst spends down, denial
+// reports the wait for the next token, refill restores service.
+func TestLimiter(t *testing.T) {
+	l := NewLimiter(1, 2) // 1 token/s, burst 2
+	now := time.Unix(1000, 0)
+	l.now = func() time.Time { return now }
+
+	for i := 0; i < 2; i++ {
+		if ok, _ := l.Allow("alice"); !ok {
+			t.Fatalf("burst request %d denied", i)
+		}
+	}
+	ok, wait := l.Allow("alice")
+	if ok {
+		t.Fatal("third immediate request allowed past burst")
+	}
+	if wait <= 0 || wait > time.Second {
+		t.Fatalf("retry-after %v, want (0, 1s]", wait)
+	}
+	if ok, _ := l.Allow("bob"); !ok {
+		t.Fatal("independent client denied")
+	}
+	now = now.Add(1100 * time.Millisecond)
+	if ok, _ := l.Allow("alice"); !ok {
+		t.Fatal("request denied after refill window")
+	}
+	// Disabled limiter always passes.
+	if ok, _ := NewLimiter(0, 0).Allow("x"); !ok {
+		t.Fatal("disabled limiter denied")
+	}
+}
+
+// TestLatencyTracker checks the p95 estimate and the hedge-delay
+// floor.
+func TestLatencyTracker(t *testing.T) {
+	var lt latencyTracker
+	if d := lt.hedgeDelay(25 * time.Millisecond); d != 25*time.Millisecond {
+		t.Fatalf("cold hedge delay %v, want the 25ms floor", d)
+	}
+	for i := 1; i <= 100; i++ {
+		lt.observe(time.Duration(i) * time.Millisecond)
+	}
+	if p := lt.p95(); p < 94*time.Millisecond || p > 97*time.Millisecond {
+		t.Fatalf("p95 = %v, want ~95ms", p)
+	}
+	if d := lt.hedgeDelay(25 * time.Millisecond); d < 94*time.Millisecond {
+		t.Fatalf("hedge delay %v ignored the tracked p95", d)
+	}
+}
+
+// upstream is a controllable fake replica.
+type upstream struct {
+	srv     *httptest.Server
+	healthy atomic.Bool
+	status  atomic.Int64 // upscale response status
+	delay   atomic.Int64 // per-request sleep, ns
+	hits    atomic.Int64 // upscale requests served
+	body    atomic.Pointer[string]
+}
+
+func newUpstream(t *testing.T, body string) *upstream {
+	t.Helper()
+	u := &upstream{}
+	u.healthy.Store(true)
+	u.status.Store(http.StatusOK)
+	u.body.Store(&body)
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		if !u.healthy.Load() {
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, "draining", http.StatusServiceUnavailable)
+			return
+		}
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/v1/upscale", func(w http.ResponseWriter, r *http.Request) {
+		u.hits.Add(1)
+		io.Copy(io.Discard, r.Body)
+		if d := u.delay.Load(); d > 0 {
+			select {
+			case <-time.After(time.Duration(d)):
+			case <-r.Context().Done():
+				return
+			}
+		}
+		code := int(u.status.Load())
+		if code != http.StatusOK {
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, "unavailable", code)
+			return
+		}
+		w.Header().Set("Content-Type", "image/png")
+		io.WriteString(w, *u.body.Load())
+	})
+	u.srv = httptest.NewServer(mux)
+	t.Cleanup(u.srv.Close)
+	return u
+}
+
+// newTestRouter assembles a router over the given upstreams.
+func newTestRouter(t *testing.T, cfg Config, ups ...*upstream) (*Router, *Metrics) {
+	t.Helper()
+	for _, u := range ups {
+		cfg.Backends = append(cfg.Backends, u.srv.URL)
+	}
+	if cfg.Pool.HealthInterval == 0 {
+		cfg.Pool.HealthInterval = 10 * time.Millisecond
+	}
+	reg := trace.NewMetrics()
+	rt, err := New(cfg, reg, nil)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	t.Cleanup(rt.Close)
+	return rt, rt.met
+}
+
+// post sends one routed upscale and returns the recorder.
+func post(rt *Router, path, body string, hdr map[string]string) *httptest.ResponseRecorder {
+	req := httptest.NewRequest(http.MethodPost, path, strings.NewReader(body))
+	for k, v := range hdr {
+		req.Header.Set(k, v)
+	}
+	rr := httptest.NewRecorder()
+	rt.ServeHTTP(rr, req)
+	return rr
+}
+
+// waitFor polls cond until it holds or the deadline expires.
+func waitFor(t *testing.T, cond func() bool, what string) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestRouterProxiesAndContract checks the basic pass-through plus the
+// router's own HTTP contract (405+Allow, drain 503+Retry-After).
+func TestRouterProxiesAndContract(t *testing.T) {
+	up := newUpstream(t, "SRPNG")
+	rt, met := newTestRouter(t, Config{}, up)
+
+	rr := post(rt, "/v1/upscale", "img", nil)
+	if rr.Code != http.StatusOK || rr.Body.String() != "SRPNG" {
+		t.Fatalf("routed response %d %q", rr.Code, rr.Body.String())
+	}
+	if ct := rr.Header().Get("Content-Type"); ct != "image/png" {
+		t.Fatalf("Content-Type %q not passed through", ct)
+	}
+
+	req := httptest.NewRequest(http.MethodGet, "/v1/upscale", nil)
+	rec := httptest.NewRecorder()
+	rt.ServeHTTP(rec, req)
+	if rec.Code != http.StatusMethodNotAllowed || rec.Header().Get("Allow") != "POST" {
+		t.Fatalf("GET upscale: %d Allow=%q, want 405 Allow=POST", rec.Code, rec.Header().Get("Allow"))
+	}
+
+	// /healthz reflects the fleet; /v1/models proxies.
+	rec = httptest.NewRecorder()
+	rt.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/healthz", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("healthz %d with a healthy fleet", rec.Code)
+	}
+
+	rt.StartDrain()
+	rr = post(rt, "/v1/upscale", "img", nil)
+	if rr.Code != http.StatusServiceUnavailable || rr.Header().Get("Retry-After") == "" {
+		t.Fatalf("draining router: %d Retry-After=%q, want 503 with Retry-After", rr.Code, rr.Header().Get("Retry-After"))
+	}
+	rec = httptest.NewRecorder()
+	rt.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/healthz", nil))
+	if rec.Code != http.StatusServiceUnavailable || rec.Header().Get("Retry-After") == "" {
+		t.Fatalf("draining healthz: %d, want 503 with Retry-After", rec.Code)
+	}
+	if met.Requests.Value() == 0 || met.Responses.Value() == 0 || met.Rejected.Value() == 0 {
+		t.Fatalf("metrics not fed: req %d resp %d rej %d",
+			met.Requests.Value(), met.Responses.Value(), met.Rejected.Value())
+	}
+}
+
+// TestRouterHealthEjectReadmit drives the active health loop: a
+// draining backend leaves rotation within a poll interval and returns
+// only after ReadmitAfter consecutive passes.
+func TestRouterHealthEjectReadmit(t *testing.T) {
+	up := newUpstream(t, "A")
+	rt, met := newTestRouter(t, Config{Pool: PoolConfig{
+		HealthInterval: 10 * time.Millisecond,
+		ReadmitAfter:   2,
+	}}, up)
+
+	b := rt.Pool().Backends()[0]
+	waitFor(t, func() bool { return b.Healthy() }, "initial health")
+
+	up.healthy.Store(false)
+	waitFor(t, func() bool { return !b.Healthy() }, "ejection")
+	if met.Ejections.Value() != 1 {
+		t.Fatalf("ejections %d, want 1", met.Ejections.Value())
+	}
+	// With zero healthy backends the router's own healthz goes 503.
+	rec := httptest.NewRecorder()
+	rt.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/healthz", nil))
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("empty-rotation healthz %d, want 503", rec.Code)
+	}
+	rr := post(rt, "/v1/upscale", "img", nil)
+	if rr.Code != http.StatusServiceUnavailable || rr.Header().Get("Retry-After") == "" {
+		t.Fatalf("empty-rotation upscale: %d, want 503 with Retry-After", rr.Code)
+	}
+
+	up.healthy.Store(true)
+	waitFor(t, func() bool { return b.Healthy() }, "readmission")
+	if met.Readmits.Value() != 1 {
+		t.Fatalf("readmits %d, want 1", met.Readmits.Value())
+	}
+	if rr := post(rt, "/v1/upscale", "img", nil); rr.Code != http.StatusOK {
+		t.Fatalf("post-readmit request %d", rr.Code)
+	}
+}
+
+// TestRouterRetriesDrainingBackend pins the zero-loss drain property
+// at the unit level: a backend answering 503 (drain) is ejected and
+// the request replays on another backend, invisibly to the client.
+func TestRouterRetriesDrainingBackend(t *testing.T) {
+	a := newUpstream(t, "FROM-A")
+	b := newUpstream(t, "FROM-B")
+	// Long health interval: only the passive (in-request) drain signal
+	// can eject, which is exactly what this test pins.
+	rt, met := newTestRouter(t, Config{
+		Placement: "hash",
+		Pool:      PoolConfig{HealthInterval: time.Hour},
+	}, a, b)
+
+	// Find a body the ring places on each backend.
+	bodyFor := func(idx int) string {
+		for i := 0; ; i++ {
+			body := fmt.Sprintf("img-%d", i)
+			if rt.place.Pick(rt.pool, hashKey("", []byte(body)), nil).Index == idx {
+				return body
+			}
+		}
+	}
+	bodyA := bodyFor(0)
+
+	a.status.Store(http.StatusServiceUnavailable) // drain begins
+	rr := post(rt, "/v1/upscale", bodyA, nil)
+	if rr.Code != http.StatusOK || rr.Body.String() != "FROM-B" {
+		t.Fatalf("drain retry: %d %q, want 200 FROM-B", rr.Code, rr.Body.String())
+	}
+	if met.Retries.Value() != 1 {
+		t.Fatalf("retries %d, want 1", met.Retries.Value())
+	}
+	if rt.pool.Backends()[0].Healthy() {
+		t.Fatal("draining backend still in rotation after passive 503")
+	}
+	// Subsequent requests for A's keys go straight to B, no retry.
+	if rr := post(rt, "/v1/upscale", bodyA, nil); rr.Code != http.StatusOK || rr.Body.String() != "FROM-B" {
+		t.Fatalf("spilled request: %d %q", rr.Code, rr.Body.String())
+	}
+	if met.Retries.Value() != 1 {
+		t.Fatalf("spilled request retried (%d), should have placed on B directly", met.Retries.Value())
+	}
+}
+
+// TestRouterRetriesKilledBackend: a backend that drops the connection
+// (killed replica) is ejected on the transport error and the request
+// replays elsewhere.
+func TestRouterRetriesKilledBackend(t *testing.T) {
+	a := newUpstream(t, "FROM-A")
+	b := newUpstream(t, "FROM-B")
+	rt, met := newTestRouter(t, Config{
+		Placement: "hash",
+		Pool:      PoolConfig{HealthInterval: time.Hour},
+	}, a, b)
+
+	bodyA := func() string {
+		for i := 0; ; i++ {
+			body := fmt.Sprintf("img-%d", i)
+			if rt.place.Pick(rt.pool, hashKey("", []byte(body)), nil).Index == 0 {
+				return body
+			}
+		}
+	}()
+
+	a.srv.CloseClientConnections()
+	a.srv.Close() // SIGKILL analogue: connections refused
+	rr := post(rt, "/v1/upscale", bodyA, nil)
+	if rr.Code != http.StatusOK || rr.Body.String() != "FROM-B" {
+		t.Fatalf("kill retry: %d %q, want 200 FROM-B", rr.Code, rr.Body.String())
+	}
+	if met.Retries.Value() == 0 {
+		t.Fatal("no retry counted for the killed backend")
+	}
+	if rt.pool.Backends()[0].Healthy() {
+		t.Fatal("killed backend still in rotation")
+	}
+}
+
+// TestRouterRateLimit checks the per-client token bucket: the second
+// immediate request from one client is 429 with Retry-After while
+// another client still passes.
+func TestRouterRateLimit(t *testing.T) {
+	up := newUpstream(t, "X")
+	rt, met := newTestRouter(t, Config{RatePerSec: 0.1, Burst: 1}, up)
+
+	alice := map[string]string{"X-Client-Id": "alice"}
+	if rr := post(rt, "/v1/upscale", "img", alice); rr.Code != http.StatusOK {
+		t.Fatalf("first request %d", rr.Code)
+	}
+	rr := post(rt, "/v1/upscale", "img", alice)
+	if rr.Code != http.StatusTooManyRequests {
+		t.Fatalf("second request %d, want 429", rr.Code)
+	}
+	if rr.Header().Get("Retry-After") == "" {
+		t.Fatal("rate-limit 429 without Retry-After")
+	}
+	if met.RateLimited.Value() != 1 {
+		t.Fatalf("ratelimited %d, want 1", met.RateLimited.Value())
+	}
+	if rr := post(rt, "/v1/upscale", "img", map[string]string{"X-Client-Id": "bob"}); rr.Code != http.StatusOK {
+		t.Fatalf("independent client got %d", rr.Code)
+	}
+}
+
+// TestRouterAdmissionControl checks fleet saturation: with every
+// healthy backend at MaxInflight, new requests shed with 429 +
+// Retry-After instead of queueing.
+func TestRouterAdmissionControl(t *testing.T) {
+	up := newUpstream(t, "X")
+	up.delay.Store(int64(time.Hour)) // park in-flight requests
+	// Short router timeout: the two parked slot-fillers must unwind
+	// before cleanup, or httptest's Close blocks on their handlers.
+	rt, met := newTestRouter(t, Config{
+		Hedge:   false,
+		Timeout: 2 * time.Second,
+		Pool:    PoolConfig{MaxInflight: 2, HealthInterval: time.Hour},
+	}, up)
+
+	// Occupy both slots.
+	for i := 0; i < 2; i++ {
+		go post(rt, "/v1/upscale", fmt.Sprintf("img-%d", i), nil)
+	}
+	waitFor(t, func() bool { return rt.Pool().Backends()[0].Inflight() == 2 }, "slots occupied")
+
+	rr := post(rt, "/v1/upscale", "img-shed", nil)
+	if rr.Code != http.StatusTooManyRequests || rr.Header().Get("Retry-After") == "" {
+		t.Fatalf("saturated fleet: %d Retry-After=%q, want 429 with Retry-After",
+			rr.Code, rr.Header().Get("Retry-After"))
+	}
+	if met.Sheds.Value() != 1 {
+		t.Fatalf("sheds %d, want 1", met.Sheds.Value())
+	}
+}
+
+// TestRouterHedgeBeatsSlowReplica pins the tail-latency win: a request
+// placed on a slow replica is hedged to a fast one after the delay
+// floor, the fast response wins, and the slow attempt is cancelled.
+func TestRouterHedgeBeatsSlowReplica(t *testing.T) {
+	slow := newUpstream(t, "FROM-SLOW")
+	fast := newUpstream(t, "FROM-FAST")
+	slow.delay.Store(int64(2 * time.Second))
+	rt, met := newTestRouter(t, Config{
+		Placement:  "hash",
+		Hedge:      true,
+		HedgeFloor: 20 * time.Millisecond,
+		Pool:       PoolConfig{HealthInterval: time.Hour},
+	}, slow, fast)
+
+	bodySlow := func() string {
+		for i := 0; ; i++ {
+			body := fmt.Sprintf("img-%d", i)
+			if rt.place.Pick(rt.pool, hashKey("", []byte(body)), nil).Index == 0 {
+				return body
+			}
+		}
+	}()
+
+	began := time.Now()
+	rr := post(rt, "/v1/upscale", bodySlow, nil)
+	took := time.Since(began)
+	if rr.Code != http.StatusOK || rr.Body.String() != "FROM-FAST" {
+		t.Fatalf("hedged request: %d %q, want 200 FROM-FAST", rr.Code, rr.Body.String())
+	}
+	if took >= 2*time.Second {
+		t.Fatalf("hedged request took %v — waited out the slow replica", took)
+	}
+	if met.HedgesFired.Value() != 1 || met.HedgeWins.Value() != 1 {
+		t.Fatalf("hedges fired %d won %d, want 1/1", met.HedgesFired.Value(), met.HedgeWins.Value())
+	}
+	// The cancelled slow attempt must release its slot.
+	waitFor(t, func() bool { return rt.Pool().Backends()[0].Inflight() == 0 }, "slow slot released")
+}

@@ -65,9 +65,13 @@ func (s *Server) StartDrain() { s.draining.Store(true) }
 func (s *Server) Draining() bool { return s.draining.Load() }
 
 // fail writes a plain-text error response and records the outcome.
+// Both 429 (saturated) and 503 (draining) carry Retry-After: a load
+// balancer that sees a bare 503 from a draining replica hot-retries
+// it, while Retry-After tells it to back off for the drain window.
 func (s *Server) fail(w http.ResponseWriter, code int, msg string) {
 	s.met.httpOutcome(code)
-	if code == http.StatusTooManyRequests {
+	switch code {
+	case http.StatusTooManyRequests, http.StatusServiceUnavailable:
 		w.Header().Set("Retry-After", "1")
 	}
 	http.Error(w, msg, code)
@@ -77,6 +81,8 @@ func (s *Server) fail(w http.ResponseWriter, code int, msg string) {
 func (s *Server) handleUpscale(w http.ResponseWriter, r *http.Request) {
 	s.met.httpRequest()
 	if r.Method != http.MethodPost {
+		// RFC 9110 §15.5.6: a 405 MUST name the allowed methods.
+		w.Header().Set("Allow", http.MethodPost)
 		s.fail(w, http.StatusMethodNotAllowed, "POST a PNG body")
 		return
 	}
@@ -130,21 +136,35 @@ func (s *Server) handleUpscale(w http.ResponseWriter, r *http.Request) {
 	s.met.httpOutcome(http.StatusOK)
 }
 
-// handleModels is GET /v1/models.
+// handleModels is GET /v1/models. It feeds the same request/outcome
+// accounting as upscale so the sr_requests_total partition covers
+// every endpoint.
 func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
+	s.met.httpRequest()
 	if r.Method != http.MethodGet {
-		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		w.Header().Set("Allow", http.MethodGet)
+		s.fail(w, http.StatusMethodNotAllowed, "GET only")
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
-	_ = json.NewEncoder(w).Encode(s.e.Models())
+	if err := json.NewEncoder(w).Encode(s.e.Models()); err != nil {
+		// Headers are gone; all we can do is count it.
+		s.met.httpOutcome(http.StatusInternalServerError)
+		return
+	}
+	s.met.httpOutcome(http.StatusOK)
 }
 
 // handleHealth is GET /healthz: 200 while serving, 503 while draining.
+// The draining 503 goes through fail so it carries Retry-After — load
+// balancers poll this endpoint and must back off, not hot-retry, a
+// replica in its lame-duck window.
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	s.met.httpRequest()
 	if s.draining.Load() {
-		http.Error(w, "draining", http.StatusServiceUnavailable)
+		s.fail(w, http.StatusServiceUnavailable, "draining")
 		return
 	}
 	fmt.Fprintln(w, "ok")
+	s.met.httpOutcome(http.StatusOK)
 }

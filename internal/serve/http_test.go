@@ -2,6 +2,7 @@ package serve
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"io"
 	"net/http"
@@ -14,6 +15,7 @@ import (
 
 	"repro/internal/imageio"
 	"repro/internal/models"
+	"repro/internal/serve/cache"
 	"repro/internal/tensor"
 	"repro/internal/trace"
 )
@@ -290,5 +292,171 @@ func TestServerMetricsEndpoint(t *testing.T) {
 	}
 	if t.Failed() {
 		t.Logf("metrics body:\n%s", text)
+	}
+}
+
+// gateModel blocks every Forward until the test releases it: entered
+// gets one tick when a forward begins, release lets it finish. It
+// makes occupancy (worker busy, queue full) and singleflight parking
+// fully deterministic in the contract test below.
+type gateModel struct {
+	scale   int
+	entered chan struct{}
+	release chan struct{}
+	out     *tensor.Tensor
+}
+
+func (g *gateModel) Forward(x *tensor.Tensor) *tensor.Tensor {
+	g.entered <- struct{}{}
+	<-g.release
+	n, c, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
+	g.out = tensor.Ensure(g.out, n, c, h*g.scale, w*g.scale)
+	return g.out
+}
+func (g *gateModel) Scale() int  { return g.scale }
+func (g *gateModel) Halo() int   { return 1 }
+func (g *gateModel) Colors() int { return 3 }
+
+// TestServerStatusHeaderContract pins the full status/header contract
+// the fleet router depends on: 405 with Allow, 413, 429 with
+// Retry-After, draining 503s with Retry-After on both /v1/upscale and
+// /healthz, 404 for unknown models, and 499 (client disconnect)
+// accounting — plus the requirement that every endpoint routes through
+// the same sr_requests_total outcome partition.
+func TestServerStatusHeaderContract(t *testing.T) {
+	reg := trace.NewMetrics()
+	met := NewMetrics(reg)
+	gate := &gateModel{scale: 2, entered: make(chan struct{}, 4), release: make(chan struct{})}
+	e := NewEngine(EngineConfig{
+		Batch:    BatcherConfig{MaxBatch: 1, Queue: 1, Workers: 1},
+		TileSize: 64,
+		Cache:    cache.Config{MaxBytes: 1 << 20},
+	}, met, nil)
+	if err := e.Register("gate", func() Model { return gate }); err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+	t.Cleanup(func() {
+		close(gate.release) // unblock any stragglers so Shutdown returns
+		e.Shutdown()
+	})
+	s := NewServer(e, reg, met, 0)
+	rng := tensor.NewRNG(53)
+	img := func() []byte { return encodePNG(t, randImage(rng, 3, 6, 6)) }
+
+	do := func(method, url string, body []byte) *httptest.ResponseRecorder {
+		var rd io.Reader
+		if body != nil {
+			rd = bytes.NewReader(body)
+		}
+		rr := httptest.NewRecorder()
+		s.ServeHTTP(rr, httptest.NewRequest(method, url, rd))
+		return rr
+	}
+	expect := func(rr *httptest.ResponseRecorder, code int, headers map[string]string, label string) {
+		t.Helper()
+		if rr.Code != code {
+			t.Fatalf("%s: status %d, want %d (%s)", label, rr.Code, code, rr.Body.String())
+		}
+		for h, want := range headers {
+			if got := rr.Header().Get(h); got != want {
+				t.Errorf("%s: header %s = %q, want %q", label, h, got, want)
+			}
+		}
+	}
+
+	// RFC 9110: 405 responses must name the allowed methods.
+	expect(do(http.MethodGet, "/v1/upscale", nil), http.StatusMethodNotAllowed,
+		map[string]string{"Allow": "POST"}, "GET upscale")
+	expect(do(http.MethodPost, "/v1/models", img()), http.StatusMethodNotAllowed,
+		map[string]string{"Allow": "GET"}, "POST models")
+
+	// 404 for an unregistered model.
+	expect(do(http.MethodPost, "/v1/upscale?model=nope", img()), http.StatusNotFound, nil, "unknown model")
+
+	// 413 when the body exceeds the configured cap.
+	tiny := NewServer(e, reg, met, 64)
+	rr := httptest.NewRecorder()
+	tiny.ServeHTTP(rr, httptest.NewRequest(http.MethodPost, "/v1/upscale", bytes.NewReader(img())))
+	expect(rr, http.StatusRequestEntityTooLarge, nil, "oversized body")
+
+	// 429 + Retry-After when the queue is full: A occupies the worker,
+	// B fills the 1-slot queue, C is shed.
+	bodyA, bodyB := img(), img()
+	respA := make(chan *httptest.ResponseRecorder, 1)
+	go func() { respA <- do(http.MethodPost, "/v1/upscale", bodyA) }()
+	<-gate.entered // A is inside Forward
+	respB := make(chan *httptest.ResponseRecorder, 1)
+	go func() { respB <- do(http.MethodPost, "/v1/upscale", bodyB) }()
+	waitFor(t, func() bool { return e.mods["gate"].b.QueueLen() == 1 }, "request B queued")
+	expect(do(http.MethodPost, "/v1/upscale", img()), http.StatusTooManyRequests,
+		map[string]string{"Retry-After": "1"}, "shed request")
+	gate.release <- struct{}{} // finish A
+	<-gate.entered             // B inside Forward
+	gate.release <- struct{}{} // finish B
+	expect(<-respA, http.StatusOK, nil, "request A")
+	expect(<-respB, http.StatusOK, nil, "request B")
+
+	// 499 accounting: leader D blocks in Forward, waiter E parks on
+	// D's singleflight and is cancelled; E must be counted as an error
+	// outcome with nothing written.
+	shared := img()
+	respD := make(chan *httptest.ResponseRecorder, 1)
+	go func() { respD <- do(http.MethodPost, "/v1/upscale", shared) }()
+	<-gate.entered // D inside Forward
+	errsBefore := met.Errors.Value()
+	ctx, cancel := context.WithCancel(context.Background())
+	respE := make(chan *httptest.ResponseRecorder, 1)
+	go func() {
+		rr := httptest.NewRecorder()
+		req := httptest.NewRequest(http.MethodPost, "/v1/upscale", bytes.NewReader(shared)).WithContext(ctx)
+		s.ServeHTTP(rr, req)
+		respE <- rr
+	}()
+	waitFor(t, func() bool { return met.Cache.InflightWaits.Value() >= 1 }, "waiter E parked")
+	cancel()
+	rrE := <-respE
+	if rrE.Body.Len() != 0 {
+		t.Errorf("cancelled waiter wrote a body: %q", rrE.Body.String())
+	}
+	if got := met.Errors.Value(); got != errsBefore+1 {
+		t.Errorf("499 accounting: errors %d, want %d", got, errsBefore+1)
+	}
+	gate.release <- struct{}{} // finish D
+	expect(<-respD, http.StatusOK, nil, "leader D")
+
+	// Accounted introspection endpoints.
+	expect(do(http.MethodGet, "/v1/models", nil), http.StatusOK, nil, "models")
+	rr = httptest.NewRecorder()
+	s.ServeHTTP(rr, httptest.NewRequest(http.MethodGet, "/healthz", nil))
+	expect(rr, http.StatusOK, nil, "healthz")
+
+	// Draining: both the upscale path and the health check answer 503
+	// with Retry-After so a load balancer backs off for the lame-duck
+	// window instead of hot-retrying.
+	s.StartDrain()
+	expect(do(http.MethodPost, "/v1/upscale", img()), http.StatusServiceUnavailable,
+		map[string]string{"Retry-After": "1"}, "draining upscale")
+	rr = httptest.NewRecorder()
+	s.ServeHTTP(rr, httptest.NewRequest(http.MethodGet, "/healthz", nil))
+	expect(rr, http.StatusServiceUnavailable, map[string]string{"Retry-After": "1"}, "draining healthz")
+
+	// Every request above must land in exactly one outcome bucket.
+	total := met.Requests.Value()
+	parts := met.Responses.Value() + met.Rejected.Value() + met.Errors.Value()
+	if total == 0 || total != parts {
+		t.Errorf("outcome partition: %d requests vs %d outcomes (responses %d, rejected %d, errors %d)",
+			total, parts, met.Responses.Value(), met.Rejected.Value(), met.Errors.Value())
+	}
+}
+
+// waitFor polls cond until it holds or the deadline expires.
+func waitFor(t *testing.T, cond func() bool, what string) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
 	}
 }

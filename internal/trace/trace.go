@@ -73,6 +73,11 @@ const (
 	// request spent parked on another request's in-flight forward
 	// (singleflight wait).
 	CatServeCache
+	// CatRouterProxy covers one routed upscale request at the fleet
+	// router (internal/router): placement, the proxied backend exchange,
+	// and any hedged or retried attempts until a response was written
+	// back to the client.
+	CatRouterProxy
 
 	numCategories
 )
@@ -99,6 +104,7 @@ var catNames = [numCategories]string{
 	"serve/batch",
 	"serve/queue",
 	"serve/cache",
+	"router/proxy",
 }
 
 // String returns the category's canonical op name.
@@ -162,6 +168,8 @@ func (c Category) Group() string {
 		return "lifecycle"
 	case CatServeRequest, CatServeBatch, CatServeQueue, CatServeCache:
 		return "serve"
+	case CatRouterProxy:
+		return "router"
 	}
 	return "other"
 }

@@ -82,4 +82,18 @@ echo "== tier 2: bench-serve smoke (all serving variants + Zipf cache sweep)"
 go run ./cmd/bench-serve -quick -seed 9 -variants float32,fused,int8 -o /tmp/BENCH_serve_smoke.json
 rm -f /tmp/BENCH_serve_smoke.json
 
+echo "== tier 2: fleet router gate (pool/placement/hedge units + zero-loss rolling-restart e2e under race)"
+go build -o /tmp/check-bin/ ./cmd/sr-router ./cmd/bench-router
+rm -rf /tmp/check-bin
+go test -race ./internal/router/
+
+echo "== tier 2: bench-router smoke (multi-process replicas: rolling restart, kill, hedged straggler, shed)"
+go run ./cmd/bench-router -quick -o /tmp/BENCH_router_smoke.json
+grep -q '"name": "rolling-restart"' /tmp/BENCH_router_smoke.json
+if grep -E '"failed": [1-9]' /tmp/BENCH_router_smoke.json; then
+    echo "bench-router smoke leaked failed requests" >&2
+    exit 1
+fi
+rm -f /tmp/BENCH_router_smoke.json
+
 echo "all checks passed"
