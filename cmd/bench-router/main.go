@@ -51,6 +51,7 @@ import (
 	"repro/internal/serve"
 	"repro/internal/tensor"
 	"repro/internal/trace"
+	rtrace "repro/internal/trace/request"
 )
 
 // scenarioResult is one row of the report.
@@ -72,11 +73,24 @@ type scenarioResult struct {
 	P99Ms     float64 `json:"p99_ms"`
 	VsDirect  float64 `json:"vs_direct,omitempty"`
 	// Router-side evidence of the churn the clients never saw.
-	Retries     int64 `json:"retries,omitempty"`
-	HedgesFired int64 `json:"hedges_fired,omitempty"`
-	HedgeWins   int64 `json:"hedge_wins,omitempty"`
-	Ejections   int64 `json:"ejections,omitempty"`
-	Readmits    int64 `json:"readmits,omitempty"`
+	Retries        int64 `json:"retries,omitempty"`
+	HedgesLaunched int64 `json:"hedges_launched,omitempty"`
+	HedgeWins      int64 `json:"hedge_won,omitempty"`
+	HedgeWasted    int64 `json:"hedge_wasted,omitempty"`
+	Ejections      int64 `json:"ejections,omitempty"`
+	Readmits       int64 `json:"readmits,omitempty"`
+	// Request-trace evidence from the router's tail sampler: how many
+	// traces were retained, the per-stage attribution table summed over
+	// them (milliseconds), and how much of each 200-response's wall time
+	// the spans explain (mean and worst case — the ≥95% acceptance
+	// criterion). ReplayTraceID is a retained trace whose tree shows a
+	// failed attempt and its replay joined under one trace ID, verified
+	// present in the /debug/traces output over HTTP.
+	TracesKept      int                `json:"traces_kept,omitempty"`
+	Attribution     map[string]float64 `json:"attribution_ms,omitempty"`
+	AttrCoverage    float64            `json:"attr_coverage_mean,omitempty"`
+	AttrCoverageMin float64            `json:"attr_coverage_min,omitempty"`
+	ReplayTraceID   string             `json:"replay_trace_id,omitempty"`
 }
 
 // report is the BENCH_router.json schema.
@@ -201,6 +215,8 @@ func main() {
 	})
 	rep.Scenarios = append(rep.Scenarios, kill)
 	check(kill.Failed == 0, "killed replica leaked %d failed requests to clients", kill.Failed)
+	check(kill.ReplayTraceID != "",
+		"kill scenario: /debug/traces shows no retained trace with the replayed attempt joined to the original trace ID")
 
 	// --- slow replica: unhedged vs hedged --------------------------------
 	b.slowMs = *slowReplica
@@ -216,7 +232,10 @@ func main() {
 	check(hedged.P99Ms < unhedged.P99Ms,
 		"hedging did not beat the straggler: hedged p99 %.2fms vs unhedged %.2fms",
 		hedged.P99Ms, unhedged.P99Ms)
-	check(hedged.HedgesFired > 0, "hedge scenario never fired a hedge")
+	check(hedged.HedgesLaunched > 0, "hedge scenario never launched a hedge")
+	check(hedged.HedgesLaunched == hedged.HedgeWins+hedged.HedgeWasted,
+		"hedge accounting broken: launched %d != won %d + wasted %d",
+		hedged.HedgesLaunched, hedged.HedgeWins, hedged.HedgeWasted)
 
 	// --- overload shed ----------------------------------------------------
 	shed := b.scenario("overload-shed", 1, &router.Config{
@@ -226,6 +245,20 @@ func main() {
 	rep.Scenarios = append(rep.Scenarios, shed)
 	check(shed.Failed == 0, "overload shed produced %d hard failures (sheds must be clean 429s)", shed.Failed)
 	check(shed.Shed > 0, "overload scenario never shed (max-inflight 1, %d clients)", b.clients)
+
+	// --- attribution acceptance: retained traces must explain their
+	// wall time. For every routed scenario that retained slow-tail
+	// traces, the per-stage span union must cover ≥95% of each such
+	// request's measured wall, worst case included — a straggler whose
+	// trace cannot say where the time went is an attribution bug.
+	for _, r := range rep.Scenarios {
+		if r.TracesKept == 0 || r.AttrCoverageMin == 0 {
+			continue
+		}
+		check(r.AttrCoverageMin >= 0.95,
+			"%s: per-stage attribution covers only %.1f%% of the worst slow-tail request's wall time (want >= 95%%)",
+			r.Name, r.AttrCoverageMin*100)
+	}
 
 	f, err := os.Create(*out)
 	if err != nil {
@@ -377,19 +410,86 @@ func (b *bench) scenario(name string, n int, cfg *router.Config, churn func([]*r
 	if rt != nil {
 		m := rt.Metrics()
 		res.Retries = m.Retries.Value()
-		res.HedgesFired = m.HedgesFired.Value()
+		res.HedgesLaunched = m.HedgesLaunched.Value()
 		res.HedgeWins = m.HedgeWins.Value()
+		res.HedgeWasted = m.HedgeWasted.Value()
 		res.Ejections = m.Ejections.Value()
 		res.Readmits = m.Readmits.Value()
+		b.collectTraces(&res, rt, client, target)
 	}
 	if msg := firstErr.Load(); msg != nil {
 		fmt.Fprintf(os.Stderr, "%s: first failure: %s\n", name, *msg)
 	}
 	fmt.Fprintf(os.Stderr,
-		"%-22s %d replica(s): %6.1f img/s  p50 %6.2f ms  p99 %7.2f ms  ok %5d  shed %4d  failed %d  retries %d  hedges %d/%d  eject/readmit %d/%d\n",
+		"%-22s %d replica(s): %6.1f img/s  p50 %6.2f ms  p99 %7.2f ms  ok %5d  shed %4d  failed %d  retries %d  hedges %d/%d/%d  eject/readmit %d/%d  traces %d (cov %.2f)\n",
 		name, n, res.ImgPerSec, res.P50Ms, res.P99Ms, res.OK, res.Shed, res.Failed,
-		res.Retries, res.HedgeWins, res.HedgesFired, res.Ejections, res.Readmits)
+		res.Retries, res.HedgesLaunched, res.HedgeWins, res.HedgeWasted, res.Ejections, res.Readmits,
+		res.TracesKept, res.AttrCoverage)
 	return res
+}
+
+// collectTraces summarizes the router's retained request traces into
+// the scenario row: the per-stage attribution table, the attribution
+// coverage of completed (200) requests (AttrCoverageMin is taken over
+// the slow-tail keep class only — that is the class attribution exists
+// to explain; a 5 ms sampled request's fixed scheduling overhead is a
+// visible fraction, a straggler's is noise), and — when a trace shows a
+// replayed attempt (≥2 attempt spans under one trace ID, the SIGKILL
+// evidence) — that trace's ID, verified to actually appear in the
+// /debug/traces output served over HTTP.
+func (b *bench) collectTraces(res *scenarioResult, rt *router.Router, client *http.Client, target string) {
+	traces := rt.TraceStore().Retained()
+	res.TracesKept = len(traces)
+	if len(traces) == 0 {
+		return
+	}
+	res.Attribution = make(map[string]float64)
+	res.AttrCoverageMin = 0
+	var covSum float64
+	covN := 0
+	for _, t := range traces {
+		rows, covered := t.Attribution()
+		for _, row := range rows {
+			res.Attribution[row.Label] += float64(row.Dur) / 1e6
+		}
+		if t.Status == http.StatusOK {
+			covSum += covered
+			covN++
+			if t.KeptFor == rtrace.KeptSlow &&
+				(res.AttrCoverageMin == 0 || covered < res.AttrCoverageMin) {
+				res.AttrCoverageMin = covered
+			}
+		}
+		if res.ReplayTraceID == "" {
+			attempts := 0
+			for _, sp := range t.Spans {
+				if sp.Stage == rtrace.StageRouterAttempt {
+					attempts++
+				}
+			}
+			if attempts >= 2 {
+				res.ReplayTraceID = t.ID.String()
+			}
+		}
+	}
+	if covN > 0 {
+		res.AttrCoverage = covSum / float64(covN)
+	}
+	if res.ReplayTraceID != "" {
+		// The debug endpoint must serve the same trace to an operator.
+		// The perfetto view carries every retained trace (the text view
+		// shows only the slowest ten).
+		found := false
+		if resp, err := client.Get(target + "/debug/traces?format=perfetto"); err == nil {
+			if data, err := io.ReadAll(resp.Body); err == nil {
+				found = bytes.Contains(data, []byte(res.ReplayTraceID))
+			}
+			resp.Body.Close()
+		}
+		if !found {
+			res.ReplayTraceID = ""
+		}
+	}
 }
 
 // postOnce sends one upscale and fully reads the response.

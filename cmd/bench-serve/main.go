@@ -39,6 +39,7 @@ import (
 	"repro/internal/serve/cache"
 	"repro/internal/tensor"
 	"repro/internal/trace"
+	"repro/internal/trace/request"
 )
 
 // sweepResult is one (variant, micro-batch-size) cell of the sweep.
@@ -61,6 +62,13 @@ type sweepResult struct {
 	VsFloat32     float64  `json:"vs_float32,omitempty"`
 	BatchedFwds   int64    `json:"batched_forwards"`
 	TotalSubmits  int64    `json:"total_submits"`
+	// Attribution sums per-stage self time (merged span intervals, ms)
+	// across the traces the server's tail sampler retained during the
+	// timed run; AttrCoverage is the mean fraction of request wall time
+	// those stages explain.
+	TracesKept   int                `json:"traces_kept,omitempty"`
+	Attribution  map[string]float64 `json:"attribution_ms,omitempty"`
+	AttrCoverage float64            `json:"attr_coverage_mean,omitempty"`
 }
 
 // cacheSweepResult is one point of the result-cache sweep: the same
@@ -133,7 +141,11 @@ func benchPoint(master *models.EDSR, variant string, maxBatch, workers, clients,
 	if err != nil {
 		return res, err
 	}
-	httpSrv := &http.Server{Handler: serve.NewServer(engine, reg, met, 0)}
+	srv := serve.NewServer(engine, reg, met, 0)
+	// Keep every 4th request so the BENCH attribution table averages a
+	// healthy trace population without tracing allocs dominating the run.
+	srv.SetTraceStore(request.NewStore(request.Config{Capacity: 512, SampleRate: 0.25}))
+	httpSrv := &http.Server{Handler: srv}
 	go httpSrv.Serve(ln)
 	defer httpSrv.Close()
 	url := "http://" + ln.Addr().String() + "/v1/upscale"
@@ -202,6 +214,27 @@ func benchPoint(master *models.EDSR, variant string, maxBatch, workers, clients,
 	res.TotalSubmits = met.Submits.Value() - warmSubmits
 	if res.BatchedFwds > 0 {
 		res.MeanBatch = float64(res.TotalSubmits) / float64(res.BatchedFwds)
+	}
+
+	// Per-stage latency attribution from the traces the tail sampler
+	// retained: where did a request's wall time actually go?
+	var coverSum float64
+	for _, t := range srv.TraceStore().Retained() {
+		if t.Status != http.StatusOK {
+			continue
+		}
+		rows, covered := t.Attribution()
+		if res.Attribution == nil {
+			res.Attribution = make(map[string]float64)
+		}
+		for _, row := range rows {
+			res.Attribution[row.Label] += float64(row.Dur) / 1e6
+		}
+		coverSum += covered
+		res.TracesKept++
+	}
+	if res.TracesKept > 0 {
+		res.AttrCoverage = coverSum / float64(res.TracesKept)
 	}
 	return res, nil
 }

@@ -28,6 +28,7 @@ import (
 
 	"repro/internal/router"
 	"repro/internal/trace"
+	"repro/internal/trace/request"
 )
 
 func main() {
@@ -43,6 +44,9 @@ func main() {
 	maxBody := flag.Int64("max-body", router.DefaultMaxBodyBytes, "largest accepted upload in bytes (buffered for replay)")
 	timeout := flag.Duration("timeout", 120*time.Second, "end-to-end bound on one proxy attempt")
 	tracePath := flag.String("trace", "", "write a Chrome trace_event JSON timeline here on shutdown (open at https://ui.perfetto.dev)")
+	traceRetain := flag.Int("trace-retain", 256, "retained request traces served from /debug/traces (bounded ring)")
+	traceSample := flag.Float64("trace-sample", 0.01, "probabilistic keep rate for unremarkable requests (<0 disables; errors and the slow tail are always kept)")
+	traceSlowPct := flag.Float64("trace-slow-pct", 90, "always retain requests slower than this percentile of recent latency (<0 disables)")
 	drainGrace := flag.Duration("drain-grace", 3*time.Second, "lame-duck delay between flipping /healthz to 503 and closing the listener")
 	drainWait := flag.Duration("drain-wait", 10*time.Second, "how long to wait for in-flight proxied requests on shutdown")
 	flag.Parse()
@@ -59,6 +63,8 @@ func main() {
 	}
 
 	reg := trace.NewMetrics()
+	trace.RegisterBuildInfo(reg, trace.BuildVersion, "router")
+	trace.RegisterRuntimeMetrics(reg)
 	var rec *trace.Recorder
 	var sess *trace.Session
 	if *tracePath != "" {
@@ -85,6 +91,13 @@ func main() {
 		os.Exit(2)
 	}
 	defer rt.Close()
+	rt.SetTraceStore(request.NewStore(request.Config{
+		Capacity:   *traceRetain,
+		SampleRate: *traceSample,
+		SlowPct:    *traceSlowPct,
+	}))
+	fmt.Printf("request tracing: /debug/traces (retain %d, slow-pct %g, sample %g)\n",
+		*traceRetain, *traceSlowPct, *traceSample)
 
 	httpSrv := &http.Server{Addr: *addr, Handler: rt}
 	done := make(chan error, 1)

@@ -28,6 +28,7 @@ import (
 	"repro/internal/serve"
 	"repro/internal/serve/cache"
 	"repro/internal/trace"
+	"repro/internal/trace/request"
 )
 
 func main() {
@@ -44,11 +45,16 @@ func main() {
 	cacheMB := flag.Int("cache-mb", 256, "content-addressed result-cache budget in MiB (repeat requests skip the forward; concurrent identical requests collapse into one)")
 	cacheOff := flag.Bool("cache-off", false, "disable the result cache regardless of -cache-mb")
 	tracePath := flag.String("trace", "", "write a Chrome trace_event JSON timeline here on shutdown (open at https://ui.perfetto.dev)")
+	traceRetain := flag.Int("trace-retain", 256, "retained request traces served from /debug/traces (bounded ring)")
+	traceSample := flag.Float64("trace-sample", 0.01, "probabilistic keep rate for unremarkable requests (<0 disables; errors and the slow tail are always kept)")
+	traceSlowPct := flag.Float64("trace-slow-pct", 90, "always retain requests slower than this percentile of recent latency (<0 disables)")
 	drainWait := flag.Duration("drain-wait", 10*time.Second, "how long to wait for in-flight requests on shutdown")
 	drainGrace := flag.Duration("drain-grace", 3*time.Second, "lame-duck delay between flipping /healthz to 503 and closing the listener, so load balancers observe the drain and stop routing here before connections are refused (rolling restarts lose zero requests)")
 	flag.Parse()
 
 	reg := trace.NewMetrics()
+	trace.RegisterBuildInfo(reg, trace.BuildVersion, "serve")
+	trace.RegisterRuntimeMetrics(reg)
 	met := serve.NewMetrics(reg)
 	var rec *trace.Recorder
 	var sess *trace.Session
@@ -154,6 +160,13 @@ func main() {
 	}
 
 	srv := serve.NewServer(engine, reg, met, *maxBody)
+	srv.SetTraceStore(request.NewStore(request.Config{
+		Capacity:   *traceRetain,
+		SampleRate: *traceSample,
+		SlowPct:    *traceSlowPct,
+	}))
+	fmt.Printf("request tracing: /debug/traces (retain %d, slow-pct %g, sample %g)\n",
+		*traceRetain, *traceSlowPct, *traceSample)
 	httpSrv := &http.Server{Addr: *addr, Handler: srv}
 
 	done := make(chan error, 1)

@@ -29,10 +29,14 @@ type Metrics struct {
 	// Retries counts replayed attempts after a retryable backend
 	// failure (transport error, drain 503, backend 429).
 	Retries *trace.Counter
-	// HedgesFired counts hedge attempts launched after the p95 delay;
-	// HedgeWins counts the subset that beat the primary.
-	HedgesFired *trace.Counter
-	HedgeWins   *trace.Counter
+	// HedgesLaunched counts hedge attempts launched after the p95
+	// delay; HedgeWins counts the subset that beat the primary, and
+	// HedgeWasted the losers whose work was cancelled or discarded —
+	// launched = won + wasted, so wasted/launched is the misfire rate
+	// the hedge delay should be tuned against.
+	HedgesLaunched *trace.Counter
+	HedgeWins      *trace.Counter
+	HedgeWasted    *trace.Counter
 	// Ejections and Readmits count backend rotation transitions;
 	// BackendsHealthy gauges the current rotation size.
 	Ejections       *trace.Counter
@@ -61,8 +65,9 @@ func NewMetrics(m *trace.Metrics, n int) *Metrics {
 		RateLimited:     m.Counter("sr_router_ratelimited_total", "429s from the per-client token bucket."),
 		Sheds:           m.Counter("sr_router_sheds_total", "429s from fleet-saturation admission control."),
 		Retries:         m.Counter("sr_router_retries_total", "Attempts replayed on another backend after a retryable failure."),
-		HedgesFired:     m.Counter("sr_router_hedges_total", "Hedge attempts launched after the p95 delay."),
-		HedgeWins:       m.Counter("sr_router_hedge_wins_total", "Hedge attempts that beat the primary."),
+		HedgesLaunched:  m.Counter("sr_router_hedge_launched_total", "Hedge attempts launched after the p95 delay."),
+		HedgeWins:       m.Counter("sr_router_hedge_won_total", "Hedge attempts that beat the primary."),
+		HedgeWasted:     m.Counter("sr_router_hedge_wasted_total", "Hedge attempts that lost (cancelled or their result discarded)."),
 		Ejections:       m.Counter("sr_router_ejections_total", "Backends removed from rotation (probe failure, transport error, or drain)."),
 		Readmits:        m.Counter("sr_router_readmits_total", "Backends re-admitted after consecutive probe passes."),
 		BackendsHealthy: m.Gauge("sr_router_backends_healthy", "Backends currently in rotation."),
@@ -161,4 +166,13 @@ func (m *Metrics) observeProxy(d time.Duration) {
 		return
 	}
 	m.ProxySeconds.Observe(d.Seconds())
+}
+
+// proxyExemplar links a retained trace ID to the latency bucket its
+// routed request landed in.
+func (m *Metrics) proxyExemplar(sec float64, traceID string) {
+	if m == nil {
+		return
+	}
+	m.ProxySeconds.Exemplar(sec, traceID)
 }

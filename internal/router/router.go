@@ -49,6 +49,7 @@ import (
 	"time"
 
 	"repro/internal/trace"
+	rtrace "repro/internal/trace/request"
 )
 
 // statusClientClosedRequest is the conventional (nginx) status for a
@@ -124,6 +125,7 @@ type Router struct {
 	client  *http.Client
 	met     *Metrics
 	rec     *trace.Recorder
+	traces  *rtrace.Store
 	mux     *http.ServeMux
 
 	draining atomic.Bool
@@ -156,19 +158,34 @@ func New(cfg Config, reg *trace.Metrics, rec *trace.Recorder) (*Router, error) {
 				MaxIdleConnsPerHost: pool.cfg.MaxInflight + 2,
 			},
 		},
-		met: met,
-		rec: rec,
-		mux: http.NewServeMux(),
+		met:    met,
+		rec:    rec,
+		traces: rtrace.NewStore(rtrace.Config{}),
+		mux:    http.NewServeMux(),
 	}
 	rt.mux.HandleFunc("/v1/upscale", rt.handleUpscale)
 	rt.mux.HandleFunc("/v1/models", rt.handleModels)
 	rt.mux.HandleFunc("/healthz", rt.handleHealth)
+	rt.mux.HandleFunc("/debug/traces", func(w http.ResponseWriter, r *http.Request) {
+		rt.traces.Handler().ServeHTTP(w, r)
+	})
 	if reg != nil {
 		rt.mux.Handle("/metrics", reg.Handler())
 	}
 	pool.Start()
 	return rt, nil
 }
+
+// SetTraceStore replaces the request-trace store (configure sampling
+// knobs before serving traffic).
+func (rt *Router) SetTraceStore(st *rtrace.Store) {
+	if st != nil {
+		rt.traces = st
+	}
+}
+
+// TraceStore returns the router's request-trace store.
+func (rt *Router) TraceStore() *rtrace.Store { return rt.traces }
 
 // ServeHTTP implements http.Handler.
 func (rt *Router) ServeHTTP(w http.ResponseWriter, r *http.Request) { rt.mux.ServeHTTP(w, r) }
@@ -231,56 +248,92 @@ var (
 )
 
 // handleUpscale is POST /v1/upscale: admission, placement, proxy with
-// retries and hedging, response copy-out.
+// retries and hedging, response copy-out. The router is the fleet edge,
+// so this is where the request's trace is minted (or adopted from an
+// incoming traceparent), returned as X-Trace-Id, and tail-sampled.
 func (rt *Router) handleUpscale(w http.ResponseWriter, r *http.Request) {
 	rt.met.request()
+	a := rt.traces.Start(r.Header.Get("traceparent"))
+	began := time.Now()
+	if a != nil {
+		w.Header().Set("X-Trace-Id", a.TraceID().String())
+	}
+	status := rt.doUpscale(w, r, a)
+	if id, kept := rt.traces.Finish(a, status); kept {
+		rt.met.proxyExemplar(time.Since(began).Seconds(), id.String())
+	}
+}
+
+// emitTiled closes one tiled stage span [from, now) as a child of the
+// root and returns its end — the next stage's start. Returns 0 (and
+// records nothing) for an untraced request.
+func emitTiled(a *rtrace.Active, stage rtrace.Stage, from, bytes int64) int64 {
+	if a == nil {
+		return 0
+	}
+	now := a.Now()
+	a.Emit(stage, rtrace.NewSpanID(), a.Root(), from, now, bytes, 0, -1, 0)
+	return now
+}
+
+// doUpscale runs the routed exchange and returns the HTTP status it
+// accounted for (499 when the client vanished mid-route).
+func (rt *Router) doUpscale(w http.ResponseWriter, r *http.Request, a *rtrace.Active) int {
 	if r.Method != http.MethodPost {
 		w.Header().Set("Allow", http.MethodPost)
 		rt.fail(w, http.StatusMethodNotAllowed, "POST a PNG body")
-		return
+		return http.StatusMethodNotAllowed
 	}
 	if rt.draining.Load() {
 		rt.fail(w, http.StatusServiceUnavailable, "router draining")
-		return
+		return http.StatusServiceUnavailable
 	}
-	if ok, wait := rt.limiter.Allow(clientKey(r)); !ok {
+	// Stage spans tile: each starts where the previous ended (the first
+	// at t=0), so dispatch overhead between stages is attributed to the
+	// stage that follows it rather than silently unaccounted — the
+	// attribution view can then explain ~all of a request's wall time.
+	cur := a.T0()
+	ok, wait := rt.limiter.Allow(clientKey(r))
+	cur = emitTiled(a, rtrace.StageRouterLimiter, cur, 0)
+	if !ok {
 		secs := int(wait/time.Second) + 1
 		w.Header().Set("Retry-After", strconv.Itoa(secs))
 		rt.met.RateLimited.Inc()
 		rt.fail(w, http.StatusTooManyRequests, "rate limit exceeded")
-		return
+		return http.StatusTooManyRequests
 	}
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, rt.cfg.MaxBody))
 	if err != nil {
 		var tooBig *http.MaxBytesError
 		if errors.As(err, &tooBig) {
 			rt.fail(w, http.StatusRequestEntityTooLarge, fmt.Sprintf("body over %d bytes", rt.cfg.MaxBody))
-			return
+			return http.StatusRequestEntityTooLarge
 		}
 		rt.fail(w, http.StatusBadRequest, "reading body: "+err.Error())
-		return
+		return http.StatusBadRequest
 	}
+	cur = emitTiled(a, rtrace.StageRouterReadBody, cur, int64(len(body)))
 	model := r.URL.Query().Get("model")
 
 	began := time.Now()
 	start := rt.rec.Now()
-	res, err := rt.route(r.Context(), model, body)
+	res, err := rt.route(r.Context(), a, model, body, cur)
 	switch {
 	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
 		// Client gone mid-route: nothing to write, account like the
 		// replicas do (nginx's 499).
 		rt.met.outcome(statusClientClosedRequest)
-		return
+		return statusClientClosedRequest
 	case errors.Is(err, errNoHealthy):
 		rt.fail(w, http.StatusServiceUnavailable, err.Error())
-		return
+		return http.StatusServiceUnavailable
 	case errors.Is(err, errSaturated):
 		rt.met.Sheds.Inc()
 		rt.fail(w, http.StatusTooManyRequests, err.Error())
-		return
+		return http.StatusTooManyRequests
 	case err != nil:
 		rt.fail(w, http.StatusBadGateway, "all attempts failed: "+err.Error())
-		return
+		return http.StatusBadGateway
 	}
 	// Pass the backend's response through, whatever it was: the router
 	// is transparent for statuses it does not itself produce.
@@ -290,20 +343,30 @@ func (rt *Router) handleUpscale(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	rt.met.outcome(res.status)
+	// The write span picks up where the winning attempt span closed, so
+	// header copy-out and the response write tile with the attempts.
+	wstart := res.closed
+	if wstart == 0 {
+		wstart = a.Now()
+	}
 	w.WriteHeader(res.status)
 	w.Write(res.body)
+	a.EmitStage(rtrace.StageRouterWrite, a.Root(), wstart, int64(len(res.body)))
 	rt.rec.Emit(trace.CatRouterProxy, trace.TrackMain, start, int64(len(res.body)))
 	rt.met.observeProxy(time.Since(began))
+	return res.status
 }
 
 // backendResult is one completed proxy attempt.
 type backendResult struct {
 	backend *Backend
+	attempt int // index into route's attempt table
 	status  int
 	header  http.Header
 	body    []byte
 	dur     time.Duration
 	hedged  bool
+	closed  int64 // span-clock time the winning attempt span closed
 	err     error // transport-level failure (no HTTP response)
 }
 
@@ -321,7 +384,7 @@ func (r *backendResult) retryable() bool {
 // attempts are cancelled. Returns errNoHealthy/errSaturated when no
 // attempt could even be placed, or the last transport error when every
 // placed attempt failed without an HTTP response.
-func (rt *Router) route(ctx context.Context, model string, body []byte) (*backendResult, error) {
+func (rt *Router) route(ctx context.Context, a *rtrace.Active, model string, body []byte, cur int64) (*backendResult, error) {
 	key := hashKey(model, body)
 	tried := make(map[*Backend]bool, 2)
 	// Buffered to the fleet size so straggler attempts never block
@@ -334,20 +397,75 @@ func (rt *Router) route(ctx context.Context, model string, body []byte) (*backen
 		}
 	}()
 
+	// attState tracks one launched attempt's span: attempt spans are
+	// minted here (their IDs travel to the replica in traceparent, so
+	// the replica's whole tree parents under the attempt that carried
+	// it) and emitted on this goroutine when the attempt resolves —
+	// losers as cancelled in the defer below, never silently absent.
+	type attState struct {
+		id     uint64
+		bidx   int16
+		start  int64
+		hedged bool
+		open   bool
+	}
+	var atts []attState
+	winner := -1
+	closeAttempt := func(i int, flags uint8, status int) int64 {
+		at := &atts[i]
+		if !at.open {
+			return 0
+		}
+		at.open = false
+		if at.hedged {
+			flags |= rtrace.FlagHedge
+		}
+		end := a.Now()
+		a.Emit(rtrace.StageRouterAttempt, at.id, a.Root(), at.start, end, 0, flags, at.bidx, int32(status))
+		return end
+	}
+	defer func() {
+		for i := range atts {
+			if atts[i].open {
+				closeAttempt(i, rtrace.FlagCancelled, 0)
+			}
+			if atts[i].hedged && i != winner {
+				rt.met.HedgeWasted.Inc()
+			}
+		}
+	}()
+
+	// launch places and dispatches one attempt. The placement span tiles
+	// from cur (the previous stage's end at first launch, the failed
+	// attempt's close on retries) and the attempt span tiles from the
+	// placement span's end, so route-internal bookkeeping stays
+	// attributed.
 	launch := func(hedged bool) bool {
+		pstart := cur
+		if pstart == 0 {
+			pstart = a.Now()
+		}
 		b := rt.place.Pick(rt.pool, key, tried)
 		if b == nil {
 			return false
 		}
+		cur = emitTiled(a, rtrace.StageRouterPlacement, pstart, 0)
 		tried[b] = true
 		rt.pool.acquire(b)
 		rt.met.attempt(b.Index)
 		actx, cancel := context.WithCancel(ctx)
 		cancels = append(cancels, cancel)
+		idx := len(atts)
+		atts = append(atts, attState{
+			id: rtrace.NewSpanID(), bidx: int16(b.Index),
+			start: cur, hedged: hedged, open: true,
+		})
+		tp := a.Traceparent(atts[idx].id)
 		go func() {
 			defer rt.pool.release(b)
-			res := rt.attempt(actx, b, model, body)
+			res := rt.attempt(actx, b, tp, model, body)
 			res.hedged = hedged
+			res.attempt = idx
 			results <- res
 		}()
 		return true
@@ -382,14 +500,22 @@ func (rt *Router) route(ctx context.Context, model string, body []byte) (*backen
 				// health probe.
 				rt.pool.eject(res.backend)
 				lastErr = res.err
+				cur = closeAttempt(res.attempt, rtrace.FlagError, 0)
 			} else if res.status == http.StatusServiceUnavailable {
 				// Drain signal: out of rotation until its healthz
 				// passes again post-restart.
 				rt.pool.eject(res.backend)
 			}
 			if res.retryable() {
+				if res.err == nil {
+					cur = closeAttempt(res.attempt, rtrace.FlagError, res.status)
+				}
 				if launch(false) {
 					rt.met.Retries.Inc()
+					// A replayed request is always worth retaining: the
+					// trace is the forensic record of what the retry
+					// recovered from.
+					a.ForceKeep()
 					pending++
 					continue
 				}
@@ -402,14 +528,17 @@ func (rt *Router) route(ctx context.Context, model string, body []byte) (*backen
 				return res, nil // pass the terminal 429/503 through
 			}
 			rt.lat.observe(res.dur)
+			winner = res.attempt
+			res.closed = closeAttempt(res.attempt, rtrace.FlagWinner, res.status)
 			if res.hedged {
 				rt.met.HedgeWins.Inc()
 			}
 			return res, nil
 		case <-hedgeC:
 			hedgeC = nil
+			cur = 0 // hedge placement starts at its own now, not the last stage end
 			if launch(true) {
-				rt.met.HedgesFired.Inc()
+				rt.met.HedgesLaunched.Inc()
 				pending++
 			}
 		case <-ctx.Done():
@@ -426,7 +555,7 @@ func (rt *Router) route(ctx context.Context, model string, body []byte) (*backen
 // buffered body, read the capped response. The response is consumed
 // entirely here so a replica killed mid-reply surfaces as a retryable
 // transport error instead of a broken body half-written to the client.
-func (rt *Router) attempt(ctx context.Context, b *Backend, model string, body []byte) *backendResult {
+func (rt *Router) attempt(ctx context.Context, b *Backend, traceparent, model string, body []byte) *backendResult {
 	began := time.Now()
 	u := *b.URL
 	u.Path = "/v1/upscale"
@@ -438,6 +567,12 @@ func (rt *Router) attempt(ctx context.Context, b *Backend, model string, body []
 		return &backendResult{backend: b, err: err}
 	}
 	req.Header.Set("Content-Type", "image/png")
+	if traceparent != "" {
+		// The attempt's span ID is the parent: the replica's whole span
+		// tree hangs off the attempt that carried it, including replays
+		// after a SIGKILL — same trace ID, new attempt span.
+		req.Header.Set("traceparent", traceparent)
+	}
 	resp, err := rt.client.Do(req)
 	if err != nil {
 		return &backendResult{backend: b, err: err}

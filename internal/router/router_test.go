@@ -501,8 +501,12 @@ func TestRouterHedgeBeatsSlowReplica(t *testing.T) {
 	if took >= 2*time.Second {
 		t.Fatalf("hedged request took %v — waited out the slow replica", took)
 	}
-	if met.HedgesFired.Value() != 1 || met.HedgeWins.Value() != 1 {
-		t.Fatalf("hedges fired %d won %d, want 1/1", met.HedgesFired.Value(), met.HedgeWins.Value())
+	if met.HedgesLaunched.Value() != 1 || met.HedgeWins.Value() != 1 {
+		t.Fatalf("hedges launched %d won %d, want 1/1", met.HedgesLaunched.Value(), met.HedgeWins.Value())
+	}
+	// The hedge won, so nothing was wasted: launched = won + wasted.
+	if met.HedgeWasted.Value() != 0 {
+		t.Fatalf("hedge wasted %d, want 0 (the hedge won)", met.HedgeWasted.Value())
 	}
 	// The cancelled slow attempt must release its slot.
 	waitFor(t, func() bool { return rt.Pool().Backends()[0].Inflight() == 0 }, "slow slot released")

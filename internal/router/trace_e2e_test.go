@@ -1,0 +1,143 @@
+package router
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/imageio"
+	"repro/internal/serve"
+	"repro/internal/tensor"
+	"repro/internal/trace"
+	rtrace "repro/internal/trace/request"
+)
+
+// TestTracePropagationE2E drives one request through a real router →
+// real sr-serve replica and asserts the result is a single connected
+// span tree: the replica adopts the router's trace ID from the
+// traceparent header, its root parents under the router's attempt span,
+// and every recorded span's parent resolves inside the merged tree —
+// no orphans, no second tree. Run with -race, this also shakes the
+// lock-free collector across the router's and replica's goroutines.
+func TestTracePropagationE2E(t *testing.T) {
+	// Real replica: bicubic model behind a real serve.Server + listener,
+	// keeping every trace so the assertion is deterministic.
+	engine := serve.NewEngine(serve.EngineConfig{
+		Batch: serve.BatcherConfig{MaxBatch: 2, MaxDelay: time.Millisecond},
+	}, nil, nil)
+	if err := engine.Register("bicubic", serve.BicubicFactory(2, 3)); err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+	t.Cleanup(engine.Shutdown)
+	replica := serve.NewServer(engine, nil, nil, 0)
+	replicaStore := rtrace.NewStore(rtrace.Config{Capacity: 8, SampleRate: 1})
+	replica.SetTraceStore(replicaStore)
+	backend := httptest.NewServer(replica)
+	t.Cleanup(backend.Close)
+
+	reg := trace.NewMetrics()
+	rt, err := New(Config{
+		Backends: []string{backend.URL},
+		Pool:     PoolConfig{HealthInterval: 10 * time.Millisecond},
+	}, reg, nil)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	t.Cleanup(rt.Close)
+	routerStore := rtrace.NewStore(rtrace.Config{Capacity: 8, SampleRate: 1})
+	rt.SetTraceStore(routerStore)
+	waitFor(t, func() bool { return rt.Pool().NumHealthy() == 1 }, "replica in rotation")
+
+	x := tensor.New(1, 3, 8, 8)
+	x.FillUniform(tensor.NewRNG(7), 0, 1)
+	var png bytes.Buffer
+	if err := imageio.WritePNG(&png, x); err != nil {
+		t.Fatalf("WritePNG: %v", err)
+	}
+
+	rr := post(rt, "/v1/upscale?model=bicubic", png.String(), nil)
+	if rr.Code != http.StatusOK {
+		t.Fatalf("routed upscale: %d %s", rr.Code, rr.Body.String())
+	}
+	traceID := rr.Header().Get("X-Trace-Id")
+	if traceID == "" {
+		t.Fatal("router response missing X-Trace-Id")
+	}
+
+	// Both stores kept the request (SampleRate 1) under the same ID.
+	routerTraces, replicaTraces := routerStore.Retained(), replicaStore.Retained()
+	if len(routerTraces) != 1 || len(replicaTraces) != 1 {
+		t.Fatalf("retained router=%d replica=%d traces, want 1 and 1",
+			len(routerTraces), len(replicaTraces))
+	}
+	rtr, rep := routerTraces[0], replicaTraces[0]
+	if rtr.ID.String() != traceID || rep.ID != rtr.ID {
+		t.Fatalf("trace IDs disagree: header=%s router=%s replica=%s", traceID, rtr.ID, rep.ID)
+	}
+	if rtr.RemoteParent != 0 {
+		t.Fatalf("router root has remote parent %x — the router is the edge", rtr.RemoteParent)
+	}
+	if rep.RemoteParent == 0 {
+		t.Fatal("replica root has no remote parent — traceparent not propagated")
+	}
+
+	// Merge both processes' spans and check the tree is connected:
+	// exactly one root (parent 0), every other parent resolves.
+	ids := map[uint64]bool{}
+	all := append(append([]rtrace.SpanRec{}, rtr.Spans...), rep.Spans...)
+	for _, sp := range all {
+		if sp.ID == 0 {
+			t.Fatalf("span with zero ID: %+v", sp)
+		}
+		if ids[sp.ID] {
+			t.Fatalf("span ID %x appears twice in the merged tree", sp.ID)
+		}
+		ids[sp.ID] = true
+	}
+	roots, attempts := 0, 0
+	for _, sp := range all {
+		if sp.Parent == 0 {
+			roots++
+			continue
+		}
+		if !ids[sp.Parent] {
+			t.Fatalf("orphan span: stage %s parent %x not in the merged tree", sp.Stage, sp.Parent)
+		}
+		if sp.Stage == rtrace.StageRouterAttempt {
+			attempts++
+			if sp.Flags&rtrace.FlagWinner == 0 {
+				t.Fatalf("single uncontended attempt not marked winner: %+v", sp)
+			}
+		}
+	}
+	if roots != 1 {
+		t.Fatalf("merged tree has %d roots, want exactly 1 (the router's)", roots)
+	}
+	if attempts != 1 {
+		t.Fatalf("merged tree has %d attempt spans, want 1", attempts)
+	}
+	// The replica's root must hang off the router's attempt span
+	// specifically, not just any span.
+	var attemptID uint64
+	for _, sp := range rtr.Spans {
+		if sp.Stage == rtrace.StageRouterAttempt {
+			attemptID = sp.ID
+		}
+	}
+	if rep.RemoteParent != attemptID {
+		t.Fatalf("replica root parents under %x, want the router attempt span %x",
+			rep.RemoteParent, attemptID)
+	}
+	// The replica recorded real serving stages, not just a bare root.
+	stages := map[rtrace.Stage]bool{}
+	for _, sp := range rep.Spans {
+		stages[sp.Stage] = true
+	}
+	for _, want := range []rtrace.Stage{rtrace.StageServeDecode, rtrace.StageServeForward, rtrace.StageServeEncode} {
+		if !stages[want] {
+			t.Fatalf("replica trace missing stage %s (got %v)", want, stages)
+		}
+	}
+}

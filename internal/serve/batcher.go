@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -8,6 +9,7 @@ import (
 
 	"repro/internal/tensor"
 	"repro/internal/trace"
+	rtrace "repro/internal/trace/request"
 )
 
 // Submission errors. The HTTP layer maps ErrOverloaded to 429 and
@@ -63,7 +65,12 @@ func (c BatcherConfig) withDefaults() BatcherConfig {
 type request struct {
 	x, out *tensor.Tensor
 	enq    int64 // Recorder.Now() at enqueue, for the queue-wait span
-	errc   chan error
+	// act is the submitting request's trace collector (nil when
+	// untraced); tEnq/tPulled are span-clock stamps bounding the
+	// queue-wait and batch-wait spans runBatch emits into it.
+	act           *rtrace.Active
+	tEnq, tPulled int64
+	errc          chan error
 }
 
 // Batcher coalesces concurrent single-image requests into batched
@@ -134,12 +141,22 @@ func (b *Batcher) Colors() int { return b.colors }
 // Shutdown began, or a shape error. x and out must not be touched until
 // Submit returns.
 func (b *Batcher) Submit(x, out *tensor.Tensor) error {
+	return b.SubmitCtx(context.Background(), x, out)
+}
+
+// SubmitCtx is Submit carrying the request context: when ctx holds a
+// request-trace collector, the worker records this submission's
+// queue-wait, batch-wait, and forward spans into it. ctx does not
+// cancel the submission — batched work is never abandoned part-way.
+func (b *Batcher) SubmitCtx(ctx context.Context, x, out *tensor.Tensor) error {
 	if x.Rank() != 4 || x.Dim(0) != 1 || x.Dim(1) != b.colors {
 		return fmt.Errorf("serve: want a single (1,%d,h,w) image, got %v", b.colors, x.Shape())
 	}
 	req := b.pool.Get().(*request)
 	req.x, req.out = x, out
 	req.enq = b.rec.Now()
+	req.act = rtrace.FromContext(ctx)
+	req.tEnq = rtrace.Now()
 
 	b.mu.RLock()
 	if b.draining {
@@ -164,7 +181,7 @@ func (b *Batcher) Submit(x, out *tensor.Tensor) error {
 
 // release returns a request to the pool with its payload cleared.
 func (b *Batcher) release(req *request) {
-	req.x, req.out = nil, nil
+	req.x, req.out, req.act = nil, nil, nil
 	b.pool.Put(req)
 }
 
@@ -214,6 +231,7 @@ func (w *worker) run() {
 			if !ok {
 				return
 			}
+			r.pulled()
 			first = r
 		}
 		pending = w.collect(first)
@@ -244,6 +262,7 @@ func (w *worker) collect(first *request) *request {
 				w.b.met.batchClosed(closeDrain)
 				return nil
 			}
+			r.pulled()
 			if !r.x.SameShape(first.x) {
 				w.b.met.batchClosed(closeShape)
 				return r
@@ -260,6 +279,7 @@ func (w *worker) collect(first *request) *request {
 						w.b.met.batchClosed(closeDrain)
 						return nil
 					}
+					r.pulled()
 					if !r.x.SameShape(first.x) {
 						w.stopTimer()
 						w.b.met.batchClosed(closeShape)
@@ -278,6 +298,14 @@ func (w *worker) collect(first *request) *request {
 	}
 	w.b.met.batchClosed(closeFull)
 	return nil
+}
+
+// pulled stamps the moment a worker took the request off the queue,
+// bounding its queue-wait span (and starting batch-wait).
+func (r *request) pulled() {
+	if r.act != nil {
+		r.tPulled = rtrace.Now()
+	}
 }
 
 // stopTimer cancels the hold timer, draining its channel if it fired
@@ -307,10 +335,20 @@ func (w *worker) runBatch(reqs []*request) {
 		w.b.met.queueWait(float64(now-r.enq) / 1e9)
 	}
 	start := w.b.rec.Now()
+	fwdStart := rtrace.Now()
 	y := w.model.Forward(w.in)
+	fwdEnd := rtrace.Now()
 	outPlane := y.Len() / n
 	yd := y.Data()
 	for i, r := range reqs {
+		if a := r.act; a != nil {
+			// The request's life through the batcher, in its own trace:
+			// queued → held in an open batch → the coalesced forward.
+			root := a.Root()
+			a.Emit(rtrace.StageServeQueue, rtrace.NewSpanID(), root, r.tEnq, r.tPulled, r.x.Bytes(), 0, -1, 0)
+			a.Emit(rtrace.StageServeBatchWait, rtrace.NewSpanID(), root, r.tPulled, fwdStart, 0, 0, -1, 0)
+			a.Emit(rtrace.StageServeForward, rtrace.NewSpanID(), root, fwdStart, fwdEnd, r.x.Bytes(), 0, -1, int32(n))
+		}
 		if r.out == nil || r.out.Len() != outPlane {
 			r.errc <- errShape
 			continue

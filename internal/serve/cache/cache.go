@@ -32,6 +32,7 @@ import (
 
 	"repro/internal/tensor"
 	"repro/internal/trace"
+	"repro/internal/trace/request"
 )
 
 // Config sizes the cache.
@@ -211,16 +212,24 @@ func (c *Cache) finish(k Key, f *flight, out *tensor.Tensor, err error) {
 func (c *Cache) wait(ctx context.Context, f *flight, out *tensor.Tensor) error {
 	c.met.inflightWait()
 	start := c.rec.Now()
+	a := request.FromContext(ctx)
+	wstart := a.Now()
 	select {
 	case <-f.done:
 	case <-ctx.Done():
 		c.met.inflightCancel()
+		if a != nil {
+			// The wait covered real wall time even though the client left.
+			a.Emit(request.StageServeCacheWait, request.NewSpanID(), a.Root(),
+				wstart, a.Now(), 0, request.FlagCancelled, -1, 0)
+		}
 		return ctx.Err()
 	}
 	if f.err != nil {
 		return f.err
 	}
 	copy(out.Data(), f.res.Data())
+	a.EmitStage(request.StageServeCacheWait, a.Root(), wstart, out.Bytes())
 	c.rec.Emit(trace.CatServeCache, trace.TrackMain, start, out.Bytes())
 	return nil
 }

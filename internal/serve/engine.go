@@ -10,6 +10,7 @@ import (
 	"repro/internal/serve/cache"
 	"repro/internal/tensor"
 	"repro/internal/trace"
+	rtrace "repro/internal/trace/request"
 )
 
 // ErrUnknownModel is returned by Upscale for an unregistered model name
@@ -185,11 +186,16 @@ func (e *Engine) UpscaleCtx(ctx context.Context, name string, x *tensor.Tensor) 
 	s := b.Scale()
 	out := tensor.New(1, c, h*s, w*s)
 
+	a := rtrace.FromContext(ctx)
 	if e.cache == nil {
 		err = e.forward(ctx, ent, name, x, out)
 	} else {
 		k := cache.MakeKey(cache.GranImage, name, ent.variant, s, e.cfg.TileSize, x)
-		if !e.cache.Get(k, out) {
+		cstart := a.Now()
+		if e.cache.Get(k, out) {
+			a.EmitStage(rtrace.StageServeCacheHit, a.Root(), cstart, out.Bytes())
+		} else {
+			a.EmitStage(rtrace.StageServeCacheMiss, a.Root(), cstart, 0)
 			err = e.cache.Do(ctx, k, out, func(o *tensor.Tensor) error {
 				return e.forward(ctx, ent, name, x, o)
 			})
@@ -214,8 +220,9 @@ func (e *Engine) forward(ctx context.Context, ent *modelEntry, name string, x, o
 	tile := e.cfg.TileSize
 	if tile < 0 || (h <= tile && w <= tile) {
 		// Whole image in one submission: no extract/stitch copies.
-		return b.Submit(x, out)
+		return b.SubmitCtx(ctx, x, out)
 	}
+	a := rtrace.FromContext(ctx)
 	tiles := SplitTiles(h, w, tile, b.Halo())
 	e.met.tiled(len(tiles))
 	errs := make([]error, len(tiles))
@@ -228,15 +235,17 @@ func (e *Engine) forward(ctx context.Context, ent *modelEntry, name string, x, o
 			xt := ExtractTile(x, t)
 			outs[i] = tensor.New(1, c, (t.PY1-t.PY0)*s, (t.PX1-t.PX0)*s)
 			if e.cache == nil {
-				errs[i] = b.Submit(xt, outs[i])
+				errs[i] = b.SubmitCtx(ctx, xt, outs[i])
 				return
 			}
 			k := cache.MakeKey(cache.GranTile, name, ent.variant, s, tile, xt)
+			cstart := a.Now()
 			if e.cache.Get(k, outs[i]) {
+				a.EmitStage(rtrace.StageServeCacheHit, a.Root(), cstart, outs[i].Bytes())
 				return
 			}
 			errs[i] = e.cache.Do(ctx, k, outs[i], func(o *tensor.Tensor) error {
-				return b.Submit(xt, o)
+				return b.SubmitCtx(ctx, xt, o)
 			})
 		}(i, t)
 	}
@@ -246,9 +255,11 @@ func (e *Engine) forward(ctx context.Context, ent *modelEntry, name string, x, o
 			return terr
 		}
 	}
+	sstart := a.Now()
 	for i, t := range tiles {
 		StitchTile(out, outs[i], t, s)
 	}
+	a.EmitStage(rtrace.StageServeStitch, a.Root(), sstart, out.Bytes())
 	return nil
 }
 

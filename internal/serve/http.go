@@ -7,9 +7,11 @@ import (
 	"fmt"
 	"net/http"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/imageio"
 	"repro/internal/trace"
+	rtrace "repro/internal/trace/request"
 )
 
 // DefaultMaxBodyBytes bounds an uploaded PNG (16 MB).
@@ -29,6 +31,7 @@ type Server struct {
 	e        *Engine
 	reg      *trace.Metrics
 	met      *Metrics
+	traces   *rtrace.Store
 	maxBody  int64
 	mux      *http.ServeMux
 	draining atomic.Bool
@@ -36,20 +39,40 @@ type Server struct {
 
 // NewServer wires the engine into an http.Handler. reg and met may be
 // nil (no /metrics endpoint, no counters); maxBody <= 0 selects
-// DefaultMaxBodyBytes.
+// DefaultMaxBodyBytes. Request tracing is on by default (tail-sampled,
+// bounded memory) and served from /debug/traces; SetTraceStore swaps in
+// a store with non-default knobs.
 func NewServer(e *Engine, reg *trace.Metrics, met *Metrics, maxBody int64) *Server {
 	if maxBody <= 0 {
 		maxBody = DefaultMaxBodyBytes
 	}
-	s := &Server{e: e, reg: reg, met: met, maxBody: maxBody, mux: http.NewServeMux()}
+	s := &Server{
+		e: e, reg: reg, met: met, maxBody: maxBody,
+		traces: rtrace.NewStore(rtrace.Config{}),
+		mux:    http.NewServeMux(),
+	}
 	s.mux.HandleFunc("/v1/upscale", s.handleUpscale)
 	s.mux.HandleFunc("/v1/models", s.handleModels)
 	s.mux.HandleFunc("/healthz", s.handleHealth)
+	s.mux.HandleFunc("/debug/traces", func(w http.ResponseWriter, r *http.Request) {
+		s.traces.Handler().ServeHTTP(w, r)
+	})
 	if reg != nil {
 		s.mux.Handle("/metrics", reg.Handler())
 	}
 	return s
 }
+
+// SetTraceStore replaces the request-trace store (configure sampling
+// knobs before serving traffic).
+func (s *Server) SetTraceStore(st *rtrace.Store) {
+	if st != nil {
+		s.traces = st
+	}
+}
+
+// TraceStore returns the server's request-trace store.
+func (s *Server) TraceStore() *rtrace.Store { return s.traces }
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
@@ -77,30 +100,52 @@ func (s *Server) fail(w http.ResponseWriter, code int, msg string) {
 	http.Error(w, msg, code)
 }
 
-// handleUpscale is POST /v1/upscale?model=NAME with a PNG body.
+// handleUpscale is POST /v1/upscale?model=NAME with a PNG body. It
+// brackets the whole exchange in a request trace: the trace ID comes in
+// on `traceparent` (or is minted here), rides the context through the
+// engine, goes back to the client as X-Trace-Id, and — when the tail
+// sampler keeps the trace — is linked from the latency histogram as an
+// exemplar.
 func (s *Server) handleUpscale(w http.ResponseWriter, r *http.Request) {
 	s.met.httpRequest()
+	a := s.traces.Start(r.Header.Get("traceparent"))
+	began := time.Now()
+	if a != nil {
+		w.Header().Set("X-Trace-Id", a.TraceID().String())
+		r = r.WithContext(rtrace.NewContext(r.Context(), a))
+	}
+	status := s.doUpscale(w, r, a)
+	if id, kept := s.traces.Finish(a, status); kept {
+		s.met.requestExemplar(time.Since(began).Seconds(), id.String())
+	}
+}
+
+// doUpscale runs the upscale exchange and returns the HTTP status it
+// accounted for (499 when the client vanished mid-request).
+func (s *Server) doUpscale(w http.ResponseWriter, r *http.Request, a *rtrace.Active) int {
 	if r.Method != http.MethodPost {
 		// RFC 9110 §15.5.6: a 405 MUST name the allowed methods.
 		w.Header().Set("Allow", http.MethodPost)
 		s.fail(w, http.StatusMethodNotAllowed, "POST a PNG body")
-		return
+		return http.StatusMethodNotAllowed
 	}
 	if s.draining.Load() {
 		s.fail(w, http.StatusServiceUnavailable, ErrDraining.Error())
-		return
+		return http.StatusServiceUnavailable
 	}
 	body := http.MaxBytesReader(w, r.Body, s.maxBody)
+	dstart := a.Now()
 	x, err := imageio.ReadPNG(body)
 	if err != nil {
 		var tooBig *http.MaxBytesError
 		if errors.As(err, &tooBig) {
 			s.fail(w, http.StatusRequestEntityTooLarge, fmt.Sprintf("body over %d bytes", s.maxBody))
-			return
+			return http.StatusRequestEntityTooLarge
 		}
 		s.fail(w, http.StatusBadRequest, "bad PNG: "+err.Error())
-		return
+		return http.StatusBadRequest
 	}
+	a.EmitStage(rtrace.StageServeDecode, a.Root(), dstart, x.Bytes())
 	// The request context rides into the engine so a client that
 	// disconnects while parked on another request's in-flight forward
 	// unblocks immediately (the shared forward keeps running).
@@ -110,30 +155,33 @@ func (s *Server) handleUpscale(w http.ResponseWriter, r *http.Request) {
 	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
 		// Client gone: nothing to write, just account for it.
 		s.met.httpOutcome(statusClientClosedRequest)
-		return
+		return statusClientClosedRequest
 	case errors.Is(err, ErrOverloaded):
 		s.fail(w, http.StatusTooManyRequests, err.Error())
-		return
+		return http.StatusTooManyRequests
 	case errors.Is(err, ErrDraining):
 		s.fail(w, http.StatusServiceUnavailable, err.Error())
-		return
+		return http.StatusServiceUnavailable
 	case errors.Is(err, ErrUnknownModel):
 		s.fail(w, http.StatusNotFound, err.Error())
-		return
+		return http.StatusNotFound
 	case errors.Is(err, ErrBadInput):
 		s.fail(w, http.StatusBadRequest, err.Error())
-		return
+		return http.StatusBadRequest
 	default:
 		s.fail(w, http.StatusInternalServerError, err.Error())
-		return
+		return http.StatusInternalServerError
 	}
 	w.Header().Set("Content-Type", "image/png")
+	estart := a.Now()
 	if err := imageio.WritePNG(w, out); err != nil {
 		// Headers are gone; all we can do is count it.
 		s.met.httpOutcome(http.StatusInternalServerError)
-		return
+		return http.StatusInternalServerError
 	}
+	a.EmitStage(rtrace.StageServeEncode, a.Root(), estart, out.Bytes())
 	s.met.httpOutcome(http.StatusOK)
+	return http.StatusOK
 }
 
 // handleModels is GET /v1/models. It feeds the same request/outcome

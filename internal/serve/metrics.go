@@ -171,6 +171,16 @@ func (m *Metrics) queueWait(sec float64) {
 	m.QueueSeconds.Observe(sec)
 }
 
+// requestExemplar links a retained trace ID to the latency bucket its
+// request landed in, so a scrape can jump from a slow bucket straight
+// to /debug/traces.
+func (m *Metrics) requestExemplar(sec float64, traceID string) {
+	if m == nil {
+		return
+	}
+	m.RequestSeconds.Exemplar(sec, traceID)
+}
+
 // observeRequest records one engine request's end-to-end latency.
 func (m *Metrics) observeRequest(d time.Duration) {
 	if m == nil {

@@ -7,6 +7,7 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -25,9 +26,14 @@ type Metrics struct {
 
 type family struct {
 	name, help, typ string
-	c               *Counter
-	g               *Gauge
-	h               *Histogram
+	// labels is the pre-rendered label set ({k="v",...}) for labeled
+	// gauges such as sr_build_info; empty for plain instruments.
+	labels string
+	c      *Counter
+	g      *Gauge
+	// gf, when set, is sampled at render time (live runtime gauges).
+	gf func() float64
+	h  *Histogram
 }
 
 // NewMetrics creates an empty registry.
@@ -76,6 +82,14 @@ func (g *Gauge) Value() float64 {
 	return math.Float64frombits(g.bits.Load())
 }
 
+// exemplar links one observed value in a histogram bucket to the trace
+// that produced it (OpenMetrics exemplar semantics).
+type exemplar struct {
+	traceID string
+	value   float64
+	tsMilli int64
+}
+
 // Histogram counts observations into cumulative buckets (Prometheus
 // histogram semantics: bucket i counts observations ≤ edges[i], plus an
 // implicit +Inf bucket) and tracks the sum of observed values.
@@ -84,6 +98,10 @@ type Histogram struct {
 	counts  []atomic.Int64 // len(edges)+1; last is +Inf
 	count   atomic.Int64
 	sumBits atomic.Uint64
+	// exemplars holds the latest retained-trace exemplar per bucket,
+	// written only by Exemplar (the tail sampler's kept path), so the
+	// Observe hot path never touches them.
+	exemplars []atomic.Pointer[exemplar]
 }
 
 // Observe records one value.
@@ -104,6 +122,22 @@ func (h *Histogram) Observe(v float64) {
 			return
 		}
 	}
+}
+
+// Exemplar attaches traceID as the exemplar of the bucket v falls in,
+// so a scrape can jump from a latency bucket straight to a retained
+// trace in /debug/traces. Call it only for traces the tail sampler
+// kept — it allocates, and an exemplar pointing at an unretained trace
+// would dangle.
+func (h *Histogram) Exemplar(v float64, traceID string) {
+	if h == nil || traceID == "" {
+		return
+	}
+	i := 0
+	for i < len(h.edges) && v > h.edges[i] {
+		i++
+	}
+	h.exemplars[i].Store(&exemplar{traceID: traceID, value: v, tsMilli: time.Now().UnixMilli()})
 }
 
 // Count returns the total number of observations.
@@ -166,9 +200,58 @@ func (m *Metrics) Histogram(name, help string, buckets []float64) *Histogram {
 	edges := append([]float64(nil), buckets...)
 	sort.Float64s(edges)
 	f := &family{name: name, help: help, typ: "histogram",
-		h: &Histogram{edges: edges, counts: make([]atomic.Int64, len(edges)+1)}}
+		h: &Histogram{edges: edges,
+			counts:    make([]atomic.Int64, len(edges)+1),
+			exemplars: make([]atomic.Pointer[exemplar], len(edges)+1)}}
 	m.fams = append(m.fams, f)
 	return f.h
+}
+
+// GaugeWithLabels registers a gauge carrying a fixed label set (e.g.
+// sr_build_info{version="...",variant="..."}). Labels are rendered in
+// the order given; the (name, label set) pair is the identity.
+func (m *Metrics) GaugeWithLabels(name, help string, labels [][2]string) *Gauge {
+	if m == nil {
+		return nil
+	}
+	var b []byte
+	b = append(b, '{')
+	for i, kv := range labels {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = append(b, kv[0]...)
+		b = append(b, '=', '"')
+		b = append(b, kv[1]...)
+		b = append(b, '"')
+	}
+	b = append(b, '}')
+	ls := string(b)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, f := range m.fams {
+		if f.name == name && f.labels == ls {
+			return f.g
+		}
+	}
+	f := &family{name: name, help: help, typ: "gauge", labels: ls, g: &Gauge{}}
+	m.fams = append(m.fams, f)
+	return f.g
+}
+
+// GaugeFunc registers a gauge whose value is sampled from fn at scrape
+// time — for live process state (goroutine count, heap bytes) that
+// would otherwise need a background updater.
+func (m *Metrics) GaugeFunc(name, help string, fn func() float64) {
+	if m == nil || fn == nil {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.find(name) != nil {
+		return
+	}
+	m.fams = append(m.fams, &family{name: name, help: help, typ: "gauge", gf: fn})
 }
 
 // find returns the family with the given name; caller holds m.mu.
@@ -190,33 +273,56 @@ func (m *Metrics) WritePrometheus(w io.Writer) error {
 	m.mu.Lock()
 	fams := append([]*family(nil), m.fams...)
 	m.mu.Unlock()
+	seen := make(map[string]bool, len(fams))
 	for _, f := range fams {
-		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", f.name, f.help, f.name, f.typ); err != nil {
-			return err
+		if !seen[f.name] {
+			seen[f.name] = true
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", f.name, f.help, f.name, f.typ); err != nil {
+				return err
+			}
 		}
 		var err error
 		switch f.typ {
 		case "counter":
 			_, err = fmt.Fprintf(w, "%s %d\n", f.name, f.c.Value())
 		case "gauge":
-			_, err = fmt.Fprintf(w, "%s %g\n", f.name, f.g.Value())
+			v := f.g.Value()
+			if f.gf != nil {
+				v = f.gf()
+			}
+			_, err = fmt.Fprintf(w, "%s%s %g\n", f.name, f.labels, v)
 		case "histogram":
 			var cum int64
 			for i, edge := range f.h.edges {
 				cum += f.h.counts[i].Load()
-				if _, err = fmt.Fprintf(w, "%s_bucket{le=\"%g\"} %d\n", f.name, edge, cum); err != nil {
+				if _, err = fmt.Fprintf(w, "%s_bucket{le=\"%g\"} %d%s\n", f.name, edge, cum, exemplarSuffix(f.h, i)); err != nil {
 					return err
 				}
 			}
 			cum += f.h.counts[len(f.h.edges)].Load()
-			_, err = fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n%s_sum %g\n%s_count %d\n",
-				f.name, cum, f.name, f.h.Sum(), f.name, f.h.Count())
+			_, err = fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d%s\n%s_sum %g\n%s_count %d\n",
+				f.name, cum, exemplarSuffix(f.h, len(f.h.edges)), f.name, f.h.Sum(), f.name, f.h.Count())
 		}
 		if err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// exemplarSuffix renders bucket i's exemplar in OpenMetrics style
+// (" # {trace_id=\"...\"} value timestamp") — an extension to the 0.0.4
+// text format understood by OpenMetrics-aware scrapers and ignored as a
+// comment by plain ones.
+func exemplarSuffix(h *Histogram, i int) string {
+	if i >= len(h.exemplars) {
+		return ""
+	}
+	e := h.exemplars[i].Load()
+	if e == nil {
+		return ""
+	}
+	return fmt.Sprintf(" # {trace_id=\"%s\"} %g %.3f", e.traceID, e.value, float64(e.tsMilli)/1e3)
 }
 
 // Handler serves the registry at any path (mount it at /metrics).
@@ -258,6 +364,32 @@ func (s *MetricsServer) Addr() string { return s.ln.Addr().String() }
 
 // Close stops the server.
 func (s *MetricsServer) Close() error { return s.srv.Close() }
+
+// BuildVersion identifies this build in sr_build_info. Bump per release
+// tag; binaries carry it so a scrape can tell which code a replica runs.
+const BuildVersion = "0.9.0"
+
+// RegisterBuildInfo registers the constant-1 sr_build_info gauge whose
+// labels identify the running build (version + variant, e.g. "serve" or
+// "router").
+func RegisterBuildInfo(m *Metrics, version, variant string) {
+	m.GaugeWithLabels("sr_build_info",
+		"Build identity of this process; constant 1, labels carry the information.",
+		[][2]string{{"version", version}, {"variant", variant}}).Set(1)
+}
+
+// RegisterRuntimeMetrics registers live process gauges (goroutine count
+// and heap bytes), sampled at scrape time.
+func RegisterRuntimeMetrics(m *Metrics) {
+	m.GaugeFunc("go_goroutines", "Current number of goroutines.",
+		func() float64 { return float64(runtime.NumGoroutine()) })
+	m.GaugeFunc("go_heap_bytes", "Bytes of allocated heap objects (runtime.MemStats.HeapAlloc).",
+		func() float64 {
+			var ms runtime.MemStats
+			runtime.ReadMemStats(&ms)
+			return float64(ms.HeapAlloc)
+		})
+}
 
 // DurationBuckets are generic latency bucket bounds in seconds
 // (100 µs … 30 s).

@@ -1,0 +1,163 @@
+package request
+
+import (
+	"context"
+	"sync/atomic"
+	"time"
+)
+
+// MaxSpans bounds one request's span count (a heavily tiled image emits
+// a handful of spans per tile). Overflow is counted, not stored — the
+// collector is fixed-size so the hot path never grows memory.
+const MaxSpans = 192
+
+// epoch anchors the package's monotonic clock; span timestamps are
+// nanoseconds since it, converted to trace-relative offsets at Emit.
+var epoch = time.Now()
+
+// pkgNow returns nanoseconds since the package epoch (monotonic).
+func pkgNow() int64 { return int64(time.Since(epoch)) }
+
+// Now reads the span clock without an Active — for code (the batcher
+// worker) that timestamps work shared by several requests' collectors.
+func Now() int64 { return pkgNow() }
+
+// Active is one in-flight request's span collector: a fixed-size array
+// whose slots are claimed with one atomic increment, so the engine's
+// concurrent tile goroutines, the batcher worker, and the cache can all
+// record into the same request without locks or allocations. Actives
+// are pooled by their Store; after Finish the collector must not be
+// touched (it may already belong to another request).
+//
+// All methods tolerate a nil receiver, so instrumentation points need
+// no enabled-checks: a nil *Active records nothing.
+type Active struct {
+	store        *Store
+	id           TraceID
+	remoteParent uint64
+	rootID       uint64
+	t0           int64     // pkgNow at Start
+	wall         time.Time // wall clock at Start, anchors exports
+	n            atomic.Uint32
+	dropped      atomic.Uint32
+	force        atomic.Bool
+	spans        [MaxSpans]SpanRec
+}
+
+// TraceID returns the request's 128-bit trace ID.
+func (a *Active) TraceID() TraceID {
+	if a == nil {
+		return TraceID{}
+	}
+	return a.id
+}
+
+// Root returns the root span ID — the default parent for spans emitted
+// by this process.
+func (a *Active) Root() uint64 {
+	if a == nil {
+		return 0
+	}
+	return a.rootID
+}
+
+// Now returns the current time on the span clock. Pass the value back
+// to Emit/EmitStage as a span's start.
+func (a *Active) Now() int64 {
+	if a == nil {
+		return 0
+	}
+	return pkgNow()
+}
+
+// T0 returns the span-clock time at which the request started. Using it
+// as the first stage span's start makes the stages tile from t=0, so
+// per-stage attribution accounts dispatch overhead to the adjacent
+// stage instead of losing it between spans.
+func (a *Active) T0() int64 {
+	if a == nil {
+		return 0
+	}
+	return a.t0
+}
+
+// Traceparent formats the outbound traceparent header that parents a
+// downstream process's spans under span ("" on a nil receiver).
+func (a *Active) Traceparent(span uint64) string {
+	if a == nil {
+		return ""
+	}
+	return Traceparent(a.id, span)
+}
+
+// ForceKeep marks the trace as unconditionally interesting — the tail
+// sampler retains it regardless of latency or sampling (the router sets
+// it when a request needed a retry, so every replayed request is
+// inspectable).
+func (a *Active) ForceKeep() {
+	if a != nil {
+		a.force.Store(true)
+	}
+}
+
+// Emit records one completed span: [start, end) on the span clock (a
+// pair of Now values), with the given tree links and annotations. A
+// full collector counts the span as dropped instead of storing it;
+// neither path allocates.
+func (a *Active) Emit(stage Stage, id, parent uint64, start, end, bytes int64, flags uint8, backend int16, extra int32) {
+	if a == nil {
+		return
+	}
+	idx := a.n.Add(1) - 1
+	if idx >= MaxSpans {
+		a.dropped.Add(1)
+		return
+	}
+	s := &a.spans[idx]
+	s.ID, s.Parent = id, parent
+	s.Start, s.Dur = start-a.t0, end-start
+	s.Bytes = bytes
+	s.Stage, s.Flags, s.Backend, s.Extra = stage, flags, backend, extra
+}
+
+// EmitStage is the common case: mint a span ID, record [start, now) as
+// a child of parent, and return the new span's ID.
+func (a *Active) EmitStage(stage Stage, parent uint64, start, bytes int64) uint64 {
+	if a == nil {
+		return 0
+	}
+	id := NewSpanID()
+	a.Emit(stage, id, parent, start, pkgNow(), bytes, 0, -1, 0)
+	return id
+}
+
+// reset prepares a pooled collector for a new request.
+func (a *Active) reset(id TraceID, remoteParent uint64) {
+	a.id = id
+	a.remoteParent = remoteParent
+	a.rootID = NewSpanID()
+	a.t0 = pkgNow()
+	a.wall = time.Now()
+	a.n.Store(0)
+	a.dropped.Store(0)
+	a.force.Store(false)
+}
+
+// ctxKey keys the Active in a request context.
+type ctxKey struct{}
+
+// NewContext returns ctx carrying a, so the engine, batcher, and cache
+// layers can record into the request's trace without new plumbing.
+func NewContext(ctx context.Context, a *Active) context.Context {
+	if a == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKey{}, a)
+}
+
+// FromContext extracts the request's collector (nil when the request is
+// untraced — every Active method tolerates that).
+func FromContext(ctx context.Context) *Active {
+	a, _ := ctx.Value(ctxKey{}).(*Active)
+	return a
+}

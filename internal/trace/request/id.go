@@ -1,0 +1,173 @@
+// Package request is the per-request half of the tracing subsystem:
+// where package trace answers "where did the training step go" with
+// per-rank ring buffers, this package answers "why was this request
+// slow" across the serving fleet.
+//
+// A 128-bit trace ID is minted at the fleet edge (or adopted from an
+// incoming W3C `traceparent` header) and propagated over HTTP through
+// sr-router → sr-serve → Engine.UpscaleCtx → batcher/cache, each layer
+// emitting fixed-size spans into a pooled per-request collector
+// (Active) with zero heap allocations on the hot path. When the
+// request finishes, a tail sampler (Store) decides with the benefit of
+// hindsight whether the trace was interesting — an error, a
+// slowest-percentile straggler, a retried/hedged request, or a
+// probabilistic sample — and only then pays for retention. Retained
+// traces are served from /debug/traces as Perfetto-compatible JSON and
+// as a plain-text "slowest requests with per-stage attribution" view,
+// the serving-side analogue of the training path's hvprof bucket
+// attribution.
+package request
+
+import (
+	"os"
+	"sync/atomic"
+	"time"
+)
+
+// TraceID is a W3C-style 128-bit trace identifier.
+type TraceID struct {
+	Hi, Lo uint64
+}
+
+// IsZero reports whether the ID is the invalid all-zero ID.
+func (t TraceID) IsZero() bool { return t.Hi == 0 && t.Lo == 0 }
+
+const hexDigits = "0123456789abcdef"
+
+// appendHex64 writes v as 16 lowercase hex digits.
+func appendHex64(dst []byte, v uint64) []byte {
+	for shift := 60; shift >= 0; shift -= 4 {
+		dst = append(dst, hexDigits[(v>>uint(shift))&0xf])
+	}
+	return dst
+}
+
+// String renders the ID as 32 lowercase hex digits (the traceparent
+// trace-id field).
+func (t TraceID) String() string {
+	buf := make([]byte, 0, 32)
+	buf = appendHex64(buf, t.Hi)
+	buf = appendHex64(buf, t.Lo)
+	return string(buf)
+}
+
+// idState seeds the process-local ID generator. Mixing the wall clock
+// with the PID keeps replicas spawned in the same nanosecond (bench
+// fleets) from colliding.
+var idState atomic.Uint64
+
+func init() {
+	idState.Store(uint64(time.Now().UnixNano()) ^ uint64(os.Getpid())<<40)
+}
+
+// nextRand is a splitmix64 step over idState: one atomic add plus
+// finalizer, so minting IDs is lock-free and allocation-free.
+func nextRand() uint64 {
+	x := idState.Add(0x9e3779b97f4a7c15)
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// NewTraceID mints a random non-zero 128-bit trace ID.
+func NewTraceID() TraceID {
+	for {
+		id := TraceID{Hi: nextRand(), Lo: nextRand()}
+		if !id.IsZero() {
+			return id
+		}
+	}
+}
+
+// NewSpanID mints a random non-zero 64-bit span ID. Span IDs are
+// process-global so spans minted on the router and on a replica can
+// never collide inside one merged trace tree.
+func NewSpanID() uint64 {
+	for {
+		if id := nextRand(); id != 0 {
+			return id
+		}
+	}
+}
+
+// traceparentLen is the fixed length of a version-00 traceparent:
+// "00-" + 32 hex + "-" + 16 hex + "-" + 2 hex.
+const traceparentLen = 55
+
+// hexVal decodes one lowercase/uppercase hex digit; ok=false otherwise.
+func hexVal(c byte) (uint64, bool) {
+	switch {
+	case c >= '0' && c <= '9':
+		return uint64(c - '0'), true
+	case c >= 'a' && c <= 'f':
+		return uint64(c-'a') + 10, true
+	case c >= 'A' && c <= 'F':
+		return uint64(c-'A') + 10, true
+	}
+	return 0, false
+}
+
+// parseHex64 decodes s[off:off+16] as a big-endian hex uint64.
+func parseHex64(s string, off int) (uint64, bool) {
+	var v uint64
+	for i := 0; i < 16; i++ {
+		d, ok := hexVal(s[off+i])
+		if !ok {
+			return 0, false
+		}
+		v = v<<4 | d
+	}
+	return v, true
+}
+
+// ParseTraceparent parses a W3C traceparent header ("00-<32 hex
+// trace-id>-<16 hex parent-id>-<2 hex flags>") and returns the trace ID
+// and the caller's span ID (the parent of everything this process
+// records). ok is false — and the caller must mint a fresh trace, never
+// reject the request — for malformed input, an all-zero trace or parent
+// ID, and any version other than 00 (a future-version header may carry
+// fields this parser cannot bound, so it conservatively restarts the
+// trace rather than half-adopting it).
+func ParseTraceparent(h string) (id TraceID, parent uint64, ok bool) {
+	if len(h) != traceparentLen || h[2] != '-' || h[35] != '-' || h[52] != '-' {
+		return TraceID{}, 0, false
+	}
+	if h[0] != '0' || h[1] != '0' { // version 00 only; ff is invalid per spec
+		return TraceID{}, 0, false
+	}
+	hi, ok1 := parseHex64(h, 3)
+	lo, ok2 := parseHex64(h, 19)
+	par, ok3 := parseHex64(h, 36)
+	if _, ok4 := hexVal(h[53]); !ok4 {
+		return TraceID{}, 0, false
+	}
+	if _, ok5 := hexVal(h[54]); !ok5 {
+		return TraceID{}, 0, false
+	}
+	if !ok1 || !ok2 || !ok3 {
+		return TraceID{}, 0, false
+	}
+	id = TraceID{Hi: hi, Lo: lo}
+	if id.IsZero() || par == 0 {
+		return TraceID{}, 0, false
+	}
+	return id, par, true
+}
+
+// Traceparent formats a version-00 traceparent header for an outbound
+// request whose spans should parent under span. The sampled flag is
+// always set: the receiver records unconditionally and tail-samples at
+// its own edge.
+func Traceparent(id TraceID, span uint64) string {
+	buf := make([]byte, 0, traceparentLen)
+	buf = append(buf, '0', '0', '-')
+	buf = appendHex64(buf, id.Hi)
+	buf = appendHex64(buf, id.Lo)
+	buf = append(buf, '-')
+	buf = appendHex64(buf, span)
+	buf = append(buf, '-', '0', '1')
+	return string(buf)
+}

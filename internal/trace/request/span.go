@@ -1,0 +1,94 @@
+package request
+
+// Stage names one attributable phase of a request's life. The router
+// and replica stages together partition a routed request's wall time;
+// the attribution view (Trace.Attribution) groups spans by stage so a
+// slow request decomposes into "where the milliseconds went".
+type Stage uint8
+
+const (
+	// StageRoot is the request's root span: handler entry to response
+	// written, one per process the request crossed.
+	StageRoot Stage = iota
+
+	// Router-side stages (internal/router).
+	StageRouterLimiter   // token-bucket admission check
+	StageRouterReadBody  // buffering the upload for replay
+	StageRouterPlacement // picking a backend
+	StageRouterAttempt   // one proxied exchange (hedges and retries are separate spans)
+	StageRouterWrite     // copying the winning response to the client
+
+	// Replica-side stages (internal/serve).
+	StageServeDecode    // PNG decode + validation
+	StageServeQueue     // waiting in the batcher queue for a worker
+	StageServeBatchWait // held in an open batch waiting for followers
+	StageServeForward   // the coalesced model forward
+	StageServeStitch    // stitching tile results into the output
+	StageServeEncode    // PNG encode of the response
+
+	// Result-cache stages (internal/serve/cache).
+	StageServeCacheHit  // content-addressed hit: the copy-out
+	StageServeCacheMiss // the lookup that found nothing
+	StageServeCacheWait // parked on another request's in-flight forward
+
+	numStages
+)
+
+var stageNames = [numStages]string{
+	"root",
+	"router/limiter",
+	"router/read-body",
+	"router/placement",
+	"router/attempt",
+	"router/write",
+	"serve/decode",
+	"serve/queue",
+	"serve/batch-wait",
+	"serve/forward",
+	"serve/stitch",
+	"serve/encode",
+	"serve/cache-hit",
+	"serve/cache-miss",
+	"serve/cache-wait",
+}
+
+// String returns the stage's canonical name.
+func (s Stage) String() string {
+	if int(s) < len(stageNames) {
+		return stageNames[s]
+	}
+	return "other"
+}
+
+// Span flags.
+const (
+	// FlagWinner marks the attempt whose response was written back.
+	FlagWinner uint8 = 1 << iota
+	// FlagHedge marks an attempt launched by the hedge timer.
+	FlagHedge
+	// FlagCancelled marks a span cut short because its work became
+	// irrelevant (a hedge loser, a waiter whose client disconnected).
+	FlagCancelled
+	// FlagError marks an attempt that failed (transport error or a
+	// retryable status).
+	FlagError
+)
+
+// SpanRec is one fixed-size span record. Start and Dur are nanoseconds
+// relative to the owning trace's start, so a retained trace is
+// self-contained; the Store anchors it to the wall clock for export.
+type SpanRec struct {
+	// ID and Parent link the span tree. The root span's Parent is the
+	// remote parent from the incoming traceparent (0 at the edge).
+	ID, Parent uint64
+	Start, Dur int64
+	// Bytes is the payload size the span covered, when meaningful.
+	Bytes int64
+	Stage Stage
+	Flags uint8
+	// Backend is the router-side backend index (-1 when not applicable).
+	Backend int16
+	// Extra carries per-stage detail: HTTP status for router attempts,
+	// batch size for serve/forward spans.
+	Extra int32
+}

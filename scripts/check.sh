@@ -94,6 +94,21 @@ if grep -E '"failed": [1-9]' /tmp/BENCH_router_smoke.json; then
     echo "bench-router smoke leaked failed requests" >&2
     exit 1
 fi
+
+echo "== tier 2: request-tracing gate (traceparent round-trip, tail sampler, router->replica tree join under race)"
+go test -race ./internal/trace/request/
+go test -race -run 'TestTracePropagationE2E' ./internal/router/
+go test -race -run 'Trace|Metrics' ./internal/serve/
+
+echo "== tier 2: request-tracing gate (zero-alloc sampled-out fast path)"
+go test -run 'TestSampledOutFastPathNoAllocs' -v ./internal/trace/request/ | grep -E '^(--- (PASS|FAIL)|ok|FAIL)'
+
+echo "== tier 2: request-tracing gate (bench-router attribution covers >=95% of wall time, replayed attempt joined)"
+if ! grep -q '"attr_coverage_min"' /tmp/BENCH_router_smoke.json; then
+    echo "bench-router smoke retained no attribution data" >&2
+    exit 1
+fi
+grep -q '"replay_trace_id"' /tmp/BENCH_router_smoke.json
 rm -f /tmp/BENCH_router_smoke.json
 
 echo "all checks passed"
