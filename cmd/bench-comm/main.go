@@ -24,6 +24,7 @@ import (
 	"runtime"
 	"time"
 
+	"repro/internal/collective"
 	"repro/internal/horovod"
 	"repro/internal/models"
 	"repro/internal/mpi"
@@ -71,13 +72,29 @@ type overlapResult struct {
 	OverlapDrainMs float64 `json:"overlap_drain_ms"`
 }
 
+// compressionResult records one arm of the gradient-compression sweep:
+// the same distributed tiny-EDSR training loop under one allreduce
+// variant, with bytes-on-wire metered at the mailbox (Comm.SentBytes).
+type compressionResult struct {
+	World   int    `json:"world"`
+	Variant string `json:"variant"`
+	// WireMBPerStep is rank 0's outbound traffic per training step.
+	WireMBPerStep float64 `json:"wire_mb_per_step"`
+	ImgPerSec     float64 `json:"img_per_sec"`
+	DrainMs       float64 `json:"drain_ms"`
+	// WireVsExact is the wire-bytes reduction factor relative to the
+	// exact ("none") arm of the same world size.
+	WireVsExact float64 `json:"wire_vs_exact"`
+}
+
 type report struct {
-	GOOS       string            `json:"goos"`
-	GOARCH     string            `json:"goarch"`
-	GOMAXPROCS int               `json:"gomaxprocs"`
-	Quick      bool              `json:"quick"`
-	Allreduce  []allreduceResult `json:"allreduce"`
-	Overlap    []overlapResult   `json:"overlap"`
+	GOOS        string              `json:"goos"`
+	GOARCH      string              `json:"goarch"`
+	GOMAXPROCS  int                 `json:"gomaxprocs"`
+	Quick       bool                `json:"quick"`
+	Allreduce   []allreduceResult   `json:"allreduce"`
+	Overlap     []overlapResult     `json:"overlap"`
+	Compression []compressionResult `json:"compression"`
 }
 
 func main() {
@@ -128,6 +145,16 @@ func main() {
 			o.OverlapVsSerial, o.OverlapVsSeedStack, o.SerialDrainMs, o.OverlapDrainMs)
 	}
 
+	for _, world := range trainWorlds {
+		rows := benchCompression(world, *steps, *quick)
+		rep.Compression = append(rep.Compression, rows...)
+		for _, cr := range rows {
+			fmt.Fprintf(os.Stderr,
+				"compress p=%d %-9s: %7.2f MB/step on wire (%5.2fx vs exact)  %5.2f img/s  drain %.1f ms\n",
+				cr.World, cr.Variant, cr.WireMBPerStep, cr.WireVsExact, cr.ImgPerSec, cr.DrainMs)
+		}
+	}
+
 	f, err := os.Create(*out)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -176,7 +203,9 @@ func benchAllreduce(world, elems int, targetBytes int64) allreduceResult {
 		return float64(bytes) * float64(iters) / sec / 1e9
 	}
 	r := allreduceResult{World: world, Elems: elems, Bytes: bytes}
-	r.SeedRing = gbs(timeCollective(world, elems, iters, seedAllreduceRing))
+	r.SeedRing = gbs(timeCollective(world, elems, iters, func(c *mpi.Comm, buf []float32) {
+		seedAllreduceRing(c, buf)
+	}))
 	r.Ring = gbs(timeCollective(world, elems, iters, func(c *mpi.Comm, buf []float32) {
 		c.AllreduceSum(buf, mpi.AlgoRing)
 	}))
@@ -211,6 +240,126 @@ func benchOverlap(world, steps int, quick bool) overlapResult {
 	res.OverlapVsSerial = res.OverlapImgPerSec / res.SerialImgPerSec
 	res.OverlapVsSeedStack = res.OverlapImgPerSec / res.SeedStackImgPerSec
 	return res
+}
+
+// benchCompression times the same distributed training loop under each
+// gradient-compression variant and meters real bytes-on-wire per step.
+// The hier-fp16 arm models 2 "GPUs" per node so the two-level reduction
+// has actual intra/inter structure to exploit.
+func benchCompression(world, steps int, quick bool) []compressionResult {
+	cfg := models.EDSRConfig{NumBlocks: 4, NumFeats: 64, Scale: 2, ResScale: 0.1, Colors: 3}
+	if quick {
+		cfg.NumFeats = 32
+	}
+	variants := []string{"none", "fp16", "topk-32", "hier-fp16"}
+	rows := make([]compressionResult, 0, len(variants))
+	var exactMB float64
+	for _, v := range variants {
+		img, drain, wireMB := compressArm(world, steps, cfg, v)
+		row := compressionResult{
+			World: world, Variant: v,
+			WireMBPerStep: wireMB, ImgPerSec: img, DrainMs: drain,
+			WireVsExact: 1,
+		}
+		if v == "none" {
+			exactMB = wireMB
+		} else if wireMB > 0 {
+			row.WireVsExact = exactMB / wireMB
+		}
+		rows = append(rows, row)
+	}
+	// Self-check the issue's headline claim before publishing the report:
+	// top-k must cut bytes-on-wire at least 2x versus the exact ring.
+	for _, r := range rows {
+		if r.Variant == "topk-32" && r.WireVsExact < 2 {
+			fmt.Fprintf(os.Stderr, "bench-comm: top-k wire reduction %.2fx < 2x — compression metering broken\n", r.WireVsExact)
+			os.Exit(1)
+		}
+	}
+	return rows
+}
+
+// compressArm runs one compression variant (batch 1, patch 6, overlap
+// submission) and returns img/s, rank 0 drain ms, and rank 0's outbound
+// MB per step measured by differencing Comm.SentBytes around the timed
+// window.
+func compressArm(world, steps int, cfg models.EDSRConfig, variant string) (float64, float64, float64) {
+	const batch, patch = 1, 6
+	name := variant
+	ratio := 0
+	if variant == "topk-32" {
+		name, ratio = "topk", 32
+	}
+	w := mpi.NewWorld(world)
+	if name == "hier" || name == "hier-fp16" {
+		w.SetGPUsPerNode(2)
+	}
+	var sec, drainMs, wireMB float64
+	w.Run(func(c *mpi.Comm) {
+		model := models.NewEDSR(cfg, tensor.NewRNG(1))
+		params := model.Params()
+		opt := nn.NewAdam(params, 1e-4)
+		dataRng := tensor.NewRNG(uint64(100 + c.Rank()))
+		lrT := tensor.New(batch, cfg.Colors, patch, patch)
+		lrT.FillUniform(dataRng, 0, 1)
+		hrT := tensor.New(batch, cfg.Colors, patch*cfg.Scale, patch*cfg.Scale)
+		hrT.FillUniform(dataRng, 0, 1)
+		loss := nn.L1Loss{}
+		var gradBuf *tensor.Tensor
+
+		fn, err := collective.NewAllreduceFnByName(name, ratio)
+		if err != nil {
+			panic(err)
+		}
+		ecfg := horovod.Config{
+			FusionThresholdBytes: 64 << 20,
+			CycleTime:            0,
+			Average:              true,
+			Algo:                 mpi.AlgoRing,
+			AllreduceFn:          fn,
+		}
+		if name == "topk" {
+			// Error feedback keys residuals by gradient buffer, which needs
+			// stable unfused per-tensor buffers.
+			ecfg.FusionThresholdBytes = 1
+		}
+		e := horovod.NewEngine(c, ecfg)
+		d := horovod.NewDistributedOptimizer(opt, e)
+		model.SetGradHook(d.GradHook())
+		e.Start()
+		defer e.Shutdown()
+		horovod.BroadcastParameters(c, params, 0)
+		var drain time.Duration
+		step := func() {
+			opt.ZeroGrad()
+			pred := model.Forward(lrT)
+			_, g := loss.ForwardBuf(gradBuf, pred, hrT)
+			gradBuf = g
+			model.Backward(g)
+			t := time.Now()
+			d.Drain()
+			drain += time.Since(t)
+			opt.Step()
+		}
+
+		step() // warmup
+		drain = 0
+		c.Barrier()
+		sentBefore := c.SentBytes()
+		start := time.Now()
+		for s := 0; s < steps; s++ {
+			step()
+		}
+		elapsed := time.Since(start)
+		sent := c.SentBytes() - sentBefore
+		c.Barrier()
+		if c.Rank() == 0 {
+			sec = elapsed.Seconds()
+			drainMs = drain.Seconds() * 1e3 / float64(steps)
+			wireMB = float64(sent) / float64(steps) / (1 << 20)
+		}
+	})
+	return float64(batch*world*steps) / sec, drainMs, wireMB
 }
 
 // trainArm runs one submission strategy and returns aggregate img/s and

@@ -22,14 +22,14 @@ func seedSumInto(dst, src []float32) {
 // replaced. (Send-side payload copies still come from the transport's
 // buffer pool, which benefits this baseline too; the comparison is
 // therefore conservative.)
-func seedAllreduceRing(c *mpi.Comm, buf []float32) {
+func seedAllreduceRing(c *mpi.Comm, buf []float32) error {
 	p := c.Size()
 	if p == 1 {
-		return
+		return nil
 	}
 	n := len(buf)
 	if n == 0 {
-		return
+		return nil
 	}
 	bound := make([]int, p+1)
 	for i := 0; i <= p; i++ {
@@ -63,4 +63,5 @@ func seedAllreduceRing(c *mpi.Comm, buf []float32) {
 		c.Recv(prev, seedTag+p+step, tmp[:len(rc)])
 		copy(rc, tmp[:len(rc)])
 	}
+	return nil
 }

@@ -93,6 +93,9 @@ func main() {
 	tracePath := flag.String("trace", "", "write a Chrome trace_event JSON timeline here at run end (open at https://ui.perfetto.dev)")
 	traceJSONL := flag.String("trace-jsonl", "", "write the span timeline as JSONL (input for hvprof-report -spans)")
 	metricsAddr := flag.String("metrics-addr", "", "serve live Prometheus /metrics and /debug/pprof on this address (e.g. :9090)")
+	compress := flag.String("compress", "", "multi-rank gradient compression: none, fp16, topk, hier, or hier-fp16")
+	topkRatio := flag.Int("topk-ratio", 0, "top-k compression ratio (0 = default 32)")
+	gpusPerNode := flag.Int("gpus-per-node", 0, "ranks per simulated node for hierarchical allreduce (0 = flat)")
 	flag.Parse()
 
 	cfg := trainer.Config{
@@ -103,13 +106,16 @@ func main() {
 		Data: data.SyntheticConfig{
 			Images: *images, Height: *size, Width: *size, Channels: 3, Seed: 7,
 		},
-		Steps:     *steps,
-		BatchSize: *batch,
-		PatchSize: *patch,
-		LR:        *lr,
-		Seed:      1,
-		LogEvery:  *logEvery,
-		Log:       os.Stdout,
+		Steps:       *steps,
+		BatchSize:   *batch,
+		PatchSize:   *patch,
+		LR:          *lr,
+		Seed:        1,
+		LogEvery:    *logEvery,
+		Log:         os.Stdout,
+		Compression: *compress,
+		TopKRatio:   *topkRatio,
+		GPUsPerNode: *gpusPerNode,
 	}
 	if err := cfg.Model.Validate(); err != nil {
 		fmt.Fprintln(os.Stderr, err)

@@ -7,6 +7,7 @@
 //
 //	scalesim [-backends MPI,MPI-Reg,MPI-Opt,NCCL] [-nodes 1,2,4,...]
 //	         [-steps N] [-cycle ms] [-fusion MB] [-profile]
+//	         [-compress none|fp16|topk] [-topk-ratio N]
 package main
 
 import (
@@ -27,6 +28,8 @@ func main() {
 	steps := flag.Int("steps", 10, "measured training steps per run")
 	cycleMs := flag.Float64("cycle", 10, "HOROVOD_CYCLE_TIME in ms")
 	fusionMB := flag.Int64("fusion", 64, "HOROVOD_FUSION_THRESHOLD in MB")
+	compress := flag.String("compress", "none", "gradient compression: none, fp16, or topk")
+	topkRatio := flag.Int("topk-ratio", 32, "top-k compression ratio (elements kept = n/ratio)")
 	profile := flag.Bool("profile", false, "print the hvprof bucket report per run")
 	timeline := flag.Bool("timeline", false, "render an ASCII timeline of the first two steps")
 	csvOut := flag.String("csv", "", "also write results as CSV to this file")
@@ -40,6 +43,11 @@ func main() {
 			os.Exit(2)
 		}
 		bs = append(bs, b)
+	}
+	comp, err := collective.ParseCompression(*compress)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
 	}
 	var ns []int
 	for _, s := range strings.Split(*nodes, ",") {
@@ -60,14 +68,22 @@ func main() {
 			os.Exit(1)
 		}
 		defer csvFile.Close()
-		fmt.Fprintln(csvFile, "backend,gpus,images_per_sec,efficiency,step_ms,msgs_per_step,reg_hit_rate")
+		fmt.Fprintln(csvFile, "backend,gpus,images_per_sec,efficiency,step_ms,msgs_per_step,reg_hit_rate,wire_reduction")
 	}
 
 	base := scaling.SingleGPUBaseline(0)
 	fmt.Printf("Simulated Lassen scaling study — EDSR (B=32, F=256, x2), batch 4/GPU\n")
-	fmt.Printf("Single-GPU baseline: %.2f images/sec (paper: 10.3)\n\n", base)
-	fmt.Printf("%-8s %6s %12s %8s %10s %10s %8s\n",
-		"Backend", "GPUs", "img/s", "eff %", "step ms", "msgs/step", "reg-hit%")
+	fmt.Printf("Single-GPU baseline: %.2f images/sec (paper: 10.3)\n", base)
+	if comp != collective.CompressNone {
+		fmt.Printf("Gradient compression: %s", comp)
+		if comp == collective.CompressTopK {
+			fmt.Printf(" (ratio %d)", *topkRatio)
+		}
+		fmt.Println()
+	}
+	fmt.Println()
+	fmt.Printf("%-8s %6s %12s %8s %10s %10s %8s %8s\n",
+		"Backend", "GPUs", "img/s", "eff %", "step ms", "msgs/step", "reg-hit%", "wire-x")
 	for _, b := range bs {
 		for _, n := range ns {
 			opt := scaling.Options{
@@ -76,6 +92,8 @@ func main() {
 				Steps:                *steps,
 				CycleTimeSec:         *cycleMs / 1000,
 				FusionThresholdBytes: *fusionMB << 20,
+				Compression:          comp,
+				TopKRatio:            *topkRatio,
 			}
 			var prof *hvprof.Profiler
 			if *profile {
@@ -88,14 +106,18 @@ func main() {
 				opt.Trace = tl
 			}
 			r := scaling.Run(opt)
-			fmt.Printf("%-8s %6d %12.1f %8.1f %10.1f %10.1f %8.1f\n",
+			wireX := 1.0
+			if r.WireBytes > 0 {
+				wireX = float64(r.FusedBytes) / float64(r.WireBytes)
+			}
+			fmt.Printf("%-8s %6d %12.1f %8.1f %10.1f %10.1f %8.1f %8.2f\n",
 				b, r.GPUs, r.ImagesPerSec, 100*scaling.Efficiency(r, base),
 				r.StepSec*1000, float64(r.Messages)/float64(*steps),
-				100*r.RegCacheHitRate())
+				100*r.RegCacheHitRate(), wireX)
 			if csvFile != nil {
-				fmt.Fprintf(csvFile, "%s,%d,%.3f,%.4f,%.3f,%.2f,%.4f\n",
+				fmt.Fprintf(csvFile, "%s,%d,%.3f,%.4f,%.3f,%.2f,%.4f,%.3f\n",
 					b, r.GPUs, r.ImagesPerSec, scaling.Efficiency(r, base),
-					r.StepSec*1000, float64(r.Messages)/float64(*steps), r.RegCacheHitRate())
+					r.StepSec*1000, float64(r.Messages)/float64(*steps), r.RegCacheHitRate(), wireX)
 			}
 			if prof != nil {
 				fmt.Println(prof.Report().String())

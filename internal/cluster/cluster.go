@@ -62,6 +62,12 @@ type Config struct {
 	RegistrationSecPerByte float64
 	// RegistrationBaseSec is the fixed per-registration cost.
 	RegistrationBaseSec float64
+
+	// CompressBandwidth is the effective on-GPU throughput of gradient
+	// compression kernels — fp16 pack/unpack passes and top-k selection —
+	// in bytes of input processed per second. Elementwise kernels on a
+	// V100 run far below HBM peak; 0 models compression as free.
+	CompressBandwidth float64
 }
 
 // DefaultConfig returns the calibrated Lassen-like machine.
@@ -88,6 +94,8 @@ func DefaultConfig(nodes int) Config {
 
 		RegistrationSecPerByte: 0.12e-9, // ~0.1 s/GB page pinning
 		RegistrationBaseSec:    25e-6,
+
+		CompressBandwidth: 250e9,
 	}
 }
 

@@ -1,0 +1,270 @@
+package collective
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"repro/internal/mpi"
+)
+
+// TestTopKAllreduceDenseRatio: with ratio 1 nothing is dropped, so the
+// sparse path must reproduce the exact dense sum on every rank.
+func TestTopKAllreduceDenseRatio(t *testing.T) {
+	for _, size := range []int{1, 2, 3, 4, 5} {
+		for _, n := range []int{1, 13, 257} {
+			w := mpi.NewWorld(size)
+			var mu sync.Mutex
+			results := make([][]float32, size)
+			if err := w.Run(func(c *mpi.Comm) {
+				tk := NewTopK(1)
+				buf := make([]float32, n)
+				for i := range buf {
+					buf[i] = float32((c.Rank()+i)%7 - 3)
+				}
+				if err := tk.Allreduce(c, buf); err != nil {
+					t.Error(err)
+					return
+				}
+				mu.Lock()
+				results[c.Rank()] = buf
+				mu.Unlock()
+			}); err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < n; i++ {
+				var want float32
+				for r := 0; r < size; r++ {
+					want += float32((r+i)%7 - 3)
+				}
+				for r := 0; r < size; r++ {
+					if results[r][i] != want {
+						t.Fatalf("size=%d n=%d rank=%d elem=%d: got %g want %g",
+							size, n, r, i, results[r][i], want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestTopKAllreduceSparseMatchesReference: with a real sparsification
+// ratio the result must equal the rank-ordered sum of every rank's
+// locally encoded top-k contribution, bit-identical on all ranks.
+func TestTopKAllreduceSparseMatchesReference(t *testing.T) {
+	const size, n, ratio = 4, 1000, 8
+	grad := func(rank, i int) float32 {
+		return float32(math.Sin(float64(rank*n + i)))
+	}
+	var mu sync.Mutex
+	results := make([][]float32, size)
+	w := mpi.NewWorld(size)
+	if err := w.Run(func(c *mpi.Comm) {
+		tk := NewTopK(ratio)
+		tk.ErrorFeedback = false
+		buf := make([]float32, n)
+		for i := range buf {
+			buf[i] = grad(c.Rank(), i)
+		}
+		if err := tk.Allreduce(c, buf); err != nil {
+			t.Error(err)
+			return
+		}
+		mu.Lock()
+		results[c.Rank()] = buf
+		mu.Unlock()
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Reference: encode each rank's gradient locally, decode-sum in rank
+	// order — the exact arithmetic the collective promises.
+	k := TopKCount(n, ratio)
+	want := make([]float32, n)
+	for r := 0; r < size; r++ {
+		g := make([]float32, n)
+		for i := range g {
+			g[i] = grad(r, i)
+		}
+		wire := make([]float32, TopKWords(k))
+		EncodeTopK(wire, g, k, nil)
+		if _, err := DecodeTopKAdd(want, wire); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for r := 0; r < size; r++ {
+		for i := 0; i < n; i++ {
+			if math.Float32bits(results[r][i]) != math.Float32bits(want[i]) {
+				t.Fatalf("rank %d elem %d: got %v want %v", r, i, results[r][i], want[i])
+			}
+		}
+	}
+}
+
+// TestTopKErrorFeedbackCarriesResidual pins DGC's error-feedback
+// arithmetic on one rank: unsent mass must reappear and win selection on
+// later steps instead of being silently dropped.
+func TestTopKErrorFeedbackCarriesResidual(t *testing.T) {
+	w := mpi.NewWorld(1)
+	if err := w.Run(func(c *mpi.Comm) {
+		tk := NewTopK(4) // n=4 → k=1: one element per step
+		buf := make([]float32, 4)
+
+		copy(buf, []float32{4, 3, 2, 1})
+		if err := tk.Allreduce(c, buf); err != nil {
+			t.Error(err)
+			return
+		}
+		if want := []float32{4, 0, 0, 0}; !eqSlice(buf, want) {
+			t.Errorf("step 1: got %v want %v", buf, want)
+		}
+
+		// Zero gradient: the residual alone must drive the next pick.
+		clear(buf)
+		if err := tk.Allreduce(c, buf); err != nil {
+			t.Error(err)
+			return
+		}
+		if want := []float32{0, 3, 0, 0}; !eqSlice(buf, want) {
+			t.Errorf("step 2: got %v want %v", buf, want)
+		}
+
+		// A fresh gradient folds into the remaining residual [0,0,2,1].
+		copy(buf, []float32{0, 0, 3, 0})
+		if err := tk.Allreduce(c, buf); err != nil {
+			t.Error(err)
+			return
+		}
+		if want := []float32{0, 0, 5, 0}; !eqSlice(buf, want) {
+			t.Errorf("step 3: got %v want %v", buf, want)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func eqSlice(a, b []float32) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestTopKNoErrorFeedbackDrops: without error feedback the unsent mass
+// is gone — the contrast that motivates the EF machinery.
+func TestTopKNoErrorFeedbackDrops(t *testing.T) {
+	w := mpi.NewWorld(1)
+	if err := w.Run(func(c *mpi.Comm) {
+		tk := NewTopK(4)
+		tk.ErrorFeedback = false
+		buf := []float32{4, 3, 2, 1}
+		if err := tk.Allreduce(c, buf); err != nil {
+			t.Error(err)
+			return
+		}
+		clear(buf)
+		if err := tk.Allreduce(c, buf); err != nil {
+			t.Error(err)
+			return
+		}
+		if !eqSlice(buf, []float32{0, 0, 0, 0}) {
+			t.Errorf("dropped mass resurfaced: %v", buf)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTopKAllreduceZeroAlloc pins the steady-state zero-allocation
+// contract of the sparse hot path (selection scratch, payload slots, and
+// residuals all reach their high-water mark during warm-up).
+func TestTopKAllreduceZeroAlloc(t *testing.T) {
+	const runs = 50
+	w := mpi.NewWorld(4)
+	var got float64
+	w.Run(func(c *mpi.Comm) {
+		tk := NewTopK(16)
+		buf := make([]float32, 2048)
+		iter := func() {
+			for i := range buf {
+				buf[i] = float32(i%17) - 8
+			}
+			if err := tk.Allreduce(c, buf); err != nil {
+				t.Error(err)
+			}
+		}
+		for i := 0; i < 3; i++ {
+			iter()
+		}
+		if c.Rank() == 0 {
+			got = testing.AllocsPerRun(runs, iter)
+		} else {
+			for i := 0; i < runs+1; i++ {
+				iter()
+			}
+		}
+	})
+	if got != 0 {
+		t.Errorf("%g allocs per sparse allreduce, want 0", got)
+	}
+}
+
+// TestTopKWireBytes pins the on-wire win the issue requires: the metered
+// bytes of a sparse allreduce must undercut the exact ring by ≥2×.
+func TestTopKWireBytes(t *testing.T) {
+	const size, n, ratio = 4, 4096, 32
+	var sparse, exact int64
+	w := mpi.NewWorld(size)
+	w.Run(func(c *mpi.Comm) {
+		tk := NewTopK(ratio)
+		buf := make([]float32, n)
+		if err := tk.Allreduce(c, buf); err != nil {
+			t.Error(err)
+		}
+		if c.Rank() == 0 {
+			sparse = c.SentBytes()
+		}
+	})
+	w2 := mpi.NewWorld(size)
+	w2.Run(func(c *mpi.Comm) {
+		buf := make([]float32, n)
+		c.AllreduceSum(buf, mpi.AlgoRing)
+		if c.Rank() == 0 {
+			exact = c.SentBytes()
+		}
+	})
+	k := TopKCount(n, ratio)
+	wantSparse := int64(size-1) * int64(TopKWords(k)) * 4
+	if sparse != wantSparse {
+		t.Fatalf("sparse wire bytes %d, want %d", sparse, wantSparse)
+	}
+	if exact < 2*sparse {
+		t.Fatalf("wire reduction %.1f× < 2× (sparse %d, exact %d)",
+			float64(exact)/float64(sparse), sparse, exact)
+	}
+}
+
+// TestCompressionParseAndNames pins the CLI surface.
+func TestCompressionParseAndNames(t *testing.T) {
+	for _, c := range []Compression{CompressNone, CompressFP16, CompressTopK} {
+		got, err := ParseCompression(c.String())
+		if err != nil || got != c {
+			t.Fatalf("round-trip %v: got %v err %v", c, got, err)
+		}
+	}
+	if _, err := ParseCompression("zstd"); err == nil {
+		t.Fatal("expected error for unknown variant")
+	}
+	if fn, err := NewAllreduceFnByName("none", 0); err != nil || fn != nil {
+		t.Fatalf("none must resolve to nil fn (backend default), err %v", err)
+	}
+	for _, name := range []string{"fp16", "topk", "hier", "hier-fp16"} {
+		if fn, err := NewAllreduceFnByName(name, 32); err != nil || fn == nil {
+			t.Fatalf("%s: fn nil=%v err=%v", name, fn == nil, err)
+		}
+	}
+	if _, err := NewAllreduceFnByName("bogus", 0); err == nil {
+		t.Fatal("expected error for unknown name")
+	}
+}

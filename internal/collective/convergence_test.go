@@ -1,0 +1,106 @@
+package collective_test
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/models"
+	"repro/internal/trainer"
+)
+
+// TestCompressedAllreduceConvergence is the issue's convergence gate: a
+// tiny EDSR trained 4-rank in-process from identical seeds under the
+// exact ring, the fp16-compressed ring, and top-k sparsification with
+// error feedback. Compression must not change the optimization story:
+// every arm's loss trends down, and the compressed finals stay inside a
+// pinned envelope of the exact final. The envelopes are deliberately
+// tight — the arms are deterministic (unfused engine, rank-ordered
+// sparse decode), so a numerics regression in any codec moves a final
+// loss and trips them.
+func TestCompressedAllreduceConvergence(t *testing.T) {
+	const worldSize = 4
+	base := trainer.DefaultConfig()
+	base.Model = models.EDSRConfig{NumBlocks: 1, NumFeats: 6, Scale: 2, ResScale: 0.1, Colors: 3}
+	base.Data.Images = 16
+	base.Data.Height, base.Data.Width = 24, 24
+	base.Steps = 30
+	base.BatchSize = 2
+	base.PatchSize = 8
+	base.Seed = 11
+
+	run := func(compression string, ratio int) trainer.Stats {
+		t.Helper()
+		cfg := base
+		cfg.Compression = compression
+		cfg.TopKRatio = ratio
+		_, st, err := trainer.TrainDistributed(cfg, worldSize)
+		if err != nil {
+			t.Fatalf("%s: %v", compression, err)
+		}
+		if math.IsNaN(st.FinalLoss) || st.FinalLoss <= 0 {
+			t.Fatalf("%s: bad final loss %g", compression, st.FinalLoss)
+		}
+		if st.FinalLoss >= st.AvgLoss*1.2 {
+			t.Fatalf("%s: loss not trending down: final %g avg %g", compression, st.FinalLoss, st.AvgLoss)
+		}
+		return st
+	}
+
+	exact := run("none", 0)
+	fp16 := run("fp16", 0)
+	topk := run("topk", 16)
+
+	// Pinned envelopes, relative to the exact final loss. fp16 rounds
+	// every wire hop through 11-bit significands — after averaging, the
+	// gradient perturbation is tiny, so its final must track the exact
+	// run closely. Top-k at ratio 16 reshuffles which coordinates update
+	// each step; error feedback keeps the trajectory sound but not
+	// identical, so its envelope is wider.
+	relFP16 := math.Abs(fp16.FinalLoss-exact.FinalLoss) / exact.FinalLoss
+	relTopK := math.Abs(topk.FinalLoss-exact.FinalLoss) / exact.FinalLoss
+	t.Logf("final losses: exact %.6f fp16 %.6f (Δ %.2f%%) topk %.6f (Δ %.2f%%)",
+		exact.FinalLoss, fp16.FinalLoss, relFP16*100, topk.FinalLoss, relTopK*100)
+	if relFP16 > 0.05 {
+		t.Errorf("fp16 final loss %g drifted %.1f%% from exact %g (envelope 5%%)",
+			fp16.FinalLoss, relFP16*100, exact.FinalLoss)
+	}
+	if relTopK > 0.35 {
+		t.Errorf("topk final loss %g drifted %.1f%% from exact %g (envelope 35%%)",
+			topk.FinalLoss, relTopK*100, exact.FinalLoss)
+	}
+}
+
+// TestNodeAwareConvergence runs the two-level node-aware variant (2 GPUs
+// per node, fp16 inter-node wire) through the same harness: the
+// hierarchy must be transparent to training.
+func TestNodeAwareConvergence(t *testing.T) {
+	cfg := trainer.DefaultConfig()
+	cfg.Model = models.EDSRConfig{NumBlocks: 1, NumFeats: 6, Scale: 2, ResScale: 0.1, Colors: 3}
+	cfg.Data.Images = 16
+	cfg.Data.Height, cfg.Data.Width = 24, 24
+	cfg.Steps = 20
+	cfg.BatchSize = 2
+	cfg.PatchSize = 8
+	cfg.Seed = 11
+	cfg.GPUsPerNode = 2
+
+	cfg.Compression = "none"
+	_, exact, err := trainer.TrainDistributed(cfg, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Compression = "hier-fp16"
+	_, hier, err := trainer.TrainDistributed(cfg, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hier.FinalLoss >= hier.AvgLoss*1.2 {
+		t.Fatalf("hier-fp16 loss not trending down: final %g avg %g", hier.FinalLoss, hier.AvgLoss)
+	}
+	rel := math.Abs(hier.FinalLoss-exact.FinalLoss) / exact.FinalLoss
+	t.Logf("final losses: exact %.6f hier-fp16 %.6f (Δ %.2f%%)", exact.FinalLoss, hier.FinalLoss, rel*100)
+	if rel > 0.05 {
+		t.Errorf("hier-fp16 final loss %g drifted %.1f%% from exact %g (envelope 5%%)",
+			hier.FinalLoss, rel*100, exact.FinalLoss)
+	}
+}

@@ -28,9 +28,11 @@ type Config struct {
 	// after reduction, reproducing the numerics of an fp16 wire format.
 	FP16Compression bool
 	// AllreduceFn, when non-nil, replaces the backend sum-allreduce —
-	// benchmarks use it to run the engine over a baseline implementation,
-	// and tests over instrumented ones. Algo is ignored when set.
-	AllreduceFn func(c *mpi.Comm, buf []float32)
+	// gradient-compression variants, benchmarks, and instrumented test
+	// doubles plug in here. Algo is ignored when set. A returned error
+	// aborts the engine: waiters are released and the failure surfaces
+	// via Err (and the Drain panic path), exactly like a peer death.
+	AllreduceFn func(c *mpi.Comm, buf []float32) error
 	// Trace, when non-nil, records engine spans (fusion-group
 	// reductions on the engine track, drain windows and per-parameter
 	// grad-hook instants on the trainer track). For the engine's own
@@ -245,7 +247,10 @@ func (e *Engine) loop() {
 		}
 		e.readyIDs = ready
 		for _, group := range PlanFusion(e.sizes, ready, e.cfg.FusionThresholdBytes) {
-			e.reduceGroup(group)
+			if err := e.reduceGroup(group); err != nil {
+				e.fail(fmt.Errorf("horovod: allreduce failed: %w", err))
+				return
+			}
 		}
 
 		// Exit is decided purely from negotiated state, so every rank
@@ -259,8 +264,10 @@ func (e *Engine) loop() {
 }
 
 // reduceGroup copies the group into the fusion buffer, allreduces it as a
-// single message, averages, scatters results back, and wakes waiters.
-func (e *Engine) reduceGroup(group []int) {
+// single message, averages, scatters results back, and wakes waiters. An
+// AllreduceFn error is returned without waking the group's waiters — the
+// caller aborts the engine and fail releases them with Err set.
+func (e *Engine) reduceGroup(group []int) error {
 	total := 0
 	for _, id := range group {
 		total += len(e.bufs[id])
@@ -291,7 +298,9 @@ func (e *Engine) reduceGroup(group []int) {
 		tensor.QuantizeHalf(buf)
 	}
 	if e.cfg.AllreduceFn != nil {
-		e.cfg.AllreduceFn(e.comm, buf)
+		if err := e.cfg.AllreduceFn(e.comm, buf); err != nil {
+			return err
+		}
 	} else {
 		e.comm.AllreduceSum(buf, e.cfg.Algo)
 	}
@@ -323,4 +332,5 @@ func (e *Engine) reduceGroup(group []int) {
 	}
 	e.mu.Unlock()
 	e.cfg.Trace.Emit(trace.CatFusedReduce, trace.TrackEngine, spanStart, int64(total)*4)
+	return nil
 }

@@ -99,3 +99,59 @@ func TestEngineErrAndSubmitAfterFailure(t *testing.T) {
 		t.Fatal("Submit after failure must return a closed channel")
 	}
 }
+
+// TestEngineAllreduceFnError pins satellite #4 of the compression issue:
+// an AllreduceFn error mid-fusion-cycle must abort the engine and surface
+// through engine.Err() and the Drain panic path exactly like a peer
+// death — not be silently dropped, leaving ranks training on unreduced
+// gradients. The fn fails on every rank on its second call, so no rank
+// is left blocked inside a half-completed collective.
+func TestEngineAllreduceFnError(t *testing.T) {
+	const world, steps, failStep = 2, 4, 2
+	cause := errors.New("compression backend rejected payload")
+	w := mpi.NewWorld(world)
+	stepsDone := make([]int, world)
+	done := make(chan error, 1)
+	go func() {
+		done <- w.Run(func(c *mpi.Comm) {
+			p := nn.NewParam("w", 4, 4)
+			opt := nn.NewSGD([]*nn.Param{p}, 0.1, 0, 0)
+			calls := 0
+			cfg := Config{CycleTime: 0, Average: true}
+			cfg.AllreduceFn = func(c *mpi.Comm, buf []float32) error {
+				if calls++; calls > failStep {
+					return cause
+				}
+				c.AllreduceSum(buf, mpi.AlgoRing)
+				return nil
+			}
+			e := NewEngine(c, cfg)
+			dopt := NewDistributedOptimizer(opt, e)
+			e.Start()
+			defer e.Shutdown()
+			for s := 0; s < steps; s++ {
+				for i := range p.Grad.Data() {
+					p.Grad.Data()[i] = float32(c.Rank() + s)
+				}
+				dopt.Step() // panics via Drain once the engine fails
+				stepsDone[c.Rank()]++
+			}
+		})
+	}()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("expected World.Run to surface the allreduce failure")
+		}
+		if !errors.Is(err, cause) {
+			t.Fatalf("error chain missing the AllreduceFn cause: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("AllreduceFn failure hung the engine instead of aborting it")
+	}
+	for r, n := range stepsDone {
+		if n != failStep {
+			t.Fatalf("rank %d completed %d steps, want exactly %d before the failure", r, n, failStep)
+		}
+	}
+}

@@ -199,6 +199,11 @@ func (w *World) recoverRankError(rank int, r any) error {
 			w.markDown(rank, wrapped, false)
 			return wrapped
 		}
+		// A plain error panic (e.g. Drain surfacing an engine failure):
+		// keep the chain intact so callers can errors.Is the root cause.
+		wrapped := fmt.Errorf("rank %d panicked: %w", rank, err)
+		w.markDown(rank, wrapped, true)
+		return wrapped
 	}
 	err := fmt.Errorf("rank %d panicked: %v", rank, r)
 	w.markDown(rank, err, true)

@@ -168,6 +168,15 @@ type World struct {
 	// sendSeq counts each rank's sends, the deterministic clock the drop
 	// injection keys on (atomic: main loop and engine send concurrently).
 	sendSeq []atomic.Int64
+	// sentBytes meters each rank's outbound payload volume (every Send,
+	// across all Comm forks of the rank) — the bytes-on-wire counter the
+	// compression benchmarks read via Comm.SentBytes.
+	sentBytes []atomic.Int64
+
+	// gpusPerNode is the simulated node width for topology-aware
+	// collectives (see SetGPUsPerNode); 1 means every rank is its own
+	// node leader.
+	gpusPerNode int
 
 	// down holds every rank that left the computation (crash, panic,
 	// timeout, or abort-on-peer-failure) keyed to its cause; rootFailed
@@ -183,10 +192,12 @@ func NewWorld(size int) *World {
 		panic("mpi: world size must be >= 1")
 	}
 	w := &World{
-		size:       size,
-		down:       map[int]error{},
-		rootFailed: map[int]error{},
-		sendSeq:    make([]atomic.Int64, size),
+		size:        size,
+		down:        map[int]error{},
+		rootFailed:  map[int]error{},
+		sendSeq:     make([]atomic.Int64, size),
+		sentBytes:   make([]atomic.Int64, size),
+		gpusPerNode: 1,
 	}
 	w.mailboxes = make([]*mailbox, size)
 	for i := range w.mailboxes {
@@ -197,6 +208,19 @@ func NewWorld(size int) *World {
 
 // Size returns the number of ranks.
 func (w *World) Size() int { return w.size }
+
+// SetGPUsPerNode declares the simulated node width: ranks
+// [k·g, (k+1)·g) share node k, and rank k·g is that node's leader. The
+// node-aware collectives (AllreduceSumNodeAware) use this topology to
+// keep bulk traffic intra-node; g must be >= 1. The default is 1 —
+// every rank its own leader, which degenerates the two-level design to
+// a flat leader ring.
+func (w *World) SetGPUsPerNode(g int) {
+	if g < 1 {
+		panic("mpi: GPUs per node must be >= 1")
+	}
+	w.gpusPerNode = g
+}
 
 // Comm returns the communicator for one rank.
 func (w *World) Comm(rank int) *Comm {
@@ -294,6 +318,26 @@ func (c *Comm) Rank() int { return c.rank }
 // Size returns the world size.
 func (c *Comm) Size() int { return c.world.size }
 
+// GPUsPerNode returns the world's node width (see World.SetGPUsPerNode).
+func (c *Comm) GPUsPerNode() int { return c.world.gpusPerNode }
+
+// SentBytes returns the total payload bytes this rank has sent through
+// Send since the world was created, across every Comm fork of the rank.
+// The compression benchmarks difference it around a training window to
+// measure real bytes-on-wire per variant.
+func (c *Comm) SentBytes() int64 { return c.world.sentBytes[c.rank].Load() }
+
+// ProfileCollective reports a custom collective — one built outside this
+// package from the exported primitives, e.g. the compressed variants in
+// internal/collective — to the attached Profiler and Tracer, exactly as
+// the built-in collectives report themselves. op is the hvprof bucket
+// operation ("allreduce"); traceOp the variant-qualified span name
+// ("allreduce/topk"); bytes the compressed payload size that actually
+// travels per message, so hvprof's message-size buckets reflect the wire.
+func (c *Comm) ProfileCollective(op, traceOp string, bytes int64, dur time.Duration) {
+	c.profile(op, traceOp, bytes, dur)
+}
+
 // Send delivers a copy of data to dst with the given tag (blocking send
 // semantics: the buffer may be reused on return). The copy lives in a
 // pooled buffer recycled by the matching Recv, so steady-state traffic
@@ -304,6 +348,7 @@ func (c *Comm) Send(dst, tag int, data []float32) {
 	}
 	cp := c.world.pool.get(len(data))
 	copy(cp, data)
+	c.world.sentBytes[c.rank].Add(int64(len(data)) * 4)
 	msg := message{src: c.rank, tag: tag, data: cp}
 	if p := c.world.plan; p != nil {
 		seq := c.world.sendSeq[c.rank].Add(1)

@@ -1,0 +1,81 @@
+package scaling
+
+import (
+	"testing"
+
+	"repro/internal/collective"
+)
+
+// TestCompressionWireReduction pins the on-wire accounting of the
+// simulated compression variants: fp16 halves every payload, top-k at
+// ratio 32 cuts it by roughly 16× (1+2k words for k = n/32), and the
+// exact baseline reports wire == fused.
+func TestCompressionWireReduction(t *testing.T) {
+	base := Run(Options{Nodes: 2, Backend: collective.BackendMPIOpt, Steps: 3, Seed: 5})
+	if base.WireBytes != base.FusedBytes {
+		t.Fatalf("uncompressed run: wire %d != fused %d", base.WireBytes, base.FusedBytes)
+	}
+	fp16 := Run(Options{Nodes: 2, Backend: collective.BackendMPIOpt, Steps: 3, Seed: 5,
+		Compression: collective.CompressFP16})
+	ratio := float64(fp16.FusedBytes) / float64(fp16.WireBytes)
+	if ratio < 1.99 || ratio > 2.01 {
+		t.Fatalf("fp16 wire reduction %.3f×, want 2×", ratio)
+	}
+	topk := Run(Options{Nodes: 2, Backend: collective.BackendMPIOpt, Steps: 3, Seed: 5,
+		Compression: collective.CompressTopK, TopKRatio: 32})
+	ratio = float64(topk.FusedBytes) / float64(topk.WireBytes)
+	if ratio < 8 || ratio > 17 {
+		t.Fatalf("topk ratio-32 wire reduction %.1f×, want ~16×", ratio)
+	}
+}
+
+// TestCompressionDeterministic: compressed runs must stay reproducible —
+// the determinism pin of the exact path extended to the variants.
+func TestCompressionDeterministic(t *testing.T) {
+	for _, comp := range []collective.Compression{collective.CompressFP16, collective.CompressTopK} {
+		a := Run(Options{Nodes: 2, Backend: collective.BackendMPI, Steps: 3, Seed: 5, Compression: comp})
+		b := Run(Options{Nodes: 2, Backend: collective.BackendMPI, Steps: 3, Seed: 5, Compression: comp})
+		if a.ImagesPerSec != b.ImagesPerSec || a.WireBytes != b.WireBytes {
+			t.Fatalf("%v: same seed diverged: %+v vs %+v", comp, a, b)
+		}
+	}
+}
+
+// TestCompressionProjection512GPUs is the issue's scalesim projection at
+// the paper's largest scale (128 nodes × 4 GPUs) on the
+// communication-bound default-MPI configuration. fp16 must win outright.
+// Top-k rides a flat allgather whose per-rank volume is (p−1)·payload, so
+// at 512 ranks a mild ratio like 32 moves MORE bytes than the exact ring
+// — the projection must surface that — while a DGC-style 0.1% density
+// (ratio 1000) amortizes the ring and beats the exact baseline (landing
+// near fp16, which halves the already-hierarchical ring).
+func TestCompressionProjection512GPUs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("512-GPU simulation")
+	}
+	steps := 5
+	exact := Run(Options{Nodes: 128, Backend: collective.BackendMPI, Steps: steps})
+	fp16 := Run(Options{Nodes: 128, Backend: collective.BackendMPI, Steps: steps,
+		Compression: collective.CompressFP16})
+	topkMild := Run(Options{Nodes: 128, Backend: collective.BackendMPI, Steps: steps,
+		Compression: collective.CompressTopK, TopKRatio: 32})
+	topkDGC := Run(Options{Nodes: 128, Backend: collective.BackendMPI, Steps: steps,
+		Compression: collective.CompressTopK, TopKRatio: 1000})
+	t.Logf("512-GPU img/s: exact %.0f, fp16 %.0f (%.2fx), topk/32 %.0f (%.2fx), topk/1000 %.0f (%.2fx)",
+		exact.ImagesPerSec,
+		fp16.ImagesPerSec, fp16.ImagesPerSec/exact.ImagesPerSec,
+		topkMild.ImagesPerSec, topkMild.ImagesPerSec/exact.ImagesPerSec,
+		topkDGC.ImagesPerSec, topkDGC.ImagesPerSec/exact.ImagesPerSec)
+	if fp16.ImagesPerSec <= exact.ImagesPerSec*1.05 {
+		t.Fatalf("fp16 projection %.0f img/s not >5%% over exact %.0f at 512 GPUs",
+			fp16.ImagesPerSec, exact.ImagesPerSec)
+	}
+	if topkMild.ImagesPerSec >= exact.ImagesPerSec {
+		t.Fatalf("topk ratio-32 %.0f img/s should LOSE to exact %.0f at 512 ranks (allgather volume grows with p)",
+			topkMild.ImagesPerSec, exact.ImagesPerSec)
+	}
+	if topkDGC.ImagesPerSec <= exact.ImagesPerSec*1.05 {
+		t.Fatalf("topk ratio-1000 projection %.0f img/s not >5%% over exact %.0f at 512 GPUs",
+			topkDGC.ImagesPerSec, exact.ImagesPerSec)
+	}
+}

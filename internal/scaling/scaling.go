@@ -51,6 +51,16 @@ type Options struct {
 	// compression) — the future-work lever that shrinks EDSR's messages,
 	// sometimes below the large-message IPC threshold.
 	FP16Gradients bool
+	// Compression prices the gradient-compression variants of the real
+	// communication path (internal/collective) on the cluster model:
+	// fp16 halves wire payloads and pays pack/unpack kernel passes; topk
+	// ships ~1/TopKRatio of each bucket as index+value payloads over a
+	// sparse ring allgather. Unlike the coarse FP16Gradients knob (which
+	// only halves the negotiated message sizes), these charge the
+	// compression compute and reshape the traffic pattern.
+	Compression collective.Compression
+	// TopKRatio is the top-k sparsification ratio (default 32).
+	TopKRatio int
 	// JitterFrac is the relative stddev of per-rank compute time
 	// (OS/driver noise); synchronous training pays the slowest rank.
 	JitterFrac float64
@@ -92,6 +102,9 @@ func (o Options) withDefaults() Options {
 	if o.JitterFrac == 0 {
 		o.JitterFrac = 0.015
 	}
+	if o.TopKRatio == 0 {
+		o.TopKRatio = 32
+	}
 	if o.Seed == 0 {
 		o.Seed = 1
 	}
@@ -109,6 +122,10 @@ type Result struct {
 	RegCacheMiss int64
 	Messages     int
 	FusedBytes   int64
+	// WireBytes is the cumulative compressed wire payload of rank 0's
+	// allreduces; equal to FusedBytes when no compression is configured.
+	// FusedBytes/WireBytes is the run's wire-reduction factor.
+	WireBytes int64
 }
 
 // RegCacheHitRate returns the registration-cache hit rate of the run.
@@ -172,7 +189,7 @@ func Run(opt Options) Result {
 
 	var measureStart, measureEnd simnet.Time
 	var messages int
-	var fusedBytes int64
+	var fusedBytes, wireBytes int64
 
 	totalSteps := opt.Steps + opt.WarmupSteps
 	states := make([]*rankState, p)
@@ -253,7 +270,8 @@ func Run(opt Options) Result {
 				groups := horovod.PlanFusion(sizes, ready, opt.FusionThresholdBytes)
 				for _, grp := range groups {
 					bytes := horovod.GroupBytes(sizes, grp)
-					group.Allreduce(pe, r, bytes, regKeyFor(sizes, grp, opt.FusionThresholdBytes))
+					wire := group.AllreduceCompressed(pe, r, bytes,
+						regKeyFor(sizes, grp, opt.FusionThresholdBytes), opt.Compression, opt.TopKRatio)
 					for _, id := range grp {
 						st.ready[id] = false
 						st.stepWG.Done()
@@ -261,6 +279,7 @@ func Run(opt Options) Result {
 					if r == 0 {
 						messages++
 						fusedBytes += bytes
+						wireBytes += wire
 					}
 				}
 				if global[nt] && len(ready) == 0 {
@@ -280,6 +299,7 @@ func Run(opt Options) Result {
 		SimulatedSec: elapsed,
 		Messages:     messages,
 		FusedBytes:   fusedBytes,
+		WireBytes:    wireBytes,
 	}
 	if elapsed > 0 {
 		res.ImagesPerSec = images / elapsed

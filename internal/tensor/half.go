@@ -89,3 +89,45 @@ func QuantizeHalf(s []float32) {
 		s[i] = HalfToFloat32(Float32ToHalf(v))
 	}
 }
+
+// HalfWords returns the number of float32 wire words needed to carry n
+// fp16-packed values (two halves per word, the tail word half-filled).
+func HalfWords(n int) int { return (n + 1) / 2 }
+
+// PackHalf compresses src into dst as packed IEEE 754 binary16 pairs:
+// word i carries halves 2i (low 16 bits) and 2i+1 (high 16 bits), bit-cast
+// into float32 so the payload rides the existing float32 transport. dst
+// must have HalfWords(len(src)) elements; an odd tail leaves the high half
+// of the last word zero. Values are rounded to nearest even exactly as
+// QuantizeHalf does, so UnpackHalf(PackHalf(x)) == QuantizeHalf(x).
+func PackHalf(dst, src []float32) {
+	if len(dst) != HalfWords(len(src)) {
+		panic("tensor: PackHalf dst must have HalfWords(len(src)) elements")
+	}
+	n := len(src) &^ 1
+	for i := 0; i < n; i += 2 {
+		w := uint32(Float32ToHalf(src[i])) | uint32(Float32ToHalf(src[i+1]))<<16
+		dst[i>>1] = math.Float32frombits(w)
+	}
+	if len(src)&1 == 1 {
+		dst[len(src)>>1] = math.Float32frombits(uint32(Float32ToHalf(src[len(src)-1])))
+	}
+}
+
+// UnpackHalf decompresses a PackHalf payload: dst receives len(dst)
+// decoded values, so callers recover odd-length buffers by sizing dst.
+// src must have at least HalfWords(len(dst)) elements.
+func UnpackHalf(dst, src []float32) {
+	if len(src) < HalfWords(len(dst)) {
+		panic("tensor: UnpackHalf src shorter than HalfWords(len(dst))")
+	}
+	n := len(dst) &^ 1
+	for i := 0; i < n; i += 2 {
+		w := math.Float32bits(src[i>>1])
+		dst[i] = HalfToFloat32(uint16(w))
+		dst[i+1] = HalfToFloat32(uint16(w >> 16))
+	}
+	if len(dst)&1 == 1 {
+		dst[len(dst)-1] = HalfToFloat32(uint16(math.Float32bits(src[len(dst)>>1])))
+	}
+}

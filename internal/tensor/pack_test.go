@@ -1,0 +1,82 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+)
+
+// TestPackHalfRoundTrip pins the wire-format contract of the fp16
+// compressed-allreduce path: unpacking a packed buffer yields exactly the
+// values QuantizeHalf produces, for even and odd lengths.
+func TestPackHalfRoundTrip(t *testing.T) {
+	rng := NewRNG(7)
+	for _, n := range []int{0, 1, 2, 3, 7, 64, 1001} {
+		src := make([]float32, n)
+		for i := range src {
+			src[i] = (rng.Float32() - 0.5) * 100
+		}
+		want := append([]float32(nil), src...)
+		QuantizeHalf(want)
+
+		wire := make([]float32, HalfWords(n))
+		PackHalf(wire, src)
+		got := make([]float32, n)
+		UnpackHalf(got, wire)
+		for i := range got {
+			if math.Float32bits(got[i]) != math.Float32bits(want[i]) {
+				t.Fatalf("n=%d elem %d: unpack %v (%#x), QuantizeHalf %v (%#x)",
+					n, i, got[i], math.Float32bits(got[i]), want[i], math.Float32bits(want[i]))
+			}
+		}
+	}
+}
+
+// TestPackHalfErrorBound pins the worst-case quantization error of the
+// fp16 wire format: round-to-nearest-even loses at most half a ULP, i.e.
+// a relative error of 2^-11 for values in the binary16 normal range
+// [2^-14, 65504].
+func TestPackHalfErrorBound(t *testing.T) {
+	rng := NewRNG(42)
+	const maxRel = 1.0 / 2048 // 2^-11: half a ULP of a 10-bit significand
+	src := make([]float32, 4096)
+	for i := range src {
+		// Log-uniform magnitudes across the normal range, both signs.
+		e := -14 + 25*rng.Float32()
+		src[i] = float32(math.Pow(2, float64(e)))
+		if i%2 == 0 {
+			src[i] = -src[i]
+		}
+	}
+	wire := make([]float32, HalfWords(len(src)))
+	PackHalf(wire, src)
+	got := make([]float32, len(src))
+	UnpackHalf(got, wire)
+	for i, v := range src {
+		rel := math.Abs(float64(got[i])-float64(v)) / math.Abs(float64(v))
+		if rel > maxRel {
+			t.Fatalf("elem %d: %v -> %v, relative error %.3e exceeds 2^-11", i, v, got[i], rel)
+		}
+	}
+}
+
+// TestPackHalfOddTail: the half-filled tail word must not leak garbage —
+// the high half is zero, so a conservative decoder reading it sees +0.
+func TestPackHalfOddTail(t *testing.T) {
+	src := []float32{1, 2, 3}
+	wire := make([]float32, HalfWords(3))
+	PackHalf(wire, src)
+	if hi := uint16(math.Float32bits(wire[1]) >> 16); hi != 0 {
+		t.Fatalf("tail word high half = %#x, want 0", hi)
+	}
+}
+
+// TestPackHalfLengthValidation pins the panic contract on mis-sized
+// buffers (a wire-format bug would otherwise corrupt silently).
+func TestPackHalfLengthValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for short dst")
+		}
+	}()
+	PackHalf(make([]float32, 1), make([]float32, 4))
+}

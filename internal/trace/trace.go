@@ -78,6 +78,13 @@ const (
 	// and any hedged or retried attempts until a response was written
 	// back to the client.
 	CatRouterProxy
+	// Compressed-allreduce spans (appended — category values are wire
+	// format for recorded traces, so new entries only ever go at the
+	// end): fp16-packed ring, top-k sparsified ring with error feedback,
+	// and the two-level node-aware hierarchy.
+	CatAllreduceFP16
+	CatAllreduceTopK
+	CatAllreduceHier
 
 	numCategories
 )
@@ -105,6 +112,9 @@ var catNames = [numCategories]string{
 	"serve/queue",
 	"serve/cache",
 	"router/proxy",
+	"allreduce/fp16",
+	"allreduce/topk",
+	"allreduce/hier",
 }
 
 // String returns the category's canonical op name.
@@ -138,7 +148,8 @@ func CategoryOf(op string) Category {
 // fold into "allreduce", matching the ops internal/hvprof aggregates.
 func (c Category) HvprofOp() (string, bool) {
 	switch c {
-	case CatAllreduceRing, CatAllreduceRecDbl, CatAllreduceNaive:
+	case CatAllreduceRing, CatAllreduceRecDbl, CatAllreduceNaive,
+		CatAllreduceFP16, CatAllreduceTopK, CatAllreduceHier:
 		return "allreduce", true
 	case CatNegotiate:
 		return "negotiate", true
@@ -160,6 +171,7 @@ func (c Category) Group() string {
 	case CatStep, CatForward, CatBackward:
 		return "compute"
 	case CatNegotiate, CatAllreduceRing, CatAllreduceRecDbl, CatAllreduceNaive,
+		CatAllreduceFP16, CatAllreduceTopK, CatAllreduceHier,
 		CatBcast, CatBarrier, CatGather, CatAllgather:
 		return "mpi"
 	case CatGradHook, CatFusedReduce, CatDrain:

@@ -209,6 +209,9 @@ func runElasticAttempt(cfg ElasticConfig, ws int, fault mpi.FaultPlan) (*models.
 	world := mpi.NewWorld(ws)
 	world.SetRecvTimeout(cfg.RecvTimeout)
 	world.SetFaultPlan(fault)
+	if cfg.Train.GPUsPerNode > 0 {
+		world.SetGPUsPerNode(cfg.Train.GPUsPerNode)
+	}
 
 	outs := make([]rankProgress, ws)
 	runErr := world.Run(func(c *mpi.Comm) {
@@ -310,11 +313,23 @@ func elasticRankLoop(cfg ElasticConfig, c *mpi.Comm, st *elasticState, out *rank
 		// the dead world's stream.
 	}
 
+	fn, err := tcfg.newAllreduceFn()
+	if err != nil {
+		out.err = err
+		return
+	}
+	fth := cfg.FusionThresholdBytes
+	if tcfg.Compression == "topk" {
+		// Top-k error feedback needs stable per-tensor buffers (see
+		// Config.fusionThreshold); unfused also keeps runs deterministic.
+		fth = 1
+	}
 	engine := horovod.NewEngine(engineComm(tcfg, c), horovod.Config{
-		FusionThresholdBytes: cfg.FusionThresholdBytes,
+		FusionThresholdBytes: fth,
 		CycleTime:            0, // in-process ranks negotiate eagerly
 		Average:              true,
 		Algo:                 mpi.AlgoRing,
+		AllreduceFn:          fn,
 		Trace:                tcfg.Trace.Recorder(rank),
 		Metrics:              rankMetrics(tcfg, rank),
 	})

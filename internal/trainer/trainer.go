@@ -13,6 +13,7 @@ import (
 	"runtime"
 	"time"
 
+	"repro/internal/collective"
 	"repro/internal/data"
 	"repro/internal/horovod"
 	"repro/internal/metrics"
@@ -43,6 +44,18 @@ type Config struct {
 	LRDecayEvery int
 	// Seed for weights and data sampling.
 	Seed uint64
+	// Compression selects the gradient-compression allreduce variant for
+	// distributed runs: "" or "none" (exact float32 ring), "fp16"
+	// (half-precision wire), "topk" (top-k sparsification with error
+	// feedback), "hier" / "hier-fp16" (two-level node-aware reduction,
+	// exact or fp16 inter-node wire).
+	Compression string
+	// TopKRatio keeps ⌈n/ratio⌉ elements per gradient bucket under
+	// "topk" (0 = the default 32, i.e. ~3% density).
+	TopKRatio int
+	// GPUsPerNode sets the world's node topology for the "hier" variants
+	// (0 = 1 GPU per node).
+	GPUsPerNode int
 	// LogEvery prints progress every N steps to Log (0 disables).
 	LogEvery int
 	// Log receives progress lines (nil for no logging).
@@ -79,6 +92,34 @@ func DefaultConfig() Config {
 		LR:        1e-3,
 		Seed:      1,
 	}
+}
+
+// defaultTopKRatio is the sparsification rate used when TopKRatio is
+// unset: keep 1/32 of each bucket, DGC's moderate operating point.
+const defaultTopKRatio = 32
+
+// newAllreduceFn resolves the configured compression variant to a fresh
+// engine AllreduceFn, nil meaning the exact backend ring. Call it once
+// per rank: the top-k variant carries per-rank error-feedback state that
+// must never be shared across ranks.
+func (c Config) newAllreduceFn() (func(*mpi.Comm, []float32) error, error) {
+	ratio := c.TopKRatio
+	if ratio == 0 {
+		ratio = defaultTopKRatio
+	}
+	return collective.NewAllreduceFnByName(c.Compression, ratio)
+}
+
+// fusionThreshold returns the engine fusion threshold the compression
+// variant requires. Top-k needs unfused reductions: its error-feedback
+// residuals are keyed by buffer identity, so every tensor must reduce in
+// its own stable registered buffer, not a recycled fusion buffer. The
+// other variants keep Horovod's 64 MB default.
+func (c Config) fusionThreshold() int64 {
+	if c.Compression == "topk" {
+		return 1
+	}
+	return 64 << 20
 }
 
 // Stats summarizes a completed run.
@@ -124,7 +165,13 @@ func TrainDistributed(cfg Config, worldSize int) (*models.EDSR, Stats, error) {
 	if worldSize == 1 {
 		return TrainSingle(cfg)
 	}
+	if _, err := cfg.newAllreduceFn(); err != nil {
+		return nil, Stats{}, err
+	}
 	world := mpi.NewWorld(worldSize)
+	if cfg.GPUsPerNode > 0 {
+		world.SetGPUsPerNode(cfg.GPUsPerNode)
+	}
 	type out struct {
 		m   *models.EDSR
 		st  Stats
@@ -132,11 +179,13 @@ func TrainDistributed(cfg Config, worldSize int) (*models.EDSR, Stats, error) {
 	}
 	results := make([]out, worldSize)
 	if err := world.Run(func(c *mpi.Comm) {
+		fn, _ := cfg.newAllreduceFn() // validated above; fresh state per rank
 		engine := horovod.NewEngine(engineComm(cfg, c), horovod.Config{
-			FusionThresholdBytes: 64 << 20,
+			FusionThresholdBytes: cfg.fusionThreshold(),
 			CycleTime:            0, // in-process ranks negotiate eagerly
 			Average:              true,
 			Algo:                 mpi.AlgoRing,
+			AllreduceFn:          fn,
 			Trace:                cfg.Trace.Recorder(c.Rank()),
 			Metrics:              rankMetrics(cfg, c.Rank()),
 		})

@@ -6,8 +6,9 @@
 # batch-parallel kernel paths, the overlapped communication path, and the
 # serving batcher, the compiled-inference gates (bit-exactness, PSNR
 # admission, zero-alloc forward, quantization fuzz), the zero-allocation
-# steady-state gates, fuzz smokes for the untrusted decode paths, and
-# bench smoke runs.
+# steady-state gates, the gradient-compression gates (fp16/top-k codecs,
+# convergence envelopes, wire accounting), fuzz smokes for the untrusted
+# decode paths, and bench smoke runs.
 set -e
 
 cd "$(dirname "$0")/.."
@@ -53,10 +54,19 @@ rm -rf /tmp/check-bin
 go test -race ./internal/serve/ ./internal/imageio/
 
 echo "== tier 2: zero-allocation steady-state gates"
-go test -run 'ZeroAlloc|NoAllocs' -v ./internal/mpi/ ./internal/nn/ ./internal/tensor/ ./internal/trace/ ./internal/serve/ | grep -E '^(--- (PASS|FAIL)|ok|FAIL)'
+go test -run 'ZeroAlloc|NoAllocs' -v ./internal/mpi/ ./internal/nn/ ./internal/tensor/ ./internal/trace/ ./internal/serve/ ./internal/collective/ | grep -E '^(--- (PASS|FAIL)|ok|FAIL)'
 
-echo "== tier 2: bench-comm smoke"
+echo "== tier 2: compression gate (fp16/top-k/hierarchical allreduce + convergence envelopes + engine error path under race)"
+go test -race -run 'Compress|FP16|TopK|Hier|Convergence|AllreduceFn|Half' \
+    ./internal/mpi/ ./internal/collective/ ./internal/horovod/ ./internal/tensor/
+
+echo "== tier 2: fuzz smoke (top-k sparse payload codec)"
+go test -run '^$' -fuzz 'FuzzTopKEncodeDecode' -fuzztime 5s ./internal/collective/
+
+echo "== tier 2: bench-comm smoke (incl. compression sweep wire accounting)"
 go run ./cmd/bench-comm -quick -steps 2 -o /tmp/BENCH_comm_smoke.json
+grep -q '"compression"' /tmp/BENCH_comm_smoke.json
+grep -q '"wire_vs_exact"' /tmp/BENCH_comm_smoke.json
 rm -f /tmp/BENCH_comm_smoke.json
 
 echo "== tier 2: inference compile gate (compiled forward under race, bit-exactness, PSNR gate)"
